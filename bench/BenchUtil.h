@@ -1,0 +1,187 @@
+//===- bench/BenchUtil.h - Shared bench-binary helpers ----------*- C++ -*-===//
+///
+/// \file
+/// Small shared pieces for the per-figure/per-table bench binaries:
+/// banner printing and the toy "A B A GOTO" loop machinery used by the
+/// Table I-IV walkthrough benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_BENCH_BENCHUTIL_H
+#define VMIB_BENCH_BENCHUTIL_H
+
+#include "support/Format.h"
+#include "support/Table.h"
+#include "vmcore/DispatchBuilder.h"
+#include "vmcore/DispatchSim.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vmib {
+namespace bench {
+
+/// Prints the standard bench banner.
+inline void banner(const std::string &Id, const std::string &What) {
+  std::printf("=== %s ===\n%s\n\n", Id.c_str(), What.c_str());
+}
+
+/// A 3-opcode toy VM (A, B, GOTO) for the paper's worked examples.
+struct ToyLoopVM {
+  OpcodeSet Set;
+  Opcode A, B, Goto, Halt;
+
+  ToyLoopVM() {
+    auto add = [&](const char *Name, BranchKind BK) {
+      OpcodeInfo Info;
+      Info.Name = Name;
+      Info.WorkInstrs = 3;
+      Info.BodyBytes = 16;
+      Info.Branch = BK;
+      return Set.add(std::move(Info));
+    };
+    A = add("A", BranchKind::None);
+    B = add("B", BranchKind::None);
+    Goto = add("GOTO", BranchKind::Uncond);
+    Halt = add("HLT", BranchKind::Halt);
+  }
+
+  /// "label: A B A GOTO label" (Tables I, II, IV).
+  VMProgram loopABA() const {
+    VMProgram P;
+    P.Name = "loop";
+    P.Code = {{A, 0, 0}, {B, 0, 0}, {A, 0, 0}, {Goto, 0, 0}};
+    return P;
+  }
+
+  /// "label: A B A B A GOTO label" (Table III).
+  VMProgram loopABABA() const {
+    VMProgram P;
+    P.Name = "loop3";
+    P.Code = {{A, 0, 0}, {B, 0, 0}, {A, 0, 0},
+              {B, 0, 0}, {A, 0, 0}, {Goto, 0, 0}};
+    return P;
+  }
+
+  /// Executes \p Iterations of the loop over \p Sim.
+  void run(const VMProgram &P, DispatchSim &Sim, uint32_t Iterations) const {
+    uint32_t Len = P.size();
+    uint32_t Ip = 0;
+    for (uint64_t Step = 0; Step < uint64_t(Iterations) * Len; ++Step) {
+      uint32_t Next = P.Code[Ip].Op == Goto ? 0 : Ip + 1;
+      Sim.step(Ip, Next);
+      Ip = Next;
+    }
+  }
+};
+
+/// Symbolizes the addresses of a layout: branch sites become "br-A1" /
+/// "br-switch", entries become "A1", "B", ... following the paper's
+/// notation in Tables I-IV.
+class LoopSymbolizer {
+public:
+  LoopSymbolizer(const DispatchProgram &Layout, const OpcodeSet &Set,
+                 const VMProgram &P) {
+    std::map<std::string, int> NameUses;
+    // Count distinct entry addresses per opcode name to decide whether
+    // to number replicas (A1, A2) or keep plain names (B, GOTO).
+    std::map<std::string, std::vector<Addr>> AddrsPerName;
+    for (uint32_t I = 0; I < P.size(); ++I) {
+      const std::string &Name = Set.info(P.Code[I].Op).Name;
+      Addr E = Layout.piece(I).EntryAddr;
+      auto &List = AddrsPerName[Name];
+      bool Known = false;
+      for (Addr Have : List)
+        Known |= Have == E;
+      if (!Known)
+        List.push_back(E);
+    }
+    for (auto &[Name, Addrs] : AddrsPerName) {
+      bool Numbered = Addrs.size() > 1;
+      for (size_t K = 0; K < Addrs.size(); ++K) {
+        std::string Label =
+            Numbered ? Name + std::to_string(K + 1) : Name;
+        EntryNames[Addrs[K]] = Label;
+      }
+    }
+    for (uint32_t I = 0; I < P.size(); ++I) {
+      const Piece &Pc = Layout.piece(I);
+      if (Pc.BranchSite == 0)
+        continue;
+      auto It = BranchNames.find(Pc.BranchSite);
+      if (It == BranchNames.end())
+        BranchNames[Pc.BranchSite] =
+            SharedSite(Layout, P) && Pc.BranchSite == SharedAddr(Layout, P)
+                ? "br-switch"
+                : "br-" + entryName(Pc.EntryAddr);
+    }
+  }
+
+  std::string entryName(Addr A) const {
+    auto It = EntryNames.find(A);
+    return It == EntryNames.end() ? format("0x%llx",
+                                           (unsigned long long)A)
+                                  : It->second;
+  }
+  std::string branchName(Addr A) const {
+    auto It = BranchNames.find(A);
+    return It == BranchNames.end() ? format("0x%llx",
+                                            (unsigned long long)A)
+                                   : It->second;
+  }
+
+private:
+  static bool SharedSite(const DispatchProgram &L, const VMProgram &P) {
+    return L.config().Kind == DispatchStrategy::Switch;
+  }
+  static Addr SharedAddr(const DispatchProgram &L, const VMProgram &P) {
+    return L.piece(0).BranchSite;
+  }
+
+  std::map<Addr, std::string> EntryNames;
+  std::map<Addr, std::string> BranchNames;
+};
+
+/// Runs \p Warmup + \p Shown iterations of a loop program and renders
+/// the per-dispatch trace of the shown iterations in the Table I-IV
+/// format.
+inline std::string traceLoop(const ToyLoopVM &VM, const VMProgram &P,
+                             const StrategyConfig &Config,
+                             const StaticResources *Static,
+                             uint32_t Warmup, uint32_t Shown) {
+  auto Layout = DispatchBuilder::build(P, VM.Set, Config, Static);
+  LoopSymbolizer Sym(*Layout, VM.Set, P);
+  CpuConfig Cpu = makePentium4Northwood();
+  DispatchSim Sim(*Layout, Cpu);
+
+  VM.run(P, Sim, Warmup);
+
+  TextTable T({"#", "instr", "BTB entry", "prediction", "actual",
+               "outcome"});
+  uint32_t Row = 1;
+  Sim.Trace = [&](const DispatchSim::TraceEvent &E) {
+    if (!E.Dispatched)
+      return;
+    std::string Pred = E.Predicted == NoPrediction
+                           ? "(empty)"
+                           : Sym.entryName(E.Predicted);
+    T.addRow({std::to_string(Row++),
+              Sym.entryName(Layout->piece(E.Cur).EntryAddr),
+              Sym.branchName(E.Site), Pred, Sym.entryName(E.Target),
+              E.Mispredicted ? "MISPREDICT" : "correct"});
+  };
+  uint64_t MissBefore = Sim.counters().Mispredictions;
+  VM.run(P, Sim, Shown);
+  uint64_t Misses = Sim.counters().Mispredictions - MissBefore;
+
+  return T.render() +
+         format("\nmispredictions in %u shown iteration(s): %llu\n", Shown,
+                (unsigned long long)Misses);
+}
+
+} // namespace bench
+} // namespace vmib
+
+#endif // VMIB_BENCH_BENCHUTIL_H

@@ -1,0 +1,50 @@
+//===- bench/ablation_btb_sweep.cpp - §6 hardware-configuration sweep -----===//
+///
+/// The paper used its simulator "to get results for various hardware
+/// configurations (especially varying BTB and cache sizes)" (§6). This
+/// bench sweeps BTB capacity for three representative variants on
+/// bench-gc: plain (whose working set of dispatch branches is the
+/// opcode set), static repl (≈400 extra branch sites — the sweep shows
+/// where they stop fitting), and dynamic both (one site per block
+/// instance — the hungriest).
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/ForthLab.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace vmib;
+
+int main() {
+  std::printf("=== Ablation: BTB capacity sweep (§6 simulator study) "
+              "===\n\n");
+  ForthLab Lab;
+  CpuConfig Cpu = makePentium4Northwood();
+
+  TextTable T({"BTB entries", "plain", "static repl", "dynamic both"});
+  for (uint32_t Entries : {64u, 128u, 256u, 512u, 1024u, 4096u, 16384u}) {
+    std::vector<std::string> Row = {std::to_string(Entries)};
+    for (DispatchStrategy Kind :
+         {DispatchStrategy::Threaded, DispatchStrategy::StaticRepl,
+          DispatchStrategy::DynamicBoth}) {
+      BTBConfig C;
+      C.Entries = Entries;
+      C.Ways = 4;
+      PerfCounters R =
+          Lab.runWithPredictor("bench-gc", makeVariant(Kind), Cpu,
+                               std::make_unique<BTB>(C));
+      Row.push_back(format("%.1f%%", 100 * R.mispredictRate()));
+    }
+    T.addRow(Row);
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf(
+      "Expected shape: plain saturates early (few branch sites); the\n"
+      "replicated variants keep improving with capacity until every\n"
+      "copy has its own entry — the Celeron's 512-entry BTB is exactly\n"
+      "where static repl's 400 additional sites start to conflict.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===- bench/ablation_predictors.cpp - §8 predictor comparison ------------===//
+///
+/// Compares indirect branch predictors on plain threaded code (§3, §8):
+/// the BTB, the BTB with two-bit counters (slightly better), a
+/// two-level history predictor (Pentium M style; predicts most
+/// interpreter branches), and Kaeli & Emma's case block table under
+/// switch dispatch (near-perfect for switch).
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/ForthLab.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "uarch/CaseBlockTable.h"
+#include "uarch/TwoLevelPredictor.h"
+
+#include <cstdio>
+
+using namespace vmib;
+
+int main() {
+  std::printf("=== Ablation: indirect branch predictors (§3, §8) ===\n\n");
+  ForthLab Lab;
+  CpuConfig Cpu = makePentium4Northwood();
+
+  TextTable T({"benchmark", "btb (threaded)", "btb-2bit (threaded)",
+               "two-level (threaded)", "btb (switch)",
+               "case-block (switch)"});
+
+  for (const ForthBenchmark &B : forthSuite()) {
+    VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
+    VariantSpec Switch = makeVariant(DispatchStrategy::Switch);
+
+    auto rate = [&](const VariantSpec &V,
+                    std::unique_ptr<IndirectBranchPredictor> P) {
+      PerfCounters C = Lab.runWithPredictor(B.Name, V, Cpu, std::move(P));
+      return format("%.1f%%", 100.0 * C.mispredictRate());
+    };
+
+    BTBConfig TwoBit = Cpu.Btb;
+    TwoBit.TwoBitCounters = true;
+    TwoLevelConfig TL;
+
+    T.addRow({B.Name,
+              rate(Threaded, std::make_unique<BTB>(Cpu.Btb)),
+              rate(Threaded, std::make_unique<BTB>(TwoBit)),
+              rate(Threaded, std::make_unique<TwoLevelPredictor>(TL)),
+              rate(Switch, std::make_unique<BTB>(Cpu.Btb)),
+              rate(Switch, std::make_unique<CaseBlockTable>(4096))});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf(
+      "Paper: BTBs mispredict 50-63%% of threaded dispatches and 81-98%%\n"
+      "of switch dispatches; two-bit counters help slightly; two-level\n"
+      "predictors fix most of it in hardware (§8); the case block table\n"
+      "is near-perfect for switch dispatch.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- bench/real_dispatch_bench.cpp - §2/§3 on real hardware -------------===//
+///
+/// Measures the genuine cost of interpreter dispatch on the host CPU
+/// with google-benchmark: switch dispatch vs threaded code
+/// (labels-as-values) vs threaded code with static superinstructions,
+/// over loop bodies of varying size (working-set pressure on the
+/// host's indirect branch predictor).
+///
+/// On 2003 BTB hardware the paper measured threaded >> switch; modern
+/// two-level predictors (anticipated in §8) narrow the misprediction
+/// gap, but the instruction-count savings of superinstructions remain
+/// visible.
+///
+//===----------------------------------------------------------------------===//
+
+#include "realdispatch/RealDispatch.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace vmib::realdispatch;
+
+namespace {
+
+constexpr uint64_t IterationsPerRun = 64;
+
+void BM_SwitchDispatch(benchmark::State &State) {
+  RealProgram P = makeRealWorkload(
+      static_cast<uint32_t>(State.range(0)), 42);
+  int64_t Result = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Result = runSwitchInterp(P, IterationsPerRun));
+  State.SetItemsProcessed(State.iterations() * IterationsPerRun *
+                          P.BodyOps);
+  State.counters["result"] = static_cast<double>(Result & 0xffff);
+}
+
+void BM_ThreadedDispatch(benchmark::State &State) {
+  RealProgram P = makeRealWorkload(
+      static_cast<uint32_t>(State.range(0)), 42);
+  int64_t Result = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Result =
+                                 runThreadedInterp(P, IterationsPerRun));
+  State.SetItemsProcessed(State.iterations() * IterationsPerRun *
+                          P.BodyOps);
+  State.counters["result"] = static_cast<double>(Result & 0xffff);
+}
+
+void BM_SuperDispatch(benchmark::State &State) {
+  RealProgram P = makeRealWorkload(
+      static_cast<uint32_t>(State.range(0)), 42);
+  int64_t Result = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Result = runSuperInterp(P, IterationsPerRun));
+  State.SetItemsProcessed(State.iterations() * IterationsPerRun *
+                          P.BodyOps);
+  State.counters["result"] = static_cast<double>(Result & 0xffff);
+}
+
+} // namespace
+
+BENCHMARK(BM_SwitchDispatch)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_ThreadedDispatch)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_SuperDispatch)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+BENCHMARK_MAIN();

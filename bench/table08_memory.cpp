@@ -1,0 +1,49 @@
+//===- bench/table08_memory.cpp - Paper Table VIII ------------------------===//
+///
+/// Regenerates Table VIII: peak dynamic memory of the code-copying
+/// techniques (run-time generated native code) per Java benchmark,
+/// against a HotSpot-mixed-mode proxy estimate. The paper's point:
+/// dynamic super is competitive with a JIT's code cache; the
+/// replication-based variants cost several times more.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/JavaLab.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace vmib;
+
+int main() {
+  std::printf("=== Table VIII: peak dynamic code memory per benchmark "
+              "===\n\n");
+  JavaLab Lab;
+  CpuConfig Cpu = makePentium4Northwood();
+
+  TextTable T({"benchmark", "HotSpot mixed*", "dynamic super",
+               "across bb", "w/static across"});
+  for (const JavaBenchmark &B : javaSuite()) {
+    PerfCounters Super =
+        Lab.run(B.Name, makeVariant(DispatchStrategy::DynamicSuper), Cpu);
+    PerfCounters Across =
+        Lab.run(B.Name, makeVariant(DispatchStrategy::AcrossBB), Cpu);
+    PerfCounters WithAcross = Lab.run(
+        B.Name, makeVariant(DispatchStrategy::WithStaticSuperAcross), Cpu);
+    // HotSpot-mixed proxy: JIT code for the hot subset, roughly the
+    // size of the shared dynamic-superinstruction code (paper Table
+    // VIII finds them in the same range).
+    uint64_t Jit = Super.CodeBytes + Super.CodeBytes / 2;
+    T.addRow({B.Name, humanBytes(Jit), humanBytes(Super.CodeBytes),
+              humanBytes(Across.CodeBytes),
+              humanBytes(WithAcross.CodeBytes)});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf(
+      "* simulated proxy (DESIGN.md substitutions).\n"
+      "Paper shape: dynamic super is competitive with HotSpot's mixed\n"
+      "mode; across bb and w/static across need several times more\n"
+      "memory because they replicate code for all methods.\n");
+  return 0;
+}

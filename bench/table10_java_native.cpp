@@ -1,0 +1,66 @@
+//===- bench/table10_java_native.cpp - Paper Table X ----------------------===//
+///
+/// Regenerates Table X: speedups over plain of w/static super across,
+/// the Kaffe JIT, the HotSpot interpreter and HotSpot mixed mode
+/// (simulated proxies; DESIGN.md) for the Java suite.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Baselines.h"
+#include "harness/JavaLab.h"
+#include "support/Format.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace vmib;
+
+int main() {
+  std::printf("=== Table X: JVM speedups over plain vs native-code "
+              "systems ===\n\n");
+  JavaLab Lab;
+  CpuConfig Cpu = makePentium4Northwood();
+
+  TextTable T({"benchmark", "w/static across", "Kaffe JIT*",
+               "HotSpot interp*", "HotSpot mixed*"});
+  std::vector<double> Ours, Kaffe, HsInt, HsMix;
+  for (const JavaBenchmark &B : javaSuite()) {
+    PerfCounters Plain =
+        Lab.run(B.Name, makeVariant(DispatchStrategy::Threaded), Cpu);
+    PerfCounters Across = Lab.run(
+        B.Name, makeVariant(DispatchStrategy::WithStaticSuperAcross), Cpu);
+    uint64_t Overhead = Lab.runtimeOverhead(B.Name, Cpu);
+    PerfCounters Interp = Plain;
+    Interp.Cycles -= Overhead;
+    auto Proxy = [&](const BaselineModel &M) {
+      return baselineCycles(Interp, Cpu, M) +
+             static_cast<uint64_t>(M.RuntimeFactor *
+                                   static_cast<double>(Overhead));
+    };
+    double SOurs = double(Plain.Cycles) / double(Across.Cycles);
+    double SKaffe = double(Plain.Cycles) / double(Proxy(kaffeJitProxy()));
+    double SHsInt =
+        double(Plain.Cycles) / double(Proxy(hotspotInterpreterProxy()));
+    double SHsMix =
+        double(Plain.Cycles) / double(Proxy(hotspotMixedProxy()));
+    Ours.push_back(SOurs);
+    Kaffe.push_back(SKaffe);
+    HsInt.push_back(SHsInt);
+    HsMix.push_back(SHsMix);
+    T.addRow({B.Name, formatDouble(SOurs, 2), formatDouble(SKaffe, 2),
+              formatDouble(SHsInt, 2), formatDouble(SHsMix, 2)});
+  }
+  T.addRule();
+  T.addRow({"average", formatDouble(mean(Ours), 2),
+            formatDouble(mean(Kaffe), 2), formatDouble(mean(HsInt), 2),
+            formatDouble(mean(HsMix), 2)});
+  std::printf("%s\n", T.render().c_str());
+  std::printf(
+      "* simulated comparator proxies (DESIGN.md substitutions).\n"
+      "Paper: w/static across averages 1.67x, Kaffe JIT 4.26x, HotSpot\n"
+      "interpreter 1.16x, HotSpot mixed 9.50x — the optimized\n"
+      "interpreter beats HotSpot's interpreter and is not orders of\n"
+      "magnitude from the JITs.\n");
+  return 0;
+}

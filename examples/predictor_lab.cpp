@@ -1,0 +1,71 @@
+//===- examples/predictor_lab.cpp - BTB geometry exploration --------------===//
+///
+/// Sweeps BTB sizes and predictor kinds over one Forth benchmark under
+/// plain threaded code, showing how prediction accuracy depends on the
+/// working set of dispatch branches — the effect the paper's software
+/// techniques manipulate (§2.2, §3, §8).
+///
+///   predictor_lab [--bench=tscp]
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/ForthLab.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "uarch/TwoLevelPredictor.h"
+
+#include <cstdio>
+
+using namespace vmib;
+
+int main(int Argc, char **Argv) {
+  OptionParser Opts(Argc, Argv);
+  std::string Bench = Opts.get("bench", "tscp");
+
+  ForthLab Lab;
+  CpuConfig Cpu = makePentium4Northwood();
+
+  std::printf("predictor lab: %s, plain threaded dispatch\n\n",
+              Bench.c_str());
+
+  TextTable T({"predictor", "mispredict rate", "mispredictions"});
+  for (uint32_t Entries : {64u, 256u, 1024u, 4096u}) {
+    BTBConfig C;
+    C.Entries = Entries;
+    C.Ways = 4;
+    PerfCounters R = Lab.runWithPredictor(
+        Bench, makeVariant(DispatchStrategy::Threaded), Cpu,
+        std::make_unique<BTB>(C));
+    T.addRow({format("BTB %u-entry", Entries),
+              format("%.1f%%", 100 * R.mispredictRate()),
+              withThousands(R.Mispredictions)});
+  }
+  {
+    BTBConfig C;
+    C.Entries = 4096;
+    C.Ways = 4;
+    C.TwoBitCounters = true;
+    PerfCounters R = Lab.runWithPredictor(
+        Bench, makeVariant(DispatchStrategy::Threaded), Cpu,
+        std::make_unique<BTB>(C));
+    T.addRow({"BTB 4096 + 2-bit counters",
+              format("%.1f%%", 100 * R.mispredictRate()),
+              withThousands(R.Mispredictions)});
+  }
+  for (uint32_t History : {1u, 2u, 4u, 8u}) {
+    TwoLevelConfig C;
+    C.HistoryLength = History;
+    PerfCounters R = Lab.runWithPredictor(
+        Bench, makeVariant(DispatchStrategy::Threaded), Cpu,
+        std::make_unique<TwoLevelPredictor>(C));
+    T.addRow({format("two-level, history %u", History),
+              format("%.1f%%", 100 * R.mispredictRate()),
+              withThousands(R.Mispredictions)});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Longer history fixes what the BTB cannot (§8); the\n"
+              "paper's replication achieves the same effect in software\n"
+              "on a plain BTB.\n");
+  return 0;
+}

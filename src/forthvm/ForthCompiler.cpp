@@ -1,0 +1,471 @@
+//===- forthvm/ForthCompiler.cpp ------------------------------------------===//
+
+#include "forthvm/ForthCompiler.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace vmib;
+using forth::Op;
+
+namespace {
+
+/// One dictionary entry.
+struct DictEntry {
+  enum KindTy { Primitive, Colon, Variable, Constant } Kind;
+  int64_t Value = 0; // opcode / entry index / address / value
+};
+
+/// Open control-flow construct.
+struct CtrlEntry {
+  enum KindTy { If, Else, Begin, While, Do } Kind;
+  uint32_t Pos = 0;       // instruction to patch / loop start
+  uint32_t AuxPos = 0;    // While: the ?branch to patch
+  std::vector<uint32_t> LeaveSites; // Do: forward branches from LEAVE
+};
+
+class Compiler {
+public:
+  Compiler(const std::string &Source, const std::string &Name)
+      : Source(Source) {
+    Unit.Program.Name = Name;
+  }
+
+  ForthUnit run();
+
+private:
+  // --- tokenization ---
+  bool nextToken(std::string &Tok);
+  static std::string lowered(std::string S) {
+    for (char &C : S)
+      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    return S;
+  }
+
+  // --- emission ---
+  std::vector<VMInstr> &buf() { return InDef ? Unit.Program.Code : MainBuf; }
+  uint32_t here() { return static_cast<uint32_t>(buf().size()); }
+  void emit(Op O, int64_t A = 0) { buf().push_back({O, A, 0}); }
+  void flushPending() {
+    if (!Pending)
+      return;
+    emit(Op::LIT, *Pending);
+    Pending.reset();
+  }
+  bool takePending(int64_t &Out, const char *What) {
+    if (!Pending) {
+      error(format("%s requires a literal value", What));
+      return false;
+    }
+    Out = *Pending;
+    Pending.reset();
+    return true;
+  }
+
+  void error(const std::string &Msg) {
+    if (Unit.Error.empty())
+      Unit.Error = format("line %u: ", Line) + Msg;
+  }
+
+  bool handleToken(const std::string &Tok);
+  bool handleControl(const std::string &Tok);
+  bool defineWord(const char *What, DictEntry Entry);
+  bool readName(std::string &Name, const char *What);
+  void finishProgram();
+
+  const std::string &Source;
+  size_t Cursor = 0;
+  uint32_t Line = 1;
+
+  ForthUnit Unit;
+  std::vector<VMInstr> MainBuf;
+  std::map<std::string, DictEntry> Dict;
+  std::vector<CtrlEntry> Ctrl;
+  std::optional<int64_t> Pending;
+  bool InDef = false;
+  uint32_t CurrentEntry = 0;
+  uint32_t DataHere = 16; // cell 0..15 reserved (null-address guard)
+};
+
+bool Compiler::nextToken(std::string &Tok) {
+  while (Cursor < Source.size() &&
+         std::isspace(static_cast<unsigned char>(Source[Cursor]))) {
+    if (Source[Cursor] == '\n')
+      ++Line;
+    ++Cursor;
+  }
+  if (Cursor >= Source.size())
+    return false;
+  size_t Start = Cursor;
+  while (Cursor < Source.size() &&
+         !std::isspace(static_cast<unsigned char>(Source[Cursor])))
+    ++Cursor;
+  Tok = Source.substr(Start, Cursor - Start);
+  return true;
+}
+
+bool Compiler::readName(std::string &Name, const char *What) {
+  if (!nextToken(Name)) {
+    error(format("%s: missing name", What));
+    return false;
+  }
+  Name = lowered(Name);
+  return true;
+}
+
+bool Compiler::defineWord(const char *What, DictEntry Entry) {
+  std::string Name;
+  if (!readName(Name, What))
+    return false;
+  Dict[Name] = Entry;
+  return true;
+}
+
+bool Compiler::handleControl(const std::string &Tok) {
+  auto patchTo = [&](uint32_t Pos, uint32_t Target) {
+    buf()[Pos].A = Target;
+  };
+
+  if (Tok == "if") {
+    flushPending();
+    Ctrl.push_back({CtrlEntry::If, here(), 0, {}});
+    emit(Op::QBRANCH, 0);
+    return true;
+  }
+  if (Tok == "else") {
+    if (Ctrl.empty() || Ctrl.back().Kind != CtrlEntry::If) {
+      error("else without if");
+      return true;
+    }
+    flushPending();
+    uint32_t IfPos = Ctrl.back().Pos;
+    Ctrl.back() = {CtrlEntry::Else, here(), 0, {}};
+    emit(Op::BRANCH, 0);
+    patchTo(IfPos, here());
+    return true;
+  }
+  if (Tok == "then") {
+    if (Ctrl.empty() ||
+        (Ctrl.back().Kind != CtrlEntry::If &&
+         Ctrl.back().Kind != CtrlEntry::Else)) {
+      error("then without if");
+      return true;
+    }
+    flushPending();
+    patchTo(Ctrl.back().Pos, here());
+    Ctrl.pop_back();
+    return true;
+  }
+  if (Tok == "begin") {
+    flushPending();
+    Ctrl.push_back({CtrlEntry::Begin, here(), 0, {}});
+    return true;
+  }
+  if (Tok == "until") {
+    if (Ctrl.empty() || Ctrl.back().Kind != CtrlEntry::Begin) {
+      error("until without begin");
+      return true;
+    }
+    flushPending();
+    emit(Op::QBRANCH, Ctrl.back().Pos);
+    Ctrl.pop_back();
+    return true;
+  }
+  if (Tok == "again") {
+    if (Ctrl.empty() || Ctrl.back().Kind != CtrlEntry::Begin) {
+      error("again without begin");
+      return true;
+    }
+    flushPending();
+    emit(Op::BRANCH, Ctrl.back().Pos);
+    Ctrl.pop_back();
+    return true;
+  }
+  if (Tok == "while") {
+    if (Ctrl.empty() || Ctrl.back().Kind != CtrlEntry::Begin) {
+      error("while without begin");
+      return true;
+    }
+    flushPending();
+    Ctrl.push_back({CtrlEntry::While, here(), 0, {}});
+    emit(Op::QBRANCH, 0);
+    return true;
+  }
+  if (Tok == "repeat") {
+    if (Ctrl.size() < 2 || Ctrl.back().Kind != CtrlEntry::While) {
+      error("repeat without while");
+      return true;
+    }
+    flushPending();
+    uint32_t WhilePos = Ctrl.back().Pos;
+    Ctrl.pop_back();
+    emit(Op::BRANCH, Ctrl.back().Pos); // back to begin
+    Ctrl.pop_back();
+    patchTo(WhilePos, here());
+    return true;
+  }
+  if (Tok == "do") {
+    flushPending();
+    emit(Op::DODO);
+    Ctrl.push_back({CtrlEntry::Do, here(), 0, {}});
+    return true;
+  }
+  if (Tok == "loop" || Tok == "+loop") {
+    if (Ctrl.empty() || Ctrl.back().Kind != CtrlEntry::Do) {
+      error("loop without do");
+      return true;
+    }
+    flushPending();
+    emit(Tok == "loop" ? Op::DOLOOP : Op::DOPLOOP, Ctrl.back().Pos);
+    for (uint32_t Site : Ctrl.back().LeaveSites)
+      patchTo(Site, here());
+    Ctrl.pop_back();
+    return true;
+  }
+  if (Tok == "leave") {
+    flushPending();
+    // Find the innermost DO.
+    for (auto It = Ctrl.rbegin(); It != Ctrl.rend(); ++It) {
+      if (It->Kind != CtrlEntry::Do)
+        continue;
+      emit(Op::UNLOOP);
+      It->LeaveSites.push_back(here());
+      emit(Op::BRANCH, 0);
+      return true;
+    }
+    error("leave outside do");
+    return true;
+  }
+  return false;
+}
+
+bool Compiler::handleToken(const std::string &Tok) {
+  // Comments.
+  if (Tok == "\\") {
+    while (Cursor < Source.size() && Source[Cursor] != '\n')
+      ++Cursor;
+    return true;
+  }
+  if (Tok == "(") {
+    while (Cursor < Source.size() && Source[Cursor] != ')') {
+      if (Source[Cursor] == '\n')
+        ++Line;
+      ++Cursor;
+    }
+    if (Cursor < Source.size())
+      ++Cursor; // consume ')'
+    return true;
+  }
+
+  // Numbers become pending literals (so CONSTANT/ALLOT/, can consume
+  // them at compile time).
+  {
+    const char *Str = Tok.c_str();
+    char *End = nullptr;
+    long long Value = std::strtoll(Str, &End, 0);
+    if (End != Str && *End == '\0') {
+      flushPending();
+      Pending = Value;
+      return true;
+    }
+  }
+
+  if (Tok == "char") {
+    std::string Name;
+    if (!nextToken(Name)) {
+      error("char: missing character");
+      return true;
+    }
+    flushPending();
+    Pending = static_cast<int64_t>(Name[0]);
+    return true;
+  }
+
+  // Defining words.
+  if (Tok == ":") {
+    if (InDef) {
+      error("nested colon definition");
+      return true;
+    }
+    flushPending();
+    InDef = true;
+    CurrentEntry = static_cast<uint32_t>(Unit.Program.Code.size());
+    Unit.Program.FunctionEntries.push_back(CurrentEntry);
+    if (!defineWord(":", {DictEntry::Colon, CurrentEntry}))
+      return true;
+    return true;
+  }
+  if (Tok == ";") {
+    if (!InDef) {
+      error("; outside definition");
+      return true;
+    }
+    flushPending();
+    if (!Ctrl.empty()) {
+      error("unclosed control structure in definition");
+      return true;
+    }
+    emit(Op::EXIT);
+    InDef = false;
+    return true;
+  }
+  if (Tok == "recurse") {
+    if (!InDef) {
+      error("recurse outside definition");
+      return true;
+    }
+    flushPending();
+    emit(Op::CALL, CurrentEntry);
+    return true;
+  }
+  if (Tok == "exit") {
+    flushPending();
+    emit(Op::EXIT);
+    return true;
+  }
+  if (Tok == "variable") {
+    flushPending();
+    defineWord("variable", {DictEntry::Variable, DataHere});
+    DataHere += 1;
+    return true;
+  }
+  if (Tok == "create") {
+    flushPending();
+    defineWord("create", {DictEntry::Variable, DataHere});
+    return true;
+  }
+  if (Tok == "constant") {
+    int64_t Value;
+    if (!takePending(Value, "constant"))
+      return true;
+    defineWord("constant", {DictEntry::Constant, Value});
+    return true;
+  }
+  if (Tok == "allot") {
+    int64_t Count;
+    if (!takePending(Count, "allot"))
+      return true;
+    if (Count < 0) {
+      error("negative allot");
+      return true;
+    }
+    DataHere += static_cast<uint32_t>(Count);
+    return true;
+  }
+  if (Tok == ",") {
+    int64_t Value;
+    if (!takePending(Value, ","))
+      return true;
+    if (Unit.DataInit.size() <= DataHere)
+      Unit.DataInit.resize(DataHere + 1, 0);
+    Unit.DataInit[DataHere] = Value;
+    DataHere += 1;
+    return true;
+  }
+  if (Tok == "cells") {
+    // Data space is cell-addressed: CELLS is identity. Keep a pending
+    // literal pending so "create x 10 cells allot" works.
+    if (Pending)
+      return true;
+    emit(Op::CELLS);
+    return true;
+  }
+  if (Tok == "'" || Tok == "[']") {
+    std::string Name;
+    if (!readName(Name, "tick"))
+      return true;
+    auto It = Dict.find(Name);
+    if (It == Dict.end() || It->second.Kind != DictEntry::Colon) {
+      error(format("tick: '%s' is not a colon definition", Name.c_str()));
+      return true;
+    }
+    flushPending();
+    Pending = It->second.Value; // execution token
+    return true;
+  }
+
+  if (handleControl(Tok))
+    return true;
+
+  // Dictionary lookup.
+  auto It = Dict.find(Tok);
+  if (It == Dict.end()) {
+    error(format("unknown word '%s'", Tok.c_str()));
+    return true;
+  }
+  switch (It->second.Kind) {
+  case DictEntry::Primitive:
+    flushPending();
+    emit(static_cast<Op>(It->second.Value));
+    break;
+  case DictEntry::Colon:
+    flushPending();
+    emit(Op::CALL, It->second.Value);
+    break;
+  case DictEntry::Variable:
+    flushPending();
+    emit(Op::LIT, It->second.Value);
+    break;
+  case DictEntry::Constant:
+    flushPending();
+    Pending = It->second.Value;
+    break;
+  }
+  return true;
+}
+
+void Compiler::finishProgram() {
+  flushPending();
+  if (InDef) {
+    error("unterminated colon definition");
+    return;
+  }
+  if (!Ctrl.empty()) {
+    error("unclosed control structure");
+    return;
+  }
+  // Append MAIN: relocate its local branch targets.
+  uint32_t Base = static_cast<uint32_t>(Unit.Program.Code.size());
+  for (VMInstr &I : MainBuf) {
+    Op O = static_cast<Op>(I.Op);
+    if (O == Op::BRANCH || O == Op::QBRANCH || O == Op::DOLOOP ||
+        O == Op::DOPLOOP)
+      I.A += Base;
+    Unit.Program.Code.push_back(I);
+  }
+  Unit.Program.Code.push_back({Op::HALT, 0, 0});
+  Unit.Program.Entry = Base;
+  Unit.Program.FunctionEntries.push_back(Base);
+  Unit.Here = DataHere;
+}
+
+ForthUnit Compiler::run() {
+  // Register every primitive under its Forth name.
+  const OpcodeSet &Set = forth::opcodeSet();
+  for (Opcode OpId = 0; OpId < Set.size(); ++OpId)
+    Dict[Set.info(OpId).Name] = {DictEntry::Primitive, OpId};
+  // Convenience constants.
+  Dict["bl"] = {DictEntry::Constant, 32};
+  Dict["true"] = {DictEntry::Constant, -1};
+  Dict["false"] = {DictEntry::Constant, 0};
+  Dict["cell"] = {DictEntry::Constant, 1};
+
+  std::string Tok;
+  while (Unit.Error.empty() && nextToken(Tok))
+    handleToken(lowered(Tok));
+  if (Unit.Error.empty())
+    finishProgram();
+  return std::move(Unit);
+}
+
+} // namespace
+
+ForthUnit vmib::compileForth(const std::string &Source,
+                             const std::string &Name) {
+  Compiler C(Source, Name);
+  return C.run();
+}

@@ -1,0 +1,33 @@
+//===- forthvm/ForthCompiler.h - Forth front-end compiler -------*- C++ -*-===//
+///
+/// \file
+/// A front-end compiler for a practical Forth subset, producing flat VM
+/// code for the Forth VM. This is the "front-end that compiles the
+/// program into an intermediate representation" of §2.1.
+///
+/// Supported words: colon definitions (: ... ; with RECURSE and EXIT),
+/// IF/ELSE/THEN, BEGIN/UNTIL/AGAIN/WHILE/REPEAT, DO/LOOP/+LOOP/I/J/
+/// UNLOOP/LEAVE, VARIABLE, CONSTANT (literal value), CREATE/ALLOT/','
+/// (data-space compilation of literal values), tick (' and [']) for
+/// EXECUTE, plus all primitives from ForthOps.def. Comments: \ and
+/// ( ... ). Top-level code is collected into an implicit MAIN that runs
+/// after all definitions and ends with HALT.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_FORTHVM_FORTHCOMPILER_H
+#define VMIB_FORTHVM_FORTHCOMPILER_H
+
+#include "forthvm/ForthVM.h"
+
+#include <string>
+
+namespace vmib {
+
+/// Compiles \p Source into a ForthUnit named \p Name. On error, the
+/// returned unit's Error field is set and the program must not be run.
+ForthUnit compileForth(const std::string &Source, const std::string &Name);
+
+} // namespace vmib
+
+#endif // VMIB_FORTHVM_FORTHCOMPILER_H

@@ -1,0 +1,28 @@
+//===- forthvm/ForthOpcodes.cpp -------------------------------------------===//
+
+#include "forthvm/ForthOpcodes.h"
+
+using namespace vmib;
+
+static OpcodeSet buildForthOpcodeSet() {
+  OpcodeSet Set;
+#define FORTH_OP(EnumName, NameStr, WorkN, BytesN, BranchK, RelocB)           \
+  {                                                                           \
+    OpcodeInfo Info;                                                          \
+    Info.Name = NameStr;                                                      \
+    Info.WorkInstrs = WorkN;                                                  \
+    Info.BodyBytes = BytesN;                                                  \
+    Info.Branch = BranchKind::BranchK;                                        \
+    Info.Relocatable = RelocB;                                                \
+    [[maybe_unused]] Opcode Id = Set.add(std::move(Info));                    \
+    assert(Id == forth::EnumName && "enum and set out of sync");              \
+  }
+#include "forthvm/ForthOps.def"
+#undef FORTH_OP
+  return Set;
+}
+
+const OpcodeSet &vmib::forth::opcodeSet() {
+  static const OpcodeSet Set = buildForthOpcodeSet();
+  return Set;
+}

@@ -1,0 +1,31 @@
+//===- forthvm/ForthOpcodes.h - Forth opcode enum and set -------*- C++ -*-===//
+///
+/// \file
+/// The Forth VM's opcode enumeration (generated from ForthOps.def) and
+/// its OpcodeSet instance for the dispatch machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_FORTHVM_FORTHOPCODES_H
+#define VMIB_FORTHVM_FORTHOPCODES_H
+
+#include "vmcore/OpcodeSet.h"
+
+namespace vmib {
+namespace forth {
+
+/// Forth VM opcodes; values are dense and match the OpcodeSet ids.
+enum Op : Opcode {
+#define FORTH_OP(Enum, Name, Work, Bytes, Branch, Reloc) Enum,
+#include "forthvm/ForthOps.def"
+#undef FORTH_OP
+  OpCount
+};
+
+/// The Forth instruction set (lazily constructed, immutable thereafter).
+const OpcodeSet &opcodeSet();
+
+} // namespace forth
+} // namespace vmib
+
+#endif // VMIB_FORTHVM_FORTHOPCODES_H

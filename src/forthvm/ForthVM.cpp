@@ -1,0 +1,399 @@
+//===- forthvm/ForthVM.cpp ------------------------------------------------===//
+
+#include "forthvm/ForthVM.h"
+
+#include "support/Format.h"
+#include "support/Random.h"
+
+using namespace vmib;
+using forth::Op;
+
+ForthVM::ForthVM(uint32_t MemCells, uint64_t RandSeed)
+    : MemCells(MemCells), RandSeed(RandSeed) {}
+
+namespace {
+
+/// FNV-1a, the output checksum.
+inline uint64_t hashMix(uint64_t Hash, uint64_t Value) {
+  Hash ^= Value;
+  return Hash * 1099511628211ULL;
+}
+
+} // namespace
+
+ForthVM::Result ForthVM::run(const ForthUnit &Unit, DispatchSim *Sim,
+                             uint64_t MaxSteps,
+                             std::vector<uint64_t> *ExecCounts) {
+  Result Res;
+  if (!Unit.ok()) {
+    Res.Error = "unit has compile error: " + Unit.Error;
+    return Res;
+  }
+  const std::vector<VMInstr> &Code = Unit.Program.Code;
+  const uint32_t CodeSize = static_cast<uint32_t>(Code.size());
+
+  std::vector<int64_t> Stack(8192);
+  std::vector<int64_t> RStack(8192);
+  std::vector<int64_t> Mem(MemCells, 0);
+  for (size_t I = 0; I < Unit.DataInit.size() && I < Mem.size(); ++I)
+    Mem[I] = Unit.DataInit[I];
+
+  if (ExecCounts)
+    ExecCounts->assign(CodeSize, 0);
+
+  size_t Sp = 0; // data stack depth
+  size_t Rp = 0; // return stack depth
+  uint64_t Hash = 14695981039346656037ULL;
+  Xoroshiro128 Rng(RandSeed);
+  uint32_t Ip = Unit.Program.Entry;
+
+  auto fail = [&](const std::string &Msg) {
+    Res.Error = format("at %u: ", Ip) + Msg;
+  };
+
+  // Bounds helpers; the stacks are generously sized, so these trip only
+  // on genuinely broken programs.
+  auto needS = [&](size_t N) { return Sp >= N; };
+  auto needR = [&](size_t N) { return Rp >= N; };
+
+  while (Res.Steps < MaxSteps) {
+    if (Ip >= CodeSize) {
+      fail("instruction pointer out of range");
+      break;
+    }
+    const VMInstr &I = Code[Ip];
+    uint32_t Next = Ip + 1;
+    bool Halt = false;
+
+    switch (static_cast<Op>(I.Op)) {
+    case Op::LIT:
+      Stack[Sp++] = I.A;
+      break;
+    case Op::DUP:
+      if (!needS(1)) { fail("dup underflow"); goto done; }
+      Stack[Sp] = Stack[Sp - 1];
+      ++Sp;
+      break;
+    case Op::DROP:
+      if (!needS(1)) { fail("drop underflow"); goto done; }
+      --Sp;
+      break;
+    case Op::SWAP:
+      if (!needS(2)) { fail("swap underflow"); goto done; }
+      std::swap(Stack[Sp - 1], Stack[Sp - 2]);
+      break;
+    case Op::OVER:
+      if (!needS(2)) { fail("over underflow"); goto done; }
+      Stack[Sp] = Stack[Sp - 2];
+      ++Sp;
+      break;
+    case Op::ROT: {
+      if (!needS(3)) { fail("rot underflow"); goto done; }
+      int64_t A = Stack[Sp - 3];
+      Stack[Sp - 3] = Stack[Sp - 2];
+      Stack[Sp - 2] = Stack[Sp - 1];
+      Stack[Sp - 1] = A;
+      break;
+    }
+    case Op::NIP:
+      if (!needS(2)) { fail("nip underflow"); goto done; }
+      Stack[Sp - 2] = Stack[Sp - 1];
+      --Sp;
+      break;
+    case Op::TUCK:
+      if (!needS(2)) { fail("tuck underflow"); goto done; }
+      Stack[Sp] = Stack[Sp - 1];
+      Stack[Sp - 1] = Stack[Sp - 2];
+      Stack[Sp - 2] = Stack[Sp];
+      ++Sp;
+      break;
+    case Op::PICK: {
+      if (!needS(1)) { fail("pick underflow"); goto done; }
+      int64_t N = Stack[Sp - 1];
+      if (N < 0 || static_cast<size_t>(N) + 1 >= Sp) {
+        fail("pick out of range");
+        goto done;
+      }
+      Stack[Sp - 1] = Stack[Sp - 2 - N];
+      break;
+    }
+    case Op::TWODUP:
+      if (!needS(2)) { fail("2dup underflow"); goto done; }
+      Stack[Sp] = Stack[Sp - 2];
+      Stack[Sp + 1] = Stack[Sp - 1];
+      Sp += 2;
+      break;
+    case Op::TWODROP:
+      if (!needS(2)) { fail("2drop underflow"); goto done; }
+      Sp -= 2;
+      break;
+    case Op::QDUP:
+      if (!needS(1)) { fail("?dup underflow"); goto done; }
+      if (Stack[Sp - 1] != 0) {
+        Stack[Sp] = Stack[Sp - 1];
+        ++Sp;
+      }
+      break;
+    case Op::DEPTH:
+      Stack[Sp] = static_cast<int64_t>(Sp);
+      ++Sp;
+      break;
+
+#define BINOP(OPNAME, EXPR)                                                   \
+  case Op::OPNAME: {                                                          \
+    if (!needS(2)) { fail("arith underflow"); goto done; }                    \
+    int64_t B = Stack[Sp - 1], A = Stack[Sp - 2];                             \
+    (void)A; (void)B;                                                         \
+    Stack[Sp - 2] = (EXPR);                                                   \
+    --Sp;                                                                     \
+    break;                                                                    \
+  }
+    BINOP(ADD, A + B)
+    BINOP(SUB, A - B)
+    BINOP(MUL, A * B)
+    BINOP(AND, A & B)
+    BINOP(OR, A | B)
+    BINOP(XOR, A ^ B)
+    BINOP(LSHIFT, B >= 64 ? 0 : static_cast<int64_t>(
+                                    static_cast<uint64_t>(A) << B))
+    BINOP(RSHIFT, B >= 64 ? 0 : static_cast<int64_t>(
+                                    static_cast<uint64_t>(A) >> B))
+    BINOP(EQ, A == B ? -1 : 0)
+    BINOP(NE, A != B ? -1 : 0)
+    BINOP(LT, A < B ? -1 : 0)
+    BINOP(GT, A > B ? -1 : 0)
+    BINOP(LE, A <= B ? -1 : 0)
+    BINOP(GE, A >= B ? -1 : 0)
+    BINOP(ULT, static_cast<uint64_t>(A) < static_cast<uint64_t>(B) ? -1 : 0)
+    BINOP(MIN, A < B ? A : B)
+    BINOP(MAX, A > B ? A : B)
+#undef BINOP
+
+    case Op::DIV: {
+      if (!needS(2)) { fail("/ underflow"); goto done; }
+      int64_t B = Stack[Sp - 1];
+      if (B == 0) { fail("division by zero"); goto done; }
+      Stack[Sp - 2] = Stack[Sp - 2] / B;
+      --Sp;
+      break;
+    }
+    case Op::MOD: {
+      if (!needS(2)) { fail("mod underflow"); goto done; }
+      int64_t B = Stack[Sp - 1];
+      if (B == 0) { fail("mod by zero"); goto done; }
+      Stack[Sp - 2] = Stack[Sp - 2] % B;
+      --Sp;
+      break;
+    }
+    case Op::ONEPLUS:
+      if (!needS(1)) { fail("1+ underflow"); goto done; }
+      ++Stack[Sp - 1];
+      break;
+    case Op::ONEMINUS:
+      if (!needS(1)) { fail("1- underflow"); goto done; }
+      --Stack[Sp - 1];
+      break;
+    case Op::TWOSTAR:
+      if (!needS(1)) { fail("2* underflow"); goto done; }
+      Stack[Sp - 1] <<= 1;
+      break;
+    case Op::TWOSLASH:
+      if (!needS(1)) { fail("2/ underflow"); goto done; }
+      Stack[Sp - 1] >>= 1;
+      break;
+    case Op::NEGATE:
+      if (!needS(1)) { fail("negate underflow"); goto done; }
+      Stack[Sp - 1] = -Stack[Sp - 1];
+      break;
+    case Op::ABS:
+      if (!needS(1)) { fail("abs underflow"); goto done; }
+      if (Stack[Sp - 1] < 0)
+        Stack[Sp - 1] = -Stack[Sp - 1];
+      break;
+    case Op::INVERT:
+      if (!needS(1)) { fail("invert underflow"); goto done; }
+      Stack[Sp - 1] = ~Stack[Sp - 1];
+      break;
+    case Op::ZEQ:
+      if (!needS(1)) { fail("0= underflow"); goto done; }
+      Stack[Sp - 1] = Stack[Sp - 1] == 0 ? -1 : 0;
+      break;
+    case Op::ZLT:
+      if (!needS(1)) { fail("0< underflow"); goto done; }
+      Stack[Sp - 1] = Stack[Sp - 1] < 0 ? -1 : 0;
+      break;
+    case Op::ZGT:
+      if (!needS(1)) { fail("0> underflow"); goto done; }
+      Stack[Sp - 1] = Stack[Sp - 1] > 0 ? -1 : 0;
+      break;
+
+    case Op::FETCH:
+    case Op::CFETCH: {
+      if (!needS(1)) { fail("@ underflow"); goto done; }
+      int64_t A = Stack[Sp - 1];
+      if (A < 0 || static_cast<uint64_t>(A) >= Mem.size()) {
+        fail(format("@ address %lld out of range",
+                    static_cast<long long>(A)));
+        goto done;
+      }
+      Stack[Sp - 1] = Mem[A];
+      break;
+    }
+    case Op::STORE:
+    case Op::CSTORE: {
+      if (!needS(2)) { fail("! underflow"); goto done; }
+      int64_t A = Stack[Sp - 1], V = Stack[Sp - 2];
+      if (A < 0 || static_cast<uint64_t>(A) >= Mem.size()) {
+        fail(format("! address %lld out of range",
+                    static_cast<long long>(A)));
+        goto done;
+      }
+      Mem[A] = V;
+      Sp -= 2;
+      break;
+    }
+    case Op::PLUSSTORE: {
+      if (!needS(2)) { fail("+! underflow"); goto done; }
+      int64_t A = Stack[Sp - 1], V = Stack[Sp - 2];
+      if (A < 0 || static_cast<uint64_t>(A) >= Mem.size()) {
+        fail("+! address out of range");
+        goto done;
+      }
+      Mem[A] += V;
+      Sp -= 2;
+      break;
+    }
+    case Op::CELLS:
+      // Data space is cell-addressed in this VM, so CELLS is identity.
+      if (!needS(1)) { fail("cells underflow"); goto done; }
+      break;
+
+    case Op::TOR:
+      if (!needS(1)) { fail(">r underflow"); goto done; }
+      RStack[Rp++] = Stack[--Sp];
+      break;
+    case Op::RFROM:
+      if (!needR(1)) { fail("r> underflow"); goto done; }
+      Stack[Sp++] = RStack[--Rp];
+      break;
+    case Op::RFETCH:
+      if (!needR(1)) { fail("r@ underflow"); goto done; }
+      Stack[Sp++] = RStack[Rp - 1];
+      break;
+
+    case Op::BRANCH:
+      Next = static_cast<uint32_t>(I.A);
+      break;
+    case Op::QBRANCH:
+      if (!needS(1)) { fail("?branch underflow"); goto done; }
+      if (Stack[--Sp] == 0)
+        Next = static_cast<uint32_t>(I.A);
+      break;
+    case Op::CALL:
+      RStack[Rp++] = Ip + 1;
+      Next = static_cast<uint32_t>(I.A);
+      break;
+    case Op::EXIT:
+      if (!needR(1)) { fail("exit with empty return stack"); goto done; }
+      Next = static_cast<uint32_t>(RStack[--Rp]);
+      break;
+    case Op::EXECUTE: {
+      if (!needS(1)) { fail("execute underflow"); goto done; }
+      int64_t Xt = Stack[--Sp];
+      if (Xt < 0 || static_cast<uint64_t>(Xt) >= CodeSize) {
+        fail("execute target out of range");
+        goto done;
+      }
+      RStack[Rp++] = Ip + 1;
+      Next = static_cast<uint32_t>(Xt);
+      break;
+    }
+    case Op::DODO:
+      // ( limit start -- ) R: ( -- limit index )
+      if (!needS(2)) { fail("do underflow"); goto done; }
+      RStack[Rp] = Stack[Sp - 2];
+      RStack[Rp + 1] = Stack[Sp - 1];
+      Rp += 2;
+      Sp -= 2;
+      break;
+    case Op::DOLOOP: {
+      if (!needR(2)) { fail("loop without do"); goto done; }
+      int64_t Index = RStack[Rp - 1] + 1;
+      if (Index < RStack[Rp - 2]) {
+        RStack[Rp - 1] = Index;
+        Next = static_cast<uint32_t>(I.A); // taken: back to loop body
+      } else {
+        Rp -= 2; // fall through, loop done
+      }
+      break;
+    }
+    case Op::DOPLOOP: {
+      if (!needS(1) || !needR(2)) { fail("+loop misuse"); goto done; }
+      int64_t Stride = Stack[--Sp];
+      int64_t Index = RStack[Rp - 1] + Stride;
+      bool Continue = Stride >= 0 ? Index < RStack[Rp - 2]
+                                  : Index > RStack[Rp - 2];
+      if (Continue) {
+        RStack[Rp - 1] = Index;
+        Next = static_cast<uint32_t>(I.A);
+      } else {
+        Rp -= 2;
+      }
+      break;
+    }
+    case Op::RI:
+      if (!needR(1)) { fail("i outside loop"); goto done; }
+      Stack[Sp++] = RStack[Rp - 1];
+      break;
+    case Op::RJ:
+      if (!needR(3)) { fail("j outside nested loop"); goto done; }
+      Stack[Sp++] = RStack[Rp - 3];
+      break;
+    case Op::UNLOOP:
+      if (!needR(2)) { fail("unloop without do"); goto done; }
+      Rp -= 2;
+      break;
+
+    case Op::EMIT:
+      if (!needS(1)) { fail("emit underflow"); goto done; }
+      Hash = hashMix(Hash, static_cast<uint64_t>(Stack[--Sp]) + 0x100);
+      break;
+    case Op::DOT:
+      if (!needS(1)) { fail(". underflow"); goto done; }
+      Hash = hashMix(Hash, static_cast<uint64_t>(Stack[--Sp]));
+      break;
+    case Op::RAND:
+      Stack[Sp++] = static_cast<int64_t>(Rng.next() >> 33);
+      break;
+
+    case Op::HALT:
+      Halt = true;
+      break;
+    default:
+      fail("unknown opcode");
+      goto done;
+    }
+
+    if (Sp + 4 >= Stack.size() || Rp + 4 >= RStack.size()) {
+      fail("stack overflow");
+      break;
+    }
+
+    ++Res.Steps;
+    if (ExecCounts)
+      ++(*ExecCounts)[Ip];
+    if (Sim)
+      Sim->step(Ip, Halt ? DispatchSim::HaltNext : Next);
+    if (Halt) {
+      Res.Halted = true;
+      break;
+    }
+    Ip = Next;
+  }
+
+done:
+  if (Sp > 0)
+    Res.Top = Stack[Sp - 1];
+  Res.OutputHash = Hash;
+  return Res;
+}

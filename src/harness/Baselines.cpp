@@ -1,0 +1,55 @@
+//===- harness/Baselines.cpp ----------------------------------------------===//
+
+#include "harness/Baselines.h"
+
+#include "vmcore/CostModel.h"
+
+using namespace vmib;
+
+uint64_t vmib::baselineCycles(const PerfCounters &Plain,
+                              const CpuConfig &Cpu,
+                              const BaselineModel &Model) {
+  uint64_t DispatchInstrs =
+      Plain.DispatchCount * cost::ThreadedDispatchInstrs;
+  uint64_t WorkInstrs = Plain.Instructions > DispatchInstrs
+                            ? Plain.Instructions - DispatchInstrs
+                            : 0;
+  double Instrs = static_cast<double>(WorkInstrs) * Model.WorkFactor +
+                  static_cast<double>(DispatchInstrs) * Model.DispatchFactor;
+  double Mispredicts =
+      static_cast<double>(Plain.Mispredictions) * Model.MispredictFactor;
+  return static_cast<uint64_t>(Instrs * Cpu.BaseCPI +
+                               Mispredicts * Cpu.MispredictPenalty);
+}
+
+BaselineModel vmib::bigForthProxy() {
+  // A simple native-code compiler: decent codegen, no dispatch, mostly
+  // well-predicted direct branches.
+  return {"bigForth (simulated)", 0.55, 0.0, 0.10, 1.0};
+}
+
+BaselineModel vmib::iForthProxy() {
+  return {"iForth (simulated)", 0.75, 0.0, 0.10, 1.0};
+}
+
+BaselineModel vmib::kaffeJitProxy() {
+  // A template JIT: removes dispatch, modest code quality.
+  return {"Kaffe JIT (simulated)", 0.55, 0.0, 0.15, 0.45};
+}
+
+BaselineModel vmib::hotspotMixedProxy() {
+  // An optimizing JIT with profile-guided compilation.
+  return {"HotSpot mixed (simulated)", 0.15, 0.0, 0.05, 0.18};
+}
+
+BaselineModel vmib::hotspotInterpreterProxy() {
+  // A hand-tuned assembly threaded interpreter: same dispatch behaviour,
+  // leaner bodies than portable C.
+  return {"HotSpot interp (simulated)", 0.80, 1.0, 1.0, 0.55};
+}
+
+BaselineModel vmib::kaffeInterpreterProxy() {
+  // A naive switch-based C interpreter: bloated bodies, expensive switch
+  // dispatch, near-total mispredictions (§3).
+  return {"Kaffe interp (simulated)", 3.0, 3.0, 1.7, 1.6};
+}

@@ -1,0 +1,96 @@
+//===- harness/Figures.cpp ------------------------------------------------===//
+
+#include "harness/Figures.h"
+
+#include "support/Format.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <cassert>
+
+using namespace vmib;
+
+double SpeedupMatrix::speedup(const std::string &Benchmark,
+                              const std::string &Variant) const {
+  const auto &Row = Counters.at(Benchmark);
+  double Base = static_cast<double>(Row.at(Variants.front()).Cycles);
+  double This = static_cast<double>(Row.at(Variant).Cycles);
+  assert(This > 0 && "zero cycle count");
+  return Base / This;
+}
+
+std::string SpeedupMatrix::renderSpeedups(const std::string &Title) const {
+  std::vector<std::string> Header = {"benchmark"};
+  for (const std::string &V : Variants)
+    Header.push_back(V);
+  TextTable T(Header);
+
+  std::map<std::string, std::vector<double>> PerVariant;
+  for (const std::string &B : Benchmarks) {
+    std::vector<std::string> Row = {B};
+    for (const std::string &V : Variants) {
+      double S = speedup(B, V);
+      PerVariant[V].push_back(S);
+      Row.push_back(formatDouble(S, 2));
+    }
+    T.addRow(Row);
+  }
+  T.addRule();
+  std::vector<std::string> GeoRow = {"geomean"};
+  for (const std::string &V : Variants)
+    GeoRow.push_back(formatDouble(geomean(PerVariant[V]), 2));
+  T.addRow(GeoRow);
+
+  return Title + "\n(speedup over '" + Variants.front() + "')\n\n" +
+         T.render();
+}
+
+std::string
+SpeedupMatrix::renderCounterBars(const std::string &Title,
+                                 const std::string &Benchmark) const {
+  const auto &Row = Counters.at(Benchmark);
+  const PerfCounters &Base = Row.at(Variants.front());
+
+  TextTable T({"variant", "cycles", "instrs", "ind.branches",
+               "ind.mispred", "icache misses", "miss cycles",
+               "code bytes"});
+  auto norm = [](uint64_t Value, uint64_t BaseValue) {
+    if (BaseValue == 0)
+      return std::string(Value == 0 ? "0.00" : "inf");
+    return formatDouble(static_cast<double>(Value) /
+                            static_cast<double>(BaseValue),
+                        2);
+  };
+  // Code bytes are normalized against the largest variant (plain
+  // generates none).
+  uint64_t MaxCode = 1;
+  for (const std::string &V : Variants)
+    if (Row.at(V).CodeBytes > MaxCode)
+      MaxCode = Row.at(V).CodeBytes;
+
+  for (const std::string &V : Variants) {
+    const PerfCounters &C = Row.at(V);
+    T.addRow({V, norm(C.Cycles, Base.Cycles),
+              norm(C.Instructions, Base.Instructions),
+              norm(C.IndirectBranches, Base.IndirectBranches),
+              norm(C.Mispredictions, Base.IndirectBranches),
+              norm(C.ICacheMisses, Base.Cycles / 1000 + 1),
+              norm(C.MissCycles, Base.Cycles),
+              norm(C.CodeBytes, MaxCode)});
+  }
+
+  std::string Raw;
+  Raw += format("\nraw counters for %s:\n", Benchmark.c_str());
+  TextTable R({"variant", "cycles", "instrs", "ind.branches",
+               "ind.mispred", "icache misses", "code bytes"});
+  for (const std::string &V : Variants) {
+    const PerfCounters &C = Row.at(V);
+    R.addRow({V, withThousands(C.Cycles), withThousands(C.Instructions),
+              withThousands(C.IndirectBranches),
+              withThousands(C.Mispredictions),
+              withThousands(C.ICacheMisses), withThousands(C.CodeBytes)});
+  }
+  return Title + "\n(normalized to '" + Variants.front() + "'; mispredicts " +
+         "normalized to plain's indirect branches)\n\n" + T.render() + Raw +
+         R.render();
+}

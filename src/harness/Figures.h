@@ -1,0 +1,46 @@
+//===- harness/Figures.h - Figure/table rendering helpers -------*- C++ -*-===//
+///
+/// \file
+/// Renders the paper's figures as text: speedup matrices (Figs. 7-9),
+/// normalized performance-counter bars (Figs. 10-13), and the static
+/// replication/superinstruction mix sweeps (Figs. 14-16).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_HARNESS_FIGURES_H
+#define VMIB_HARNESS_FIGURES_H
+
+#include "harness/Variants.h"
+#include "uarch/PerfCounters.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vmib {
+
+/// Results of a variant x benchmark matrix.
+struct SpeedupMatrix {
+  std::vector<std::string> Benchmarks;              // rows
+  std::vector<std::string> Variants;                // columns
+  /// Cycles[benchmark][variant].
+  std::map<std::string, std::map<std::string, PerfCounters>> Counters;
+
+  /// Speedup of (benchmark, variant) over the first variant ("plain").
+  double speedup(const std::string &Benchmark,
+                 const std::string &Variant) const;
+
+  /// Renders the figure: rows = benchmarks, columns = variants, cells =
+  /// speedup factors over plain; final row = geometric mean.
+  std::string renderSpeedups(const std::string &Title) const;
+
+  /// Renders the Fig. 10-13 style counter breakdown for one benchmark:
+  /// one row per variant, columns = the seven §7.3 metrics, normalized
+  /// to plain.
+  std::string renderCounterBars(const std::string &Title,
+                                const std::string &Benchmark) const;
+};
+
+} // namespace vmib
+
+#endif // VMIB_HARNESS_FIGURES_H

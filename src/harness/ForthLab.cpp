@@ -1,0 +1,99 @@
+//===- harness/ForthLab.cpp -----------------------------------------------===//
+
+#include "harness/ForthLab.h"
+
+#include "support/Format.h"
+#include "vmcore/DispatchSim.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace vmib;
+
+ForthLab::ForthLab() {
+  for (const ForthBenchmark &B : forthSuite()) {
+    ForthUnit Unit = compileForth(B.Source, B.Name);
+    if (!Unit.ok()) {
+      std::fprintf(stderr, "fatal: benchmark %s: %s\n", B.Name.c_str(),
+                   Unit.Error.c_str());
+      std::abort();
+    }
+    ForthVM VM;
+    ForthVM::Result Ref = VM.run(Unit);
+    if (!Ref.ok()) {
+      std::fprintf(stderr, "fatal: benchmark %s reference run: %s\n",
+                   B.Name.c_str(), Ref.Error.c_str());
+      std::abort();
+    }
+    ReferenceHash[B.Name] = Ref.OutputHash;
+    Units.emplace(B.Name, std::move(Unit));
+  }
+}
+
+const ForthUnit &ForthLab::unit(const std::string &Benchmark) {
+  auto It = Units.find(Benchmark);
+  assert(It != Units.end() && "unknown benchmark");
+  return It->second;
+}
+
+const SequenceProfile &ForthLab::trainingProfile() {
+  if (!Training) {
+    const ForthUnit &Train = unit(forthTrainingBenchmark());
+    std::vector<uint64_t> Counts;
+    ForthVM VM;
+    ForthVM::Result R = VM.run(Train, nullptr, 1ull << 33, &Counts);
+    assert(R.ok() && "training run failed");
+    (void)R;
+    Training = std::make_unique<SequenceProfile>(
+        buildProfile(Train.Program, forth::opcodeSet(), Counts));
+  }
+  return *Training;
+}
+
+const StaticResources &ForthLab::resources(uint32_t SuperCount,
+                                           uint32_t ReplicaCount,
+                                           bool ReplicateSupers) {
+  std::string Key = format("%u/%u/%d", SuperCount, ReplicaCount,
+                           ReplicateSupers ? 1 : 0);
+  auto It = ResourceCache.find(Key);
+  if (It != ResourceCache.end())
+    return It->second;
+  StaticResources Res = selectStaticResources(
+      trainingProfile(), forth::opcodeSet(), SuperCount, ReplicaCount,
+      SuperWeighting::DynamicFrequency, ReplicateSupers);
+  return ResourceCache.emplace(Key, std::move(Res)).first->second;
+}
+
+PerfCounters ForthLab::run(const std::string &Benchmark,
+                           const VariantSpec &Variant,
+                           const CpuConfig &Cpu) {
+  return runWithPredictor(Benchmark, Variant, Cpu, nullptr);
+}
+
+PerfCounters ForthLab::runWithPredictor(
+    const std::string &Benchmark, const VariantSpec &Variant,
+    const CpuConfig &Cpu,
+    std::unique_ptr<IndirectBranchPredictor> Predictor) {
+  const ForthUnit &Unit = unit(Benchmark);
+  const StaticResources *Static = nullptr;
+  if (usesStaticSupers(Variant.Config.Kind) ||
+      usesReplicas(Variant.Config.Kind))
+    Static = &resources(Variant.SuperCount, Variant.ReplicaCount,
+                        Variant.ReplicateSupers);
+
+  auto Layout = DispatchBuilder::build(Unit.Program, forth::opcodeSet(),
+                                       Variant.Config, Static);
+  DispatchSim Sim(*Layout, Cpu);
+  if (Predictor)
+    Sim.setPredictor(std::move(Predictor));
+  ForthVM VM;
+  ForthVM::Result R = VM.run(Unit, &Sim);
+  Sim.finish();
+  if (!R.ok() || R.OutputHash != ReferenceHash[Benchmark]) {
+    std::fprintf(stderr, "fatal: %s under %s diverged (%s)\n",
+                 Benchmark.c_str(), Variant.Name.c_str(), R.Error.c_str());
+    std::abort();
+  }
+  return Sim.counters();
+}

@@ -1,0 +1,62 @@
+//===- harness/ForthLab.h - Forth experiment runner -------------*- C++ -*-===//
+///
+/// \file
+/// Runs Forth-suite benchmarks under interpreter variants and CPU
+/// models, producing the paper's counters. Handles the training step:
+/// static replicas and superinstructions are selected from a dynamic
+/// profile of the brainless benchmark (§7.1), with resources cached per
+/// (superCount, replicaCount) configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_HARNESS_FORTHLAB_H
+#define VMIB_HARNESS_FORTHLAB_H
+
+#include "harness/Variants.h"
+#include "uarch/CpuModel.h"
+#include "vmcore/DispatchBuilder.h"
+#include "workloads/ForthSuite.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace vmib {
+
+/// Cached compilation + training state for the Forth suite.
+class ForthLab {
+public:
+  ForthLab();
+
+  /// The compiled unit for a suite benchmark.
+  const ForthUnit &unit(const std::string &Benchmark);
+
+  /// The training profile (dynamic frequencies of brainless, §7.1).
+  const SequenceProfile &trainingProfile();
+
+  /// Static resources for a (supers, replicas) configuration; cached.
+  const StaticResources &resources(uint32_t SuperCount,
+                                   uint32_t ReplicaCount,
+                                   bool ReplicateSupers);
+
+  /// Runs \p Benchmark under \p Variant on \p Cpu; checks that the run
+  /// halts cleanly and matches the reference output hash.
+  PerfCounters run(const std::string &Benchmark, const VariantSpec &Variant,
+                   const CpuConfig &Cpu);
+
+  /// Same, with an externally supplied predictor (ablation bench).
+  PerfCounters
+  runWithPredictor(const std::string &Benchmark, const VariantSpec &Variant,
+                   const CpuConfig &Cpu,
+                   std::unique_ptr<IndirectBranchPredictor> Predictor);
+
+private:
+  std::map<std::string, ForthUnit> Units;
+  std::map<std::string, uint64_t> ReferenceHash;
+  std::unique_ptr<SequenceProfile> Training;
+  std::map<std::string, StaticResources> ResourceCache;
+};
+
+} // namespace vmib
+
+#endif // VMIB_HARNESS_FORTHLAB_H

@@ -1,0 +1,156 @@
+//===- harness/JavaLab.cpp ------------------------------------------------===//
+
+#include "harness/JavaLab.h"
+
+#include "support/Format.h"
+#include "vmcore/DispatchSim.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace vmib;
+
+JavaLab::JavaLab() {
+  for (const JavaBenchmark &B : javaSuite()) {
+    JavaProgram P = assembleJava(B.Source, B.Name);
+    if (!P.ok()) {
+      std::fprintf(stderr, "fatal: benchmark %s: %s\n", B.Name.c_str(),
+                   P.Error.c_str());
+      std::abort();
+    }
+    // Reference run on a scratch copy (quickening mutates it).
+    JavaProgram Copy = P;
+    JavaVM VM;
+    JavaVM::Result Ref = VM.run(Copy);
+    if (!Ref.ok()) {
+      std::fprintf(stderr, "fatal: benchmark %s reference run: %s\n",
+                   B.Name.c_str(), Ref.Error.c_str());
+      std::abort();
+    }
+    ReferenceHash[B.Name] = Ref.OutputHash;
+    Programs.emplace(B.Name, std::move(P));
+  }
+}
+
+const JavaProgram &JavaLab::program(const std::string &Benchmark) {
+  auto It = Programs.find(Benchmark);
+  assert(It != Programs.end() && "unknown benchmark");
+  return It->second;
+}
+
+const SequenceProfile &JavaLab::profileOf(const std::string &Benchmark) {
+  auto It = Profiles.find(Benchmark);
+  if (It != Profiles.end())
+    return It->second;
+  // Run once to quicken everything, then take the *static* profile of
+  // the post-quickening code: static selection must see quick forms
+  // (§5.4), and the JVM scheme counts static occurrences (§7.1).
+  JavaProgram Copy = program(Benchmark);
+  JavaVM VM;
+  JavaVM::Result R = VM.run(Copy);
+  assert(R.ok() && "profile run failed");
+  (void)R;
+  SequenceProfile Prof =
+      buildProfile(Copy.Program, java::opcodeSet(), /*ExecCounts=*/{});
+  return Profiles.emplace(Benchmark, std::move(Prof)).first->second;
+}
+
+const StaticResources &JavaLab::resources(const std::string &Benchmark,
+                                          uint32_t SuperCount,
+                                          uint32_t ReplicaCount) {
+  std::string Key =
+      Benchmark + format("/%u/%u", SuperCount, ReplicaCount);
+  auto It = ResourceCache.find(Key);
+  if (It != ResourceCache.end())
+    return It->second;
+  // Leave-one-out: merge the static profiles of every other benchmark.
+  SequenceProfile Merged;
+  for (const JavaBenchmark &B : javaSuite()) {
+    if (B.Name == Benchmark)
+      continue;
+    Merged.merge(profileOf(B.Name));
+  }
+  StaticResources Res = selectStaticResources(
+      Merged, java::opcodeSet(), SuperCount, ReplicaCount,
+      SuperWeighting::StaticShortBiased);
+  return ResourceCache.emplace(Key, std::move(Res)).first->second;
+}
+
+namespace {
+
+/// Fraction of plain-interpreter cycles each benchmark spends in the
+/// runtime system (§7.2.2), calibrated against SPECjvm98's published
+/// behaviour: compress/mpeg are compute-bound, jack/javac/mtrt spend
+/// most of their time in allocation, GC and string handling.
+double runtimeShareOf(const std::string &Benchmark) {
+  if (Benchmark == "compress")
+    return 0.15;
+  if (Benchmark == "mpeg")
+    return 0.30;
+  if (Benchmark == "jess")
+    return 1.20;
+  if (Benchmark == "db")
+    return 1.20;
+  if (Benchmark == "javac")
+    return 3.00;
+  if (Benchmark == "mtrt")
+    return 3.00;
+  if (Benchmark == "jack")
+    return 4.00;
+  return 1.0;
+}
+
+} // namespace
+
+uint64_t JavaLab::plainInterpCycles(const std::string &Benchmark,
+                                    const CpuConfig &Cpu) {
+  std::string Key = Benchmark + "@" + Cpu.Name;
+  auto It = PlainCycleCache.find(Key);
+  if (It != PlainCycleCache.end())
+    return It->second;
+  PerfCounters C =
+      runNoOverhead(Benchmark, makeVariant(DispatchStrategy::Threaded), Cpu);
+  PlainCycleCache[Key] = C.Cycles;
+  return C.Cycles;
+}
+
+uint64_t JavaLab::runtimeOverhead(const std::string &Benchmark,
+                                  const CpuConfig &Cpu) {
+  return static_cast<uint64_t>(runtimeShareOf(Benchmark) *
+                               static_cast<double>(
+                                   plainInterpCycles(Benchmark, Cpu)));
+}
+
+PerfCounters JavaLab::run(const std::string &Benchmark,
+                          const VariantSpec &Variant,
+                          const CpuConfig &Cpu) {
+  PerfCounters C = runNoOverhead(Benchmark, Variant, Cpu);
+  C.Cycles += runtimeOverhead(Benchmark, Cpu);
+  return C;
+}
+
+PerfCounters JavaLab::runNoOverhead(const std::string &Benchmark,
+                                    const VariantSpec &Variant,
+                                    const CpuConfig &Cpu) {
+  const StaticResources *Static = nullptr;
+  if (usesStaticSupers(Variant.Config.Kind) ||
+      usesReplicas(Variant.Config.Kind))
+    Static = &resources(Benchmark, Variant.SuperCount,
+                        Variant.ReplicaCount);
+
+  JavaProgram Copy = program(Benchmark);
+  auto Layout = DispatchBuilder::build(Copy.Program, java::opcodeSet(),
+                                       Variant.Config, Static);
+  DispatchSim Sim(*Layout, Cpu);
+  JavaVM VM;
+  JavaVM::Result R = VM.run(Copy, &Sim, Layout.get());
+  Sim.finish();
+  if (!R.ok() || R.OutputHash != ReferenceHash[Benchmark]) {
+    std::fprintf(stderr, "fatal: %s under %s diverged (%s)\n",
+                 Benchmark.c_str(), Variant.Name.c_str(),
+                 R.Error.c_str());
+    std::abort();
+  }
+  return Sim.counters();
+}

@@ -1,0 +1,81 @@
+//===- harness/JavaLab.h - Java experiment runner ---------------*- C++ -*-===//
+///
+/// \file
+/// Runs Java-suite benchmarks under interpreter variants and CPU
+/// models. Implements the paper's JVM selection scheme (§7.1): static
+/// superinstructions and replicas are selected *per benchmark* from the
+/// static profiles of all the *other* programs of the suite
+/// (leave-one-out), favouring shorter sequences. Quickening mutates the
+/// program, so every run works on a fresh copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_HARNESS_JAVALAB_H
+#define VMIB_HARNESS_JAVALAB_H
+
+#include "harness/Variants.h"
+#include "javavm/JavaVM.h"
+#include "uarch/CpuModel.h"
+#include "vmcore/DispatchBuilder.h"
+#include "workloads/JavaSuite.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace vmib {
+
+/// Cached assembly + selection state for the Java suite.
+class JavaLab {
+public:
+  JavaLab();
+
+  /// The pristine assembled program for a suite benchmark.
+  const JavaProgram &program(const std::string &Benchmark);
+
+  /// Leave-one-out static resources for \p Benchmark (§7.1); cached per
+  /// (benchmark, supers, replicas).
+  const StaticResources &resources(const std::string &Benchmark,
+                                   uint32_t SuperCount,
+                                   uint32_t ReplicaCount);
+
+  /// Runs \p Benchmark under \p Variant on \p Cpu; verifies the output
+  /// hash against the reference run. The returned cycle count includes
+  /// the benchmark's runtime-system overhead (see runtimeOverhead).
+  PerfCounters run(const std::string &Benchmark, const VariantSpec &Variant,
+                   const CpuConfig &Cpu);
+
+  /// Cycles the benchmark spends *outside* the interpreter (garbage
+  /// collection, allocation paths, verification — §7.2.2: "the Java VM
+  /// spends a considerable portion of its time outside the
+  /// interpreter"). Modelled as a per-benchmark fraction of the plain
+  /// interpreter's cycles, calibrated to SPECjvm98's known runtime
+  /// shares (jack/javac/mtrt runtime-bound, compress/mpeg loop-bound);
+  /// added identically to every variant, so it dampens — but never
+  /// reorders — the speedups, exactly as in the paper.
+  uint64_t runtimeOverhead(const std::string &Benchmark,
+                           const CpuConfig &Cpu);
+
+private:
+  /// Post-quickening static profile of one benchmark (the state static
+  /// selection sees: quick forms, §5.4).
+  const SequenceProfile &profileOf(const std::string &Benchmark);
+
+  /// Interpreter-only cycles of the plain variant (overhead basis).
+  uint64_t plainInterpCycles(const std::string &Benchmark,
+                             const CpuConfig &Cpu);
+
+  PerfCounters runNoOverhead(const std::string &Benchmark,
+                             const VariantSpec &Variant,
+                             const CpuConfig &Cpu);
+
+  std::map<std::string, JavaProgram> Programs;
+  std::map<std::string, uint64_t> ReferenceHash;
+  std::map<std::string, SequenceProfile> Profiles;
+  std::map<std::string, StaticResources> ResourceCache;
+  std::map<std::string, uint64_t> PlainCycleCache;
+};
+
+} // namespace vmib
+
+#endif // VMIB_HARNESS_JAVALAB_H

@@ -1,0 +1,62 @@
+//===- harness/Variants.cpp -----------------------------------------------===//
+
+#include "harness/Variants.h"
+
+using namespace vmib;
+
+VariantSpec vmib::makeVariant(DispatchStrategy Kind, uint32_t SuperCount,
+                              uint32_t ReplicaCount) {
+  VariantSpec Spec;
+  Spec.Name = strategyName(Kind);
+  Spec.Config.Kind = Kind;
+  switch (Kind) {
+  case DispatchStrategy::StaticRepl:
+    Spec.ReplicaCount = ReplicaCount;
+    break;
+  case DispatchStrategy::StaticSuper:
+  case DispatchStrategy::WithStaticSuper:
+  case DispatchStrategy::WithStaticSuperAcross:
+    Spec.SuperCount = SuperCount;
+    break;
+  case DispatchStrategy::StaticBoth:
+    // §7.1: 35 unique superinstructions, 365 replicas of instructions
+    // and superinstructions, for a total of 400.
+    Spec.SuperCount = 35;
+    Spec.ReplicaCount = 365;
+    Spec.ReplicateSupers = true;
+    break;
+  default:
+    break;
+  }
+  Spec.Config.SuperCount = Spec.SuperCount;
+  Spec.Config.ReplicaCount = Spec.ReplicaCount;
+  return Spec;
+}
+
+std::vector<VariantSpec> vmib::gforthVariants() {
+  return {
+      makeVariant(DispatchStrategy::Threaded),
+      makeVariant(DispatchStrategy::StaticRepl),
+      makeVariant(DispatchStrategy::StaticSuper),
+      makeVariant(DispatchStrategy::StaticBoth),
+      makeVariant(DispatchStrategy::DynamicRepl),
+      makeVariant(DispatchStrategy::DynamicSuper),
+      makeVariant(DispatchStrategy::DynamicBoth),
+      makeVariant(DispatchStrategy::AcrossBB),
+      makeVariant(DispatchStrategy::WithStaticSuper),
+  };
+}
+
+std::vector<VariantSpec> vmib::jvmVariants() {
+  return {
+      makeVariant(DispatchStrategy::Threaded),
+      makeVariant(DispatchStrategy::StaticRepl),
+      makeVariant(DispatchStrategy::StaticSuper),
+      makeVariant(DispatchStrategy::DynamicRepl),
+      makeVariant(DispatchStrategy::DynamicSuper),
+      makeVariant(DispatchStrategy::DynamicBoth),
+      makeVariant(DispatchStrategy::AcrossBB),
+      makeVariant(DispatchStrategy::WithStaticSuper),
+      makeVariant(DispatchStrategy::WithStaticSuperAcross),
+  };
+}

@@ -1,0 +1,500 @@
+//===- javavm/JavaAssembler.cpp - jasm assembler --------------------------===//
+///
+/// \file
+/// Assembles "jasm" text into a JavaProgram. Grammar (tokens separated
+/// by whitespace; "//" comments to end of line):
+///
+///   class NAME [extends SUPER]
+///     field (int|ref) NAME
+///     static (int|ref) NAME
+///     method NAME NARGS MAXLOCALS [returns] [virtual]
+///       label NAME
+///       iconst N | ldc N | aconst_null
+///       iload N | istore N | aload N | astore N | iinc N C
+///       iadd isub imul idiv irem ineg ishl ishr iushr iand ior ixor
+///       if_icmpXX L | ifXX L | ifnull L | ifnonnull L | goto L
+///       newarray | anewarray | iaload | iastore | aaload | aastore |
+///       arraylength
+///       new CLASS | getfield CLASS FIELD | putfield CLASS FIELD |
+///       getstatic CLASS NAME | putstatic CLASS NAME
+///       invokestatic CLASS METHOD | invokevirtual CLASS METHOD
+///       dup pop swap printi
+///       return | ireturn | areturn
+///     end
+///   end
+///
+/// The program entry is a synthetic bootstrap [invokestatic Main.main;
+/// halt]. Method and class references resolve lazily (quickening), so
+/// forward references are fine; superclasses must be defined before
+/// subclasses (field layout is inherited at assembly time).
+///
+//===----------------------------------------------------------------------===//
+
+#include "javavm/JavaProgram.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+using namespace vmib;
+using java::Op;
+
+namespace {
+
+class Assembler {
+public:
+  Assembler(const std::string &Source, const std::string &Name)
+      : Source(Source) {
+    Prog.Name = Name;
+  }
+
+  JavaProgram run();
+
+private:
+  bool next(std::string &Tok);
+  bool expect(std::string &Tok, const char *What);
+  int64_t number(const std::string &Tok, bool *Ok);
+  void error(const std::string &Msg) {
+    if (Prog.Error.empty())
+      Prog.Error = format("line %u: ", Line) + Msg;
+  }
+
+  uint32_t poolEntry(CPEntry E);
+  void parseClass();
+  void parseMethod(JavaClass &Cls, bool &SawVirtual);
+  void emit(Op O, int64_t A = 0, int64_t B = 0) {
+    Prog.Program.Code.push_back(
+        {static_cast<Opcode>(O), A, B});
+  }
+  void buildVtables();
+  void finish();
+
+  const std::string &Source;
+  size_t Cursor = 0;
+  uint32_t Line = 1;
+  JavaProgram Prog;
+  std::map<std::string, uint32_t> PoolIndex;
+};
+
+bool Assembler::next(std::string &Tok) {
+  for (;;) {
+    while (Cursor < Source.size() &&
+           std::isspace(static_cast<unsigned char>(Source[Cursor]))) {
+      if (Source[Cursor] == '\n')
+        ++Line;
+      ++Cursor;
+    }
+    if (Cursor + 1 < Source.size() && Source[Cursor] == '/' &&
+        Source[Cursor + 1] == '/') {
+      while (Cursor < Source.size() && Source[Cursor] != '\n')
+        ++Cursor;
+      continue;
+    }
+    break;
+  }
+  if (Cursor >= Source.size())
+    return false;
+  size_t Start = Cursor;
+  while (Cursor < Source.size() &&
+         !std::isspace(static_cast<unsigned char>(Source[Cursor])))
+    ++Cursor;
+  Tok = Source.substr(Start, Cursor - Start);
+  return true;
+}
+
+bool Assembler::expect(std::string &Tok, const char *What) {
+  if (next(Tok))
+    return true;
+  error(format("unexpected end of input, expected %s", What));
+  return false;
+}
+
+int64_t Assembler::number(const std::string &Tok, bool *Ok) {
+  const char *Str = Tok.c_str();
+  char *End = nullptr;
+  long long Value = std::strtoll(Str, &End, 0);
+  *Ok = End != Str && *End == '\0';
+  return Value;
+}
+
+uint32_t Assembler::poolEntry(CPEntry E) {
+  std::string Key = format("%d:", static_cast<int>(E.Kind)) + E.ClassName +
+                    ":" + E.MemberName + ":" + std::to_string(E.Value);
+  auto It = PoolIndex.find(Key);
+  if (It != PoolIndex.end())
+    return It->second;
+  uint32_t Index = static_cast<uint32_t>(Prog.Pool.size());
+  Prog.Pool.push_back(std::move(E));
+  PoolIndex[Key] = Index;
+  return Index;
+}
+
+void Assembler::parseMethod(JavaClass &Cls, bool &SawVirtual) {
+  std::string Name, Tok;
+  if (!expect(Name, "method name"))
+    return;
+  JavaMethod M;
+  M.Name = Name;
+  M.ClassName = Cls.Name;
+  bool Ok = false;
+  if (!expect(Tok, "nargs"))
+    return;
+  M.NumArgs = static_cast<uint32_t>(number(Tok, &Ok));
+  if (!Ok) {
+    error("method nargs must be a number");
+    return;
+  }
+  if (!expect(Tok, "maxlocals"))
+    return;
+  M.MaxLocals = static_cast<uint32_t>(number(Tok, &Ok));
+  if (!Ok) {
+    error("method maxlocals must be a number");
+    return;
+  }
+  M.Entry = static_cast<uint32_t>(Prog.Program.Code.size());
+  Prog.Program.FunctionEntries.push_back(M.Entry);
+
+  std::map<std::string, uint32_t> Labels;
+  struct Patch {
+    uint32_t At;
+    std::string Label;
+  };
+  std::vector<Patch> Patches;
+
+  auto branchTarget = [&](const std::string &L) {
+    Patches.push_back({static_cast<uint32_t>(Prog.Program.Code.size()), L});
+    return static_cast<int64_t>(0);
+  };
+
+  while (true) {
+    if (!expect(Tok, "instruction or end"))
+      return;
+    if (Tok == "end")
+      break;
+    if (Tok == "returns") {
+      M.ReturnsValue = true;
+      continue;
+    }
+    if (Tok == "virtual") {
+      M.IsStatic = false;
+      continue;
+    }
+    if (Tok == "label") {
+      std::string L;
+      if (!expect(L, "label name"))
+        return;
+      Labels[L] = static_cast<uint32_t>(Prog.Program.Code.size());
+      continue;
+    }
+
+    // Instructions with a numeric operand.
+    auto numOperand = [&](Op O) {
+      std::string NTok;
+      if (!expect(NTok, "numeric operand"))
+        return;
+      bool NumOk = false;
+      int64_t Value = number(NTok, &NumOk);
+      if (!NumOk) {
+        error(format("'%s' needs a numeric operand", Tok.c_str()));
+        return;
+      }
+      emit(O, Value);
+    };
+    // Instructions with a class+member operand.
+    auto refOperand = [&](Op O, CPEntry::KindTy Kind, bool HasMember) {
+      CPEntry E;
+      E.Kind = Kind;
+      if (!expect(E.ClassName, "class name"))
+        return;
+      if (HasMember && !expect(E.MemberName, "member name"))
+        return;
+      emit(O, poolEntry(std::move(E)));
+    };
+    auto labelOperand = [&](Op O) {
+      std::string L;
+      if (!expect(L, "branch label"))
+        return;
+      emit(O, branchTarget(L));
+      Patches.back().At = static_cast<uint32_t>(Prog.Program.Code.size()) - 1;
+      Patches.back().Label = L;
+    };
+
+    if (Tok == "iconst") {
+      numOperand(Op::ICONST);
+    } else if (Tok == "ldc") {
+      std::string NTok;
+      if (!expect(NTok, "constant"))
+        return;
+      bool NumOk = false;
+      int64_t Value = number(NTok, &NumOk);
+      if (!NumOk) {
+        error("ldc needs a numeric constant");
+        return;
+      }
+      CPEntry E;
+      E.Kind = CPEntry::IntConst;
+      E.Value = Value;
+      emit(Op::LDC, poolEntry(std::move(E)));
+    } else if (Tok == "aconst_null") {
+      emit(Op::ACONST_NULL);
+    } else if (Tok == "iload" || Tok == "aload" || Tok == "istore" ||
+               Tok == "astore") {
+      std::string NTok;
+      if (!expect(NTok, "local index"))
+        return;
+      bool NumOk = false;
+      int64_t N = number(NTok, &NumOk);
+      if (!NumOk || N < 0) {
+        error("bad local index");
+        return;
+      }
+      if (Tok == "iload") {
+        if (N <= 3)
+          emit(static_cast<Op>(Op::ILOAD0 + N));
+        else
+          emit(Op::ILOAD, N);
+      } else if (Tok == "istore") {
+        if (N <= 3)
+          emit(static_cast<Op>(Op::ISTORE0 + N));
+        else
+          emit(Op::ISTORE, N);
+      } else if (Tok == "aload") {
+        emit(Op::ALOAD, N);
+      } else {
+        emit(Op::ASTORE, N);
+      }
+    } else if (Tok == "iinc") {
+      std::string NTok, CTok;
+      if (!expect(NTok, "local index") || !expect(CTok, "increment"))
+        return;
+      bool Ok1 = false, Ok2 = false;
+      int64_t N = number(NTok, &Ok1), C = number(CTok, &Ok2);
+      if (!Ok1 || !Ok2) {
+        error("bad iinc operands");
+        return;
+      }
+      emit(Op::IINC, N, C);
+    }
+#define SIMPLE(NAME, OPC)                                                     \
+    else if (Tok == NAME) { emit(OPC); }
+    SIMPLE("iadd", Op::IADD)
+    SIMPLE("isub", Op::ISUB)
+    SIMPLE("imul", Op::IMUL)
+    SIMPLE("idiv", Op::IDIV)
+    SIMPLE("irem", Op::IREM)
+    SIMPLE("ineg", Op::INEG)
+    SIMPLE("ishl", Op::ISHL)
+    SIMPLE("ishr", Op::ISHR)
+    SIMPLE("iushr", Op::IUSHR)
+    SIMPLE("iand", Op::IAND)
+    SIMPLE("ior", Op::IOR)
+    SIMPLE("ixor", Op::IXOR)
+    SIMPLE("newarray", Op::NEWARRAY)
+    SIMPLE("anewarray", Op::ANEWARRAY)
+    SIMPLE("iaload", Op::IALOAD)
+    SIMPLE("iastore", Op::IASTORE)
+    SIMPLE("aaload", Op::AALOAD)
+    SIMPLE("aastore", Op::AASTORE)
+    SIMPLE("arraylength", Op::ARRAYLENGTH)
+    SIMPLE("dup", Op::DUP)
+    SIMPLE("pop", Op::POP)
+    SIMPLE("swap", Op::SWAP)
+    SIMPLE("printi", Op::PRINTI)
+    SIMPLE("return", Op::RETURN)
+    SIMPLE("ireturn", Op::IRETURN)
+    SIMPLE("areturn", Op::ARETURN)
+#undef SIMPLE
+#define BRANCH(NAME, OPC)                                                     \
+    else if (Tok == NAME) { labelOperand(OPC); }
+    BRANCH("if_icmpeq", Op::IF_ICMPEQ)
+    BRANCH("if_icmpne", Op::IF_ICMPNE)
+    BRANCH("if_icmplt", Op::IF_ICMPLT)
+    BRANCH("if_icmpge", Op::IF_ICMPGE)
+    BRANCH("if_icmpgt", Op::IF_ICMPGT)
+    BRANCH("if_icmple", Op::IF_ICMPLE)
+    BRANCH("ifeq", Op::IFEQ)
+    BRANCH("ifne", Op::IFNE)
+    BRANCH("iflt", Op::IFLT)
+    BRANCH("ifge", Op::IFGE)
+    BRANCH("ifgt", Op::IFGT)
+    BRANCH("ifle", Op::IFLE)
+    BRANCH("ifnull", Op::IFNULL)
+    BRANCH("ifnonnull", Op::IFNONNULL)
+    BRANCH("goto", Op::GOTO)
+#undef BRANCH
+    else if (Tok == "new") {
+      refOperand(Op::NEW, CPEntry::ClassRef, /*HasMember=*/false);
+    } else if (Tok == "getfield") {
+      refOperand(Op::GETFIELD, CPEntry::FieldRef, true);
+    } else if (Tok == "putfield") {
+      refOperand(Op::PUTFIELD, CPEntry::FieldRef, true);
+    } else if (Tok == "getstatic") {
+      refOperand(Op::GETSTATIC, CPEntry::StaticRef, true);
+    } else if (Tok == "putstatic") {
+      refOperand(Op::PUTSTATIC, CPEntry::StaticRef, true);
+    } else if (Tok == "invokestatic") {
+      refOperand(Op::INVOKESTATIC, CPEntry::StaticMethodRef, true);
+    } else if (Tok == "invokevirtual") {
+      refOperand(Op::INVOKEVIRTUAL, CPEntry::VirtualMethodRef, true);
+    } else {
+      error(format("unknown instruction '%s'", Tok.c_str()));
+      return;
+    }
+    if (!Prog.Error.empty())
+      return;
+  }
+
+  // Patch method-local branch targets.
+  for (const Patch &Pt : Patches) {
+    auto It = Labels.find(Pt.Label);
+    if (It == Labels.end()) {
+      error(format("undefined label '%s' in %s.%s", Pt.Label.c_str(),
+                   Cls.Name.c_str(), M.Name.c_str()));
+      return;
+    }
+    Prog.Program.Code[Pt.At].A = It->second;
+  }
+
+  if (!M.IsStatic)
+    SawVirtual = true;
+  Prog.Methods.push_back(std::move(M));
+}
+
+void Assembler::parseClass() {
+  JavaClass Cls;
+  std::string Tok;
+  if (!expect(Cls.Name, "class name"))
+    return;
+  // Peek for "extends".
+  size_t Save = Cursor;
+  uint32_t SaveLine = Line;
+  if (next(Tok) && Tok == "extends") {
+    std::string SuperName;
+    if (!expect(SuperName, "superclass name"))
+      return;
+    Cls.SuperId = Prog.classIdOf(SuperName);
+    if (Cls.SuperId < 0) {
+      error(format("superclass '%s' must be defined first",
+                   SuperName.c_str()));
+      return;
+    }
+    // Inherit instance field layout.
+    Cls.Fields = Prog.Classes[Cls.SuperId].Fields;
+  } else {
+    Cursor = Save;
+    Line = SaveLine;
+  }
+
+  bool SawVirtual = false;
+  while (true) {
+    if (!expect(Tok, "class member or end"))
+      return;
+    if (Tok == "end")
+      break;
+    if (Tok == "field" || Tok == "static") {
+      bool IsStatic = Tok == "static";
+      std::string Type, Name;
+      if (!expect(Type, "field type") || !expect(Name, "field name"))
+        return;
+      if (Type != "int" && Type != "ref") {
+        error("field type must be int or ref");
+        return;
+      }
+      JavaField F;
+      F.Name = Name;
+      F.IsRef = Type == "ref";
+      if (IsStatic) {
+        F.Offset = Prog.NumStatics++;
+        Cls.StaticFields.push_back(F);
+      } else {
+        F.Offset = static_cast<uint32_t>(Cls.Fields.size());
+        Cls.Fields.push_back(F);
+      }
+      continue;
+    }
+    if (Tok == "method") {
+      parseMethod(Cls, SawVirtual);
+      if (!Prog.Error.empty())
+        return;
+      continue;
+    }
+    error(format("unexpected token '%s' in class body", Tok.c_str()));
+    return;
+  }
+  Prog.Classes.push_back(std::move(Cls));
+}
+
+void Assembler::buildVtables() {
+  // Classes are ordered supers-first, so one pass suffices.
+  for (size_t Cid = 0; Cid < Prog.Classes.size(); ++Cid) {
+    JavaClass &Cls = Prog.Classes[Cid];
+    if (Cls.SuperId >= 0) {
+      Cls.Vtable = Prog.Classes[Cls.SuperId].Vtable;
+      Cls.SlotOfMethod = Prog.Classes[Cls.SuperId].SlotOfMethod;
+    }
+    for (uint32_t Mid = 0; Mid < Prog.Methods.size(); ++Mid) {
+      JavaMethod &M = Prog.Methods[Mid];
+      if (M.ClassName != Cls.Name || M.IsStatic)
+        continue;
+      auto It = Cls.SlotOfMethod.find(M.Name);
+      if (It != Cls.SlotOfMethod.end()) {
+        M.VtableSlot = It->second;
+        Cls.Vtable[It->second] = Mid; // override
+      } else {
+        M.VtableSlot = static_cast<uint32_t>(Cls.Vtable.size());
+        Cls.SlotOfMethod[M.Name] = M.VtableSlot;
+        Cls.Vtable.push_back(Mid);
+      }
+    }
+  }
+}
+
+void Assembler::finish() {
+  buildVtables();
+  for (uint32_t Mid = 0; Mid < Prog.Methods.size(); ++Mid)
+    Prog.MethodAtEntry[Prog.Methods[Mid].Entry] = Mid;
+
+  // Bootstrap: invokestatic main; halt.
+  const JavaMethod *Main = nullptr;
+  for (const JavaMethod &M : Prog.Methods)
+    if (M.Name == "main" && M.IsStatic)
+      Main = &M;
+  if (!Main) {
+    error("no static method 'main' found");
+    return;
+  }
+  CPEntry E;
+  E.Kind = CPEntry::StaticMethodRef;
+  E.ClassName = Main->ClassName;
+  E.MemberName = "main";
+  uint32_t Boot = static_cast<uint32_t>(Prog.Program.Code.size());
+  emit(Op::INVOKESTATIC, poolEntry(std::move(E)));
+  emit(Op::HALT);
+  Prog.Program.Entry = Boot;
+  Prog.Program.FunctionEntries.push_back(Boot);
+}
+
+JavaProgram Assembler::run() {
+  std::string Tok;
+  while (Prog.Error.empty() && next(Tok)) {
+    if (Tok == "class") {
+      parseClass();
+      continue;
+    }
+    error(format("expected 'class', found '%s'", Tok.c_str()));
+  }
+  if (Prog.Error.empty())
+    finish();
+  return std::move(Prog);
+}
+
+} // namespace
+
+JavaProgram vmib::assembleJava(const std::string &Source,
+                               const std::string &Name) {
+  Assembler A(Source, Name);
+  return A.run();
+}

@@ -1,0 +1,31 @@
+//===- javavm/JavaOpcodes.cpp ---------------------------------------------===//
+
+#include "javavm/JavaOpcodes.h"
+
+using namespace vmib;
+
+static OpcodeSet buildJavaOpcodeSet() {
+  OpcodeSet Set;
+#define JAVA_OP(EnumName, NameStr, WorkN, BytesN, BranchK, RelocB, QuickableB, \
+                QuickE)                                                        \
+  {                                                                            \
+    OpcodeInfo Info;                                                           \
+    Info.Name = NameStr;                                                       \
+    Info.WorkInstrs = WorkN;                                                   \
+    Info.BodyBytes = BytesN;                                                   \
+    Info.Branch = BranchKind::BranchK;                                         \
+    Info.Relocatable = RelocB;                                                 \
+    Info.Quickable = QuickableB;                                               \
+    Info.QuickForm = java::QuickE;                                             \
+    [[maybe_unused]] Opcode Id = Set.add(std::move(Info));                     \
+    assert(Id == java::EnumName && "enum and set out of sync");                \
+  }
+#include "javavm/JavaOps.def"
+#undef JAVA_OP
+  return Set;
+}
+
+const OpcodeSet &vmib::java::opcodeSet() {
+  static const OpcodeSet Set = buildJavaOpcodeSet();
+  return Set;
+}

@@ -1,0 +1,32 @@
+//===- javavm/JavaOpcodes.h - Java opcode enum and set ----------*- C++ -*-===//
+///
+/// \file
+/// The mini-JVM's opcode enumeration (generated from JavaOps.def) and
+/// its OpcodeSet instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_JAVAVM_JAVAOPCODES_H
+#define VMIB_JAVAVM_JAVAOPCODES_H
+
+#include "vmcore/OpcodeSet.h"
+
+namespace vmib {
+namespace java {
+
+/// Java VM opcodes; values match the OpcodeSet ids.
+enum Op : Opcode {
+#define JAVA_OP(Enum, Name, Work, Bytes, Branch, Reloc, Quickable, Quick)    \
+  Enum,
+#include "javavm/JavaOps.def"
+#undef JAVA_OP
+  OpCount
+};
+
+/// The Java instruction set (lazily constructed, immutable thereafter).
+const OpcodeSet &opcodeSet();
+
+} // namespace java
+} // namespace vmib
+
+#endif // VMIB_JAVAVM_JAVAOPCODES_H

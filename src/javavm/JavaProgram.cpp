@@ -1,0 +1,26 @@
+//===- javavm/JavaProgram.cpp ---------------------------------------------===//
+
+#include "javavm/JavaProgram.h"
+
+using namespace vmib;
+
+int32_t JavaProgram::classIdOf(const std::string &ClassName) const {
+  for (size_t I = 0; I < Classes.size(); ++I)
+    if (Classes[I].Name == ClassName)
+      return static_cast<int32_t>(I);
+  return -1;
+}
+
+const JavaMethod *
+JavaProgram::findMethod(const std::string &ClassName,
+                        const std::string &MethodName) const {
+  // Walk the class and its superclasses.
+  int32_t Cid = classIdOf(ClassName);
+  while (Cid >= 0) {
+    for (const JavaMethod &M : Methods)
+      if (M.ClassName == Classes[Cid].Name && M.Name == MethodName)
+        return &M;
+    Cid = Classes[Cid].SuperId;
+  }
+  return nullptr;
+}

@@ -1,0 +1,106 @@
+//===- javavm/JavaProgram.h - Class model and constant pool -----*- C++ -*-===//
+///
+/// \file
+/// The mini-JVM's program representation: classes with fields, single
+/// inheritance and vtables; methods flattened into one VMProgram; and a
+/// constant pool of symbolic references that quickable instructions
+/// resolve on first execution (§5.4). Quickening mutates the VM code,
+/// so experiments run on a fresh copy of the JavaProgram each time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_JAVAVM_JAVAPROGRAM_H
+#define VMIB_JAVAVM_JAVAPROGRAM_H
+
+#include "javavm/JavaOpcodes.h"
+#include "vmcore/VMProgram.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vmib {
+
+/// A field of a class (instance or static).
+struct JavaField {
+  std::string Name;
+  bool IsRef = false;
+  uint32_t Offset = 0; ///< instance: object slot; static: statics slot
+};
+
+/// A method; its code lives in the flat program at [Entry, ...).
+struct JavaMethod {
+  std::string Name;
+  std::string ClassName;
+  uint32_t NumArgs = 0;   ///< excluding the receiver
+  uint32_t MaxLocals = 1; ///< including receiver and args
+  bool ReturnsValue = false;
+  bool IsStatic = true;
+  uint32_t Entry = 0;       ///< code index of the first instruction
+  uint32_t VtableSlot = 0;  ///< for virtual methods
+};
+
+/// A class: fields, methods, single inheritance, a vtable of method
+/// entries.
+struct JavaClass {
+  std::string Name;
+  int32_t SuperId = -1;
+  std::vector<JavaField> Fields;        ///< instance fields (incl. inherited)
+  std::vector<JavaField> StaticFields;
+  /// Virtual method table: slot -> method id.
+  std::vector<uint32_t> Vtable;
+  /// Virtual method name -> slot (for resolution).
+  std::map<std::string, uint32_t> SlotOfMethod;
+};
+
+/// A symbolic constant-pool entry; Resolved* fields are filled by
+/// quickening.
+struct CPEntry {
+  enum KindTy {
+    IntConst,
+    FieldRef,
+    StaticRef,
+    ClassRef,
+    StaticMethodRef,
+    VirtualMethodRef,
+  } Kind = IntConst;
+  std::string ClassName;
+  std::string MemberName;
+  int64_t Value = 0; ///< IntConst payload
+
+  bool Resolved = false;
+  int64_t ResolvedA = 0; ///< offset / entry / slot / class id / value
+  bool ResolvedIsRef = false;
+  uint32_t ResolvedNumArgs = 0;
+  uint32_t ResolvedMaxLocals = 0;
+  bool ResolvedReturns = false;
+};
+
+/// A complete assembled program.
+struct JavaProgram {
+  std::string Name;
+  VMProgram Program; ///< all methods concatenated + bootstrap
+  std::vector<JavaClass> Classes;
+  std::vector<JavaMethod> Methods;
+  std::vector<CPEntry> Pool;
+  uint32_t NumStatics = 0;
+  /// Method id by method entry index (for frame setup on calls).
+  std::map<uint32_t, uint32_t> MethodAtEntry;
+  /// Nonempty if assembly failed.
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+  int32_t classIdOf(const std::string &Name) const;
+  const JavaMethod *findMethod(const std::string &ClassName,
+                               const std::string &MethodName) const;
+};
+
+/// Assembles "jasm" source text (see JavaAssembler.cpp for the grammar)
+/// into a JavaProgram. On failure the Error field is set.
+JavaProgram assembleJava(const std::string &Source,
+                         const std::string &Name);
+
+} // namespace vmib
+
+#endif // VMIB_JAVAVM_JAVAPROGRAM_H

@@ -1,0 +1,623 @@
+//===- javavm/JavaVM.cpp --------------------------------------------------===//
+
+#include "javavm/JavaVM.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace vmib;
+using java::Op;
+
+JavaVM::JavaVM(uint32_t HeapLimit) : HeapLimit(HeapLimit) {}
+
+namespace {
+
+inline uint64_t hashMix(uint64_t Hash, uint64_t Value) {
+  Hash ^= Value;
+  return Hash * 1099511628211ULL;
+}
+
+/// Heap cell: an object (ClassId >= 0) or an array (IntArray/RefArray).
+struct HeapCell {
+  static constexpr int32_t IntArray = -1;
+  static constexpr int32_t RefArray = -2;
+  int32_t ClassId = 0;
+  std::vector<int64_t> Data;
+};
+
+struct Frame {
+  uint32_t ReturnIp = 0;
+  uint32_t CallerBase = 0;
+};
+
+} // namespace
+
+JavaVM::Result JavaVM::run(JavaProgram &P, DispatchSim *Sim,
+                           DispatchProgram *Layout, uint64_t MaxSteps,
+                           std::vector<uint64_t> *ExecCounts) {
+  Result Res;
+  if (!P.ok()) {
+    Res.Error = "program has assembly error: " + P.Error;
+    return Res;
+  }
+  std::vector<VMInstr> &Code = P.Program.Code;
+  const uint32_t CodeSize = static_cast<uint32_t>(Code.size());
+
+  std::vector<int64_t> Stack(1 << 14);
+  std::vector<int64_t> Locals(1 << 16);
+  std::vector<Frame> Frames;
+  Frames.reserve(1024);
+  std::vector<HeapCell> Heap;
+  Heap.reserve(4096);
+  std::vector<int64_t> Statics(P.NumStatics, 0);
+
+  if (ExecCounts)
+    ExecCounts->assign(CodeSize, 0);
+
+  size_t Sp = 0;
+  uint32_t CurBase = 0;
+  uint32_t LocalsTop = 64; // bootstrap pseudo-frame
+  uint64_t Hash = 14695981039346656037ULL;
+  uint32_t Ip = P.Program.Entry;
+
+  auto fail = [&](const std::string &Msg) {
+    Res.Error = format("at %u: ", Ip) + Msg;
+  };
+
+  // Heap accessors. Handles are index+1; 0 is null.
+  auto cellOf = [&](int64_t Handle) -> HeapCell * {
+    if (Handle <= 0 || static_cast<size_t>(Handle) > Heap.size())
+      return nullptr;
+    return &Heap[static_cast<size_t>(Handle) - 1];
+  };
+  auto allocate = [&](int32_t ClassId, size_t Slots) -> int64_t {
+    if (Heap.size() >= HeapLimit)
+      return 0;
+    Heap.push_back(HeapCell{ClassId, std::vector<int64_t>(Slots, 0)});
+    return static_cast<int64_t>(Heap.size());
+  };
+
+  // Constant pool resolution (the expensive half of quickening).
+  auto resolve = [&](CPEntry &E) -> bool {
+    if (E.Resolved)
+      return true;
+    switch (E.Kind) {
+    case CPEntry::IntConst:
+      E.ResolvedA = E.Value;
+      break;
+    case CPEntry::FieldRef: {
+      int32_t Cid = P.classIdOf(E.ClassName);
+      if (Cid < 0)
+        return false;
+      const JavaField *Found = nullptr;
+      for (const JavaField &F : P.Classes[Cid].Fields)
+        if (F.Name == E.MemberName)
+          Found = &F;
+      if (!Found)
+        return false;
+      E.ResolvedA = Found->Offset;
+      E.ResolvedIsRef = Found->IsRef;
+      break;
+    }
+    case CPEntry::StaticRef: {
+      int32_t Cid = P.classIdOf(E.ClassName);
+      if (Cid < 0)
+        return false;
+      const JavaField *Found = nullptr;
+      for (const JavaField &F : P.Classes[Cid].StaticFields)
+        if (F.Name == E.MemberName)
+          Found = &F;
+      if (!Found)
+        return false;
+      E.ResolvedA = Found->Offset;
+      E.ResolvedIsRef = Found->IsRef;
+      break;
+    }
+    case CPEntry::ClassRef: {
+      int32_t Cid = P.classIdOf(E.ClassName);
+      if (Cid < 0)
+        return false;
+      E.ResolvedA = Cid;
+      break;
+    }
+    case CPEntry::StaticMethodRef: {
+      const JavaMethod *M = P.findMethod(E.ClassName, E.MemberName);
+      if (!M || !M->IsStatic)
+        return false;
+      E.ResolvedA = M->Entry;
+      E.ResolvedNumArgs = M->NumArgs;
+      E.ResolvedMaxLocals = M->MaxLocals;
+      E.ResolvedReturns = M->ReturnsValue;
+      break;
+    }
+    case CPEntry::VirtualMethodRef: {
+      int32_t Cid = P.classIdOf(E.ClassName);
+      if (Cid < 0)
+        return false;
+      auto It = P.Classes[Cid].SlotOfMethod.find(E.MemberName);
+      if (It == P.Classes[Cid].SlotOfMethod.end())
+        return false;
+      E.ResolvedA = It->second;
+      const JavaMethod &M = P.Methods[P.Classes[Cid].Vtable[It->second]];
+      E.ResolvedNumArgs = M.NumArgs;
+      break;
+    }
+    }
+    E.Resolved = true;
+    return true;
+  };
+
+  auto needS = [&](size_t N) { return Sp >= N; };
+
+  while (Res.Steps < MaxSteps) {
+    if (Ip >= CodeSize) {
+      fail("instruction pointer out of range");
+      break;
+    }
+    VMInstr &I = Code[Ip];
+    uint32_t Next = Ip + 1;
+    bool Halt = false;
+    bool Quickened = false;
+
+    switch (static_cast<Op>(I.Op)) {
+    // --- constants and locals ---
+    case Op::ICONST:
+      Stack[Sp++] = I.A;
+      break;
+    case Op::ACONST_NULL:
+      Stack[Sp++] = 0;
+      break;
+    case Op::ILOAD:
+    case Op::ALOAD:
+      Stack[Sp++] = Locals[CurBase + I.A];
+      break;
+    case Op::ILOAD0:
+      Stack[Sp++] = Locals[CurBase + 0];
+      break;
+    case Op::ILOAD1:
+      Stack[Sp++] = Locals[CurBase + 1];
+      break;
+    case Op::ILOAD2:
+      Stack[Sp++] = Locals[CurBase + 2];
+      break;
+    case Op::ILOAD3:
+      Stack[Sp++] = Locals[CurBase + 3];
+      break;
+    case Op::ISTORE:
+    case Op::ASTORE:
+      if (!needS(1)) { fail("store underflow"); goto done; }
+      Locals[CurBase + I.A] = Stack[--Sp];
+      break;
+    case Op::ISTORE0:
+      if (!needS(1)) { fail("store underflow"); goto done; }
+      Locals[CurBase + 0] = Stack[--Sp];
+      break;
+    case Op::ISTORE1:
+      if (!needS(1)) { fail("store underflow"); goto done; }
+      Locals[CurBase + 1] = Stack[--Sp];
+      break;
+    case Op::ISTORE2:
+      if (!needS(1)) { fail("store underflow"); goto done; }
+      Locals[CurBase + 2] = Stack[--Sp];
+      break;
+    case Op::ISTORE3:
+      if (!needS(1)) { fail("store underflow"); goto done; }
+      Locals[CurBase + 3] = Stack[--Sp];
+      break;
+    case Op::IINC:
+      Locals[CurBase + I.A] += I.B;
+      break;
+    case Op::DUP:
+      if (!needS(1)) { fail("dup underflow"); goto done; }
+      Stack[Sp] = Stack[Sp - 1];
+      ++Sp;
+      break;
+    case Op::POP:
+      if (!needS(1)) { fail("pop underflow"); goto done; }
+      --Sp;
+      break;
+    case Op::SWAP:
+      if (!needS(2)) { fail("swap underflow"); goto done; }
+      std::swap(Stack[Sp - 1], Stack[Sp - 2]);
+      break;
+
+    // --- arithmetic ---
+#define JBIN(OPNAME, EXPR)                                                    \
+  case Op::OPNAME: {                                                          \
+    if (!needS(2)) { fail("arith underflow"); goto done; }                    \
+    int64_t B = Stack[Sp - 1], A = Stack[Sp - 2];                             \
+    (void)A; (void)B;                                                         \
+    Stack[Sp - 2] = (EXPR);                                                   \
+    --Sp;                                                                     \
+    break;                                                                    \
+  }
+    JBIN(IADD, static_cast<int32_t>(A + B))
+    JBIN(ISUB, static_cast<int32_t>(A - B))
+    JBIN(IMUL, static_cast<int32_t>(A * B))
+    JBIN(ISHL, static_cast<int32_t>(A << (B & 31)))
+    JBIN(ISHR, static_cast<int32_t>(static_cast<int32_t>(A) >> (B & 31)))
+    JBIN(IUSHR, static_cast<int32_t>(static_cast<uint32_t>(A) >> (B & 31)))
+    JBIN(IAND, static_cast<int32_t>(A & B))
+    JBIN(IOR, static_cast<int32_t>(A | B))
+    JBIN(IXOR, static_cast<int32_t>(A ^ B))
+#undef JBIN
+    case Op::IDIV: {
+      if (!needS(2)) { fail("idiv underflow"); goto done; }
+      int64_t B = Stack[Sp - 1];
+      if (B == 0) { fail("division by zero"); goto done; }
+      Stack[Sp - 2] = static_cast<int32_t>(Stack[Sp - 2] / B);
+      --Sp;
+      break;
+    }
+    case Op::IREM: {
+      if (!needS(2)) { fail("irem underflow"); goto done; }
+      int64_t B = Stack[Sp - 1];
+      if (B == 0) { fail("irem by zero"); goto done; }
+      Stack[Sp - 2] = static_cast<int32_t>(Stack[Sp - 2] % B);
+      --Sp;
+      break;
+    }
+    case Op::INEG:
+      if (!needS(1)) { fail("ineg underflow"); goto done; }
+      Stack[Sp - 1] = static_cast<int32_t>(-Stack[Sp - 1]);
+      break;
+
+    // --- branches ---
+#define JCMP2(OPNAME, REL)                                                    \
+  case Op::OPNAME: {                                                         \
+    if (!needS(2)) { fail("cmp underflow"); goto done; }                      \
+    int64_t B = Stack[--Sp];                                                  \
+    int64_t A = Stack[--Sp];                                                  \
+    if (A REL B)                                                              \
+      Next = static_cast<uint32_t>(I.A);                                      \
+    break;                                                                    \
+  }
+    JCMP2(IF_ICMPEQ, ==)
+    JCMP2(IF_ICMPNE, !=)
+    JCMP2(IF_ICMPLT, <)
+    JCMP2(IF_ICMPGE, >=)
+    JCMP2(IF_ICMPGT, >)
+    JCMP2(IF_ICMPLE, <=)
+#undef JCMP2
+#define JCMP1(OPNAME, REL)                                                    \
+  case Op::OPNAME: {                                                         \
+    if (!needS(1)) { fail("cmp underflow"); goto done; }                      \
+    int64_t A = Stack[--Sp];                                                  \
+    if (A REL 0)                                                              \
+      Next = static_cast<uint32_t>(I.A);                                      \
+    break;                                                                    \
+  }
+    JCMP1(IFEQ, ==)
+    JCMP1(IFNE, !=)
+    JCMP1(IFLT, <)
+    JCMP1(IFGE, >=)
+    JCMP1(IFGT, >)
+    JCMP1(IFLE, <=)
+    JCMP1(IFNULL, ==)
+    JCMP1(IFNONNULL, !=)
+#undef JCMP1
+    case Op::GOTO:
+      Next = static_cast<uint32_t>(I.A);
+      break;
+
+    // --- arrays ---
+    case Op::NEWARRAY:
+    case Op::ANEWARRAY: {
+      if (!needS(1)) { fail("newarray underflow"); goto done; }
+      int64_t Len = Stack[Sp - 1];
+      if (Len < 0) { fail("negative array size"); goto done; }
+      int64_t H = allocate(I.Op == Op::NEWARRAY ? HeapCell::IntArray
+                                                : HeapCell::RefArray,
+                           static_cast<size_t>(Len));
+      if (H == 0) { fail("out of heap"); goto done; }
+      Stack[Sp - 1] = H;
+      break;
+    }
+    case Op::IALOAD:
+    case Op::AALOAD: {
+      if (!needS(2)) { fail("aload underflow"); goto done; }
+      int64_t Index = Stack[--Sp];
+      HeapCell *C = cellOf(Stack[Sp - 1]);
+      if (!C) { fail("null array"); goto done; }
+      if (Index < 0 || static_cast<size_t>(Index) >= C->Data.size()) {
+        fail(format("array index %lld out of bounds",
+                    static_cast<long long>(Index)));
+        goto done;
+      }
+      Stack[Sp - 1] = C->Data[static_cast<size_t>(Index)];
+      break;
+    }
+    case Op::IASTORE:
+    case Op::AASTORE: {
+      if (!needS(3)) { fail("astore underflow"); goto done; }
+      int64_t Value = Stack[--Sp];
+      int64_t Index = Stack[--Sp];
+      HeapCell *C = cellOf(Stack[--Sp]);
+      if (!C) { fail("null array"); goto done; }
+      if (Index < 0 || static_cast<size_t>(Index) >= C->Data.size()) {
+        fail("array store out of bounds");
+        goto done;
+      }
+      C->Data[static_cast<size_t>(Index)] = Value;
+      break;
+    }
+    case Op::ARRAYLENGTH: {
+      if (!needS(1)) { fail("arraylength underflow"); goto done; }
+      HeapCell *C = cellOf(Stack[Sp - 1]);
+      if (!C) { fail("null array"); goto done; }
+      Stack[Sp - 1] = static_cast<int64_t>(C->Data.size());
+      break;
+    }
+
+    // --- quick field/static/constant access ---
+    case Op::GETFIELD_QUICK:
+    case Op::AGETFIELD_QUICK: {
+      if (!needS(1)) { fail("getfield underflow"); goto done; }
+      HeapCell *C = cellOf(Stack[Sp - 1]);
+      if (!C) { fail("null object in getfield"); goto done; }
+      Stack[Sp - 1] = C->Data[static_cast<size_t>(I.A)];
+      break;
+    }
+    case Op::PUTFIELD_QUICK:
+    case Op::APUTFIELD_QUICK: {
+      if (!needS(2)) { fail("putfield underflow"); goto done; }
+      int64_t Value = Stack[--Sp];
+      HeapCell *C = cellOf(Stack[--Sp]);
+      if (!C) { fail("null object in putfield"); goto done; }
+      C->Data[static_cast<size_t>(I.A)] = Value;
+      break;
+    }
+    case Op::GETSTATIC_QUICK:
+    case Op::AGETSTATIC_QUICK:
+      Stack[Sp++] = Statics[static_cast<size_t>(I.A)];
+      break;
+    case Op::PUTSTATIC_QUICK:
+    case Op::APUTSTATIC_QUICK:
+      if (!needS(1)) { fail("putstatic underflow"); goto done; }
+      Statics[static_cast<size_t>(I.A)] = Stack[--Sp];
+      break;
+    case Op::LDC_QUICK:
+      Stack[Sp++] = I.A;
+      break;
+    case Op::NEW_QUICK: {
+      const JavaClass &Cls = P.Classes[static_cast<size_t>(I.A)];
+      int64_t H = allocate(static_cast<int32_t>(I.A), Cls.Fields.size());
+      if (H == 0) { fail("out of heap"); goto done; }
+      Stack[Sp++] = H;
+      break;
+    }
+
+    // --- calls ---
+    case Op::INVOKESTATIC_QUICK: {
+      const JavaMethod &M = P.Methods[static_cast<size_t>(I.B)];
+      if (!needS(M.NumArgs)) { fail("call underflow"); goto done; }
+      Frames.push_back({Ip + 1, CurBase});
+      CurBase = LocalsTop;
+      LocalsTop += M.MaxLocals;
+      if (LocalsTop >= Locals.size() || Frames.size() > 4096) {
+        fail("call stack overflow");
+        goto done;
+      }
+      for (uint32_t K = 0; K < M.NumArgs; ++K)
+        Locals[CurBase + M.NumArgs - 1 - K] = Stack[--Sp];
+      Next = M.Entry;
+      break;
+    }
+    case Op::INVOKEVIRTUAL_QUICK: {
+      uint32_t NumArgs = static_cast<uint32_t>(I.B);
+      if (!needS(NumArgs + 1)) { fail("vcall underflow"); goto done; }
+      int64_t Receiver = Stack[Sp - 1 - NumArgs];
+      HeapCell *C = cellOf(Receiver);
+      if (!C || C->ClassId < 0) { fail("null receiver"); goto done; }
+      const JavaClass &Cls = P.Classes[static_cast<size_t>(C->ClassId)];
+      if (static_cast<size_t>(I.A) >= Cls.Vtable.size()) {
+        fail("bad vtable slot");
+        goto done;
+      }
+      const JavaMethod &M = P.Methods[Cls.Vtable[static_cast<size_t>(I.A)]];
+      Frames.push_back({Ip + 1, CurBase});
+      CurBase = LocalsTop;
+      LocalsTop += M.MaxLocals;
+      if (LocalsTop >= Locals.size() || Frames.size() > 4096) {
+        fail("call stack overflow");
+        goto done;
+      }
+      // Receiver plus arguments into locals 0..NumArgs.
+      for (uint32_t K = 0; K <= NumArgs; ++K)
+        Locals[CurBase + NumArgs - K] = Stack[--Sp];
+      Next = M.Entry;
+      break;
+    }
+    case Op::RETURN:
+    case Op::IRETURN:
+    case Op::ARETURN: {
+      if (Frames.empty()) { fail("return without frame"); goto done; }
+      int64_t Value = 0;
+      bool HasValue = I.Op != Op::RETURN;
+      if (HasValue) {
+        if (!needS(1)) { fail("return underflow"); goto done; }
+        Value = Stack[--Sp];
+      }
+      Frame F = Frames.back();
+      Frames.pop_back();
+      LocalsTop = CurBase;
+      CurBase = F.CallerBase;
+      if (HasValue)
+        Stack[Sp++] = Value;
+      Next = F.ReturnIp;
+      break;
+    }
+
+    // --- quickable originals (§5.4): resolve, execute, rewrite ---
+    case Op::LDC: {
+      CPEntry &E = P.Pool[static_cast<size_t>(I.A)];
+      if (!resolve(E)) { fail("ldc resolution failed"); goto done; }
+      Stack[Sp++] = E.ResolvedA;
+      I = {Op::LDC_QUICK, E.ResolvedA, 0};
+      Quickened = true;
+      break;
+    }
+    case Op::GETFIELD: {
+      CPEntry &E = P.Pool[static_cast<size_t>(I.A)];
+      if (!resolve(E)) {
+        fail("getfield resolution failed: " + E.ClassName + "." +
+             E.MemberName);
+        goto done;
+      }
+      if (!needS(1)) { fail("getfield underflow"); goto done; }
+      HeapCell *C = cellOf(Stack[Sp - 1]);
+      if (!C) { fail("null object in getfield"); goto done; }
+      Stack[Sp - 1] = C->Data[static_cast<size_t>(E.ResolvedA)];
+      I = {E.ResolvedIsRef ? Op::AGETFIELD_QUICK : Op::GETFIELD_QUICK,
+           E.ResolvedA, 0};
+      Quickened = true;
+      break;
+    }
+    case Op::PUTFIELD: {
+      CPEntry &E = P.Pool[static_cast<size_t>(I.A)];
+      if (!resolve(E)) { fail("putfield resolution failed"); goto done; }
+      if (!needS(2)) { fail("putfield underflow"); goto done; }
+      int64_t Value = Stack[--Sp];
+      HeapCell *C = cellOf(Stack[--Sp]);
+      if (!C) { fail("null object in putfield"); goto done; }
+      C->Data[static_cast<size_t>(E.ResolvedA)] = Value;
+      I = {E.ResolvedIsRef ? Op::APUTFIELD_QUICK : Op::PUTFIELD_QUICK,
+           E.ResolvedA, 0};
+      Quickened = true;
+      break;
+    }
+    case Op::GETSTATIC: {
+      CPEntry &E = P.Pool[static_cast<size_t>(I.A)];
+      if (!resolve(E)) { fail("getstatic resolution failed"); goto done; }
+      Stack[Sp++] = Statics[static_cast<size_t>(E.ResolvedA)];
+      I = {E.ResolvedIsRef ? Op::AGETSTATIC_QUICK : Op::GETSTATIC_QUICK,
+           E.ResolvedA, 0};
+      Quickened = true;
+      break;
+    }
+    case Op::PUTSTATIC: {
+      CPEntry &E = P.Pool[static_cast<size_t>(I.A)];
+      if (!resolve(E)) { fail("putstatic resolution failed"); goto done; }
+      if (!needS(1)) { fail("putstatic underflow"); goto done; }
+      Statics[static_cast<size_t>(E.ResolvedA)] = Stack[--Sp];
+      I = {E.ResolvedIsRef ? Op::APUTSTATIC_QUICK : Op::PUTSTATIC_QUICK,
+           E.ResolvedA, 0};
+      Quickened = true;
+      break;
+    }
+    case Op::NEW: {
+      CPEntry &E = P.Pool[static_cast<size_t>(I.A)];
+      if (!resolve(E)) {
+        fail("class resolution failed: " + E.ClassName);
+        goto done;
+      }
+      const JavaClass &Cls = P.Classes[static_cast<size_t>(E.ResolvedA)];
+      int64_t H = allocate(static_cast<int32_t>(E.ResolvedA),
+                           Cls.Fields.size());
+      if (H == 0) { fail("out of heap"); goto done; }
+      Stack[Sp++] = H;
+      I = {Op::NEW_QUICK, E.ResolvedA, 0};
+      Quickened = true;
+      break;
+    }
+    case Op::INVOKESTATIC: {
+      CPEntry &E = P.Pool[static_cast<size_t>(I.A)];
+      if (!resolve(E)) {
+        fail("method resolution failed: " + E.ClassName + "." +
+             E.MemberName);
+        goto done;
+      }
+      const JavaMethod *M =
+          P.findMethod(E.ClassName, E.MemberName);
+      uint32_t MethodId = 0;
+      for (uint32_t K = 0; K < P.Methods.size(); ++K)
+        if (&P.Methods[K] == M)
+          MethodId = K;
+      if (!needS(M->NumArgs)) { fail("call underflow"); goto done; }
+      Frames.push_back({Ip + 1, CurBase});
+      CurBase = LocalsTop;
+      LocalsTop += M->MaxLocals;
+      if (LocalsTop >= Locals.size() || Frames.size() > 4096) {
+        fail("call stack overflow");
+        goto done;
+      }
+      for (uint32_t K = 0; K < M->NumArgs; ++K)
+        Locals[CurBase + M->NumArgs - 1 - K] = Stack[--Sp];
+      Next = M->Entry;
+      I = {Op::INVOKESTATIC_QUICK, M->Entry,
+           static_cast<int64_t>(MethodId)};
+      Quickened = true;
+      break;
+    }
+    case Op::INVOKEVIRTUAL: {
+      CPEntry &E = P.Pool[static_cast<size_t>(I.A)];
+      if (!resolve(E)) {
+        fail("virtual resolution failed: " + E.ClassName + "." +
+             E.MemberName);
+        goto done;
+      }
+      uint32_t NumArgs = E.ResolvedNumArgs;
+      if (!needS(NumArgs + 1)) { fail("vcall underflow"); goto done; }
+      int64_t Receiver = Stack[Sp - 1 - NumArgs];
+      HeapCell *C = cellOf(Receiver);
+      if (!C || C->ClassId < 0) { fail("null receiver"); goto done; }
+      const JavaClass &Cls = P.Classes[static_cast<size_t>(C->ClassId)];
+      const JavaMethod &M =
+          P.Methods[Cls.Vtable[static_cast<size_t>(E.ResolvedA)]];
+      Frames.push_back({Ip + 1, CurBase});
+      CurBase = LocalsTop;
+      LocalsTop += M.MaxLocals;
+      if (LocalsTop >= Locals.size() || Frames.size() > 4096) {
+        fail("call stack overflow");
+        goto done;
+      }
+      for (uint32_t K = 0; K <= NumArgs; ++K)
+        Locals[CurBase + NumArgs - K] = Stack[--Sp];
+      Next = M.Entry;
+      I = {Op::INVOKEVIRTUAL_QUICK, E.ResolvedA,
+           static_cast<int64_t>(NumArgs)};
+      Quickened = true;
+      break;
+    }
+
+    case Op::PRINTI:
+      if (!needS(1)) { fail("printi underflow"); goto done; }
+      Hash = hashMix(Hash, static_cast<uint64_t>(Stack[--Sp]));
+      break;
+    case Op::HALT:
+      Halt = true;
+      break;
+    default:
+      fail(format("unknown opcode %u", I.Op));
+      goto done;
+    }
+
+    if (Sp + 8 >= Stack.size()) {
+      fail("operand stack overflow");
+      break;
+    }
+
+    ++Res.Steps;
+    if (ExecCounts)
+      ++(*ExecCounts)[Ip];
+    if (Sim)
+      Sim->step(Ip, Halt ? DispatchSim::HaltNext : Next);
+    if (Quickened) {
+      // The quickable routine ran once; the rewritten instruction and
+      // the patched layout take effect from the next execution (§5.4).
+      ++Res.Quickenings;
+      if (Layout)
+        Layout->onQuicken(Ip);
+    }
+    if (Halt) {
+      Res.Halted = true;
+      break;
+    }
+    Ip = Next;
+  }
+
+done:
+  Res.OutputHash = Hash;
+  return Res;
+}

@@ -1,0 +1,278 @@
+//===- realdispatch/RealDispatch.cpp --------------------------------------===//
+
+#include "realdispatch/RealDispatch.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace vmib;
+using namespace vmib::realdispatch;
+
+RealProgram realdispatch::makeRealWorkload(uint32_t BodyOps,
+                                           uint64_t Seed) {
+  RealProgram P;
+  P.BodyOps = BodyOps;
+  Xoroshiro128 Rng(Seed);
+  int Depth = 0;
+  auto emit = [&](int32_t Op, int32_t A = 0) {
+    P.Code.push_back(Op);
+    P.Code.push_back(A);
+  };
+  // Prime the stack.
+  emit(OpLit, 0x1234);
+  emit(OpLit, 0x5678);
+  Depth = 2;
+  for (uint32_t I = 2; I < BodyOps; ++I) {
+    // Choose an op legal at the current depth, keeping depth bounded.
+    uint32_t Pick = static_cast<uint32_t>(Rng.nextBelow(7));
+    if (Depth < 2)
+      Pick = 0; // must push
+    if (Depth > 48 && Pick == 0)
+      Pick = 1; // must shrink
+    switch (Pick) {
+    case 0:
+      emit(OpLit, static_cast<int32_t>(Rng.nextBelow(1000)));
+      ++Depth;
+      break;
+    case 1:
+      emit(OpAdd);
+      --Depth;
+      break;
+    case 2:
+      emit(OpXor);
+      --Depth;
+      break;
+    case 3:
+      emit(OpShr);
+      break;
+    case 4:
+      emit(OpDup);
+      ++Depth;
+      break;
+    case 5:
+      if (Depth > 2) {
+        emit(OpDrop);
+        --Depth;
+      } else {
+        emit(OpShr);
+      }
+      break;
+    default:
+      emit(OpSwap);
+      break;
+    }
+  }
+  emit(OpLoop);
+  emit(OpHalt);
+  return P;
+}
+
+RealProgram realdispatch::fuseSuperinstructions(const RealProgram &In) {
+  RealProgram Out;
+  Out.BodyOps = In.BodyOps;
+  size_t N = In.Code.size() / 2;
+  for (size_t I = 0; I < N; ++I) {
+    int32_t Op = In.Code[2 * I];
+    int32_t A = In.Code[2 * I + 1];
+    if (I + 1 < N) {
+      int32_t NextOp = In.Code[2 * (I + 1)];
+      if (Op == OpLit && NextOp == OpAdd) {
+        Out.Code.push_back(OpLitAdd);
+        Out.Code.push_back(A);
+        ++I;
+        continue;
+      }
+      if (Op == OpLit && NextOp == OpXor) {
+        Out.Code.push_back(OpLitXor);
+        Out.Code.push_back(A);
+        ++I;
+        continue;
+      }
+      if (Op == OpDup && NextOp == OpShr) {
+        Out.Code.push_back(OpDupShr);
+        Out.Code.push_back(0);
+        ++I;
+        continue;
+      }
+    }
+    Out.Code.push_back(Op);
+    Out.Code.push_back(A);
+  }
+  return Out;
+}
+
+namespace {
+
+/// Shared stack setup for the kernels.
+constexpr size_t StackSize = 256;
+
+} // namespace
+
+int64_t realdispatch::runSwitchInterp(const RealProgram &Program,
+                                      uint64_t Iterations) {
+  const int32_t *Code = Program.Code.data();
+  int64_t Stack[StackSize];
+  int64_t *Sp = Stack;
+  uint64_t Counter = Iterations;
+  size_t Ip = 0;
+  for (;;) {
+    int32_t Op = Code[Ip];
+    int32_t A = Code[Ip + 1];
+    Ip += 2;
+    switch (Op) {
+    case OpLit:
+      *Sp++ = A;
+      break;
+    case OpAdd:
+      Sp[-2] += Sp[-1];
+      --Sp;
+      break;
+    case OpXor:
+      Sp[-2] ^= Sp[-1];
+      --Sp;
+      break;
+    case OpShr:
+      Sp[-1] = static_cast<int64_t>(static_cast<uint64_t>(Sp[-1]) >> 1);
+      break;
+    case OpDup:
+      Sp[0] = Sp[-1];
+      ++Sp;
+      break;
+    case OpDrop:
+      --Sp;
+      break;
+    case OpSwap: {
+      int64_t T = Sp[-1];
+      Sp[-1] = Sp[-2];
+      Sp[-2] = T;
+      break;
+    }
+    case OpLoop:
+      if (--Counter != 0) {
+        Ip = 0;
+        Sp = Stack; // rebalance for the next iteration
+      }
+      break;
+    case OpHalt:
+      return Sp > Stack ? Sp[-1] : 0;
+    default:
+      return -1;
+    }
+  }
+}
+
+// Threaded-code kernels using GNU C labels-as-values (Figure 2).
+// The translation loop maps each opcode to the address of its routine;
+// NEXT is "goto **ip++" spread across every routine so each gets its
+// own indirect branch.
+
+namespace {
+
+struct ThreadedCell {
+  const void *Label;
+  int64_t A;
+};
+
+template <bool UseSupers>
+int64_t runThreadedImpl(const RealProgram &Program, uint64_t Iterations) {
+  const void *Labels[NumRealOps] = {
+      &&L_Lit, &&L_Add, &&L_Xor,  &&L_Shr,    &&L_Dup,    &&L_Drop,
+      &&L_Swap, &&L_Loop, &&L_Halt, &&L_LitAdd, &&L_LitXor, &&L_DupShr};
+
+  size_t N = Program.Code.size() / 2;
+  std::vector<ThreadedCell> Threaded(N);
+  for (size_t I = 0; I < N; ++I) {
+    int32_t Op = Program.Code[2 * I];
+    assert((UseSupers || Op < OpLitAdd) && "supers need the super kernel");
+    Threaded[I] = {Labels[Op], Program.Code[2 * I + 1]};
+  }
+
+  int64_t Stack[StackSize];
+  int64_t *Sp = Stack;
+  uint64_t Counter = Iterations;
+  const ThreadedCell *Ip = Threaded.data();
+  const ThreadedCell *Base = Ip;
+
+#define NEXT                                                                  \
+  do {                                                                        \
+    const void *L = Ip->Label;                                                \
+    goto *L;                                                                  \
+  } while (0)
+
+  NEXT;
+
+L_Lit:
+  *Sp++ = Ip->A;
+  ++Ip;
+  NEXT;
+L_Add:
+  Sp[-2] += Sp[-1];
+  --Sp;
+  ++Ip;
+  NEXT;
+L_Xor:
+  Sp[-2] ^= Sp[-1];
+  --Sp;
+  ++Ip;
+  NEXT;
+L_Shr:
+  Sp[-1] = static_cast<int64_t>(static_cast<uint64_t>(Sp[-1]) >> 1);
+  ++Ip;
+  NEXT;
+L_Dup:
+  Sp[0] = Sp[-1];
+  ++Sp;
+  ++Ip;
+  NEXT;
+L_Drop:
+  --Sp;
+  ++Ip;
+  NEXT;
+L_Swap: {
+  int64_t T = Sp[-1];
+  Sp[-1] = Sp[-2];
+  Sp[-2] = T;
+  ++Ip;
+  NEXT;
+}
+L_Loop:
+  if (--Counter != 0) {
+    Ip = Base;
+    Sp = Stack;
+    NEXT;
+  }
+  ++Ip;
+  NEXT;
+L_LitAdd:
+  Sp[-1] += Ip->A;
+  ++Ip;
+  NEXT;
+L_LitXor:
+  Sp[-1] ^= Ip->A;
+  ++Ip;
+  NEXT;
+L_DupShr:
+  Sp[0] = static_cast<int64_t>(static_cast<uint64_t>(Sp[-1]) >> 1);
+  ++Sp;
+  ++Ip;
+  NEXT;
+L_Halt:
+  return Sp > Stack ? Sp[-1] : 0;
+
+#undef NEXT
+}
+
+} // namespace
+
+int64_t realdispatch::runThreadedInterp(const RealProgram &Program,
+                                        uint64_t Iterations) {
+  return runThreadedImpl<false>(Program, Iterations);
+}
+
+int64_t realdispatch::runSuperInterp(const RealProgram &Program,
+                                     uint64_t Iterations) {
+  RealProgram Fused = fuseSuperinstructions(Program);
+  return runThreadedImpl<true>(Fused, Iterations);
+}

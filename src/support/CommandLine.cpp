@@ -1,0 +1,40 @@
+//===- support/CommandLine.cpp --------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include <cstdlib>
+
+using namespace vmib;
+
+OptionParser::OptionParser(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    size_t Eq = Body.find('=');
+    if (Eq == std::string::npos)
+      Options[Body] = "1";
+    else
+      Options[Body.substr(0, Eq)] = Body.substr(Eq + 1);
+  }
+}
+
+bool OptionParser::has(const std::string &Name) const {
+  return Options.count(Name) != 0;
+}
+
+std::string OptionParser::get(const std::string &Name,
+                              const std::string &Default) const {
+  auto It = Options.find(Name);
+  return It == Options.end() ? Default : It->second;
+}
+
+int64_t OptionParser::getInt(const std::string &Name, int64_t Default) const {
+  auto It = Options.find(Name);
+  if (It == Options.end())
+    return Default;
+  return std::strtoll(It->second.c_str(), nullptr, 0);
+}

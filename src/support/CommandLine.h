@@ -1,0 +1,40 @@
+//===- support/CommandLine.h - Tiny option parser ---------------*- C++ -*-===//
+///
+/// \file
+/// Minimal --name=value / --flag option parsing for the examples and the
+/// bench binaries. Not a general library; just enough to select
+/// benchmarks, variants and CPU models from the command line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_SUPPORT_COMMANDLINE_H
+#define VMIB_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vmib {
+
+/// Parses "--name=value" and bare "--flag" arguments; everything else is
+/// collected as a positional argument.
+class OptionParser {
+public:
+  OptionParser(int Argc, const char *const *Argv);
+
+  bool has(const std::string &Name) const;
+  std::string get(const std::string &Name,
+                  const std::string &Default = "") const;
+  int64_t getInt(const std::string &Name, int64_t Default) const;
+
+  const std::vector<std::string> &positional() const { return Positional; }
+
+private:
+  std::map<std::string, std::string> Options;
+  std::vector<std::string> Positional;
+};
+
+} // namespace vmib
+
+#endif // VMIB_SUPPORT_COMMANDLINE_H

@@ -1,0 +1,67 @@
+//===- support/Format.cpp -------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace vmib;
+
+std::string vmib::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Result;
+  if (Needed > 0) {
+    Result.resize(static_cast<size_t>(Needed) + 1);
+    std::vsnprintf(Result.data(), Result.size(), Fmt, ArgsCopy);
+    Result.resize(static_cast<size_t>(Needed));
+  }
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::string vmib::withThousands(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  int Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count != 0 && Count % 3 == 0)
+      Result.push_back(',');
+    Result.push_back(*It);
+    ++Count;
+  }
+  return std::string(Result.rbegin(), Result.rend());
+}
+
+std::string vmib::humanBytes(uint64_t Bytes) {
+  if (Bytes < 1024)
+    return format("%lluB", static_cast<unsigned long long>(Bytes));
+  double Value = static_cast<double>(Bytes);
+  const char *Units[] = {"KB", "MB", "GB"};
+  int Unit = -1;
+  while (Value >= 1024.0 && Unit < 2) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  return format("%.1f%s", Value, Units[Unit]);
+}
+
+std::string vmib::formatDouble(double Value, int Digits) {
+  return format("%.*f", Digits, Value);
+}
+
+std::string vmib::padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string vmib::padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}

@@ -1,0 +1,38 @@
+//===- support/Format.h - String formatting helpers ------------*- C++ -*-===//
+///
+/// \file
+/// printf-style and numeric formatting helpers used by the benchmark
+/// harness and table printers. Library code builds strings; only the
+/// executables decide where the bytes go.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_SUPPORT_FORMAT_H
+#define VMIB_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace vmib {
+
+/// printf into a std::string.
+std::string format(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// 1234567 -> "1,234,567".
+std::string withThousands(uint64_t Value);
+
+/// 190000 -> "185.5KB"; chooses B/KB/MB/GB.
+std::string humanBytes(uint64_t Bytes);
+
+/// Fixed-point with \p Digits decimals, e.g. formatDouble(2.3456, 2) ==
+/// "2.35".
+std::string formatDouble(double Value, int Digits);
+
+/// Left/right pad \p S with spaces to \p Width (no-op if already wider).
+std::string padLeft(const std::string &S, size_t Width);
+std::string padRight(const std::string &S, size_t Width);
+
+} // namespace vmib
+
+#endif // VMIB_SUPPORT_FORMAT_H

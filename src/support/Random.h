@@ -1,0 +1,77 @@
+//===- support/Random.h - Deterministic pseudo-random numbers --*- C++ -*-===//
+///
+/// \file
+/// Small, fast, fully deterministic PRNGs. The simulation pipeline must be
+/// reproducible run-to-run (DESIGN.md "Determinism"), so all randomness in
+/// the library flows through explicitly seeded instances of these
+/// generators; std::rand and std::random_device are never used.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_SUPPORT_RANDOM_H
+#define VMIB_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace vmib {
+
+/// SplitMix64: tiny generator used both directly and to seed Xoroshiro.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoroshiro128++: the library's general-purpose PRNG.
+class Xoroshiro128 {
+public:
+  explicit Xoroshiro128(uint64_t Seed) {
+    SplitMix64 Init(Seed);
+    S0 = Init.next();
+    S1 = Init.next();
+  }
+
+  uint64_t next() {
+    uint64_t A = S0, B = S1;
+    uint64_t Result = rotl(A + B, 17) + A;
+    B ^= A;
+    S0 = rotl(A, 49) ^ B ^ (B << 21);
+    S1 = rotl(B, 28);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound); Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    // Multiply-shift reduction; bias is negligible for simulation purposes.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t S0, S1;
+};
+
+} // namespace vmib
+
+#endif // VMIB_SUPPORT_RANDOM_H

@@ -1,0 +1,39 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace vmib;
+
+double vmib::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double vmib::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double LogSum = 0;
+  for (double V : Values) {
+    assert(V > 0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double vmib::minOf(const std::vector<double> &Values) {
+  assert(!Values.empty() && "minOf requires a non-empty input");
+  return *std::min_element(Values.begin(), Values.end());
+}
+
+double vmib::maxOf(const std::vector<double> &Values) {
+  assert(!Values.empty() && "maxOf requires a non-empty input");
+  return *std::max_element(Values.begin(), Values.end());
+}

@@ -1,0 +1,27 @@
+//===- support/Statistics.h - Small numeric summaries -----------*- C++ -*-===//
+///
+/// \file
+/// Mean / geometric-mean / extrema helpers for reporting speedups the way
+/// the paper does (per-benchmark factors plus suite averages).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_SUPPORT_STATISTICS_H
+#define VMIB_SUPPORT_STATISTICS_H
+
+#include <vector>
+
+namespace vmib {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double> &Values);
+
+/// Geometric mean; 0 for an empty input. All values must be positive.
+double geomean(const std::vector<double> &Values);
+
+double minOf(const std::vector<double> &Values);
+double maxOf(const std::vector<double> &Values);
+
+} // namespace vmib
+
+#endif // VMIB_SUPPORT_STATISTICS_H

@@ -1,0 +1,72 @@
+//===- support/Table.cpp --------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace vmib;
+
+TextTable::TextTable(std::vector<std::string> Hdr) : Header(std::move(Hdr)) {
+  assert(!Header.empty() && "table must have at least one column");
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row arity must match header");
+  Rows.push_back({false, std::move(Cells)});
+}
+
+void TextTable::addRule() { Rows.push_back({true, {}}); }
+
+bool TextTable::looksNumeric(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  for (char C : Cell) {
+    if ((C < '0' || C > '9') && C != '.' && C != ',' && C != '-' &&
+        C != '+' && C != '%' && C != 'x' && C != 'e' && C != 'E')
+      return false;
+  }
+  return true;
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const Row &R : Rows) {
+    if (R.IsRule)
+      continue;
+    for (size_t I = 0; I < R.Cells.size(); ++I)
+      if (R.Cells[I].size() > Widths[I])
+        Widths[I] = R.Cells[I].size();
+  }
+
+  auto renderRule = [&] {
+    std::string Line;
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      Line += std::string(Widths[I] + 2, '-');
+      if (I + 1 != Widths.size())
+        Line += '+';
+    }
+    return Line + "\n";
+  };
+
+  auto renderCells = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      std::string Cell = looksNumeric(Cells[I]) ? padLeft(Cells[I], Widths[I])
+                                                : padRight(Cells[I], Widths[I]);
+      Line += " " + Cell + " ";
+      if (I + 1 != Cells.size())
+        Line += '|';
+    }
+    return Line + "\n";
+  };
+
+  std::string Out = renderCells(Header);
+  Out += renderRule();
+  for (const Row &R : Rows)
+    Out += R.IsRule ? renderRule() : renderCells(R.Cells);
+  return Out;
+}

@@ -1,0 +1,49 @@
+//===- support/Table.h - ASCII table rendering ------------------*- C++ -*-===//
+///
+/// \file
+/// Column-aligned ASCII tables. Every bench binary prints its paper table
+/// or figure through this class so the output is uniform and diffable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_SUPPORT_TABLE_H
+#define VMIB_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace vmib {
+
+/// A simple text table: set a header once, append rows, render.
+///
+/// Numeric-looking cells are right-aligned, text cells left-aligned.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Inserts a horizontal rule before the next row.
+  void addRule();
+
+  /// Renders the table, including header and rules, ending in a newline.
+  std::string render() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  static bool looksNumeric(const std::string &Cell);
+
+  std::vector<std::string> Header;
+  // Rows interleaved with rules; a rule is an empty optional row.
+  struct Row {
+    bool IsRule = false;
+    std::vector<std::string> Cells;
+  };
+  std::vector<Row> Rows;
+};
+
+} // namespace vmib
+
+#endif // VMIB_SUPPORT_TABLE_H

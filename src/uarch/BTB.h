@@ -1,0 +1,68 @@
+//===- uarch/BTB.h - Branch target buffer -----------------------*- C++ -*-===//
+///
+/// \file
+/// The branch target buffer of §2.2: a set-associative table mapping
+/// branch-site addresses to their last observed target. Supports the
+/// "BTB with two-bit counters" variant from §3, which only replaces a
+/// stored target after two consecutive mispredictions (hysteresis), and
+/// an idealised unbounded mode used for the Tables I-IV walkthroughs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_UARCH_BTB_H
+#define VMIB_UARCH_BTB_H
+
+#include "uarch/BranchPredictor.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace vmib {
+
+/// Configuration for a BTB instance.
+struct BTBConfig {
+  /// Total entries; 0 means idealised (one entry per branch, no misses).
+  uint32_t Entries = 512;
+  /// Associativity; Entries must be divisible by Ways.
+  uint32_t Ways = 4;
+  /// Low bits of the site address ignored when indexing (code alignment).
+  uint32_t IndexShift = 2;
+  /// Two-bit-counter hysteresis on target replacement (§3).
+  bool TwoBitCounters = false;
+};
+
+/// A set-associative BTB with LRU replacement.
+class BTB : public IndirectBranchPredictor {
+public:
+  explicit BTB(const BTBConfig &Config);
+
+  Addr predict(Addr Site, uint64_t Hint) override;
+  void update(Addr Site, Addr Target, uint64_t Hint) override;
+  void reset() override;
+  std::string name() const override;
+
+  const BTBConfig &config() const { return Config; }
+
+private:
+  struct Entry {
+    Addr Tag = NoPrediction;    // full site address (tagged BTB)
+    Addr Target = NoPrediction; // predicted target
+    uint8_t Counter = 0;        // 2-bit confidence (TwoBitCounters mode)
+    uint64_t LastUse = 0;       // LRU timestamp
+  };
+
+  uint32_t numSets() const { return Config.Entries / Config.Ways; }
+  uint32_t setIndexFor(Addr Site) const;
+  Entry *findEntry(Addr Site);
+  Entry *victimEntry(Addr Site);
+
+  BTBConfig Config;
+  std::vector<Entry> Sets;           // numSets x Ways, row-major
+  std::map<Addr, Entry> IdealTable;  // idealised mode storage
+  uint64_t UseClock = 0;
+};
+
+} // namespace vmib
+
+#endif // VMIB_UARCH_BTB_H

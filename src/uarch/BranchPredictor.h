@@ -1,0 +1,51 @@
+//===- uarch/BranchPredictor.h - Indirect branch predictors -----*- C++ -*-===//
+///
+/// \file
+/// Common interface for the indirect branch predictors studied by the
+/// paper: the BTB and its two-bit-counter variant (§2.2/§3), the
+/// two-level predictor the Pentium M introduced (§8), and Kaeli & Emma's
+/// case block table for switch dispatch (§8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_UARCH_BRANCHPREDICTOR_H
+#define VMIB_UARCH_BRANCHPREDICTOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace vmib {
+
+/// Address type for simulated native code.
+using Addr = uint64_t;
+
+/// Sentinel "no prediction available".
+inline constexpr Addr NoPrediction = ~0ULL;
+
+/// An indirect branch predictor: ask for a target prediction at a branch
+/// site, then tell it what the actual target was.
+///
+/// \p Hint carries decode-time information some predictors can exploit:
+/// the case block table indexes on the switch operand (the VM opcode
+/// being dispatched), which it receives through the hint. BTB-family
+/// predictors ignore it.
+class IndirectBranchPredictor {
+public:
+  virtual ~IndirectBranchPredictor() = default;
+
+  /// \returns the predicted target of the branch at \p Site, or
+  /// NoPrediction on a (cold/capacity/conflict) miss.
+  virtual Addr predict(Addr Site, uint64_t Hint) = 0;
+
+  /// Records that the branch at \p Site actually went to \p Target.
+  virtual void update(Addr Site, Addr Target, uint64_t Hint) = 0;
+
+  /// Forgets all state.
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+} // namespace vmib
+
+#endif // VMIB_UARCH_BRANCHPREDICTOR_H

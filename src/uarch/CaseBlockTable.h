@@ -1,0 +1,41 @@
+//===- uarch/CaseBlockTable.h - Kaeli/Emma case block table -----*- C++ -*-===//
+///
+/// \file
+/// Kaeli & Emma's case block table (§8): a predictor specialised for
+/// switch statements that indexes previous targets by the switch operand
+/// — for a switch-dispatched interpreter, by the VM opcode being
+/// dispatched. This gives almost perfect prediction for switch dispatch
+/// because the target is a pure function of the opcode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_UARCH_CASEBLOCKTABLE_H
+#define VMIB_UARCH_CASEBLOCKTABLE_H
+
+#include "uarch/BranchPredictor.h"
+
+#include <vector>
+
+namespace vmib {
+
+/// Case block table predictor. The switch operand arrives via the
+/// predictor \p Hint parameter.
+class CaseBlockTable : public IndirectBranchPredictor {
+public:
+  explicit CaseBlockTable(uint32_t Entries);
+
+  Addr predict(Addr Site, uint64_t Hint) override;
+  void update(Addr Site, Addr Target, uint64_t Hint) override;
+  void reset() override;
+  std::string name() const override;
+
+private:
+  uint64_t indexFor(Addr Site, uint64_t Hint) const;
+
+  uint32_t Entries;
+  std::vector<Addr> Table;
+};
+
+} // namespace vmib
+
+#endif // VMIB_UARCH_CASEBLOCKTABLE_H

@@ -1,0 +1,55 @@
+//===- uarch/CpuModel.cpp -------------------------------------------------===//
+
+#include "uarch/CpuModel.h"
+
+using namespace vmib;
+
+CpuConfig vmib::makeCeleron800() {
+  CpuConfig Cpu;
+  Cpu.Name = "Celeron-800";
+  Cpu.Btb.Entries = 512;
+  Cpu.Btb.Ways = 4;
+  Cpu.ICache.SizeBytes = 16 * 1024;
+  Cpu.ICache.LineBytes = 32;
+  Cpu.ICache.Ways = 4;
+  Cpu.MispredictPenalty = 10;
+  Cpu.ICacheMissPenalty = 8;
+  Cpu.BaseCPI = 0.8;
+  return Cpu;
+}
+
+CpuConfig vmib::makePentium4Northwood() {
+  CpuConfig Cpu;
+  Cpu.Name = "Pentium4-Northwood";
+  Cpu.Btb.Entries = 4096;
+  Cpu.Btb.Ways = 4;
+  // 12K-uop trace cache modelled as a 96KB code cache with long lines.
+  Cpu.ICache.SizeBytes = 96 * 1024;
+  Cpu.ICache.LineBytes = 64;
+  Cpu.ICache.Ways = 8;
+  Cpu.MispredictPenalty = 20;
+  Cpu.ICacheMissPenalty = 27; // Zhou & Ross trace-cache-miss estimate
+  Cpu.BaseCPI = 0.8;
+  return Cpu;
+}
+
+CpuConfig vmib::makeAthlon1200() {
+  CpuConfig Cpu;
+  Cpu.Name = "Athlon-1200";
+  Cpu.Btb.Entries = 2048;
+  Cpu.Btb.Ways = 4;
+  Cpu.ICache.SizeBytes = 64 * 1024;
+  Cpu.ICache.LineBytes = 64;
+  Cpu.ICache.Ways = 2;
+  Cpu.MispredictPenalty = 10;
+  Cpu.ICacheMissPenalty = 8;
+  Cpu.BaseCPI = 0.8;
+  return Cpu;
+}
+
+void vmib::finalizeCycles(const CpuConfig &Cpu, PerfCounters &C) {
+  C.MissCycles = C.ICacheMisses * Cpu.ICacheMissPenalty;
+  double Base = static_cast<double>(C.Instructions) * Cpu.BaseCPI;
+  C.Cycles = static_cast<uint64_t>(Base) +
+             C.Mispredictions * Cpu.MispredictPenalty + C.MissCycles;
+}

@@ -1,0 +1,63 @@
+//===- uarch/CpuModel.h - CPU configurations and cycle model ----*- C++ -*-===//
+///
+/// \file
+/// The CPU models of the paper's experimental setup (§6.2) and the cost
+/// model combining counter values into cycles.
+///
+/// - Celeron-800: P3 core, 512-entry BTB, 16KB I-cache, ~10-cycle
+///   misprediction penalty.
+/// - Pentium 4 Northwood: 4096-entry BTB, 12K-uop trace cache (modelled
+///   as a 96KB code cache), ~20-cycle misprediction penalty, 27-cycle
+///   trace-cache miss penalty (Zhou & Ross estimate, §7.3).
+/// - Athlon-1200: used for the native-compiler comparison (§7.6);
+///   ~10-cycle penalty, 2048-entry BTB, 64KB I-cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_UARCH_CPUMODEL_H
+#define VMIB_UARCH_CPUMODEL_H
+
+#include "uarch/BTB.h"
+#include "uarch/InstructionCache.h"
+#include "uarch/PerfCounters.h"
+
+#include <string>
+
+namespace vmib {
+
+/// A complete CPU description for the dispatch simulator.
+struct CpuConfig {
+  std::string Name;
+  BTBConfig Btb;
+  ICacheConfig ICache;
+  /// Cycles lost per mispredicted indirect branch (pipeline refill).
+  uint32_t MispredictPenalty = 10;
+  /// Cycles lost per I-cache (trace cache) line miss.
+  uint32_t ICacheMissPenalty = 8;
+  /// Base cycles per native instruction when nothing stalls. Modern
+  /// superscalar cores retire more than one instruction per cycle on the
+  /// dependent, branchy code of an interpreter only modestly; the paper's
+  /// counter figures (e.g. Fig. 10: ~400M instructions vs ~800M cycles at
+  /// ~45% misprediction-time share) are consistent with a base CPI below
+  /// 1 plus large stall terms.
+  double BaseCPI = 0.8;
+};
+
+/// Celeron-800 (§6.2): small caches make code-growth costs visible.
+CpuConfig makeCeleron800();
+
+/// Pentium 4 (Northwood) at 2.26/3GHz (§6.2).
+CpuConfig makePentium4Northwood();
+
+/// Athlon-1200 (§7.6 native-code comparison).
+CpuConfig makeAthlon1200();
+
+/// Derives Cycles and MissCycles for \p Counters under \p Cpu:
+///   cycles = instructions * BaseCPI
+///          + mispredictions * MispredictPenalty
+///          + icacheMisses * ICacheMissPenalty.
+void finalizeCycles(const CpuConfig &Cpu, PerfCounters &Counters);
+
+} // namespace vmib
+
+#endif // VMIB_UARCH_CPUMODEL_H

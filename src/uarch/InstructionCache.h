@@ -1,0 +1,59 @@
+//===- uarch/InstructionCache.h - I-cache / trace cache model ---*- C++ -*-===//
+///
+/// \file
+/// A set-associative instruction cache with LRU replacement, used to
+/// account for the code growth of replication (§7.4). The Pentium 4's
+/// trace cache is modelled as a code cache whose miss penalty is the
+/// 27-cycle Zhou & Ross estimate the paper adopts (§7.3 "miss cycles").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_UARCH_INSTRUCTIONCACHE_H
+#define VMIB_UARCH_INSTRUCTIONCACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vmib {
+
+/// Configuration for an instruction cache.
+struct ICacheConfig {
+  uint64_t SizeBytes = 16 * 1024; ///< total capacity
+  uint32_t LineBytes = 32;        ///< must be a power of two
+  uint32_t Ways = 4;
+};
+
+/// Set-associative I-cache; access() walks all lines a fetch touches.
+class InstructionCache {
+public:
+  explicit InstructionCache(const ICacheConfig &Config);
+
+  /// Fetches \p Bytes of code starting at \p Address.
+  /// \returns the number of line misses this fetch incurred.
+  uint32_t access(uint64_t Address, uint32_t Bytes);
+
+  void reset();
+  std::string name() const;
+  const ICacheConfig &config() const { return Config; }
+
+private:
+  struct Line {
+    uint64_t Tag = ~0ULL;
+    uint64_t LastUse = 0;
+  };
+
+  uint32_t numSets() const {
+    return static_cast<uint32_t>(Config.SizeBytes /
+                                 (Config.LineBytes * Config.Ways));
+  }
+  bool touchLine(uint64_t LineAddr);
+
+  ICacheConfig Config;
+  std::vector<Line> Sets;
+  uint64_t UseClock = 0;
+};
+
+} // namespace vmib
+
+#endif // VMIB_UARCH_INSTRUCTIONCACHE_H

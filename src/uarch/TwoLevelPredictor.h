@@ -1,0 +1,48 @@
+//===- uarch/TwoLevelPredictor.h - History-based predictor ------*- C++ -*-===//
+///
+/// \file
+/// A two-level indirect branch predictor in the style of Driesen & Hölzle
+/// (§8): the targets of the most recently executed indirect branches are
+/// folded into a global history register, which is hashed with the branch
+/// site address to index a target table. The paper cites this design as
+/// correctly predicting most interpreter dispatch branches (the Pentium M
+/// shipped one); we implement it for the predictor-ablation bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_UARCH_TWOLEVELPREDICTOR_H
+#define VMIB_UARCH_TWOLEVELPREDICTOR_H
+
+#include "uarch/BranchPredictor.h"
+
+#include <vector>
+
+namespace vmib {
+
+/// Configuration for the two-level predictor.
+struct TwoLevelConfig {
+  uint32_t TableEntries = 4096; ///< power of two
+  uint32_t HistoryLength = 4;   ///< number of past targets folded in
+};
+
+/// Global-history two-level indirect branch predictor.
+class TwoLevelPredictor : public IndirectBranchPredictor {
+public:
+  explicit TwoLevelPredictor(const TwoLevelConfig &Config);
+
+  Addr predict(Addr Site, uint64_t Hint) override;
+  void update(Addr Site, Addr Target, uint64_t Hint) override;
+  void reset() override;
+  std::string name() const override;
+
+private:
+  uint64_t indexFor(Addr Site) const;
+
+  TwoLevelConfig Config;
+  std::vector<Addr> Table;
+  uint64_t History = 0;
+};
+
+} // namespace vmib
+
+#endif // VMIB_UARCH_TWOLEVELPREDICTOR_H

@@ -1,0 +1,783 @@
+//===- vmcore/DispatchBuilder.cpp -----------------------------------------===//
+
+#include "vmcore/DispatchBuilder.h"
+
+#include "support/Random.h"
+#include "vmcore/CostModel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace vmib;
+
+namespace vmib {
+
+/// Working state for one build; DispatchBuilder::build wraps this.
+class DispatchBuildContext {
+public:
+  DispatchBuildContext(const VMProgram &Program, const OpcodeSet &Opcodes,
+               const StrategyConfig &Config, const StaticResources *Static)
+      : Program(Program), Opcodes(Opcodes), Config(Config), Static(Static),
+        Rng(Config.Seed) {}
+
+  std::unique_ptr<DispatchProgram> run();
+
+private:
+  using Routine = DispatchProgram::Routine;
+  using QuickGap = DispatchProgram::QuickGap;
+
+  // A parsed unit of a fragment: a static superinstruction or a single
+  // instruction.
+  struct Component {
+    uint32_t Begin = 0;
+    uint32_t Length = 1;
+    SuperId Super = NoSuper;
+  };
+
+  void layoutBaseRoutines();
+  void layoutStaticExtras();
+  void computeEligibility();
+  void countBlockQuickables();
+
+  void buildSwitch();
+  void buildThreaded();
+  void buildStaticRepl();
+  void buildStaticSuper();
+  void buildDynamicRepl();
+  void buildDynamicSuperPerBlock(bool Share);
+  void buildAcrossBB();
+
+  Piece plainPiece(Opcode Op, const Routine &R) const;
+  Piece switchPiece(Opcode Op) const;
+  Routine &pickOpcodeRoutine(Opcode Op);
+  Routine &pickSuperRoutine(SuperId Id);
+
+  /// Splits [Begin, End) into components. When \p UseSupers, parses the
+  /// range against the static superinstruction table; blocks are parsed
+  /// individually unless \p AcrossBlocks.
+  std::vector<Component> componentsFor(uint32_t Begin, uint32_t End,
+                                       bool UseSupers, bool AcrossBlocks);
+
+  /// Lays out one dynamic fragment for \p Comps, writing pieces.
+  /// \p AcrossMode marks across-basic-block fragments (conditional
+  /// branches dispatch on the taken path only).
+  void emitFragment(const std::vector<Component> &Comps, bool AcrossMode);
+
+  bool copyable(const Component &C) const;
+  bool quickGapComponent(const Component &C) const;
+
+  uint32_t fusedWork(SuperId Id) const { return P->SuperWorkInstrs[Id]; }
+  uint32_t fusedBodyBytes(SuperId Id) const {
+    return P->SuperRoutines[Id].Bytes - cost::ThreadedDispatchBytes;
+  }
+
+  Addr alignUp(Addr A) const {
+    return (A + cost::CodeAlign - 1) & ~Addr(cost::CodeAlign - 1);
+  }
+
+  const VMProgram &Program;
+  const OpcodeSet &Opcodes;
+  const StrategyConfig &Config;
+  const StaticResources *Static;
+  Xoroshiro128 Rng;
+
+  std::unique_ptr<DispatchProgram> P;
+  // Builder-local replica state (program-order selection, §5.1).
+  std::vector<uint32_t> OpcodeRR;
+  std::vector<std::vector<Routine>> SuperReplicaRoutines;
+  std::vector<uint32_t> SuperRR;
+};
+
+} // namespace vmib
+
+//===----------------------------------------------------------------------===//
+// Static resource selection
+//===----------------------------------------------------------------------===//
+
+StaticResources vmib::selectStaticResources(const SequenceProfile &Profile,
+                                            const OpcodeSet &Opcodes,
+                                            uint32_t SuperCount,
+                                            uint32_t ReplicaCount,
+                                            SuperWeighting Weighting,
+                                            bool ReplicateSupers) {
+  StaticResources Res;
+  Res.Supers = SuperTable::select(Profile, SuperCount, Weighting);
+  Res.OpcodeReplicas.assign(Opcodes.size(), 0);
+  Res.SuperReplicas.assign(Res.Supers.size(), 0);
+  if (ReplicaCount == 0)
+    return Res;
+
+  // Distribute replicas proportionally to profile weight over the
+  // opcodes (and, for "static both", over the superinstructions too),
+  // using the largest-remainder method for determinism.
+  struct Item {
+    bool IsSuper;
+    uint32_t Id;
+    uint64_t Weight;
+    double Fractional = 0;
+    uint32_t Count = 0;
+  };
+  std::vector<Item> Items;
+  for (Opcode Op = 0; Op < Opcodes.size(); ++Op) {
+    uint64_t W = Op < Profile.OpcodeWeight.size() ? Profile.OpcodeWeight[Op]
+                                                  : 0;
+    if (W > 0 && !Opcodes.info(Op).Quickable)
+      Items.push_back({false, Op, W});
+  }
+  if (ReplicateSupers) {
+    for (SuperId Id = 0; Id < Res.Supers.size(); ++Id) {
+      auto It = Profile.SequenceWeight.find(Res.Supers.sequence(Id));
+      uint64_t W = It == Profile.SequenceWeight.end() ? 0 : It->second;
+      if (W > 0)
+        Items.push_back({true, Id, W});
+    }
+  }
+  if (Items.empty())
+    return Res;
+
+  uint64_t Total = 0;
+  for (const Item &I : Items)
+    Total += I.Weight;
+  uint32_t Assigned = 0;
+  for (Item &I : Items) {
+    double Exact = static_cast<double>(ReplicaCount) *
+                   static_cast<double>(I.Weight) /
+                   static_cast<double>(Total);
+    I.Count = static_cast<uint32_t>(Exact);
+    I.Fractional = Exact - I.Count;
+    Assigned += I.Count;
+  }
+  std::sort(Items.begin(), Items.end(), [](const Item &A, const Item &B) {
+    if (A.Fractional != B.Fractional)
+      return A.Fractional > B.Fractional;
+    if (A.Weight != B.Weight)
+      return A.Weight > B.Weight;
+    return A.Id < B.Id;
+  });
+  for (Item &I : Items) {
+    if (Assigned >= ReplicaCount)
+      break;
+    ++I.Count;
+    ++Assigned;
+  }
+  for (const Item &I : Items) {
+    if (I.IsSuper)
+      Res.SuperReplicas[I.Id] = I.Count;
+    else
+      Res.OpcodeReplicas[I.Id] = I.Count;
+  }
+  return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// Layout of routines
+//===----------------------------------------------------------------------===//
+
+void DispatchBuildContext::layoutBaseRoutines() {
+  bool IsSwitch = Config.Kind == DispatchStrategy::Switch;
+  Addr Cur = cost::BaseCodeStart;
+  P->BaseRoutines.resize(Opcodes.size());
+  for (Opcode Op = 0; Op < Opcodes.size(); ++Op) {
+    const OpcodeInfo &Info = Opcodes.info(Op);
+    Routine &R = P->BaseRoutines[Op];
+    R.Entry = alignUp(Cur);
+    R.Bytes = Info.BodyBytes + (IsSwitch ? cost::SwitchRoutineExtraBytes
+                                         : cost::ThreadedDispatchBytes);
+    R.Branch = R.Entry + Info.BodyBytes;
+    Cur = R.Entry + R.Bytes;
+  }
+  if (IsSwitch) {
+    P->SwitchBlockAddr = alignUp(Cur);
+    // The single indirect branch lives inside the shared dispatch block.
+    P->SwitchBranch = P->SwitchBlockAddr + 16;
+  }
+}
+
+void DispatchBuildContext::layoutStaticExtras() {
+  Addr Cur = cost::StaticCodeStart;
+  auto layoutRoutine = [&](uint32_t BodyBytes) {
+    Routine R;
+    R.Entry = alignUp(Cur);
+    R.Bytes = BodyBytes + cost::ThreadedDispatchBytes;
+    R.Branch = R.Entry + BodyBytes;
+    Cur = R.Entry + R.Bytes;
+    P->StaticExtraBytes += R.Bytes;
+    return R;
+  };
+
+  if (usesStaticSupers(Config.Kind)) {
+    assert(Static && "strategy requires static resources");
+    P->Supers = Static->Supers;
+    P->SuperRoutines.resize(P->Supers.size());
+    P->SuperWorkInstrs.resize(P->Supers.size());
+    for (SuperId Id = 0; Id < P->Supers.size(); ++Id) {
+      const std::vector<Opcode> &Seq = P->Supers.sequence(Id);
+      uint32_t Work = 0, Bytes = 0;
+      for (Opcode Op : Seq) {
+        Work += Opcodes.info(Op).WorkInstrs;
+        Bytes += Opcodes.info(Op).BodyBytes;
+      }
+      uint32_t Junctions = static_cast<uint32_t>(Seq.size()) - 1;
+      Work = std::max<uint32_t>(
+          Work - std::min(Work, cost::StaticJunctionSavedInstrs * Junctions),
+          static_cast<uint32_t>(Seq.size()));
+      Bytes = std::max<uint32_t>(
+          Bytes - std::min(Bytes, cost::StaticJunctionSavedBytes * Junctions),
+          4 * static_cast<uint32_t>(Seq.size()));
+      P->SuperWorkInstrs[Id] = Work;
+      P->SuperRoutines[Id] = layoutRoutine(Bytes);
+    }
+  }
+
+  if (Static) {
+    P->Replicas.resize(Opcodes.size());
+    for (Opcode Op = 0; Op < Opcodes.size(); ++Op) {
+      uint32_t N = Op < Static->OpcodeReplicas.size()
+                       ? Static->OpcodeReplicas[Op]
+                       : 0;
+      for (uint32_t I = 0; I < N; ++I)
+        P->Replicas[Op].push_back(layoutRoutine(Opcodes.info(Op).BodyBytes));
+    }
+    SuperReplicaRoutines.resize(P->Supers.size());
+    for (SuperId Id = 0; Id < P->Supers.size(); ++Id) {
+      uint32_t N =
+          Id < Static->SuperReplicas.size() ? Static->SuperReplicas[Id] : 0;
+      for (uint32_t I = 0; I < N; ++I)
+        SuperReplicaRoutines[Id].push_back(
+            layoutRoutine(fusedBodyBytes(Id)));
+    }
+  }
+  P->ReplicaRR.assign(Opcodes.size(), 0);
+  OpcodeRR.assign(Opcodes.size(), 0);
+  SuperRR.assign(P->Supers.size(), 0);
+}
+
+void DispatchBuildContext::computeEligibility() {
+  P->SuperEligible.assign(Opcodes.size(), false);
+  bool NeedRelocatable = isDynamicStrategy(Config.Kind);
+  for (Opcode Op = 0; Op < Opcodes.size(); ++Op) {
+    const OpcodeInfo &Info = Opcodes.info(Op);
+    bool Ok = Info.Branch == BranchKind::None && !Info.Quickable &&
+              (!NeedRelocatable || Info.Relocatable);
+    P->SuperEligible[Op] = Ok;
+  }
+}
+
+void DispatchBuildContext::countBlockQuickables() {
+  P->BlockQuickablesLeft.assign(P->Blocks.numBlocks(), 0);
+  for (uint32_t I = 0; I < Program.size(); ++I)
+    if (Opcodes.info(Program.Code[I].Op).Quickable)
+      ++P->BlockQuickablesLeft[P->Blocks.BlockOf[I]];
+}
+
+//===----------------------------------------------------------------------===//
+// Piece construction helpers
+//===----------------------------------------------------------------------===//
+
+Piece DispatchBuildContext::plainPiece(Opcode Op, const Routine &R) const {
+  const OpcodeInfo &Info = Opcodes.info(Op);
+  Piece Result;
+  Result.EntryAddr = R.Entry;
+  Result.BranchSite = R.Branch;
+  Result.CodeBytes = R.Bytes;
+  Result.WorkInstrs = Info.WorkInstrs;
+  Result.DispatchInstrs = cost::ThreadedDispatchInstrs;
+  Result.Kind = DispatchKind::Always;
+  return Result;
+}
+
+Piece DispatchBuildContext::switchPiece(Opcode Op) const {
+  const Routine &R = P->BaseRoutines[Op];
+  Piece Result;
+  Result.EntryAddr = R.Entry;
+  Result.CodeBytes = R.Bytes;
+  Result.BranchSite = P->SwitchBranch;
+  Result.WorkInstrs = Opcodes.info(Op).WorkInstrs;
+  Result.DispatchInstrs = cost::SwitchDispatchInstrs;
+  Result.Kind = DispatchKind::Always;
+  Result.ExtraFetchAddr = P->SwitchBlockAddr;
+  Result.ExtraFetchBytes = cost::SwitchSharedBlockBytes;
+  return Result;
+}
+
+DispatchBuildContext::Routine &DispatchBuildContext::pickOpcodeRoutine(Opcode Op) {
+  // Selection is over {base, replicas}; one additional replica yields
+  // two alternating versions (Table II's A1/A2).
+  std::vector<Routine> &Copies = P->Replicas[Op];
+  if (Copies.empty())
+    return P->BaseRoutines[Op];
+  uint32_t Which;
+  if (Config.Policy == ReplicaPolicy::RoundRobin)
+    Which = OpcodeRR[Op]++ % (Copies.size() + 1);
+  else
+    Which = static_cast<uint32_t>(Rng.nextBelow(Copies.size() + 1));
+  if (Which == 0)
+    return P->BaseRoutines[Op];
+  return Copies[Which - 1];
+}
+
+DispatchBuildContext::Routine &DispatchBuildContext::pickSuperRoutine(SuperId Id) {
+  std::vector<Routine> &Copies = SuperReplicaRoutines[Id];
+  if (Copies.empty())
+    return P->SuperRoutines[Id];
+  uint32_t Which;
+  if (Config.Policy == ReplicaPolicy::RoundRobin)
+    Which = SuperRR[Id]++ % (Copies.size() + 1);
+  else
+    Which = static_cast<uint32_t>(Rng.nextBelow(Copies.size() + 1));
+  if (Which == 0)
+    return P->SuperRoutines[Id];
+  return Copies[Which - 1];
+}
+
+//===----------------------------------------------------------------------===//
+// Static strategies
+//===----------------------------------------------------------------------===//
+
+void DispatchBuildContext::buildSwitch() {
+  for (uint32_t I = 0; I < Program.size(); ++I)
+    P->Pieces[I] = switchPiece(Program.Code[I].Op);
+}
+
+void DispatchBuildContext::buildThreaded() {
+  for (uint32_t I = 0; I < Program.size(); ++I) {
+    Opcode Op = Program.Code[I].Op;
+    P->Pieces[I] = plainPiece(Op, P->BaseRoutines[Op]);
+  }
+}
+
+void DispatchBuildContext::buildStaticRepl() {
+  for (uint32_t I = 0; I < Program.size(); ++I) {
+    Opcode Op = Program.Code[I].Op;
+    // Quickable instructions are not replicated; the quick form picks a
+    // replica at quickening time (§5.4).
+    if (Opcodes.info(Op).Quickable) {
+      P->Pieces[I] = plainPiece(Op, P->BaseRoutines[Op]);
+      continue;
+    }
+    P->Pieces[I] = plainPiece(Op, pickOpcodeRoutine(Op));
+  }
+}
+
+void DispatchBuildContext::buildStaticSuper() {
+  bool Both = Config.Kind == DispatchStrategy::StaticBoth;
+  for (uint32_t BlockId = 0; BlockId < P->Blocks.numBlocks(); ++BlockId) {
+    const BasicBlockInfo::Block &B = P->Blocks.Blocks[BlockId];
+    // Blocks still containing quickable instructions are not parsed for
+    // superinstructions yet (§5.4); they are re-parsed after quickening.
+    bool HasQuickable = P->BlockQuickablesLeft[BlockId] > 0;
+    std::vector<SuperTable::Segment> Segments;
+    if (HasQuickable) {
+      for (uint32_t I = B.Begin; I < B.End; ++I)
+        Segments.push_back({I, 1, NoSuper});
+    } else {
+      Segments = P->Supers.parse(Program.Code, B.Begin, B.End,
+                                 P->SuperEligible, Config.Parse);
+    }
+    for (const auto &Seg : Segments) {
+      if (Seg.Super == NoSuper) {
+        Opcode Op = Program.Code[Seg.Begin].Op;
+        const Routine &R = (Both && !Opcodes.info(Op).Quickable)
+                               ? pickOpcodeRoutine(Op)
+                               : P->BaseRoutines[Op];
+        P->Pieces[Seg.Begin] = plainPiece(Op, R);
+        continue;
+      }
+      const Routine &R = Both ? pickSuperRoutine(Seg.Super)
+                              : P->SuperRoutines[Seg.Super];
+      for (uint32_t I = 0; I < Seg.Length; ++I) {
+        Piece Q;
+        Q.EntryAddr = R.Entry;
+        Q.Kind = DispatchKind::None;
+        if (I == 0) {
+          Q.CodeBytes = R.Bytes;
+          Q.WorkInstrs = static_cast<uint16_t>(fusedWork(Seg.Super));
+        }
+        if (I + 1 == Seg.Length) {
+          Q.Kind = DispatchKind::Always;
+          Q.BranchSite = R.Branch;
+          Q.DispatchInstrs = cost::ThreadedDispatchInstrs;
+        }
+        P->Pieces[Seg.Begin + I] = Q;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic strategies
+//===----------------------------------------------------------------------===//
+
+void DispatchBuildContext::buildDynamicRepl() {
+  Addr &Bump = P->DynamicBump;
+  for (uint32_t I = 0; I < Program.size(); ++I) {
+    Opcode Op = Program.Code[I].Op;
+    const OpcodeInfo &Info = Opcodes.info(Op);
+    if (Info.Quickable) {
+      // No replica of the quickable code; execution uses the original
+      // routine, but a gap for the quick form is reserved in the copied
+      // code and patched at quickening time (§5.4).
+      P->Pieces[I] = plainPiece(Op, P->BaseRoutines[Op]);
+      uint32_t GapBytes = Opcodes.info(Info.QuickForm).BodyBytes +
+                          cost::ThreadedDispatchBytes;
+      P->Gaps[I] = {Bump, GapBytes, /*InteriorAfterQuick=*/false};
+      Bump += GapBytes;
+      P->GeneratedBytes += GapBytes;
+      continue;
+    }
+    if (!Info.Relocatable) {
+      // Non-relocatable code cannot be copied; the threaded-code slot
+      // points at the single original routine (§5.2).
+      P->Pieces[I] = plainPiece(Op, P->BaseRoutines[Op]);
+      continue;
+    }
+    uint32_t Bytes = Info.BodyBytes + cost::ThreadedDispatchBytes;
+    Piece Q;
+    Q.EntryAddr = Bump;
+    Q.CodeBytes = Bytes;
+    Q.BranchSite = Bump + Info.BodyBytes;
+    Q.WorkInstrs = Info.WorkInstrs;
+    Q.DispatchInstrs = cost::ThreadedDispatchInstrs;
+    Q.Kind = DispatchKind::Always;
+    P->Pieces[I] = Q;
+    Bump += Bytes;
+    P->GeneratedBytes += Bytes;
+  }
+}
+
+bool DispatchBuildContext::copyable(const Component &C) const {
+  if (C.Super != NoSuper)
+    return true;
+  const OpcodeInfo &Info = Opcodes.info(Program.Code[C.Begin].Op);
+  if (Info.Quickable)
+    return true; // handled via an in-fragment gap
+  return Info.Relocatable;
+}
+
+bool DispatchBuildContext::quickGapComponent(const Component &C) const {
+  if (C.Super != NoSuper)
+    return false;
+  return Opcodes.info(Program.Code[C.Begin].Op).Quickable;
+}
+
+void DispatchBuildContext::emitFragment(const std::vector<Component> &Comps,
+                                bool AcrossMode) {
+  Addr Frag = alignUp(P->DynamicBump);
+  Addr Cur = Frag;
+
+  for (size_t CI = 0; CI < Comps.size(); ++CI) {
+    const Component &C = Comps[CI];
+    bool Last = CI + 1 == Comps.size();
+    bool NextIsBreak = !Last && !copyable(Comps[CI + 1]);
+
+    if (!copyable(C)) {
+      // Break: execution dispatches through the original routine. The
+      // previous component was given a full dispatch (NextIsBreak).
+      Opcode Op = Program.Code[C.Begin].Op;
+      P->Pieces[C.Begin] = plainPiece(Op, P->BaseRoutines[Op]);
+      continue;
+    }
+
+    if (quickGapComponent(C)) {
+      // Reserve a gap sized for the quick form; until quickening, the
+      // gap holds a dispatch stub that jumps to the original quickable
+      // routine (§5.4).
+      uint32_t Index = C.Begin;
+      Opcode Op = Program.Code[Index].Op;
+      const OpcodeInfo &Info = Opcodes.info(Op);
+      const OpcodeInfo &QuickInfo = Opcodes.info(Info.QuickForm);
+      bool InteriorAfter = !Last && !NextIsBreak &&
+                           QuickInfo.Branch == BranchKind::None;
+      uint32_t GapBytes =
+          QuickInfo.BodyBytes +
+          std::max<uint32_t>(cost::ThreadedDispatchBytes,
+                             cost::JunctionIpIncBytes);
+      const Routine &Orig = P->BaseRoutines[Op];
+      Piece Q;
+      Q.EntryAddr = Cur;
+      Q.CodeBytes = cost::ThreadedDispatchBytes; // the stub
+      Q.ExtraFetchAddr = Orig.Entry;
+      Q.ExtraFetchBytes = static_cast<uint16_t>(Orig.Bytes);
+      Q.BranchSite = Orig.Branch;
+      Q.WorkInstrs = Info.WorkInstrs;
+      Q.DispatchInstrs = 2 * cost::ThreadedDispatchInstrs;
+      Q.Kind = DispatchKind::Always;
+      Q.ColdStubBranch = true;
+      P->Pieces[Index] = Q;
+      P->Gaps[Index] = {Cur, GapBytes, InteriorAfter};
+      Cur += GapBytes;
+      continue;
+    }
+
+    // Copied component: a superinstruction body or a single routine.
+    uint32_t BodyBytes, Work;
+    BranchKind BK = BranchKind::None;
+    if (C.Super != NoSuper) {
+      BodyBytes = fusedBodyBytes(C.Super);
+      Work = fusedWork(C.Super);
+    } else {
+      const OpcodeInfo &Info = Opcodes.info(Program.Code[C.Begin].Op);
+      BodyBytes = Info.BodyBytes;
+      Work = Info.WorkInstrs;
+      BK = Info.Branch;
+    }
+
+    DispatchKind Kind;
+    uint32_t PieceBytes, PieceWork, DispInstrs;
+    Addr Branch = 0;
+    if (BK == BranchKind::None) {
+      if (Last || NextIsBreak) {
+        Kind = DispatchKind::Always;
+        PieceBytes = BodyBytes + cost::ThreadedDispatchBytes;
+        Branch = Cur + BodyBytes;
+        PieceWork = Work;
+        DispInstrs = cost::ThreadedDispatchInstrs;
+      } else {
+        Kind = DispatchKind::None;
+        PieceBytes = BodyBytes + cost::JunctionIpIncBytes;
+        PieceWork = Work + cost::JunctionIpIncInstrs;
+        DispInstrs = 0;
+      }
+    } else if (BK == BranchKind::Cond && AcrossMode && !Last &&
+               !NextIsBreak) {
+      // Across-bb: the fall-through path continues in the fragment; only
+      // the taken path dispatches (§5.2).
+      Kind = DispatchKind::TakenOnly;
+      PieceBytes = BodyBytes + cost::ThreadedDispatchBytes +
+                   cost::JunctionIpIncBytes;
+      Branch = Cur + BodyBytes;
+      PieceWork = Work + cost::JunctionIpIncInstrs;
+      DispInstrs = cost::ThreadedDispatchInstrs;
+    } else {
+      // Control transfers (and block ends in per-block mode) dispatch.
+      Kind = DispatchKind::Always;
+      PieceBytes = BodyBytes + cost::ThreadedDispatchBytes;
+      Branch = Cur + BodyBytes;
+      PieceWork = Work;
+      DispInstrs = cost::ThreadedDispatchInstrs;
+    }
+
+    for (uint32_t I = 0; I < C.Length; ++I) {
+      Piece Q;
+      Q.EntryAddr = Cur; // components keep their own entry (ip increments)
+      Q.Kind = DispatchKind::None;
+      if (I == 0) {
+        Q.CodeBytes = PieceBytes;
+        Q.WorkInstrs = static_cast<uint16_t>(PieceWork);
+      }
+      if (I + 1 == C.Length) {
+        Q.Kind = Kind;
+        Q.BranchSite = Branch;
+        Q.DispatchInstrs = static_cast<uint16_t>(DispInstrs);
+      }
+      P->Pieces[C.Begin + I] = Q;
+    }
+
+    // Side entries into a static superinstruction that crosses a block
+    // boundary execute the non-replicated originals to the end of the
+    // superinstruction (§7.1, Fig. 6).
+    if (C.Super != NoSuper && C.Length > 1 &&
+        Config.Kind == DispatchStrategy::WithStaticSuperAcross) {
+      bool CrossesLeader = false;
+      for (uint32_t I = 1; I < C.Length; ++I)
+        if (P->Blocks.isLeader(C.Begin + I))
+          CrossesLeader = true;
+      if (CrossesLeader) {
+        if (P->Fallbacks.empty())
+          P->Fallbacks.resize(Program.size());
+        for (uint32_t I = 1; I < C.Length; ++I) {
+          uint32_t Index = C.Begin + I;
+          P->Pieces[Index].FallbackEnd = C.Begin + C.Length;
+          Opcode Op = Program.Code[Index].Op;
+          P->Fallbacks[Index] = plainPiece(Op, P->BaseRoutines[Op]);
+        }
+      }
+    }
+
+    Cur += PieceBytes;
+  }
+
+  P->GeneratedBytes += Cur - Frag;
+  P->DynamicBump = Cur;
+}
+
+std::vector<DispatchBuildContext::Component>
+DispatchBuildContext::componentsFor(uint32_t Begin, uint32_t End, bool UseSupers,
+                            bool AcrossBlocks) {
+  std::vector<Component> Comps;
+  if (!UseSupers) {
+    for (uint32_t I = Begin; I < End; ++I)
+      Comps.push_back({I, 1, NoSuper});
+    return Comps;
+  }
+  if (AcrossBlocks) {
+    for (const auto &Seg :
+         P->Supers.parse(Program.Code, Begin, End, P->SuperEligible,
+                         Config.Parse))
+      Comps.push_back({Seg.Begin, Seg.Length, Seg.Super});
+    return Comps;
+  }
+  // Parse block by block so superinstructions stay within blocks.
+  uint32_t I = Begin;
+  while (I < End) {
+    const BasicBlockInfo::Block &B = P->Blocks.Blocks[P->Blocks.BlockOf[I]];
+    uint32_t BlockEnd = std::min(B.End, End);
+    for (const auto &Seg : P->Supers.parse(Program.Code, I, BlockEnd,
+                                           P->SuperEligible, Config.Parse))
+      Comps.push_back({Seg.Begin, Seg.Length, Seg.Super});
+    I = BlockEnd;
+  }
+  return Comps;
+}
+
+void DispatchBuildContext::buildDynamicSuperPerBlock(bool Share) {
+  // Identical basic blocks share one fragment (dynamic super, §5.2)
+  // unless replication is requested (dynamic both) or the block contains
+  // instructions that make its code site-specific (gaps for quickable
+  // instructions).
+  std::map<std::vector<Opcode>, std::vector<Piece>> SharedBlocks;
+
+  for (uint32_t BlockId = 0; BlockId < P->Blocks.numBlocks(); ++BlockId) {
+    const BasicBlockInfo::Block &B = P->Blocks.Blocks[BlockId];
+    if (B.Begin == B.End)
+      continue;
+
+    bool HasQuickable = P->BlockQuickablesLeft[BlockId] > 0;
+    std::vector<Opcode> Signature;
+    if (Share && !HasQuickable) {
+      Signature.reserve(B.End - B.Begin);
+      for (uint32_t I = B.Begin; I < B.End; ++I)
+        Signature.push_back(Program.Code[I].Op);
+      auto It = SharedBlocks.find(Signature);
+      if (It != SharedBlocks.end()) {
+        // Reuse the existing fragment: same addresses, same branch
+        // sites — this is precisely what makes the dispatch at the end
+        // of a shared superinstruction less predictable (§5.2).
+        for (uint32_t I = 0; I < It->second.size(); ++I)
+          P->Pieces[B.Begin + I] = It->second[I];
+        continue;
+      }
+    }
+
+    emitFragment(componentsFor(B.Begin, B.End, /*UseSupers=*/false,
+                               /*AcrossBlocks=*/false),
+                 /*AcrossMode=*/false);
+
+    if (Share && !HasQuickable) {
+      std::vector<Piece> Copy(P->Pieces.begin() + B.Begin,
+                              P->Pieces.begin() + B.End);
+      SharedBlocks.emplace(std::move(Signature), std::move(Copy));
+    }
+  }
+}
+
+void DispatchBuildContext::buildAcrossBB() {
+  bool UseSupers = Config.Kind == DispatchStrategy::WithStaticSuper ||
+                   Config.Kind == DispatchStrategy::WithStaticSuperAcross;
+  bool AcrossParse = Config.Kind == DispatchStrategy::WithStaticSuperAcross;
+
+  // Region boundaries: function entries (translation is per word/method)
+  // and — when static superinstructions are mixed in — blocks that still
+  // contain quickable instructions, whose code is generated only after
+  // quickening completes (§5.4).
+  std::vector<bool> RegionStart(Program.size(), false);
+  if (Program.size() > 0)
+    RegionStart[0] = true;
+  for (uint32_t FE : Program.FunctionEntries)
+    if (FE < Program.size())
+      RegionStart[FE] = true;
+
+  std::vector<bool> LateBlock(P->Blocks.numBlocks(), false);
+  if (UseSupers) {
+    for (uint32_t BlockId = 0; BlockId < P->Blocks.numBlocks(); ++BlockId) {
+      if (P->BlockQuickablesLeft[BlockId] == 0)
+        continue;
+      LateBlock[BlockId] = true;
+      const BasicBlockInfo::Block &B = P->Blocks.Blocks[BlockId];
+      RegionStart[B.Begin] = true;
+      if (B.End < Program.size())
+        RegionStart[B.End] = true;
+    }
+  }
+
+  uint32_t Begin = 0;
+  while (Begin < Program.size()) {
+    uint32_t End = Begin + 1;
+    while (End < Program.size() && !RegionStart[End])
+      ++End;
+
+    if (UseSupers && LateBlock[P->Blocks.BlockOf[Begin]]) {
+      // Late block: plain threaded pieces until quickening finishes.
+      for (uint32_t I = Begin; I < End; ++I) {
+        Opcode Op = Program.Code[I].Op;
+        P->Pieces[I] = plainPiece(Op, P->BaseRoutines[Op]);
+      }
+    } else {
+      emitFragment(componentsFor(Begin, End, UseSupers, AcrossParse),
+                   /*AcrossMode=*/true);
+    }
+    Begin = End;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<DispatchProgram> DispatchBuildContext::run() {
+  P = std::unique_ptr<DispatchProgram>(new DispatchProgram());
+  P->Config = Config;
+  P->Opcodes = &Opcodes;
+  P->Program = &Program;
+  P->Pieces.resize(Program.size());
+  P->Gaps.resize(Program.size());
+  P->Blocks = Program.computeBasicBlocks(Opcodes);
+  P->DynamicBump = cost::DynamicCodeStart;
+
+  layoutBaseRoutines();
+  computeEligibility();
+  countBlockQuickables();
+  layoutStaticExtras();
+
+  switch (Config.Kind) {
+  case DispatchStrategy::Switch:
+    buildSwitch();
+    break;
+  case DispatchStrategy::Threaded:
+    buildThreaded();
+    break;
+  case DispatchStrategy::StaticRepl:
+    buildStaticRepl();
+    break;
+  case DispatchStrategy::StaticSuper:
+  case DispatchStrategy::StaticBoth:
+    buildStaticSuper();
+    break;
+  case DispatchStrategy::DynamicRepl:
+    buildDynamicRepl();
+    break;
+  case DispatchStrategy::DynamicSuper:
+    buildDynamicSuperPerBlock(/*Share=*/true);
+    break;
+  case DispatchStrategy::DynamicBoth:
+    buildDynamicSuperPerBlock(/*Share=*/false);
+    break;
+  case DispatchStrategy::AcrossBB:
+  case DispatchStrategy::WithStaticSuper:
+  case DispatchStrategy::WithStaticSuperAcross:
+    buildAcrossBB();
+    break;
+  }
+  return std::move(P);
+}
+
+std::unique_ptr<DispatchProgram>
+DispatchBuilder::build(const VMProgram &Program, const OpcodeSet &Opcodes,
+                       const StrategyConfig &Config,
+                       const StaticResources *Static) {
+  assert((!usesStaticSupers(Config.Kind) && !usesReplicas(Config.Kind)) ||
+         Static != nullptr);
+  DispatchBuildContext Context(Program, Opcodes, Config, Static);
+  return Context.run();
+}

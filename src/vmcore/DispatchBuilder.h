@@ -1,0 +1,65 @@
+//===- vmcore/DispatchBuilder.h - Build dispatch layouts --------*- C++ -*-===//
+///
+/// \file
+/// Constructs a DispatchProgram (threaded-code layout in the simulated
+/// native-code address space) for a VM program under each of the
+/// paper's dispatch strategies (§5): switch, plain threaded, static
+/// replication/superinstructions, dynamic replication, dynamic
+/// superinstructions (within and across basic blocks), and the
+/// combinations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_VMCORE_DISPATCHBUILDER_H
+#define VMIB_VMCORE_DISPATCHBUILDER_H
+
+#include "vmcore/DispatchProgram.h"
+#include "vmcore/Profile.h"
+
+#include <memory>
+
+namespace vmib {
+
+/// Build-time resources selected from a training profile (§5.1):
+/// the static superinstruction table and the replica allocation.
+struct StaticResources {
+  SuperTable Supers;
+  /// Additional routine copies per opcode (beyond the base routine).
+  std::vector<uint32_t> OpcodeReplicas;
+  /// Additional routine copies per superinstruction (static both).
+  std::vector<uint32_t> SuperReplicas;
+};
+
+/// Selects superinstructions and distributes replicas from \p Profile.
+///
+/// \param SuperCount   number of superinstructions to put in the table.
+/// \param ReplicaCount number of additional instruction copies to
+///                     distribute (proportional to profile weight).
+/// \param Weighting    ranking scheme (Gforth dynamic vs JVM
+///                     short-biased static; §7.1).
+/// \param ReplicateSupers when true, replicas are distributed over both
+///                     plain opcodes and the selected superinstructions
+///                     ("static both").
+StaticResources selectStaticResources(const SequenceProfile &Profile,
+                                      const OpcodeSet &Opcodes,
+                                      uint32_t SuperCount,
+                                      uint32_t ReplicaCount,
+                                      SuperWeighting Weighting,
+                                      bool ReplicateSupers = false);
+
+/// Builds dispatch layouts. Stateless; all state lives in the returned
+/// DispatchProgram.
+class DispatchBuilder {
+public:
+  /// Builds the layout for \p Program under \p Config. \p Static must be
+  /// non-null for strategies that use static replicas or
+  /// superinstructions and is ignored otherwise.
+  static std::unique_ptr<DispatchProgram>
+  build(const VMProgram &Program, const OpcodeSet &Opcodes,
+        const StrategyConfig &Config,
+        const StaticResources *Static = nullptr);
+};
+
+} // namespace vmib
+
+#endif // VMIB_VMCORE_DISPATCHBUILDER_H

@@ -1,0 +1,226 @@
+//===- vmcore/DispatchProgram.cpp -----------------------------------------===//
+
+#include "vmcore/DispatchProgram.h"
+
+#include "vmcore/CostModel.h"
+
+#include <cassert>
+
+using namespace vmib;
+
+Piece DispatchProgram::plainPieceFor(Opcode Op, const Routine &R) const {
+  const OpcodeInfo &Info = Opcodes->info(Op);
+  Piece P;
+  P.EntryAddr = R.Entry;
+  P.BranchSite = R.Branch;
+  P.CodeBytes = R.Bytes;
+  P.WorkInstrs = Info.WorkInstrs;
+  P.DispatchInstrs = cost::ThreadedDispatchInstrs;
+  P.Kind = DispatchKind::Always;
+  return P;
+}
+
+DispatchProgram::Routine &DispatchProgram::replicaFor(Opcode Op) {
+  // Round-robin over {base routine, additional replicas}: an opcode with
+  // one additional copy alternates between two versions (Table II).
+  if (Op >= Replicas.size() || Replicas[Op].empty())
+    return BaseRoutines[Op];
+  uint32_t Which = ReplicaRR[Op]++ % (Replicas[Op].size() + 1);
+  if (Which == 0)
+    return BaseRoutines[Op];
+  return Replicas[Op][Which - 1];
+}
+
+void DispatchProgram::onQuicken(uint32_t Index) {
+  assert(Index < Pieces.size() && "quicken index out of range");
+  ++QuickenCount;
+  Opcode NewOp = Program->Code[Index].Op;
+  assert(!Opcodes->info(NewOp).Quickable &&
+         "quick form must not itself be quickable");
+
+  switch (Config.Kind) {
+  case DispatchStrategy::Switch: {
+    const Routine &R = BaseRoutines[NewOp];
+    Piece P;
+    P.EntryAddr = R.Entry;
+    P.CodeBytes = R.Bytes;
+    P.BranchSite = SwitchBranch;
+    P.WorkInstrs = Opcodes->info(NewOp).WorkInstrs;
+    P.DispatchInstrs = cost::SwitchDispatchInstrs;
+    P.Kind = DispatchKind::Always;
+    P.ExtraFetchAddr = SwitchBlockAddr;
+    P.ExtraFetchBytes = cost::SwitchSharedBlockBytes;
+    Pieces[Index] = P;
+    return;
+  }
+  case DispatchStrategy::Threaded:
+    Pieces[Index] = plainPieceFor(NewOp, BaseRoutines[NewOp]);
+    return;
+  case DispatchStrategy::StaticRepl:
+    Pieces[Index] = plainPieceFor(NewOp, replicaFor(NewOp));
+    return;
+  case DispatchStrategy::StaticSuper:
+  case DispatchStrategy::StaticBoth:
+    applyQuickStatic(Index, NewOp);
+    return;
+  case DispatchStrategy::DynamicRepl:
+  case DispatchStrategy::DynamicSuper:
+  case DispatchStrategy::DynamicBoth:
+  case DispatchStrategy::AcrossBB:
+    applyQuickDynamic(Index, NewOp);
+    return;
+  case DispatchStrategy::WithStaticSuper:
+  case DispatchStrategy::WithStaticSuperAcross: {
+    // Late-generation scheme: the block keeps executing uncopied
+    // routines until its last quickable instruction resolves, then its
+    // dynamic code (including static superinstructions) is generated.
+    Pieces[Index] = plainPieceFor(NewOp, BaseRoutines[NewOp]);
+    uint32_t Block = Blocks.BlockOf[Index];
+    assert(BlockQuickablesLeft[Block] > 0 && "quickable count underflow");
+    if (--BlockQuickablesLeft[Block] == 0)
+      regenerateBlockDynamic(Block);
+    return;
+  }
+  }
+}
+
+void DispatchProgram::applyQuickStatic(uint32_t Index, Opcode NewOp) {
+  // The quick instruction initially runs as a plain routine (or replica,
+  // for the "static both" configuration); once no quickable
+  // instructions remain in the block, the block is re-parsed so quick
+  // forms can join superinstructions (§5.4).
+  Pieces[Index] = plainPieceFor(NewOp, replicaFor(NewOp));
+  uint32_t Block = Blocks.BlockOf[Index];
+  assert(BlockQuickablesLeft[Block] > 0 && "quickable count underflow");
+  if (--BlockQuickablesLeft[Block] == 0)
+    reparseBlockStatic(Block);
+}
+
+void DispatchProgram::reparseBlockStatic(uint32_t BlockId) {
+  const BasicBlockInfo::Block &B = Blocks.Blocks[BlockId];
+  auto Segments = Supers.parse(Program->Code, B.Begin, B.End, SuperEligible,
+                               Config.Parse);
+  for (const auto &Seg : Segments) {
+    if (Seg.Super == NoSuper)
+      continue; // single instructions keep their existing pieces
+    const Routine &R = SuperRoutines[Seg.Super];
+    uint32_t Work = SuperWorkInstrs[Seg.Super];
+    // First component carries the whole superinstruction body; the last
+    // carries its dispatch; interior components are free.
+    for (uint32_t I = 0; I < Seg.Length; ++I) {
+      Piece P;
+      P.EntryAddr = R.Entry;
+      P.Kind = DispatchKind::None;
+      if (I == 0) {
+        P.CodeBytes = R.Bytes;
+        P.WorkInstrs = static_cast<uint16_t>(Work);
+      }
+      if (I + 1 == Seg.Length) {
+        P.Kind = DispatchKind::Always;
+        P.BranchSite = R.Branch;
+        P.DispatchInstrs = cost::ThreadedDispatchInstrs;
+      }
+      Pieces[Seg.Begin + I] = P;
+    }
+  }
+}
+
+void DispatchProgram::applyQuickDynamic(uint32_t Index, Opcode NewOp) {
+  const QuickGap &Gap = Gaps[Index];
+  assert(Gap.GapBytes != 0 && "quickable instance has no reserved gap");
+  const OpcodeInfo &Info = Opcodes->info(NewOp);
+
+  Piece P;
+  P.EntryAddr = Gap.GapAddr;
+  if (Gap.InteriorAfterQuick && Info.Branch == BranchKind::None) {
+    // Quick code fills the gap and falls through to the next component
+    // of the dynamic superinstruction (§5.4).
+    P.Kind = DispatchKind::None;
+    P.CodeBytes = Info.BodyBytes + cost::JunctionIpIncBytes;
+    P.WorkInstrs =
+        static_cast<uint16_t>(Info.WorkInstrs + cost::JunctionIpIncInstrs);
+  } else {
+    // At a fragment end (or a control transfer, e.g. a quickened
+    // invoke): the gap ends in a normal dispatch.
+    P.Kind = DispatchKind::Always;
+    P.CodeBytes = Info.BodyBytes + cost::ThreadedDispatchBytes;
+    P.BranchSite = Gap.GapAddr + Info.BodyBytes;
+    P.WorkInstrs = Info.WorkInstrs;
+    P.DispatchInstrs = cost::ThreadedDispatchInstrs;
+  }
+  assert(P.CodeBytes <= Gap.GapBytes && "quick code overflows its gap");
+  Pieces[Index] = P;
+}
+
+void DispatchProgram::regenerateBlockDynamic(uint32_t BlockId) {
+  const BasicBlockInfo::Block &B = Blocks.Blocks[BlockId];
+  auto Segments = Supers.parse(Program->Code, B.Begin, B.End, SuperEligible,
+                               Config.Parse);
+
+  Addr Frag = (DynamicBump + cost::CodeAlign - 1) & ~Addr(cost::CodeAlign - 1);
+  Addr Cur = Frag;
+
+  for (size_t S = 0; S < Segments.size(); ++S) {
+    const auto &Seg = Segments[S];
+    bool Last = S + 1 == Segments.size();
+    Opcode FirstOp = Program->Code[Seg.Begin].Op;
+    const OpcodeInfo &Info = Opcodes->info(FirstOp);
+
+    // Non-relocatable single instructions cannot be copied: execution
+    // dispatches through the original routine (§5.2).
+    bool Copyable = Seg.Super != NoSuper || Info.Relocatable;
+    if (!Copyable) {
+      Pieces[Seg.Begin] = plainPieceFor(FirstOp, BaseRoutines[FirstOp]);
+      // The preceding copied segment (if any) already ends with a
+      // dispatch because we give every segment an explicit one below
+      // when its successor is a break; here regeneration is per-block
+      // and segment-level, so simply continue.
+      continue;
+    }
+
+    uint32_t BodyBytes, Work;
+    if (Seg.Super != NoSuper) {
+      const Routine &R = SuperRoutines[Seg.Super];
+      BodyBytes = R.Bytes > cost::ThreadedDispatchBytes
+                      ? R.Bytes - cost::ThreadedDispatchBytes
+                      : R.Bytes;
+      Work = SuperWorkInstrs[Seg.Super];
+    } else {
+      BodyBytes = Info.BodyBytes;
+      Work = Info.WorkInstrs;
+    }
+
+    // A regenerated block is its own fragment; it always ends with a
+    // dispatch, and a non-copyable successor also forces one.
+    bool NextIsBreak =
+        !Last && Segments[S + 1].Super == NoSuper &&
+        !Opcodes->info(Program->Code[Segments[S + 1].Begin].Op).Relocatable;
+    bool EndsWithDispatch = Last || NextIsBreak;
+
+    uint32_t PieceBytes = BodyBytes + (EndsWithDispatch
+                                           ? cost::ThreadedDispatchBytes
+                                           : cost::JunctionIpIncBytes);
+    uint32_t PieceWork =
+        Work + (EndsWithDispatch ? 0 : cost::JunctionIpIncInstrs);
+
+    for (uint32_t I = 0; I < Seg.Length; ++I) {
+      Piece P;
+      P.EntryAddr = Cur;
+      P.Kind = DispatchKind::None;
+      if (I == 0) {
+        P.CodeBytes = PieceBytes;
+        P.WorkInstrs = static_cast<uint16_t>(PieceWork);
+      }
+      if (I + 1 == Seg.Length && EndsWithDispatch) {
+        P.Kind = DispatchKind::Always;
+        P.BranchSite = Cur + BodyBytes;
+        P.DispatchInstrs = cost::ThreadedDispatchInstrs;
+      }
+      Pieces[Seg.Begin + I] = P;
+    }
+    Cur += PieceBytes;
+  }
+
+  GeneratedBytes += Cur - Frag;
+  DynamicBump = Cur;
+}

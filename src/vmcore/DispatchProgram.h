@@ -1,0 +1,151 @@
+//===- vmcore/DispatchProgram.h - Threaded-code layout ----------*- C++ -*-===//
+///
+/// \file
+/// The result of applying a dispatch strategy to a VM program: for every
+/// VM instruction instance, the simulated native-code *piece* that
+/// executes for it — its entry address, code footprint, instruction
+/// cost, and the indirect dispatch branch (if any) at its end. This is
+/// exactly the state a BTB and an I-cache observe, which is what the
+/// paper's techniques manipulate.
+///
+/// The layout is mutable at run time in two paper-mandated ways:
+/// quickening patches quick code into the gaps left in dynamic copies
+/// (§5.4), and blocks mixing static superinstructions with dynamic
+/// copying are (re)generated once their quickable count reaches zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_VMCORE_DISPATCHPROGRAM_H
+#define VMIB_VMCORE_DISPATCHPROGRAM_H
+
+#include "uarch/BranchPredictor.h"
+#include "vmcore/Strategy.h"
+#include "vmcore/VMProgram.h"
+
+#include <memory>
+#include <vector>
+
+namespace vmib {
+
+/// When the piece's dispatch branch executes.
+enum class DispatchKind : uint8_t {
+  None,      ///< falls through (inside a superinstruction)
+  Always,    ///< every execution dispatches (plain threaded routines)
+  TakenOnly, ///< conditional VM branch inside an across-bb fragment:
+             ///< only the taken path dispatches (§5.2)
+};
+
+/// The native-code piece executed for one VM instruction instance.
+struct Piece {
+  Addr EntryAddr = 0;   ///< where execution of this instance starts
+  Addr BranchSite = 0;  ///< address of the dispatch indirect branch
+  uint32_t CodeBytes = 0;     ///< bytes fetched at EntryAddr
+  uint16_t WorkInstrs = 0;    ///< native instructions for the body
+  uint16_t DispatchInstrs = 0; ///< native instructions for the dispatch
+  DispatchKind Kind = DispatchKind::Always;
+  /// Secondary fetch: the shared switch-dispatch block, or the original
+  /// routine executed via the pre-quickening gap stub.
+  Addr ExtraFetchAddr = 0;
+  uint16_t ExtraFetchBytes = 0;
+  /// Pre-quickening gap stub: the in-gap dispatch that jumps to the
+  /// original quickable routine counts as one extra (cold) indirect
+  /// branch per execution.
+  bool ColdStubBranch = false;
+  /// If nonzero, this piece is *interior* to a static superinstruction
+  /// that crosses a basic-block boundary (w/static super across). A
+  /// dispatch landing here side-enters the superinstruction: execution
+  /// uses the non-replicated fallback pieces up to (exclusive) this
+  /// index (§7.1, Fig. 6).
+  uint32_t FallbackEnd = 0;
+};
+
+/// A built dispatch layout for one (program, strategy) pair.
+class DispatchProgram {
+public:
+  const Piece &piece(uint32_t Index) const { return Pieces[Index]; }
+  const Piece &fallback(uint32_t Index) const { return Fallbacks[Index]; }
+  bool hasFallbacks() const { return !Fallbacks.empty(); }
+  uint32_t numPieces() const { return static_cast<uint32_t>(Pieces.size()); }
+
+  const StrategyConfig &config() const { return Config; }
+  const VMProgram &program() const { return *Program; }
+  const OpcodeSet &opcodes() const { return *Opcodes; }
+
+  /// Native code bytes generated at run time (dynamic strategies).
+  uint64_t generatedCodeBytes() const { return GeneratedBytes; }
+  /// Native code bytes of build-time replica/superinstruction routines.
+  uint64_t staticExtraCodeBytes() const { return StaticExtraBytes; }
+  /// Case-block-table hint for a dispatch targeting \p Index: the VM
+  /// opcode being dispatched (the switch operand).
+  uint64_t hintFor(uint32_t Index) const { return Program->Code[Index].Op; }
+
+  /// Notification that the engine rewrote Code[Index] into its quick
+  /// form (the VMProgram is already updated). Patches the layout: quick
+  /// code into the dynamic-copy gap, replica selection for the quick
+  /// opcode, and static-superinstruction re-parsing once the enclosing
+  /// block has no quickable instructions left (§5.4).
+  void onQuicken(uint32_t Index);
+
+  /// Number of onQuicken notifications processed (test introspection).
+  uint64_t quickenCount() const { return QuickenCount; }
+
+private:
+  friend class DispatchBuilder;
+  friend class DispatchBuildContext;
+
+  /// A compiled routine in the simulated code segment.
+  struct Routine {
+    Addr Entry = 0;
+    Addr Branch = 0;
+    uint32_t Bytes = 0;
+  };
+
+  /// Per-instance data needed to patch quick code later.
+  struct QuickGap {
+    Addr GapAddr = 0;
+    uint32_t GapBytes = 0;
+    /// Whether the patched piece falls through (interior of a dynamic
+    /// fragment) rather than dispatching.
+    bool InteriorAfterQuick = false;
+  };
+
+  void applyQuickStatic(uint32_t Index, Opcode NewOp);
+  void applyQuickDynamic(uint32_t Index, Opcode NewOp);
+  void reparseBlockStatic(uint32_t BlockId);
+  void regenerateBlockDynamic(uint32_t BlockId);
+  Routine &replicaFor(Opcode Op);
+  Piece plainPieceFor(Opcode Op, const Routine &R) const;
+
+  StrategyConfig Config;
+  const OpcodeSet *Opcodes = nullptr;
+  const VMProgram *Program = nullptr;
+
+  std::vector<Piece> Pieces;
+  std::vector<Piece> Fallbacks;
+  uint64_t GeneratedBytes = 0;
+  uint64_t StaticExtraBytes = 0;
+  uint64_t QuickenCount = 0;
+
+  // --- quickening support (filled by the builder as needed) ---
+  std::vector<Routine> BaseRoutines;           // per opcode
+  std::vector<std::vector<Routine>> Replicas;  // per opcode (static repl)
+  std::vector<uint32_t> ReplicaRR;             // round-robin cursors
+  std::vector<QuickGap> Gaps;                  // per instruction index
+  Addr SwitchBranch = 0;                       // switch strategy
+  Addr SwitchBlockAddr = 0;
+
+  // Static superinstruction re-parse state.
+  SuperTable Supers;
+  std::vector<Routine> SuperRoutines;          // per super id
+  std::vector<uint32_t> SuperWorkInstrs;       // fused cost per super id
+  std::vector<bool> SuperEligible;             // per opcode
+  BasicBlockInfo Blocks;
+  std::vector<uint32_t> BlockQuickablesLeft;   // per block id
+
+  // Bump allocator for run-time generated fragments.
+  Addr DynamicBump = 0;
+};
+
+} // namespace vmib
+
+#endif // VMIB_VMCORE_DISPATCHPROGRAM_H

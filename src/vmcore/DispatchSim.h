@@ -1,0 +1,80 @@
+//===- vmcore/DispatchSim.h - Dispatch event simulator ----------*- C++ -*-===//
+///
+/// \file
+/// Consumes the execution of a VM program over a DispatchProgram layout
+/// and drives the branch predictor and instruction cache with exactly
+/// the events real hardware would see: one fetch per executed piece and
+/// one indirect-branch (site -> target) pair per dispatch. Fills a
+/// PerfCounters with the metrics of §7.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_VMCORE_DISPATCHSIM_H
+#define VMIB_VMCORE_DISPATCHSIM_H
+
+#include "uarch/BTB.h"
+#include "uarch/CpuModel.h"
+#include "uarch/InstructionCache.h"
+#include "vmcore/DispatchProgram.h"
+
+#include <functional>
+#include <memory>
+
+namespace vmib {
+
+/// Simulates the microarchitectural cost of interpreting a program.
+///
+/// The VM engines call step(Cur, Next) once per executed VM instruction,
+/// before control moves from instruction index Cur to Next, and finally
+/// finish() to derive cycles.
+class DispatchSim {
+public:
+  /// Next-index sentinel passed for the final (halting) instruction.
+  static constexpr uint32_t HaltNext = 0xffffffffu;
+
+  /// Creates a simulator with \p Cpu's BTB and I-cache.
+  DispatchSim(DispatchProgram &Prog, const CpuConfig &Cpu);
+
+  /// Replaces the default BTB with another predictor (ablation bench).
+  void setPredictor(std::unique_ptr<IndirectBranchPredictor> Predictor);
+
+  /// Accounts for the execution of instruction \p Cur, with control
+  /// proceeding to \p Next (HaltNext if the VM stops here).
+  void step(uint32_t Cur, uint32_t Next);
+
+  /// Derives cycles and code-size counters; call once after the run.
+  void finish();
+
+  const PerfCounters &counters() const { return Counters; }
+  DispatchProgram &program() { return Prog; }
+  IndirectBranchPredictor &predictor() { return *Predictor; }
+
+  /// Per-dispatch trace record (used by the Tables I-IV benches).
+  struct TraceEvent {
+    uint32_t Cur = 0;
+    uint32_t Next = 0;
+    Addr Site = 0;
+    Addr Predicted = 0;
+    Addr Target = 0;
+    bool Dispatched = false;
+    bool Mispredicted = false;
+  };
+
+  /// Optional per-step hook; keep unset on hot paths.
+  std::function<void(const TraceEvent &)> Trace;
+
+private:
+  DispatchProgram &Prog;
+  CpuConfig Cpu;
+  std::unique_ptr<IndirectBranchPredictor> Predictor;
+  InstructionCache ICache;
+  PerfCounters Counters;
+
+  // Side-entry fallback state (w/static super across; §7.1 Fig. 6).
+  bool InFallback = false;
+  uint32_t FallbackUntil = 0;
+};
+
+} // namespace vmib
+
+#endif // VMIB_VMCORE_DISPATCHSIM_H

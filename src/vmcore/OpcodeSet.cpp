@@ -1,0 +1,31 @@
+//===- vmcore/OpcodeSet.cpp -----------------------------------------------===//
+
+#include "vmcore/OpcodeSet.h"
+
+using namespace vmib;
+
+Opcode OpcodeSet::add(OpcodeInfo Info) {
+  assert(ByName.count(Info.Name) == 0 && "duplicate opcode name");
+  Opcode Id = static_cast<Opcode>(Infos.size());
+  ByName[Info.Name] = Id;
+  Infos.push_back(std::move(Info));
+  return Id;
+}
+
+Opcode OpcodeSet::byName(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  assert(It != ByName.end() && "unknown opcode name");
+  return It->second;
+}
+
+uint32_t OpcodeSet::maxQuickBodyBytes() const {
+  uint32_t Max = 0;
+  for (const OpcodeInfo &Info : Infos) {
+    if (!Info.Quickable)
+      continue;
+    uint32_t QuickBytes = info(Info.QuickForm).BodyBytes;
+    if (QuickBytes > Max)
+      Max = QuickBytes;
+  }
+  return Max;
+}

@@ -1,0 +1,91 @@
+//===- vmcore/OpcodeSet.h - VM instruction set metadata ---------*- C++ -*-===//
+///
+/// \file
+/// VM-neutral description of a virtual machine instruction set. The
+/// dispatch optimizations (replication, superinstructions) only need to
+/// know, for each opcode: its native code footprint, its control-flow
+/// behaviour, whether its code is relocatable (copyable, §5.2), and
+/// whether it is a JVM-style quickable instruction (§5.4). The Forth and
+/// Java VMs each build an OpcodeSet from their .def files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_VMCORE_OPCODESET_H
+#define VMIB_VMCORE_OPCODESET_H
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vmib {
+
+/// Opcode id within one VM's instruction set.
+using Opcode = uint16_t;
+
+/// Control-flow behaviour of a VM instruction, as seen by the dispatch
+/// machinery.
+enum class BranchKind : uint8_t {
+  None,     ///< straight-line; next instruction follows in VM code order
+  Cond,     ///< conditional VM branch (taken or falls through)
+  Uncond,   ///< unconditional VM branch
+  Call,     ///< VM call; pushes a return location
+  Return,   ///< VM return; target comes from the return stack
+  Indirect, ///< computed VM-level jump/call (Forth EXECUTE, invokevirtual)
+  Halt,     ///< stops the VM
+};
+
+/// Static properties of one VM opcode.
+struct OpcodeInfo {
+  std::string Name;
+  /// Native instructions executed by the body (excluding dispatch).
+  uint16_t WorkInstrs = 3;
+  /// Native code bytes of the body (excluding dispatch code).
+  uint16_t BodyBytes = 16;
+  BranchKind Branch = BranchKind::None;
+  /// Whether the compiled body is position-independent and may be
+  /// copied by the dynamic techniques (§5.2).
+  bool Relocatable = true;
+  /// JVM-style quickable instruction: rewrites itself on first
+  /// execution (§5.4).
+  bool Quickable = false;
+  /// For quickable opcodes: representative quick form (used to size the
+  /// code gap left in dynamic copies; the actual quick opcode is chosen
+  /// at quickening time and may differ).
+  Opcode QuickForm = 0;
+};
+
+/// An immutable, indexable table of OpcodeInfo.
+class OpcodeSet {
+public:
+  /// Registers an opcode; ids are assigned densely in call order.
+  Opcode add(OpcodeInfo Info);
+
+  const OpcodeInfo &info(Opcode Op) const {
+    assert(Op < Infos.size() && "opcode out of range");
+    return Infos[Op];
+  }
+
+  size_t size() const { return Infos.size(); }
+
+  /// \returns the opcode with the given name; asserts if absent.
+  Opcode byName(const std::string &Name) const;
+
+  /// \returns true if an opcode with this name exists.
+  bool contains(const std::string &Name) const {
+    return ByName.count(Name) != 0;
+  }
+
+  /// Largest quick-form code gap needed by any quickable opcode; used to
+  /// size gaps uniformly when the quick form is not known in advance.
+  uint32_t maxQuickBodyBytes() const;
+
+private:
+  std::vector<OpcodeInfo> Infos;
+  std::map<std::string, Opcode> ByName;
+};
+
+} // namespace vmib
+
+#endif // VMIB_VMCORE_OPCODESET_H

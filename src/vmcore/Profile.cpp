@@ -1,0 +1,67 @@
+//===- vmcore/Profile.cpp -------------------------------------------------===//
+
+#include "vmcore/Profile.h"
+
+using namespace vmib;
+
+void SequenceProfile::merge(const SequenceProfile &Other) {
+  if (OpcodeWeight.size() < Other.OpcodeWeight.size())
+    OpcodeWeight.resize(Other.OpcodeWeight.size(), 0);
+  for (size_t I = 0; I < Other.OpcodeWeight.size(); ++I)
+    OpcodeWeight[I] += Other.OpcodeWeight[I];
+  for (const auto &[Seq, W] : Other.SequenceWeight)
+    SequenceWeight[Seq] += W;
+}
+
+SequenceProfile vmib::buildProfile(const VMProgram &Program,
+                                   const OpcodeSet &Opcodes,
+                                   const std::vector<uint64_t> &ExecCounts,
+                                   bool RelocatableOnly) {
+  SequenceProfile Profile;
+  Profile.OpcodeWeight.assign(Opcodes.size(), 0);
+
+  auto weightOf = [&](uint32_t Index) -> uint64_t {
+    if (ExecCounts.empty())
+      return 1;
+    return Index < ExecCounts.size() ? ExecCounts[Index] : 0;
+  };
+
+  for (uint32_t I = 0; I < Program.size(); ++I)
+    Profile.OpcodeWeight[Program.Code[I].Op] += weightOf(I);
+
+  // Enumerate sequences of eligible opcodes within each basic block,
+  // weighting each by its execution count (all instructions of a block
+  // execute equally often, so the count of the first element serves).
+  auto eligible = [&](Opcode Op) {
+    const OpcodeInfo &Info = Opcodes.info(Op);
+    if (Info.Branch != BranchKind::None || Info.Quickable)
+      return false;
+    if (RelocatableOnly && !Info.Relocatable)
+      return false;
+    return true;
+  };
+
+  BasicBlockInfo Blocks = Program.computeBasicBlocks(Opcodes);
+  for (const BasicBlockInfo::Block &B : Blocks.Blocks) {
+    for (uint32_t Start = B.Begin; Start < B.End; ++Start) {
+      if (!eligible(Program.Code[Start].Op))
+        continue;
+      uint64_t Weight = weightOf(Start);
+      if (Weight == 0)
+        continue;
+      std::vector<Opcode> Seq;
+      Seq.push_back(Program.Code[Start].Op);
+      uint32_t MaxEnd = B.End;
+      for (uint32_t Next = Start + 1;
+           Next < MaxEnd &&
+           Seq.size() < SequenceProfile::MaxSequenceLength;
+           ++Next) {
+        if (!eligible(Program.Code[Next].Op))
+          break;
+        Seq.push_back(Program.Code[Next].Op);
+        Profile.SequenceWeight[Seq] += Weight;
+      }
+    }
+  }
+  return Profile;
+}

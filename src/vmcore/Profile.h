@@ -1,0 +1,52 @@
+//===- vmcore/Profile.h - Opcode and sequence profiles ----------*- C++ -*-===//
+///
+/// \file
+/// Training-run profiles used to select static replicas and static
+/// superinstructions (§5.1, §7.1). Gforth selection uses the dynamic
+/// frequencies of a training run (brainless); the JVM selection uses
+/// static occurrence counts across *other* programs with shorter
+/// sequences weighted up (§7.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_VMCORE_PROFILE_H
+#define VMIB_VMCORE_PROFILE_H
+
+#include "vmcore/VMProgram.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace vmib {
+
+/// Frequencies of opcodes and intra-block opcode sequences.
+struct SequenceProfile {
+  /// Per-opcode weight (dynamic execution count or static occurrences).
+  std::vector<uint64_t> OpcodeWeight;
+  /// Weight of every opcode sequence of length 2..MaxSequenceLength that
+  /// appears inside a basic block.
+  std::map<std::vector<Opcode>, uint64_t> SequenceWeight;
+
+  static constexpr uint32_t MaxSequenceLength = 8;
+
+  /// Merges another profile into this one (used for the JVM's
+  /// leave-one-out cross-program selection).
+  void merge(const SequenceProfile &Other);
+};
+
+/// Builds a profile of \p Program. \p ExecCounts gives the number of
+/// times each instruction index executed (from a training run); pass an
+/// empty vector for a static profile (every occurrence counts once).
+///
+/// Sequences containing control flow, quickable, or (when
+/// \p RelocatableOnly) non-relocatable opcodes are not eligible as
+/// superinstruction components and are skipped.
+SequenceProfile buildProfile(const VMProgram &Program,
+                             const OpcodeSet &Opcodes,
+                             const std::vector<uint64_t> &ExecCounts,
+                             bool RelocatableOnly = false);
+
+} // namespace vmib
+
+#endif // VMIB_VMCORE_PROFILE_H

@@ -1,0 +1,45 @@
+//===- vmcore/Relocation.cpp ----------------------------------------------===//
+
+#include "vmcore/Relocation.h"
+
+#include "support/Random.h"
+
+using namespace vmib;
+
+std::vector<uint8_t> vmib::emitRoutineBody(const OpcodeSet &Opcodes,
+                                           Opcode Op, Addr At) {
+  const OpcodeInfo &Info = Opcodes.info(Op);
+  std::vector<uint8_t> Bytes(Info.BodyBytes);
+  // Address-independent filler derived from the opcode alone.
+  SplitMix64 Rng(0xC0DE0000ULL + Op);
+  for (uint8_t &B : Bytes)
+    B = static_cast<uint8_t>(Rng.next());
+
+  if (!Info.Relocatable && Info.BodyBytes >= 8) {
+    // A PC-relative displacement to a fixed external symbol (e.g. the
+    // exception-throw helper or an external C function): changes with
+    // the emission address, so the two compilations differ.
+    constexpr Addr ExternalSymbol = 0x0804000;
+    uint32_t Disp = static_cast<uint32_t>(ExternalSymbol - (At + 8));
+    Bytes[4] = static_cast<uint8_t>(Disp);
+    Bytes[5] = static_cast<uint8_t>(Disp >> 8);
+    Bytes[6] = static_cast<uint8_t>(Disp >> 16);
+    Bytes[7] = static_cast<uint8_t>(Disp >> 24);
+  }
+  return Bytes;
+}
+
+bool vmib::detectRelocatable(const OpcodeSet &Opcodes, Opcode Op) {
+  // First compilation at one address; second "padded" compilation 4KB
+  // later, mirroring the paper's padding trick.
+  std::vector<uint8_t> First = emitRoutineBody(Opcodes, Op, 0x08048000);
+  std::vector<uint8_t> Second = emitRoutineBody(Opcodes, Op, 0x08049000);
+  return First == Second;
+}
+
+std::vector<bool> vmib::detectRelocatableAll(const OpcodeSet &Opcodes) {
+  std::vector<bool> Result(Opcodes.size());
+  for (Opcode Op = 0; Op < Opcodes.size(); ++Op)
+    Result[Op] = detectRelocatable(Opcodes, Op);
+  return Result;
+}

@@ -1,0 +1,44 @@
+//===- vmcore/Relocation.h - Relocatability detection -----------*- C++ -*-===//
+///
+/// \file
+/// The paper's portable relocatability check (§5.2): compile the
+/// interpreter twice, the second time with gratuitous padding between VM
+/// instruction routines, and compare the two code fragments for each
+/// routine — if they are byte-identical the routine is
+/// position-independent and may be copied at run time.
+///
+/// Here the "compiler" is a deterministic synthetic code generator: a
+/// relocatable body's bytes depend only on the opcode, while a
+/// non-relocatable body embeds a PC-relative displacement to an external
+/// symbol (the x86 call/throw-path pattern the paper describes), which
+/// changes when the routine moves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_VMCORE_RELOCATION_H
+#define VMIB_VMCORE_RELOCATION_H
+
+#include "uarch/BranchPredictor.h" // for Addr
+#include "vmcore/OpcodeSet.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace vmib {
+
+/// Emits the synthetic native-code bytes for \p Op's body when compiled
+/// at address \p At. Deterministic in (Op, At).
+std::vector<uint8_t> emitRoutineBody(const OpcodeSet &Opcodes, Opcode Op,
+                                     Addr At);
+
+/// The two-compilation comparison: emits \p Op's body at two different
+/// addresses (simulating the padded second interpreter function) and
+/// \returns true iff the bytes match, i.e. the routine is copyable.
+bool detectRelocatable(const OpcodeSet &Opcodes, Opcode Op);
+
+/// Runs detectRelocatable over the whole instruction set.
+std::vector<bool> detectRelocatableAll(const OpcodeSet &Opcodes);
+
+} // namespace vmib
+
+#endif // VMIB_VMCORE_RELOCATION_H

@@ -1,0 +1,64 @@
+//===- vmcore/Strategy.cpp ------------------------------------------------===//
+
+#include "vmcore/Strategy.h"
+
+using namespace vmib;
+
+const char *vmib::strategyName(DispatchStrategy Kind) {
+  switch (Kind) {
+  case DispatchStrategy::Switch:
+    return "switch";
+  case DispatchStrategy::Threaded:
+    return "plain";
+  case DispatchStrategy::StaticRepl:
+    return "static repl";
+  case DispatchStrategy::StaticSuper:
+    return "static super";
+  case DispatchStrategy::StaticBoth:
+    return "static both";
+  case DispatchStrategy::DynamicRepl:
+    return "dynamic repl";
+  case DispatchStrategy::DynamicSuper:
+    return "dynamic super";
+  case DispatchStrategy::DynamicBoth:
+    return "dynamic both";
+  case DispatchStrategy::AcrossBB:
+    return "across bb";
+  case DispatchStrategy::WithStaticSuper:
+    return "with static super";
+  case DispatchStrategy::WithStaticSuperAcross:
+    return "w/static super across";
+  }
+  return "unknown";
+}
+
+bool vmib::isDynamicStrategy(DispatchStrategy Kind) {
+  switch (Kind) {
+  case DispatchStrategy::DynamicRepl:
+  case DispatchStrategy::DynamicSuper:
+  case DispatchStrategy::DynamicBoth:
+  case DispatchStrategy::AcrossBB:
+  case DispatchStrategy::WithStaticSuper:
+  case DispatchStrategy::WithStaticSuperAcross:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool vmib::usesStaticSupers(DispatchStrategy Kind) {
+  switch (Kind) {
+  case DispatchStrategy::StaticSuper:
+  case DispatchStrategy::StaticBoth:
+  case DispatchStrategy::WithStaticSuper:
+  case DispatchStrategy::WithStaticSuperAcross:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool vmib::usesReplicas(DispatchStrategy Kind) {
+  return Kind == DispatchStrategy::StaticRepl ||
+         Kind == DispatchStrategy::StaticBoth;
+}

@@ -1,0 +1,69 @@
+//===- vmcore/Strategy.h - Dispatch optimization strategies -----*- C++ -*-===//
+///
+/// \file
+/// The interpreter variants of §7.1, in the paper's order and naming:
+/// plain (threaded), static repl, static super, static both, dynamic
+/// repl, dynamic super, dynamic both, across bb, with static super, plus
+/// the JVM-only "w/static super across" and the switch-dispatch baseline
+/// of §2.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_VMCORE_STRATEGY_H
+#define VMIB_VMCORE_STRATEGY_H
+
+#include "vmcore/SuperTable.h"
+
+#include <cstdint>
+#include <string>
+
+namespace vmib {
+
+/// Which dispatch construction to apply to a program.
+enum class DispatchStrategy : uint8_t {
+  Switch,        ///< shared-branch switch dispatch (baseline of §2.1)
+  Threaded,      ///< "plain": threaded code, one branch per routine
+  StaticRepl,    ///< build-time replicas, round-robin selection (§5.1)
+  StaticSuper,   ///< build-time superinstructions (§5.1)
+  StaticBoth,    ///< superinstructions plus replicas of both (§7.1)
+  DynamicRepl,   ///< run-time copy per instruction instance (§5.2)
+  DynamicSuper,  ///< per-basic-block copies, identical blocks shared
+  DynamicBoth,   ///< per-basic-block copies, no sharing (replication)
+  AcrossBB,      ///< dynamic superinstructions across basic blocks
+  WithStaticSuper,       ///< across-bb built from static-super pieces
+  WithStaticSuperAcross, ///< JVM: static supers may cross block bounds
+};
+
+/// How replicas are picked for instruction instances (§5.1: round-robin
+/// beats random thanks to spatial locality; both are implemented for the
+/// ablation bench).
+enum class ReplicaPolicy : uint8_t { RoundRobin, Random };
+
+/// Full configuration of one interpreter variant.
+struct StrategyConfig {
+  DispatchStrategy Kind = DispatchStrategy::Threaded;
+  /// Number of additional static instructions used as replicas.
+  uint32_t ReplicaCount = 0;
+  /// Number of static superinstructions in the table.
+  uint32_t SuperCount = 0;
+  ReplicaPolicy Policy = ReplicaPolicy::RoundRobin;
+  ParsePolicy Parse = ParsePolicy::Greedy;
+  uint64_t Seed = 0x5eed;
+};
+
+/// \returns the paper's display name for a strategy ("plain",
+/// "static repl", ...).
+const char *strategyName(DispatchStrategy Kind);
+
+/// \returns whether the strategy generates code at run time.
+bool isDynamicStrategy(DispatchStrategy Kind);
+
+/// \returns whether the strategy uses a static superinstruction table.
+bool usesStaticSupers(DispatchStrategy Kind);
+
+/// \returns whether the strategy uses static replicas.
+bool usesReplicas(DispatchStrategy Kind);
+
+} // namespace vmib
+
+#endif // VMIB_VMCORE_STRATEGY_H

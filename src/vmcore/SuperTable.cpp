@@ -1,0 +1,169 @@
+//===- vmcore/SuperTable.cpp ----------------------------------------------===//
+
+#include "vmcore/SuperTable.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vmib;
+
+void SuperTable::insert(const std::vector<Opcode> &Seq, SuperId Id) {
+  uint32_t Node = 0;
+  for (Opcode Op : Seq) {
+    auto It = Trie[Node].Next.find(Op);
+    if (It == Trie[Node].Next.end()) {
+      uint32_t NewNode = static_cast<uint32_t>(Trie.size());
+      Trie[Node].Next[Op] = NewNode;
+      Trie.emplace_back();
+      Node = NewNode;
+    } else {
+      Node = It->second;
+    }
+  }
+  Trie[Node].Terminal = Id;
+}
+
+SuperTable SuperTable::fromSequences(std::vector<std::vector<Opcode>> Seqs) {
+  SuperTable Table;
+  for (auto &Seq : Seqs) {
+    assert(Seq.size() >= 2 && "superinstructions have >= 2 components");
+    SuperId Id = static_cast<SuperId>(Table.Sequences.size());
+    Table.Sequences.push_back(Seq);
+    Table.insert(Seq, Id);
+  }
+  return Table;
+}
+
+SuperTable SuperTable::select(const SequenceProfile &Profile, uint32_t Count,
+                              SuperWeighting Weighting) {
+  struct Candidate {
+    const std::vector<Opcode> *Seq;
+    double Score;
+    uint64_t RawWeight;
+  };
+  std::vector<Candidate> Candidates;
+  Candidates.reserve(Profile.SequenceWeight.size());
+  for (const auto &[Seq, Weight] : Profile.SequenceWeight) {
+    if (Weight == 0)
+      continue;
+    double Score = static_cast<double>(Weight);
+    if (Weighting == SuperWeighting::StaticShortBiased)
+      Score /= static_cast<double>(Seq.size());
+    Candidates.push_back({&Seq, Score, Weight});
+  }
+  // Deterministic order: score desc, then shorter, then lexicographic.
+  std::sort(Candidates.begin(), Candidates.end(),
+            [](const Candidate &A, const Candidate &B) {
+              if (A.Score != B.Score)
+                return A.Score > B.Score;
+              if (A.Seq->size() != B.Seq->size())
+                return A.Seq->size() < B.Seq->size();
+              return *A.Seq < *B.Seq;
+            });
+
+  std::vector<std::vector<Opcode>> Chosen;
+  for (const Candidate &C : Candidates) {
+    if (Chosen.size() >= Count)
+      break;
+    Chosen.push_back(*C.Seq);
+  }
+  return fromSequences(std::move(Chosen));
+}
+
+SuperId SuperTable::longestMatch(const std::vector<VMInstr> &Code,
+                                 uint32_t At, uint32_t End,
+                                 const std::vector<bool> &Eligible,
+                                 uint32_t *MatchLen) const {
+  uint32_t Node = 0;
+  SuperId Best = NoSuper;
+  uint32_t BestLen = 0;
+  for (uint32_t I = At; I < End; ++I) {
+    Opcode Op = Code[I].Op;
+    if (Op < Eligible.size() && !Eligible[Op])
+      break;
+    auto It = Trie[Node].Next.find(Op);
+    if (It == Trie[Node].Next.end())
+      break;
+    Node = It->second;
+    if (Trie[Node].Terminal != NoSuper) {
+      Best = Trie[Node].Terminal;
+      BestLen = I - At + 1;
+    }
+  }
+  *MatchLen = BestLen;
+  return Best;
+}
+
+void SuperTable::matchesAt(
+    const std::vector<VMInstr> &Code, uint32_t At, uint32_t End,
+    const std::vector<bool> &Eligible,
+    std::vector<std::pair<SuperId, uint32_t>> &Out) const {
+  Out.clear();
+  uint32_t Node = 0;
+  for (uint32_t I = At; I < End; ++I) {
+    Opcode Op = Code[I].Op;
+    if (Op < Eligible.size() && !Eligible[Op])
+      break;
+    auto It = Trie[Node].Next.find(Op);
+    if (It == Trie[Node].Next.end())
+      break;
+    Node = It->second;
+    if (Trie[Node].Terminal != NoSuper)
+      Out.push_back({Trie[Node].Terminal, I - At + 1});
+  }
+}
+
+std::vector<SuperTable::Segment>
+SuperTable::parse(const std::vector<VMInstr> &Code, uint32_t Begin,
+                  uint32_t End, const std::vector<bool> &Eligible,
+                  ParsePolicy Policy) const {
+  std::vector<Segment> Result;
+  if (Policy == ParsePolicy::Greedy) {
+    uint32_t I = Begin;
+    while (I < End) {
+      uint32_t Len = 0;
+      SuperId Id = longestMatch(Code, I, End, Eligible, &Len);
+      if (Id == NoSuper) {
+        Result.push_back({I, 1, NoSuper});
+        ++I;
+        continue;
+      }
+      Result.push_back({I, Len, Id});
+      I += Len;
+    }
+    return Result;
+  }
+
+  // Optimal: DP over positions minimizing the number of segments.
+  uint32_t N = End - Begin;
+  constexpr uint32_t Inf = ~0U;
+  // BestCost[i]: min segments covering Code[Begin+i, End).
+  std::vector<uint32_t> BestCost(N + 1, Inf);
+  std::vector<Segment> Choice(N);
+  BestCost[N] = 0;
+  std::vector<std::pair<SuperId, uint32_t>> Matches;
+  for (uint32_t I = N; I-- > 0;) {
+    uint32_t Pos = Begin + I;
+    // Single-instruction option always exists.
+    if (BestCost[I + 1] != Inf) {
+      BestCost[I] = BestCost[I + 1] + 1;
+      Choice[I] = {Pos, 1, NoSuper};
+    }
+    matchesAt(Code, Pos, End, Eligible, Matches);
+    for (auto [Id, Len] : Matches) {
+      if (BestCost[I + Len] == Inf)
+        continue;
+      uint32_t Cost = BestCost[I + Len] + 1;
+      if (Cost < BestCost[I]) {
+        BestCost[I] = Cost;
+        Choice[I] = {Pos, Len, Id};
+      }
+    }
+  }
+  uint32_t I = 0;
+  while (I < N) {
+    Result.push_back(Choice[I]);
+    I += Choice[I].Length;
+  }
+  return Result;
+}

@@ -1,0 +1,102 @@
+//===- vmcore/SuperTable.h - Static superinstruction tables -----*- C++ -*-===//
+///
+/// \file
+/// Selection of a static superinstruction set from a profile and parsing
+/// of VM code against it (§5.1). Both parse algorithms from the paper
+/// are implemented: greedy maximum-munch and the dynamic-programming
+/// optimal parse (which the paper found to give almost identical results
+/// while being slower — our ablation bench reproduces that).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_VMCORE_SUPERTABLE_H
+#define VMIB_VMCORE_SUPERTABLE_H
+
+#include "vmcore/Profile.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace vmib {
+
+/// How candidate sequences are ranked during selection.
+enum class SuperWeighting {
+  /// Rank by profile weight (Gforth: dynamic training frequency).
+  DynamicFrequency,
+  /// Rank by weight / length, favouring shorter sequences that are more
+  /// likely to appear in other programs (the JVM scheme, §7.1).
+  StaticShortBiased,
+};
+
+/// How code is parsed into superinstructions.
+enum class ParsePolicy {
+  Greedy,  ///< maximum munch
+  Optimal, ///< dynamic programming, minimal instruction count
+};
+
+/// Id of a superinstruction within a SuperTable.
+using SuperId = uint32_t;
+inline constexpr SuperId NoSuper = ~0U;
+
+/// An immutable set of superinstruction sequences plus a matching trie.
+class SuperTable {
+public:
+  SuperTable() = default;
+
+  /// Selects the top \p Count sequences from \p Profile under
+  /// \p Weighting.
+  static SuperTable select(const SequenceProfile &Profile, uint32_t Count,
+                           SuperWeighting Weighting);
+
+  /// Builds a table from explicit sequences (tests, hand-built setups).
+  static SuperTable fromSequences(std::vector<std::vector<Opcode>> Seqs);
+
+  uint32_t size() const { return static_cast<uint32_t>(Sequences.size()); }
+  const std::vector<Opcode> &sequence(SuperId Id) const {
+    return Sequences[Id];
+  }
+
+  /// One parsed piece of a block: either a superinstruction covering
+  /// Length component instructions, or a single plain instruction
+  /// (Super == NoSuper, Length == 1).
+  struct Segment {
+    uint32_t Begin = 0;
+    uint32_t Length = 1;
+    SuperId Super = NoSuper;
+  };
+
+  /// Parses \p Code[Begin, End) into segments. Only runs of eligible
+  /// opcodes (per \p Eligible, indexed by opcode) can join
+  /// superinstructions; other instructions become single segments.
+  std::vector<Segment> parse(const std::vector<VMInstr> &Code,
+                             uint32_t Begin, uint32_t End,
+                             const std::vector<bool> &Eligible,
+                             ParsePolicy Policy) const;
+
+private:
+  /// Longest match of table sequences against Code starting at \p At,
+  /// bounded by \p End; NoSuper if none.
+  SuperId longestMatch(const std::vector<VMInstr> &Code, uint32_t At,
+                       uint32_t End, const std::vector<bool> &Eligible,
+                       uint32_t *MatchLen) const;
+
+  /// All matches at a position (for the optimal parse).
+  void matchesAt(const std::vector<VMInstr> &Code, uint32_t At, uint32_t End,
+                 const std::vector<bool> &Eligible,
+                 std::vector<std::pair<SuperId, uint32_t>> &Out) const;
+
+  struct TrieNode {
+    std::map<Opcode, uint32_t> Next; // opcode -> node index
+    SuperId Terminal = NoSuper;
+  };
+
+  void insert(const std::vector<Opcode> &Seq, SuperId Id);
+
+  std::vector<std::vector<Opcode>> Sequences;
+  std::vector<TrieNode> Trie{1}; // node 0 is the root
+};
+
+} // namespace vmib
+
+#endif // VMIB_VMCORE_SUPERTABLE_H

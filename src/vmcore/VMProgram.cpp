@@ -1,0 +1,75 @@
+//===- vmcore/VMProgram.cpp -----------------------------------------------===//
+
+#include "vmcore/VMProgram.h"
+
+#include "support/Format.h"
+
+using namespace vmib;
+
+BasicBlockInfo VMProgram::computeBasicBlocks(const OpcodeSet &Opcodes) const {
+  std::vector<bool> Leader(Code.size(), false);
+  if (!Code.empty())
+    Leader[0] = true;
+  if (Entry < Code.size())
+    Leader[Entry] = true;
+  for (uint32_t FE : FunctionEntries)
+    if (FE < Code.size())
+      Leader[FE] = true;
+
+  for (uint32_t I = 0; I < Code.size(); ++I) {
+    const VMInstr &Instr = Code[I];
+    BranchKind Kind = Opcodes.info(Instr.Op).Branch;
+    if (Kind == BranchKind::None)
+      continue;
+    // Explicit targets of direct branches and calls are leaders.
+    if (Kind == BranchKind::Cond || Kind == BranchKind::Uncond ||
+        Kind == BranchKind::Call) {
+      uint32_t Target = static_cast<uint32_t>(Instr.A);
+      if (Target < Code.size())
+        Leader[Target] = true;
+    }
+    // The instruction after any control transfer starts a new block;
+    // after a call this is also the VM-level return point.
+    if (I + 1 < Code.size())
+      Leader[I + 1] = true;
+  }
+
+  BasicBlockInfo Info;
+  Info.BlockOf.resize(Code.size());
+  for (uint32_t I = 0; I < Code.size(); ++I) {
+    if (Leader[I]) {
+      if (!Info.Blocks.empty())
+        Info.Blocks.back().End = I;
+      Info.Blocks.push_back({I, I});
+    }
+    Info.BlockOf[I] = Info.numBlocks() - 1;
+  }
+  if (!Info.Blocks.empty())
+    Info.Blocks.back().End = static_cast<uint32_t>(Code.size());
+  return Info;
+}
+
+std::string VMProgram::validate(const OpcodeSet &Opcodes) const {
+  if (Code.empty())
+    return "program is empty";
+  if (Entry >= Code.size())
+    return "entry index out of range";
+  bool SawHalt = false;
+  for (uint32_t I = 0; I < Code.size(); ++I) {
+    const VMInstr &Instr = Code[I];
+    if (Instr.Op >= Opcodes.size())
+      return format("instruction %u: opcode %u out of range", I, Instr.Op);
+    BranchKind Kind = Opcodes.info(Instr.Op).Branch;
+    if (Kind == BranchKind::Cond || Kind == BranchKind::Uncond ||
+        Kind == BranchKind::Call) {
+      if (Instr.A < 0 || static_cast<uint64_t>(Instr.A) >= Code.size())
+        return format("instruction %u: branch target %lld out of range", I,
+                      static_cast<long long>(Instr.A));
+    }
+    if (Kind == BranchKind::Halt)
+      SawHalt = true;
+  }
+  if (!SawHalt)
+    return "program has no halt instruction";
+  return "";
+}

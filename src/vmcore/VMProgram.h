@@ -1,0 +1,74 @@
+//===- vmcore/VMProgram.h - Flat VM code and basic blocks -------*- C++ -*-===//
+///
+/// \file
+/// The flat, sequential VM code representation of §2.1: a vector of
+/// instructions with inline operands, function entry points, and a basic
+/// block analysis. Branch and call targets are absolute instruction
+/// indices in operand A.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_VMCORE_VMPROGRAM_H
+#define VMIB_VMCORE_VMPROGRAM_H
+
+#include "vmcore/OpcodeSet.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vmib {
+
+/// One VM instruction instance. Operand meaning is opcode-specific; by
+/// convention branch/call targets are absolute code indices in A.
+struct VMInstr {
+  Opcode Op = 0;
+  int64_t A = 0;
+  int64_t B = 0;
+};
+
+/// Basic block boundaries of a VMProgram.
+struct BasicBlockInfo {
+  struct Block {
+    uint32_t Begin = 0; ///< first instruction index
+    uint32_t End = 0;   ///< one past the last instruction index
+  };
+  std::vector<Block> Blocks;
+  /// Block id for every instruction index.
+  std::vector<uint32_t> BlockOf;
+
+  uint32_t numBlocks() const { return static_cast<uint32_t>(Blocks.size()); }
+  bool isLeader(uint32_t Index) const {
+    return Blocks[BlockOf[Index]].Begin == Index;
+  }
+};
+
+/// A complete flat VM program: all functions concatenated into one code
+/// vector (the paper's VM code segment), plus entry metadata.
+class VMProgram {
+public:
+  std::string Name;
+  std::vector<VMInstr> Code;
+  /// Program start index.
+  uint32_t Entry = 0;
+  /// Function entry indices (call targets); used to bound dynamic
+  /// superinstruction regions and for symbolization.
+  std::vector<uint32_t> FunctionEntries;
+
+  uint32_t size() const { return static_cast<uint32_t>(Code.size()); }
+
+  /// Computes basic blocks under \p Opcodes. Leaders: index 0, every
+  /// branch/call target, every function entry, and every instruction
+  /// following a control transfer (§5.2's "VM code entry points" are the
+  /// leaders reachable by a VM jump, including return points after
+  /// calls).
+  BasicBlockInfo computeBasicBlocks(const OpcodeSet &Opcodes) const;
+
+  /// Verifies structural invariants (targets in range, halt present);
+  /// \returns an empty string if valid, otherwise a diagnostic.
+  std::string validate(const OpcodeSet &Opcodes) const;
+};
+
+} // namespace vmib
+
+#endif // VMIB_VMCORE_VMPROGRAM_H

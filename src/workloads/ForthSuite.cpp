@@ -1,0 +1,585 @@
+//===- workloads/ForthSuite.cpp -------------------------------------------===//
+
+#include "workloads/ForthSuite.h"
+
+#include <cassert>
+
+using namespace vmib;
+
+//===----------------------------------------------------------------------===//
+// gray: parser generator — FIRST-set fixpoint over synthetic grammars.
+//===----------------------------------------------------------------------===//
+
+static const char GraySource[] = R"FORTH(
+\ gray: parser-table generator.
+\ Computes FIRST sets for synthetic random grammars by fixpoint
+\ iteration, regenerating the grammar each round.
+31 constant #syms
+16 constant #terms
+120 constant #prods
+create lhs   120 allot
+create rhs0  120 allot
+create rhs1  120 allot
+create rhs2  120 allot
+create first 31 allot
+variable changed
+variable seed
+: next-rand seed @ 1103515245 * 12345 + 2147483647 and dup seed ! ;
+: rnd ( n -- r ) next-rand swap mod ;
+: gen-grammar
+  #prods 0 do
+    #syms #terms - rnd #terms + lhs i + !
+    #syms rnd rhs0 i + !
+    #syms rnd rhs1 i + !
+    #syms rnd rhs2 i + !
+  loop ;
+: clear-first #syms 0 do 0 first i + ! loop ;
+: sym-first ( s -- mask ) dup #terms < if 1 swap lshift else first + @ then ;
+: prod-first ( p -- mask )
+  dup rhs0 + @ sym-first
+  over rhs1 + @ sym-first or
+  swap rhs2 + @ sym-first or ;
+: merge ( mask addr -- )
+  dup @ >r tuck @ or 2dup swap ! r> <> if 1 changed ! then drop ;
+: solve
+  begin
+    0 changed !
+    #prods 0 do i prod-first i lhs + @ first + merge loop
+  changed @ 0= until ;
+: checksum ( -- n ) 0 #syms 0 do 31 * first i + @ xor loop ;
+: main 40 0 do gen-grammar clear-first solve checksum . loop ;
+42 seed !
+main
+)FORTH";
+
+//===----------------------------------------------------------------------===//
+// bench-gc: mark-and-sweep garbage collector over a cons heap.
+//===----------------------------------------------------------------------===//
+
+static const char BenchGcSource[] = R"FORTH(
+\ bench-gc: mark-and-sweep garbage collector.
+\ Cons cells carry either list values (tag 0: car is data) or pairs
+\ (tag 1: car is a pointer). Roots are overwritten to create garbage;
+\ collection is triggered by allocation pressure.
+4096 constant hsize
+create cars  4096 allot
+create cdrs  4096 allot
+create marks 4096 allot
+create tags  4096 allot
+8 constant #roots
+create roots 8 allot
+create shadow 16 allot
+variable tmp1 variable tmp2
+variable fl  variable hp
+variable collections variable live
+variable seed
+: next-rand seed @ 1103515245 * 12345 + 2147483647 and dup seed ! ;
+: rnd next-rand swap mod ;
+: init-heap
+  0 hp ! -1 fl ! 0 collections ! 0 live !
+  -1 tmp1 ! -1 tmp2 !
+  #roots 0 do -1 roots i + ! loop
+  16 0 do -1 shadow i + ! loop
+  hsize 0 do 0 marks i + ! 0 tags i + ! loop ;
+: mark ( cell -- )
+  begin
+    dup -1 = if drop exit then
+    dup marks + @ if drop exit then
+    1 over marks + !
+    dup tags + @ if dup cars + @ recurse then
+    cdrs + @
+  again ;
+: sweep
+  -1 fl ! 0 live !
+  hp @ 0 do
+    marks i + @ if
+      0 marks i + !  1 live +!
+    else
+      fl @ cars i + !  0 tags i + !  i fl !
+    then
+  loop ;
+: collect
+  #roots 0 do roots i + @ mark loop
+  tmp1 @ mark  tmp2 @ mark
+  16 0 do shadow i + @ mark loop
+  sweep
+  1 collections +! ;
+: newcell ( -- cell )
+  hp @ hsize < if
+    hp @  1 hp +!
+  else
+    fl @ -1 = if collect then
+    fl @ -1 = if 999 . halt then
+    fl @ dup cars + @ fl !
+  then ;
+: cons ( car cdr -- cell )
+  dup tmp1 !
+  newcell >r
+  r@ cdrs + !  r@ cars + !  0 r@ tags + !  r> ;
+: cons-pair ( l r -- cell )
+  2dup tmp2 ! tmp1 !
+  newcell >r
+  r@ cdrs + !  r@ cars + !  1 r@ tags + !  r> ;
+: build-list ( n -- list )
+  -1 swap 0 do 100 rnd swap cons loop ;
+: build-tree ( d -- cell )
+  dup 0= if drop 50 rnd -1 cons exit then
+  dup 1- recurse          ( d left )
+  over shadow + !
+  dup 1- recurse          ( d right )
+  swap shadow + @ swap    ( left right )
+  cons-pair ;
+: sum-list ( list -- n )
+  0 swap
+  begin dup -1 <> while
+    dup tags + @ 0= if dup cars + @ rot + swap then
+    cdrs + @
+  repeat drop ;
+: main
+  init-heap
+  1500 0 do
+    i 3 mod 0= if 5 build-tree else 24 build-list then
+    roots i #roots mod + !
+    i 100 mod 0= if
+      0 #roots 0 do
+        roots i + @ dup -1 <> if sum-list + else drop then
+      loop .
+    then
+  loop
+  collections @ .  live @ . ;
+77 seed !
+main
+)FORTH";
+
+//===----------------------------------------------------------------------===//
+// tscp: toy chess program — negamax on a 6x6 board.
+//===----------------------------------------------------------------------===//
+
+static const char TscpSource[] = R"FORTH(
+\ tscp: chess — negamax search with material evaluation on 6x6.
+36 constant bsize
+create board 36 allot
+create kdr 8 allot  create kdc 8 allot
+create gdr 8 allot  create gdc 8 allot
+create mlist 256 allot
+create mcount 4 allot
+variable nodes  variable seed
+variable gside variable gply variable gcount variable gfrom
+variable tr variable tc
+: next-rand seed @ 1103515245 * 12345 + 2147483647 and dup seed ! ;
+: rnd next-rand swap mod ;
+: init-deltas
+  1 kdr 0 + !  2 kdc 0 + !   1 kdr 1 + ! -2 kdc 1 + !
+  -1 kdr 2 + !  2 kdc 2 + !  -1 kdr 3 + ! -2 kdc 3 + !
+  2 kdr 4 + !  1 kdc 4 + !   2 kdr 5 + ! -1 kdc 5 + !
+  -2 kdr 6 + !  1 kdc 6 + !  -2 kdr 7 + ! -1 kdc 7 + !
+  1 gdr 0 + !  1 gdc 0 + !   1 gdr 1 + !  0 gdc 1 + !
+  1 gdr 2 + ! -1 gdc 2 + !   0 gdr 3 + !  1 gdc 3 + !
+  0 gdr 4 + ! -1 gdc 4 + !  -1 gdr 5 + !  1 gdc 5 + !
+  -1 gdr 6 + !  0 gdc 6 + ! -1 gdr 7 + ! -1 gdc 7 + ! ;
+: piece-val ( p -- v )
+  abs
+  dup 1 = if drop 100 exit then
+  dup 2 = if drop 300 exit then
+  3 = if 10000 exit then
+  0 ;
+: eval ( -- score )
+  0 bsize 0 do
+    board i + @
+    dup 0> if piece-val + else
+    dup 0< if piece-val - else drop then then
+  loop ;
+: own? ( p -- f ) gside @ * 0> ;
+: add-move ( from to -- )
+  swap 36 * + gply @ 64 * mlist + gcount @ + !  1 gcount +! ;
+: try-move ( from r c -- )
+  tc ! tr !
+  tr @ 0 >= tr @ 6 < and tc @ 0 >= and tc @ 6 < and 0= if drop exit then
+  tr @ 6 * tc @ +
+  dup board + @ own? if 2drop exit then
+  add-move ;
+: try ( r c -- ) gfrom @ rot rot try-move ;
+: gen-pawn
+  gfrom @ 6 / gside @ +  gfrom @ 6 mod
+  2dup try
+  2dup 1- try
+  1+ try ;
+: gen-deltas ( drt dct -- )
+  8 0 do
+    2dup i + @ swap i + @
+    gfrom @ 6 / +
+    swap gfrom @ 6 mod +
+    try
+  loop 2drop ;
+: gen-moves ( side ply -- )
+  gply ! gside ! 0 gcount !
+  bsize 0 do
+    board i + @ dup own? if
+      i gfrom !
+      abs
+      dup 1 = if drop gen-pawn else
+      dup 2 = if drop kdr kdc gen-deltas else
+      drop gdr gdc gen-deltas then then
+    else drop then
+  loop
+  gcount @ gply @ mcount + ! ;
+: do-move ( m -- cap )
+  dup 36 mod board + @ >r
+  dup 36 / board + @
+  over 36 mod board + !
+  0 swap 36 / board + !
+  r> ;
+: undo-move ( cap m -- )
+  dup 36 mod board + @
+  over 36 / board + !
+  36 mod board + ! ;
+: negamax ( side depth -- score )
+  1 nodes +!
+  dup 0= if drop eval * exit then
+  2dup gen-moves
+  dup mcount + @ 0= if 2drop -90000 exit then
+  -100000
+  over mcount + @ 0 do
+    over 64 * mlist + i + @
+    dup do-move
+    >r >r
+    2 pick negate 2 pick 1- negamax negate max
+    r> r> swap undo-move
+  loop
+  nip nip ;
+: random-move ( side -- )
+  0 gen-moves
+  mcount @ 0> if
+    mlist mcount @ rnd + @ do-move drop
+  then ;
+: init-board
+  bsize 0 do 0 board i + ! loop
+  6 0 do 1 board 6 i + + !  -1 board 24 i + + ! loop
+  2 board 1 + !  2 board 4 + !  3 board 2 + !
+  -2 board 31 + !  -2 board 34 + !  -3 board 32 + ! ;
+: main
+  init-deltas init-board 0 nodes !
+  5 0 do
+    1 2 negamax .
+    1 random-move
+    -1 2 negamax .
+    -1 random-move
+  loop
+  nodes @ . ;
+123 seed !
+main
+)FORTH";
+
+//===----------------------------------------------------------------------===//
+// vmgen: interpreter generator — dispatch/superinstruction tables.
+//===----------------------------------------------------------------------===//
+
+static const char VmgenSource[] = R"FORTH(
+\ vmgen: interpreter-generator analogue.
+\ Processes instruction specifications (stack effects, name hashes)
+\ and generates pairwise superinstruction cost tables.
+48 constant #ops
+create ineff  48 allot
+create outeff 48 allot
+create nameh  48 allot
+create cost   48 allot
+create pairs  2304 allot
+variable seed
+variable pa variable pb
+: next-rand seed @ 1103515245 * 12345 + 2147483647 and dup seed ! ;
+: rnd next-rand swap mod ;
+: gen-specs
+  #ops 0 do
+    4 rnd ineff i + !
+    3 rnd outeff i + !
+    65536 rnd nameh i + !
+    1 ineff i + @ + outeff i + @ + cost i + !
+  loop ;
+: hash2 ( a b -- h ) 33 * + 65535 and ;
+: pair-cost ( a b -- c )
+  pb ! pa !
+  pa @ cost + @ pb @ cost + @ +
+  pa @ outeff + @ pb @ ineff + @ = if 2 - then
+  1 max ;
+: build-pairs
+  #ops 0 do
+    #ops 0 do
+      j i pair-cost
+      j nameh + @ i nameh + @ hash2 xor
+      pairs j #ops * i + + !
+    loop
+  loop ;
+: table-check ( -- n ) 0 2304 0 do 31 * pairs i + @ xor loop ;
+: main
+  0
+  12 0 do gen-specs build-pairs table-check xor dup . loop
+  . ;
+9 seed !
+main
+)FORTH";
+
+//===----------------------------------------------------------------------===//
+// cross: cross-compiler — tokenize, compile, then run the object code.
+//===----------------------------------------------------------------------===//
+
+static const char CrossSource[] = R"FORTH(
+\ cross: compiler analogue. Generates token streams, compiles them to
+\ stack machine object code, then executes the object code on a target
+\ interpreter (an interpreter interpreting an interpreter).
+512 constant srclen
+create src 512 allot
+create obj 4096 allot
+variable optr
+create dstk 64 allot
+variable dsp
+variable seed
+: next-rand seed @ 1103515245 * 12345 + 2147483647 and dup seed ! ;
+: rnd next-rand swap mod ;
+: gen-src srclen 0 do 5 rnd src i + ! loop ;
+: emit-op ( v -- ) obj optr @ + !  1 optr +! ;
+\ object code: 1 n=push, 2=add, 3=mul, 4=dup, 5=drop, 9=end
+: compile-token ( t -- )
+  dup 0= if drop 1 emit-op 1000 rnd emit-op exit then
+  dup 1 = if drop 2 emit-op exit then
+  dup 2 = if drop 3 emit-op exit then
+  dup 3 = if drop 4 emit-op exit then
+  drop 5 emit-op ;
+: compile-all
+  0 optr !
+  1 emit-op 7 emit-op
+  1 emit-op 3 emit-op
+  srclen 0 do src i + @ compile-token loop
+  9 emit-op ;
+: tpush ( v -- ) dstk dsp @ + !  1 dsp +!  dsp @ 60 > if 30 dsp ! then ;
+: tpop ( -- v ) dsp @ 0> if -1 dsp +! dstk dsp @ + @ else 1 then ;
+: run-obj ( -- result )
+  0 dsp !
+  0
+  begin
+    obj over + @
+    dup 9 = if 2drop tpop exit then
+    dup 1 = if drop 1+ obj over + @ tpush 1+ else
+    dup 2 = if drop tpop tpop + 65535 and tpush 1+ else
+    dup 3 = if drop tpop tpop * 65535 and tpush 1+ else
+    dup 4 = if drop tpop dup tpush tpush 1+ else
+    drop tpop drop 1+ then then then then
+  again ;
+: main
+  0
+  25 0 do gen-src compile-all run-obj xor dup . loop
+  . ;
+31 seed !
+main
+)FORTH";
+
+//===----------------------------------------------------------------------===//
+// brainless: chess (the training benchmark) — negamax with
+// piece-square evaluation on a 5x5 board.
+//===----------------------------------------------------------------------===//
+
+static const char BrainlessSource[] = R"FORTH(
+\ brainless: chess program used as the training run for static
+\ replica/superinstruction selection (paper section 7.1).
+25 constant bsize
+create board 25 allot
+create psq 25 allot
+create ndr 8 allot create ndc 8 allot
+create qdr 8 allot create qdc 8 allot
+create mlist 256 allot
+create mcount 4 allot
+variable nodes variable seed
+variable gside variable gply variable gcount variable gfrom
+variable tr variable tc
+: next-rand seed @ 1103515245 * 12345 + 2147483647 and dup seed ! ;
+: rnd next-rand swap mod ;
+: init-deltas
+  1 ndr 0 + !  2 ndc 0 + !   1 ndr 1 + ! -2 ndc 1 + !
+  -1 ndr 2 + !  2 ndc 2 + !  -1 ndr 3 + ! -2 ndc 3 + !
+  2 ndr 4 + !  1 ndc 4 + !   2 ndr 5 + ! -1 ndc 5 + !
+  -2 ndr 6 + !  1 ndc 6 + !  -2 ndr 7 + ! -1 ndc 7 + !
+  1 qdr 0 + !  1 qdc 0 + !   1 qdr 1 + !  0 qdc 1 + !
+  1 qdr 2 + ! -1 qdc 2 + !   0 qdr 3 + !  1 qdc 3 + !
+  0 qdr 4 + ! -1 qdc 4 + !  -1 qdr 5 + !  1 qdc 5 + !
+  -1 qdr 6 + !  0 qdc 6 + ! -1 qdr 7 + ! -1 qdc 7 + ! ;
+: init-psq
+  bsize 0 do
+    i 5 / 2 - abs  i 5 mod 2 - abs +  4 swap - 5 *  psq i + !
+  loop ;
+: piece-val ( p -- v )
+  abs
+  dup 1 = if drop 150 exit then
+  dup 2 = if drop 320 exit then
+  3 = if 9000 exit then
+  0 ;
+: eval ( -- score )
+  0 bsize 0 do
+    board i + @
+    dup 0> if piece-val psq i + @ + + else
+    dup 0< if piece-val psq i + @ + - else drop then then
+  loop ;
+: own? ( p -- f ) gside @ * 0> ;
+: add-move ( from to -- )
+  swap 36 * + gply @ 64 * mlist + gcount @ + !  1 gcount +! ;
+: try-move ( from r c -- )
+  tc ! tr !
+  tr @ 0 >= tr @ 5 < and tc @ 0 >= and tc @ 5 < and 0= if drop exit then
+  tr @ 5 * tc @ +
+  dup board + @ own? if 2drop exit then
+  add-move ;
+: try ( r c -- ) gfrom @ rot rot try-move ;
+: gen-deltas ( drt dct -- )
+  8 0 do
+    2dup i + @ swap i + @
+    gfrom @ 5 / +
+    swap gfrom @ 5 mod +
+    try
+  loop 2drop ;
+: gen-moves ( side ply -- )
+  gply ! gside ! 0 gcount !
+  bsize 0 do
+    board i + @ dup own? if
+      i gfrom !
+      abs 2 = if ndr ndc gen-deltas else qdr qdc gen-deltas then
+    else drop then
+  loop
+  gcount @ gply @ mcount + ! ;
+: do-move ( m -- cap )
+  dup 36 mod board + @ >r
+  dup 36 / board + @
+  over 36 mod board + !
+  0 swap 36 / board + !
+  r> ;
+: undo-move ( cap m -- )
+  dup 36 mod board + @
+  over 36 / board + !
+  36 mod board + ! ;
+: negamax ( side depth -- score )
+  1 nodes +!
+  dup 0= if drop eval * exit then
+  2dup gen-moves
+  dup mcount + @ 0= if 2drop -80000 exit then
+  -100000
+  over mcount + @ 0 do
+    over 64 * mlist + i + @
+    dup do-move
+    >r >r
+    2 pick negate 2 pick 1- negamax negate max
+    r> r> swap undo-move
+  loop
+  nip nip ;
+: random-move ( side -- )
+  0 gen-moves
+  mcount @ 0> if
+    mlist mcount @ rnd + @ do-move drop
+  then ;
+: init-board
+  bsize 0 do 0 board i + ! loop
+  2 board 1 + !  3 board 2 + !  2 board 3 + !
+  1 board 6 + !  1 board 7 + !  1 board 8 + !
+  -2 board 21 + !  -3 board 22 + !  -2 board 23 + !
+  -1 board 16 + !  -1 board 17 + !  -1 board 18 + ! ;
+: main
+  init-deltas init-psq init-board 0 nodes !
+  6 0 do
+    1 2 negamax .
+    1 random-move
+    -1 2 negamax .
+    -1 random-move
+  loop
+  nodes @ . ;
+321 seed !
+main
+)FORTH";
+
+//===----------------------------------------------------------------------===//
+// brew: evolutionary programming.
+//===----------------------------------------------------------------------===//
+
+static const char BrewSource[] = R"FORTH(
+\ brew: evolutionary programming. Evolves integer genomes toward a
+\ hidden target via tournament selection, crossover and mutation.
+24 constant glen
+32 constant psize
+create pop 768 allot
+create fit 32 allot
+create tgt 24 allot
+variable seed  variable cind
+: next-rand seed @ 1103515245 * 12345 + 2147483647 and dup seed ! ;
+: rnd next-rand swap mod ;
+: gene ( ind k -- addr ) swap glen * + pop + ;
+: gen-target glen 0 do 200 rnd tgt i + ! loop ;
+: init-pop psize 0 do glen 0 do 200 rnd j i gene ! loop loop ;
+: fitness ( ind -- f )
+  cind ! 0
+  glen 0 do
+    cind @ i gene @ tgt i + @ - abs +
+  loop ;
+: eval-pop psize 0 do i fitness fit i + ! loop ;
+: best-fit ( -- f ) 1000000 psize 0 do fit i + @ min loop ;
+: tournament ( -- ind )
+  psize rnd psize rnd
+  2dup fit + @ swap fit + @ < if nip else drop then ;
+: worst-of-two ( -- ind )
+  psize rnd psize rnd
+  2dup fit + @ swap fit + @ > if nip else drop then ;
+: breed ( pa pb child -- )
+  cind !
+  glen 0 do
+    i 12 < if over else dup then
+    i gene @
+    10 rnd 0= if drop 200 rnd then
+    cind @ i gene !
+  loop 2drop ;
+: generation
+  eval-pop
+  16 0 do tournament tournament worst-of-two breed loop ;
+: main
+  gen-target init-pop
+  80 0 do
+    generation
+    i 10 mod 0= if best-fit . then
+  loop
+  best-fit . ;
+55 seed !
+main
+)FORTH";
+
+//===----------------------------------------------------------------------===//
+// Suite definition
+//===----------------------------------------------------------------------===//
+
+uint32_t ForthBenchmark::sourceLines() const {
+  uint32_t Lines = 0;
+  for (char C : Source)
+    if (C == '\n')
+      ++Lines;
+  return Lines;
+}
+
+ForthUnit ForthBenchmark::compile() const {
+  ForthUnit Unit = compileForth(Source, Name);
+  assert(Unit.ok() && "suite benchmark must compile");
+  return Unit;
+}
+
+const std::vector<ForthBenchmark> &vmib::forthSuite() {
+  static const std::vector<ForthBenchmark> Suite = {
+      {"gray", "parser generator", GraySource},
+      {"bench-gc", "garbage collector", BenchGcSource},
+      {"tscp", "chess", TscpSource},
+      {"vmgen", "interpreter generator", VmgenSource},
+      {"cross", "Forth cross-compiler", CrossSource},
+      {"brainless", "chess", BrainlessSource},
+      {"brew", "evolutionary programming", BrewSource},
+  };
+  return Suite;
+}
+
+const ForthBenchmark &vmib::forthBenchmark(const std::string &Name) {
+  for (const ForthBenchmark &B : forthSuite())
+    if (B.Name == Name)
+      return B;
+  assert(false && "unknown forth benchmark");
+  static ForthBenchmark Dummy;
+  return Dummy;
+}

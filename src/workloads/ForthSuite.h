@@ -1,0 +1,47 @@
+//===- workloads/ForthSuite.h - The Forth benchmark suite -------*- C++ -*-===//
+///
+/// \file
+/// Analogues of the paper's Gforth benchmarks (Table VI): gray (parser
+/// generator), bench-gc (garbage collector), tscp (chess), vmgen
+/// (interpreter generator), cross (Forth cross-compiler), brainless
+/// (chess; the training program for static selection, §7.1) and brew
+/// (evolutionary programming). Each is a genuine Forth program compiled
+/// by the front-end, deterministic, and self-checking through the VM's
+/// output hash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_WORKLOADS_FORTHSUITE_H
+#define VMIB_WORKLOADS_FORTHSUITE_H
+
+#include "forthvm/ForthCompiler.h"
+
+#include <string>
+#include <vector>
+
+namespace vmib {
+
+/// One benchmark of the Forth suite.
+struct ForthBenchmark {
+  std::string Name;
+  std::string Description; ///< Table VI description
+  std::string Source;      ///< Forth source text
+
+  uint32_t sourceLines() const;
+  /// Compiles the source; asserts success in debug builds.
+  ForthUnit compile() const;
+};
+
+/// The seven benchmarks in Table VI order.
+const std::vector<ForthBenchmark> &forthSuite();
+
+/// Lookup by name; asserts if absent.
+const ForthBenchmark &forthBenchmark(const std::string &Name);
+
+/// The training benchmark used for static replica/superinstruction
+/// selection (§7.1: "a training run with the brainless benchmark").
+inline const char *forthTrainingBenchmark() { return "brainless"; }
+
+} // namespace vmib
+
+#endif // VMIB_WORKLOADS_FORTHSUITE_H

@@ -1,0 +1,1662 @@
+//===- workloads/JavaSuite.cpp --------------------------------------------===//
+
+#include "workloads/JavaSuite.h"
+
+#include <cassert>
+
+using namespace vmib;
+
+//===----------------------------------------------------------------------===//
+// compress: modified Lempel-Ziv (RLE + hash) compression, loop-heavy.
+//===----------------------------------------------------------------------===//
+
+static const char CompressSource[] = R"JASM(
+// compress: run-length + hash compression over synthetic data.
+class Compress
+  static ref input
+  static ref output
+  method init 0 2
+    iconst 4096
+    newarray
+    putstatic Compress input
+    iconst 8192
+    newarray
+    putstatic Compress output
+    iconst 0
+    istore 0
+    ldc 12345
+    istore 1
+  label fill
+    iload 0
+    iconst 4096
+    if_icmpge fdone
+    iload 1
+    ldc 1103515245
+    imul
+    ldc 12345
+    iadd
+    istore 1
+    getstatic Compress input
+    iload 0
+    iload 1
+    iconst 16
+    ishr
+    iconst 255
+    iand
+    iconst 37
+    irem
+    iastore
+    iinc 0 1
+    goto fill
+  label fdone
+    return
+  end
+  method compress 0 4 returns
+    iconst 0
+    istore 0
+    iconst 0
+    istore 1
+  label loop
+    iload 0
+    iconst 4096
+    if_icmpge cdone
+    getstatic Compress input
+    iload 0
+    iaload
+    istore 2
+    iconst 1
+    istore 3
+  label run
+    iload 0
+    iload 3
+    iadd
+    iconst 4096
+    if_icmpge rdone
+    getstatic Compress input
+    iload 0
+    iload 3
+    iadd
+    iaload
+    iload 2
+    if_icmpne rdone
+    iinc 3 1
+    iload 3
+    iconst 255
+    if_icmplt run
+  label rdone
+    getstatic Compress output
+    iload 1
+    iload 2
+    iastore
+    getstatic Compress output
+    iload 1
+    iconst 1
+    iadd
+    iload 3
+    iastore
+    iinc 1 2
+    iload 0
+    iload 3
+    iadd
+    istore 0
+    goto loop
+  label cdone
+    iload 1
+    ireturn
+  end
+  method checksum 1 3 returns
+    iconst 0
+    istore 1
+    iconst 0
+    istore 2
+  label l
+    iload 1
+    iload 0
+    if_icmpge d
+    iload 2
+    iconst 31
+    imul
+    getstatic Compress output
+    iload 1
+    iaload
+    ixor
+    istore 2
+    iinc 1 1
+    goto l
+  label d
+    iload 2
+    ireturn
+  end
+  method main 0 2
+    invokestatic Compress init
+    iconst 0
+    istore 0
+  label passes
+    iload 0
+    iconst 12
+    if_icmpge done
+    invokestatic Compress compress
+    invokestatic Compress checksum
+    printi
+    iinc 0 1
+    goto passes
+  label done
+    return
+  end
+end
+)JASM";
+
+//===----------------------------------------------------------------------===//
+// jess: rule-based expert system shell, virtual-dispatch heavy.
+//===----------------------------------------------------------------------===//
+
+static const char JessSource[] = R"JASM(
+// jess: forward-chaining rule matcher over a fact base.
+class Fact
+  field int kind
+  field int a
+  field int b
+end
+class Rule
+  field int wanted
+  method fire 1 2 returns virtual
+    iconst 0
+    ireturn
+  end
+end
+class SumRule extends Rule
+  method fire 1 2 returns virtual
+    aload 1
+    getfield Fact a
+    aload 1
+    getfield Fact b
+    iadd
+    ireturn
+  end
+end
+class MaxRule extends Rule
+  method fire 1 2 returns virtual
+    aload 1
+    getfield Fact a
+    aload 1
+    getfield Fact b
+    isub
+    dup
+    ifge keep
+    ineg
+  label keep
+    ireturn
+  end
+end
+class XorRule extends Rule
+  method fire 1 2 returns virtual
+    aload 1
+    getfield Fact a
+    aload 1
+    getfield Fact b
+    ixor
+    ireturn
+  end
+end
+class Jess
+  static ref facts
+  static ref rules
+  static int score
+  method makeRule 2 3 returns
+    // arg0: rule kind selector, arg1: wanted fact kind
+    iload 0
+    ifne notsum
+    new SumRule
+    astore 2
+    goto tag
+  label notsum
+    iload 0
+    iconst 1
+    if_icmpne notmax
+    new MaxRule
+    astore 2
+    goto tag
+  label notmax
+    new XorRule
+    astore 2
+  label tag
+    aload 2
+    iload 1
+    putfield Rule wanted
+    aload 2
+    areturn
+  end
+  method init 0 4
+    iconst 96
+    anewarray
+    putstatic Jess facts
+    iconst 8
+    anewarray
+    putstatic Jess rules
+    iconst 0
+    istore 0
+    ldc 555
+    istore 1
+  label ffill
+    iload 0
+    iconst 96
+    if_icmpge rfill
+    new Fact
+    astore 2
+    aload 2
+    iload 0
+    iconst 5
+    irem
+    putfield Fact kind
+    iload 1
+    ldc 1103515245
+    imul
+    ldc 12345
+    iadd
+    istore 1
+    aload 2
+    iload 1
+    iconst 16
+    ishr
+    iconst 1023
+    iand
+    putfield Fact a
+    aload 2
+    iload 0
+    iconst 17
+    imul
+    iconst 255
+    iand
+    putfield Fact b
+    getstatic Jess facts
+    iload 0
+    aload 2
+    aastore
+    iinc 0 1
+    goto ffill
+  label rfill
+    iconst 0
+    istore 0
+  label rloop
+    iload 0
+    iconst 8
+    if_icmpge rdone
+    iload 0
+    iconst 3
+    irem
+    iload 0
+    iconst 5
+    irem
+    invokestatic Jess makeRule
+    astore 2
+    getstatic Jess rules
+    iload 0
+    aload 2
+    aastore
+    iinc 0 1
+    goto rloop
+  label rdone
+    return
+  end
+  method generation 0 5
+    iconst 0
+    istore 0
+  label rloop
+    iload 0
+    iconst 8
+    if_icmpge done
+    getstatic Jess rules
+    iload 0
+    aaload
+    astore 1
+    iconst 0
+    istore 2
+  label floop
+    iload 2
+    iconst 96
+    if_icmpge rnext
+    getstatic Jess facts
+    iload 2
+    aaload
+    astore 3
+    aload 3
+    getfield Fact kind
+    aload 1
+    getfield Rule wanted
+    if_icmpne fnext
+    aload 1
+    aload 3
+    invokevirtual Rule fire
+    getstatic Jess score
+    iadd
+    putstatic Jess score
+    aload 3
+    getstatic Jess score
+    iconst 1023
+    iand
+    putfield Fact a
+  label fnext
+    iinc 2 1
+    goto floop
+  label rnext
+    iinc 0 1
+    goto rloop
+  label done
+    return
+  end
+  method main 0 1
+    invokestatic Jess init
+    iconst 0
+    istore 0
+  label gens
+    iload 0
+    iconst 60
+    if_icmpge done
+    invokestatic Jess generation
+    getstatic Jess score
+    printi
+    iinc 0 1
+    goto gens
+  label done
+    return
+  end
+end
+)JASM";
+
+//===----------------------------------------------------------------------===//
+// db: small in-memory database — scans, updates, shell sort.
+//===----------------------------------------------------------------------===//
+
+static const char DbSource[] = R"JASM(
+// db: record table with queries, updates and sorting.
+class Rec
+  field int key
+  field int val
+end
+class Db
+  static ref recs
+  static int seed
+  method rnd 1 2 returns
+    getstatic Db seed
+    ldc 1103515245
+    imul
+    ldc 12345
+    iadd
+    dup
+    putstatic Db seed
+    iconst 16
+    ishr
+    ldc 32767
+    iand
+    iload 0
+    irem
+    ireturn
+  end
+  method init 0 3
+    ldc 7777
+    putstatic Db seed
+    iconst 256
+    anewarray
+    putstatic Db recs
+    iconst 0
+    istore 0
+  label fill
+    iload 0
+    iconst 256
+    if_icmpge done
+    new Rec
+    astore 1
+    aload 1
+    ldc 10000
+    invokestatic Db rnd
+    putfield Rec key
+    aload 1
+    ldc 1000
+    invokestatic Db rnd
+    putfield Rec val
+    getstatic Db recs
+    iload 0
+    aload 1
+    aastore
+    iinc 0 1
+    goto fill
+  label done
+    return
+  end
+  method find 1 4 returns
+    iconst 0
+    istore 1
+  label scan
+    iload 1
+    iconst 256
+    if_icmpge miss
+    getstatic Db recs
+    iload 1
+    aaload
+    astore 2
+    aload 2
+    getfield Rec key
+    iload 0
+    if_icmpne next
+    aload 2
+    getfield Rec val
+    ireturn
+  label next
+    iinc 1 1
+    goto scan
+  label miss
+    iconst -1
+    ireturn
+  end
+  method sortPass 1 6 returns
+    // one shell-sort gap pass; arg0 = gap; returns swap count
+    iconst 0
+    istore 1
+    iload 0
+    istore 2
+  label outer
+    iload 2
+    iconst 256
+    if_icmpge done
+    iload 2
+    istore 3
+  label inner
+    iload 3
+    iload 0
+    if_icmplt onext
+    getstatic Db recs
+    iload 3
+    iload 0
+    isub
+    aaload
+    getfield Rec key
+    getstatic Db recs
+    iload 3
+    aaload
+    getfield Rec key
+    if_icmple onext
+    // swap recs[j-gap], recs[j]
+    getstatic Db recs
+    iload 3
+    getstatic Db recs
+    iload 3
+    iload 0
+    isub
+    aaload
+    getstatic Db recs
+    iload 3
+    aaload
+    astore 4
+    aastore
+    getstatic Db recs
+    iload 3
+    iload 0
+    isub
+    aload 4
+    aastore
+    iinc 1 1
+    iload 3
+    iload 0
+    isub
+    istore 3
+    goto inner
+  label onext
+    iinc 2 1
+    goto outer
+  label done
+    iload 1
+    ireturn
+  end
+  method main 0 3
+    invokestatic Db init
+    iconst 0
+    istore 0
+  label rounds
+    iload 0
+    iconst 6
+    if_icmpge sorted
+    iconst 0
+    istore 1
+    iconst 0
+    istore 2
+  label queries
+    iload 2
+    iconst 150
+    if_icmpge qdone
+    iload 1
+    ldc 10000
+    invokestatic Db rnd
+    invokestatic Db find
+    iadd
+    istore 1
+    iinc 2 1
+    goto queries
+  label qdone
+    iload 1
+    printi
+    iinc 0 1
+    goto rounds
+  label sorted
+    iconst 64
+    invokestatic Db sortPass
+    printi
+    iconst 16
+    invokestatic Db sortPass
+    printi
+    iconst 4
+    invokestatic Db sortPass
+    printi
+    iconst 1
+    invokestatic Db sortPass
+    printi
+    iconst 5000
+    invokestatic Db find
+    printi
+    return
+  end
+end
+)JASM";
+
+//===----------------------------------------------------------------------===//
+// javac: expression compiler — tokenizer, recursive-descent parser,
+// code generator and a small evaluator; call-heavy.
+//===----------------------------------------------------------------------===//
+
+static const char JavacSource[] = R"JASM(
+// javac: compiles random expressions to RPN and evaluates them.
+// tokens: 0 num, 1 +, 2 *, 3 (, 4 ), 5 end
+class Javac
+  static ref toks
+  static ref vals
+  static ref code
+  static int ntoks
+  static int pos
+  static int emitpos
+  static int seed
+  static int depth
+  method rnd 1 2 returns
+    getstatic Javac seed
+    ldc 1103515245
+    imul
+    ldc 12345
+    iadd
+    dup
+    putstatic Javac seed
+    iconst 16
+    ishr
+    ldc 32767
+    iand
+    iload 0
+    irem
+    ireturn
+  end
+  method emitTok 2 2
+    getstatic Javac toks
+    getstatic Javac ntoks
+    iload 0
+    iastore
+    getstatic Javac vals
+    getstatic Javac ntoks
+    iload 1
+    iastore
+    getstatic Javac ntoks
+    iconst 1
+    iadd
+    putstatic Javac ntoks
+    return
+  end
+  // genExpr := genTerm (+ genTerm)* ; genTerm := genFactor (* genFactor)*
+  method genFactor 0 1
+    getstatic Javac depth
+    iconst 4
+    if_icmpge leaf
+    iconst 10
+    invokestatic Javac rnd
+    iconst 3
+    if_icmpge leaf
+    getstatic Javac depth
+    iconst 1
+    iadd
+    putstatic Javac depth
+    iconst 3
+    iconst 0
+    invokestatic Javac emitTok
+    invokestatic Javac genExpr
+    iconst 4
+    iconst 0
+    invokestatic Javac emitTok
+    getstatic Javac depth
+    iconst 1
+    isub
+    putstatic Javac depth
+    return
+  label leaf
+    iconst 0
+    iconst 100
+    invokestatic Javac rnd
+    invokestatic Javac emitTok
+    return
+  end
+  method genTerm 0 1
+    invokestatic Javac genFactor
+  label more
+    iconst 10
+    invokestatic Javac rnd
+    iconst 4
+    if_icmpge done
+    iconst 2
+    iconst 0
+    invokestatic Javac emitTok
+    invokestatic Javac genFactor
+    goto more
+  label done
+    return
+  end
+  method genExpr 0 1
+    invokestatic Javac genTerm
+  label more
+    iconst 10
+    invokestatic Javac rnd
+    iconst 4
+    if_icmpge done
+    iconst 1
+    iconst 0
+    invokestatic Javac emitTok
+    invokestatic Javac genTerm
+    goto more
+  label done
+    return
+  end
+  method emit 1 1
+    getstatic Javac code
+    getstatic Javac emitpos
+    iload 0
+    iastore
+    getstatic Javac emitpos
+    iconst 1
+    iadd
+    putstatic Javac emitpos
+    return
+  end
+  method peek 0 1 returns
+    getstatic Javac toks
+    getstatic Javac pos
+    iaload
+    ireturn
+  end
+  // parse to RPN: numbers emit (value+10), + emits -1, * emits -2
+  method parseFactor 0 1
+    invokestatic Javac peek
+    iconst 3
+    if_icmpne num
+    getstatic Javac pos
+    iconst 1
+    iadd
+    putstatic Javac pos
+    invokestatic Javac parseExpr
+    getstatic Javac pos
+    iconst 1
+    iadd
+    putstatic Javac pos
+    return
+  label num
+    getstatic Javac vals
+    getstatic Javac pos
+    iaload
+    iconst 10
+    iadd
+    invokestatic Javac emit
+    getstatic Javac pos
+    iconst 1
+    iadd
+    putstatic Javac pos
+    return
+  end
+  method parseTerm 0 1
+    invokestatic Javac parseFactor
+  label more
+    invokestatic Javac peek
+    iconst 2
+    if_icmpne done
+    getstatic Javac pos
+    iconst 1
+    iadd
+    putstatic Javac pos
+    invokestatic Javac parseFactor
+    iconst -2
+    invokestatic Javac emit
+    goto more
+  label done
+    return
+  end
+  method parseExpr 0 1
+    invokestatic Javac parseTerm
+  label more
+    invokestatic Javac peek
+    iconst 1
+    if_icmpne done
+    getstatic Javac pos
+    iconst 1
+    iadd
+    putstatic Javac pos
+    invokestatic Javac parseTerm
+    iconst -1
+    invokestatic Javac emit
+    goto more
+  label done
+    return
+  end
+  method evalRpn 0 4 returns
+    iconst 64
+    newarray
+    astore 0
+    iconst 0
+    istore 1
+    iconst 0
+    istore 2
+  label loop
+    iload 2
+    getstatic Javac emitpos
+    if_icmpge done
+    getstatic Javac code
+    iload 2
+    iaload
+    istore 3
+    iload 3
+    iconst -1
+    if_icmpne notadd
+    aload 0
+    iload 1
+    iconst 2
+    isub
+    aload 0
+    iload 1
+    iconst 2
+    isub
+    iaload
+    aload 0
+    iload 1
+    iconst 1
+    isub
+    iaload
+    iadd
+    ldc 65535
+    iand
+    iastore
+    iinc 1 -1
+    goto next
+  label notadd
+    iload 3
+    iconst -2
+    if_icmpne push
+    aload 0
+    iload 1
+    iconst 2
+    isub
+    aload 0
+    iload 1
+    iconst 2
+    isub
+    iaload
+    aload 0
+    iload 1
+    iconst 1
+    isub
+    iaload
+    imul
+    ldc 65535
+    iand
+    iastore
+    iinc 1 -1
+    goto next
+  label push
+    aload 0
+    iload 1
+    iload 3
+    iconst 10
+    isub
+    iastore
+    iinc 1 1
+  label next
+    iinc 2 1
+    goto loop
+  label done
+    aload 0
+    iconst 0
+    iaload
+    ireturn
+  end
+  method main 0 2
+    ldc 4242
+    putstatic Javac seed
+    ldc 2048
+    newarray
+    putstatic Javac toks
+    ldc 2048
+    newarray
+    putstatic Javac vals
+    ldc 2048
+    newarray
+    putstatic Javac code
+    iconst 0
+    istore 0
+  label programs
+    iload 0
+    ldc 500
+    if_icmpge done
+    iconst 0
+    putstatic Javac ntoks
+    iconst 0
+    putstatic Javac pos
+    iconst 0
+    putstatic Javac emitpos
+    iconst 0
+    putstatic Javac depth
+    invokestatic Javac genExpr
+    iconst 5
+    iconst 0
+    invokestatic Javac emitTok
+    invokestatic Javac parseExpr
+    invokestatic Javac evalRpn
+    printi
+    iinc 0 1
+    goto programs
+  label done
+    return
+  end
+end
+)JASM";
+
+//===----------------------------------------------------------------------===//
+// mpegaudio: fixed-point subband filter, pure arithmetic loops.
+//===----------------------------------------------------------------------===//
+
+static const char MpegSource[] = R"JASM(
+// mpegaudio: integer subband synthesis filter and butterfly pass.
+class Mpeg
+  static ref window
+  static ref samples
+  static ref subband
+  static int seed
+  method rnd 1 2 returns
+    getstatic Mpeg seed
+    ldc 1103515245
+    imul
+    ldc 12345
+    iadd
+    dup
+    putstatic Mpeg seed
+    iconst 16
+    ishr
+    ldc 32767
+    iand
+    iload 0
+    irem
+    ireturn
+  end
+  method init 0 2
+    ldc 99
+    putstatic Mpeg seed
+    iconst 512
+    newarray
+    putstatic Mpeg window
+    ldc 2048
+    newarray
+    putstatic Mpeg samples
+    iconst 32
+    newarray
+    putstatic Mpeg subband
+    iconst 0
+    istore 0
+  label wfill
+    iload 0
+    iconst 512
+    if_icmpge sfill
+    getstatic Mpeg window
+    iload 0
+    ldc 256
+    invokestatic Mpeg rnd
+    iconst 128
+    isub
+    iastore
+    iinc 0 1
+    goto wfill
+  label sfill
+    iconst 0
+    istore 0
+  label sloop
+    iload 0
+    ldc 2048
+    if_icmpge done
+    getstatic Mpeg samples
+    iload 0
+    ldc 4096
+    invokestatic Mpeg rnd
+    ldc 2048
+    isub
+    iastore
+    iinc 0 1
+    goto sloop
+  label done
+    return
+  end
+  method filterFrame 1 6
+    // arg0: frame offset into samples
+    iconst 0
+    istore 1
+  label sbloop
+    iload 1
+    iconst 32
+    if_icmpge butterfly
+    iconst 0
+    istore 2
+    iconst 0
+    istore 3
+  label dot
+    iload 3
+    iconst 64
+    if_icmpge store
+    iload 2
+    getstatic Mpeg samples
+    iload 0
+    iload 1
+    iconst 64
+    imul
+    iadd
+    iload 3
+    iadd
+    ldc 2047
+    iand
+    iaload
+    getstatic Mpeg window
+    iload 3
+    iconst 8
+    imul
+    iload 1
+    iadd
+    ldc 511
+    iand
+    iaload
+    imul
+    iconst 6
+    ishr
+    iadd
+    istore 2
+    iinc 3 1
+    goto dot
+  label store
+    getstatic Mpeg subband
+    iload 1
+    iload 2
+    iastore
+    iinc 1 1
+    goto sbloop
+  label butterfly
+    iconst 0
+    istore 1
+  label bloop
+    iload 1
+    iconst 16
+    if_icmpge done
+    getstatic Mpeg subband
+    iload 1
+    iaload
+    istore 2
+    getstatic Mpeg subband
+    iconst 31
+    iload 1
+    isub
+    iaload
+    istore 3
+    getstatic Mpeg subband
+    iload 1
+    iload 2
+    iload 3
+    iadd
+    iconst 1
+    ishr
+    iastore
+    getstatic Mpeg subband
+    iconst 31
+    iload 1
+    isub
+    iload 2
+    iload 3
+    isub
+    iconst 1
+    ishr
+    iastore
+    iinc 1 1
+    goto bloop
+  label done
+    return
+  end
+  method checksum 0 3 returns
+    iconst 0
+    istore 0
+    iconst 0
+    istore 1
+  label loop
+    iload 1
+    iconst 32
+    if_icmpge done
+    iload 0
+    iconst 31
+    imul
+    getstatic Mpeg subband
+    iload 1
+    iaload
+    ixor
+    istore 0
+    iinc 1 1
+    goto loop
+  label done
+    iload 0
+    ireturn
+  end
+  method main 0 2
+    invokestatic Mpeg init
+    iconst 0
+    istore 0
+  label frames
+    iload 0
+    ldc 55
+    if_icmpge done
+    iload 0
+    iconst 13
+    imul
+    invokestatic Mpeg filterFrame
+    invokestatic Mpeg checksum
+    printi
+    iinc 0 1
+    goto frames
+  label done
+    return
+  end
+end
+)JASM";
+
+//===----------------------------------------------------------------------===//
+// mtrt: integer raytracer with a Shape hierarchy; virtual-call and
+// allocation heavy (many small methods, large code working set).
+//===----------------------------------------------------------------------===//
+
+static const char MtrtSource[] = R"JASM(
+// mtrt: raytracing a scene of spheres and planes with integer math.
+class Shape
+  field int cx
+  field int cy
+  field int cz
+  method hit 3 5 returns virtual
+    iconst 0
+    ireturn
+  end
+end
+class Sphere extends Shape
+  field int r2
+  method hit 3 8 returns virtual
+    // args: dx dy dz (ray from origin); returns b if disc > 0
+    aload 0
+    getfield Sphere cx
+    iload 1
+    imul
+    aload 0
+    getfield Sphere cy
+    iload 2
+    imul
+    iadd
+    aload 0
+    getfield Sphere cz
+    iload 3
+    imul
+    iadd
+    iconst 8
+    ishr
+    istore 4
+    aload 0
+    getfield Sphere cx
+    dup
+    imul
+    aload 0
+    getfield Sphere cy
+    dup
+    imul
+    iadd
+    aload 0
+    getfield Sphere cz
+    dup
+    imul
+    iadd
+    aload 0
+    getfield Sphere r2
+    isub
+    iconst 8
+    ishr
+    istore 5
+    iload 4
+    iload 4
+    imul
+    iconst 8
+    ishr
+    iload 5
+    isub
+    ifle miss
+    iload 4
+    ireturn
+  label miss
+    iconst 0
+    ireturn
+  end
+end
+class Plane extends Shape
+  field int level
+  method hit 3 5 returns virtual
+    iload 2
+    ifle miss
+    aload 0
+    getfield Plane level
+    iconst 8
+    ishl
+    iload 2
+    idiv
+    ireturn
+  label miss
+    iconst 0
+    ireturn
+  end
+end
+class Mtrt
+  static ref shapes
+  static int seed
+  method rnd 1 2 returns
+    getstatic Mtrt seed
+    ldc 1103515245
+    imul
+    ldc 12345
+    iadd
+    dup
+    putstatic Mtrt seed
+    iconst 16
+    ishr
+    ldc 32767
+    iand
+    iload 0
+    irem
+    ireturn
+  end
+  method buildScene 0 3
+    ldc 31415
+    putstatic Mtrt seed
+    iconst 10
+    anewarray
+    putstatic Mtrt shapes
+    iconst 0
+    istore 0
+  label loop
+    iload 0
+    iconst 10
+    if_icmpge done
+    iload 0
+    iconst 3
+    irem
+    ifne sphere
+    new Plane
+    astore 1
+    aload 1
+    iconst 40
+    invokestatic Mtrt rnd
+    iconst 10
+    iadd
+    putfield Plane level
+    goto place
+  label sphere
+    new Sphere
+    astore 1
+    aload 1
+    ldc 900
+    invokestatic Mtrt rnd
+    ldc 100
+    iadd
+    putfield Sphere r2
+  label place
+    aload 1
+    iconst 200
+    invokestatic Mtrt rnd
+    iconst 100
+    isub
+    putfield Shape cx
+    aload 1
+    iconst 200
+    invokestatic Mtrt rnd
+    iconst 100
+    isub
+    putfield Shape cy
+    aload 1
+    iconst 100
+    invokestatic Mtrt rnd
+    iconst 20
+    iadd
+    putfield Shape cz
+    getstatic Mtrt shapes
+    iload 0
+    aload 1
+    aastore
+    iinc 0 1
+    goto loop
+  label done
+    return
+  end
+  method trace 2 7 returns
+    // args: px py; returns nearest hit "depth"
+    iconst 0
+    istore 2
+    iconst 0
+    istore 3
+  label loop
+    iload 3
+    iconst 10
+    if_icmpge done
+    getstatic Mtrt shapes
+    iload 3
+    aaload
+    iload 0
+    iconst 64
+    isub
+    iload 1
+    iconst 48
+    isub
+    iconst 64
+    invokevirtual Shape hit
+    istore 4
+    iload 4
+    iload 2
+    if_icmple next
+    iload 4
+    istore 2
+  label next
+    iinc 3 1
+    goto loop
+  label done
+    iload 2
+    ireturn
+  end
+  method main 0 4
+    invokestatic Mtrt buildScene
+    iconst 0
+    istore 0
+    iconst 0
+    istore 1
+  label rows
+    iload 1
+    iconst 64
+    if_icmpge done
+    iconst 0
+    istore 2
+  label cols
+    iload 2
+    iconst 128
+    if_icmpge rdone
+    iload 0
+    iconst 31
+    imul
+    iload 2
+    iload 1
+    invokestatic Mtrt trace
+    ixor
+    ldc 65535
+    iand
+    istore 0
+    iinc 2 1
+    goto cols
+  label rdone
+    iload 0
+    printi
+    iinc 1 1
+    goto rows
+  label done
+    return
+  end
+end
+)JASM";
+
+//===----------------------------------------------------------------------===//
+// jack: parser generator — grammar closure plus DFA token scanning.
+//===----------------------------------------------------------------------===//
+
+static const char JackSource[] = R"JASM(
+// jack: generates parser tables (FIRST-set closure) and runs a DFA
+// tokenizer over synthetic input.
+class Jack
+  static ref lhs
+  static ref rhs
+  static ref first
+  static ref dfa
+  static ref input
+  static int seed
+  static int changed
+  method rnd 1 2 returns
+    getstatic Jack seed
+    ldc 1103515245
+    imul
+    ldc 12345
+    iadd
+    dup
+    putstatic Jack seed
+    iconst 16
+    ishr
+    ldc 32767
+    iand
+    iload 0
+    irem
+    ireturn
+  end
+  method init 0 2
+    iconst 96
+    newarray
+    putstatic Jack lhs
+    ldc 288
+    newarray
+    putstatic Jack rhs
+    iconst 24
+    newarray
+    putstatic Jack first
+    ldc 128
+    newarray
+    putstatic Jack dfa
+    ldc 1024
+    newarray
+    putstatic Jack input
+    iconst 0
+    istore 0
+  label dfill
+    iload 0
+    ldc 128
+    if_icmpge ifill
+    getstatic Jack dfa
+    iload 0
+    iconst 8
+    invokestatic Jack rnd
+    iastore
+    iinc 0 1
+    goto dfill
+  label ifill
+    iconst 0
+    istore 0
+  label iloop
+    iload 0
+    ldc 1024
+    if_icmpge done
+    getstatic Jack input
+    iload 0
+    iconst 16
+    invokestatic Jack rnd
+    iastore
+    iinc 0 1
+    goto iloop
+  label done
+    return
+  end
+  method genGrammar 0 2
+    iconst 0
+    istore 0
+  label loop
+    iload 0
+    iconst 96
+    if_icmpge done
+    getstatic Jack lhs
+    iload 0
+    iconst 12
+    invokestatic Jack rnd
+    iconst 12
+    iadd
+    iastore
+    getstatic Jack rhs
+    iload 0
+    iconst 3
+    imul
+    iconst 24
+    invokestatic Jack rnd
+    iastore
+    getstatic Jack rhs
+    iload 0
+    iconst 3
+    imul
+    iconst 1
+    iadd
+    iconst 24
+    invokestatic Jack rnd
+    iastore
+    getstatic Jack rhs
+    iload 0
+    iconst 3
+    imul
+    iconst 2
+    iadd
+    iconst 24
+    invokestatic Jack rnd
+    iastore
+    iinc 0 1
+    goto loop
+  label done
+    return
+  end
+  method symFirst 1 2 returns
+    iload 0
+    iconst 12
+    if_icmpge nonterm
+    iconst 1
+    iload 0
+    ishl
+    ireturn
+  label nonterm
+    getstatic Jack first
+    iload 0
+    iaload
+    ireturn
+  end
+  method closure 0 5
+  label again
+    iconst 0
+    putstatic Jack changed
+    iconst 0
+    istore 0
+  label ploop
+    iload 0
+    iconst 96
+    if_icmpge check
+    getstatic Jack rhs
+    iload 0
+    iconst 3
+    imul
+    iaload
+    invokestatic Jack symFirst
+    getstatic Jack rhs
+    iload 0
+    iconst 3
+    imul
+    iconst 1
+    iadd
+    iaload
+    invokestatic Jack symFirst
+    ior
+    getstatic Jack rhs
+    iload 0
+    iconst 3
+    imul
+    iconst 2
+    iadd
+    iaload
+    invokestatic Jack symFirst
+    ior
+    istore 1
+    getstatic Jack lhs
+    iload 0
+    iaload
+    istore 2
+    getstatic Jack first
+    iload 2
+    iaload
+    istore 3
+    iload 3
+    iload 1
+    ior
+    istore 4
+    iload 4
+    iload 3
+    if_icmpeq pnext
+    getstatic Jack first
+    iload 2
+    iload 4
+    iastore
+    iconst 1
+    putstatic Jack changed
+  label pnext
+    iinc 0 1
+    goto ploop
+  label check
+    getstatic Jack changed
+    ifne again
+    return
+  end
+  method scan 0 4 returns
+    // run the DFA over the input; count accepts
+    iconst 0
+    istore 0
+    iconst 0
+    istore 1
+    iconst 0
+    istore 2
+  label loop
+    iload 2
+    ldc 1024
+    if_icmpge done
+    getstatic Jack dfa
+    iload 0
+    iconst 8
+    imul
+    getstatic Jack input
+    iload 2
+    iaload
+    iconst 8
+    irem
+    iadd
+    ldc 127
+    iand
+    iaload
+    istore 0
+    iload 0
+    iconst 2
+    if_icmpne next
+    iinc 1 1
+    iconst 0
+    istore 0
+  label next
+    iinc 2 1
+    goto loop
+  label done
+    iload 1
+    ireturn
+  end
+  method clearFirst 0 1
+    iconst 0
+    istore 0
+  label loop
+    iload 0
+    iconst 24
+    if_icmpge done
+    getstatic Jack first
+    iload 0
+    iconst 0
+    iastore
+    iinc 0 1
+    goto loop
+  label done
+    return
+  end
+  method checksum 0 3 returns
+    iconst 0
+    istore 0
+    iconst 0
+    istore 1
+  label loop
+    iload 1
+    iconst 24
+    if_icmpge done
+    iload 0
+    iconst 31
+    imul
+    getstatic Jack first
+    iload 1
+    iaload
+    ixor
+    istore 0
+    iinc 1 1
+    goto loop
+  label done
+    iload 0
+    ireturn
+  end
+  method main 0 1
+    ldc 2718
+    putstatic Jack seed
+    invokestatic Jack init
+    iconst 0
+    istore 0
+  label rounds
+    iload 0
+    iconst 30
+    if_icmpge done
+    invokestatic Jack genGrammar
+    invokestatic Jack clearFirst
+    invokestatic Jack closure
+    invokestatic Jack checksum
+    printi
+    invokestatic Jack scan
+    printi
+    iinc 0 1
+    goto rounds
+  label done
+    return
+  end
+end
+)JASM";
+
+//===----------------------------------------------------------------------===//
+// Suite definition
+//===----------------------------------------------------------------------===//
+
+uint32_t JavaBenchmark::sourceLines() const {
+  uint32_t Lines = 0;
+  for (char C : Source)
+    if (C == '\n')
+      ++Lines;
+  return Lines;
+}
+
+JavaProgram JavaBenchmark::assemble() const {
+  JavaProgram P = assembleJava(Source, Name);
+  assert(P.ok() && "suite benchmark must assemble");
+  return P;
+}
+
+const std::vector<JavaBenchmark> &vmib::javaSuite() {
+  static const std::vector<JavaBenchmark> Suite = {
+      {"compress", "modified Lempel-Ziv compression", CompressSource},
+      {"jess", "Java Expert Shell System", JessSource},
+      {"db", "small database program", DbSource},
+      {"javac", "compiles expression programs", JavacSource},
+      {"mpeg", "MPEG Layer-3 audio stream decoder", MpegSource},
+      {"mtrt", "raytracing program", MtrtSource},
+      {"jack", "parser generator with lexical analysis", JackSource},
+  };
+  return Suite;
+}
+
+const JavaBenchmark &vmib::javaBenchmark(const std::string &Name) {
+  for (const JavaBenchmark &B : javaSuite())
+    if (B.Name == Name)
+      return B;
+  assert(false && "unknown java benchmark");
+  static JavaBenchmark Dummy;
+  return Dummy;
+}

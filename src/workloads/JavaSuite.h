@@ -1,0 +1,45 @@
+//===- workloads/JavaSuite.h - The Java benchmark suite ---------*- C++ -*-===//
+///
+/// \file
+/// Analogues of the SPECjvm98 programs the paper evaluates (Table VII):
+/// compress (modified Lempel-Ziv), jess (expert shell system), db
+/// (small database), javac (compiler), mpegaudio (audio decoder), mtrt
+/// (raytracer) and jack (parser generator). Each is a genuine jasm
+/// program for the mini-JVM, deterministic and self-checking through
+/// the VM's output hash, and each exercises quickable instructions
+/// (field access, allocation, calls) the way its SPEC counterpart's
+/// workload shape demands: loop-heavy compress/mpeg, call-heavy
+/// jess/javac/jack, data-scan-heavy db, virtual-dispatch-heavy mtrt.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_WORKLOADS_JAVASUITE_H
+#define VMIB_WORKLOADS_JAVASUITE_H
+
+#include "javavm/JavaProgram.h"
+
+#include <string>
+#include <vector>
+
+namespace vmib {
+
+/// One benchmark of the Java suite.
+struct JavaBenchmark {
+  std::string Name;
+  std::string Description; ///< Table VII description
+  std::string Source;      ///< jasm source text
+
+  uint32_t sourceLines() const;
+  /// Assembles the source; asserts success in debug builds.
+  JavaProgram assemble() const;
+};
+
+/// The seven benchmarks in Table VII order.
+const std::vector<JavaBenchmark> &javaSuite();
+
+/// Lookup by name; asserts if absent.
+const JavaBenchmark &javaBenchmark(const std::string &Name);
+
+} // namespace vmib
+
+#endif // VMIB_WORKLOADS_JAVASUITE_H

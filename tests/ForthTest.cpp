@@ -1,0 +1,351 @@
+//===- tests/ForthTest.cpp - Forth compiler and VM tests ------------------===//
+
+#include "forthvm/ForthCompiler.h"
+#include "forthvm/ForthVM.h"
+#include "vmcore/DispatchBuilder.h"
+#include "vmcore/DispatchSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace vmib;
+
+namespace {
+
+/// Compiles and runs a Forth snippet; expects success.
+ForthVM::Result runOk(const std::string &Src) {
+  ForthUnit Unit = compileForth(Src, "test");
+  EXPECT_EQ(Unit.Error, "") << Src;
+  if (!Unit.ok())
+    return {};
+  EXPECT_EQ(Unit.Program.validate(forth::opcodeSet()), "");
+  ForthVM VM;
+  ForthVM::Result R = VM.run(Unit);
+  EXPECT_EQ(R.Error, "") << Src;
+  EXPECT_TRUE(R.Halted) << Src;
+  return R;
+}
+
+int64_t topOf(const std::string &Src) { return runOk(Src).Top; }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compiler + engine semantics
+//===----------------------------------------------------------------------===//
+
+TEST(Forth, Arithmetic) {
+  EXPECT_EQ(topOf("1 2 +"), 3);
+  EXPECT_EQ(topOf("10 3 -"), 7);
+  EXPECT_EQ(topOf("6 7 *"), 42);
+  EXPECT_EQ(topOf("17 5 /"), 3);
+  EXPECT_EQ(topOf("17 5 mod"), 2);
+  EXPECT_EQ(topOf("5 negate"), -5);
+  EXPECT_EQ(topOf("-5 abs"), 5);
+  EXPECT_EQ(topOf("3 4 min"), 3);
+  EXPECT_EQ(topOf("3 4 max"), 4);
+  EXPECT_EQ(topOf("5 1+"), 6);
+  EXPECT_EQ(topOf("5 1-"), 4);
+  EXPECT_EQ(topOf("5 2*"), 10);
+  EXPECT_EQ(topOf("5 2/"), 2);
+}
+
+TEST(Forth, Logic) {
+  EXPECT_EQ(topOf("12 10 and"), 8);
+  EXPECT_EQ(topOf("12 10 or"), 14);
+  EXPECT_EQ(topOf("12 10 xor"), 6);
+  EXPECT_EQ(topOf("0 invert"), -1);
+  EXPECT_EQ(topOf("1 4 lshift"), 16);
+  EXPECT_EQ(topOf("16 4 rshift"), 1);
+}
+
+TEST(Forth, Comparisons) {
+  EXPECT_EQ(topOf("1 2 <"), -1);
+  EXPECT_EQ(topOf("2 1 <"), 0);
+  EXPECT_EQ(topOf("2 2 ="), -1);
+  EXPECT_EQ(topOf("2 3 <>"), -1);
+  EXPECT_EQ(topOf("3 3 >="), -1);
+  EXPECT_EQ(topOf("0 0="), -1);
+  EXPECT_EQ(topOf("-1 0<"), -1);
+  EXPECT_EQ(topOf("1 0>"), -1);
+  EXPECT_EQ(topOf("-1 1 u<"), 0); // unsigned: -1 is huge
+}
+
+TEST(Forth, StackOps) {
+  EXPECT_EQ(topOf("1 2 dup + +"), 5);
+  EXPECT_EQ(topOf("1 2 drop"), 1);
+  EXPECT_EQ(topOf("1 2 swap -"), 1);
+  EXPECT_EQ(topOf("1 2 over + +"), 4);
+  EXPECT_EQ(topOf("1 2 3 rot"), 1);        // 2 3 1
+  EXPECT_EQ(topOf("1 2 nip"), 2);
+  EXPECT_EQ(topOf("7 8 tuck - +"), 7);     // tuck: 8 7 8; -: 8 -1; +: 7
+  EXPECT_EQ(topOf("10 20 30 2 pick"), 10);
+  EXPECT_EQ(topOf("1 2 2dup + + +"), 6);
+  EXPECT_EQ(topOf("5 0 ?dup"), 0);         // 0 not duplicated
+  EXPECT_EQ(topOf("1 2 3 depth"), 3);
+}
+
+TEST(Forth, ReturnStack) {
+  EXPECT_EQ(topOf("42 >r 7 r> +"), 49);
+  EXPECT_EQ(topOf("42 >r r@ r> +"), 84);
+}
+
+TEST(Forth, Memory) {
+  EXPECT_EQ(topOf("variable x 42 x ! x @"), 42);
+  EXPECT_EQ(topOf("variable x 40 x ! 2 x +! x @"), 42);
+  EXPECT_EQ(topOf("create arr 10 cells allot 7 arr 3 + ! arr 3 + @"), 7);
+}
+
+TEST(Forth, DataCompilation) {
+  EXPECT_EQ(topOf("create t 11 , 22 , 33 , t 1 + @"), 22);
+  EXPECT_EQ(topOf("5 constant five five five +"), 10);
+}
+
+TEST(Forth, IfElseThen) {
+  EXPECT_EQ(topOf(": f 0> if 10 else 20 then ; 5 f"), 10);
+  EXPECT_EQ(topOf(": f 0> if 10 else 20 then ; -5 f"), 20);
+  EXPECT_EQ(topOf(": f dup 0< if negate then ; -7 f"), 7);
+}
+
+TEST(Forth, BeginLoops) {
+  EXPECT_EQ(topOf("0 begin 1+ dup 10 >= until"), 10);
+  EXPECT_EQ(topOf("0 10 begin dup 0> while swap 1+ swap 1- repeat drop"),
+            10);
+}
+
+TEST(Forth, DoLoops) {
+  EXPECT_EQ(topOf("0 5 0 do i + loop"), 10);      // 0+1+2+3+4
+  EXPECT_EQ(topOf("0 10 0 do i + 2 +loop"), 20);  // 0+2+4+6+8
+  EXPECT_EQ(topOf("0 3 0 do 3 0 do j + loop loop"), 9); // j sums outer
+}
+
+TEST(Forth, Leave) {
+  EXPECT_EQ(topOf("0 100 0 do i + i 4 = if leave then loop"), 10);
+}
+
+TEST(Forth, ColonAndRecurse) {
+  EXPECT_EQ(topOf(": sq dup * ; 9 sq"), 81);
+  EXPECT_EQ(topOf(": fact dup 1 > if dup 1- recurse * then ; 6 fact"),
+            720);
+  EXPECT_EQ(topOf(": f dup 5 > if drop 99 exit then 1+ ; 3 f"), 4);
+  EXPECT_EQ(topOf(": f dup 5 > if drop 99 exit then 1+ ; 7 f"), 99);
+}
+
+TEST(Forth, TickAndExecute) {
+  EXPECT_EQ(topOf(": double 2* ; 21 ' double execute"), 42);
+  EXPECT_EQ(topOf(": inc 1+ ; : apply execute ; 5 ['] inc apply"), 6);
+}
+
+TEST(Forth, CharAndConstants) {
+  EXPECT_EQ(topOf("char A"), 65);
+  EXPECT_EQ(topOf("bl"), 32);
+  EXPECT_EQ(topOf("true"), -1);
+}
+
+TEST(Forth, Comments) {
+  EXPECT_EQ(topOf("1 \\ this is ignored\n 2 +"), 3);
+  EXPECT_EQ(topOf("1 ( ignored too ) 2 +"), 3);
+}
+
+TEST(Forth, OutputHashing) {
+  ForthVM::Result A = runOk("65 emit 66 emit");
+  ForthVM::Result B = runOk("65 emit 66 emit");
+  ForthVM::Result C = runOk("66 emit 65 emit");
+  EXPECT_EQ(A.OutputHash, B.OutputHash);
+  EXPECT_NE(A.OutputHash, C.OutputHash);
+  ForthVM::Result D = runOk("123 .");
+  EXPECT_NE(D.OutputHash, A.OutputHash);
+}
+
+TEST(Forth, RandDeterministic) {
+  ForthVM::Result A = runOk("rand rand + .");
+  ForthVM::Result B = runOk("rand rand + .");
+  EXPECT_EQ(A.OutputHash, B.OutputHash);
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler error handling
+//===----------------------------------------------------------------------===//
+
+TEST(ForthErrors, UnknownWord) {
+  EXPECT_NE(compileForth("frobnicate", "t").Error, "");
+}
+
+TEST(ForthErrors, UnterminatedDefinition) {
+  EXPECT_NE(compileForth(": foo 1 2 +", "t").Error, "");
+}
+
+TEST(ForthErrors, UnbalancedControl) {
+  EXPECT_NE(compileForth(": f if 1 ;", "t").Error, "");
+  EXPECT_NE(compileForth("begin 1", "t").Error, "");
+  EXPECT_NE(compileForth(": f then ;", "t").Error, "");
+  EXPECT_NE(compileForth(": f repeat ;", "t").Error, "");
+}
+
+TEST(ForthErrors, ConstantNeedsLiteral) {
+  EXPECT_NE(compileForth("constant x", "t").Error, "");
+}
+
+TEST(ForthErrors, NestedColon) {
+  EXPECT_NE(compileForth(": a : b ; ;", "t").Error, "");
+}
+
+TEST(ForthErrors, VMDivByZero) {
+  ForthUnit U = compileForth("1 0 /", "t");
+  ASSERT_EQ(U.Error, "");
+  ForthVM VM;
+  ForthVM::Result R = VM.run(U);
+  EXPECT_NE(R.Error, "");
+  EXPECT_FALSE(R.Halted);
+}
+
+TEST(ForthErrors, VMStackUnderflow) {
+  ForthUnit U = compileForth("drop", "t");
+  ASSERT_EQ(U.Error, "");
+  ForthVM VM;
+  ForthVM::Result R = VM.run(U);
+  EXPECT_NE(R.Error, "");
+}
+
+TEST(ForthErrors, VMBadAddress) {
+  ForthUnit U = compileForth("5 -1 !", "t");
+  ASSERT_EQ(U.Error, "");
+  ForthVM VM;
+  EXPECT_NE(VM.run(U).Error, "");
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-variant equivalence: every dispatch strategy executes the same
+// program with identical results and identical VM instruction counts.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *EquivalenceProgram = R"(
+: fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ;
+variable acc
+: sums 0 acc ! 50 0 do i acc +! loop acc @ ;
+12 fib .
+sums .
+0 100 0 do i 3 mod 0= if i + then loop .
+)";
+
+} // namespace
+
+class VariantEquivalence
+    : public ::testing::TestWithParam<DispatchStrategy> {};
+
+TEST_P(VariantEquivalence, SameResultAndTraceLength) {
+  DispatchStrategy Kind = GetParam();
+  const OpcodeSet &Set = forth::opcodeSet();
+
+  ForthUnit Unit = compileForth(EquivalenceProgram, "equiv");
+  ASSERT_EQ(Unit.Error, "");
+
+  // Reference run (no simulation).
+  ForthVM VM;
+  ForthVM::Result Ref = VM.run(Unit);
+  ASSERT_TRUE(Ref.ok());
+
+  // Training profile for the static strategies.
+  std::vector<uint64_t> Counts;
+  ForthVM TrainVM;
+  TrainVM.run(Unit, nullptr, 1ull << 30, &Counts);
+  SequenceProfile Prof = buildProfile(Unit.Program, Set, Counts);
+  StaticResources Res = selectStaticResources(
+      Prof, Set, 20, 20, SuperWeighting::DynamicFrequency,
+      /*ReplicateSupers=*/true);
+
+  StrategyConfig Cfg;
+  Cfg.Kind = Kind;
+  auto Layout = DispatchBuilder::build(Unit.Program, Set, Cfg, &Res);
+  CpuConfig Cpu = makeCeleron800();
+  DispatchSim Sim(*Layout, Cpu);
+  ForthVM VM2;
+  ForthVM::Result R = VM2.run(Unit, &Sim);
+  Sim.finish();
+
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.OutputHash, Ref.OutputHash);
+  EXPECT_EQ(R.Top, Ref.Top);
+  EXPECT_EQ(R.Steps, Ref.Steps);
+  EXPECT_EQ(Sim.counters().VMInstructions, Ref.Steps);
+  EXPECT_GT(Sim.counters().Cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, VariantEquivalence,
+    ::testing::Values(DispatchStrategy::Switch, DispatchStrategy::Threaded,
+                      DispatchStrategy::StaticRepl,
+                      DispatchStrategy::StaticSuper,
+                      DispatchStrategy::StaticBoth,
+                      DispatchStrategy::DynamicRepl,
+                      DispatchStrategy::DynamicSuper,
+                      DispatchStrategy::DynamicBoth,
+                      DispatchStrategy::AcrossBB,
+                      DispatchStrategy::WithStaticSuper,
+                      DispatchStrategy::WithStaticSuperAcross),
+    [](const ::testing::TestParamInfo<DispatchStrategy> &Info) {
+      std::string Name = strategyName(Info.param);
+      for (char &C : Name)
+        if (C == ' ' || C == '/')
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Dispatch-reduction ordering on real Forth code
+//===----------------------------------------------------------------------===//
+
+TEST(ForthDispatch, SuperinstructionsReduceDispatches) {
+  const OpcodeSet &Set = forth::opcodeSet();
+  ForthUnit Unit = compileForth(EquivalenceProgram, "equiv");
+  ASSERT_EQ(Unit.Error, "");
+  CpuConfig Cpu = makeCeleron800();
+
+  auto dispatchesOf = [&](DispatchStrategy Kind) {
+    StrategyConfig Cfg;
+    Cfg.Kind = Kind;
+    auto L = DispatchBuilder::build(Unit.Program, Set, Cfg);
+    DispatchSim Sim(*L, Cpu);
+    ForthVM VM;
+    EXPECT_TRUE(VM.run(Unit, &Sim).ok());
+    return Sim.counters().IndirectBranches;
+  };
+
+  uint64_t Plain = dispatchesOf(DispatchStrategy::Threaded);
+  uint64_t Repl = dispatchesOf(DispatchStrategy::DynamicRepl);
+  uint64_t Super = dispatchesOf(DispatchStrategy::DynamicSuper);
+  uint64_t Across = dispatchesOf(DispatchStrategy::AcrossBB);
+
+  EXPECT_EQ(Plain, Repl);   // replication does not reduce dispatches
+  EXPECT_LT(Super, Plain);  // per-block superinstructions do
+  EXPECT_LT(Across, Super); // across-bb eliminates even more (§5.2)
+}
+
+TEST(ForthDispatch, MispredictionOrdering) {
+  // §7: switch mispredicts most; threaded less; dynamic replication
+  // nearly eliminates dispatch mispredictions.
+  const OpcodeSet &Set = forth::opcodeSet();
+  ForthUnit Unit = compileForth(EquivalenceProgram, "equiv");
+  ASSERT_EQ(Unit.Error, "");
+  CpuConfig Cpu = makePentium4Northwood();
+
+  auto rateOf = [&](DispatchStrategy Kind) {
+    StrategyConfig Cfg;
+    Cfg.Kind = Kind;
+    auto L = DispatchBuilder::build(Unit.Program, Set, Cfg);
+    DispatchSim Sim(*L, Cpu);
+    ForthVM VM;
+    EXPECT_TRUE(VM.run(Unit, &Sim).ok());
+    return Sim.counters().mispredictRate();
+  };
+
+  double Switch = rateOf(DispatchStrategy::Switch);
+  double Plain = rateOf(DispatchStrategy::Threaded);
+  double Repl = rateOf(DispatchStrategy::DynamicRepl);
+
+  EXPECT_GT(Switch, 0.75); // §1: 81-98% for switch interpreters
+  EXPECT_LT(Plain, Switch);
+  EXPECT_LT(Repl, 0.25);
+  EXPECT_LT(Repl, Plain);
+}

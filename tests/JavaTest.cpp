@@ -1,0 +1,318 @@
+//===- tests/JavaTest.cpp - mini-JVM unit tests ---------------------------===//
+
+#include "javavm/JavaVM.h"
+#include "vmcore/DispatchBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace vmib;
+
+namespace {
+
+/// Assembles and runs a snippet; expects success.
+JavaVM::Result runOk(const std::string &Src) {
+  JavaProgram P = assembleJava(Src, "test");
+  EXPECT_EQ(P.Error, "") << Src;
+  if (!P.ok())
+    return {};
+  JavaVM VM;
+  JavaVM::Result R = VM.run(P);
+  EXPECT_EQ(R.Error, "") << Src;
+  EXPECT_TRUE(R.Halted);
+  return R;
+}
+
+/// Wraps a main body into a minimal class.
+std::string mainWrap(const std::string &Body, int MaxLocals = 6) {
+  return "class Main\n method main 0 " + std::to_string(MaxLocals) +
+         "\n" + Body + "\n return\n end\nend\n";
+}
+
+uint64_t hashOf(const std::string &Body) {
+  return runOk(mainWrap(Body)).OutputHash;
+}
+
+} // namespace
+
+TEST(JavaAsm, ArithmeticAndPrint) {
+  EXPECT_EQ(hashOf("iconst 2 iconst 3 iadd printi"),
+            hashOf("iconst 5 printi"));
+  EXPECT_EQ(hashOf("iconst 7 iconst 3 isub printi"),
+            hashOf("iconst 4 printi"));
+  EXPECT_EQ(hashOf("iconst 6 iconst 7 imul printi"),
+            hashOf("iconst 42 printi"));
+  EXPECT_EQ(hashOf("iconst 17 iconst 5 idiv printi"),
+            hashOf("iconst 3 printi"));
+  EXPECT_EQ(hashOf("iconst 17 iconst 5 irem printi"),
+            hashOf("iconst 2 printi"));
+  EXPECT_EQ(hashOf("iconst 12 iconst 10 iand printi"),
+            hashOf("iconst 8 printi"));
+  EXPECT_EQ(hashOf("iconst 1 iconst 4 ishl printi"),
+            hashOf("iconst 16 printi"));
+  EXPECT_EQ(hashOf("iconst 5 ineg printi"), hashOf("iconst -5 printi"));
+}
+
+TEST(JavaAsm, Int32Wraparound) {
+  // imul wraps at 32 bits like the JVM.
+  EXPECT_EQ(hashOf("ldc 65536 ldc 65536 imul printi"),
+            hashOf("iconst 0 printi"));
+}
+
+TEST(JavaAsm, LocalsAndIinc) {
+  EXPECT_EQ(hashOf("iconst 5 istore 0 iinc 0 3 iload 0 printi"),
+            hashOf("iconst 8 printi"));
+  // iload specialization must behave identically for any index.
+  EXPECT_EQ(hashOf("iconst 9 istore 4 iload 4 printi"),
+            hashOf("iconst 9 printi"));
+}
+
+TEST(JavaAsm, BranchesAndLoops) {
+  uint64_t Sum = hashOf(R"(
+    iconst 0 istore 0
+    iconst 0 istore 1
+  label loop
+    iload 1 iconst 10 if_icmpge done
+    iload 0 iload 1 iadd istore 0
+    iinc 1 1
+    goto loop
+  label done
+    iload 0 printi)");
+  EXPECT_EQ(Sum, hashOf("iconst 45 printi"));
+}
+
+TEST(JavaAsm, Arrays) {
+  EXPECT_EQ(hashOf(R"(
+    iconst 10 newarray astore 0
+    aload 0 iconst 3 iconst 77 iastore
+    aload 0 iconst 3 iaload printi
+    aload 0 arraylength printi)"),
+            hashOf("iconst 77 printi iconst 10 printi"));
+}
+
+TEST(JavaAsm, StaticFieldsQuicken) {
+  JavaProgram P = assembleJava(
+      mainWrap("iconst 5 putstatic Main x getstatic Main x printi") +
+          "",
+      "t");
+  // Patch: wrap adds no statics; rebuild with a static field.
+  P = assembleJava("class Main\n static int x\n method main 0 2\n"
+                   "iconst 5 putstatic Main x getstatic Main x printi\n"
+                   "return\n end\nend\n",
+                   "t");
+  ASSERT_TRUE(P.ok());
+  JavaVM VM;
+  JavaVM::Result R = VM.run(P);
+  EXPECT_TRUE(R.ok());
+  // putstatic + getstatic + the bootstrap invokestatic of main.
+  EXPECT_EQ(R.Quickenings, 3u);
+  // Code is rewritten to quick forms.
+  bool SawQuick = false;
+  for (const VMInstr &I : P.Program.Code)
+    if (I.Op == java::PUTSTATIC_QUICK || I.Op == java::GETSTATIC_QUICK)
+      SawQuick = true;
+  EXPECT_TRUE(SawQuick);
+}
+
+TEST(JavaAsm, ObjectsFieldsAndNew) {
+  uint64_t H = runOk(R"(
+class Point
+  field int x
+  field int y
+end
+class Main
+  method main 0 3
+    new Point astore 0
+    aload 0 iconst 11 putfield Point x
+    aload 0 iconst 31 putfield Point y
+    aload 0 getfield Point x
+    aload 0 getfield Point y
+    iadd printi
+    return
+  end
+end)").OutputHash;
+  EXPECT_EQ(H, hashOf("iconst 42 printi"));
+}
+
+TEST(JavaAsm, VirtualDispatchAndInheritance) {
+  JavaVM::Result R = runOk(R"(
+class A
+  field int v
+  method get 0 1 returns virtual
+    iconst 1 ireturn
+  end
+end
+class B extends A
+  method get 0 1 returns virtual
+    iconst 2 ireturn
+  end
+end
+class Main
+  method main 0 3
+    new A astore 0
+    new B astore 1
+    aload 0 invokevirtual A get printi
+    aload 1 invokevirtual A get printi
+    return
+  end
+end)");
+  // A.get -> 1, B.get -> 2 through the same call site (polymorphic).
+  EXPECT_EQ(R.OutputHash, hashOf("iconst 1 printi iconst 2 printi"));
+}
+
+TEST(JavaAsm, InheritedFieldOffsets) {
+  JavaVM::Result R = runOk(R"(
+class A
+  field int a
+end
+class B extends A
+  field int b
+end
+class Main
+  method main 0 2
+    new B astore 0
+    aload 0 iconst 7 putfield A a
+    aload 0 iconst 9 putfield B b
+    aload 0 getfield A a
+    aload 0 getfield B b
+    iadd printi
+    return
+  end
+end)");
+  EXPECT_EQ(R.OutputHash, hashOf("iconst 16 printi"));
+}
+
+TEST(JavaAsm, StaticCallsAndRecursion) {
+  JavaVM::Result R = runOk(R"(
+class Main
+  method fib 1 2 returns
+    iload 0 iconst 2 if_icmpge rec
+    iload 0 ireturn
+  label rec
+    iload 0 iconst 1 isub invokestatic Main fib
+    iload 0 iconst 2 isub invokestatic Main fib
+    iadd ireturn
+  end
+  method main 0 1
+    iconst 15 invokestatic Main fib printi
+    return
+  end
+end)");
+  EXPECT_EQ(R.OutputHash, hashOf("ldc 610 printi"));
+}
+
+TEST(JavaAsm, QuickeningCountsOncePerSite) {
+  JavaProgram P = assembleJava(R"(
+class Main
+  static int x
+  method main 0 2
+    iconst 0 istore 0
+  label loop
+    iload 0 iconst 50 if_icmpge done
+    getstatic Main x iconst 1 iadd putstatic Main x
+    iinc 0 1
+    goto loop
+  label done
+    getstatic Main x printi
+    return
+  end
+end)",
+                               "t");
+  ASSERT_TRUE(P.ok());
+  JavaVM VM;
+  JavaVM::Result R = VM.run(P);
+  EXPECT_TRUE(R.ok());
+  // 3 quickable sites in the loop/footer + bootstrap invokestatic.
+  EXPECT_EQ(R.Quickenings, 4u);
+}
+
+TEST(JavaAsm, Errors) {
+  EXPECT_NE(assembleJava("class Main method main 0 1 bogus end end",
+                         "t").Error, "");
+  EXPECT_NE(assembleJava("class Main method main 0 1 goto nowhere "
+                         "return end end", "t").Error, "");
+  EXPECT_NE(assembleJava("class A extends Missing end", "t").Error, "");
+  EXPECT_NE(assembleJava("class A end", "t").Error, ""); // no main
+}
+
+TEST(JavaAsm, RuntimeErrors) {
+  auto runErr = [](const std::string &Body) {
+    JavaProgram P = assembleJava(mainWrap(Body), "t");
+    EXPECT_TRUE(P.ok());
+    JavaVM VM;
+    return VM.run(P).Error;
+  };
+  EXPECT_NE(runErr("iconst 1 iconst 0 idiv printi"), "");
+  EXPECT_NE(runErr("aconst_null getfield Main x printi"), "");
+  EXPECT_NE(runErr("iconst 2 newarray astore 0 aload 0 iconst 5 "
+                   "iaload printi"), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Quickening interplay with dispatch layouts (§5.4)
+//===----------------------------------------------------------------------===//
+
+class JavaQuickLayout : public ::testing::TestWithParam<DispatchStrategy> {};
+
+TEST_P(JavaQuickLayout, QuickeningKeepsSemanticsUnderLayout) {
+  static const char Src[] = R"(
+class Acc
+  field int total
+  method add 1 2 returns virtual
+    aload 0 getfield Acc total iload 1 iadd
+    dup
+    astore 1
+    aload 0 iload 1 putfield Acc total
+    iload 1 ireturn
+  end
+end
+class Main
+  method main 0 4
+    new Acc astore 0
+    iconst 0 istore 1
+  label loop
+    iload 1 iconst 30 if_icmpge done
+    aload 0 iload 1 invokevirtual Acc add pop
+    iinc 1 1
+    goto loop
+  label done
+    aload 0 getfield Acc total printi
+    return
+  end
+end)";
+  JavaProgram Ref = assembleJava(Src, "ref");
+  ASSERT_TRUE(Ref.ok());
+  JavaVM VM0;
+  JavaVM::Result R0 = VM0.run(Ref);
+  ASSERT_TRUE(R0.ok());
+
+  JavaProgram Copy = assembleJava(Src, "copy");
+  StrategyConfig Cfg;
+  Cfg.Kind = GetParam();
+  auto Layout = DispatchBuilder::build(Copy.Program, java::opcodeSet(),
+                                       Cfg);
+  CpuConfig Cpu = makePentium4Northwood();
+  DispatchSim Sim(*Layout, Cpu);
+  JavaVM VM;
+  JavaVM::Result R = VM.run(Copy, &Sim, Layout.get());
+  Sim.finish();
+  EXPECT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.OutputHash, R0.OutputHash);
+  EXPECT_EQ(R.Steps, R0.Steps);
+  EXPECT_EQ(Layout->quickenCount(), R.Quickenings);
+  EXPECT_EQ(Sim.counters().VMInstructions, R.Steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DynamicStrategies, JavaQuickLayout,
+    ::testing::Values(DispatchStrategy::Switch, DispatchStrategy::Threaded,
+                      DispatchStrategy::DynamicRepl,
+                      DispatchStrategy::DynamicSuper,
+                      DispatchStrategy::DynamicBoth,
+                      DispatchStrategy::AcrossBB),
+    [](const ::testing::TestParamInfo<DispatchStrategy> &Info) {
+      std::string Name = strategyName(Info.param);
+      for (char &C : Name)
+        if (C == ' ' || C == '/')
+          C = '_';
+      return Name;
+    });

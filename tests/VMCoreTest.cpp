@@ -1,0 +1,695 @@
+//===- tests/VMCoreTest.cpp - dispatch machinery unit tests ---------------===//
+///
+/// Unit tests for the vmcore layer, including exact reproductions of the
+/// paper's worked examples: Table I (switch vs threaded BTB behaviour),
+/// Table II (replication), Table III (bad replication), and Table IV
+/// (superinstructions).
+///
+//===----------------------------------------------------------------------===//
+
+#include "vmcore/DispatchBuilder.h"
+#include "vmcore/DispatchSim.h"
+#include "vmcore/Profile.h"
+#include "vmcore/Relocation.h"
+#include "vmcore/Strategy.h"
+#include "vmcore/SuperTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace vmib;
+
+namespace {
+
+/// A tiny VM instruction set for testing the dispatch machinery in
+/// isolation: plain ops A/B/C, control flow, a non-relocatable op, and a
+/// quickable op with its quick form.
+struct ToyVM {
+  OpcodeSet Set;
+  Opcode A, B, C, Goto, Cbr, Call, Ret, NonReloc, Quickable, Quick, Halt;
+
+  ToyVM() {
+    auto add = [&](const char *Name, BranchKind BK, bool Reloc = true,
+                   bool Quickbl = false) {
+      OpcodeInfo Info;
+      Info.Name = Name;
+      Info.WorkInstrs = 3;
+      Info.BodyBytes = 16;
+      Info.Branch = BK;
+      Info.Relocatable = Reloc;
+      Info.Quickable = Quickbl;
+      return Set.add(std::move(Info));
+    };
+    A = add("A", BranchKind::None);
+    B = add("B", BranchKind::None);
+    C = add("C", BranchKind::None);
+    Goto = add("GOTO", BranchKind::Uncond);
+    Cbr = add("CBR", BranchKind::Cond);
+    Call = add("CALLW", BranchKind::Call);
+    Ret = add("RET", BranchKind::Return);
+    NonReloc = add("NR", BranchKind::None, /*Reloc=*/false);
+    Quick = add("QUICK", BranchKind::None);
+    Quickable = add("QUICKABLE", BranchKind::None, true, /*Quickbl=*/true);
+    Halt = add("HLT", BranchKind::Halt);
+    // Wire the quick form.
+    OpcodeInfo &Info = const_cast<OpcodeInfo &>(Set.info(Quickable));
+    Info.QuickForm = Quick;
+  }
+};
+
+/// Executes a toy program over a DispatchSim, interpreting the toy
+/// semantics. Conditional branches consult \p CondPattern cyclically
+/// (true = taken).
+struct ToyRun {
+  uint64_t Steps = 0;
+  bool Halted = false;
+};
+
+ToyRun runToy(const ToyVM &VM, const VMProgram &Prog, DispatchSim *Sim,
+              uint64_t MaxSteps, std::vector<bool> CondPattern = {true},
+              DispatchProgram *QuickenTarget = nullptr,
+              VMProgram *MutableProg = nullptr) {
+  ToyRun R;
+  uint32_t Ip = Prog.Entry;
+  std::vector<uint32_t> CallStack;
+  size_t CondIdx = 0;
+  const VMProgram &P = MutableProg ? *MutableProg : Prog;
+  while (R.Steps < MaxSteps) {
+    const VMInstr &I = P.Code[Ip];
+    uint32_t Next = Ip + 1;
+    bool Halt = false;
+    bool QuickenHere = false;
+    Opcode Op = I.Op;
+    if (Op == VM.Goto) {
+      Next = static_cast<uint32_t>(I.A);
+    } else if (Op == VM.Cbr) {
+      bool Taken = CondPattern[CondIdx++ % CondPattern.size()];
+      if (Taken)
+        Next = static_cast<uint32_t>(I.A);
+    } else if (Op == VM.Call) {
+      CallStack.push_back(Ip + 1);
+      Next = static_cast<uint32_t>(I.A);
+    } else if (Op == VM.Ret) {
+      Next = CallStack.back();
+      CallStack.pop_back();
+    } else if (Op == VM.Halt) {
+      Halt = true;
+    } else if (Op == VM.Quickable && MutableProg && QuickenTarget) {
+      QuickenHere = true;
+    }
+    ++R.Steps;
+    if (Sim)
+      Sim->step(Ip, Halt ? DispatchSim::HaltNext : Next);
+    if (QuickenHere) {
+      // Quickening takes effect after this execution: the original
+      // quickable routine runs once, rewrites the instruction, and the
+      // layout patch applies to subsequent executions (§5.4).
+      MutableProg->Code[Ip].Op = VM.Quick;
+      QuickenTarget->onQuicken(Ip);
+    }
+    if (Halt) {
+      R.Halted = true;
+      break;
+    }
+    Ip = Next;
+  }
+  return R;
+}
+
+/// The Table I/II/IV loop: "label: A B A GOTO label".
+VMProgram makeLoopABA(const ToyVM &VM) {
+  VMProgram P;
+  P.Name = "tableI";
+  P.Code = {{VM.A, 0, 0}, {VM.B, 0, 0}, {VM.A, 0, 0}, {VM.Goto, 0, 0}};
+  P.Entry = 0;
+  return P;
+}
+
+/// The Table III loop: "label: A B A B A GOTO label".
+VMProgram makeLoopABABA(const ToyVM &VM) {
+  VMProgram P;
+  P.Name = "tableIII";
+  P.Code = {{VM.A, 0, 0}, {VM.B, 0, 0}, {VM.A, 0, 0},
+            {VM.B, 0, 0}, {VM.A, 0, 0}, {VM.Goto, 0, 0}};
+  P.Entry = 0;
+  return P;
+}
+
+/// Runs \p Iterations of a loop program and returns mispredictions in
+/// the steady state (after two warmup iterations).
+uint64_t steadyStateMispredicts(const ToyVM &VM, const VMProgram &Prog,
+                                const StrategyConfig &Config,
+                                const StaticResources *Static,
+                                uint32_t Iterations) {
+  auto Layout = DispatchBuilder::build(Prog, VM.Set, Config, Static);
+  CpuConfig Cpu = makePentium4Northwood();
+  uint64_t LoopLen = Prog.Code.size();
+
+  DispatchSim Warm(*Layout, Cpu);
+  runToy(VM, Prog, &Warm, 2 * LoopLen);
+  uint64_t WarmMiss = Warm.counters().Mispredictions;
+
+  auto Layout2 = DispatchBuilder::build(Prog, VM.Set, Config, Static);
+  DispatchSim Full(*Layout2, Cpu);
+  runToy(VM, Prog, &Full, (2 + Iterations) * LoopLen);
+  return Full.counters().Mispredictions - WarmMiss;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// VMProgram / basic blocks
+//===----------------------------------------------------------------------===//
+
+TEST(VMProgram, BasicBlockLeaders) {
+  ToyVM VM;
+  // 0:A 1:CBR->4 2:B 3:GOTO->0 4:C 5:HLT
+  VMProgram P;
+  P.Code = {{VM.A, 0, 0}, {VM.Cbr, 4, 0}, {VM.B, 0, 0},
+            {VM.Goto, 0, 0}, {VM.C, 0, 0}, {VM.Halt, 0, 0}};
+  BasicBlockInfo Info = P.computeBasicBlocks(VM.Set);
+  // Leaders: 0 (entry), 2 (after CBR), 4 (CBR target, after GOTO).
+  EXPECT_EQ(Info.numBlocks(), 3u);
+  EXPECT_TRUE(Info.isLeader(0));
+  EXPECT_FALSE(Info.isLeader(1));
+  EXPECT_TRUE(Info.isLeader(2));
+  EXPECT_TRUE(Info.isLeader(4));
+  EXPECT_EQ(Info.BlockOf[1], Info.BlockOf[0]);
+  EXPECT_NE(Info.BlockOf[2], Info.BlockOf[0]);
+}
+
+TEST(VMProgram, ValidateCatchesBadTargets) {
+  ToyVM VM;
+  VMProgram P;
+  P.Code = {{VM.Goto, 99, 0}, {VM.Halt, 0, 0}};
+  EXPECT_NE(P.validate(VM.Set), "");
+  P.Code[0].A = 1;
+  EXPECT_EQ(P.validate(VM.Set), "");
+}
+
+TEST(VMProgram, ValidateRequiresHalt) {
+  ToyVM VM;
+  VMProgram P;
+  P.Code = {{VM.A, 0, 0}};
+  EXPECT_NE(P.validate(VM.Set), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Relocatability detection (§5.2)
+//===----------------------------------------------------------------------===//
+
+TEST(Relocation, DetectionMatchesGroundTruth) {
+  ToyVM VM;
+  std::vector<bool> Detected = detectRelocatableAll(VM.Set);
+  for (Opcode Op = 0; Op < VM.Set.size(); ++Op)
+    EXPECT_EQ(Detected[Op], VM.Set.info(Op).Relocatable)
+        << "opcode " << VM.Set.info(Op).Name;
+}
+
+TEST(Relocation, EmissionDeterministic) {
+  ToyVM VM;
+  auto X = emitRoutineBody(VM.Set, VM.A, 0x1000);
+  auto Y = emitRoutineBody(VM.Set, VM.A, 0x1000);
+  EXPECT_EQ(X, Y);
+}
+
+TEST(Relocation, NonRelocatableDependsOnAddress) {
+  ToyVM VM;
+  auto X = emitRoutineBody(VM.Set, VM.NonReloc, 0x1000);
+  auto Y = emitRoutineBody(VM.Set, VM.NonReloc, 0x2000);
+  EXPECT_NE(X, Y);
+}
+
+//===----------------------------------------------------------------------===//
+// Profiles and superinstruction selection
+//===----------------------------------------------------------------------===//
+
+TEST(Profile, StaticWeightsCountOccurrences) {
+  ToyVM VM;
+  VMProgram P = makeLoopABA(VM);
+  SequenceProfile Prof = buildProfile(P, VM.Set, {});
+  EXPECT_EQ(Prof.OpcodeWeight[VM.A], 2u);
+  EXPECT_EQ(Prof.OpcodeWeight[VM.B], 1u);
+  // The loop is one block (GOTO target is index 0): sequences A-B, B-A,
+  // A-B-A all appear once.
+  EXPECT_EQ(Prof.SequenceWeight.at({VM.A, VM.B}), 1u);
+  EXPECT_EQ(Prof.SequenceWeight.at({VM.B, VM.A}), 1u);
+  EXPECT_EQ(Prof.SequenceWeight.at({VM.A, VM.B, VM.A}), 1u);
+}
+
+TEST(Profile, DynamicWeightsUseExecCounts) {
+  ToyVM VM;
+  VMProgram P = makeLoopABA(VM);
+  std::vector<uint64_t> Counts = {10, 10, 10, 10};
+  SequenceProfile Prof = buildProfile(P, VM.Set, Counts);
+  EXPECT_EQ(Prof.OpcodeWeight[VM.A], 20u);
+  EXPECT_EQ(Prof.SequenceWeight.at({VM.B, VM.A}), 10u);
+}
+
+TEST(Profile, BranchesBreakSequences) {
+  ToyVM VM;
+  VMProgram P;
+  P.Code = {{VM.A, 0, 0}, {VM.Goto, 3, 0}, {VM.B, 0, 0}, {VM.Halt, 0, 0}};
+  SequenceProfile Prof = buildProfile(P, VM.Set, {});
+  EXPECT_EQ(Prof.SequenceWeight.count({VM.A, VM.Goto}), 0u);
+}
+
+TEST(SuperTable, SelectTopByWeight) {
+  SequenceProfile Prof;
+  Prof.SequenceWeight[{0, 1}] = 100;
+  Prof.SequenceWeight[{1, 2}] = 50;
+  Prof.SequenceWeight[{2, 3}] = 10;
+  SuperTable T = SuperTable::select(Prof, 2, SuperWeighting::DynamicFrequency);
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_EQ(T.sequence(0), (std::vector<Opcode>{0, 1}));
+  EXPECT_EQ(T.sequence(1), (std::vector<Opcode>{1, 2}));
+}
+
+TEST(SuperTable, ShortBiasedWeighting) {
+  SequenceProfile Prof;
+  Prof.SequenceWeight[{0, 1}] = 60;            // score 30
+  Prof.SequenceWeight[{0, 1, 2, 3}] = 100;     // score 25
+  SuperTable T =
+      SuperTable::select(Prof, 1, SuperWeighting::StaticShortBiased);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_EQ(T.sequence(0).size(), 2u);
+}
+
+TEST(SuperTable, GreedyTakesLongestMatch) {
+  ToyVM VM;
+  SuperTable T = SuperTable::fromSequences(
+      {{VM.A, VM.B}, {VM.A, VM.B, VM.C}});
+  VMProgram P;
+  P.Code = {{VM.A, 0, 0}, {VM.B, 0, 0}, {VM.C, 0, 0}};
+  std::vector<bool> Eligible(VM.Set.size(), true);
+  auto Segs = T.parse(P.Code, 0, 3, Eligible, ParsePolicy::Greedy);
+  ASSERT_EQ(Segs.size(), 1u);
+  EXPECT_EQ(Segs[0].Length, 3u);
+}
+
+TEST(SuperTable, OptimalBeatsGreedyOnAdversarialInput) {
+  // Greedy takes {A,B} and strands C+A; optimal picks {A}, {B,C,A}.
+  ToyVM VM;
+  SuperTable T =
+      SuperTable::fromSequences({{VM.A, VM.B}, {VM.B, VM.C, VM.A}});
+  VMProgram P;
+  P.Code = {{VM.A, 0, 0}, {VM.B, 0, 0}, {VM.C, 0, 0}, {VM.A, 0, 0}};
+  std::vector<bool> Eligible(VM.Set.size(), true);
+  auto Greedy = T.parse(P.Code, 0, 4, Eligible, ParsePolicy::Greedy);
+  auto Optimal = T.parse(P.Code, 0, 4, Eligible, ParsePolicy::Optimal);
+  EXPECT_EQ(Greedy.size(), 3u);  // {A,B}, C, A
+  EXPECT_EQ(Optimal.size(), 2u); // A, {B,C,A}
+}
+
+TEST(SuperTable, ParseCoversRangeExactly) {
+  ToyVM VM;
+  SuperTable T = SuperTable::fromSequences({{VM.A, VM.B}});
+  VMProgram P;
+  P.Code = {{VM.C, 0, 0}, {VM.A, 0, 0}, {VM.B, 0, 0}, {VM.C, 0, 0}};
+  std::vector<bool> Eligible(VM.Set.size(), true);
+  for (ParsePolicy Policy : {ParsePolicy::Greedy, ParsePolicy::Optimal}) {
+    auto Segs = T.parse(P.Code, 0, 4, Eligible, Policy);
+    uint32_t Covered = 0;
+    for (auto &S : Segs) {
+      EXPECT_EQ(S.Begin, Covered);
+      Covered += S.Length;
+    }
+    EXPECT_EQ(Covered, 4u);
+  }
+}
+
+TEST(SuperTable, IneligibleOpcodeBlocksMatch) {
+  ToyVM VM;
+  SuperTable T = SuperTable::fromSequences({{VM.A, VM.B}});
+  VMProgram P;
+  P.Code = {{VM.A, 0, 0}, {VM.B, 0, 0}};
+  std::vector<bool> Eligible(VM.Set.size(), true);
+  Eligible[VM.B] = false;
+  auto Segs = T.parse(P.Code, 0, 2, Eligible, ParsePolicy::Greedy);
+  EXPECT_EQ(Segs.size(), 2u);
+}
+
+TEST(StaticResources, ReplicaAllocationProportional) {
+  ToyVM VM;
+  SequenceProfile Prof;
+  Prof.OpcodeWeight.assign(VM.Set.size(), 0);
+  Prof.OpcodeWeight[VM.A] = 300;
+  Prof.OpcodeWeight[VM.B] = 100;
+  StaticResources Res = selectStaticResources(
+      Prof, VM.Set, 0, 4, SuperWeighting::DynamicFrequency);
+  EXPECT_EQ(Res.OpcodeReplicas[VM.A], 3u);
+  EXPECT_EQ(Res.OpcodeReplicas[VM.B], 1u);
+}
+
+TEST(StaticResources, TotalReplicasMatchesBudget) {
+  ToyVM VM;
+  SequenceProfile Prof;
+  Prof.OpcodeWeight.assign(VM.Set.size(), 0);
+  Prof.OpcodeWeight[VM.A] = 7;
+  Prof.OpcodeWeight[VM.B] = 5;
+  Prof.OpcodeWeight[VM.C] = 3;
+  StaticResources Res = selectStaticResources(
+      Prof, VM.Set, 0, 10, SuperWeighting::DynamicFrequency);
+  uint32_t Total = 0;
+  for (uint32_t N : Res.OpcodeReplicas)
+    Total += N;
+  EXPECT_EQ(Total, 10u);
+}
+
+TEST(Strategy, PaperNames) {
+  EXPECT_STREQ(strategyName(DispatchStrategy::Threaded), "plain");
+  EXPECT_STREQ(strategyName(DispatchStrategy::AcrossBB), "across bb");
+  EXPECT_STREQ(strategyName(DispatchStrategy::WithStaticSuper),
+               "with static super");
+}
+
+//===----------------------------------------------------------------------===//
+// Paper Table I: switch vs threaded on "A B A GOTO"
+//===----------------------------------------------------------------------===//
+
+TEST(PaperTables, TableI_SwitchMispredictsEverything) {
+  ToyVM VM;
+  VMProgram P = makeLoopABA(VM);
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::Switch;
+  // 4 dispatches per iteration, all mispredicted (shared BTB entry).
+  EXPECT_EQ(steadyStateMispredicts(VM, P, Cfg, nullptr, 10), 40u);
+}
+
+TEST(PaperTables, TableI_ThreadedMispredictsOnlyA) {
+  ToyVM VM;
+  VMProgram P = makeLoopABA(VM);
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::Threaded;
+  // br-A alternates B/GOTO: 2 mispredictions per iteration; br-B and
+  // br-GOTO predict correctly.
+  EXPECT_EQ(steadyStateMispredicts(VM, P, Cfg, nullptr, 10), 20u);
+}
+
+TEST(PaperTables, TableII_ReplicationEliminatesMispredictions) {
+  ToyVM VM;
+  VMProgram P = makeLoopABA(VM);
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::StaticRepl;
+  Cfg.Policy = ReplicaPolicy::RoundRobin;
+  StaticResources Res;
+  Res.OpcodeReplicas.assign(VM.Set.size(), 0);
+  Res.OpcodeReplicas[VM.A] = 1; // A1 and A2
+  EXPECT_EQ(steadyStateMispredicts(VM, P, Cfg, &Res, 10), 0u);
+}
+
+TEST(PaperTables, TableIII_BadReplicationAddsMispredictions) {
+  ToyVM VM;
+  VMProgram P = makeLoopABABA(VM);
+  StrategyConfig Plain;
+  Plain.Kind = DispatchStrategy::Threaded;
+  uint64_t Before = steadyStateMispredicts(VM, P, Plain, nullptr, 10);
+  EXPECT_EQ(Before, 20u); // two of the three A dispatches mispredict
+
+  StrategyConfig Repl;
+  Repl.Kind = DispatchStrategy::StaticRepl;
+  StaticResources Res;
+  Res.OpcodeReplicas.assign(VM.Set.size(), 0);
+  Res.OpcodeReplicas[VM.B] = 1; // B1 and B2: now every A mispredicts
+  uint64_t After = steadyStateMispredicts(VM, P, Repl, &Res, 10);
+  EXPECT_EQ(After, 30u);
+  EXPECT_GT(After, Before); // replication made things worse (Table III)
+}
+
+TEST(PaperTables, TableIV_SuperinstructionEliminatesMispredictions) {
+  ToyVM VM;
+  VMProgram P = makeLoopABA(VM);
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::StaticSuper;
+  StaticResources Res;
+  Res.Supers = SuperTable::fromSequences({{VM.B, VM.A}});
+  Res.OpcodeReplicas.assign(VM.Set.size(), 0);
+  Res.SuperReplicas.assign(1, 0);
+  EXPECT_EQ(steadyStateMispredicts(VM, P, Cfg, &Res, 10), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Builder invariants per strategy
+//===----------------------------------------------------------------------===//
+
+TEST(Builder, DynamicReplUniqueBranchSites) {
+  ToyVM VM;
+  VMProgram P;
+  P.Code = {{VM.A, 0, 0}, {VM.A, 0, 0}, {VM.A, 0, 0}, {VM.Halt, 0, 0}};
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::DynamicRepl;
+  auto L = DispatchBuilder::build(P, VM.Set, Cfg);
+  EXPECT_NE(L->piece(0).BranchSite, L->piece(1).BranchSite);
+  EXPECT_NE(L->piece(1).BranchSite, L->piece(2).BranchSite);
+  EXPECT_GT(L->generatedCodeBytes(), 0u);
+}
+
+TEST(Builder, DynamicReplNonRelocatableShared) {
+  ToyVM VM;
+  VMProgram P;
+  P.Code = {{VM.NonReloc, 0, 0}, {VM.NonReloc, 0, 0}, {VM.Halt, 0, 0}};
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::DynamicRepl;
+  auto L = DispatchBuilder::build(P, VM.Set, Cfg);
+  // Both instances jump to the single original routine (§5.2).
+  EXPECT_EQ(L->piece(0).EntryAddr, L->piece(1).EntryAddr);
+  EXPECT_EQ(L->piece(0).BranchSite, L->piece(1).BranchSite);
+}
+
+TEST(Builder, DynamicSuperSharesIdenticalBlocks) {
+  ToyVM VM;
+  // Two identical blocks: [A B CBR] [A B CBR], then halt.
+  VMProgram P;
+  P.Code = {{VM.A, 0, 0}, {VM.B, 0, 0}, {VM.Cbr, 0, 0},
+            {VM.A, 0, 0}, {VM.B, 0, 0}, {VM.Cbr, 3, 0},
+            {VM.Halt, 0, 0}};
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::DynamicSuper;
+  auto L = DispatchBuilder::build(P, VM.Set, Cfg);
+  EXPECT_EQ(L->piece(0).EntryAddr, L->piece(3).EntryAddr);
+  EXPECT_EQ(L->piece(2).BranchSite, L->piece(5).BranchSite);
+
+  Cfg.Kind = DispatchStrategy::DynamicBoth;
+  auto L2 = DispatchBuilder::build(P, VM.Set, Cfg);
+  EXPECT_NE(L2->piece(0).EntryAddr, L2->piece(3).EntryAddr);
+  EXPECT_NE(L2->piece(2).BranchSite, L2->piece(5).BranchSite);
+  // Replication generates more code than sharing.
+  EXPECT_GT(L2->generatedCodeBytes(), L->generatedCodeBytes());
+}
+
+TEST(Builder, DynamicSuperOneDispatchPerBlock) {
+  ToyVM VM;
+  VMProgram P;
+  P.Code = {{VM.A, 0, 0}, {VM.B, 0, 0}, {VM.C, 0, 0}, {VM.Halt, 0, 0}};
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::DynamicSuper;
+  auto L = DispatchBuilder::build(P, VM.Set, Cfg);
+  // A, B, C and HLT form one block; only its last piece dispatches.
+  EXPECT_EQ(L->piece(0).Kind, DispatchKind::None);
+  EXPECT_EQ(L->piece(1).Kind, DispatchKind::None);
+  EXPECT_EQ(L->piece(2).Kind, DispatchKind::None);
+  EXPECT_EQ(L->piece(3).Kind, DispatchKind::Always);
+}
+
+TEST(Builder, AcrossBBCondBranchTakenOnly) {
+  ToyVM VM;
+  // 0:A 1:CBR->4 2:B 3:GOTO->5 4:C 5:HLT — one function region.
+  VMProgram P;
+  P.Code = {{VM.A, 0, 0}, {VM.Cbr, 4, 0}, {VM.B, 0, 0},
+            {VM.Goto, 5, 0}, {VM.C, 0, 0}, {VM.Halt, 0, 0}};
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::AcrossBB;
+  auto L = DispatchBuilder::build(P, VM.Set, Cfg);
+  EXPECT_EQ(L->piece(0).Kind, DispatchKind::None);      // falls through
+  EXPECT_EQ(L->piece(1).Kind, DispatchKind::TakenOnly); // §5.2
+  EXPECT_EQ(L->piece(2).Kind, DispatchKind::None);
+  EXPECT_EQ(L->piece(3).Kind, DispatchKind::Always);    // taken GOTO
+  // Every instruction keeps its own entry point (ip increments kept).
+  EXPECT_NE(L->piece(0).EntryAddr, L->piece(1).EntryAddr);
+  EXPECT_NE(L->piece(1).EntryAddr, L->piece(2).EntryAddr);
+}
+
+TEST(Builder, AcrossBBEliminatesFallthroughDispatches) {
+  // §5.2: all dispatches are eliminated except taken VM branches, calls
+  // and returns.
+  ToyVM VM;
+  VMProgram P;
+  P.Code = {{VM.A, 0, 0}, {VM.Cbr, 0, 0}, {VM.B, 0, 0}, {VM.Halt, 0, 0}};
+  StrategyConfig Plain;
+  Plain.Kind = DispatchStrategy::Threaded;
+  auto LP = DispatchBuilder::build(P, VM.Set, Plain);
+  CpuConfig Cpu = makePentium4Northwood();
+  DispatchSim SP(*LP, Cpu);
+  runToy(VM, P, &SP, 1000, {false}); // never taken: straight line
+  EXPECT_EQ(SP.counters().IndirectBranches, 3u); // A, CBR, B dispatch
+
+  StrategyConfig Across;
+  Across.Kind = DispatchStrategy::AcrossBB;
+  auto LA = DispatchBuilder::build(P, VM.Set, Across);
+  DispatchSim SA(*LA, Cpu);
+  runToy(VM, P, &SA, 1000, {false});
+  EXPECT_EQ(SA.counters().IndirectBranches, 0u); // pure fall-through
+}
+
+TEST(Builder, SwitchSharesOneBranchSite) {
+  ToyVM VM;
+  VMProgram P = makeLoopABA(VM);
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::Switch;
+  auto L = DispatchBuilder::build(P, VM.Set, Cfg);
+  EXPECT_EQ(L->piece(0).BranchSite, L->piece(1).BranchSite);
+  EXPECT_EQ(L->piece(1).BranchSite, L->piece(3).BranchSite);
+  EXPECT_GT(L->piece(0).DispatchInstrs, L->piece(0).WorkInstrs);
+}
+
+TEST(Builder, StaticReplRoundRobinDistinctSites) {
+  ToyVM VM;
+  VMProgram P;
+  P.Code = {{VM.A, 0, 0}, {VM.A, 0, 0}, {VM.A, 0, 0}, {VM.A, 0, 0},
+            {VM.Halt, 0, 0}};
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::StaticRepl;
+  StaticResources Res;
+  Res.OpcodeReplicas.assign(VM.Set.size(), 0);
+  Res.OpcodeReplicas[VM.A] = 1;
+  auto L = DispatchBuilder::build(P, VM.Set, Cfg, &Res);
+  // Round-robin: 0 and 2 share, 1 and 3 share, 0 != 1.
+  EXPECT_EQ(L->piece(0).BranchSite, L->piece(2).BranchSite);
+  EXPECT_EQ(L->piece(1).BranchSite, L->piece(3).BranchSite);
+  EXPECT_NE(L->piece(0).BranchSite, L->piece(1).BranchSite);
+}
+
+//===----------------------------------------------------------------------===//
+// Quickening (§5.4)
+//===----------------------------------------------------------------------===//
+
+TEST(Quickening, DynamicReplPatchesGap) {
+  ToyVM VM;
+  VMProgram P;
+  P.Code = {{VM.Quickable, 0, 0}, {VM.A, 0, 0}, {VM.Goto, 0, 0}};
+  VMProgram Mutable = P;
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::DynamicRepl;
+  auto L = DispatchBuilder::build(Mutable, VM.Set, Cfg);
+  uint64_t BytesBefore = L->generatedCodeBytes();
+
+  Addr OrigEntry = L->piece(0).EntryAddr;
+  CpuConfig Cpu = makePentium4Northwood();
+  DispatchSim Sim(*L, Cpu);
+  runToy(VM, P, &Sim, 30, {true}, L.get(), &Mutable);
+
+  EXPECT_EQ(L->quickenCount(), 1u);
+  EXPECT_EQ(Mutable.Code[0].Op, VM.Quick);
+  // The piece moved into the gap and got its own branch site.
+  EXPECT_NE(L->piece(0).EntryAddr, OrigEntry);
+  // Gap was pre-reserved: no new code bytes at quickening time.
+  EXPECT_EQ(L->generatedCodeBytes(), BytesBefore);
+}
+
+TEST(Quickening, DynamicSuperGapInterior) {
+  ToyVM VM;
+  // Block: A QUICKABLE B, loop.
+  VMProgram P;
+  P.Code = {{VM.A, 0, 0}, {VM.Quickable, 0, 0}, {VM.B, 0, 0},
+            {VM.Goto, 0, 0}};
+  VMProgram Mutable = P;
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::DynamicSuper;
+  auto L = DispatchBuilder::build(Mutable, VM.Set, Cfg);
+  // Pre-quickening: the gap stub dispatches (cold) to the original.
+  EXPECT_EQ(L->piece(1).Kind, DispatchKind::Always);
+  EXPECT_TRUE(L->piece(1).ColdStubBranch);
+
+  CpuConfig Cpu = makePentium4Northwood();
+  DispatchSim Sim(*L, Cpu);
+  runToy(VM, P, &Sim, 40, {true}, L.get(), &Mutable);
+
+  // Post-quickening: quick code fills the gap and falls through (§5.4).
+  EXPECT_EQ(L->piece(1).Kind, DispatchKind::None);
+  EXPECT_FALSE(L->piece(1).ColdStubBranch);
+}
+
+TEST(Quickening, StaticSuperReparsesAfterQuickening) {
+  ToyVM VM;
+  // Block: QUICKABLE A B, loop. Superinstruction {QUICK, A, B} becomes
+  // applicable only after quickening (§5.4).
+  VMProgram P;
+  P.Code = {{VM.Quickable, 0, 0}, {VM.A, 0, 0}, {VM.B, 0, 0},
+            {VM.Goto, 0, 0}};
+  VMProgram Mutable = P;
+  StrategyConfig Cfg;
+  Cfg.Kind = DispatchStrategy::StaticSuper;
+  StaticResources Res;
+  Res.Supers = SuperTable::fromSequences({{VM.Quick, VM.A, VM.B}});
+  Res.OpcodeReplicas.assign(VM.Set.size(), 0);
+  Res.SuperReplicas.assign(1, 0);
+  auto L = DispatchBuilder::build(Mutable, VM.Set, Cfg, &Res);
+
+  // Before: three separate pieces, each dispatching.
+  EXPECT_EQ(L->piece(0).Kind, DispatchKind::Always);
+  EXPECT_EQ(L->piece(1).Kind, DispatchKind::Always);
+
+  CpuConfig Cpu = makePentium4Northwood();
+  DispatchSim Sim(*L, Cpu);
+  runToy(VM, P, &Sim, 40, {true}, L.get(), &Mutable);
+
+  // After: the three instructions fused into the superinstruction.
+  EXPECT_EQ(L->piece(0).Kind, DispatchKind::None);
+  EXPECT_EQ(L->piece(1).Kind, DispatchKind::None);
+  EXPECT_EQ(L->piece(2).Kind, DispatchKind::Always);
+}
+
+//===----------------------------------------------------------------------===//
+// Cost model sanity
+//===----------------------------------------------------------------------===//
+
+TEST(CostModel, SuperinstructionsReduceInstructions) {
+  ToyVM VM;
+  VMProgram P = makeLoopABA(VM);
+  CpuConfig Cpu = makePentium4Northwood();
+
+  StrategyConfig Plain;
+  Plain.Kind = DispatchStrategy::Threaded;
+  auto LP = DispatchBuilder::build(P, VM.Set, Plain);
+  DispatchSim SP(*LP, Cpu);
+  runToy(VM, P, &SP, 400);
+
+  StrategyConfig Super;
+  Super.Kind = DispatchStrategy::StaticSuper;
+  StaticResources Res;
+  Res.Supers = SuperTable::fromSequences({{VM.B, VM.A}});
+  Res.OpcodeReplicas.assign(VM.Set.size(), 0);
+  Res.SuperReplicas.assign(1, 0);
+  auto LS = DispatchBuilder::build(P, VM.Set, Super, &Res);
+  DispatchSim SS(*LS, Cpu);
+  runToy(VM, P, &SS, 400);
+
+  EXPECT_LT(SS.counters().Instructions, SP.counters().Instructions);
+  EXPECT_LT(SS.counters().IndirectBranches,
+            SP.counters().IndirectBranches);
+}
+
+TEST(CostModel, ReplicationKeepsInstructionCount) {
+  // §7.3: plain, static repl and dynamic repl execute exactly the same
+  // native instructions, only from different copies.
+  ToyVM VM;
+  VMProgram P = makeLoopABA(VM);
+  CpuConfig Cpu = makePentium4Northwood();
+
+  uint64_t Counts[3];
+  int I = 0;
+  for (DispatchStrategy Kind :
+       {DispatchStrategy::Threaded, DispatchStrategy::StaticRepl,
+        DispatchStrategy::DynamicRepl}) {
+    StrategyConfig Cfg;
+    Cfg.Kind = Kind;
+    StaticResources Res;
+    Res.OpcodeReplicas.assign(VM.Set.size(), 1);
+    Res.OpcodeReplicas[VM.Halt] = 0;
+    auto L = DispatchBuilder::build(P, VM.Set, Cfg, &Res);
+    DispatchSim S(*L, Cpu);
+    runToy(VM, P, &S, 400);
+    Counts[I++] = S.counters().Instructions;
+  }
+  EXPECT_EQ(Counts[0], Counts[1]);
+  EXPECT_EQ(Counts[0], Counts[2]);
+}

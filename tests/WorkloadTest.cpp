@@ -1,0 +1,170 @@
+//===- tests/WorkloadTest.cpp - Benchmark suite integration tests ---------===//
+///
+/// Every suite benchmark (Forth and Java) must compile/assemble, run to
+/// completion deterministically, and — the central integration property
+/// — produce identical results and identical VM instruction traces
+/// under *every* dispatch strategy.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/ForthLab.h"
+#include "harness/JavaLab.h"
+#include "workloads/ForthSuite.h"
+#include "workloads/JavaSuite.h"
+
+#include <gtest/gtest.h>
+
+using namespace vmib;
+
+//===----------------------------------------------------------------------===//
+// Forth suite
+//===----------------------------------------------------------------------===//
+
+class ForthSuiteTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ForthSuiteTest, CompilesAndRunsDeterministically) {
+  const ForthBenchmark &B = forthBenchmark(GetParam());
+  ForthUnit Unit = compileForth(B.Source, B.Name);
+  ASSERT_EQ(Unit.Error, "");
+  EXPECT_EQ(Unit.Program.validate(forth::opcodeSet()), "");
+  EXPECT_GT(B.sourceLines(), 30u);
+
+  ForthVM VM1, VM2;
+  ForthVM::Result R1 = VM1.run(Unit);
+  ForthVM::Result R2 = VM2.run(Unit);
+  ASSERT_TRUE(R1.ok()) << R1.Error;
+  EXPECT_EQ(R1.OutputHash, R2.OutputHash);
+  EXPECT_EQ(R1.Steps, R2.Steps);
+  EXPECT_GT(R1.Steps, 100000u) << "benchmark too small to be meaningful";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ForthSuiteTest,
+                         ::testing::Values("gray", "bench-gc", "tscp",
+                                           "vmgen", "cross", "brainless",
+                                           "brew"));
+
+TEST(ForthSuiteCross, EquivalenceAcrossKeyVariants) {
+  // Full 11-variant equivalence is covered for a small program in
+  // ForthTest; here every real benchmark is checked under the three
+  // structurally most different strategies. ForthLab::run aborts on
+  // output-hash divergence, so merely completing is the assertion.
+  ForthLab Lab;
+  CpuConfig Cpu = makeCeleron800();
+  for (const ForthBenchmark &B : forthSuite()) {
+    for (DispatchStrategy Kind :
+         {DispatchStrategy::Switch, DispatchStrategy::StaticBoth,
+          DispatchStrategy::WithStaticSuper}) {
+      PerfCounters C = Lab.run(B.Name, makeVariant(Kind), Cpu);
+      EXPECT_GT(C.VMInstructions, 0u);
+    }
+  }
+}
+
+TEST(ForthSuiteCross, TrainingProfileIsNonTrivial) {
+  ForthLab Lab;
+  const SequenceProfile &Prof = Lab.trainingProfile();
+  uint64_t TotalWeight = 0;
+  for (uint64_t W : Prof.OpcodeWeight)
+    TotalWeight += W;
+  EXPECT_GT(TotalWeight, 1000000u);
+  EXPECT_GT(Prof.SequenceWeight.size(), 50u);
+}
+
+//===----------------------------------------------------------------------===//
+// Java suite
+//===----------------------------------------------------------------------===//
+
+class JavaSuiteTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(JavaSuiteTest, AssemblesAndRunsDeterministically) {
+  const JavaBenchmark &B = javaBenchmark(GetParam());
+  JavaProgram P1 = assembleJava(B.Source, B.Name);
+  ASSERT_EQ(P1.Error, "");
+  EXPECT_EQ(P1.Program.validate(java::opcodeSet()), "");
+  JavaProgram P2 = P1;
+
+  JavaVM VM1, VM2;
+  JavaVM::Result R1 = VM1.run(P1);
+  JavaVM::Result R2 = VM2.run(P2);
+  ASSERT_TRUE(R1.ok()) << R1.Error;
+  EXPECT_EQ(R1.OutputHash, R2.OutputHash);
+  EXPECT_EQ(R1.Steps, R2.Steps);
+  EXPECT_GT(R1.Steps, 100000u);
+  EXPECT_GT(R1.Quickenings, 10u) << "suite programs must exercise "
+                                    "quickening";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, JavaSuiteTest,
+                         ::testing::Values("compress", "jess", "db",
+                                           "javac", "mpeg", "mtrt",
+                                           "jack"));
+
+TEST(JavaSuiteCross, EquivalenceAcrossKeyVariants) {
+  JavaLab Lab;
+  CpuConfig Cpu = makePentium4Northwood();
+  for (const JavaBenchmark &B : javaSuite()) {
+    for (DispatchStrategy Kind :
+         {DispatchStrategy::Switch, DispatchStrategy::StaticSuper,
+          DispatchStrategy::WithStaticSuperAcross}) {
+      PerfCounters C = Lab.run(B.Name, makeVariant(Kind), Cpu);
+      EXPECT_GT(C.VMInstructions, 0u);
+    }
+  }
+}
+
+TEST(JavaSuiteCross, DispatchReductionOrdering) {
+  // §7.3 orderings on real Java code: replication preserves dispatch
+  // counts; superinstructions reduce them; across-bb reduces further.
+  JavaLab Lab;
+  CpuConfig Cpu = makePentium4Northwood();
+  const char *Bench = "jess";
+  uint64_t Plain =
+      Lab.run(Bench, makeVariant(DispatchStrategy::Threaded), Cpu)
+          .IndirectBranches;
+  uint64_t Repl =
+      Lab.run(Bench, makeVariant(DispatchStrategy::DynamicRepl), Cpu)
+          .IndirectBranches;
+  uint64_t Super =
+      Lab.run(Bench, makeVariant(DispatchStrategy::DynamicSuper), Cpu)
+          .IndirectBranches;
+  uint64_t Across =
+      Lab.run(Bench, makeVariant(DispatchStrategy::AcrossBB), Cpu)
+          .IndirectBranches;
+  EXPECT_NEAR(static_cast<double>(Repl), static_cast<double>(Plain),
+              static_cast<double>(Plain) * 0.01);
+  EXPECT_LT(Super, Plain);
+  EXPECT_LE(Across, Super);
+}
+
+TEST(JavaSuiteCross, IndirectBranchFractionsMatchPaperScale) {
+  // §7.2.2: ~16.5% of executed instructions are indirect branches for
+  // Gforth vs ~6% for the JVM.
+  ForthLab FLab;
+  JavaLab JLab;
+  CpuConfig Cpu = makePentium4Northwood();
+  VariantSpec Plain = makeVariant(DispatchStrategy::Threaded);
+
+  double FFrac =
+      FLab.run("bench-gc", Plain, Cpu).indirectBranchFraction();
+  double JFrac = JLab.run("jess", Plain, Cpu).indirectBranchFraction();
+  // Our counters cover interpreter-executed instructions only; the
+  // paper's include runtime-system code, which lowers the JVM number
+  // further (§7.2.2). Check band and ordering.
+  EXPECT_GT(FFrac, 0.12);
+  EXPECT_LT(FFrac, 0.22);
+  EXPECT_GT(JFrac, 0.03);
+  EXPECT_LT(JFrac, 0.14);
+  EXPECT_GT(FFrac, JFrac);
+}
+
+TEST(JavaSuiteCross, RuntimeOverheadDampensNotReorders) {
+  JavaLab Lab;
+  CpuConfig Cpu = makePentium4Northwood();
+  uint64_t OH = Lab.runtimeOverhead("javac", Cpu);
+  EXPECT_GT(OH, 0u);
+  PerfCounters Plain =
+      Lab.run("javac", makeVariant(DispatchStrategy::Threaded), Cpu);
+  PerfCounters Across =
+      Lab.run("javac", makeVariant(DispatchStrategy::AcrossBB), Cpu);
+  EXPECT_LT(Across.Cycles, Plain.Cycles); // still faster, just damped
+}
