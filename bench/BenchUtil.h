@@ -10,7 +10,13 @@
 #ifndef VMIB_BENCH_BENCHUTIL_H
 #define VMIB_BENCH_BENCHUTIL_H
 
+#include "harness/Figures.h"
+#include "harness/ForthLab.h"
+#include "harness/JavaLab.h"
+#include "harness/SweepRunner.h"
+#include "support/CommandLine.h"
 #include "support/Format.h"
+#include "support/Statistics.h"
 #include "support/Table.h"
 #include "vmcore/DispatchBuilder.h"
 #include "vmcore/DispatchSim.h"
@@ -26,6 +32,117 @@ namespace bench {
 /// Prints the standard bench banner.
 inline void banner(const std::string &Id, const std::string &What) {
   std::printf("=== %s ===\n%s\n\n", Id.c_str(), What.c_str());
+}
+
+/// Suite benchmark names, cut to the first two for --quick smoke runs.
+inline std::vector<std::string> forthBenchNames(bool Quick = false) {
+  std::vector<std::string> Names;
+  for (const ForthBenchmark &B : forthSuite()) {
+    Names.push_back(B.Name);
+    if (Quick && Names.size() == 2)
+      break;
+  }
+  return Names;
+}
+inline std::vector<std::string> javaBenchNames(bool Quick = false) {
+  std::vector<std::string> Names;
+  for (const JavaBenchmark &B : javaSuite()) {
+    Names.push_back(B.Name);
+    if (Quick && Names.size() == 2)
+      break;
+  }
+  return Names;
+}
+
+/// Replays \p Variants over one benchmark's cached trace, sharded
+/// across SweepRunner workers, and prints the standard timing line.
+/// \p LabT is ForthLab or JavaLab (Java replays include the runtime
+/// overhead, like run()).
+template <class LabT>
+std::vector<PerfCounters>
+replayConfigs(LabT &Lab, const std::string &BenchId,
+              const std::string &Benchmark,
+              const std::vector<VariantSpec> &Variants,
+              const CpuConfig &Cpu) {
+  WallTimer CaptureTimer;
+  Lab.warmup(Benchmark, Cpu);
+  uint64_t Events = Lab.trace(Benchmark).numEvents();
+  double CaptureSeconds = CaptureTimer.seconds();
+
+  WallTimer ReplayTimer;
+  std::vector<PerfCounters> Results = runSweep<PerfCounters>(
+      Variants.size(), defaultSweepThreads(),
+      [&](size_t I) { return Lab.replay(Benchmark, Variants[I], Cpu); });
+  std::printf("%s", benchTimingLine(BenchId, CaptureSeconds,
+                                    ReplayTimer.seconds(),
+                                    Events * Variants.size(),
+                                    Variants.size())
+                        .c_str());
+  return Results;
+}
+
+/// Capture-once/replay-many (benchmark x variant) matrix on one CPU:
+/// every workload is interpreted once into a trace (serial capture
+/// phase, hash-verified), then all (benchmark x variant) cells replay
+/// in parallel. Prints the standard timing line.
+template <class LabT>
+SpeedupMatrix replayMatrix(LabT &Lab, const std::string &BenchId,
+                           const std::vector<std::string> &Benchmarks,
+                           const std::vector<VariantSpec> &Variants,
+                           const CpuConfig &Cpu) {
+  SpeedupMatrix M;
+  M.Benchmarks = Benchmarks;
+  for (const VariantSpec &V : Variants)
+    M.Variants.push_back(V.Name);
+
+  WallTimer CaptureTimer;
+  uint64_t EventsPerPass = 0;
+  for (const std::string &B : Benchmarks) {
+    Lab.warmup(B, Cpu);
+    EventsPerPass += Lab.trace(B).numEvents();
+  }
+  double CaptureSeconds = CaptureTimer.seconds();
+
+  struct Cell {
+    const std::string *Benchmark;
+    const VariantSpec *Variant;
+  };
+  std::vector<Cell> Cells;
+  for (const std::string &B : Benchmarks)
+    for (const VariantSpec &V : Variants)
+      Cells.push_back({&B, &V});
+
+  WallTimer ReplayTimer;
+  std::vector<PerfCounters> Results = runSweep<PerfCounters>(
+      Cells.size(), defaultSweepThreads(), [&](size_t I) {
+        return Lab.replay(*Cells[I].Benchmark, *Cells[I].Variant, Cpu);
+      });
+  for (size_t I = 0; I < Cells.size(); ++I)
+    M.Counters[*Cells[I].Benchmark][Cells[I].Variant->Name] = Results[I];
+
+  std::printf("%s", benchTimingLine(BenchId, CaptureSeconds,
+                                    ReplayTimer.seconds(),
+                                    EventsPerPass * Variants.size(),
+                                    Cells.size())
+                        .c_str());
+  return M;
+}
+
+/// One cell of the Figs. 14-16 static replication/superinstruction mix
+/// sweeps: \p Total additional static instructions, \p Supers of them
+/// superinstructions (zero budget degrades to plain threaded).
+inline VariantSpec mixVariant(uint32_t Total, uint32_t Supers,
+                              bool ReplicateSupers = false) {
+  VariantSpec V;
+  V.Name = "mix";
+  V.Config.Kind = Total == 0 ? DispatchStrategy::Threaded
+                             : DispatchStrategy::StaticBoth;
+  V.SuperCount = Supers;
+  V.ReplicaCount = Total - Supers;
+  V.ReplicateSupers = ReplicateSupers;
+  V.Config.SuperCount = V.SuperCount;
+  V.Config.ReplicaCount = V.ReplicaCount;
+  return V;
 }
 
 /// A 3-opcode toy VM (A, B, GOTO) for the paper's worked examples.
@@ -133,10 +250,10 @@ public:
   }
 
 private:
-  static bool SharedSite(const DispatchProgram &L, const VMProgram &P) {
+  static bool SharedSite(const DispatchProgram &L, const VMProgram &) {
     return L.config().Kind == DispatchStrategy::Switch;
   }
-  static Addr SharedAddr(const DispatchProgram &L, const VMProgram &P) {
+  static Addr SharedAddr(const DispatchProgram &L, const VMProgram &) {
     return L.piece(0).BranchSite;
   }
 
@@ -161,7 +278,7 @@ inline std::string traceLoop(const ToyLoopVM &VM, const VMProgram &P,
   TextTable T({"#", "instr", "BTB entry", "prediction", "actual",
                "outcome"});
   uint32_t Row = 1;
-  Sim.Trace = [&](const DispatchSim::TraceEvent &E) {
+  auto AddRow = [&](const TraceEvent &E) {
     if (!E.Dispatched)
       return;
     std::string Pred = E.Predicted == NoPrediction
@@ -172,8 +289,11 @@ inline std::string traceLoop(const ToyLoopVM &VM, const VMProgram &P,
               Sym.branchName(E.Site), Pred, Sym.entryName(E.Target),
               E.Mispredicted ? "MISPREDICT" : "correct"});
   };
+  CallbackObserver<decltype(AddRow)> Observer(AddRow);
+  Sim.setObserver(&Observer);
   uint64_t MissBefore = Sim.counters().Mispredictions;
   VM.run(P, Sim, Shown);
+  Sim.setObserver(nullptr);
   uint64_t Misses = Sim.counters().Mispredictions - MissBefore;
 
   return T.render() +

@@ -6,11 +6,16 @@
 /// interpreter branches), and Kaeli & Emma's case block table under
 /// switch dispatch (near-perfect for switch).
 ///
+/// Default mode captures each benchmark's dispatch trace once and
+/// replays the five predictor configurations through the devirtualized
+/// kernels, sharded across worker threads. --direct re-runs the legacy
+/// capture-per-config pipeline (one full interpretation plus virtual
+/// predictor calls per cell) for speedup comparison; --quick cuts the
+/// suite to two benchmarks.
+///
 //===----------------------------------------------------------------------===//
 
-#include "harness/ForthLab.h"
-#include "support/Format.h"
-#include "support/Table.h"
+#include "BenchUtil.h"
 #include "uarch/CaseBlockTable.h"
 #include "uarch/TwoLevelPredictor.h"
 
@@ -18,35 +23,82 @@
 
 using namespace vmib;
 
-int main() {
-  std::printf("=== Ablation: indirect branch predictors (§3, §8) ===\n\n");
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
+  bool Direct = Opts.has("direct");
+  std::printf("=== Ablation: indirect branch predictors (§3, §8)%s ===\n\n",
+              Direct ? " [direct mode]" : "");
   ForthLab Lab;
   CpuConfig Cpu = makePentium4Northwood();
+
+  std::vector<std::string> Benchmarks =
+      bench::forthBenchNames(Opts.has("quick"));
+  VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
+  VariantSpec Switch = makeVariant(DispatchStrategy::Switch);
+  BTBConfig TwoBit = Cpu.Btb;
+  TwoBit.TwoBitCounters = true;
+
+  // Five predictor configurations per benchmark. The replay path does
+  // one full replay per layout (threaded, switch) and predictor-only
+  // replays for the remaining configs: the fetch-side counters are
+  // predictor-independent, so only the branch stream is re-simulated.
+  constexpr size_t Configs = 5;
+  auto runBenchmark = [&](const std::string &Bench,
+                          std::vector<PerfCounters> &Out) {
+    TwoLevelConfig TL;
+    if (Direct) {
+      // Legacy path: full interpretation, virtual predictor per cell.
+      Out[0] = Lab.runWithPredictor(Bench, Threaded, Cpu,
+                                    std::make_unique<BTB>(Cpu.Btb));
+      Out[1] = Lab.runWithPredictor(Bench, Threaded, Cpu,
+                                    std::make_unique<BTB>(TwoBit));
+      Out[2] = Lab.runWithPredictor(
+          Bench, Threaded, Cpu, std::make_unique<TwoLevelPredictor>(TL));
+      Out[3] = Lab.runWithPredictor(Bench, Switch, Cpu,
+                                    std::make_unique<BTB>(Cpu.Btb));
+      Out[4] = Lab.runWithPredictor(Bench, Switch, Cpu,
+                                    std::make_unique<CaseBlockTable>(4096));
+      return;
+    }
+    Out[0] = Lab.replayBtb(Bench, Threaded, Cpu, Cpu.Btb);
+    Out[1] = Lab.replayBtbPredictorOnly(Bench, Threaded, Cpu, TwoBit, Out[0]);
+    TwoLevelPredictor TwoLevel(TL);
+    Out[2] = Lab.replayPredictorOnly(Bench, Threaded, Cpu, TwoLevel, Out[0]);
+    Out[3] = Lab.replayBtb(Bench, Switch, Cpu, Cpu.Btb);
+    CaseBlockTable Cbt(4096);
+    Out[4] = Lab.replayPredictorOnly(Bench, Switch, Cpu, Cbt, Out[3]);
+  };
+
+  WallTimer CaptureTimer;
+  uint64_t Events = 0;
+  if (!Direct)
+    for (const std::string &B : Benchmarks)
+      Events += Lab.trace(B).numEvents();
+  double CaptureSeconds = CaptureTimer.seconds();
+
+  WallTimer ReplayTimer;
+  std::vector<PerfCounters> Results(Benchmarks.size() * Configs);
+  parallelFor(Benchmarks.size(), Direct ? 1 : defaultSweepThreads(),
+              [&](size_t B) {
+                std::vector<PerfCounters> Out(Configs);
+                runBenchmark(Benchmarks[B], Out);
+                for (size_t Cfg = 0; Cfg < Configs; ++Cfg)
+                  Results[B * Configs + Cfg] = Out[Cfg];
+              });
+  std::printf("%s", benchTimingLine("ablation_predictors", CaptureSeconds,
+                                    ReplayTimer.seconds(), Events * Configs,
+                                    Benchmarks.size() * Configs)
+                        .c_str());
 
   TextTable T({"benchmark", "btb (threaded)", "btb-2bit (threaded)",
                "two-level (threaded)", "btb (switch)",
                "case-block (switch)"});
-
-  for (const ForthBenchmark &B : forthSuite()) {
-    VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
-    VariantSpec Switch = makeVariant(DispatchStrategy::Switch);
-
-    auto rate = [&](const VariantSpec &V,
-                    std::unique_ptr<IndirectBranchPredictor> P) {
-      PerfCounters C = Lab.runWithPredictor(B.Name, V, Cpu, std::move(P));
-      return format("%.1f%%", 100.0 * C.mispredictRate());
-    };
-
-    BTBConfig TwoBit = Cpu.Btb;
-    TwoBit.TwoBitCounters = true;
-    TwoLevelConfig TL;
-
-    T.addRow({B.Name,
-              rate(Threaded, std::make_unique<BTB>(Cpu.Btb)),
-              rate(Threaded, std::make_unique<BTB>(TwoBit)),
-              rate(Threaded, std::make_unique<TwoLevelPredictor>(TL)),
-              rate(Switch, std::make_unique<BTB>(Cpu.Btb)),
-              rate(Switch, std::make_unique<CaseBlockTable>(4096))});
+  for (size_t B = 0; B < Benchmarks.size(); ++B) {
+    std::vector<std::string> Row = {Benchmarks[B]};
+    for (size_t Cfg = 0; Cfg < Configs; ++Cfg)
+      Row.push_back(format(
+          "%.1f%%", 100.0 * Results[B * Configs + Cfg].mispredictRate()));
+    T.addRow(Row);
   }
   std::printf("%s\n", T.render().c_str());
   std::printf(

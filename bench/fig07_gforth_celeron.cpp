@@ -2,30 +2,27 @@
 ///
 /// Regenerates Figure 7: speedups of the nine Gforth interpreter
 /// variants over plain threaded code on the Celeron-800 (small BTB and
-/// I-cache, so code-growth effects are visible).
+/// I-cache, so code-growth effects are visible). Each workload is
+/// interpreted once into a dispatch trace, then the nine variants
+/// replay it in parallel (--quick: first two benchmarks only).
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Figures.h"
-#include "harness/ForthLab.h"
+#include "BenchUtil.h"
 
 #include <cstdio>
 
 using namespace vmib;
 
-int main() {
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
   std::printf("=== Figure 7: Gforth variant speedups on Celeron-800 ===\n\n");
   ForthLab Lab;
   CpuConfig Cpu = makeCeleron800();
 
-  SpeedupMatrix M;
-  for (const ForthBenchmark &B : forthSuite())
-    M.Benchmarks.push_back(B.Name);
-  for (const VariantSpec &V : gforthVariants()) {
-    M.Variants.push_back(V.Name);
-    for (const ForthBenchmark &B : forthSuite())
-      M.Counters[B.Name][V.Name] = Lab.run(B.Name, V, Cpu);
-  }
+  SpeedupMatrix M = bench::replayMatrix(
+      Lab, "fig07_gforth_celeron", bench::forthBenchNames(Opts.has("quick")),
+      gforthVariants(), Cpu);
 
   std::printf("%s\n", M.renderSpeedups("Figure 7 (Celeron-800)").c_str());
   std::printf(

@@ -3,30 +3,26 @@
 /// Regenerates Figure 8: speedups of the nine Gforth interpreter
 /// variants over plain threaded code on the Pentium 4 (Northwood): the
 /// 20-cycle misprediction penalty makes the replication-based methods
-/// shine (paper: up to 4.55x with static super over plain).
+/// shine (paper: up to 4.55x with static super over plain). Uses the
+/// capture-once/replay-many pipeline (--quick: first two benchmarks).
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Figures.h"
-#include "harness/ForthLab.h"
+#include "BenchUtil.h"
 
 #include <cstdio>
 
 using namespace vmib;
 
-int main() {
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
   std::printf("=== Figure 8: Gforth variant speedups on Pentium 4 ===\n\n");
   ForthLab Lab;
   CpuConfig Cpu = makePentium4Northwood();
 
-  SpeedupMatrix M;
-  for (const ForthBenchmark &B : forthSuite())
-    M.Benchmarks.push_back(B.Name);
-  for (const VariantSpec &V : gforthVariants()) {
-    M.Variants.push_back(V.Name);
-    for (const ForthBenchmark &B : forthSuite())
-      M.Counters[B.Name][V.Name] = Lab.run(B.Name, V, Cpu);
-  }
+  SpeedupMatrix M = bench::replayMatrix(
+      Lab, "fig08_gforth_p4", bench::forthBenchNames(Opts.has("quick")),
+      gforthVariants(), Cpu);
 
   std::printf("%s\n", M.renderSpeedups("Figure 8 (Pentium 4)").c_str());
   std::printf(

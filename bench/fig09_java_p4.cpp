@@ -1,33 +1,28 @@
 //===- bench/fig09_java_p4.cpp - Paper Figure 9 ---------------------------===//
 ///
-/// Regenerates Figure 9: speedups of the nine Java interpreter variants
-/// over plain threaded code on the Pentium 4 (3GHz Northwood, §6.2).
-/// The JVM gains less than Gforth because its instructions do more work
-/// per dispatch (§7.2.2); best speedup in the paper is 2.76x (compress,
-/// w/static super across).
+/// Regenerates Figure 9: speedups of the nine JVM interpreter variants
+/// over plain threaded code on the Pentium 4. Each benchmark is
+/// interpreted once into a dispatch trace (quickening rewrites
+/// recorded); the variants replay it in parallel over fresh program
+/// copies (--quick: first two benchmarks only).
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Figures.h"
-#include "harness/JavaLab.h"
+#include "BenchUtil.h"
 
 #include <cstdio>
 
 using namespace vmib;
 
-int main() {
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
   std::printf("=== Figure 9: Java variant speedups on Pentium 4 ===\n\n");
   JavaLab Lab;
   CpuConfig Cpu = makePentium4Northwood();
 
-  SpeedupMatrix M;
-  for (const JavaBenchmark &B : javaSuite())
-    M.Benchmarks.push_back(B.Name);
-  for (const VariantSpec &V : jvmVariants()) {
-    M.Variants.push_back(V.Name);
-    for (const JavaBenchmark &B : javaSuite())
-      M.Counters[B.Name][V.Name] = Lab.run(B.Name, V, Cpu);
-  }
+  SpeedupMatrix M = bench::replayMatrix(
+      Lab, "fig09_java_p4", bench::javaBenchNames(Opts.has("quick")),
+      jvmVariants(), Cpu);
 
   std::printf("%s\n", M.renderSpeedups("Figure 9 (Pentium 4)").c_str());
   std::printf(

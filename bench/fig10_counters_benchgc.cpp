@@ -3,11 +3,11 @@
 /// Regenerates Figure 10: performance-counter breakdown (cycles,
 /// instructions, indirect branches, mispredictions, I-cache misses,
 /// miss cycles, generated code bytes) for bench-gc on the Pentium 4.
+/// Captures the dispatch trace once and replays all nine variants.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Figures.h"
-#include "harness/ForthLab.h"
+#include "BenchUtil.h"
 
 #include <cstdio>
 
@@ -19,12 +19,9 @@ int main() {
   ForthLab Lab;
   CpuConfig Cpu = makePentium4Northwood();
 
-  SpeedupMatrix M;
-  M.Benchmarks.push_back("bench-gc");
-  for (const VariantSpec &V : gforthVariants()) {
-    M.Variants.push_back(V.Name);
-    M.Counters["bench-gc"][V.Name] = Lab.run("bench-gc", V, Cpu);
-  }
+  SpeedupMatrix M =
+      bench::replayMatrix(Lab, "fig10_counters_benchgc", {"bench-gc"},
+                          gforthVariants(), Cpu);
 
   std::printf("%s\n",
               M.renderCounterBars("Figure 10", "bench-gc").c_str());

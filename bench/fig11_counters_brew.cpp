@@ -1,12 +1,12 @@
 //===- bench/fig11_counters_brew.cpp - Paper Figure 11 --------------------===//
 ///
-/// Regenerates Figure 11: the Figure 10 counter breakdown for brew, the
-/// largest Forth benchmark (where code growth is most visible).
+/// Regenerates Figure 11: performance-counter breakdown for brew on the
+/// Pentium 4. Captures the dispatch trace once and replays all nine
+/// variants.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Figures.h"
-#include "harness/ForthLab.h"
+#include "BenchUtil.h"
 
 #include <cstdio>
 
@@ -18,12 +18,8 @@ int main() {
   ForthLab Lab;
   CpuConfig Cpu = makePentium4Northwood();
 
-  SpeedupMatrix M;
-  M.Benchmarks.push_back("brew");
-  for (const VariantSpec &V : gforthVariants()) {
-    M.Variants.push_back(V.Name);
-    M.Counters["brew"][V.Name] = Lab.run("brew", V, Cpu);
-  }
+  SpeedupMatrix M = bench::replayMatrix(Lab, "fig11_counters_brew",
+                                        {"brew"}, gforthVariants(), Cpu);
 
   std::printf("%s\n", M.renderCounterBars("Figure 11", "brew").c_str());
   std::printf(

@@ -1,12 +1,12 @@
 //===- bench/fig12_counters_mpeg.cpp - Paper Figure 12 --------------------===//
 ///
 /// Regenerates Figure 12: performance-counter breakdown for mpegaudio
-/// (Java) on the Pentium 4.
+/// (Java) on the Pentium 4. Captures the dispatch trace (with its
+/// quickening rewrites) once and replays all nine variants.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Figures.h"
-#include "harness/JavaLab.h"
+#include "BenchUtil.h"
 
 #include <cstdio>
 
@@ -18,12 +18,8 @@ int main() {
   JavaLab Lab;
   CpuConfig Cpu = makePentium4Northwood();
 
-  SpeedupMatrix M;
-  M.Benchmarks.push_back("mpeg");
-  for (const VariantSpec &V : jvmVariants()) {
-    M.Variants.push_back(V.Name);
-    M.Counters["mpeg"][V.Name] = Lab.run("mpeg", V, Cpu);
-  }
+  SpeedupMatrix M = bench::replayMatrix(Lab, "fig12_counters_mpeg",
+                                        {"mpeg"}, jvmVariants(), Cpu);
 
   std::printf("%s\n", M.renderCounterBars("Figure 12", "mpeg").c_str());
   std::printf(

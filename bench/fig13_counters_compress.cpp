@@ -6,8 +6,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Figures.h"
-#include "harness/JavaLab.h"
+#include "BenchUtil.h"
 
 #include <cstdio>
 
@@ -19,12 +18,8 @@ int main() {
   JavaLab Lab;
   CpuConfig Cpu = makePentium4Northwood();
 
-  SpeedupMatrix M;
-  M.Benchmarks.push_back("compress");
-  for (const VariantSpec &V : jvmVariants()) {
-    M.Variants.push_back(V.Name);
-    M.Counters["compress"][V.Name] = Lab.run("compress", V, Cpu);
-  }
+  SpeedupMatrix M = bench::replayMatrix(Lab, "fig13_counters_compress",
+                                        {"compress"}, jvmVariants(), Cpu);
 
   std::printf("%s\n",
               M.renderCounterBars("Figure 13", "compress").c_str());

@@ -4,14 +4,12 @@
 /// budget of additional static VM instructions is split between
 /// replicas and superinstructions. One row per total budget
 /// {0,25,50,100,200,400,800,1600}, sweeping %superinstructions across
-/// the columns.
+/// the columns. The 36-configuration sweep replays one captured trace
+/// in parallel.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Figures.h"
-#include "harness/ForthLab.h"
-#include "support/Format.h"
-#include "support/Table.h"
+#include "BenchUtil.h"
 
 #include <cstdio>
 
@@ -26,29 +24,31 @@ int main() {
   const uint32_t Totals[] = {0, 25, 50, 100, 200, 400, 800, 1600};
   const uint32_t Percents[] = {0, 25, 50, 75, 100};
 
+  // Flatten the grid into one replay sweep (zero-budget row: one cell).
+  std::vector<VariantSpec> Cells;
+  for (uint32_t Total : Totals)
+    for (uint32_t Pct : Percents) {
+      Cells.push_back(bench::mixVariant(Total, Total * Pct / 100,
+                                        /*ReplicateSupers=*/true));
+      if (Total == 0)
+        break;
+    }
+  std::vector<PerfCounters> Results = bench::replayConfigs(
+      Lab, "fig14_static_mix_forth", "bench-gc", Cells, Cpu);
+
   std::vector<std::string> Header = {"total \\ %super"};
   for (uint32_t Pct : Percents)
     Header.push_back(std::to_string(Pct) + "%");
   TextTable T(Header);
 
+  size_t Cell = 0;
   for (uint32_t Total : Totals) {
     std::vector<std::string> Row = {std::to_string(Total)};
     for (uint32_t Pct : Percents) {
-      uint32_t Supers = Total * Pct / 100;
-      uint32_t Replicas = Total - Supers;
-      VariantSpec V;
-      V.Name = "mix";
-      V.Config.Kind = Total == 0 ? DispatchStrategy::Threaded
-                                 : DispatchStrategy::StaticBoth;
-      V.SuperCount = Supers;
-      V.ReplicaCount = Replicas;
-      V.ReplicateSupers = true;
-      V.Config.SuperCount = Supers;
-      V.Config.ReplicaCount = Replicas;
-      PerfCounters C = Lab.run("bench-gc", V, Cpu);
-      Row.push_back(format("%.1fM", double(C.Cycles) / 1e6));
+      (void)Pct;
+      Row.push_back(format("%.1fM", double(Results[Cell++].Cycles) / 1e6));
       if (Total == 0)
-        break; // one cell is enough for the zero-budget row
+        break;
     }
     while (Row.size() < Header.size())
       Row.push_back("-");

@@ -1,16 +1,12 @@
 //===- bench/fig15_static_mix_java.cpp - Paper Figure 15 ------------------===//
 ///
-/// Regenerates Figure 15: cycles for mpegaudio (Java) on the P4 as the
-/// static budget is split between replicas and superinstructions;
-/// totals {0,50,100,200,300,400}. The paper finds — unlike Gforth —
-/// virtually no benefit in trading superinstructions for replicas.
+/// Regenerates Figure 15: cycles for mpegaudio (Java) on the Pentium 4
+/// over the static replication/superinstruction mix sweep. The
+/// 26-configuration sweep replays one captured trace in parallel.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Figures.h"
-#include "harness/JavaLab.h"
-#include "support/Format.h"
-#include "support/Table.h"
+#include "BenchUtil.h"
 
 #include <cstdio>
 
@@ -25,26 +21,27 @@ int main() {
   const uint32_t Totals[] = {0, 50, 100, 200, 300, 400};
   const uint32_t Percents[] = {0, 25, 50, 75, 100};
 
+  std::vector<VariantSpec> Cells;
+  for (uint32_t Total : Totals)
+    for (uint32_t Pct : Percents) {
+      Cells.push_back(bench::mixVariant(Total, Total * Pct / 100));
+      if (Total == 0)
+        break;
+    }
+  std::vector<PerfCounters> Results = bench::replayConfigs(
+      Lab, "fig15_static_mix_java", "mpeg", Cells, Cpu);
+
   std::vector<std::string> Header = {"total \\ %super"};
   for (uint32_t Pct : Percents)
     Header.push_back(std::to_string(Pct) + "%");
   TextTable T(Header);
 
+  size_t Cell = 0;
   for (uint32_t Total : Totals) {
     std::vector<std::string> Row = {std::to_string(Total)};
     for (uint32_t Pct : Percents) {
-      uint32_t Supers = Total * Pct / 100;
-      uint32_t Replicas = Total - Supers;
-      VariantSpec V;
-      V.Name = "mix";
-      V.Config.Kind = Total == 0 ? DispatchStrategy::Threaded
-                                 : DispatchStrategy::StaticBoth;
-      V.SuperCount = Supers;
-      V.ReplicaCount = Replicas;
-      V.Config.SuperCount = Supers;
-      V.Config.ReplicaCount = Replicas;
-      PerfCounters C = Lab.run("mpeg", V, Cpu);
-      Row.push_back(format("%.1fM", double(C.Cycles) / 1e6));
+      (void)Pct;
+      Row.push_back(format("%.1fM", double(Results[Cell++].Cycles) / 1e6));
       if (Total == 0)
         break;
     }

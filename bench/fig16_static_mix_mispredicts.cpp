@@ -4,13 +4,11 @@
 /// (Java) over the same static replica/superinstruction sweep as
 /// Figure 15. The paper's key observation: *small* numbers of replicas
 /// can increase mispredictions (Table III's effect at scale, §7.5).
+/// The sweep replays one captured trace in parallel.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Figures.h"
-#include "harness/JavaLab.h"
-#include "support/Format.h"
-#include "support/Table.h"
+#include "BenchUtil.h"
 
 #include <cstdio>
 
@@ -25,26 +23,28 @@ int main() {
   const uint32_t Totals[] = {0, 50, 100, 200, 300, 400};
   const uint32_t Percents[] = {0, 25, 50, 75, 100};
 
+  std::vector<VariantSpec> Cells;
+  for (uint32_t Total : Totals)
+    for (uint32_t Pct : Percents) {
+      Cells.push_back(bench::mixVariant(Total, Total * Pct / 100));
+      if (Total == 0)
+        break;
+    }
+  std::vector<PerfCounters> Results = bench::replayConfigs(
+      Lab, "fig16_static_mix_mispredicts", "mpeg", Cells, Cpu);
+
   std::vector<std::string> Header = {"total \\ %super"};
   for (uint32_t Pct : Percents)
     Header.push_back(std::to_string(Pct) + "%");
   TextTable T(Header);
 
+  size_t Cell = 0;
   for (uint32_t Total : Totals) {
     std::vector<std::string> Row = {std::to_string(Total)};
     for (uint32_t Pct : Percents) {
-      uint32_t Supers = Total * Pct / 100;
-      uint32_t Replicas = Total - Supers;
-      VariantSpec V;
-      V.Name = "mix";
-      V.Config.Kind = Total == 0 ? DispatchStrategy::Threaded
-                                 : DispatchStrategy::StaticBoth;
-      V.SuperCount = Supers;
-      V.ReplicaCount = Replicas;
-      V.Config.SuperCount = Supers;
-      V.Config.ReplicaCount = Replicas;
-      PerfCounters C = Lab.run("mpeg", V, Cpu);
-      Row.push_back(format("%.2fM", double(C.Mispredictions) / 1e6));
+      (void)Pct;
+      Row.push_back(
+          format("%.2fM", double(Results[Cell++].Mispredictions) / 1e6));
       if (Total == 0)
         break;
     }

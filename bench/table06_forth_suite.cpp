@@ -6,6 +6,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/CommandLine.h"
 #include "support/Format.h"
 #include "support/Table.h"
 #include "workloads/ForthSuite.h"
@@ -14,11 +15,17 @@
 
 using namespace vmib;
 
-int main() {
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
+  // --quick: first two benchmarks only (CI smoke run).
+  size_t Limit = Opts.has("quick") ? 2 : forthSuite().size();
   std::printf("=== Table VI: benchmark programs used in Gforth ===\n\n");
   TextTable T({"program", "lines", "VM instrs", "description", "steps",
                "output hash"});
+  size_t Done = 0;
   for (const ForthBenchmark &B : forthSuite()) {
+    if (Done++ == Limit)
+      break;
     ForthUnit Unit = compileForth(B.Source, B.Name);
     if (!Unit.ok()) {
       std::printf("compile error in %s: %s\n", B.Name.c_str(),

@@ -23,7 +23,8 @@ inline uint64_t hashMix(uint64_t Hash, uint64_t Value) {
 
 ForthVM::Result ForthVM::run(const ForthUnit &Unit, DispatchSim *Sim,
                              uint64_t MaxSteps,
-                             std::vector<uint64_t> *ExecCounts) {
+                             std::vector<uint64_t> *ExecCounts,
+                             DispatchTrace *Capture) {
   Result Res;
   if (!Unit.ok()) {
     Res.Error = "unit has compile error: " + Unit.Error;
@@ -384,6 +385,8 @@ ForthVM::Result ForthVM::run(const ForthUnit &Unit, DispatchSim *Sim,
       ++(*ExecCounts)[Ip];
     if (Sim)
       Sim->step(Ip, Halt ? DispatchSim::HaltNext : Next);
+    if (Capture)
+      Capture->append(Ip, Halt ? DispatchSim::HaltNext : Next);
     if (Halt) {
       Res.Halted = true;
       break;

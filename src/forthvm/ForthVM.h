@@ -15,6 +15,7 @@
 
 #include "forthvm/ForthOpcodes.h"
 #include "vmcore/DispatchSim.h"
+#include "vmcore/DispatchTrace.h"
 #include "vmcore/VMProgram.h"
 
 #include <string>
@@ -53,9 +54,13 @@ public:
   /// Runs \p Unit. \p Sim, if non-null, receives a step event per
   /// executed VM instruction. \p ExecCounts, if non-null, is resized to
   /// the program and incremented per instruction index (training runs).
+  /// \p Capture, if non-null, records the (Cur, Next) dispatch stream
+  /// for later TraceReplayer runs (capture-once/replay-many sweeps);
+  /// capturing needs no Sim.
   Result run(const ForthUnit &Unit, DispatchSim *Sim = nullptr,
              uint64_t MaxSteps = 1ull << 33,
-             std::vector<uint64_t> *ExecCounts = nullptr);
+             std::vector<uint64_t> *ExecCounts = nullptr,
+             DispatchTrace *Capture = nullptr);
 
 private:
   uint32_t MemCells;

@@ -27,17 +27,19 @@ ForthLab::ForthLab() {
       std::abort();
     }
     ReferenceHash[B.Name] = Ref.OutputHash;
+    ReferenceSteps[B.Name] = Ref.Steps;
     Units.emplace(B.Name, std::move(Unit));
   }
 }
 
 const ForthUnit &ForthLab::unit(const std::string &Benchmark) {
+  // Read-only after the constructor; safe without the cache lock.
   auto It = Units.find(Benchmark);
   assert(It != Units.end() && "unknown benchmark");
   return It->second;
 }
 
-const SequenceProfile &ForthLab::trainingProfile() {
+const SequenceProfile &ForthLab::trainingProfileLocked() {
   if (!Training) {
     const ForthUnit &Train = unit(forthTrainingBenchmark());
     std::vector<uint64_t> Counts;
@@ -51,18 +53,43 @@ const SequenceProfile &ForthLab::trainingProfile() {
   return *Training;
 }
 
-const StaticResources &ForthLab::resources(uint32_t SuperCount,
-                                           uint32_t ReplicaCount,
-                                           bool ReplicateSupers) {
+const SequenceProfile &ForthLab::trainingProfile() {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return trainingProfileLocked();
+}
+
+const StaticResources &ForthLab::resourcesLocked(uint32_t SuperCount,
+                                                 uint32_t ReplicaCount,
+                                                 bool ReplicateSupers) {
   std::string Key = format("%u/%u/%d", SuperCount, ReplicaCount,
                            ReplicateSupers ? 1 : 0);
   auto It = ResourceCache.find(Key);
   if (It != ResourceCache.end())
     return It->second;
   StaticResources Res = selectStaticResources(
-      trainingProfile(), forth::opcodeSet(), SuperCount, ReplicaCount,
+      trainingProfileLocked(), forth::opcodeSet(), SuperCount, ReplicaCount,
       SuperWeighting::DynamicFrequency, ReplicateSupers);
   return ResourceCache.emplace(Key, std::move(Res)).first->second;
+}
+
+const StaticResources &ForthLab::resources(uint32_t SuperCount,
+                                           uint32_t ReplicaCount,
+                                           bool ReplicateSupers) {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return resourcesLocked(SuperCount, ReplicaCount, ReplicateSupers);
+}
+
+std::unique_ptr<DispatchProgram>
+ForthLab::buildLayout(const std::string &Benchmark,
+                      const VariantSpec &Variant) {
+  const ForthUnit &Unit = unit(Benchmark);
+  const StaticResources *Static = nullptr;
+  if (usesStaticSupers(Variant.Config.Kind) ||
+      usesReplicas(Variant.Config.Kind))
+    Static = &resources(Variant.SuperCount, Variant.ReplicaCount,
+                        Variant.ReplicateSupers);
+  return DispatchBuilder::build(Unit.Program, forth::opcodeSet(),
+                                Variant.Config, Static);
 }
 
 PerfCounters ForthLab::run(const std::string &Benchmark,
@@ -76,14 +103,7 @@ PerfCounters ForthLab::runWithPredictor(
     const CpuConfig &Cpu,
     std::unique_ptr<IndirectBranchPredictor> Predictor) {
   const ForthUnit &Unit = unit(Benchmark);
-  const StaticResources *Static = nullptr;
-  if (usesStaticSupers(Variant.Config.Kind) ||
-      usesReplicas(Variant.Config.Kind))
-    Static = &resources(Variant.SuperCount, Variant.ReplicaCount,
-                        Variant.ReplicateSupers);
-
-  auto Layout = DispatchBuilder::build(Unit.Program, forth::opcodeSet(),
-                                       Variant.Config, Static);
+  auto Layout = buildLayout(Benchmark, Variant);
   DispatchSim Sim(*Layout, Cpu);
   if (Predictor)
     Sim.setPredictor(std::move(Predictor));
@@ -96,4 +116,74 @@ PerfCounters ForthLab::runWithPredictor(
     std::abort();
   }
   return Sim.counters();
+}
+
+const DispatchTrace &ForthLab::trace(const std::string &Benchmark) {
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = Traces.find(Benchmark);
+    if (It != Traces.end())
+      return It->second;
+  }
+
+  // Capture outside the lock: this interprets the whole workload, and
+  // holding the lab-wide mutex through it would serialize every other
+  // sweep worker. Concurrent first captures of the same benchmark just
+  // race to the emplace; the loser's trace is discarded.
+  const ForthUnit &Unit = unit(Benchmark);
+  DispatchTrace T;
+  // One event per step: the reference run already told us the size.
+  T.reserve(ReferenceSteps[Benchmark]);
+  ForthVM VM;
+  ForthVM::Result R =
+      VM.run(Unit, nullptr, 1ull << 33, nullptr, &T);
+  if (!R.ok() || R.OutputHash != ReferenceHash[Benchmark]) {
+    std::fprintf(stderr, "fatal: %s capture run diverged (%s)\n",
+                 Benchmark.c_str(), R.Error.c_str());
+    std::abort();
+  }
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return Traces.emplace(Benchmark, std::move(T)).first->second;
+}
+
+void ForthLab::dropTrace(const std::string &Benchmark) {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  Traces.erase(Benchmark);
+}
+
+PerfCounters ForthLab::replay(const std::string &Benchmark,
+                              const VariantSpec &Variant,
+                              const CpuConfig &Cpu) {
+  auto Layout = buildLayout(Benchmark, Variant);
+  return TraceReplayer::replayDefault(trace(Benchmark), *Layout,
+                                      /*MutableProgram=*/nullptr, Cpu);
+}
+
+PerfCounters
+ForthLab::replayWithPredictor(const std::string &Benchmark,
+                              const VariantSpec &Variant,
+                              const CpuConfig &Cpu,
+                              IndirectBranchPredictor &Predictor) {
+  auto Layout = buildLayout(Benchmark, Variant);
+  return TraceReplayer::replayVirtual(trace(Benchmark), *Layout,
+                                      /*MutableProgram=*/nullptr, Cpu,
+                                      Predictor);
+}
+
+PerfCounters ForthLab::replayBtb(const std::string &Benchmark,
+                                 const VariantSpec &Variant,
+                                 const CpuConfig &Cpu,
+                                 const BTBConfig &Config) {
+  auto Layout = buildLayout(Benchmark, Variant);
+  return TraceReplayer::replayBtb(trace(Benchmark), *Layout,
+                                  /*MutableProgram=*/nullptr, Cpu, Config);
+}
+
+PerfCounters ForthLab::replayBtbPredictorOnly(
+    const std::string &Benchmark, const VariantSpec &Variant,
+    const CpuConfig &Cpu, const BTBConfig &Config,
+    const PerfCounters &FetchBaseline) {
+  auto Layout = buildLayout(Benchmark, Variant);
+  return TraceReplayer::replayBtbPredictorOnly(trace(Benchmark), *Layout,
+                                               Cpu, Config, FetchBaseline);
 }

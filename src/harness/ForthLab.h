@@ -7,6 +7,15 @@
 /// profile of the brainless benchmark (§7.1), with resources cached per
 /// (superCount, replicaCount) configuration.
 ///
+/// Two execution paths produce bit-identical counters:
+///  - run(): interpret the workload with a DispatchSim attached
+///    (capture-per-config; the legacy baseline).
+///  - replay(): interpret once into a cached DispatchTrace, then
+///    re-drive any number of (variant x predictor x CPU) configurations
+///    through the devirtualized TraceReplayer kernels.
+/// The caches are mutex-guarded, so replay() calls may be sharded
+/// across SweepRunner workers.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VMIB_HARNESS_FORTHLAB_H
@@ -15,10 +24,13 @@
 #include "harness/Variants.h"
 #include "uarch/CpuModel.h"
 #include "vmcore/DispatchBuilder.h"
+#include "vmcore/DispatchTrace.h"
+#include "vmcore/TraceReplayer.h"
 #include "workloads/ForthSuite.h"
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace vmib {
@@ -50,11 +62,101 @@ public:
                    const CpuConfig &Cpu,
                    std::unique_ptr<IndirectBranchPredictor> Predictor);
 
+  /// The captured dispatch trace of \p Benchmark: interpreted once (hash
+  /// verified), then cached for replays. Thread-safe.
+  const DispatchTrace &trace(const std::string &Benchmark);
+
+  /// Populates the caches a parallel sweep will hit — the benchmark's
+  /// trace and the training profile behind every static-resource
+  /// selection; called serially by the bench capture phase so workers
+  /// never run a whole-workload interpretation under the cache lock.
+  /// (Per-config resource selections stay lazy; they are cheap once
+  /// the profile exists.)
+  void warmup(const std::string &Benchmark, const CpuConfig &Cpu) {
+    (void)Cpu;
+    (void)trace(Benchmark);
+    (void)trainingProfile();
+  }
+
+  /// Releases a cached trace (memory control in long sweeps). NOT safe
+  /// while replays of \p Benchmark are in flight: they hold references
+  /// into the cached trace. Call only between sweep phases.
+  void dropTrace(const std::string &Benchmark);
+
+  /// Replays the cached trace of \p Benchmark under (Variant, Cpu) with
+  /// the CPU's default BTB through the devirtualized kernel. Counters
+  /// are bit-identical to run(). Thread-safe.
+  PerfCounters replay(const std::string &Benchmark,
+                      const VariantSpec &Variant, const CpuConfig &Cpu);
+
+  /// Replay with a concrete predictor type: predict()/update() inline
+  /// into the replay loop (devirtualized predictor sweeps).
+  /// Thread-safe; \p Predictor must be fresh (stateful across events).
+  template <class PredictorT>
+  PerfCounters replayWith(const std::string &Benchmark,
+                          const VariantSpec &Variant, const CpuConfig &Cpu,
+                          PredictorT &Predictor) {
+    auto Layout = buildLayout(Benchmark, Variant);
+    return TraceReplayer::replay(trace(Benchmark), *Layout,
+                                 /*MutableProgram=*/nullptr, Cpu, Predictor);
+  }
+
+  /// Type-erased replay for predictors assembled at run time.
+  PerfCounters replayWithPredictor(const std::string &Benchmark,
+                                   const VariantSpec &Variant,
+                                   const CpuConfig &Cpu,
+                                   IndirectBranchPredictor &Predictor);
+
+  /// Replay with a custom BTB geometry (capacity sweeps): no-evict
+  /// fast path with exact LRU fallback. Thread-safe.
+  PerfCounters replayBtb(const std::string &Benchmark,
+                         const VariantSpec &Variant, const CpuConfig &Cpu,
+                         const BTBConfig &Config);
+
+  /// Predictor-only BTB-geometry replay: branch stream only, fetch
+  /// counters from \p FetchBaseline. Thread-safe.
+  PerfCounters replayBtbPredictorOnly(const std::string &Benchmark,
+                                      const VariantSpec &Variant,
+                                      const CpuConfig &Cpu,
+                                      const BTBConfig &Config,
+                                      const PerfCounters &FetchBaseline);
+
+  /// Predictor-sweep tier: re-simulates only the dispatch branch
+  /// stream, reusing the predictor-independent fetch counters of
+  /// \p FetchBaseline (any run()/replay() of the same (benchmark,
+  /// variant, CPU)). Thread-safe.
+  template <class PredictorT>
+  PerfCounters replayPredictorOnly(const std::string &Benchmark,
+                                   const VariantSpec &Variant,
+                                   const CpuConfig &Cpu,
+                                   PredictorT &Predictor,
+                                   const PerfCounters &FetchBaseline) {
+    auto Layout = buildLayout(Benchmark, Variant);
+    return TraceReplayer::replayPredictorOnly(trace(Benchmark), *Layout,
+                                              Cpu, Predictor, FetchBaseline);
+  }
+
+  /// Builds the dispatch layout of (Benchmark, Variant) — the static
+  /// construction a replay or direct run simulates over. Thread-safe.
+  std::unique_ptr<DispatchProgram> buildLayout(const std::string &Benchmark,
+                                               const VariantSpec &Variant);
+
 private:
+  const SequenceProfile &trainingProfileLocked();
+  const StaticResources &resourcesLocked(uint32_t SuperCount,
+                                         uint32_t ReplicaCount,
+                                         bool ReplicateSupers);
+
   std::map<std::string, ForthUnit> Units;
   std::map<std::string, uint64_t> ReferenceHash;
+  std::map<std::string, uint64_t> ReferenceSteps;
   std::unique_ptr<SequenceProfile> Training;
   std::map<std::string, StaticResources> ResourceCache;
+  std::map<std::string, DispatchTrace> Traces;
+  // Plain mutex on purpose: the *Locked helpers exist so nothing locks
+  // re-entrantly; accidental re-entrancy should deadlock loudly, not
+  // silently recurse.
+  std::mutex CacheMutex;
 };
 
 } // namespace vmib

@@ -29,6 +29,7 @@ JavaLab::JavaLab() {
       std::abort();
     }
     ReferenceHash[B.Name] = Ref.OutputHash;
+    ReferenceSteps[B.Name] = Ref.Steps;
     Programs.emplace(B.Name, std::move(P));
   }
 }
@@ -40,6 +41,12 @@ const JavaProgram &JavaLab::program(const std::string &Benchmark) {
 }
 
 const SequenceProfile &JavaLab::profileOf(const std::string &Benchmark) {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return profileOfLocked(Benchmark);
+}
+
+const SequenceProfile &
+JavaLab::profileOfLocked(const std::string &Benchmark) {
   auto It = Profiles.find(Benchmark);
   if (It != Profiles.end())
     return It->second;
@@ -59,6 +66,13 @@ const SequenceProfile &JavaLab::profileOf(const std::string &Benchmark) {
 const StaticResources &JavaLab::resources(const std::string &Benchmark,
                                           uint32_t SuperCount,
                                           uint32_t ReplicaCount) {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return resourcesLocked(Benchmark, SuperCount, ReplicaCount);
+}
+
+const StaticResources &JavaLab::resourcesLocked(const std::string &Benchmark,
+                                                uint32_t SuperCount,
+                                                uint32_t ReplicaCount) {
   std::string Key =
       Benchmark + format("/%u/%u", SuperCount, ReplicaCount);
   auto It = ResourceCache.find(Key);
@@ -69,7 +83,7 @@ const StaticResources &JavaLab::resources(const std::string &Benchmark,
   for (const JavaBenchmark &B : javaSuite()) {
     if (B.Name == Benchmark)
       continue;
-    Merged.merge(profileOf(B.Name));
+    Merged.merge(profileOfLocked(B.Name));
   }
   StaticResources Res = selectStaticResources(
       Merged, java::opcodeSet(), SuperCount, ReplicaCount,
@@ -106,13 +120,21 @@ double runtimeShareOf(const std::string &Benchmark) {
 uint64_t JavaLab::plainInterpCycles(const std::string &Benchmark,
                                     const CpuConfig &Cpu) {
   std::string Key = Benchmark + "@" + Cpu.Name;
-  auto It = PlainCycleCache.find(Key);
-  if (It != PlainCycleCache.end())
-    return It->second;
-  PerfCounters C =
-      runNoOverhead(Benchmark, makeVariant(DispatchStrategy::Threaded), Cpu);
-  PlainCycleCache[Key] = C.Cycles;
-  return C.Cycles;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = PlainCycleCache.find(Key);
+    if (It != PlainCycleCache.end())
+      return It->second;
+  }
+  // Replay-based: the plain-threaded counters are bit-identical to a
+  // direct run and reuse the cached trace. Computed outside the lock —
+  // this is a full trace replay, and holding the cache mutex through
+  // it would serialize every sweep worker behind the first one.
+  // Concurrent first calls just compute the same value twice.
+  PerfCounters C = replayNoOverhead(
+      Benchmark, makeVariant(DispatchStrategy::Threaded), Cpu);
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return PlainCycleCache.emplace(Key, C.Cycles).first->second;
 }
 
 uint64_t JavaLab::runtimeOverhead(const std::string &Benchmark,
@@ -153,4 +175,62 @@ PerfCounters JavaLab::runNoOverhead(const std::string &Benchmark,
     std::abort();
   }
   return Sim.counters();
+}
+
+const DispatchTrace &JavaLab::trace(const std::string &Benchmark) {
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = Traces.find(Benchmark);
+    if (It != Traces.end())
+      return It->second;
+  }
+
+  // Capture on a scratch copy: quickening mutates the program, and the
+  // rewrites are recorded in the trace for replays to re-apply. Runs
+  // outside the lock (a whole-workload interpretation); concurrent
+  // first captures race to the emplace and the loser is discarded.
+  JavaProgram Copy = program(Benchmark);
+  DispatchTrace T;
+  // One event per step: the reference run already told us the size.
+  T.reserve(ReferenceSteps[Benchmark]);
+  JavaVM VM;
+  JavaVM::Result R = VM.run(Copy, nullptr, nullptr, 1ull << 33, nullptr, &T);
+  if (!R.ok() || R.OutputHash != ReferenceHash[Benchmark]) {
+    std::fprintf(stderr, "fatal: %s capture run diverged (%s)\n",
+                 Benchmark.c_str(), R.Error.c_str());
+    std::abort();
+  }
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return Traces.emplace(Benchmark, std::move(T)).first->second;
+}
+
+void JavaLab::dropTrace(const std::string &Benchmark) {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  Traces.erase(Benchmark);
+}
+
+PerfCounters JavaLab::replay(const std::string &Benchmark,
+                             const VariantSpec &Variant,
+                             const CpuConfig &Cpu) {
+  PerfCounters C = replayNoOverhead(Benchmark, Variant, Cpu);
+  C.Cycles += runtimeOverhead(Benchmark, Cpu);
+  return C;
+}
+
+PerfCounters JavaLab::replayNoOverhead(const std::string &Benchmark,
+                                       const VariantSpec &Variant,
+                                       const CpuConfig &Cpu) {
+  const StaticResources *Static = nullptr;
+  if (usesStaticSupers(Variant.Config.Kind) ||
+      usesReplicas(Variant.Config.Kind))
+    Static = &resources(Benchmark, Variant.SuperCount,
+                        Variant.ReplicaCount);
+
+  // Fresh pristine copy per replay: the recorded quickenings mutate it
+  // mid-replay exactly as the engine did during capture.
+  JavaProgram Copy = program(Benchmark);
+  auto Layout = DispatchBuilder::build(Copy.Program, java::opcodeSet(),
+                                       Variant.Config, Static);
+  return TraceReplayer::replayDefault(trace(Benchmark), *Layout,
+                                      &Copy.Program, Cpu);
 }

@@ -17,10 +17,13 @@
 #include "javavm/JavaVM.h"
 #include "uarch/CpuModel.h"
 #include "vmcore/DispatchBuilder.h"
+#include "vmcore/DispatchTrace.h"
+#include "vmcore/TraceReplayer.h"
 #include "workloads/JavaSuite.h"
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace vmib {
@@ -56,6 +59,40 @@ public:
   uint64_t runtimeOverhead(const std::string &Benchmark,
                            const CpuConfig &Cpu);
 
+  /// The captured dispatch trace of \p Benchmark — the (Cur, Next)
+  /// stream plus quickening rewrites of one hash-verified run on a
+  /// pristine copy. Captured once, then cached. Thread-safe.
+  const DispatchTrace &trace(const std::string &Benchmark);
+
+  /// Releases a cached trace (memory control in long sweeps). NOT safe
+  /// while replays of \p Benchmark are in flight: they hold references
+  /// into the cached trace. Call only between sweep phases.
+  void dropTrace(const std::string &Benchmark);
+
+  /// Populates the caches a parallel sweep will hit — the benchmark's
+  /// trace, the runtime-overhead basis, and the post-quickening static
+  /// profiles of the whole suite (every leave-one-out resource
+  /// selection interprets them otherwise); called serially by the
+  /// bench capture phase so workers never run a whole-workload
+  /// interpretation under the cache lock.
+  void warmup(const std::string &Benchmark, const CpuConfig &Cpu) {
+    (void)trace(Benchmark);
+    (void)plainInterpCycles(Benchmark, Cpu);
+    for (const JavaBenchmark &B : javaSuite())
+      (void)profileOf(B.Name);
+  }
+
+  /// Replays the cached trace under (Variant, Cpu) over a fresh program
+  /// copy, re-applying the recorded quickenings; counters are
+  /// bit-identical to run() (runtime overhead included). Thread-safe.
+  PerfCounters replay(const std::string &Benchmark,
+                      const VariantSpec &Variant, const CpuConfig &Cpu);
+
+  /// replay() without the runtime-system overhead cycles.
+  PerfCounters replayNoOverhead(const std::string &Benchmark,
+                                const VariantSpec &Variant,
+                                const CpuConfig &Cpu);
+
 private:
   /// Post-quickening static profile of one benchmark (the state static
   /// selection sees: quick forms, §5.4).
@@ -69,11 +106,22 @@ private:
                              const VariantSpec &Variant,
                              const CpuConfig &Cpu);
 
+  const SequenceProfile &profileOfLocked(const std::string &Benchmark);
+  const StaticResources &resourcesLocked(const std::string &Benchmark,
+                                         uint32_t SuperCount,
+                                         uint32_t ReplicaCount);
+
   std::map<std::string, JavaProgram> Programs;
   std::map<std::string, uint64_t> ReferenceHash;
+  std::map<std::string, uint64_t> ReferenceSteps;
   std::map<std::string, SequenceProfile> Profiles;
   std::map<std::string, StaticResources> ResourceCache;
   std::map<std::string, uint64_t> PlainCycleCache;
+  std::map<std::string, DispatchTrace> Traces;
+  // Plain mutex on purpose: the *Locked helpers exist so nothing locks
+  // re-entrantly; accidental re-entrancy should deadlock loudly, not
+  // silently recurse.
+  std::mutex CacheMutex;
 };
 
 } // namespace vmib

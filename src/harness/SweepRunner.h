@@ -1,0 +1,45 @@
+//===- harness/SweepRunner.h - Parallel bench sweep runner ------*- C++ -*-===//
+///
+/// \file
+/// Shards the independent jobs of a bench sweep — one replay per
+/// (benchmark x variant x predictor x CPU) configuration — across
+/// std::thread workers. Jobs are handed out through an atomic cursor,
+/// so long jobs (big traces) don't leave workers idle behind a static
+/// partition. Each job owns its layout, predictor and counters, which
+/// is what makes the sharding safe: the labs only share their
+/// mutex-guarded caches (traces, static resources).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_HARNESS_SWEEPRUNNER_H
+#define VMIB_HARNESS_SWEEPRUNNER_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace vmib {
+
+/// Worker count for bench sweeps: the VMIB_THREADS environment variable
+/// if set (>=1), otherwise std::thread::hardware_concurrency (min 1).
+unsigned defaultSweepThreads();
+
+/// Runs Body(0), ..., Body(N-1) across \p Threads workers. Blocks until
+/// every job finished. Threads <= 1 (or N <= 1) degrades to a plain
+/// serial loop. If a job throws, the first exception is rethrown on the
+/// calling thread after all workers drained.
+void parallelFor(size_t N, unsigned Threads,
+                 const std::function<void(size_t)> &Body);
+
+/// Convenience wrapper collecting one result per job index.
+template <class R>
+std::vector<R> runSweep(size_t N, unsigned Threads,
+                        const std::function<R(size_t)> &Job) {
+  std::vector<R> Results(N);
+  parallelFor(N, Threads, [&](size_t I) { Results[I] = Job(I); });
+  return Results;
+}
+
+} // namespace vmib
+
+#endif // VMIB_HARNESS_SWEEPRUNNER_H

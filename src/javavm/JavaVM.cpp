@@ -35,7 +35,8 @@ struct Frame {
 
 JavaVM::Result JavaVM::run(JavaProgram &P, DispatchSim *Sim,
                            DispatchProgram *Layout, uint64_t MaxSteps,
-                           std::vector<uint64_t> *ExecCounts) {
+                           std::vector<uint64_t> *ExecCounts,
+                           DispatchTrace *Capture) {
   Result Res;
   if (!P.ok()) {
     Res.Error = "program has assembly error: " + P.Error;
@@ -603,12 +604,16 @@ JavaVM::Result JavaVM::run(JavaProgram &P, DispatchSim *Sim,
       ++(*ExecCounts)[Ip];
     if (Sim)
       Sim->step(Ip, Halt ? DispatchSim::HaltNext : Next);
+    if (Capture)
+      Capture->append(Ip, Halt ? DispatchSim::HaltNext : Next);
     if (Quickened) {
       // The quickable routine ran once; the rewritten instruction and
       // the patched layout take effect from the next execution (§5.4).
       ++Res.Quickenings;
       if (Layout)
         Layout->onQuicken(Ip);
+      if (Capture)
+        Capture->appendQuicken(Ip, I);
     }
     if (Halt) {
       Res.Halted = true;

@@ -15,6 +15,7 @@
 #include "javavm/JavaProgram.h"
 #include "vmcore/DispatchProgram.h"
 #include "vmcore/DispatchSim.h"
+#include "vmcore/DispatchTrace.h"
 
 #include <string>
 #include <vector>
@@ -42,10 +43,14 @@ public:
   /// non-null, receives onQuicken notifications (it must have been
   /// built over \p Program's VMProgram). \p ExecCounts, if non-null,
   /// collects per-instruction execution counts (training runs).
+  /// \p Capture, if non-null, records the (Cur, Next) dispatch stream
+  /// plus the quickening rewrites so TraceReplayer can re-drive any
+  /// layout over a fresh program copy; capturing needs no Sim/Layout.
   Result run(JavaProgram &Program, DispatchSim *Sim = nullptr,
              DispatchProgram *Layout = nullptr,
              uint64_t MaxSteps = 1ull << 33,
-             std::vector<uint64_t> *ExecCounts = nullptr);
+             std::vector<uint64_t> *ExecCounts = nullptr,
+             DispatchTrace *Capture = nullptr);
 
 private:
   uint32_t HeapLimit;

@@ -1,0 +1,59 @@
+//===- support/FastMod.h - Exact strength-reduced modulo --------*- C++ -*-===//
+///
+/// \file
+/// The set-index computations of the BTB and I-cache models execute
+/// once or twice per simulated VM instruction, and a hardware integer
+/// division costs more than the rest of the accounting combined. This
+/// helper precomputes the divisor once and reduces the per-access
+/// modulo to a mask (power-of-two divisors) or a Lemire fastmod
+/// multiply (anything else). Both forms are *exact*: replacing n % d
+/// with FastMod::mod(n) never changes a set index, so simulation
+/// counters stay bit-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_SUPPORT_FASTMOD_H
+#define VMIB_SUPPORT_FASTMOD_H
+
+#include <cstdint>
+
+namespace vmib {
+
+/// Precomputed n % d. Divisor must be >= 1.
+class FastMod {
+public:
+  FastMod() = default;
+  explicit FastMod(uint32_t Divisor) { init(Divisor); }
+
+  void init(uint32_t Divisor) {
+    D = Divisor;
+    IsPow2 = (Divisor & (Divisor - 1)) == 0;
+    Mask = Divisor - 1;
+    // Lemire, "Faster remainder by direct computation" (2019):
+    // M = ceil(2^64 / d); n % d == mulhi64(M * n, d) for n < 2^32.
+    M = ~0ULL / Divisor + 1;
+  }
+
+  uint32_t divisor() const { return D; }
+
+  uint32_t mod(uint64_t N) const {
+    if (IsPow2)
+      return static_cast<uint32_t>(N) & Mask;
+    if (N <= 0xffffffffULL) {
+      uint64_t LowBits = M * N;
+      return static_cast<uint32_t>(
+          (static_cast<unsigned __int128>(LowBits) * D) >> 64);
+    }
+    return static_cast<uint32_t>(N % D);
+  }
+
+private:
+  uint32_t D = 1;
+  uint32_t Mask = 0;
+  uint64_t M = 0;
+  bool IsPow2 = true;
+};
+
+} // namespace vmib
+
+#endif // VMIB_SUPPORT_FASTMOD_H

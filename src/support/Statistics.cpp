@@ -2,6 +2,8 @@
 
 #include "support/Statistics.h"
 
+#include "support/Format.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -36,4 +38,17 @@ double vmib::minOf(const std::vector<double> &Values) {
 double vmib::maxOf(const std::vector<double> &Values) {
   assert(!Values.empty() && "maxOf requires a non-empty input");
   return *std::max_element(Values.begin(), Values.end());
+}
+
+std::string vmib::benchTimingLine(const std::string &Bench,
+                                  double CaptureSeconds,
+                                  double ReplaySeconds,
+                                  uint64_t ReplayedEvents, size_t Configs) {
+  double EventsPerSec =
+      ReplaySeconds > 0 ? static_cast<double>(ReplayedEvents) / ReplaySeconds
+                        : 0;
+  return format("[timing] bench=%s capture_s=%.3f replay_s=%.3f "
+                "configs=%zu replayed_events=%llu events_per_sec=%.3e\n",
+                Bench.c_str(), CaptureSeconds, ReplaySeconds, Configs,
+                (unsigned long long)ReplayedEvents, EventsPerSec);
 }

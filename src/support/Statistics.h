@@ -9,6 +9,9 @@
 #ifndef VMIB_SUPPORT_STATISTICS_H
 #define VMIB_SUPPORT_STATISTICS_H
 
+#include <chrono>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace vmib {
@@ -21,6 +24,30 @@ double geomean(const std::vector<double> &Values);
 
 double minOf(const std::vector<double> &Values);
 double maxOf(const std::vector<double> &Values);
+
+/// Wall-clock stopwatch for simulator-throughput instrumentation.
+class WallTimer {
+public:
+  WallTimer() : Start(std::chrono::steady_clock::now()) {}
+  void reset() { Start = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Renders the standard per-bench simulator-throughput line:
+///   [timing] bench=<id> capture_s=… replay_s=… configs=N
+///            replayed_events=M events_per_sec=…
+/// One line per bench binary, parsed by the BENCH_*.json trajectory
+/// tooling to track simulator throughput over time.
+std::string benchTimingLine(const std::string &Bench, double CaptureSeconds,
+                            double ReplaySeconds, uint64_t ReplayedEvents,
+                            size_t Configs);
 
 } // namespace vmib
 

@@ -12,92 +12,8 @@ BTB::BTB(const BTBConfig &C) : Config(C) {
   if (Config.Entries != 0) {
     assert(Config.Ways != 0 && Config.Entries % Config.Ways == 0 &&
            "entries must divide evenly into ways");
+    SetMod.init(numSets());
     Sets.resize(Config.Entries);
-  }
-}
-
-uint32_t BTB::setIndexFor(Addr Site) const {
-  return static_cast<uint32_t>((Site >> Config.IndexShift) % numSets());
-}
-
-BTB::Entry *BTB::findEntry(Addr Site) {
-  uint32_t Set = setIndexFor(Site);
-  for (uint32_t W = 0; W < Config.Ways; ++W) {
-    Entry &E = Sets[Set * Config.Ways + W];
-    if (E.Tag == Site)
-      return &E;
-  }
-  return nullptr;
-}
-
-BTB::Entry *BTB::victimEntry(Addr Site) {
-  uint32_t Set = setIndexFor(Site);
-  Entry *Victim = &Sets[Set * Config.Ways];
-  for (uint32_t W = 1; W < Config.Ways; ++W) {
-    Entry &E = Sets[Set * Config.Ways + W];
-    if (E.LastUse < Victim->LastUse)
-      Victim = &E;
-  }
-  return Victim;
-}
-
-Addr BTB::predict(Addr Site, uint64_t) {
-  if (Config.Entries == 0) {
-    auto It = IdealTable.find(Site);
-    return It == IdealTable.end() ? NoPrediction : It->second.Target;
-  }
-  Entry *E = findEntry(Site);
-  if (!E)
-    return NoPrediction;
-  E->LastUse = ++UseClock;
-  return E->Target;
-}
-
-void BTB::update(Addr Site, Addr Target, uint64_t) {
-  if (Config.Entries == 0) {
-    Entry &E = IdealTable[Site];
-    if (!Config.TwoBitCounters || E.Tag == NoPrediction) {
-      E.Tag = Site;
-      E.Target = Target;
-      E.Counter = 1;
-      return;
-    }
-    // Two-bit hysteresis: strengthen on a hit, weaken on a miss; only
-    // replace the stored target once confidence is exhausted.
-    if (E.Target == Target) {
-      if (E.Counter < 3)
-        ++E.Counter;
-    } else if (E.Counter > 0) {
-      --E.Counter;
-    } else {
-      E.Target = Target;
-      E.Counter = 1;
-    }
-    return;
-  }
-
-  Entry *E = findEntry(Site);
-  if (!E) {
-    E = victimEntry(Site);
-    E->Tag = Site;
-    E->Target = Target;
-    E->Counter = 1;
-    E->LastUse = ++UseClock;
-    return;
-  }
-  E->LastUse = ++UseClock;
-  if (!Config.TwoBitCounters) {
-    E->Target = Target;
-    return;
-  }
-  if (E->Target == Target) {
-    if (E->Counter < 3)
-      ++E->Counter;
-  } else if (E->Counter > 0) {
-    --E->Counter;
-  } else {
-    E->Target = Target;
-    E->Counter = 1;
   }
 }
 

@@ -46,6 +46,48 @@ public:
   virtual std::string name() const = 0;
 };
 
+/// Compile-time policy of a predictor type, consulted by the templated
+/// dispatch/replay kernels (sim::step). The primary template describes a
+/// real predictor: predictions come from predict()/update(). The oracle
+/// and always-miss baselines below specialize it so the kernel can skip
+/// the table lookups entirely (if constexpr), which makes them exact
+/// upper/lower bounds at zero simulation cost.
+template <class PredictorT> struct PredictorPolicy {
+  /// Every dispatch predicts correctly (oracle bound).
+  static constexpr bool AlwaysCorrect = false;
+  /// Every dispatch mispredicts (no-BTB bound).
+  static constexpr bool AlwaysMiss = false;
+  /// Whether the predictor reads the decode-time hint. The type-erased
+  /// path must assume yes; BTB-family specializations opt out so the
+  /// kernel skips fetching the hint (one VM-code load per dispatch).
+  static constexpr bool UsesHint = true;
+};
+
+/// Oracle baseline: predicts every dispatch target correctly. Only
+/// meaningful through the devirtualized kernels — a real predict() call
+/// cannot know the target, so this type carries no virtual interface.
+struct PerfectPredictor {
+  void reset() {}
+  std::string name() const { return "perfect"; }
+};
+template <> struct PredictorPolicy<PerfectPredictor> {
+  static constexpr bool AlwaysCorrect = true;
+  static constexpr bool AlwaysMiss = false;
+  static constexpr bool UsesHint = false;
+};
+
+/// No-predictor baseline: every dispatch mispredicts (§2.2's worst case
+/// of a machine without indirect branch prediction).
+struct NullPredictor {
+  void reset() {}
+  std::string name() const { return "none"; }
+};
+template <> struct PredictorPolicy<NullPredictor> {
+  static constexpr bool AlwaysCorrect = false;
+  static constexpr bool AlwaysMiss = true;
+  static constexpr bool UsesHint = false;
+};
+
 } // namespace vmib
 
 #endif // VMIB_UARCH_BRANCHPREDICTOR_H

@@ -13,20 +13,6 @@ CaseBlockTable::CaseBlockTable(uint32_t N) : Entries(N) {
   Table.assign(N, NoPrediction);
 }
 
-uint64_t CaseBlockTable::indexFor(Addr Site, uint64_t Hint) const {
-  uint64_t Hash = (Site >> 2) * 0x9e3779b97f4a7c15ULL + Hint;
-  Hash ^= Hash >> 29;
-  return Hash & (Entries - 1);
-}
-
-Addr CaseBlockTable::predict(Addr Site, uint64_t Hint) {
-  return Table[indexFor(Site, Hint)];
-}
-
-void CaseBlockTable::update(Addr Site, Addr Target, uint64_t Hint) {
-  Table[indexFor(Site, Hint)] = Target;
-}
-
 void CaseBlockTable::reset() { Table.assign(Entries, NoPrediction); }
 
 std::string CaseBlockTable::name() const {

@@ -19,8 +19,9 @@
 namespace vmib {
 
 /// Case block table predictor. The switch operand arrives via the
-/// predictor \p Hint parameter.
-class CaseBlockTable : public IndirectBranchPredictor {
+/// predictor \p Hint parameter. predict()/update() are inline (class
+/// final) so the devirtualized replay kernels inline them.
+class CaseBlockTable final : public IndirectBranchPredictor {
 public:
   explicit CaseBlockTable(uint32_t Entries);
 
@@ -30,11 +31,23 @@ public:
   std::string name() const override;
 
 private:
-  uint64_t indexFor(Addr Site, uint64_t Hint) const;
+  uint64_t indexFor(Addr Site, uint64_t Hint) const {
+    uint64_t Hash = (Site >> 2) * 0x9e3779b97f4a7c15ULL + Hint;
+    Hash ^= Hash >> 29;
+    return Hash & (Entries - 1);
+  }
 
   uint32_t Entries;
   std::vector<Addr> Table;
 };
+
+inline Addr CaseBlockTable::predict(Addr Site, uint64_t Hint) {
+  return Table[indexFor(Site, Hint)];
+}
+
+inline void CaseBlockTable::update(Addr Site, Addr Target, uint64_t Hint) {
+  Table[indexFor(Site, Hint)] = Target;
+}
 
 } // namespace vmib
 

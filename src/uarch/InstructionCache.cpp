@@ -13,37 +13,10 @@ InstructionCache::InstructionCache(const ICacheConfig &C) : Config(C) {
          "line size must be a power of two");
   assert(Config.SizeBytes % (Config.LineBytes * Config.Ways) == 0 &&
          "capacity must divide into sets");
+  SetMod.init(numSets());
+  while ((1u << LineShift) < Config.LineBytes)
+    ++LineShift;
   Sets.resize(numSets() * Config.Ways);
-}
-
-bool InstructionCache::touchLine(uint64_t LineAddr) {
-  uint32_t Set = static_cast<uint32_t>(LineAddr % numSets());
-  Line *Base = &Sets[Set * Config.Ways];
-  Line *Victim = Base;
-  for (uint32_t W = 0; W < Config.Ways; ++W) {
-    Line &L = Base[W];
-    if (L.Tag == LineAddr) {
-      L.LastUse = ++UseClock;
-      return false; // hit
-    }
-    if (L.LastUse < Victim->LastUse)
-      Victim = &L;
-  }
-  Victim->Tag = LineAddr;
-  Victim->LastUse = ++UseClock;
-  return true; // miss
-}
-
-uint32_t InstructionCache::access(uint64_t Address, uint32_t Bytes) {
-  if (Bytes == 0)
-    return 0;
-  uint64_t First = Address / Config.LineBytes;
-  uint64_t Last = (Address + Bytes - 1) / Config.LineBytes;
-  uint32_t Misses = 0;
-  for (uint64_t LineAddr = First; LineAddr <= Last; ++LineAddr)
-    if (touchLine(LineAddr))
-      ++Misses;
-  return Misses;
 }
 
 void InstructionCache::reset() {

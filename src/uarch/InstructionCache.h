@@ -11,6 +11,9 @@
 #ifndef VMIB_UARCH_INSTRUCTIONCACHE_H
 #define VMIB_UARCH_INSTRUCTIONCACHE_H
 
+#include "support/FastMod.h"
+
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,13 +28,26 @@ struct ICacheConfig {
 };
 
 /// Set-associative I-cache; access() walks all lines a fetch touches.
+/// The per-fetch path is inline with strength-reduced index math: it
+/// runs once per simulated VM instruction in both the direct and the
+/// trace-replay pipelines.
 class InstructionCache {
 public:
   explicit InstructionCache(const ICacheConfig &Config);
 
   /// Fetches \p Bytes of code starting at \p Address.
   /// \returns the number of line misses this fetch incurred.
-  uint32_t access(uint64_t Address, uint32_t Bytes);
+  uint32_t access(uint64_t Address, uint32_t Bytes) {
+    if (Bytes == 0)
+      return 0;
+    uint64_t First = Address >> LineShift;
+    uint64_t Last = (Address + Bytes - 1) >> LineShift;
+    uint32_t Misses = 0;
+    for (uint64_t LineAddr = First; LineAddr <= Last; ++LineAddr)
+      if (touchLine(LineAddr))
+        ++Misses;
+    return Misses;
+  }
 
   void reset();
   std::string name() const;
@@ -47,11 +63,96 @@ private:
     return static_cast<uint32_t>(Config.SizeBytes /
                                  (Config.LineBytes * Config.Ways));
   }
-  bool touchLine(uint64_t LineAddr);
+  bool touchLine(uint64_t LineAddr) {
+    uint32_t Set = SetMod.mod(LineAddr);
+    Line *Base = &Sets[Set * Config.Ways];
+    Line *Victim = Base;
+    for (uint32_t W = 0; W < Config.Ways; ++W) {
+      Line &L = Base[W];
+      if (L.Tag == LineAddr) {
+        L.LastUse = ++UseClock;
+        return false; // hit
+      }
+      if (L.LastUse < Victim->LastUse)
+        Victim = &L;
+    }
+    Victim->Tag = LineAddr;
+    Victim->LastUse = ++UseClock;
+    return true; // miss
+  }
 
   ICacheConfig Config;
+  FastMod SetMod;
+  uint32_t LineShift = 0;
   std::vector<Line> Sets;
   uint64_t UseClock = 0;
+};
+
+/// Optimistic no-evict I-cache for trace replay: tracks tags only and
+/// skips all LRU bookkeeping. As long as no set ever overflows, the
+/// hit/miss sequence is identical to the LRU cache's (cold fills use
+/// the same first-free-way order), so counters match bit-for-bit. The
+/// first overflow sets a sticky flag; the replayer then discards the
+/// run and repeats it with the exact LRU model.
+class NoEvictICache {
+public:
+  explicit NoEvictICache(const ICacheConfig &C) : Config(C) {
+    assert((C.LineBytes & (C.LineBytes - 1)) == 0 &&
+           "line size must be a power of two");
+    assert(C.SizeBytes % (C.LineBytes * C.Ways) == 0 &&
+           C.SizeBytes / (C.LineBytes * C.Ways) != 0 &&
+           "capacity must divide into sets");
+    SetMod.init(static_cast<uint32_t>(C.SizeBytes /
+                                      (C.LineBytes * C.Ways)));
+    while ((1u << LineShift) < C.LineBytes)
+      ++LineShift;
+    Tags.assign(SetMod.divisor() * C.Ways, EmptyTag);
+  }
+
+  uint32_t access(uint64_t Address, uint32_t Bytes) {
+    if (Bytes == 0)
+      return 0;
+    uint64_t First = Address >> LineShift;
+    uint64_t Last = (Address + Bytes - 1) >> LineShift;
+    uint32_t Misses = 0;
+    for (uint64_t LineAddr = First; LineAddr <= Last; ++LineAddr)
+      Misses += touchLine(LineAddr);
+    return Misses;
+  }
+
+  bool overflowed() const { return Overflowed; }
+
+private:
+  static constexpr uint64_t EmptyTag = ~0ULL;
+
+  bool touchLine(uint64_t LineAddr) {
+    // Nothing evicts in this model, so a line equal to the immediately
+    // previous touch is still resident: hit, no state to update.
+    if (LineAddr == LastLineAddr)
+      return false;
+    LastLineAddr = LineAddr;
+    uint32_t Base = SetMod.mod(LineAddr) * Config.Ways;
+    for (uint32_t W = 0; W < Config.Ways; ++W)
+      if (Tags[Base + W] == LineAddr)
+        return false; // hit: no LRU state to maintain
+    for (uint32_t W = 0; W < Config.Ways; ++W)
+      if (Tags[Base + W] == EmptyTag) {
+        Tags[Base + W] = LineAddr; // cold fill, first-free-way order
+        return true;
+      }
+    // Set full: an eviction decision would need LRU state we don't
+    // have. Flag it; the rest of this run is garbage by design.
+    Overflowed = true;
+    Tags[Base] = LineAddr;
+    return true;
+  }
+
+  ICacheConfig Config;
+  FastMod SetMod;
+  uint32_t LineShift = 0;
+  std::vector<uint64_t> Tags;
+  uint64_t LastLineAddr = ~0ULL - 1; // never a real line address
+  bool Overflowed = false;
 };
 
 } // namespace vmib

@@ -14,24 +14,6 @@ TwoLevelPredictor::TwoLevelPredictor(const TwoLevelConfig &C) : Config(C) {
   Table.assign(Config.TableEntries, NoPrediction);
 }
 
-uint64_t TwoLevelPredictor::indexFor(Addr Site) const {
-  // Fold the site with the target history; a classic gshare-style XOR.
-  uint64_t Hash = (Site >> 2) ^ History;
-  Hash ^= Hash >> 17;
-  return Hash & (Config.TableEntries - 1);
-}
-
-Addr TwoLevelPredictor::predict(Addr Site, uint64_t) {
-  return Table[indexFor(Site)];
-}
-
-void TwoLevelPredictor::update(Addr Site, Addr Target, uint64_t) {
-  Table[indexFor(Site)] = Target;
-  // Shift a few bits of the new target into the global history register.
-  unsigned BitsPerTarget = 64 / Config.HistoryLength;
-  History = (History << BitsPerTarget) ^ (Target >> 4);
-}
-
 void TwoLevelPredictor::reset() {
   Table.assign(Config.TableEntries, NoPrediction);
   History = 0;

@@ -25,8 +25,10 @@ struct TwoLevelConfig {
   uint32_t HistoryLength = 4;   ///< number of past targets folded in
 };
 
-/// Global-history two-level indirect branch predictor.
-class TwoLevelPredictor : public IndirectBranchPredictor {
+/// Global-history two-level indirect branch predictor. predict() and
+/// update() are inline (class final) so the devirtualized replay
+/// kernels inline them.
+class TwoLevelPredictor final : public IndirectBranchPredictor {
 public:
   explicit TwoLevelPredictor(const TwoLevelConfig &Config);
 
@@ -36,12 +38,35 @@ public:
   std::string name() const override;
 
 private:
-  uint64_t indexFor(Addr Site) const;
+  uint64_t indexFor(Addr Site) const {
+    // Fold the site with the target history; a classic gshare-style XOR.
+    uint64_t Hash = (Site >> 2) ^ History;
+    Hash ^= Hash >> 17;
+    return Hash & (Config.TableEntries - 1);
+  }
 
   TwoLevelConfig Config;
   std::vector<Addr> Table;
   uint64_t History = 0;
 };
+
+/// Site-and-history indexed: the decode-time hint is unused.
+template <> struct PredictorPolicy<TwoLevelPredictor> {
+  static constexpr bool AlwaysCorrect = false;
+  static constexpr bool AlwaysMiss = false;
+  static constexpr bool UsesHint = false;
+};
+
+inline Addr TwoLevelPredictor::predict(Addr Site, uint64_t) {
+  return Table[indexFor(Site)];
+}
+
+inline void TwoLevelPredictor::update(Addr Site, Addr Target, uint64_t) {
+  Table[indexFor(Site)] = Target;
+  // Shift a few bits of the new target into the global history register.
+  unsigned BitsPerTarget = 64 / Config.HistoryLength;
+  History = (History << BitsPerTarget) ^ (Target >> 4);
+}
 
 } // namespace vmib
 

@@ -7,8 +7,8 @@
 using namespace vmib;
 
 DispatchSim::DispatchSim(DispatchProgram &Prog, const CpuConfig &Cpu)
-    : Prog(Prog), Cpu(Cpu),
-      Predictor(std::make_unique<BTB>(Cpu.Btb)), ICache(Cpu.ICache) {}
+    : Prog(Prog), Cpu(Cpu), Predictor(std::make_unique<BTB>(Cpu.Btb)),
+      State(Cpu.ICache) {}
 
 void DispatchSim::setPredictor(
     std::unique_ptr<IndirectBranchPredictor> NewPredictor) {
@@ -16,77 +16,7 @@ void DispatchSim::setPredictor(
   Predictor = std::move(NewPredictor);
 }
 
-void DispatchSim::step(uint32_t Cur, uint32_t Next) {
-  bool CurFallback = InFallback && Cur < FallbackUntil;
-  const Piece &P = CurFallback ? Prog.fallback(Cur) : Prog.piece(Cur);
-
-  ++Counters.VMInstructions;
-  Counters.Instructions += P.WorkInstrs;
-  if (P.CodeBytes != 0)
-    Counters.ICacheMisses += ICache.access(P.EntryAddr, P.CodeBytes);
-  if (P.ExtraFetchBytes != 0)
-    Counters.ICacheMisses += ICache.access(P.ExtraFetchAddr,
-                                           P.ExtraFetchBytes);
-  if (P.ColdStubBranch) {
-    // The in-gap dispatch stub of a not-yet-quickened instruction: one
-    // extra indirect branch, cold (executed a handful of times before
-    // the gap is patched).
-    ++Counters.IndirectBranches;
-    ++Counters.Mispredictions;
-  }
-
-  bool Taken = Next != Cur + 1;
-  bool Dispatches = false;
-  switch (P.Kind) {
-  case DispatchKind::Always:
-    Dispatches = Next != HaltNext;
-    break;
-  case DispatchKind::TakenOnly:
-    Dispatches = Taken && Next != HaltNext;
-    break;
-  case DispatchKind::None:
-    Dispatches = false;
-    break;
-  }
-
-  if (!Dispatches) {
-    if (Next == HaltNext)
-      return;
-    // Falling through: fallback mode persists only inside its region.
-    InFallback = CurFallback && Next < FallbackUntil;
-    if (Trace)
-      Trace({Cur, Next, 0, 0, 0, false, false});
-    return;
-  }
-
-  Counters.Instructions += P.DispatchInstrs;
-  ++Counters.DispatchCount;
-  ++Counters.IndirectBranches;
-
-  // Determine the target: a dispatch landing in the interior of a
-  // cross-block static superinstruction side-enters it, running the
-  // non-replicated originals until the superinstruction ends (Fig. 6).
-  const Piece &NextPiece = Prog.piece(Next);
-  bool NextFallback = NextPiece.FallbackEnd > Next;
-  Addr Target =
-      NextFallback ? Prog.fallback(Next).EntryAddr : NextPiece.EntryAddr;
-
-  uint64_t Hint = Prog.hintFor(Next);
-  Addr Predicted = Predictor->predict(P.BranchSite, Hint);
-  bool Mispredicted = Predicted != Target;
-  if (Mispredicted)
-    ++Counters.Mispredictions;
-  Predictor->update(P.BranchSite, Target, Hint);
-
-  if (NextFallback)
-    FallbackUntil = NextPiece.FallbackEnd;
-  InFallback = NextFallback;
-
-  if (Trace)
-    Trace({Cur, Next, P.BranchSite, Predicted, Target, true, Mispredicted});
-}
-
 void DispatchSim::finish() {
-  Counters.CodeBytes = Prog.generatedCodeBytes();
-  finalizeCycles(Cpu, Counters);
+  State.Counters.CodeBytes = Prog.generatedCodeBytes();
+  finalizeCycles(Cpu, State.Counters);
 }

@@ -1,0 +1,98 @@
+//===- vmcore/DispatchTrace.h - Captured dispatch event stream --*- C++ -*-===//
+///
+/// \file
+/// A compact recording of one VM execution's dispatch-relevant events.
+/// The paper's §7.3 metrics depend only on the per-step (Cur, Next)
+/// stream — which is a property of the *program*, not of the layout,
+/// predictor or CPU being evaluated — so a workload is interpreted once
+/// into a DispatchTrace and then replayed (TraceReplayer) over every
+/// (layout x predictor x CPU) configuration of a sweep.
+///
+/// Each event packs (Cur, Next) into one 64-bit word. JVM quickening
+/// (§5.4) mutates the program mid-run; those rewrites are recorded as
+/// side-band QuickenRecords keyed by event position so a replay can
+/// re-apply them to its own program copy and layout at exactly the same
+/// point in the stream, keeping replayed counters bit-identical to
+/// direct simulation.
+///
+/// The buffers are arena-style: clear() keeps capacity so a trace
+/// object can be refilled across workloads without reallocating.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_VMCORE_DISPATCHTRACE_H
+#define VMIB_VMCORE_DISPATCHTRACE_H
+
+#include "vmcore/VMProgram.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace vmib {
+
+/// Captured event stream of one workload execution.
+class DispatchTrace {
+public:
+  /// Packed step event: Cur in the high word, Next in the low word.
+  using Event = uint64_t;
+
+  static constexpr Event pack(uint32_t Cur, uint32_t Next) {
+    return (static_cast<uint64_t>(Cur) << 32) | Next;
+  }
+  static constexpr uint32_t cur(Event E) {
+    return static_cast<uint32_t>(E >> 32);
+  }
+  static constexpr uint32_t next(Event E) {
+    return static_cast<uint32_t>(E);
+  }
+
+  /// A quickening rewrite: after the first \p AfterEvents events have
+  /// been replayed, Code[Index] becomes NewInstr and the layout is told
+  /// via onQuicken(Index) — mirroring the engine's step-then-quicken
+  /// order.
+  struct QuickenRecord {
+    uint64_t AfterEvents = 0;
+    uint32_t Index = 0;
+    VMInstr NewInstr;
+  };
+
+  /// Appends one step event.
+  void append(uint32_t Cur, uint32_t Next) {
+    Events.push_back(pack(Cur, Next));
+  }
+
+  /// Records that the just-appended event quickened Code[Index] into
+  /// \p NewInstr.
+  void appendQuicken(uint32_t Index, const VMInstr &NewInstr) {
+    Quickens.push_back({Events.size(), Index, NewInstr});
+  }
+
+  /// Drops all events but keeps the allocated arenas for reuse.
+  void clear() {
+    Events.clear();
+    Quickens.clear();
+  }
+
+  void reserve(size_t NumEvents) { Events.reserve(NumEvents); }
+
+  bool empty() const { return Events.empty(); }
+  size_t numEvents() const { return Events.size(); }
+  size_t numQuickens() const { return Quickens.size(); }
+
+  const std::vector<Event> &events() const { return Events; }
+  const std::vector<QuickenRecord> &quickens() const { return Quickens; }
+
+  /// Bytes currently reserved by the arenas (capacity, not size).
+  uint64_t memoryBytes() const {
+    return Events.capacity() * sizeof(Event) +
+           Quickens.capacity() * sizeof(QuickenRecord);
+  }
+
+private:
+  std::vector<Event> Events;
+  std::vector<QuickenRecord> Quickens;
+};
+
+} // namespace vmib
+
+#endif // VMIB_VMCORE_DISPATCHTRACE_H

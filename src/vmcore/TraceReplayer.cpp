@@ -1,0 +1,70 @@
+//===- vmcore/TraceReplayer.cpp -------------------------------------------===//
+
+#include "vmcore/TraceReplayer.h"
+
+using namespace vmib;
+
+PerfCounters TraceReplayer::replayBtb(const DispatchTrace &Trace,
+                                      DispatchProgram &Layout,
+                                      VMProgram *MutableProgram,
+                                      const CpuConfig &Cpu,
+                                      const BTBConfig &Config) {
+  if (Config.Entries != 0 && Trace.numQuickens() == 0) {
+    // Fully-optimistic attempt: no-evict BTB and no-evict I-cache in
+    // one pass. Either overflow aborts within a chunk.
+    NoEvictBTB Fast(Config);
+    sim::DispatchStateT<NoEvictICache> S(Cpu.ICache);
+    sim::NullObserver Obs;
+    bool Ok = isSlimLayout(Layout)
+                  ? runChunked<false>(Trace, Layout, S, Fast, Obs)
+                  : runChunked<true>(Trace, Layout, S, Fast, Obs);
+    if (Ok)
+      return finalize(S.Counters, Layout, Cpu);
+    if (S.ICache.overflowed()) {
+      // The fetch stream is predictor-independent: a no-evict I-cache
+      // re-attempt would overflow at the same event. Go straight to
+      // the exact models.
+      BTB Predictor(Config);
+      return replayExactNoQuicken(Trace, Layout, Cpu, Predictor, Obs);
+    }
+    // Only the BTB overflowed: the optimistic I-cache tier inside
+    // replay() will succeed with the exact BTB.
+  }
+  BTB Predictor(Config);
+  return replay(Trace, Layout, MutableProgram, Cpu, Predictor);
+}
+
+PerfCounters TraceReplayer::replayBtbPredictorOnly(
+    const DispatchTrace &Trace, DispatchProgram &Layout,
+    const CpuConfig &Cpu, const BTBConfig &Config,
+    const PerfCounters &FetchBaseline) {
+  if (Config.Entries != 0 && Trace.numQuickens() == 0) {
+    NoEvictBTB Fast(Config);
+    sim::DispatchStateT<sim::NullICache> S(Cpu.ICache);
+    sim::NullObserver Obs;
+    bool Ok = isSlimLayout(Layout)
+                  ? runChunked<false>(Trace, Layout, S, Fast, Obs)
+                  : runChunked<true>(Trace, Layout, S, Fast, Obs);
+    if (Ok) {
+      S.Counters.ICacheMisses = FetchBaseline.ICacheMisses;
+      return finalize(S.Counters, Layout, Cpu);
+    }
+  }
+  BTB Predictor(Config);
+  return replayPredictorOnly(Trace, Layout, Cpu, Predictor, FetchBaseline);
+}
+
+PerfCounters TraceReplayer::replayDefault(const DispatchTrace &Trace,
+                                          DispatchProgram &Layout,
+                                          VMProgram *MutableProgram,
+                                          const CpuConfig &Cpu) {
+  return replayBtb(Trace, Layout, MutableProgram, Cpu, Cpu.Btb);
+}
+
+PerfCounters TraceReplayer::replayVirtual(const DispatchTrace &Trace,
+                                          DispatchProgram &Layout,
+                                          VMProgram *MutableProgram,
+                                          const CpuConfig &Cpu,
+                                          IndirectBranchPredictor &Pred) {
+  return replay(Trace, Layout, MutableProgram, Cpu, Pred);
+}
