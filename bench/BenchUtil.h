@@ -20,7 +20,9 @@
 #include "support/Table.h"
 #include "vmcore/DispatchBuilder.h"
 #include "vmcore/DispatchSim.h"
+#include "vmcore/GangReplayer.h"
 
+#include <atomic>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -54,10 +56,10 @@ inline std::vector<std::string> javaBenchNames(bool Quick = false) {
   return Names;
 }
 
-/// Replays \p Variants over one benchmark's cached trace, sharded
-/// across SweepRunner workers, and prints the standard timing line.
-/// \p LabT is ForthLab or JavaLab (Java replays include the runtime
-/// overhead, like run()).
+/// Replays \p Variants over one benchmark's cached trace as a single
+/// chunk-tiled gang (the trace streams once for the whole batch) and
+/// prints the standard timing line. \p LabT is ForthLab or JavaLab
+/// (Java replays include the runtime overhead, like run()).
 template <class LabT>
 std::vector<PerfCounters>
 replayConfigs(LabT &Lab, const std::string &BenchId,
@@ -70,9 +72,8 @@ replayConfigs(LabT &Lab, const std::string &BenchId,
   double CaptureSeconds = CaptureTimer.seconds();
 
   WallTimer ReplayTimer;
-  std::vector<PerfCounters> Results = runSweep<PerfCounters>(
-      Variants.size(), defaultSweepThreads(),
-      [&](size_t I) { return Lab.replay(Benchmark, Variants[I], Cpu); });
+  std::vector<PerfCounters> Results = Lab.replayGang(Benchmark, Variants,
+                                                     Cpu);
   std::printf("%s", benchTimingLine(BenchId, CaptureSeconds,
                                     ReplayTimer.seconds(),
                                     Events * Variants.size(),
@@ -81,50 +82,90 @@ replayConfigs(LabT &Lab, const std::string &BenchId,
   return Results;
 }
 
-/// Capture-once/replay-many (benchmark x variant) matrix on one CPU:
-/// every workload is interpreted once into a trace (serial capture
-/// phase, hash-verified), then all (benchmark x variant) cells replay
-/// in parallel. Prints the standard timing line.
+/// Gang-replay (benchmark x variant) matrix on one CPU. Default mode
+/// is the trace-chunk-major pipeline: jobs are grouped by trace (one
+/// gang per benchmark covering every variant, so each workload's event
+/// stream crosses the memory bus once per tile for the whole row) and
+/// workload i+1 is captured on the pipeline's producer thread while
+/// workload i's gang replays. \p PerConfig re-runs the PR-1
+/// configuration-major path — serial capture phase, then one full
+/// trace pass per (benchmark x variant) cell — for equivalence checks
+/// and speedup measurement. Prints the standard timing line (capture_s
+/// is producer-thread busy time; in pipeline mode it overlaps
+/// replay_s).
 template <class LabT>
 SpeedupMatrix replayMatrix(LabT &Lab, const std::string &BenchId,
                            const std::vector<std::string> &Benchmarks,
                            const std::vector<VariantSpec> &Variants,
-                           const CpuConfig &Cpu) {
+                           const CpuConfig &Cpu, bool PerConfig = false) {
   SpeedupMatrix M;
   M.Benchmarks = Benchmarks;
   for (const VariantSpec &V : Variants)
     M.Variants.push_back(V.Name);
 
-  WallTimer CaptureTimer;
-  uint64_t EventsPerPass = 0;
-  for (const std::string &B : Benchmarks) {
-    Lab.warmup(B, Cpu);
-    EventsPerPass += Lab.trace(B).numEvents();
+  if (PerConfig) {
+    WallTimer CaptureTimer;
+    uint64_t EventsPerPass = 0;
+    for (const std::string &B : Benchmarks) {
+      Lab.warmup(B, Cpu);
+      EventsPerPass += Lab.trace(B).numEvents();
+    }
+    double CaptureSeconds = CaptureTimer.seconds();
+
+    struct Cell {
+      const std::string *Benchmark;
+      const VariantSpec *Variant;
+    };
+    std::vector<Cell> Cells;
+    for (const std::string &B : Benchmarks)
+      for (const VariantSpec &V : Variants)
+        Cells.push_back({&B, &V});
+
+    WallTimer ReplayTimer;
+    std::vector<PerfCounters> Results = runSweep<PerfCounters>(
+        Cells.size(), defaultSweepThreads(), [&](size_t I) {
+          return Lab.replay(*Cells[I].Benchmark, *Cells[I].Variant, Cpu);
+        });
+    for (size_t I = 0; I < Cells.size(); ++I)
+      M.Counters[*Cells[I].Benchmark][Cells[I].Variant->Name] = Results[I];
+
+    std::printf("%s", benchTimingLine(BenchId, CaptureSeconds,
+                                      ReplayTimer.seconds(),
+                                      EventsPerPass * Variants.size(),
+                                      Cells.size())
+                          .c_str());
+    return M;
   }
-  double CaptureSeconds = CaptureTimer.seconds();
 
-  struct Cell {
-    const std::string *Benchmark;
-    const VariantSpec *Variant;
-  };
-  std::vector<Cell> Cells;
-  for (const std::string &B : Benchmarks)
-    for (const VariantSpec &V : Variants)
-      Cells.push_back({&B, &V});
-
-  WallTimer ReplayTimer;
-  std::vector<PerfCounters> Results = runSweep<PerfCounters>(
-      Cells.size(), defaultSweepThreads(), [&](size_t I) {
-        return Lab.replay(*Cells[I].Benchmark, *Cells[I].Variant, Cpu);
+  // Trace-affine gang pipeline: one gang per benchmark, captures
+  // overlapped with the previous benchmark's replay.
+  double CaptureBusy = 0; // producer thread only; no lock needed
+  std::atomic<uint64_t> EventsPerPass{0};
+  std::vector<std::vector<PerfCounters>> Rows(Benchmarks.size());
+  WallTimer PipelineTimer;
+  pipelineSweep(
+      Benchmarks.size(), defaultSweepThreads(),
+      [&](size_t B) {
+        WallTimer T;
+        Lab.warmup(Benchmarks[B], Cpu);
+        CaptureBusy += T.seconds();
+      },
+      [&](size_t B) {
+        EventsPerPass.fetch_add(Lab.trace(Benchmarks[B]).numEvents(),
+                                std::memory_order_relaxed);
+        Rows[B] = Lab.replayGang(Benchmarks[B], Variants, Cpu);
       });
-  for (size_t I = 0; I < Cells.size(); ++I)
-    M.Counters[*Cells[I].Benchmark][Cells[I].Variant->Name] = Results[I];
+  double PipelineSeconds = PipelineTimer.seconds();
 
-  std::printf("%s", benchTimingLine(BenchId, CaptureSeconds,
-                                    ReplayTimer.seconds(),
-                                    EventsPerPass * Variants.size(),
-                                    Cells.size())
-                        .c_str());
+  for (size_t B = 0; B < Benchmarks.size(); ++B)
+    for (size_t V = 0; V < Variants.size(); ++V)
+      M.Counters[Benchmarks[B]][Variants[V].Name] = Rows[B][V];
+
+  std::printf("%s",
+              benchTimingLine(BenchId, CaptureBusy, PipelineSeconds,
+                              EventsPerPass.load() * Variants.size(),
+                              Benchmarks.size() * Variants.size())
+                  .c_str());
   return M;
 }
 

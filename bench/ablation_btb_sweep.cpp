@@ -6,8 +6,14 @@
 /// bench-gc: plain (whose working set of dispatch branches is the
 /// opcode set), static repl (≈400 extra branch sites — the sweep shows
 /// where they stop fitting), and dynamic both (one site per block
-/// instance — the hungriest). All 21 (capacity x variant) cells replay
-/// one captured trace through the devirtualized BTB kernel in parallel.
+/// instance — the hungriest).
+///
+/// Default mode runs everything as ONE gang over the captured trace:
+/// three full-replay members (the per-variant fetch baselines) plus 21
+/// predictor-only capacity members that reference them, all sharing
+/// the three layouts — 24 configurations, one chunk-tiled trace pass.
+/// --per-config re-runs the PR-1 two-phase path (one trace pass per
+/// cell) for equivalence checks.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,9 +23,12 @@
 
 using namespace vmib;
 
-int main() {
-  std::printf("=== Ablation: BTB capacity sweep (§6 simulator study) "
-              "===\n\n");
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
+  bool PerConfig = Opts.has("per-config");
+  std::printf("=== Ablation: BTB capacity sweep (§6 simulator study)%s "
+              "===\n\n",
+              PerConfig ? " [per-config mode]" : "");
   ForthLab Lab;
   CpuConfig Cpu = makePentium4Northwood();
 
@@ -34,31 +43,61 @@ int main() {
   uint64_t Events = Lab.trace("bench-gc").numEvents();
   double CaptureSeconds = CaptureTimer.seconds();
 
-  // One full replay per variant establishes the fetch counters; every
-  // (capacity x variant) cell then replays the branch stream only.
-  // Two parallel phases so the cell sweep uses all workers instead of
-  // being capped at one thread per variant.
   size_t Jobs = Capacities.size() * Kinds.size();
   WallTimer ReplayTimer;
-  std::vector<PerfCounters> Baselines(Kinds.size());
-  parallelFor(Kinds.size(), defaultSweepThreads(), [&](size_t K) {
-    Baselines[K] = Lab.replay("bench-gc", makeVariant(Kinds[K]), Cpu);
-  });
   std::vector<PerfCounters> Results(Jobs);
-  parallelFor(Jobs, defaultSweepThreads(), [&](size_t I) {
-    size_t C = I / Kinds.size(), K = I % Kinds.size();
-    BTBConfig Cfg;
-    Cfg.Entries = Capacities[C];
-    Cfg.Ways = 4;
-    Results[I] = Lab.replayBtbPredictorOnly(
-        "bench-gc", makeVariant(Kinds[K]), Cpu, Cfg, Baselines[K]);
-  });
-  // The per-variant baselines are trace passes too: 21 sweep cells
-  // plus 3 baseline replays inside the timed window.
+  uint64_t TracePasses;
+  if (PerConfig) {
+    // One full replay per variant establishes the fetch counters; every
+    // (capacity x variant) cell then replays the branch stream only.
+    // Two parallel phases so the cell sweep uses all workers instead of
+    // being capped at one thread per variant.
+    std::vector<PerfCounters> Baselines(Kinds.size());
+    parallelFor(Kinds.size(), defaultSweepThreads(), [&](size_t K) {
+      Baselines[K] = Lab.replay("bench-gc", makeVariant(Kinds[K]), Cpu);
+    });
+    parallelFor(Jobs, defaultSweepThreads(), [&](size_t I) {
+      size_t C = I / Kinds.size(), K = I % Kinds.size();
+      BTBConfig Cfg;
+      Cfg.Entries = Capacities[C];
+      Cfg.Ways = 4;
+      Results[I] = Lab.replayBtbPredictorOnly(
+          "bench-gc", makeVariant(Kinds[K]), Cpu, Cfg, Baselines[K]);
+    });
+    // Every cell and every baseline streams the whole trace.
+    TracePasses = Jobs + Kinds.size();
+  } else {
+    // Gang mode: baselines first (members 0..2), then the capacity
+    // cells referencing them — 24 configurations, one trace pass.
+    GangReplayer Gang(Lab.trace("bench-gc"));
+    std::vector<std::shared_ptr<DispatchProgram>> Layouts;
+    std::vector<size_t> BaselineMember;
+    for (DispatchStrategy K : Kinds) {
+      Layouts.push_back(Lab.buildLayout("bench-gc", makeVariant(K)));
+      BaselineMember.push_back(Gang.addDefault(Layouts.back(), Cpu));
+    }
+    for (size_t C = 0; C < Capacities.size(); ++C)
+      for (size_t K = 0; K < Kinds.size(); ++K) {
+        BTBConfig Cfg;
+        Cfg.Entries = Capacities[C];
+        Cfg.Ways = 4;
+        Gang.addBtbPredictorOnly(Layouts[K], Cpu, Cfg, BaselineMember[K]);
+      }
+    std::printf("[gang] members=%zu state=%s\n", Gang.size(),
+                humanBytes(Gang.stateBytes()).c_str());
+    std::vector<PerfCounters> All = Gang.run();
+    for (size_t I = 0; I < Jobs; ++I)
+      Results[I] = All[Kinds.size() + I];
+    // All 24 members ride the same (counted once per member for the
+    // simulated-event metric, like per-config mode).
+    TracePasses = Jobs + Kinds.size();
+  }
   std::printf("%s",
-              benchTimingLine("ablation_btb_sweep", CaptureSeconds,
-                              ReplayTimer.seconds(),
-                              Events * (Jobs + Kinds.size()), Jobs)
+              benchTimingLine(
+                  format("ablation_btb_sweep:%s",
+                         PerConfig ? "per-config" : "gang"),
+                  CaptureSeconds, ReplayTimer.seconds(),
+                  Events * TracePasses, Jobs)
                   .c_str());
 
   TextTable T({"BTB entries", "plain", "static repl", "dynamic both"});

@@ -6,12 +6,21 @@
 /// interpreter branches), and Kaeli & Emma's case block table under
 /// switch dispatch (near-perfect for switch).
 ///
-/// Default mode captures each benchmark's dispatch trace once and
-/// replays the five predictor configurations through the devirtualized
-/// kernels, sharded across worker threads. --direct re-runs the legacy
-/// capture-per-config pipeline (one full interpretation plus virtual
-/// predictor calls per cell) for speedup comparison; --quick cuts the
-/// suite to two benchmarks.
+/// Default mode captures each benchmark's dispatch trace once and runs
+/// one chunk-tiled *gang* per benchmark: all five predictor
+/// configurations cross each ~64K-event tile before the cursor
+/// advances, so the trace streams from memory once per tile instead of
+/// once per configuration, and the three threaded members (and the two
+/// switch members) share one layout. Flags:
+///
+///   --per-config  the PR-1 replay path: one full trace pass per cell
+///                 (the gang's equivalence/speedup baseline)
+///   --direct      the legacy pipeline: one full interpretation plus
+///                 virtual predictor calls per cell
+///   --compare     runs --per-config then the gang, asserts the
+///                 counters are bit-identical, and prints the gang's
+///                 wall-clock speedup (exit 1 on divergence)
+///   --quick       first two benchmarks only (CI smoke)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,14 +29,21 @@
 #include "uarch/TwoLevelPredictor.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace vmib;
 
 int main(int argc, char **argv) {
   OptionParser Opts(argc, argv);
   bool Direct = Opts.has("direct");
+  bool PerConfig = Opts.has("per-config");
+  bool Compare = Opts.has("compare");
+  const char *ModeTag = Direct ? " [direct mode]"
+                        : PerConfig ? " [per-config mode]"
+                        : Compare ? " [compare mode]"
+                                  : "";
   std::printf("=== Ablation: indirect branch predictors (§3, §8)%s ===\n\n",
-              Direct ? " [direct mode]" : "");
+              ModeTag);
   ForthLab Lab;
   CpuConfig Cpu = makePentium4Northwood();
 
@@ -37,29 +53,31 @@ int main(int argc, char **argv) {
   VariantSpec Switch = makeVariant(DispatchStrategy::Switch);
   BTBConfig TwoBit = Cpu.Btb;
   TwoBit.TwoBitCounters = true;
+  TwoLevelConfig TL;
 
-  // Five predictor configurations per benchmark. The replay path does
-  // one full replay per layout (threaded, switch) and predictor-only
-  // replays for the remaining configs: the fetch-side counters are
-  // predictor-independent, so only the branch stream is re-simulated.
+  // Five predictor configurations per benchmark; [0]/[3] are the full
+  // replays whose fetch counters the predictor-only cells reuse.
   constexpr size_t Configs = 5;
-  auto runBenchmark = [&](const std::string &Bench,
+
+  auto runDirect = [&](const std::string &Bench,
+                       std::vector<PerfCounters> &Out) {
+    // Legacy path: full interpretation, virtual predictor per cell.
+    Out[0] = Lab.runWithPredictor(Bench, Threaded, Cpu,
+                                  std::make_unique<BTB>(Cpu.Btb));
+    Out[1] = Lab.runWithPredictor(Bench, Threaded, Cpu,
+                                  std::make_unique<BTB>(TwoBit));
+    Out[2] = Lab.runWithPredictor(
+        Bench, Threaded, Cpu, std::make_unique<TwoLevelPredictor>(TL));
+    Out[3] = Lab.runWithPredictor(Bench, Switch, Cpu,
+                                  std::make_unique<BTB>(Cpu.Btb));
+    Out[4] = Lab.runWithPredictor(Bench, Switch, Cpu,
+                                  std::make_unique<CaseBlockTable>(4096));
+  };
+
+  auto runPerConfig = [&](const std::string &Bench,
                           std::vector<PerfCounters> &Out) {
-    TwoLevelConfig TL;
-    if (Direct) {
-      // Legacy path: full interpretation, virtual predictor per cell.
-      Out[0] = Lab.runWithPredictor(Bench, Threaded, Cpu,
-                                    std::make_unique<BTB>(Cpu.Btb));
-      Out[1] = Lab.runWithPredictor(Bench, Threaded, Cpu,
-                                    std::make_unique<BTB>(TwoBit));
-      Out[2] = Lab.runWithPredictor(
-          Bench, Threaded, Cpu, std::make_unique<TwoLevelPredictor>(TL));
-      Out[3] = Lab.runWithPredictor(Bench, Switch, Cpu,
-                                    std::make_unique<BTB>(Cpu.Btb));
-      Out[4] = Lab.runWithPredictor(Bench, Switch, Cpu,
-                                    std::make_unique<CaseBlockTable>(4096));
-      return;
-    }
+    // PR-1 replay path: devirtualized kernels, but every cell streams
+    // the whole trace independently.
     Out[0] = Lab.replayBtb(Bench, Threaded, Cpu, Cpu.Btb);
     Out[1] = Lab.replayBtbPredictorOnly(Bench, Threaded, Cpu, TwoBit, Out[0]);
     TwoLevelPredictor TwoLevel(TL);
@@ -69,26 +87,84 @@ int main(int argc, char **argv) {
     Out[4] = Lab.replayPredictorOnly(Bench, Switch, Cpu, Cbt, Out[3]);
   };
 
-  WallTimer CaptureTimer;
-  uint64_t Events = 0;
-  if (!Direct)
-    for (const std::string &B : Benchmarks)
-      Events += Lab.trace(B).numEvents();
-  double CaptureSeconds = CaptureTimer.seconds();
+  auto runGang = [&](const std::string &Bench,
+                     std::vector<PerfCounters> &Out) {
+    // One tile pass feeds all five configurations; the threaded and
+    // switch members share their layouts (quicken-free members only
+    // read them), and the predictor-only members take their fetch
+    // counters from the full member of the same layout.
+    GangReplayer Gang(Lab.trace(Bench));
+    std::shared_ptr<DispatchProgram> ThreadedLayout =
+        Lab.buildLayout(Bench, Threaded);
+    std::shared_ptr<DispatchProgram> SwitchLayout =
+        Lab.buildLayout(Bench, Switch);
+    size_t ThreadedBase = Gang.addBtb(ThreadedLayout, Cpu, Cpu.Btb);
+    Gang.addBtbPredictorOnly(ThreadedLayout, Cpu, TwoBit, ThreadedBase);
+    Gang.addPredictorOnly(ThreadedLayout, Cpu, TwoLevelPredictor(TL),
+                          ThreadedBase);
+    size_t SwitchBase = Gang.addBtb(SwitchLayout, Cpu, Cpu.Btb);
+    Gang.addPredictorOnly(SwitchLayout, Cpu, CaseBlockTable(4096),
+                          SwitchBase);
+    Out = Gang.run();
+  };
 
-  WallTimer ReplayTimer;
-  std::vector<PerfCounters> Results(Benchmarks.size() * Configs);
-  parallelFor(Benchmarks.size(), Direct ? 1 : defaultSweepThreads(),
-              [&](size_t B) {
-                std::vector<PerfCounters> Out(Configs);
-                runBenchmark(Benchmarks[B], Out);
-                for (size_t Cfg = 0; Cfg < Configs; ++Cfg)
-                  Results[B * Configs + Cfg] = Out[Cfg];
-              });
-  std::printf("%s", benchTimingLine("ablation_predictors", CaptureSeconds,
-                                    ReplayTimer.seconds(), Events * Configs,
-                                    Benchmarks.size() * Configs)
-                        .c_str());
+  // Runs one sweep mode over every benchmark and prints its timing
+  // line. Captures hit the lab's trace cache after the first mode, so
+  // --compare times both replay paths against warm traces.
+  auto sweep = [&](const char *Mode) {
+    WallTimer CaptureTimer;
+    uint64_t Events = 0;
+    if (std::strcmp(Mode, "direct") != 0)
+      for (const std::string &B : Benchmarks)
+        Events += Lab.trace(B).numEvents();
+    double CaptureSeconds = CaptureTimer.seconds();
+
+    WallTimer ReplayTimer;
+    std::vector<PerfCounters> Results(Benchmarks.size() * Configs);
+    bool Serial = std::strcmp(Mode, "direct") == 0;
+    parallelFor(Benchmarks.size(), Serial ? 1 : defaultSweepThreads(),
+                [&](size_t B) {
+                  std::vector<PerfCounters> Out(Configs);
+                  if (std::strcmp(Mode, "gang") == 0)
+                    runGang(Benchmarks[B], Out);
+                  else if (std::strcmp(Mode, "per-config") == 0)
+                    runPerConfig(Benchmarks[B], Out);
+                  else
+                    runDirect(Benchmarks[B], Out);
+                  for (size_t Cfg = 0; Cfg < Configs; ++Cfg)
+                    Results[B * Configs + Cfg] = Out[Cfg];
+                });
+    double ReplaySeconds = ReplayTimer.seconds();
+    // Separator-free bench id: the [timing] artifact is parsed as
+    // whitespace-split key=value tokens.
+    std::printf("%s", benchTimingLine(
+                          format("ablation_predictors:%s", Mode),
+                          CaptureSeconds, ReplaySeconds, Events * Configs,
+                          Benchmarks.size() * Configs)
+                          .c_str());
+    return std::make_pair(Results, ReplaySeconds);
+  };
+
+  std::vector<PerfCounters> Results;
+  if (Compare) {
+    auto [Baseline, BaselineSeconds] = sweep("per-config");
+    auto [Gang, GangSeconds] = sweep("gang");
+    for (size_t I = 0; I < Baseline.size(); ++I) {
+      if (std::memcmp(&Baseline[I], &Gang[I], sizeof(PerfCounters)) != 0) {
+        std::printf("FAIL: gang counters diverge from per-config replay at "
+                    "%s config %zu\n",
+                    Benchmarks[I / Configs].c_str(), I % Configs);
+        return 1;
+      }
+    }
+    std::printf("gang vs per-config: counters bit-identical, speedup "
+                "%.2fx\n\n",
+                BaselineSeconds / GangSeconds);
+    Results = Gang;
+  } else {
+    Results = sweep(Direct ? "direct" : PerConfig ? "per-config" : "gang")
+                  .first;
+  }
 
   TextTable T({"benchmark", "btb (threaded)", "btb-2bit (threaded)",
                "two-level (threaded)", "btb (switch)",

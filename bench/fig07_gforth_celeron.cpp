@@ -3,8 +3,11 @@
 /// Regenerates Figure 7: speedups of the nine Gforth interpreter
 /// variants over plain threaded code on the Celeron-800 (small BTB and
 /// I-cache, so code-growth effects are visible). Each workload is
-/// interpreted once into a dispatch trace, then the nine variants
-/// replay it in parallel (--quick: first two benchmarks only).
+/// interpreted once into a dispatch trace; one chunk-tiled gang per
+/// workload replays all nine variants in a single trace pass, with the
+/// next workload's capture overlapped (--quick: first two benchmarks
+/// only; --per-config: the configuration-major PR-1 path for
+/// equivalence checks).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,7 +25,7 @@ int main(int argc, char **argv) {
 
   SpeedupMatrix M = bench::replayMatrix(
       Lab, "fig07_gforth_celeron", bench::forthBenchNames(Opts.has("quick")),
-      gforthVariants(), Cpu);
+      gforthVariants(), Cpu, Opts.has("per-config"));
 
   std::printf("%s\n", M.renderSpeedups("Figure 7 (Celeron-800)").c_str());
   std::printf(

@@ -4,7 +4,9 @@
 /// variants over plain threaded code on the Pentium 4 (Northwood): the
 /// 20-cycle misprediction penalty makes the replication-based methods
 /// shine (paper: up to 4.55x with static super over plain). Uses the
-/// capture-once/replay-many pipeline (--quick: first two benchmarks).
+/// gang-replay pipeline — one trace pass per workload covers all nine
+/// variants, captures overlapped with replay (--quick: first two
+/// benchmarks; --per-config: the configuration-major PR-1 path).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,7 +24,7 @@ int main(int argc, char **argv) {
 
   SpeedupMatrix M = bench::replayMatrix(
       Lab, "fig08_gforth_p4", bench::forthBenchNames(Opts.has("quick")),
-      gforthVariants(), Cpu);
+      gforthVariants(), Cpu, Opts.has("per-config"));
 
   std::printf("%s\n", M.renderSpeedups("Figure 8 (Pentium 4)").c_str());
   std::printf(

@@ -3,8 +3,10 @@
 /// Regenerates Figure 9: speedups of the nine JVM interpreter variants
 /// over plain threaded code on the Pentium 4. Each benchmark is
 /// interpreted once into a dispatch trace (quickening rewrites
-/// recorded); the variants replay it in parallel over fresh program
-/// copies (--quick: first two benchmarks only).
+/// recorded); one gang per benchmark replays all variants in a single
+/// chunk-tiled trace pass, each member re-applying the quickenings to
+/// its own fresh program copy (--quick: first two benchmarks only;
+/// --per-config: the configuration-major PR-1 path).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,7 +24,7 @@ int main(int argc, char **argv) {
 
   SpeedupMatrix M = bench::replayMatrix(
       Lab, "fig09_java_p4", bench::javaBenchNames(Opts.has("quick")),
-      jvmVariants(), Cpu);
+      jvmVariants(), Cpu, Opts.has("per-config"));
 
   std::printf("%s\n", M.renderSpeedups("Figure 9 (Pentium 4)").c_str());
   std::printf(

@@ -11,12 +11,22 @@
 /// gap, but the instruction-count savings of superinstructions remain
 /// visible.
 ///
+/// The BM_Replay* benchmarks regression-track *simulator* throughput
+/// (events/sec, items_per_second): one per replay tier — full replay,
+/// predictor-only, and a five-member gang (per member-event) — so a
+/// kernel regression shows up here, not just in the [timing] lines of
+/// the sweep benches.
+///
 //===----------------------------------------------------------------------===//
 
+#include "harness/ForthLab.h"
 #include "realdispatch/RealDispatch.h"
+#include "uarch/TwoLevelPredictor.h"
+#include "vmcore/GangReplayer.h"
 
 #include <benchmark/benchmark.h>
 
+using namespace vmib;
 using namespace vmib::realdispatch;
 
 namespace {
@@ -57,10 +67,76 @@ void BM_SuperDispatch(benchmark::State &State) {
   State.counters["result"] = static_cast<double>(Result & 0xffff);
 }
 
+//===--- simulator-throughput tracking (replay kernels) -------------------===//
+
+/// Shared lab: construction compiles and reference-runs the suite, so
+/// amortize it across all replay benchmarks in the binary.
+ForthLab &lab() {
+  static ForthLab Lab;
+  return Lab;
+}
+
+/// The workload all replay benchmarks stream ("gray": mid-size trace,
+/// captured once and cached by the lab).
+constexpr const char *ReplayBench = "gray";
+
+void BM_ReplayFull(benchmark::State &State) {
+  ForthLab &Lab = lab();
+  CpuConfig Cpu = makePentium4Northwood();
+  const DispatchTrace &Trace = Lab.trace(ReplayBench);
+  auto Layout = Lab.buildLayout(ReplayBench,
+                                makeVariant(DispatchStrategy::Threaded));
+  for (auto _ : State) {
+    PerfCounters C = TraceReplayer::replayBtb(Trace, *Layout, nullptr, Cpu,
+                                              Cpu.Btb);
+    benchmark::DoNotOptimize(C.Cycles);
+  }
+  State.SetItemsProcessed(State.iterations() * Trace.numEvents());
+}
+
+void BM_ReplayPredictorOnly(benchmark::State &State) {
+  ForthLab &Lab = lab();
+  CpuConfig Cpu = makePentium4Northwood();
+  const DispatchTrace &Trace = Lab.trace(ReplayBench);
+  VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
+  auto Layout = Lab.buildLayout(ReplayBench, Threaded);
+  PerfCounters Baseline = Lab.replay(ReplayBench, Threaded, Cpu);
+  for (auto _ : State) {
+    TwoLevelPredictor Pred((TwoLevelConfig()));
+    PerfCounters C = TraceReplayer::replayPredictorOnly(Trace, *Layout, Cpu,
+                                                        Pred, Baseline);
+    benchmark::DoNotOptimize(C.Cycles);
+  }
+  State.SetItemsProcessed(State.iterations() * Trace.numEvents());
+}
+
+void BM_GangReplay5(benchmark::State &State) {
+  // Five default-BTB members over one shared layout: throughput is
+  // counted per member-event, so a perfect gang shows the same
+  // events/sec as BM_ReplayFull times the bandwidth reuse factor.
+  ForthLab &Lab = lab();
+  CpuConfig Cpu = makePentium4Northwood();
+  const DispatchTrace &Trace = Lab.trace(ReplayBench);
+  std::shared_ptr<DispatchProgram> Layout =
+      Lab.buildLayout(ReplayBench, makeVariant(DispatchStrategy::Threaded));
+  constexpr size_t GangSize = 5;
+  for (auto _ : State) {
+    GangReplayer Gang(Trace);
+    for (size_t I = 0; I < GangSize; ++I)
+      Gang.addDefault(Layout, Cpu);
+    std::vector<PerfCounters> R = Gang.run();
+    benchmark::DoNotOptimize(R.data());
+  }
+  State.SetItemsProcessed(State.iterations() * Trace.numEvents() * GangSize);
+}
+
 } // namespace
 
 BENCHMARK(BM_SwitchDispatch)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_ThreadedDispatch)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_SuperDispatch)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_ReplayFull)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReplayPredictorOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GangReplay5)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

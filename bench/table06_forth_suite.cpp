@@ -2,14 +2,17 @@
 ///
 /// Regenerates Table VI: the Forth benchmark inventory, with source
 /// sizes, compiled VM code sizes, and a reference execution check for
-/// each program.
+/// each program. Uses the ForthLab so the step counts come from the
+/// captured dispatch traces — with VMIB_TRACE_CACHE set, the traces
+/// load from (and on first run, populate) the serialized trace cache
+/// instead of re-interpreting every workload.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "harness/ForthLab.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 #include "support/Table.h"
-#include "workloads/ForthSuite.h"
 
 #include <cstdio>
 
@@ -20,29 +23,26 @@ int main(int argc, char **argv) {
   // --quick: first two benchmarks only (CI smoke run).
   size_t Limit = Opts.has("quick") ? 2 : forthSuite().size();
   std::printf("=== Table VI: benchmark programs used in Gforth ===\n\n");
+  ForthLab Lab;
   TextTable T({"program", "lines", "VM instrs", "description", "steps",
                "output hash"});
   size_t Done = 0;
   for (const ForthBenchmark &B : forthSuite()) {
     if (Done++ == Limit)
       break;
-    ForthUnit Unit = compileForth(B.Source, B.Name);
-    if (!Unit.ok()) {
-      std::printf("compile error in %s: %s\n", B.Name.c_str(),
-                  Unit.Error.c_str());
-      return 1;
-    }
-    ForthVM VM;
-    ForthVM::Result R = VM.run(Unit);
-    if (!R.ok()) {
-      std::printf("run error in %s: %s\n", B.Name.c_str(),
-                  R.Error.c_str());
+    // One event per interpreter step, so the trace length *is* the
+    // step count — and doubles as a consistency check on cached trace
+    // files against the reference run.
+    const DispatchTrace &Trace = Lab.trace(B.Name);
+    if (Trace.numEvents() != Lab.referenceSteps(B.Name)) {
+      std::printf("trace/reference step mismatch in %s\n", B.Name.c_str());
       return 1;
     }
     T.addRow({B.Name, std::to_string(B.sourceLines()),
-              std::to_string(Unit.Program.size()), B.Description,
-              withThousands(R.Steps),
-              format("%016llx", (unsigned long long)R.OutputHash)});
+              std::to_string(Lab.unit(B.Name).Program.size()), B.Description,
+              withThousands(Trace.numEvents()),
+              format("%016llx",
+                     (unsigned long long)Lab.referenceHash(B.Name))});
   }
   std::printf("%s\n", T.render().c_str());
   std::printf("All benchmarks are deterministic and self-checking via the\n"

@@ -1,42 +1,46 @@
 //===- bench/table07_java_suite.cpp - Paper Table VII ---------------------===//
 ///
 /// Regenerates Table VII: the Java benchmark inventory with sizes,
-/// quickening counts and reference execution checks.
+/// quickening counts and reference execution checks. Uses the JavaLab
+/// so sizes come from the cached assemblies and the step/quickening
+/// counts from the captured dispatch traces — with VMIB_TRACE_CACHE
+/// set, the traces (events + quicken records) load from the serialized
+/// trace cache instead of re-interpreting every workload.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "javavm/JavaVM.h"
+#include "harness/JavaLab.h"
+#include "support/CommandLine.h"
 #include "support/Format.h"
 #include "support/Table.h"
-#include "workloads/JavaSuite.h"
 
 #include <cstdio>
 
 using namespace vmib;
 
-int main() {
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
+  // --quick: first two benchmarks only (CI smoke run).
+  size_t Limit = Opts.has("quick") ? 2 : javaSuite().size();
   std::printf("=== Table VII: SPECjvm98-analogue Java benchmarks ===\n\n");
+  JavaLab Lab;
   TextTable T({"program", "lines", "VM instrs", "quickenings",
                "description", "steps", "output hash"});
+  size_t Done = 0;
   for (const JavaBenchmark &B : javaSuite()) {
-    JavaProgram P = assembleJava(B.Source, B.Name);
-    if (!P.ok()) {
-      std::printf("assembly error in %s: %s\n", B.Name.c_str(),
-                  P.Error.c_str());
-      return 1;
-    }
-    JavaVM VM;
-    JavaVM::Result R = VM.run(P);
-    if (!R.ok()) {
-      std::printf("run error in %s: %s\n", B.Name.c_str(),
-                  R.Error.c_str());
+    if (Done++ == Limit)
+      break;
+    const DispatchTrace &Trace = Lab.trace(B.Name);
+    if (Trace.numEvents() != Lab.referenceSteps(B.Name)) {
+      std::printf("trace/reference step mismatch in %s\n", B.Name.c_str());
       return 1;
     }
     T.addRow({B.Name, std::to_string(B.sourceLines()),
-              std::to_string(P.Program.size()),
-              std::to_string(R.Quickenings), B.Description,
-              withThousands(R.Steps),
-              format("%016llx", (unsigned long long)R.OutputHash)});
+              std::to_string(Lab.program(B.Name).Program.size()),
+              std::to_string(Trace.numQuickens()), B.Description,
+              withThousands(Trace.numEvents()),
+              format("%016llx",
+                     (unsigned long long)Lab.referenceHash(B.Name))});
   }
   std::printf("%s\n", T.render().c_str());
   return 0;

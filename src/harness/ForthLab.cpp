@@ -118,12 +118,36 @@ PerfCounters ForthLab::runWithPredictor(
   return Sim.counters();
 }
 
+uint64_t ForthLab::referenceHash(const std::string &Benchmark) const {
+  auto It = ReferenceHash.find(Benchmark);
+  assert(It != ReferenceHash.end() && "unknown benchmark");
+  return It->second;
+}
+
+uint64_t ForthLab::referenceSteps(const std::string &Benchmark) const {
+  auto It = ReferenceSteps.find(Benchmark);
+  assert(It != ReferenceSteps.end() && "unknown benchmark");
+  return It->second;
+}
+
 const DispatchTrace &ForthLab::trace(const std::string &Benchmark) {
   {
     std::lock_guard<std::mutex> Lock(CacheMutex);
     auto It = Traces.find(Benchmark);
     if (It != Traces.end())
       return It->second;
+  }
+
+  // Serialized-trace cache: a hash-verified file replaces the whole
+  // interpretation. The workload hash ties the file to this program's
+  // reference output, so a changed workload re-captures.
+  std::string CachePath = DispatchTrace::cachePathFor("forth-" + Benchmark);
+  if (!CachePath.empty()) {
+    DispatchTrace Cached;
+    if (Cached.load(CachePath, referenceHash(Benchmark))) {
+      std::lock_guard<std::mutex> Lock(CacheMutex);
+      return Traces.emplace(Benchmark, std::move(Cached)).first->second;
+    }
   }
 
   // Capture outside the lock: this interprets the whole workload, and
@@ -142,6 +166,8 @@ const DispatchTrace &ForthLab::trace(const std::string &Benchmark) {
                  Benchmark.c_str(), R.Error.c_str());
     std::abort();
   }
+  if (!CachePath.empty())
+    (void)T.save(CachePath, referenceHash(Benchmark)); // best-effort
   std::lock_guard<std::mutex> Lock(CacheMutex);
   return Traces.emplace(Benchmark, std::move(T)).first->second;
 }
@@ -157,6 +183,16 @@ PerfCounters ForthLab::replay(const std::string &Benchmark,
   auto Layout = buildLayout(Benchmark, Variant);
   return TraceReplayer::replayDefault(trace(Benchmark), *Layout,
                                       /*MutableProgram=*/nullptr, Cpu);
+}
+
+std::vector<PerfCounters>
+ForthLab::replayGang(const std::string &Benchmark,
+                     const std::vector<VariantSpec> &Variants,
+                     const CpuConfig &Cpu) {
+  GangReplayer Gang(trace(Benchmark));
+  for (const VariantSpec &V : Variants)
+    Gang.addDefault(buildLayout(Benchmark, V), Cpu);
+  return Gang.run();
 }
 
 PerfCounters

@@ -25,6 +25,7 @@
 #include "uarch/CpuModel.h"
 #include "vmcore/DispatchBuilder.h"
 #include "vmcore/DispatchTrace.h"
+#include "vmcore/GangReplayer.h"
 #include "vmcore/TraceReplayer.h"
 #include "workloads/ForthSuite.h"
 
@@ -62,9 +63,19 @@ public:
                    const CpuConfig &Cpu,
                    std::unique_ptr<IndirectBranchPredictor> Predictor);
 
-  /// The captured dispatch trace of \p Benchmark: interpreted once (hash
-  /// verified), then cached for replays. Thread-safe.
+  /// The captured dispatch trace of \p Benchmark: loaded from the
+  /// VMIB_TRACE_CACHE directory when a valid (workload- and
+  /// content-hash-verified) file exists, otherwise interpreted once
+  /// (hash verified) and saved back to the cache; then cached in
+  /// memory for replays. Thread-safe.
   const DispatchTrace &trace(const std::string &Benchmark);
+
+  /// Reference output hash of \p Benchmark (what every variant run and
+  /// the trace cache verify against).
+  uint64_t referenceHash(const std::string &Benchmark) const;
+
+  /// Steps of the reference run (== events of the captured trace).
+  uint64_t referenceSteps(const std::string &Benchmark) const;
 
   /// Populates the caches a parallel sweep will hit — the benchmark's
   /// trace and the training profile behind every static-resource
@@ -88,6 +99,16 @@ public:
   /// are bit-identical to run(). Thread-safe.
   PerfCounters replay(const std::string &Benchmark,
                       const VariantSpec &Variant, const CpuConfig &Cpu);
+
+  /// Batch replay: one chunk-tiled GangReplayer pass over the cached
+  /// trace covering every variant (default BTB), so the trace streams
+  /// from memory once for the whole batch instead of once per variant.
+  /// Results are in variant order, bit-identical to replay() per cell.
+  /// Thread-safe; intended as the per-workload job of a trace-affine
+  /// sweep (one gang per SweepRunner worker).
+  std::vector<PerfCounters>
+  replayGang(const std::string &Benchmark,
+             const std::vector<VariantSpec> &Variants, const CpuConfig &Cpu);
 
   /// Replay with a concrete predictor type: predict()/update() inline
   /// into the replay loop (devirtualized predictor sweeps).

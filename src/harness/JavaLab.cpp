@@ -152,18 +152,23 @@ PerfCounters JavaLab::run(const std::string &Benchmark,
   return C;
 }
 
-PerfCounters JavaLab::runNoOverhead(const std::string &Benchmark,
-                                    const VariantSpec &Variant,
-                                    const CpuConfig &Cpu) {
+std::unique_ptr<DispatchProgram>
+JavaLab::buildLayout(const std::string &Benchmark, const VariantSpec &Variant,
+                     const VMProgram &Over) {
   const StaticResources *Static = nullptr;
   if (usesStaticSupers(Variant.Config.Kind) ||
       usesReplicas(Variant.Config.Kind))
     Static = &resources(Benchmark, Variant.SuperCount,
                         Variant.ReplicaCount);
+  return DispatchBuilder::build(Over, java::opcodeSet(), Variant.Config,
+                                Static);
+}
 
+PerfCounters JavaLab::runNoOverhead(const std::string &Benchmark,
+                                    const VariantSpec &Variant,
+                                    const CpuConfig &Cpu) {
   JavaProgram Copy = program(Benchmark);
-  auto Layout = DispatchBuilder::build(Copy.Program, java::opcodeSet(),
-                                       Variant.Config, Static);
+  auto Layout = buildLayout(Benchmark, Variant, Copy.Program);
   DispatchSim Sim(*Layout, Cpu);
   JavaVM VM;
   JavaVM::Result R = VM.run(Copy, &Sim, Layout.get());
@@ -177,12 +182,35 @@ PerfCounters JavaLab::runNoOverhead(const std::string &Benchmark,
   return Sim.counters();
 }
 
+uint64_t JavaLab::referenceHash(const std::string &Benchmark) const {
+  auto It = ReferenceHash.find(Benchmark);
+  assert(It != ReferenceHash.end() && "unknown benchmark");
+  return It->second;
+}
+
+uint64_t JavaLab::referenceSteps(const std::string &Benchmark) const {
+  auto It = ReferenceSteps.find(Benchmark);
+  assert(It != ReferenceSteps.end() && "unknown benchmark");
+  return It->second;
+}
+
 const DispatchTrace &JavaLab::trace(const std::string &Benchmark) {
   {
     std::lock_guard<std::mutex> Lock(CacheMutex);
     auto It = Traces.find(Benchmark);
     if (It != Traces.end())
       return It->second;
+  }
+
+  // Serialized-trace cache: a hash-verified file (events + quicken
+  // records) replaces the whole interpretation.
+  std::string CachePath = DispatchTrace::cachePathFor("java-" + Benchmark);
+  if (!CachePath.empty()) {
+    DispatchTrace Cached;
+    if (Cached.load(CachePath, referenceHash(Benchmark))) {
+      std::lock_guard<std::mutex> Lock(CacheMutex);
+      return Traces.emplace(Benchmark, std::move(Cached)).first->second;
+    }
   }
 
   // Capture on a scratch copy: quickening mutates the program, and the
@@ -200,6 +228,8 @@ const DispatchTrace &JavaLab::trace(const std::string &Benchmark) {
                  Benchmark.c_str(), R.Error.c_str());
     std::abort();
   }
+  if (!CachePath.empty())
+    (void)T.save(CachePath, referenceHash(Benchmark)); // best-effort
   std::lock_guard<std::mutex> Lock(CacheMutex);
   return Traces.emplace(Benchmark, std::move(T)).first->second;
 }
@@ -220,17 +250,37 @@ PerfCounters JavaLab::replay(const std::string &Benchmark,
 PerfCounters JavaLab::replayNoOverhead(const std::string &Benchmark,
                                        const VariantSpec &Variant,
                                        const CpuConfig &Cpu) {
-  const StaticResources *Static = nullptr;
-  if (usesStaticSupers(Variant.Config.Kind) ||
-      usesReplicas(Variant.Config.Kind))
-    Static = &resources(Benchmark, Variant.SuperCount,
-                        Variant.ReplicaCount);
-
   // Fresh pristine copy per replay: the recorded quickenings mutate it
   // mid-replay exactly as the engine did during capture.
   JavaProgram Copy = program(Benchmark);
-  auto Layout = DispatchBuilder::build(Copy.Program, java::opcodeSet(),
-                                       Variant.Config, Static);
+  auto Layout = buildLayout(Benchmark, Variant, Copy.Program);
   return TraceReplayer::replayDefault(trace(Benchmark), *Layout,
                                       &Copy.Program, Cpu);
+}
+
+std::vector<PerfCounters>
+JavaLab::replayGang(const std::string &Benchmark,
+                    const std::vector<VariantSpec> &Variants,
+                    const CpuConfig &Cpu) {
+  std::vector<PerfCounters> Results =
+      replayGangNoOverhead(Benchmark, Variants, Cpu);
+  uint64_t Overhead = runtimeOverhead(Benchmark, Cpu);
+  for (PerfCounters &C : Results)
+    C.Cycles += Overhead;
+  return Results;
+}
+
+std::vector<PerfCounters>
+JavaLab::replayGangNoOverhead(const std::string &Benchmark,
+                              const std::vector<VariantSpec> &Variants,
+                              const CpuConfig &Cpu) {
+  GangReplayer Gang(trace(Benchmark));
+  for (const VariantSpec &V : Variants) {
+    // Each member owns its fresh program copy; the layout is built
+    // over exactly that copy so the recorded quickenings patch it.
+    auto Copy = std::make_shared<VMProgram>(program(Benchmark).Program);
+    auto Layout = buildLayout(Benchmark, V, *Copy);
+    Gang.addQuickening(std::move(Layout), std::move(Copy), Cpu);
+  }
+  return Gang.run();
 }

@@ -18,6 +18,7 @@
 #include "uarch/CpuModel.h"
 #include "vmcore/DispatchBuilder.h"
 #include "vmcore/DispatchTrace.h"
+#include "vmcore/GangReplayer.h"
 #include "vmcore/TraceReplayer.h"
 #include "workloads/JavaSuite.h"
 
@@ -61,8 +62,24 @@ public:
 
   /// The captured dispatch trace of \p Benchmark — the (Cur, Next)
   /// stream plus quickening rewrites of one hash-verified run on a
-  /// pristine copy. Captured once, then cached. Thread-safe.
+  /// pristine copy. Loaded from the VMIB_TRACE_CACHE directory when a
+  /// verified file exists, otherwise captured once (and saved back);
+  /// then cached in memory. Thread-safe.
   const DispatchTrace &trace(const std::string &Benchmark);
+
+  /// Reference output hash of \p Benchmark (what every variant run and
+  /// the trace cache verify against).
+  uint64_t referenceHash(const std::string &Benchmark) const;
+
+  /// Steps of the reference run (== events of the captured trace).
+  uint64_t referenceSteps(const std::string &Benchmark) const;
+
+  /// Builds the dispatch layout of (Benchmark, Variant) over \p Over —
+  /// the caller's fresh program copy that recorded quickenings will
+  /// mutate during replay. Thread-safe.
+  std::unique_ptr<DispatchProgram> buildLayout(const std::string &Benchmark,
+                                               const VariantSpec &Variant,
+                                               const VMProgram &Over);
 
   /// Releases a cached trace (memory control in long sweeps). NOT safe
   /// while replays of \p Benchmark are in flight: they hold references
@@ -92,6 +109,21 @@ public:
   PerfCounters replayNoOverhead(const std::string &Benchmark,
                                 const VariantSpec &Variant,
                                 const CpuConfig &Cpu);
+
+  /// Batch replay: one chunk-tiled GangReplayer pass covering every
+  /// variant, each member owning a fresh program copy whose recorded
+  /// quickenings are re-applied at their exact event positions.
+  /// Results are in variant order, bit-identical to replay() per cell
+  /// (runtime overhead included). Thread-safe.
+  std::vector<PerfCounters>
+  replayGang(const std::string &Benchmark,
+             const std::vector<VariantSpec> &Variants, const CpuConfig &Cpu);
+
+  /// replayGang() without the runtime-system overhead cycles.
+  std::vector<PerfCounters>
+  replayGangNoOverhead(const std::string &Benchmark,
+                       const std::vector<VariantSpec> &Variants,
+                       const CpuConfig &Cpu);
 
 private:
   /// Post-quickening static profile of one benchmark (the state static

@@ -78,6 +78,13 @@ public:
 
   const BTBConfig &config() const { return Config; }
 
+  /// Mutable predictor state (gang packing audit): table storage plus
+  /// the idealised-mode map nodes.
+  uint64_t stateBytes() const {
+    return Sets.capacity() * sizeof(Entry) +
+           IdealTable.size() * (sizeof(Addr) + sizeof(Entry));
+  }
+
 private:
   struct Entry {
     Addr Tag = NoPrediction;    // full site address (tagged BTB)
@@ -179,6 +186,15 @@ public:
 
   bool overflowed() const { return Overflowed; }
   std::string name() const { return "no-evict-btb"; }
+
+  /// Mutable predictor state (gang packing audit): the SoA arrays are
+  /// what a dense gang keeps cache-resident — no LRU clocks, and the
+  /// counter array only exists in two-bit mode.
+  uint64_t stateBytes() const {
+    return Tags.capacity() * sizeof(Addr) +
+           Targets.capacity() * sizeof(Addr) +
+           Counters.capacity() * sizeof(uint8_t);
+  }
 
 private:
   BTBConfig Config;

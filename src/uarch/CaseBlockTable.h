@@ -30,6 +30,9 @@ public:
   void reset() override;
   std::string name() const override;
 
+  /// Mutable predictor state (gang packing audit).
+  uint64_t stateBytes() const { return Table.capacity() * sizeof(Addr); }
+
 private:
   uint64_t indexFor(Addr Site, uint64_t Hint) const {
     uint64_t Hash = (Site >> 2) * 0x9e3779b97f4a7c15ULL + Hint;

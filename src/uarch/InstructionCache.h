@@ -53,6 +53,9 @@ public:
   std::string name() const;
   const ICacheConfig &config() const { return Config; }
 
+  /// Mutable cache state (gang packing audit).
+  uint64_t stateBytes() const { return Sets.capacity() * sizeof(Line); }
+
 private:
   struct Line {
     uint64_t Tag = ~0ULL;
@@ -121,6 +124,18 @@ public:
   }
 
   bool overflowed() const { return Overflowed; }
+
+  /// Forgets all cached lines (tag array reset, arena kept).
+  void reset() {
+    Tags.assign(Tags.size(), EmptyTag);
+    LastLineAddr = ~0ULL - 1;
+    Overflowed = false;
+  }
+
+  /// Mutable cache state (gang packing audit): tags only — half the
+  /// exact model's footprint (no LRU clocks), which is what lets a
+  /// whole gang of them sit in cache next to one trace tile.
+  uint64_t stateBytes() const { return Tags.capacity() * sizeof(uint64_t); }
 
 private:
   static constexpr uint64_t EmptyTag = ~0ULL;

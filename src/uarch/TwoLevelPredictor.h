@@ -37,6 +37,11 @@ public:
   void reset() override;
   std::string name() const override;
 
+  /// Mutable predictor state (gang packing audit).
+  uint64_t stateBytes() const {
+    return Table.capacity() * sizeof(Addr) + sizeof(History);
+  }
+
 private:
   uint64_t indexFor(Addr Site) const {
     // Fold the site with the target history; a classic gshare-style XOR.

@@ -1,0 +1,206 @@
+//===- vmcore/DispatchTrace.cpp - Trace serialization ---------------------===//
+///
+/// Binary trace file format (all fields little-endian u64):
+///
+///   [0] magic "VMIBTRC\1"
+///   [1] format version (CurrentVersion)
+///   [2] number of events
+///   [3] number of quicken records
+///   [4] workload identity hash (reference output hash of the workload)
+///   [5] FNV-1a content hash over words [6..end)
+///   [6..6+numEvents)            packed (Cur,Next) event words
+///   [.. 4 words per quicken)    AfterEvents, (Op << 32 | Index), A, B
+///
+/// The format is deliberately a flat dump of the in-memory arenas: a
+/// load is two bulk reads, and the content hash makes truncation or
+/// corruption loud. Only same-endianness interchange is supported —
+/// the trace cache is a local/cluster artifact, not an archival one.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vmcore/DispatchTrace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unistd.h>
+
+using namespace vmib;
+
+namespace {
+
+constexpr uint64_t FileMagic = 0x0143525442494d56ULL; // "VMIBTRC\1"
+/// Bump on ANY change that invalidates cached traces: the serialized
+/// layout, but also capture *semantics* (what the VMs emit per step,
+/// quicken recording). The workload hash only ties a file to a
+/// program's output, which does not change when event emission does —
+/// the version word is what retires every stale cache entry at once.
+constexpr uint64_t CurrentVersion = 1;
+constexpr size_t HeaderWords = 6;
+constexpr size_t WordsPerQuicken = 4;
+
+uint64_t fnv1a(uint64_t Hash, const void *Data, size_t Bytes) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Bytes; ++I) {
+    Hash ^= P[I];
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+constexpr uint64_t Fnv1aOffset = 0xcbf29ce484222325ULL;
+
+/// Serializes one quicken record into its four file words.
+void packQuicken(const DispatchTrace::QuickenRecord &Q, uint64_t Out[4]) {
+  Out[0] = Q.AfterEvents;
+  Out[1] = (static_cast<uint64_t>(Q.NewInstr.Op) << 32) | Q.Index;
+  Out[2] = static_cast<uint64_t>(Q.NewInstr.A);
+  Out[3] = static_cast<uint64_t>(Q.NewInstr.B);
+}
+
+DispatchTrace::QuickenRecord unpackQuicken(const uint64_t In[4]) {
+  DispatchTrace::QuickenRecord Q;
+  Q.AfterEvents = In[0];
+  Q.Index = static_cast<uint32_t>(In[1]);
+  Q.NewInstr.Op = static_cast<Opcode>(In[1] >> 32);
+  Q.NewInstr.A = static_cast<int64_t>(In[2]);
+  Q.NewInstr.B = static_cast<int64_t>(In[3]);
+  return Q;
+}
+
+/// RAII stdio handle so every early return closes the file.
+struct File {
+  std::FILE *F;
+  explicit File(const char *Path, const char *Mode)
+      : F(std::fopen(Path, Mode)) {}
+  ~File() {
+    if (F)
+      std::fclose(F);
+  }
+  File(const File &) = delete;
+  File &operator=(const File &) = delete;
+};
+
+} // namespace
+
+size_t DispatchTrace::defaultChunkEvents() {
+  if (const char *Env = std::getenv("VMIB_GANG_CHUNK")) {
+    long N = std::strtol(Env, nullptr, 10);
+    if (N >= 1)
+      return static_cast<size_t>(N);
+  }
+  return size_t{1} << 16;
+}
+
+uint64_t DispatchTrace::contentHash() const {
+  uint64_t Hash = Fnv1aOffset;
+  Hash = fnv1a(Hash, Events.data(), Events.size() * sizeof(Event));
+  for (const QuickenRecord &Q : Quickens) {
+    uint64_t Words[WordsPerQuicken];
+    packQuicken(Q, Words);
+    Hash = fnv1a(Hash, Words, sizeof(Words));
+  }
+  return Hash;
+}
+
+bool DispatchTrace::save(const std::string &Path,
+                         uint64_t WorkloadHash) const {
+  // Write to a writer-unique temp name and rename so a crashed writer
+  // never leaves a half-written file under the canonical key, and
+  // concurrent capturing processes (two benches racing on a cold
+  // cache) don't interleave into one temp file — last rename wins with
+  // a complete trace either way.
+  std::string Tmp =
+      Path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    File Out(Tmp.c_str(), "wb");
+    if (!Out.F)
+      return false;
+    uint64_t Header[HeaderWords] = {FileMagic,    CurrentVersion,
+                                    Events.size(), Quickens.size(),
+                                    WorkloadHash, contentHash()};
+    if (std::fwrite(Header, sizeof(uint64_t), HeaderWords, Out.F) !=
+        HeaderWords)
+      return false;
+    if (!Events.empty() &&
+        std::fwrite(Events.data(), sizeof(Event), Events.size(), Out.F) !=
+            Events.size())
+      return false;
+    for (const QuickenRecord &Q : Quickens) {
+      uint64_t Words[WordsPerQuicken];
+      packQuicken(Q, Words);
+      if (std::fwrite(Words, sizeof(uint64_t), WordsPerQuicken, Out.F) !=
+          WordsPerQuicken)
+        return false;
+    }
+    if (std::fflush(Out.F) != 0)
+      return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool DispatchTrace::load(const std::string &Path,
+                         uint64_t ExpectedWorkloadHash) {
+  clear();
+  File In(Path.c_str(), "rb");
+  if (!In.F)
+    return false;
+  if (std::fseek(In.F, 0, SEEK_END) != 0)
+    return false;
+  long FileBytes = std::ftell(In.F);
+  if (FileBytes < 0 || std::fseek(In.F, 0, SEEK_SET) != 0)
+    return false;
+  uint64_t Header[HeaderWords];
+  if (std::fread(Header, sizeof(uint64_t), HeaderWords, In.F) != HeaderWords)
+    return false;
+  if (Header[0] != FileMagic || Header[1] != CurrentVersion ||
+      Header[4] != ExpectedWorkloadHash)
+    return false;
+  uint64_t NumEvents = Header[2], NumQuickens = Header[3];
+  // Validate the counts against the actual file size before sizing any
+  // buffer: a corrupted header must fail the load, not throw out of a
+  // resize. The check is exact, so trailing garbage is rejected too.
+  uint64_t FileWords = static_cast<uint64_t>(FileBytes) / sizeof(uint64_t);
+  if (NumEvents > FileWords || NumQuickens > FileWords ||
+      HeaderWords + NumEvents + WordsPerQuicken * NumQuickens != FileWords ||
+      static_cast<uint64_t>(FileBytes) % sizeof(uint64_t) != 0)
+    return false;
+  Events.resize(NumEvents);
+  if (NumEvents != 0 &&
+      std::fread(Events.data(), sizeof(Event), NumEvents, In.F) != NumEvents) {
+    clear();
+    return false;
+  }
+  Quickens.reserve(NumQuickens);
+  for (size_t I = 0; I < NumQuickens; ++I) {
+    uint64_t Words[WordsPerQuicken];
+    if (std::fread(Words, sizeof(uint64_t), WordsPerQuicken, In.F) !=
+        WordsPerQuicken) {
+      clear();
+      return false;
+    }
+    Quickens.push_back(unpackQuicken(Words));
+  }
+  if (contentHash() != Header[5]) {
+    clear();
+    return false;
+  }
+  return true;
+}
+
+std::string DispatchTrace::cacheDir() {
+  const char *Env = std::getenv("VMIB_TRACE_CACHE");
+  return Env == nullptr ? std::string() : std::string(Env);
+}
+
+std::string DispatchTrace::cachePathFor(const std::string &Key) {
+  std::string Dir = cacheDir();
+  if (Dir.empty())
+    return std::string();
+  if (Dir.back() != '/')
+    Dir += '/';
+  return Dir + Key + ".vmibtrace";
+}

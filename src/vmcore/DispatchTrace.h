@@ -18,6 +18,15 @@
 /// The buffers are arena-style: clear() keeps capacity so a trace
 /// object can be refilled across workloads without reallocating.
 ///
+/// Traces serialize to a versioned binary file (save()/load()): a
+/// fixed header carrying event/quicken counts, an FNV-1a content hash
+/// and a caller-supplied workload identity hash, followed by the flat
+/// u64 event array and the quicken records. The VMIB_TRACE_CACHE
+/// environment variable names a directory the labs consult before
+/// re-interpreting a workload, which makes a sweep a pure function of
+/// (trace file, config list) — the prerequisite for sharding sweeps
+/// across machines.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VMIB_VMCORE_DISPATCHTRACE_H
@@ -26,6 +35,7 @@
 #include "vmcore/VMProgram.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace vmib {
@@ -87,6 +97,73 @@ public:
     return Events.capacity() * sizeof(Event) +
            Quickens.capacity() * sizeof(QuickenRecord);
   }
+
+  //===--- chunk-tiled iteration (gang replay) ----------------------------===//
+
+  /// Events per gang tile: the VMIB_GANG_CHUNK environment variable if
+  /// set (>= 1), otherwise 64K events (512KB of packed u64s — sized so
+  /// one tile plus the gang's layouts and predictor state stay
+  /// cache-resident while every gang member crosses it).
+  static size_t defaultChunkEvents();
+
+  /// Walks [0, numEvents) in ChunkEvents-sized half-open ranges. The
+  /// cursor is how GangReplayer tiles the stream: every gang member
+  /// replays [begin, end) before the cursor advances, so each trace
+  /// byte crosses the memory bus once per tile instead of once per
+  /// configuration.
+  class ChunkCursor {
+  public:
+    ChunkCursor(const DispatchTrace &Trace, size_t ChunkEvents)
+        : NumEvents(Trace.numEvents()),
+          Chunk(ChunkEvents == 0 ? defaultChunkEvents() : ChunkEvents) {}
+
+    /// Advances to the next tile; \returns false when the stream is
+    /// exhausted.
+    bool next() {
+      if (End >= NumEvents)
+        return false;
+      Start = End;
+      End = NumEvents - Start < Chunk ? NumEvents : Start + Chunk;
+      return true;
+    }
+
+    size_t begin() const { return Start; }
+    size_t end() const { return End; }
+
+  private:
+    size_t NumEvents;
+    size_t Chunk;
+    size_t Start = 0;
+    size_t End = 0;
+  };
+
+  //===--- binary serialization (trace cache / sweep sharding) ------------===//
+
+  /// FNV-1a over the event words and quicken records; the save() header
+  /// stores it and load() verifies it, so a truncated or bit-flipped
+  /// trace file is rejected instead of silently corrupting a sweep.
+  uint64_t contentHash() const;
+
+  /// Writes the trace to \p Path (versioned header + flat arrays).
+  /// \p WorkloadHash identifies the workload the trace was captured
+  /// from (the labs pass the reference output hash); load() refuses a
+  /// file whose workload hash does not match, so a stale cache entry
+  /// for a changed workload re-captures instead of lying.
+  /// \returns false on any I/O failure (best-effort: callers fall back
+  /// to the captured in-memory trace).
+  bool save(const std::string &Path, uint64_t WorkloadHash) const;
+
+  /// Replaces *this with the trace stored at \p Path. \returns false
+  /// (leaving *this cleared) if the file is missing, has a wrong
+  /// magic/version, fails either hash check, or is truncated.
+  bool load(const std::string &Path, uint64_t ExpectedWorkloadHash);
+
+  /// The trace-cache directory (VMIB_TRACE_CACHE), or "" when unset.
+  static std::string cacheDir();
+
+  /// Canonical cache file path for workload \p Key, or "" when the
+  /// cache is disabled. Key is "<suite>-<benchmark>".
+  static std::string cachePathFor(const std::string &Key);
 
 private:
   std::vector<Event> Events;

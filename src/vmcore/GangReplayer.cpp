@@ -1,0 +1,81 @@
+//===- vmcore/GangReplayer.cpp --------------------------------------------===//
+
+#include "vmcore/GangReplayer.h"
+
+#include <map>
+
+using namespace vmib;
+
+std::vector<PerfCounters> GangReplayer::run() {
+  // Group members by shared layout: a group of two or more amortizes
+  // one SoA decode per tile across all of its members. Singletons keep
+  // the fused kernel (decode-then-consume would cost them an extra
+  // pass over the tile for nothing).
+  struct Group {
+    std::unique_ptr<gang::GroupDecoder> Decoder;
+    std::vector<size_t> MemberIdx;
+  };
+  // Scratch sizing: a tile never exceeds the trace, so clamp before
+  // the decoders allocate (a huge VMIB_GANG_CHUNK must degrade to one
+  // whole-trace tile, not a multi-GB zeroed buffer).
+  size_t ChunkCapacity =
+      ChunkEvents == 0 ? DispatchTrace::defaultChunkEvents() : ChunkEvents;
+  if (ChunkCapacity > Trace.numEvents())
+    ChunkCapacity = Trace.numEvents();
+  std::vector<Group> Groups;
+  std::vector<size_t> Fused;
+  {
+    std::map<const DispatchProgram *, std::vector<size_t>> ByLayout;
+    for (size_t I = 0; I < Members.size(); ++I) {
+      const DispatchProgram *L = Members[I].Member->soaLayout();
+      if (L != nullptr)
+        ByLayout[L].push_back(I);
+      else
+        Fused.push_back(I);
+    }
+    for (auto &[Layout, Idx] : ByLayout) {
+      if (Idx.size() < 2) {
+        Fused.insert(Fused.end(), Idx.begin(), Idx.end());
+        continue;
+      }
+      Groups.push_back({std::make_unique<gang::GroupDecoder>(*Layout,
+                                                             ChunkCapacity),
+                        std::move(Idx)});
+    }
+  }
+
+  // Chunk-major sweep: every active member crosses the tile before the
+  // cursor advances — group layouts decode once, then their members
+  // consume the SoA streams; fused members replay the raw events. A
+  // member that overflows its optimistic models drops out here and
+  // re-runs through the exact tier in finish().
+  DispatchTrace::ChunkCursor Cursor(Trace, ChunkEvents);
+  while (Cursor.next()) {
+    for (size_t I : Fused) {
+      Slot &M = Members[I];
+      if (M.Active)
+        M.Active = M.Member->runChunk(Trace, Cursor.begin(), Cursor.end());
+    }
+    for (Group &G : Groups) {
+      bool AnyActive = false;
+      for (size_t I : G.MemberIdx)
+        AnyActive |= Members[I].Active;
+      if (!AnyActive)
+        continue; // drops are permanent; stop decoding for this group
+      G.Decoder->decode(Trace, Cursor.begin(), Cursor.end());
+      for (size_t I : G.MemberIdx) {
+        Slot &M = Members[I];
+        if (M.Active)
+          M.Active = M.Member->runChunkDecoded(G.Decoder->chunk());
+      }
+    }
+  }
+
+  // Completion in add order so predictor-only members can take their
+  // fetch baseline from an earlier member's finished counters.
+  std::vector<PerfCounters> Finished;
+  Finished.reserve(Members.size());
+  for (Slot &M : Members)
+    Finished.push_back(M.Member->finish(Trace, Finished));
+  return Finished;
+}

@@ -154,7 +154,8 @@ public:
                                     const CpuConfig &Cpu,
                                     IndirectBranchPredictor &Pred);
 
-private:
+  /// Derives cycles and code-size counters for a finished replay state.
+  /// Shared with GangReplayer, whose members finalize the same way.
   static PerfCounters finalize(PerfCounters Counters, DispatchProgram &Layout,
                                const CpuConfig &Cpu) {
     Counters.CodeBytes = Layout.generatedCodeBytes();
@@ -164,13 +165,14 @@ private:
 
   /// Exact-LRU quicken-free replay (also the tail of the optimistic
   /// fallback when the fast attempt's I-cache overflowed and a
-  /// re-attempt is deterministically doomed).
-  template <class PredictorT, class ObserverT>
+  /// re-attempt is deterministically doomed). GangReplayer members use
+  /// it as their deferred per-member fallback.
+  template <class PredictorT, class ObserverT = sim::NullObserver>
   static PerfCounters replayExactNoQuicken(const DispatchTrace &Trace,
                                            DispatchProgram &Layout,
                                            const CpuConfig &Cpu,
                                            PredictorT &Pred,
-                                           const ObserverT &Obs) {
+                                           const ObserverT &Obs = {}) {
     sim::DispatchState S(Cpu.ICache);
     if (isSlimLayout(Layout)) {
       for (DispatchTrace::Event E : Trace.events())
@@ -185,7 +187,7 @@ private:
   }
 
   /// Detects an overflowed() probe on optimistic model types; exact
-  /// models (and NullICache) report false.
+  /// models (and NullICache) report false. Shared with GangReplayer.
   template <class T, class = void> struct HasOverflowed : std::false_type {};
   template <class T>
   struct HasOverflowed<
@@ -197,6 +199,8 @@ private:
     else
       return (void)Model, false;
   }
+
+private:
 
   /// Quicken-free replay over an optimistic state; strip-mined so a
   /// cache or predictor overflow aborts within one 64K-event chunk

@@ -1,0 +1,428 @@
+//===- tests/GangReplayTest.cpp - gang replay equivalence -----------------===//
+///
+/// The contract of the gang replay engine: counters produced by one
+/// chunk-tiled GangReplayer pass — SoA group decode, first-touch fetch
+/// streams, baseline-linked predictor-only members, deferred
+/// exact-LRU fallbacks — must be *bit-identical* to per-config
+/// TraceReplayer calls, across both suites, all variants, BTB capacity
+/// sweeps (including overflow fallbacks) and the quickening tier. Also
+/// covers the trace chunk cursor, binary trace serialization (save →
+/// load → replay round trip, hash rejection), the labs' serialized
+/// trace cache (VMIB_TRACE_CACHE) and the capture/replay pipeline
+/// stage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/ForthLab.h"
+#include "harness/JavaLab.h"
+#include "harness/SweepRunner.h"
+#include "uarch/CaseBlockTable.h"
+#include "uarch/TwoLevelPredictor.h"
+#include "vmcore/GangReplayer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace vmib;
+
+namespace {
+
+/// Shared labs: construction compiles and reference-runs both suites,
+/// so do it once per test binary.
+ForthLab &forthLab() {
+  static ForthLab Lab;
+  return Lab;
+}
+JavaLab &javaLab() {
+  static JavaLab Lab;
+  return Lab;
+}
+
+void expectEqualCounters(const PerfCounters &Expected,
+                         const PerfCounters &Gang, const std::string &What) {
+  EXPECT_EQ(Expected.Cycles, Gang.Cycles) << What;
+  EXPECT_EQ(Expected.Instructions, Gang.Instructions) << What;
+  EXPECT_EQ(Expected.VMInstructions, Gang.VMInstructions) << What;
+  EXPECT_EQ(Expected.IndirectBranches, Gang.IndirectBranches) << What;
+  EXPECT_EQ(Expected.Mispredictions, Gang.Mispredictions) << What;
+  EXPECT_EQ(Expected.ICacheMisses, Gang.ICacheMisses) << What;
+  EXPECT_EQ(Expected.MissCycles, Gang.MissCycles) << What;
+  EXPECT_EQ(Expected.CodeBytes, Gang.CodeBytes) << What;
+  EXPECT_EQ(Expected.DispatchCount, Gang.DispatchCount) << What;
+}
+
+} // namespace
+
+TEST(ChunkCursor, TilesTheStreamExactly) {
+  DispatchTrace T;
+  for (uint32_t I = 0; I < 1000; ++I)
+    T.append(I, I + 1);
+
+  DispatchTrace::ChunkCursor C(T, 256);
+  size_t Expected[] = {0, 256, 512, 768};
+  size_t N = 0;
+  size_t Covered = 0;
+  while (C.next()) {
+    ASSERT_LT(N, 4u);
+    EXPECT_EQ(C.begin(), Expected[N]);
+    EXPECT_EQ(C.end(), N == 3 ? 1000u : Expected[N] + 256);
+    Covered += C.end() - C.begin();
+    ++N;
+  }
+  EXPECT_EQ(N, 4u);
+  EXPECT_EQ(Covered, 1000u);
+
+  // Empty trace: no tiles.
+  DispatchTrace Empty;
+  DispatchTrace::ChunkCursor E(Empty, 256);
+  EXPECT_FALSE(E.next());
+
+  // ChunkEvents == 0 falls back to the (env-overridable) default.
+  DispatchTrace::ChunkCursor D(T, 0);
+  EXPECT_TRUE(D.next());
+  EXPECT_EQ(D.end(), 1000u);
+}
+
+TEST(GangReplay, ForthAllVariantsBitIdentical) {
+  // One gang per benchmark covering the full variant matrix (fig07/08
+  // shape) vs per-config replays.
+  ForthLab &Lab = forthLab();
+  CpuConfig P4 = makePentium4Northwood();
+  std::vector<VariantSpec> Variants = gforthVariants();
+  Variants.push_back(makeVariant(DispatchStrategy::Switch));
+  for (const std::string &Bench : {std::string("gray"),
+                                   std::string("vmgen")}) {
+    std::vector<PerfCounters> Gang = Lab.replayGang(Bench, Variants, P4);
+    ASSERT_EQ(Gang.size(), Variants.size());
+    for (size_t I = 0; I < Variants.size(); ++I)
+      expectEqualCounters(Lab.replay(Bench, Variants[I], P4), Gang[I],
+                          Bench + "/" + Variants[I].Name);
+  }
+}
+
+TEST(GangReplay, JavaAllVariantsBitIdentical) {
+  // Quickening members: every variant re-applies the recorded rewrites
+  // to its own program copy, chunk-major; includes the Fig. 6
+  // side-entry fallback variant ("w/static super across").
+  JavaLab &Lab = javaLab();
+  CpuConfig P4 = makePentium4Northwood();
+  std::vector<VariantSpec> Variants = jvmVariants();
+  for (const std::string &Bench : {std::string("jess"),
+                                   std::string("javac")}) {
+    std::vector<PerfCounters> Gang = Lab.replayGang(Bench, Variants, P4);
+    ASSERT_EQ(Gang.size(), Variants.size());
+    for (size_t I = 0; I < Variants.size(); ++I)
+      expectEqualCounters(Lab.replay(Bench, Variants[I], P4), Gang[I],
+                          Bench + "/" + Variants[I].Name);
+  }
+}
+
+TEST(GangReplay, MixedPredictorGangSharedLayouts) {
+  // The ablation_predictors shape: threaded and switch members share
+  // their layouts (SoA group decode), predictor-only members take the
+  // fetch baseline from the full member of the same layout, plus the
+  // oracle/null policy baselines riding the same gang.
+  ForthLab &Lab = forthLab();
+  CpuConfig P4 = makePentium4Northwood();
+  VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
+  VariantSpec Switch = makeVariant(DispatchStrategy::Switch);
+  BTBConfig TwoBit = P4.Btb;
+  TwoBit.TwoBitCounters = true;
+  TwoLevelConfig TL;
+
+  GangReplayer Gang(Lab.trace("gray"));
+  std::shared_ptr<DispatchProgram> LThreaded =
+      Lab.buildLayout("gray", Threaded);
+  std::shared_ptr<DispatchProgram> LSwitch = Lab.buildLayout("gray", Switch);
+  size_t TB = Gang.addBtb(LThreaded, P4, P4.Btb);
+  Gang.addBtbPredictorOnly(LThreaded, P4, TwoBit, TB);
+  Gang.addPredictorOnly(LThreaded, P4, TwoLevelPredictor(TL), TB);
+  Gang.addPredictorOnly(LThreaded, P4, PerfectPredictor(), TB);
+  Gang.addPredictorOnly(LThreaded, P4, NullPredictor(), TB);
+  size_t SB = Gang.addBtb(LSwitch, P4, P4.Btb);
+  Gang.addPredictorOnly(LSwitch, P4, CaseBlockTable(4096), SB);
+  EXPECT_GT(Gang.stateBytes(), 0u);
+  std::vector<PerfCounters> R = Gang.run();
+  ASSERT_EQ(R.size(), 7u);
+
+  expectEqualCounters(Lab.replayBtb("gray", Threaded, P4, P4.Btb), R[0],
+                      "full btb threaded");
+  expectEqualCounters(
+      Lab.replayBtbPredictorOnly("gray", Threaded, P4, TwoBit, R[0]), R[1],
+      "two-bit predictor-only");
+  TwoLevelPredictor TwoLevel(TL);
+  expectEqualCounters(
+      Lab.replayPredictorOnly("gray", Threaded, P4, TwoLevel, R[0]), R[2],
+      "two-level predictor-only");
+  PerfectPredictor Oracle;
+  expectEqualCounters(
+      Lab.replayPredictorOnly("gray", Threaded, P4, Oracle, R[0]), R[3],
+      "oracle predictor-only");
+  EXPECT_EQ(R[3].Mispredictions, 0u);
+  NullPredictor None;
+  expectEqualCounters(
+      Lab.replayPredictorOnly("gray", Threaded, P4, None, R[0]), R[4],
+      "null predictor-only");
+  EXPECT_EQ(R[4].Mispredictions, R[4].DispatchCount);
+  expectEqualCounters(Lab.replayBtb("gray", Switch, P4, P4.Btb), R[5],
+                      "full btb switch");
+  CaseBlockTable Cbt(4096);
+  expectEqualCounters(
+      Lab.replayPredictorOnly("gray", Switch, P4, Cbt, R[5]), R[6],
+      "case-block predictor-only");
+}
+
+TEST(GangReplay, BtbCapacitySweepWithOverflowFallback) {
+  // The ablation_btb_sweep shape, with capacities small enough that
+  // the no-evict members overflow and take the deferred per-member
+  // exact-LRU fallback (both the full and the predictor-only tiers).
+  ForthLab &Lab = forthLab();
+  CpuConfig P4 = makePentium4Northwood();
+  VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
+
+  GangReplayer Gang(Lab.trace("gray"));
+  std::shared_ptr<DispatchProgram> Layout = Lab.buildLayout("gray", Threaded);
+  size_t Base = Gang.addDefault(Layout, P4);
+  std::vector<BTBConfig> Configs;
+  for (uint32_t Entries : {64u, 256u, 4096u, 0u}) {
+    BTBConfig Cfg;
+    Cfg.Entries = Entries; // 0 = idealised (exact member from the start)
+    Cfg.Ways = Entries == 0 ? 4 : Cfg.Ways;
+    Configs.push_back(Cfg);
+    Gang.addBtbPredictorOnly(Layout, P4, Cfg, Base);
+  }
+  BTBConfig Tiny;
+  Tiny.Entries = 64;
+  Tiny.Ways = 4;
+  size_t TinyFull = Gang.addBtb(Layout, P4, Tiny);
+
+  std::vector<PerfCounters> R = Gang.run();
+  expectEqualCounters(Lab.replayBtb("gray", Threaded, P4, P4.Btb), R[Base],
+                      "default baseline");
+  for (size_t I = 0; I < Configs.size(); ++I)
+    expectEqualCounters(Lab.replayBtbPredictorOnly("gray", Threaded, P4,
+                                                   Configs[I], R[Base]),
+                        R[Base + 1 + I],
+                        "capacity " + std::to_string(Configs[I].Entries));
+  expectEqualCounters(Lab.replayBtb("gray", Threaded, P4, Tiny), R[TinyFull],
+                      "tiny full member (overflow fallback)");
+}
+
+TEST(GangReplay, ICacheOverflowFallbackBitIdentical) {
+  // Celeron: small I-cache plus code growth overflows the no-evict
+  // fast path on a replicating variant; the gang member defers to the
+  // exact-LRU rerun, like replay()'s fallback.
+  ForthLab &Lab = forthLab();
+  CpuConfig Cel = makeCeleron800();
+  std::vector<VariantSpec> Variants = {
+      makeVariant(DispatchStrategy::Threaded),
+      makeVariant(DispatchStrategy::DynamicBoth)};
+  std::vector<PerfCounters> Gang = Lab.replayGang("bench-gc", Variants, Cel);
+  for (size_t I = 0; I < Variants.size(); ++I)
+    expectEqualCounters(Lab.replay("bench-gc", Variants[I], Cel), Gang[I],
+                        "celeron/" + Variants[I].Name);
+}
+
+TEST(GangReplay, ChunkSizeInvariance) {
+  // Tiling must never leak into counters: a 1000-event tile and one
+  // giant tile produce the same results as the default.
+  ForthLab &Lab = forthLab();
+  CpuConfig P4 = makePentium4Northwood();
+  VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
+  PerfCounters Expected = Lab.replay("gray", Threaded, P4);
+
+  for (size_t Chunk : {size_t{1000}, size_t{1} << 30}) {
+    GangReplayer Gang(Lab.trace("gray"), Chunk);
+    std::shared_ptr<DispatchProgram> Layout =
+        Lab.buildLayout("gray", Threaded);
+    Gang.addDefault(Layout, P4);
+    Gang.addDefault(Layout, P4); // grouped: SoA decode path
+    std::vector<PerfCounters> R = Gang.run();
+    expectEqualCounters(Expected, R[0], "chunked full (decoded)");
+    expectEqualCounters(Expected, R[1], "chunked full (decoded, second)");
+    GangReplayer Single(Lab.trace("gray"), Chunk);
+    Single.addDefault(Lab.buildLayout("gray", Threaded), P4);
+    expectEqualCounters(Expected, Single.run()[0], "chunked full (fused)");
+  }
+}
+
+TEST(TraceSerialization, SaveLoadRoundTrip) {
+  DispatchTrace T;
+  for (uint32_t I = 0; I < 5000; ++I)
+    T.append(I % 97, (I + 1) % 97);
+  T.appendQuicken(42, VMInstr{7, -3, 123456789});
+  T.append(1, 2);
+  T.appendQuicken(9, VMInstr{1, 2, 3});
+  uint64_t Hash = T.contentHash();
+
+  std::string Path = "/tmp/vmib-trace-roundtrip.vmibtrace";
+  ASSERT_TRUE(T.save(Path, /*WorkloadHash=*/0xabcdefull));
+
+  DispatchTrace L;
+  ASSERT_TRUE(L.load(Path, 0xabcdefull));
+  EXPECT_EQ(L.numEvents(), T.numEvents());
+  EXPECT_EQ(L.numQuickens(), T.numQuickens());
+  EXPECT_EQ(L.contentHash(), Hash);
+  EXPECT_EQ(L.events(), T.events());
+  for (size_t I = 0; I < T.numQuickens(); ++I) {
+    EXPECT_EQ(L.quickens()[I].AfterEvents, T.quickens()[I].AfterEvents);
+    EXPECT_EQ(L.quickens()[I].Index, T.quickens()[I].Index);
+    EXPECT_EQ(L.quickens()[I].NewInstr.Op, T.quickens()[I].NewInstr.Op);
+    EXPECT_EQ(L.quickens()[I].NewInstr.A, T.quickens()[I].NewInstr.A);
+    EXPECT_EQ(L.quickens()[I].NewInstr.B, T.quickens()[I].NewInstr.B);
+  }
+
+  // Wrong workload identity: stale cache entries must not load.
+  DispatchTrace Wrong;
+  EXPECT_FALSE(Wrong.load(Path, 0x12345ull));
+  EXPECT_TRUE(Wrong.empty());
+
+  // Truncation: the content hash rejects a cut-off file.
+  {
+    std::FILE *F = std::fopen(Path.c_str(), "rb+");
+    ASSERT_NE(F, nullptr);
+    std::fseek(F, 0, SEEK_END);
+    long Size = std::ftell(F);
+    ASSERT_EQ(std::fclose(F), 0);
+    ASSERT_EQ(truncate(Path.c_str(), Size - 16), 0);
+  }
+  DispatchTrace Cut;
+  EXPECT_FALSE(Cut.load(Path, 0xabcdefull));
+  std::remove(Path.c_str());
+
+  // Missing file.
+  DispatchTrace Missing;
+  EXPECT_FALSE(Missing.load("/tmp/vmib-no-such-trace.vmibtrace", 1));
+}
+
+TEST(TraceSerialization, CachePathRespectsEnvironment) {
+  unsetenv("VMIB_TRACE_CACHE");
+  EXPECT_EQ(DispatchTrace::cacheDir(), "");
+  EXPECT_EQ(DispatchTrace::cachePathFor("forth-gray"), "");
+  setenv("VMIB_TRACE_CACHE", "/tmp/vmib-cache", 1);
+  EXPECT_EQ(DispatchTrace::cachePathFor("forth-gray"),
+            "/tmp/vmib-cache/forth-gray.vmibtrace");
+  setenv("VMIB_TRACE_CACHE", "/tmp/vmib-cache/", 1);
+  EXPECT_EQ(DispatchTrace::cachePathFor("forth-gray"),
+            "/tmp/vmib-cache/forth-gray.vmibtrace");
+  unsetenv("VMIB_TRACE_CACHE");
+}
+
+TEST(TraceSerialization, LabTraceCacheRoundTrip) {
+  // End to end: capture saves into VMIB_TRACE_CACHE, a later lab
+  // consult loads the file instead of re-interpreting, and replays
+  // off the loaded trace are bit-identical.
+  const char *Dir = "/tmp/vmib-trace-cache-test";
+  ::mkdir(Dir, 0755);
+  setenv("VMIB_TRACE_CACHE", Dir, 1);
+
+  ForthLab &Lab = forthLab();
+  CpuConfig P4 = makePentium4Northwood();
+  VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
+
+  Lab.dropTrace("vmgen");
+  (void)Lab.trace("vmgen"); // capture + save
+  std::string Path = DispatchTrace::cachePathFor("forth-vmgen");
+  struct stat St;
+  ASSERT_EQ(::stat(Path.c_str(), &St), 0) << "capture did not save " << Path;
+  PerfCounters Captured = Lab.replay("vmgen", Threaded, P4);
+
+  Lab.dropTrace("vmgen");
+  (void)Lab.trace("vmgen"); // loads from the cache file
+  expectEqualCounters(Captured, Lab.replay("vmgen", Threaded, P4),
+                      "replay off cache-loaded trace");
+
+  // A stale file for a different workload is rejected, not trusted:
+  // loading under the wrong reference hash fails, and the lab
+  // re-captures (same counters again).
+  DispatchTrace Stale;
+  EXPECT_FALSE(Stale.load(Path, /*ExpectedWorkloadHash=*/1));
+  unsetenv("VMIB_TRACE_CACHE");
+  Lab.dropTrace("vmgen");
+  expectEqualCounters(Captured, Lab.replay("vmgen", Threaded, P4),
+                      "replay off re-captured trace");
+  std::remove(Path.c_str());
+}
+
+TEST(PipelineSweep, OverlapsCaptureWithReplayInOrder) {
+  constexpr size_t N = 17;
+  std::vector<std::atomic<int>> Captured(N);
+  std::vector<std::atomic<int>> Replayed(N);
+  pipelineSweep(
+      N, 4,
+      [&](size_t I) {
+        // Captures run in order on one producer thread.
+        for (size_t J = 0; J < I; ++J)
+          EXPECT_EQ(Captured[J].load(), 1) << "capture order violated";
+        Captured[I].store(1);
+      },
+      [&](size_t I) {
+        // A replay only runs after its own capture completed.
+        EXPECT_EQ(Captured[I].load(), 1) << "replay before capture";
+        Replayed[I].fetch_add(1);
+      });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Replayed[I].load(), 1) << "index " << I;
+
+  // Degenerate cases.
+  pipelineSweep(0, 4, [](size_t) { FAIL(); }, [](size_t) { FAIL(); });
+  std::atomic<int> Solo{0};
+  pipelineSweep(3, 1, [](size_t) {}, [&](size_t) { Solo.fetch_add(1); });
+  EXPECT_EQ(Solo.load(), 3);
+}
+
+TEST(PipelineSweep, PropagatesExceptionsAndSkipsUncaptured) {
+  // Replay exception.
+  EXPECT_THROW(pipelineSweep(4, 2, [](size_t) {},
+                             [](size_t I) {
+                               if (I == 2)
+                                 throw std::runtime_error("replay failed");
+                             }),
+               std::runtime_error);
+
+  // Capture exception: replays of never-captured workloads are skipped.
+  std::atomic<int> Ran{0};
+  EXPECT_THROW(pipelineSweep(
+                   6, 2,
+                   [](size_t I) {
+                     if (I == 1)
+                       throw std::runtime_error("capture failed");
+                   },
+                   [&](size_t I) {
+                     EXPECT_EQ(I, 0u) << "replayed an uncaptured workload";
+                     Ran.fetch_add(1);
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(Ran.load(), 1);
+}
+
+TEST(GangReplay, StateBytesAuditCoversModels) {
+  // The packing audit: model state must be accounted (non-zero, and
+  // scaling with the table geometry) so gang sizing decisions have
+  // real numbers to work with.
+  BTBConfig Big;
+  Big.Entries = 4096;
+  BTBConfig Small;
+  Small.Entries = 64;
+  EXPECT_GT(BTB(Big).stateBytes(), BTB(Small).stateBytes());
+  EXPECT_GT(NoEvictBTB(Big).stateBytes(), NoEvictBTB(Small).stateBytes());
+  TwoLevelConfig TL;
+  EXPECT_GT(TwoLevelPredictor(TL).stateBytes(), 0u);
+  EXPECT_GT(CaseBlockTable(4096).stateBytes(), 0u);
+  ICacheConfig IC;
+  EXPECT_GT(InstructionCache(IC).stateBytes(), 0u);
+  // The no-evict model carries tags only — the dense-packing audit
+  // point: strictly smaller than the exact model it shadows.
+  EXPECT_LT(NoEvictICache(IC).stateBytes(),
+            InstructionCache(IC).stateBytes());
+
+  NoEvictICache Cache(IC);
+  (void)Cache.access(0x1000, 64);
+  Cache.reset();
+  EXPECT_FALSE(Cache.overflowed());
+}
