@@ -13,7 +13,10 @@
 #include "harness/Figures.h"
 #include "harness/ForthLab.h"
 #include "harness/JavaLab.h"
+#include "harness/SweepExecutor.h"
+#include "harness/SweepOrchestrator.h"
 #include "harness/SweepRunner.h"
+#include "harness/SweepSpec.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 #include "support/Statistics.h"
@@ -26,6 +29,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace vmib {
@@ -34,6 +38,198 @@ namespace bench {
 /// Prints the standard bench banner.
 inline void banner(const std::string &Id, const std::string &What) {
   std::printf("=== %s ===\n%s\n\n", Id.c_str(), What.c_str());
+}
+
+//===--- machine-readable emitters ----------------------------------------===//
+//
+// Every [timing] and [result] line a bench or the sweep_driver prints
+// flows through these two emitters, so the line grammar lives in one
+// place (support/Statistics benchTimingLine, harness/SweepSpec
+// sweepResultLine) and the artifact tooling and the sweep_driver merge
+// path parse one format.
+
+/// Emits the standard per-sweep throughput line.
+inline void emitTiming(const std::string &BenchId, double CaptureSeconds,
+                       double ReplaySeconds, uint64_t ReplayedEvents,
+                       size_t Configs) {
+  std::fputs(benchTimingLine(BenchId, CaptureSeconds, ReplaySeconds,
+                             ReplayedEvents, Configs)
+                 .c_str(),
+             stdout);
+}
+inline void emitTiming(const std::string &BenchId, const SweepRunStats &S) {
+  emitTiming(BenchId, S.CaptureSeconds, S.ReplaySeconds, S.ReplayedEvents,
+             S.Configs);
+}
+
+/// Emits one finished sweep cell (the sweep_driver worker protocol).
+inline void emitResult(const std::string &SweepName, size_t Workload,
+                       size_t Member, const PerfCounters &C) {
+  std::fputs(sweepResultLine(SweepName, Workload, Member, C).c_str(),
+             stdout);
+}
+
+//===--- declarative sweeps -----------------------------------------------===//
+
+/// Builds the common benchmark-suite sweep spec (one CPU, default
+/// predictor): what the fig/table benches declare.
+inline SweepSpec suiteSpec(const std::string &Name, const std::string &Suite,
+                           std::vector<std::string> Benchmarks,
+                           std::vector<VariantSpec> Variants,
+                           const std::string &CpuId) {
+  SweepSpec Spec;
+  Spec.Name = Name;
+  Spec.Suite = Suite;
+  Spec.Benchmarks = std::move(Benchmarks);
+  Spec.Variants = std::move(Variants);
+  Spec.Cpus = {CpuId};
+  return Spec;
+}
+
+/// Extracts the (benchmark × variant) SpeedupMatrix of one
+/// (CPU, predictor) plane from canonical sweep cells.
+inline SpeedupMatrix matrixFromCells(const SweepSpec &Spec,
+                                     const std::vector<PerfCounters> &Cells,
+                                     size_t CpuIdx = 0, size_t PredIdx = 0) {
+  SpeedupMatrix M;
+  M.Benchmarks = Spec.Benchmarks;
+  for (const VariantSpec &V : Spec.Variants)
+    M.Variants.push_back(V.Name);
+  for (size_t B = 0; B < Spec.Benchmarks.size(); ++B)
+    for (size_t V = 0; V < Spec.Variants.size(); ++V)
+      M.Counters[Spec.Benchmarks[B]][Spec.Variants[V].Name] =
+          Cells[Spec.cellIndex(B, Spec.memberIndex(CpuIdx, V, PredIdx))];
+  return M;
+}
+
+/// The declarative-sweep entry every spec-driven bench shares. Handles
+/// the flags the sweep layer gives benches for free:
+///
+///   --emit-spec       print the spec text (worker/CI input) and exit
+///   --spec=FILE       replace the declared spec with FILE
+///   --shards=N        fan out over N sweep_driver worker processes
+///   --worker-cmd=TPL  worker command template ({driver}, {spec},
+///                     {shards}, {job}; e.g. an ssh wrapper)
+///   --threads=N       in-process worker threads (default: all cores)
+///
+/// \returns true with \p Cells filled (canonical order) and the
+/// standard [timing] line emitted; false when the bench should exit
+/// immediately with \p ExitCode (--emit-spec, or a spec/worker error).
+/// \p Banner is printed only when a sweep actually runs, so
+/// --emit-spec output stays a clean spec file.
+inline bool runDeclaredSweep(const OptionParser &Opts, SweepSpec &Spec,
+                             const std::string &Banner, ForthLab *FLab,
+                             JavaLab *JLab, std::vector<PerfCounters> &Cells,
+                             int &ExitCode, SweepRunStats *StatsOut = nullptr) {
+  std::string Error;
+  if (Opts.has("spec")) {
+    SweepSpec Loaded;
+    if (!loadSweepSpecFile(Opts.get("spec"), Loaded, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      ExitCode = 1;
+      return false;
+    }
+    // A bench renders its declared table shape by cell position, so a
+    // substituted spec may change workloads/parameters but must keep
+    // the declared axis sizes and suite; arbitrary-shape specs belong
+    // to sweep_driver, which renders from the spec itself.
+    size_t DeclaredPreds = Spec.Predictors.empty() ? 1 : Spec.Predictors.size();
+    size_t LoadedPreds =
+        Loaded.Predictors.empty() ? 1 : Loaded.Predictors.size();
+    if (Loaded.Suite != Spec.Suite ||
+        Loaded.Variants.size() != Spec.Variants.size() ||
+        Loaded.Cpus.size() != Spec.Cpus.size() ||
+        LoadedPreds != DeclaredPreds) {
+      std::fprintf(stderr,
+                   "error: %s does not match this bench's sweep shape "
+                   "(suite %s, %zu cpus x %zu variants x %zu predictors); "
+                   "run arbitrary specs through sweep_driver instead\n",
+                   Opts.get("spec").c_str(), Spec.Suite.c_str(),
+                   Spec.Cpus.size(), Spec.Variants.size(), DeclaredPreds);
+      ExitCode = 1;
+      return false;
+    }
+    Spec = std::move(Loaded);
+  }
+  if (!validateSweepSpec(Spec, Error)) {
+    std::fprintf(stderr, "error: invalid sweep spec: %s\n", Error.c_str());
+    ExitCode = 1;
+    return false;
+  }
+  if (Opts.has("emit-spec")) {
+    std::fputs(printSweepSpec(Spec).c_str(), stdout);
+    ExitCode = 0;
+    return false;
+  }
+  std::printf("%s", Banner.c_str());
+  long Shards = Opts.getInt("shards", 0);
+  SweepRunStats Stats;
+  if (Shards > 1 || Opts.has("worker-cmd")) {
+    SweepWorkerOptions W;
+    W.Shards = static_cast<unsigned>(Shards < 1 ? 1 : Shards);
+    W.CommandTemplate = Opts.get("worker-cmd");
+    W.SpecPath = Opts.get("spec"); // reuse the file workers can read
+    if (!orchestrateSweep(Spec, W, Cells, Stats, Error)) {
+      std::fprintf(stderr, "error: sweep orchestration failed: %s\n",
+                   Error.c_str());
+      ExitCode = 1;
+      return false;
+    }
+    emitTiming(Spec.Name + format(":shards%u", W.Shards), Stats);
+  } else {
+    SweepExecutor Executor(FLab, JLab);
+    Stats = Executor.runAll(
+        Spec, static_cast<unsigned>(Opts.getInt("threads", 0)), Cells);
+    emitTiming(Spec.Name + ":gang", Stats);
+  }
+  if (StatsOut)
+    *StatsOut = Stats;
+  return true;
+}
+
+template <class LabT>
+SpeedupMatrix replayMatrix(LabT &Lab, const std::string &BenchId,
+                           const std::vector<std::string> &Benchmarks,
+                           const std::vector<VariantSpec> &Variants,
+                           const CpuConfig &Cpu, bool PerConfig = false);
+
+/// Shared main body of the fig07/08/09-style variant-matrix benches:
+/// the --per-config PR-1 fallback, otherwise the declarative sweep,
+/// rendered as a (benchmark × variant) SpeedupMatrix. \p LabT is
+/// ForthLab or JavaLab. \returns false when the bench should exit with
+/// \p Exit (--emit-spec, or an error).
+template <class LabT>
+bool runMatrixBench(const OptionParser &Opts, const std::string &Id,
+                    const std::string &Suite, const std::string &CpuId,
+                    std::vector<std::string> Benchmarks,
+                    std::vector<VariantSpec> Variants,
+                    const std::string &Banner, LabT &Lab, SpeedupMatrix &M,
+                    int &Exit) {
+  if (Opts.has("per-config")) {
+    CpuConfig Cpu;
+    if (!cpuConfigById(CpuId, Cpu)) {
+      std::fprintf(stderr, "error: unknown cpu model '%s'\n", CpuId.c_str());
+      Exit = 1;
+      return false;
+    }
+    std::printf("%s", Banner.c_str());
+    M = replayMatrix(Lab, Id, Benchmarks, Variants, Cpu,
+                     /*PerConfig=*/true);
+    return true;
+  }
+  SweepSpec Spec = suiteSpec(Id, Suite, std::move(Benchmarks),
+                             std::move(Variants), CpuId);
+  std::vector<PerfCounters> Cells;
+  ForthLab *FLab = nullptr;
+  JavaLab *JLab = nullptr;
+  if constexpr (std::is_same_v<LabT, ForthLab>)
+    FLab = &Lab;
+  else
+    JLab = &Lab;
+  if (!runDeclaredSweep(Opts, Spec, Banner, FLab, JLab, Cells, Exit))
+    return false;
+  M = matrixFromCells(Spec, Cells);
+  return true;
 }
 
 /// Suite benchmark names, cut to the first two for --quick smoke runs.
@@ -74,11 +270,8 @@ replayConfigs(LabT &Lab, const std::string &BenchId,
   WallTimer ReplayTimer;
   std::vector<PerfCounters> Results = Lab.replayGang(Benchmark, Variants,
                                                      Cpu);
-  std::printf("%s", benchTimingLine(BenchId, CaptureSeconds,
-                                    ReplayTimer.seconds(),
-                                    Events * Variants.size(),
-                                    Variants.size())
-                        .c_str());
+  emitTiming(BenchId, CaptureSeconds, ReplayTimer.seconds(),
+             Events * Variants.size(), Variants.size());
   return Results;
 }
 
@@ -97,7 +290,7 @@ template <class LabT>
 SpeedupMatrix replayMatrix(LabT &Lab, const std::string &BenchId,
                            const std::vector<std::string> &Benchmarks,
                            const std::vector<VariantSpec> &Variants,
-                           const CpuConfig &Cpu, bool PerConfig = false) {
+                           const CpuConfig &Cpu, bool PerConfig) {
   SpeedupMatrix M;
   M.Benchmarks = Benchmarks;
   for (const VariantSpec &V : Variants)
@@ -129,11 +322,8 @@ SpeedupMatrix replayMatrix(LabT &Lab, const std::string &BenchId,
     for (size_t I = 0; I < Cells.size(); ++I)
       M.Counters[*Cells[I].Benchmark][Cells[I].Variant->Name] = Results[I];
 
-    std::printf("%s", benchTimingLine(BenchId, CaptureSeconds,
-                                      ReplayTimer.seconds(),
-                                      EventsPerPass * Variants.size(),
-                                      Cells.size())
-                          .c_str());
+    emitTiming(BenchId, CaptureSeconds, ReplayTimer.seconds(),
+               EventsPerPass * Variants.size(), Cells.size());
     return M;
   }
 
@@ -161,11 +351,9 @@ SpeedupMatrix replayMatrix(LabT &Lab, const std::string &BenchId,
     for (size_t V = 0; V < Variants.size(); ++V)
       M.Counters[Benchmarks[B]][Variants[V].Name] = Rows[B][V];
 
-  std::printf("%s",
-              benchTimingLine(BenchId, CaptureBusy, PipelineSeconds,
-                              EventsPerPass.load() * Variants.size(),
-                              Benchmarks.size() * Variants.size())
-                  .c_str());
+  emitTiming(BenchId, CaptureBusy, PipelineSeconds,
+             EventsPerPass.load() * Variants.size(),
+             Benchmarks.size() * Variants.size());
   return M;
 }
 

@@ -8,12 +8,15 @@
 /// where they stop fitting), and dynamic both (one site per block
 /// instance — the hungriest).
 ///
-/// Default mode runs everything as ONE gang over the captured trace:
-/// three full-replay members (the per-variant fetch baselines) plus 21
-/// predictor-only capacity members that reference them, all sharing
-/// the three layouts — 24 configurations, one chunk-tiled trace pass.
-/// --per-config re-runs the PR-1 two-phase path (one trace pass per
-/// cell) for equivalence checks.
+/// The sweep is declared as a SweepSpec — variants × seven BTB
+/// geometries on the predictor axis — and routed through the shared
+/// declarative runner: one chunk-tiled gang over the captured trace,
+/// every member a self-contained full replay (which is what makes the
+/// spec shardable: --shards=N / --spec / --emit-spec / --worker-cmd
+/// come for free). --per-config re-runs the PR-1 two-phase path
+/// (baseline replay per variant + predictor-only cells, one trace pass
+/// each) for equivalence checks — counters are bit-identical because
+/// the fetch stream is predictor-independent.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,9 +29,9 @@ using namespace vmib;
 int main(int argc, char **argv) {
   OptionParser Opts(argc, argv);
   bool PerConfig = Opts.has("per-config");
-  std::printf("=== Ablation: BTB capacity sweep (§6 simulator study)%s "
-              "===\n\n",
-              PerConfig ? " [per-config mode]" : "");
+  const std::string Banner = format(
+      "=== Ablation: BTB capacity sweep (§6 simulator study)%s ===\n\n",
+      PerConfig ? " [per-config mode]" : "");
   ForthLab Lab;
   CpuConfig Cpu = makePentium4Northwood();
 
@@ -37,21 +40,22 @@ int main(int argc, char **argv) {
   const std::vector<DispatchStrategy> Kinds = {DispatchStrategy::Threaded,
                                                DispatchStrategy::StaticRepl,
                                                DispatchStrategy::DynamicBoth};
-
-  WallTimer CaptureTimer;
-  Lab.warmup("bench-gc", Cpu);
-  uint64_t Events = Lab.trace("bench-gc").numEvents();
-  double CaptureSeconds = CaptureTimer.seconds();
-
   size_t Jobs = Capacities.size() * Kinds.size();
-  WallTimer ReplayTimer;
+  // Results indexed [capacity][kind], as the table prints them.
   std::vector<PerfCounters> Results(Jobs);
-  uint64_t TracePasses;
+
   if (PerConfig) {
+    std::printf("%s", Banner.c_str());
+    WallTimer CaptureTimer;
+    Lab.warmup("bench-gc", Cpu);
+    uint64_t Events = Lab.trace("bench-gc").numEvents();
+    double CaptureSeconds = CaptureTimer.seconds();
+
     // One full replay per variant establishes the fetch counters; every
     // (capacity x variant) cell then replays the branch stream only.
     // Two parallel phases so the cell sweep uses all workers instead of
     // being capped at one thread per variant.
+    WallTimer ReplayTimer;
     std::vector<PerfCounters> Baselines(Kinds.size());
     parallelFor(Kinds.size(), defaultSweepThreads(), [&](size_t K) {
       Baselines[K] = Lab.replay("bench-gc", makeVariant(Kinds[K]), Cpu);
@@ -65,40 +69,37 @@ int main(int argc, char **argv) {
           "bench-gc", makeVariant(Kinds[K]), Cpu, Cfg, Baselines[K]);
     });
     // Every cell and every baseline streams the whole trace.
-    TracePasses = Jobs + Kinds.size();
+    bench::emitTiming("ablation_btb_sweep:per-config", CaptureSeconds,
+                      ReplayTimer.seconds(),
+                      Events * (Jobs + Kinds.size()), Jobs);
   } else {
-    // Gang mode: baselines first (members 0..2), then the capacity
-    // cells referencing them — 24 configurations, one trace pass.
-    GangReplayer Gang(Lab.trace("bench-gc"));
-    std::vector<std::shared_ptr<DispatchProgram>> Layouts;
-    std::vector<size_t> BaselineMember;
-    for (DispatchStrategy K : Kinds) {
-      Layouts.push_back(Lab.buildLayout("bench-gc", makeVariant(K)));
-      BaselineMember.push_back(Gang.addDefault(Layouts.back(), Cpu));
+    // Declarative path: (variant × geometry) cross product, one gang.
+    SweepSpec Spec;
+    Spec.Name = "ablation_btb_sweep";
+    Spec.Suite = "forth";
+    Spec.Benchmarks = {"bench-gc"};
+    Spec.Cpus = {"p4northwood"};
+    for (DispatchStrategy K : Kinds)
+      Spec.Variants.push_back(makeVariant(K));
+    for (uint32_t C : Capacities) {
+      PredictorGeometry G;
+      G.PredKind = PredictorGeometry::Kind::Btb;
+      G.Btb.Entries = C;
+      G.Btb.Ways = 4;
+      Spec.Predictors.push_back(G);
     }
+    std::vector<PerfCounters> Cells;
+    int Exit = 0;
+    if (!bench::runDeclaredSweep(Opts, Spec, Banner, &Lab, nullptr, Cells,
+                                 Exit))
+      return Exit;
+    // Canonical member order is variant-major; the table is
+    // capacity-major.
     for (size_t C = 0; C < Capacities.size(); ++C)
-      for (size_t K = 0; K < Kinds.size(); ++K) {
-        BTBConfig Cfg;
-        Cfg.Entries = Capacities[C];
-        Cfg.Ways = 4;
-        Gang.addBtbPredictorOnly(Layouts[K], Cpu, Cfg, BaselineMember[K]);
-      }
-    std::printf("[gang] members=%zu state=%s\n", Gang.size(),
-                humanBytes(Gang.stateBytes()).c_str());
-    std::vector<PerfCounters> All = Gang.run();
-    for (size_t I = 0; I < Jobs; ++I)
-      Results[I] = All[Kinds.size() + I];
-    // All 24 members ride the same (counted once per member for the
-    // simulated-event metric, like per-config mode).
-    TracePasses = Jobs + Kinds.size();
+      for (size_t K = 0; K < Kinds.size(); ++K)
+        Results[C * Kinds.size() + K] =
+            Cells[Spec.cellIndex(0, Spec.memberIndex(0, K, C))];
   }
-  std::printf("%s",
-              benchTimingLine(
-                  format("ablation_btb_sweep:%s",
-                         PerConfig ? "per-config" : "gang"),
-                  CaptureSeconds, ReplayTimer.seconds(),
-                  Events * TracePasses, Jobs)
-                  .c_str());
 
   TextTable T({"BTB entries", "plain", "static repl", "dynamic both"});
   for (size_t C = 0; C < Capacities.size(); ++C) {

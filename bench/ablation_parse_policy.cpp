@@ -5,34 +5,51 @@
 /// between the results for greedy and optimal selection" (§5.1) and
 /// uses greedy. This bench quantifies that on the Forth suite.
 ///
+/// Declares the two-variant sweep as a SweepSpec and routes through
+/// the shared declarative gang/timing path (replay counters are
+/// bit-identical to the direct runs it used to do, one interpretation
+/// per benchmark instead of one per cell) — and gains --emit-spec /
+/// --spec / --shards / --worker-cmd / --quick like every spec bench.
+///
 //===----------------------------------------------------------------------===//
 
-#include "harness/ForthLab.h"
-#include "support/Format.h"
-#include "support/Table.h"
+#include "BenchUtil.h"
 
 #include <cstdio>
 
 using namespace vmib;
 
-int main() {
-  std::printf("=== Ablation: greedy vs optimal superinstruction parse "
-              "(§5.1) ===\n\n");
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
+  const std::string Banner =
+      "=== Ablation: greedy vs optimal superinstruction parse "
+      "(§5.1) ===\n\n";
   ForthLab Lab;
-  CpuConfig Cpu = makePentium4Northwood();
+
+  VariantSpec Greedy = makeVariant(DispatchStrategy::StaticSuper);
+  Greedy.Name = "greedy";
+  Greedy.Config.Parse = ParsePolicy::Greedy;
+  VariantSpec Optimal = makeVariant(DispatchStrategy::StaticSuper);
+  Optimal.Name = "optimal";
+  Optimal.Config.Parse = ParsePolicy::Optimal;
+
+  SweepSpec Spec = bench::suiteSpec(
+      "ablation_parse_policy", "forth",
+      bench::forthBenchNames(Opts.has("quick")), {Greedy, Optimal},
+      "p4northwood");
+  std::vector<PerfCounters> Cells;
+  int Exit = 0;
+  if (!bench::runDeclaredSweep(Opts, Spec, Banner, &Lab, nullptr, Cells,
+                               Exit))
+    return Exit;
 
   TextTable T({"benchmark", "greedy cycles", "optimal cycles", "ratio",
                "greedy dispatches", "optimal dispatches"});
-  for (const ForthBenchmark &B : forthSuite()) {
-    VariantSpec Greedy = makeVariant(DispatchStrategy::StaticSuper);
-    Greedy.Config.Parse = ParsePolicy::Greedy;
-    PerfCounters G = Lab.run(B.Name, Greedy, Cpu);
-
-    VariantSpec Optimal = makeVariant(DispatchStrategy::StaticSuper);
-    Optimal.Config.Parse = ParsePolicy::Optimal;
-    PerfCounters O = Lab.run(B.Name, Optimal, Cpu);
-
-    T.addRow({B.Name, withThousands(G.Cycles), withThousands(O.Cycles),
+  for (size_t B = 0; B < Spec.Benchmarks.size(); ++B) {
+    const PerfCounters &G = Cells[Spec.cellIndex(B, Spec.memberIndex(0, 0, 0))];
+    const PerfCounters &O = Cells[Spec.cellIndex(B, Spec.memberIndex(0, 1, 0))];
+    T.addRow({Spec.Benchmarks[B], withThousands(G.Cycles),
+              withThousands(O.Cycles),
               format("%.4f", double(G.Cycles) / double(O.Cycles)),
               withThousands(G.DispatchCount),
               withThousands(O.DispatchCount)});

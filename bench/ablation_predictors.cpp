@@ -6,20 +6,22 @@
 /// interpreter branches), and Kaeli & Emma's case block table under
 /// switch dispatch (near-perfect for switch).
 ///
-/// Default mode captures each benchmark's dispatch trace once and runs
-/// one chunk-tiled *gang* per benchmark: all five predictor
-/// configurations cross each ~64K-event tile before the cursor
-/// advances, so the trace streams from memory once per tile instead of
-/// once per configuration, and the three threaded members (and the two
-/// switch members) share one layout. Flags:
+/// Default mode declares the sweep as a SweepSpec — {plain, switch} ×
+/// four predictor geometries — and routes through the shared
+/// declarative runner: one chunk-tiled gang per benchmark, every
+/// member a self-contained full replay (the spec is shardable, so the
+/// bench gains --emit-spec / --spec / --shards / --worker-cmd). The
+/// table prints the five (variant, predictor) pairs the paper
+/// discusses. Flags:
 ///
 ///   --per-config  the PR-1 replay path: one full trace pass per cell
-///                 (the gang's equivalence/speedup baseline)
+///                 (the spec path's equivalence/speedup baseline)
 ///   --direct      the legacy pipeline: one full interpretation plus
 ///                 virtual predictor calls per cell
-///   --compare     runs --per-config then the gang, asserts the
-///                 counters are bit-identical, and prints the gang's
-///                 wall-clock speedup (exit 1 on divergence)
+///   --compare     runs --per-config then the spec gang, asserts the
+///                 five table cells are bit-identical, and prints the
+///                 gang's wall-clock and per-member-event throughput
+///                 speedups (exit 1 on divergence)
 ///   --quick       first two benchmarks only (CI smoke)
 ///
 //===----------------------------------------------------------------------===//
@@ -42,8 +44,9 @@ int main(int argc, char **argv) {
                         : PerConfig ? " [per-config mode]"
                         : Compare ? " [compare mode]"
                                   : "";
-  std::printf("=== Ablation: indirect branch predictors (§3, §8)%s ===\n\n",
-              ModeTag);
+  const std::string Banner = format(
+      "=== Ablation: indirect branch predictors (§3, §8)%s ===\n\n",
+      ModeTag);
   ForthLab Lab;
   CpuConfig Cpu = makePentium4Northwood();
 
@@ -55,9 +58,35 @@ int main(int argc, char **argv) {
   TwoBit.TwoBitCounters = true;
   TwoLevelConfig TL;
 
-  // Five predictor configurations per benchmark; [0]/[3] are the full
-  // replays whose fetch counters the predictor-only cells reuse.
+  // The five table cells; [0]/[3] are the full replays whose fetch
+  // counters the per-config predictor-only cells reuse.
   constexpr size_t Configs = 5;
+
+  // The declarative sweep: {plain, switch} × {default BTB, two-bit
+  // BTB, two-level, case-block}. Predictor index order below.
+  auto makeSpec = [&] {
+    SweepSpec Spec;
+    Spec.Name = "ablation_predictors";
+    Spec.Suite = "forth";
+    Spec.Benchmarks = Benchmarks;
+    Spec.Cpus = {"p4northwood"};
+    Spec.Variants = {Threaded, Switch};
+    PredictorGeometry Default; // the CPU's own BTB
+    PredictorGeometry Btb2;
+    Btb2.PredKind = PredictorGeometry::Kind::Btb;
+    Btb2.Btb = TwoBit;
+    PredictorGeometry TwoLevel;
+    TwoLevel.PredKind = PredictorGeometry::Kind::TwoLevel;
+    TwoLevel.TwoLevel = TL;
+    PredictorGeometry CaseBlock;
+    CaseBlock.PredKind = PredictorGeometry::Kind::CaseBlock;
+    CaseBlock.CaseBlockEntries = 4096;
+    Spec.Predictors = {Default, Btb2, TwoLevel, CaseBlock};
+    return Spec;
+  };
+  // (variant, predictor) members backing the five table columns.
+  const std::pair<size_t, size_t> TableCells[Configs] = {
+      {0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 3}};
 
   auto runDirect = [&](const std::string &Bench,
                        std::vector<PerfCounters> &Out) {
@@ -87,30 +116,14 @@ int main(int argc, char **argv) {
     Out[4] = Lab.replayPredictorOnly(Bench, Switch, Cpu, Cbt, Out[3]);
   };
 
-  auto runGang = [&](const std::string &Bench,
-                     std::vector<PerfCounters> &Out) {
-    // One tile pass feeds all five configurations; the threaded and
-    // switch members share their layouts (quicken-free members only
-    // read them), and the predictor-only members take their fetch
-    // counters from the full member of the same layout.
-    GangReplayer Gang(Lab.trace(Bench));
-    std::shared_ptr<DispatchProgram> ThreadedLayout =
-        Lab.buildLayout(Bench, Threaded);
-    std::shared_ptr<DispatchProgram> SwitchLayout =
-        Lab.buildLayout(Bench, Switch);
-    size_t ThreadedBase = Gang.addBtb(ThreadedLayout, Cpu, Cpu.Btb);
-    Gang.addBtbPredictorOnly(ThreadedLayout, Cpu, TwoBit, ThreadedBase);
-    Gang.addPredictorOnly(ThreadedLayout, Cpu, TwoLevelPredictor(TL),
-                          ThreadedBase);
-    size_t SwitchBase = Gang.addBtb(SwitchLayout, Cpu, Cpu.Btb);
-    Gang.addPredictorOnly(SwitchLayout, Cpu, CaseBlockTable(4096),
-                          SwitchBase);
-    Out = Gang.run();
+  // Runs one per-cell sweep mode over every benchmark and prints its
+  // timing line. Captures hit the lab's trace cache after the first
+  // mode, so --compare times both replay paths against warm traces.
+  struct SweepRun {
+    std::vector<PerfCounters> Results;
+    double Seconds = 0;
+    uint64_t MemberEvents = 0;
   };
-
-  // Runs one sweep mode over every benchmark and prints its timing
-  // line. Captures hit the lab's trace cache after the first mode, so
-  // --compare times both replay paths against warm traces.
   auto sweep = [&](const char *Mode) {
     WallTimer CaptureTimer;
     uint64_t Events = 0;
@@ -125,9 +138,7 @@ int main(int argc, char **argv) {
     parallelFor(Benchmarks.size(), Serial ? 1 : defaultSweepThreads(),
                 [&](size_t B) {
                   std::vector<PerfCounters> Out(Configs);
-                  if (std::strcmp(Mode, "gang") == 0)
-                    runGang(Benchmarks[B], Out);
-                  else if (std::strcmp(Mode, "per-config") == 0)
+                  if (std::strcmp(Mode, "per-config") == 0)
                     runPerConfig(Benchmarks[B], Out);
                   else
                     runDirect(Benchmarks[B], Out);
@@ -137,33 +148,81 @@ int main(int argc, char **argv) {
     double ReplaySeconds = ReplayTimer.seconds();
     // Separator-free bench id: the [timing] artifact is parsed as
     // whitespace-split key=value tokens.
-    std::printf("%s", benchTimingLine(
-                          format("ablation_predictors:%s", Mode),
-                          CaptureSeconds, ReplaySeconds, Events * Configs,
-                          Benchmarks.size() * Configs)
-                          .c_str());
-    return std::make_pair(Results, ReplaySeconds);
+    bench::emitTiming(format("ablation_predictors:%s", Mode),
+                      CaptureSeconds, ReplaySeconds, Events * Configs,
+                      Benchmarks.size() * Configs);
+    return SweepRun{std::move(Results), ReplaySeconds, Events * Configs};
+  };
+
+  // Runs the declarative spec path and projects the five table cells
+  // out of the canonical (variant × predictor) cross product.
+  auto specSweep = [&](int &Exit, SweepRunStats &Stats,
+                       std::vector<PerfCounters> &Results,
+                       const std::string &BannerText,
+                       bool RequireSameBenchmarks) {
+    SweepSpec Spec = makeSpec();
+    std::vector<PerfCounters> Cells;
+    if (!bench::runDeclaredSweep(Opts, Spec, BannerText, &Lab, nullptr,
+                                 Cells, Exit, &Stats))
+      return false;
+    if (RequireSameBenchmarks && Spec.Benchmarks != Benchmarks) {
+      std::fprintf(stderr,
+                   "error: --spec with a different workload list cannot "
+                   "be compared against the per-config baseline\n");
+      Exit = 1;
+      return false;
+    }
+    // A substituted --spec may change the workload list; the table
+    // must follow the spec that actually ran.
+    Benchmarks = Spec.Benchmarks;
+    Results.resize(Benchmarks.size() * Configs);
+    for (size_t B = 0; B < Benchmarks.size(); ++B)
+      for (size_t Cfg = 0; Cfg < Configs; ++Cfg)
+        Results[B * Configs + Cfg] = Cells[Spec.cellIndex(
+            B, Spec.memberIndex(0, TableCells[Cfg].first,
+                                TableCells[Cfg].second))];
+    return true;
   };
 
   std::vector<PerfCounters> Results;
   if (Compare) {
-    auto [Baseline, BaselineSeconds] = sweep("per-config");
-    auto [Gang, GangSeconds] = sweep("gang");
-    for (size_t I = 0; I < Baseline.size(); ++I) {
-      if (std::memcmp(&Baseline[I], &Gang[I], sizeof(PerfCounters)) != 0) {
+    std::printf("%s", Banner.c_str());
+    SweepRun Base = sweep("per-config");
+    SweepRunStats GangStats;
+    int Exit = 0;
+    std::vector<PerfCounters> Gang;
+    if (!specSweep(Exit, GangStats, Gang, "",
+                   /*RequireSameBenchmarks=*/true))
+      return Exit;
+    for (size_t I = 0; I < Base.Results.size(); ++I) {
+      if (std::memcmp(&Base.Results[I], &Gang[I], sizeof(PerfCounters)) !=
+          0) {
         std::printf("FAIL: gang counters diverge from per-config replay at "
                     "%s config %zu\n",
                     Benchmarks[I / Configs].c_str(), I % Configs);
         return 1;
       }
     }
-    std::printf("gang vs per-config: counters bit-identical, speedup "
-                "%.2fx\n\n",
-                BaselineSeconds / GangSeconds);
+    // The gang runs the full 8-member cross product while per-config
+    // replays only the five table cells, so compare wall clock AND
+    // per-member-event throughput (the kernel-efficiency invariant).
+    double BaseTput = Base.MemberEvents / Base.Seconds;
+    double GangTput = GangStats.ReplayedEvents / GangStats.ReplaySeconds;
+    std::printf("gang vs per-config: counters bit-identical, wall %.2fx "
+                "(%zu vs %zu configs), per-event throughput %.2fx\n\n",
+                Base.Seconds / GangStats.ReplaySeconds,
+                Benchmarks.size() * Configs, GangStats.Configs,
+                GangTput / BaseTput);
     Results = Gang;
+  } else if (Direct || PerConfig) {
+    std::printf("%s", Banner.c_str());
+    Results = sweep(Direct ? "direct" : "per-config").Results;
   } else {
-    Results = sweep(Direct ? "direct" : PerConfig ? "per-config" : "gang")
-                  .first;
+    int Exit = 0;
+    SweepRunStats Stats;
+    if (!specSweep(Exit, Stats, Results, Banner,
+                   /*RequireSameBenchmarks=*/false))
+      return Exit;
   }
 
   TextTable T({"benchmark", "btb (threaded)", "btb-2bit (threaded)",

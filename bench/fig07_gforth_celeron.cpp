@@ -2,12 +2,12 @@
 ///
 /// Regenerates Figure 7: speedups of the nine Gforth interpreter
 /// variants over plain threaded code on the Celeron-800 (small BTB and
-/// I-cache, so code-growth effects are visible). Each workload is
-/// interpreted once into a dispatch trace; one chunk-tiled gang per
-/// workload replays all nine variants in a single trace pass, with the
-/// next workload's capture overlapped (--quick: first two benchmarks
-/// only; --per-config: the configuration-major PR-1 path for
-/// equivalence checks).
+/// I-cache, so code-growth effects are visible). Declares the sweep as
+/// a SweepSpec and routes through the shared declarative runner: the
+/// default mode is the trace-affine in-process gang pipeline, and the
+/// bench gains --emit-spec / --spec=FILE / --shards=N / --worker-cmd
+/// for free (--quick: first two benchmarks only; --per-config: the
+/// configuration-major PR-1 path for equivalence checks).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,13 +19,15 @@ using namespace vmib;
 
 int main(int argc, char **argv) {
   OptionParser Opts(argc, argv);
-  std::printf("=== Figure 7: Gforth variant speedups on Celeron-800 ===\n\n");
   ForthLab Lab;
-  CpuConfig Cpu = makeCeleron800();
-
-  SpeedupMatrix M = bench::replayMatrix(
-      Lab, "fig07_gforth_celeron", bench::forthBenchNames(Opts.has("quick")),
-      gforthVariants(), Cpu, Opts.has("per-config"));
+  SpeedupMatrix M;
+  int Exit = 0;
+  if (!bench::runMatrixBench(
+          Opts, "fig07_gforth_celeron", "forth", "celeron800",
+          bench::forthBenchNames(Opts.has("quick")), gforthVariants(),
+          "=== Figure 7: Gforth variant speedups on Celeron-800 ===\n\n",
+          Lab, M, Exit))
+    return Exit;
 
   std::printf("%s\n", M.renderSpeedups("Figure 7 (Celeron-800)").c_str());
   std::printf(

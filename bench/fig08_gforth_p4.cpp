@@ -3,10 +3,11 @@
 /// Regenerates Figure 8: speedups of the nine Gforth interpreter
 /// variants over plain threaded code on the Pentium 4 (Northwood): the
 /// 20-cycle misprediction penalty makes the replication-based methods
-/// shine (paper: up to 4.55x with static super over plain). Uses the
-/// gang-replay pipeline — one trace pass per workload covers all nine
-/// variants, captures overlapped with replay (--quick: first two
-/// benchmarks; --per-config: the configuration-major PR-1 path).
+/// shine (paper: up to 4.55x with static super over plain). Declares
+/// the sweep as a SweepSpec and routes through the shared declarative
+/// runner (gang pipeline in-process; --emit-spec / --spec / --shards /
+/// --worker-cmd for sharded execution; --quick: first two benchmarks;
+/// --per-config: the configuration-major PR-1 path).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,13 +19,15 @@ using namespace vmib;
 
 int main(int argc, char **argv) {
   OptionParser Opts(argc, argv);
-  std::printf("=== Figure 8: Gforth variant speedups on Pentium 4 ===\n\n");
   ForthLab Lab;
-  CpuConfig Cpu = makePentium4Northwood();
-
-  SpeedupMatrix M = bench::replayMatrix(
-      Lab, "fig08_gforth_p4", bench::forthBenchNames(Opts.has("quick")),
-      gforthVariants(), Cpu, Opts.has("per-config"));
+  SpeedupMatrix M;
+  int Exit = 0;
+  if (!bench::runMatrixBench(
+          Opts, "fig08_gforth_p4", "forth", "p4northwood",
+          bench::forthBenchNames(Opts.has("quick")), gforthVariants(),
+          "=== Figure 8: Gforth variant speedups on Pentium 4 ===\n\n",
+          Lab, M, Exit))
+    return Exit;
 
   std::printf("%s\n", M.renderSpeedups("Figure 8 (Pentium 4)").c_str());
   std::printf(

@@ -1,12 +1,13 @@
 //===- bench/fig09_java_p4.cpp - Paper Figure 9 ---------------------------===//
 ///
 /// Regenerates Figure 9: speedups of the nine JVM interpreter variants
-/// over plain threaded code on the Pentium 4. Each benchmark is
-/// interpreted once into a dispatch trace (quickening rewrites
-/// recorded); one gang per benchmark replays all variants in a single
+/// over plain threaded code on the Pentium 4. Declares the sweep as a
+/// SweepSpec and routes through the shared declarative runner: one
+/// quickening gang per benchmark replays all variants in a single
 /// chunk-tiled trace pass, each member re-applying the quickenings to
-/// its own fresh program copy (--quick: first two benchmarks only;
-/// --per-config: the configuration-major PR-1 path).
+/// its own fresh program copy (--emit-spec / --spec / --shards /
+/// --worker-cmd for sharded execution; --quick: first two benchmarks
+/// only; --per-config: the configuration-major PR-1 path).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,13 +19,15 @@ using namespace vmib;
 
 int main(int argc, char **argv) {
   OptionParser Opts(argc, argv);
-  std::printf("=== Figure 9: Java variant speedups on Pentium 4 ===\n\n");
   JavaLab Lab;
-  CpuConfig Cpu = makePentium4Northwood();
-
-  SpeedupMatrix M = bench::replayMatrix(
-      Lab, "fig09_java_p4", bench::javaBenchNames(Opts.has("quick")),
-      jvmVariants(), Cpu, Opts.has("per-config"));
+  SpeedupMatrix M;
+  int Exit = 0;
+  if (!bench::runMatrixBench(
+          Opts, "fig09_java_p4", "java", "p4northwood",
+          bench::javaBenchNames(Opts.has("quick")), jvmVariants(),
+          "=== Figure 9: Java variant speedups on Pentium 4 ===\n\n", Lab,
+          M, Exit))
+    return Exit;
 
   std::printf("%s\n", M.renderSpeedups("Figure 9 (Pentium 4)").c_str());
   std::printf(

@@ -2,17 +2,18 @@
 ///
 /// Regenerates Table VI: the Forth benchmark inventory, with source
 /// sizes, compiled VM code sizes, and a reference execution check for
-/// each program. Uses the ForthLab so the step counts come from the
-/// captured dispatch traces — with VMIB_TRACE_CACHE set, the traces
-/// load from (and on first run, populate) the serialized trace cache
-/// instead of re-interpreting every workload.
+/// each program. The step column is declared as a one-variant (plain)
+/// SweepSpec routed through the shared declarative runner — the trace
+/// length *is* the step count (one event per interpreter step), so the
+/// table doubles as a consistency check on cached trace files, and the
+/// bench gains --emit-spec / --spec / --shards / --worker-cmd: with
+/// --shards=N and VMIB_TRACE_CACHE set, N worker processes capture and
+/// verify the suite's traces in parallel and populate the shared
+/// cache.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/ForthLab.h"
-#include "support/CommandLine.h"
-#include "support/Format.h"
-#include "support/Table.h"
+#include "BenchUtil.h"
 
 #include <cstdio>
 
@@ -20,29 +21,45 @@ using namespace vmib;
 
 int main(int argc, char **argv) {
   OptionParser Opts(argc, argv);
-  // --quick: first two benchmarks only (CI smoke run).
-  size_t Limit = Opts.has("quick") ? 2 : forthSuite().size();
-  std::printf("=== Table VI: benchmark programs used in Gforth ===\n\n");
+  const std::string Banner =
+      "=== Table VI: benchmark programs used in Gforth ===\n\n";
   ForthLab Lab;
+
+  SweepSpec Spec = bench::suiteSpec(
+      "table06_forth_suite", "forth",
+      bench::forthBenchNames(Opts.has("quick")),
+      {makeVariant(DispatchStrategy::Threaded)}, "p4northwood");
+  std::vector<PerfCounters> Cells;
+  int Exit = 0;
+  if (!bench::runDeclaredSweep(Opts, Spec, Banner, &Lab, nullptr, Cells,
+                               Exit))
+    return Exit;
+
+  bool Sharded = Opts.getInt("shards", 0) > 1 || Opts.has("worker-cmd");
   TextTable T({"program", "lines", "VM instrs", "description", "steps",
                "output hash"});
-  size_t Done = 0;
-  for (const ForthBenchmark &B : forthSuite()) {
-    if (Done++ == Limit)
-      break;
-    // One event per interpreter step, so the trace length *is* the
-    // step count — and doubles as a consistency check on cached trace
-    // files against the reference run.
-    const DispatchTrace &Trace = Lab.trace(B.Name);
-    if (Trace.numEvents() != Lab.referenceSteps(B.Name)) {
-      std::printf("trace/reference step mismatch in %s\n", B.Name.c_str());
+  for (size_t B = 0; B < Spec.Benchmarks.size(); ++B) {
+    const ForthBenchmark &Bench = forthBenchmark(Spec.Benchmarks[B]);
+    // One event per interpreter step: the plain replay's VM-instruction
+    // count is the step count, whichever process produced it.
+    uint64_t Steps =
+        Cells[Spec.cellIndex(B, Spec.memberIndex(0, 0, 0))].VMInstructions;
+    if (Steps != Lab.referenceSteps(Bench.Name)) {
+      std::printf("replayed step count / reference mismatch in %s\n",
+                  Bench.Name.c_str());
       return 1;
     }
-    T.addRow({B.Name, std::to_string(B.sourceLines()),
-              std::to_string(Lab.unit(B.Name).Program.size()), B.Description,
-              withThousands(Trace.numEvents()),
+    if (!Sharded &&
+        Lab.trace(Bench.Name).numEvents() != Lab.referenceSteps(Bench.Name)) {
+      std::printf("cached trace length / reference mismatch in %s\n",
+                  Bench.Name.c_str());
+      return 1;
+    }
+    T.addRow({Bench.Name, std::to_string(Bench.sourceLines()),
+              std::to_string(Lab.unit(Bench.Name).Program.size()),
+              Bench.Description, withThousands(Steps),
               format("%016llx",
-                     (unsigned long long)Lab.referenceHash(B.Name))});
+                     (unsigned long long)Lab.referenceHash(Bench.Name))});
   }
   std::printf("%s\n", T.render().c_str());
   std::printf("All benchmarks are deterministic and self-checking via the\n"

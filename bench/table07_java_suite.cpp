@@ -1,18 +1,17 @@
 //===- bench/table07_java_suite.cpp - Paper Table VII ---------------------===//
 ///
 /// Regenerates Table VII: the Java benchmark inventory with sizes,
-/// quickening counts and reference execution checks. Uses the JavaLab
-/// so sizes come from the cached assemblies and the step/quickening
-/// counts from the captured dispatch traces — with VMIB_TRACE_CACHE
-/// set, the traces (events + quicken records) load from the serialized
-/// trace cache instead of re-interpreting every workload.
+/// quickening counts and reference execution checks. The step column
+/// is declared as a one-variant (plain) SweepSpec routed through the
+/// shared declarative runner, so the bench gains --emit-spec / --spec /
+/// --shards / --worker-cmd; sizes come from the cached assemblies and
+/// the quickening counts from the captured dispatch traces (loaded
+/// from the VMIB_TRACE_CACHE when a verified file exists — under
+/// --shards the workers populate that cache).
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/JavaLab.h"
-#include "support/CommandLine.h"
-#include "support/Format.h"
-#include "support/Table.h"
+#include "BenchUtil.h"
 
 #include <cstdio>
 
@@ -20,27 +19,39 @@ using namespace vmib;
 
 int main(int argc, char **argv) {
   OptionParser Opts(argc, argv);
-  // --quick: first two benchmarks only (CI smoke run).
-  size_t Limit = Opts.has("quick") ? 2 : javaSuite().size();
-  std::printf("=== Table VII: SPECjvm98-analogue Java benchmarks ===\n\n");
+  const std::string Banner =
+      "=== Table VII: SPECjvm98-analogue Java benchmarks ===\n\n";
   JavaLab Lab;
+
+  SweepSpec Spec = bench::suiteSpec(
+      "table07_java_suite", "java", bench::javaBenchNames(Opts.has("quick")),
+      {makeVariant(DispatchStrategy::Threaded)}, "p4northwood");
+  std::vector<PerfCounters> Cells;
+  int Exit = 0;
+  if (!bench::runDeclaredSweep(Opts, Spec, Banner, nullptr, &Lab, Cells,
+                               Exit))
+    return Exit;
+
   TextTable T({"program", "lines", "VM instrs", "quickenings",
                "description", "steps", "output hash"});
-  size_t Done = 0;
-  for (const JavaBenchmark &B : javaSuite()) {
-    if (Done++ == Limit)
-      break;
-    const DispatchTrace &Trace = Lab.trace(B.Name);
-    if (Trace.numEvents() != Lab.referenceSteps(B.Name)) {
-      std::printf("trace/reference step mismatch in %s\n", B.Name.c_str());
+  for (size_t B = 0; B < Spec.Benchmarks.size(); ++B) {
+    const JavaBenchmark &Bench = javaBenchmark(Spec.Benchmarks[B]);
+    uint64_t Steps =
+        Cells[Spec.cellIndex(B, Spec.memberIndex(0, 0, 0))].VMInstructions;
+    if (Steps != Lab.referenceSteps(Bench.Name)) {
+      std::printf("trace/reference step mismatch in %s\n",
+                  Bench.Name.c_str());
       return 1;
     }
-    T.addRow({B.Name, std::to_string(B.sourceLines()),
-              std::to_string(Lab.program(B.Name).Program.size()),
-              std::to_string(Trace.numQuickens()), B.Description,
-              withThousands(Trace.numEvents()),
+    // Quickening counts come off the trace — from the shared cache
+    // when a sharded run populated it, otherwise captured here.
+    const DispatchTrace &Trace = Lab.trace(Bench.Name);
+    T.addRow({Bench.Name, std::to_string(Bench.sourceLines()),
+              std::to_string(Lab.program(Bench.Name).Program.size()),
+              std::to_string(Trace.numQuickens()), Bench.Description,
+              withThousands(Steps),
               format("%016llx",
-                     (unsigned long long)Lab.referenceHash(B.Name))});
+                     (unsigned long long)Lab.referenceHash(Bench.Name))});
   }
   std::printf("%s\n", T.render().c_str());
   return 0;

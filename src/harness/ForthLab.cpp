@@ -11,37 +11,47 @@
 
 using namespace vmib;
 
-ForthLab::ForthLab() {
-  for (const ForthBenchmark &B : forthSuite()) {
-    ForthUnit Unit = compileForth(B.Source, B.Name);
-    if (!Unit.ok()) {
-      std::fprintf(stderr, "fatal: benchmark %s: %s\n", B.Name.c_str(),
-                   Unit.Error.c_str());
-      std::abort();
-    }
-    ForthVM VM;
-    ForthVM::Result Ref = VM.run(Unit);
-    if (!Ref.ok()) {
-      std::fprintf(stderr, "fatal: benchmark %s reference run: %s\n",
-                   B.Name.c_str(), Ref.Error.c_str());
-      std::abort();
-    }
-    ReferenceHash[B.Name] = Ref.OutputHash;
-    ReferenceSteps[B.Name] = Ref.Steps;
-    Units.emplace(B.Name, std::move(Unit));
+ForthLab::ForthLab() = default; // all state is populated lazily
+
+const ForthUnit &ForthLab::unitLocked(const std::string &Benchmark) {
+  auto It = Units.find(Benchmark);
+  if (It != Units.end())
+    return It->second;
+  const ForthBenchmark *Bench = nullptr;
+  for (const ForthBenchmark &B : forthSuite())
+    if (B.Name == Benchmark)
+      Bench = &B;
+  if (!Bench) {
+    std::fprintf(stderr, "fatal: unknown forth benchmark %s\n",
+                 Benchmark.c_str());
+    std::abort();
   }
+  ForthUnit Unit = compileForth(Bench->Source, Bench->Name);
+  if (!Unit.ok()) {
+    std::fprintf(stderr, "fatal: benchmark %s: %s\n", Benchmark.c_str(),
+                 Unit.Error.c_str());
+    std::abort();
+  }
+  ForthVM VM;
+  ForthVM::Result Ref = VM.run(Unit);
+  if (!Ref.ok()) {
+    std::fprintf(stderr, "fatal: benchmark %s reference run: %s\n",
+                 Benchmark.c_str(), Ref.Error.c_str());
+    std::abort();
+  }
+  ReferenceHash[Benchmark] = Ref.OutputHash;
+  ReferenceSteps[Benchmark] = Ref.Steps;
+  return Units.emplace(Benchmark, std::move(Unit)).first->second;
 }
 
 const ForthUnit &ForthLab::unit(const std::string &Benchmark) {
-  // Read-only after the constructor; safe without the cache lock.
-  auto It = Units.find(Benchmark);
-  assert(It != Units.end() && "unknown benchmark");
-  return It->second;
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return unitLocked(Benchmark);
 }
 
 const SequenceProfile &ForthLab::trainingProfileLocked() {
   if (!Training) {
-    const ForthUnit &Train = unit(forthTrainingBenchmark());
+    const ForthUnit &Train = unitLocked(forthTrainingBenchmark());
     std::vector<uint64_t> Counts;
     ForthVM VM;
     ForthVM::Result R = VM.run(Train, nullptr, 1ull << 33, &Counts);
@@ -110,7 +120,7 @@ PerfCounters ForthLab::runWithPredictor(
   ForthVM VM;
   ForthVM::Result R = VM.run(Unit, &Sim);
   Sim.finish();
-  if (!R.ok() || R.OutputHash != ReferenceHash[Benchmark]) {
+  if (!R.ok() || R.OutputHash != referenceHash(Benchmark)) {
     std::fprintf(stderr, "fatal: %s under %s diverged (%s)\n",
                  Benchmark.c_str(), Variant.Name.c_str(), R.Error.c_str());
     std::abort();
@@ -118,16 +128,16 @@ PerfCounters ForthLab::runWithPredictor(
   return Sim.counters();
 }
 
-uint64_t ForthLab::referenceHash(const std::string &Benchmark) const {
-  auto It = ReferenceHash.find(Benchmark);
-  assert(It != ReferenceHash.end() && "unknown benchmark");
-  return It->second;
+uint64_t ForthLab::referenceHash(const std::string &Benchmark) {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  (void)unitLocked(Benchmark);
+  return ReferenceHash[Benchmark];
 }
 
-uint64_t ForthLab::referenceSteps(const std::string &Benchmark) const {
-  auto It = ReferenceSteps.find(Benchmark);
-  assert(It != ReferenceSteps.end() && "unknown benchmark");
-  return It->second;
+uint64_t ForthLab::referenceSteps(const std::string &Benchmark) {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  (void)unitLocked(Benchmark);
+  return ReferenceSteps[Benchmark];
 }
 
 const DispatchTrace &ForthLab::trace(const std::string &Benchmark) {
@@ -140,14 +150,21 @@ const DispatchTrace &ForthLab::trace(const std::string &Benchmark) {
 
   // Serialized-trace cache: a hash-verified file replaces the whole
   // interpretation. The workload hash ties the file to this program's
-  // reference output, so a changed workload re-captures.
+  // reference output, so a changed workload re-captures. A file that
+  // exists but fails verification is surfaced (then re-captured) —
+  // silent fallback would hide cache corruption forever.
+  uint64_t WorkloadHash = referenceHash(Benchmark);
   std::string CachePath = DispatchTrace::cachePathFor("forth-" + Benchmark);
   if (!CachePath.empty()) {
     DispatchTrace Cached;
-    if (Cached.load(CachePath, referenceHash(Benchmark))) {
+    std::string Diag;
+    if (Cached.load(CachePath, WorkloadHash, &Diag)) {
       std::lock_guard<std::mutex> Lock(CacheMutex);
       return Traces.emplace(Benchmark, std::move(Cached)).first->second;
     }
+    if (Diag.find("cannot open") == std::string::npos)
+      std::fprintf(stderr, "warning: ignoring trace cache entry: %s\n",
+                   Diag.c_str());
   }
 
   // Capture outside the lock: this interprets the whole workload, and
@@ -157,17 +174,17 @@ const DispatchTrace &ForthLab::trace(const std::string &Benchmark) {
   const ForthUnit &Unit = unit(Benchmark);
   DispatchTrace T;
   // One event per step: the reference run already told us the size.
-  T.reserve(ReferenceSteps[Benchmark]);
+  T.reserve(referenceSteps(Benchmark));
   ForthVM VM;
   ForthVM::Result R =
       VM.run(Unit, nullptr, 1ull << 33, nullptr, &T);
-  if (!R.ok() || R.OutputHash != ReferenceHash[Benchmark]) {
+  if (!R.ok() || R.OutputHash != WorkloadHash) {
     std::fprintf(stderr, "fatal: %s capture run diverged (%s)\n",
                  Benchmark.c_str(), R.Error.c_str());
     std::abort();
   }
   if (!CachePath.empty())
-    (void)T.save(CachePath, referenceHash(Benchmark)); // best-effort
+    (void)T.save(CachePath, WorkloadHash); // best-effort
   std::lock_guard<std::mutex> Lock(CacheMutex);
   return Traces.emplace(Benchmark, std::move(T)).first->second;
 }

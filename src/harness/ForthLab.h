@@ -37,11 +37,17 @@
 namespace vmib {
 
 /// Cached compilation + training state for the Forth suite.
+///
+/// All per-benchmark state (compiled unit, reference run, trace) is
+/// populated lazily on first use: a sweep-shard worker process that
+/// touches one workload pays for that workload only, not for a
+/// whole-suite eager constructor.
 class ForthLab {
 public:
   ForthLab();
 
-  /// The compiled unit for a suite benchmark.
+  /// The compiled unit for a suite benchmark (compiled + reference-run
+  /// on first use). Thread-safe.
   const ForthUnit &unit(const std::string &Benchmark);
 
   /// The training profile (dynamic frequencies of brainless, §7.1).
@@ -71,11 +77,12 @@ public:
   const DispatchTrace &trace(const std::string &Benchmark);
 
   /// Reference output hash of \p Benchmark (what every variant run and
-  /// the trace cache verify against).
-  uint64_t referenceHash(const std::string &Benchmark) const;
+  /// the trace cache verify against). Thread-safe.
+  uint64_t referenceHash(const std::string &Benchmark);
 
   /// Steps of the reference run (== events of the captured trace).
-  uint64_t referenceSteps(const std::string &Benchmark) const;
+  /// Thread-safe.
+  uint64_t referenceSteps(const std::string &Benchmark);
 
   /// Populates the caches a parallel sweep will hit — the benchmark's
   /// trace and the training profile behind every static-resource
@@ -163,6 +170,10 @@ public:
                                                const VariantSpec &Variant);
 
 private:
+  /// Compiles + reference-runs \p Benchmark if not cached yet (fatal
+  /// on an unknown name or a failing reference run, like the old eager
+  /// constructor).
+  const ForthUnit &unitLocked(const std::string &Benchmark);
   const SequenceProfile &trainingProfileLocked();
   const StaticResources &resourcesLocked(uint32_t SuperCount,
                                          uint32_t ReplicaCount,

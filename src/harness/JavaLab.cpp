@@ -11,33 +11,44 @@
 
 using namespace vmib;
 
-JavaLab::JavaLab() {
-  for (const JavaBenchmark &B : javaSuite()) {
-    JavaProgram P = assembleJava(B.Source, B.Name);
-    if (!P.ok()) {
-      std::fprintf(stderr, "fatal: benchmark %s: %s\n", B.Name.c_str(),
-                   P.Error.c_str());
-      std::abort();
-    }
-    // Reference run on a scratch copy (quickening mutates it).
-    JavaProgram Copy = P;
-    JavaVM VM;
-    JavaVM::Result Ref = VM.run(Copy);
-    if (!Ref.ok()) {
-      std::fprintf(stderr, "fatal: benchmark %s reference run: %s\n",
-                   B.Name.c_str(), Ref.Error.c_str());
-      std::abort();
-    }
-    ReferenceHash[B.Name] = Ref.OutputHash;
-    ReferenceSteps[B.Name] = Ref.Steps;
-    Programs.emplace(B.Name, std::move(P));
+JavaLab::JavaLab() = default; // all state is populated lazily
+
+const JavaProgram &JavaLab::programLocked(const std::string &Benchmark) {
+  auto It = Programs.find(Benchmark);
+  if (It != Programs.end())
+    return It->second;
+  const JavaBenchmark *Bench = nullptr;
+  for (const JavaBenchmark &B : javaSuite())
+    if (B.Name == Benchmark)
+      Bench = &B;
+  if (!Bench) {
+    std::fprintf(stderr, "fatal: unknown java benchmark %s\n",
+                 Benchmark.c_str());
+    std::abort();
   }
+  JavaProgram P = assembleJava(Bench->Source, Bench->Name);
+  if (!P.ok()) {
+    std::fprintf(stderr, "fatal: benchmark %s: %s\n", Benchmark.c_str(),
+                 P.Error.c_str());
+    std::abort();
+  }
+  // Reference run on a scratch copy (quickening mutates it).
+  JavaProgram Copy = P;
+  JavaVM VM;
+  JavaVM::Result Ref = VM.run(Copy);
+  if (!Ref.ok()) {
+    std::fprintf(stderr, "fatal: benchmark %s reference run: %s\n",
+                 Benchmark.c_str(), Ref.Error.c_str());
+    std::abort();
+  }
+  ReferenceHash[Benchmark] = Ref.OutputHash;
+  ReferenceSteps[Benchmark] = Ref.Steps;
+  return Programs.emplace(Benchmark, std::move(P)).first->second;
 }
 
 const JavaProgram &JavaLab::program(const std::string &Benchmark) {
-  auto It = Programs.find(Benchmark);
-  assert(It != Programs.end() && "unknown benchmark");
-  return It->second;
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return programLocked(Benchmark);
 }
 
 const SequenceProfile &JavaLab::profileOf(const std::string &Benchmark) {
@@ -53,7 +64,7 @@ JavaLab::profileOfLocked(const std::string &Benchmark) {
   // Run once to quicken everything, then take the *static* profile of
   // the post-quickening code: static selection must see quick forms
   // (§5.4), and the JVM scheme counts static occurrences (§7.1).
-  JavaProgram Copy = program(Benchmark);
+  JavaProgram Copy = programLocked(Benchmark);
   JavaVM VM;
   JavaVM::Result R = VM.run(Copy);
   assert(R.ok() && "profile run failed");
@@ -173,7 +184,7 @@ PerfCounters JavaLab::runNoOverhead(const std::string &Benchmark,
   JavaVM VM;
   JavaVM::Result R = VM.run(Copy, &Sim, Layout.get());
   Sim.finish();
-  if (!R.ok() || R.OutputHash != ReferenceHash[Benchmark]) {
+  if (!R.ok() || R.OutputHash != referenceHash(Benchmark)) {
     std::fprintf(stderr, "fatal: %s under %s diverged (%s)\n",
                  Benchmark.c_str(), Variant.Name.c_str(),
                  R.Error.c_str());
@@ -182,16 +193,16 @@ PerfCounters JavaLab::runNoOverhead(const std::string &Benchmark,
   return Sim.counters();
 }
 
-uint64_t JavaLab::referenceHash(const std::string &Benchmark) const {
-  auto It = ReferenceHash.find(Benchmark);
-  assert(It != ReferenceHash.end() && "unknown benchmark");
-  return It->second;
+uint64_t JavaLab::referenceHash(const std::string &Benchmark) {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  (void)programLocked(Benchmark);
+  return ReferenceHash[Benchmark];
 }
 
-uint64_t JavaLab::referenceSteps(const std::string &Benchmark) const {
-  auto It = ReferenceSteps.find(Benchmark);
-  assert(It != ReferenceSteps.end() && "unknown benchmark");
-  return It->second;
+uint64_t JavaLab::referenceSteps(const std::string &Benchmark) {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  (void)programLocked(Benchmark);
+  return ReferenceSteps[Benchmark];
 }
 
 const DispatchTrace &JavaLab::trace(const std::string &Benchmark) {
@@ -203,14 +214,20 @@ const DispatchTrace &JavaLab::trace(const std::string &Benchmark) {
   }
 
   // Serialized-trace cache: a hash-verified file (events + quicken
-  // records) replaces the whole interpretation.
+  // records) replaces the whole interpretation. A file that exists but
+  // fails verification is surfaced (then re-captured).
+  uint64_t WorkloadHash = referenceHash(Benchmark);
   std::string CachePath = DispatchTrace::cachePathFor("java-" + Benchmark);
   if (!CachePath.empty()) {
     DispatchTrace Cached;
-    if (Cached.load(CachePath, referenceHash(Benchmark))) {
+    std::string Diag;
+    if (Cached.load(CachePath, WorkloadHash, &Diag)) {
       std::lock_guard<std::mutex> Lock(CacheMutex);
       return Traces.emplace(Benchmark, std::move(Cached)).first->second;
     }
+    if (Diag.find("cannot open") == std::string::npos)
+      std::fprintf(stderr, "warning: ignoring trace cache entry: %s\n",
+                   Diag.c_str());
   }
 
   // Capture on a scratch copy: quickening mutates the program, and the
@@ -220,16 +237,16 @@ const DispatchTrace &JavaLab::trace(const std::string &Benchmark) {
   JavaProgram Copy = program(Benchmark);
   DispatchTrace T;
   // One event per step: the reference run already told us the size.
-  T.reserve(ReferenceSteps[Benchmark]);
+  T.reserve(referenceSteps(Benchmark));
   JavaVM VM;
   JavaVM::Result R = VM.run(Copy, nullptr, nullptr, 1ull << 33, nullptr, &T);
-  if (!R.ok() || R.OutputHash != ReferenceHash[Benchmark]) {
+  if (!R.ok() || R.OutputHash != WorkloadHash) {
     std::fprintf(stderr, "fatal: %s capture run diverged (%s)\n",
                  Benchmark.c_str(), R.Error.c_str());
     std::abort();
   }
   if (!CachePath.empty())
-    (void)T.save(CachePath, referenceHash(Benchmark)); // best-effort
+    (void)T.save(CachePath, WorkloadHash); // best-effort
   std::lock_guard<std::mutex> Lock(CacheMutex);
   return Traces.emplace(Benchmark, std::move(T)).first->second;
 }

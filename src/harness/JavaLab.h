@@ -30,11 +30,16 @@
 namespace vmib {
 
 /// Cached assembly + selection state for the Java suite.
+///
+/// All per-benchmark state (assembly, reference run, trace) is
+/// populated lazily on first use, so a sweep-shard worker touching one
+/// workload does not pay for a whole-suite eager constructor.
 class JavaLab {
 public:
   JavaLab();
 
-  /// The pristine assembled program for a suite benchmark.
+  /// The pristine assembled program for a suite benchmark (assembled +
+  /// reference-run on first use). Thread-safe.
   const JavaProgram &program(const std::string &Benchmark);
 
   /// Leave-one-out static resources for \p Benchmark (§7.1); cached per
@@ -68,11 +73,12 @@ public:
   const DispatchTrace &trace(const std::string &Benchmark);
 
   /// Reference output hash of \p Benchmark (what every variant run and
-  /// the trace cache verify against).
-  uint64_t referenceHash(const std::string &Benchmark) const;
+  /// the trace cache verify against). Thread-safe.
+  uint64_t referenceHash(const std::string &Benchmark);
 
   /// Steps of the reference run (== events of the captured trace).
-  uint64_t referenceSteps(const std::string &Benchmark) const;
+  /// Thread-safe.
+  uint64_t referenceSteps(const std::string &Benchmark);
 
   /// Builds the dispatch layout of (Benchmark, Variant) over \p Over —
   /// the caller's fresh program copy that recorded quickenings will
@@ -138,6 +144,10 @@ private:
                              const VariantSpec &Variant,
                              const CpuConfig &Cpu);
 
+  /// Assembles + reference-runs \p Benchmark if not cached yet (fatal
+  /// on an unknown name or failing reference run, like the old eager
+  /// constructor).
+  const JavaProgram &programLocked(const std::string &Benchmark);
   const SequenceProfile &profileOfLocked(const std::string &Benchmark);
   const StaticResources &resourcesLocked(const std::string &Benchmark,
                                          uint32_t SuperCount,

@@ -1,0 +1,174 @@
+//===- harness/SweepExecutor.cpp ------------------------------------------===//
+
+#include "harness/SweepExecutor.h"
+
+#include "harness/SweepRunner.h"
+#include "support/Statistics.h"
+#include "uarch/CaseBlockTable.h"
+#include "uarch/CpuModel.h"
+#include "uarch/TwoLevelPredictor.h"
+
+#include <atomic>
+#include <cassert>
+#include <map>
+
+using namespace vmib;
+
+ForthLab &SweepExecutor::forth() {
+  if (ForthRef)
+    return *ForthRef;
+  if (!OwnedForth)
+    OwnedForth = std::make_unique<ForthLab>();
+  return *OwnedForth;
+}
+
+JavaLab &SweepExecutor::java() {
+  if (JavaRef)
+    return *JavaRef;
+  if (!OwnedJava)
+    OwnedJava = std::make_unique<JavaLab>();
+  return *OwnedJava;
+}
+
+std::vector<PerfCounters>
+SweepExecutor::runForthSlice(const SweepSpec &Spec, size_t Workload,
+                             size_t Begin, size_t End) {
+  ForthLab &Lab = forth();
+  const std::string &Benchmark = Spec.Benchmarks[Workload];
+  const DispatchTrace &Trace = Lab.trace(Benchmark);
+  GangReplayer Gang(Trace, Spec.ChunkEvents);
+  // One layout per variant, shared across the slice's members: members
+  // of the same variant then share a GroupDecoder (SoA tile decode),
+  // and the layout is built once instead of once per predictor point.
+  std::map<size_t, std::shared_ptr<DispatchProgram>> Layouts;
+  for (size_t M = Begin; M < End; ++M) {
+    size_t CpuIdx, VarIdx, PredIdx;
+    Spec.decodeMember(M, CpuIdx, VarIdx, PredIdx);
+    CpuConfig Cpu;
+    bool Known = cpuConfigById(Spec.Cpus[CpuIdx], Cpu);
+    assert(Known && "validateSweepSpec admits only known cpu ids");
+    (void)Known;
+    auto It = Layouts.find(VarIdx);
+    if (It == Layouts.end())
+      It = Layouts
+               .emplace(VarIdx, std::shared_ptr<DispatchProgram>(
+                                    Lab.buildLayout(Benchmark,
+                                                    Spec.Variants[VarIdx])))
+               .first;
+    const PredictorGeometry G = Spec.Predictors.empty()
+                                    ? PredictorGeometry()
+                                    : Spec.Predictors[PredIdx];
+    switch (G.PredKind) {
+    case PredictorGeometry::Kind::Default:
+      Gang.addDefault(It->second, Cpu);
+      break;
+    case PredictorGeometry::Kind::Btb:
+      Gang.addBtb(It->second, Cpu, G.Btb);
+      break;
+    case PredictorGeometry::Kind::TwoLevel:
+      Gang.addPredictor(It->second, Cpu, TwoLevelPredictor(G.TwoLevel));
+      break;
+    case PredictorGeometry::Kind::CaseBlock:
+      Gang.addPredictor(It->second, Cpu, CaseBlockTable(G.CaseBlockEntries));
+      break;
+    }
+  }
+  return Gang.run();
+}
+
+std::vector<PerfCounters>
+SweepExecutor::runJavaSlice(const SweepSpec &Spec, size_t Workload,
+                            size_t Begin, size_t End) {
+  JavaLab &Lab = java();
+  const std::string &Benchmark = Spec.Benchmarks[Workload];
+  // Java members are quickening replays on the CPU's default BTB
+  // (validateSweepSpec enforces a single Default predictor entry), so
+  // the member order is CPU-major runs of the variant list: intersect
+  // the slice with each CPU's run and gang-replay the variant subset.
+  // A member's counters do not depend on its gang's other members, so
+  // slicing cannot change any cell.
+  assert(Spec.Predictors.size() <= 1 &&
+         "validateSweepSpec caps java specs at one predictor entry");
+  std::vector<PerfCounters> Out;
+  size_t V = Spec.Variants.size();
+  for (size_t CpuIdx = 0; CpuIdx < Spec.Cpus.size(); ++CpuIdx) {
+    size_t RunBegin = CpuIdx * V, RunEnd = RunBegin + V;
+    size_t Lo = Begin > RunBegin ? Begin : RunBegin;
+    size_t Hi = End < RunEnd ? End : RunEnd;
+    if (Lo >= Hi)
+      continue;
+    CpuConfig Cpu;
+    bool Known = cpuConfigById(Spec.Cpus[CpuIdx], Cpu);
+    assert(Known && "validateSweepSpec admits only known cpu ids");
+    (void)Known;
+    std::vector<VariantSpec> Subset(Spec.Variants.begin() + (Lo - RunBegin),
+                                    Spec.Variants.begin() + (Hi - RunBegin));
+    std::vector<PerfCounters> Row = Lab.replayGang(Benchmark, Subset, Cpu);
+    Out.insert(Out.end(), Row.begin(), Row.end());
+  }
+  return Out;
+}
+
+std::vector<PerfCounters> SweepExecutor::runSlice(const SweepSpec &Spec,
+                                                  size_t Workload,
+                                                  size_t MemberBegin,
+                                                  size_t MemberEnd) {
+  assert(Workload < Spec.Benchmarks.size() &&
+         MemberEnd <= Spec.membersPerWorkload() &&
+         MemberBegin <= MemberEnd && "slice out of range");
+  if (Spec.Suite == "java")
+    return runJavaSlice(Spec, Workload, MemberBegin, MemberEnd);
+  return runForthSlice(Spec, Workload, MemberBegin, MemberEnd);
+}
+
+SweepRunStats SweepExecutor::runAll(const SweepSpec &Spec, unsigned Threads,
+                                    std::vector<PerfCounters> &Cells) {
+  if (Threads == 0)
+    Threads = defaultSweepThreads();
+  size_t W = Spec.Benchmarks.size();
+  size_t M = Spec.membersPerWorkload();
+
+  SweepRunStats Stats;
+  Stats.Configs = Spec.numCells();
+  double CaptureBusy = 0; // producer thread only; no lock needed
+  std::atomic<uint64_t> Events{0};
+  std::vector<std::vector<PerfCounters>> Rows(W);
+
+  WallTimer PipelineTimer;
+  pipelineSweep(
+      W, Threads,
+      [&](size_t I) {
+        WallTimer T;
+        const std::string &B = Spec.Benchmarks[I];
+        for (const std::string &CpuId : Spec.Cpus) {
+          CpuConfig Cpu;
+          if (!cpuConfigById(CpuId, Cpu))
+            continue;
+          // Per-CPU warmup: the Java runtime-overhead basis is a
+          // (benchmark, CPU) cache; the trace/profile warmups behind it
+          // are idempotent.
+          if (Spec.Suite == "java")
+            java().warmup(B, Cpu);
+          else
+            forth().warmup(B, Cpu);
+        }
+        CaptureBusy += T.seconds();
+      },
+      [&](size_t I) {
+        const std::string &B = Spec.Benchmarks[I];
+        uint64_t N = Spec.Suite == "java" ? java().trace(B).numEvents()
+                                          : forth().trace(B).numEvents();
+        // Every member rides the whole trace once per pass.
+        Events.fetch_add(N * M, std::memory_order_relaxed);
+        Rows[I] = runSlice(Spec, I, 0, M);
+      });
+  Stats.ReplaySeconds = PipelineTimer.seconds();
+  Stats.CaptureSeconds = CaptureBusy;
+  Stats.ReplayedEvents = Events.load();
+
+  Cells.assign(Spec.numCells(), PerfCounters());
+  for (size_t I = 0; I < W; ++I)
+    for (size_t J = 0; J < M; ++J)
+      Cells[Spec.cellIndex(I, J)] = Rows[I][J];
+  return Stats;
+}

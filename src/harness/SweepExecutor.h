@@ -1,0 +1,83 @@
+//===- harness/SweepExecutor.h - Run sweep specs in-process -----*- C++ -*-===//
+///
+/// \file
+/// Executes `SweepSpec`s over the lab replay pipeline. The executor is
+/// the single implementation both execution modes share:
+///
+///  - `runAll()` — the in-process path: trace-affine `pipelineSweep`
+///    over the workloads (capture of workload i+1 overlapped with the
+///    gang replay of workload i), one chunk-tiled gang per workload
+///    covering every (CPU × variant × predictor) member.
+///  - `runSlice()` — the shard-worker path: one workload's contiguous
+///    member range as a single gang (what a `sweep_driver --worker`
+///    process executes for its ShardJob).
+///
+/// Every member is a *full* replay, so a member's counters do not
+/// depend on which other members share the gang — `runAll` and any
+/// shard decomposition produce bit-identical cells (pinned by
+/// tests/SweepSpecTest.cpp).
+///
+/// Labs can be borrowed (a bench passes its own, keeping one set of
+/// compile/reference/trace caches per process) or are created lazily.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_HARNESS_SWEEPEXECUTOR_H
+#define VMIB_HARNESS_SWEEPEXECUTOR_H
+
+#include "harness/ForthLab.h"
+#include "harness/JavaLab.h"
+#include "harness/SweepSpec.h"
+
+#include <memory>
+#include <vector>
+
+namespace vmib {
+
+/// Wall-clock accounting of one sweep execution, in the units the
+/// standard [timing] line reports.
+struct SweepRunStats {
+  double CaptureSeconds = 0; ///< producer-thread busy time
+  double ReplaySeconds = 0;  ///< wall clock of the replay/pipeline stage
+  uint64_t ReplayedEvents = 0;
+  size_t Configs = 0;
+};
+
+class SweepExecutor {
+public:
+  /// Borrow \p Forth / \p Java (may be null: created lazily on first
+  /// use for the relevant suite).
+  explicit SweepExecutor(ForthLab *Forth = nullptr, JavaLab *Java = nullptr)
+      : ForthRef(Forth), JavaRef(Java) {}
+
+  /// Runs gang members [MemberBegin, MemberEnd) of workload \p Workload
+  /// as one gang over the workload's trace; results in member order.
+  std::vector<PerfCounters> runSlice(const SweepSpec &Spec, size_t Workload,
+                                     size_t MemberBegin, size_t MemberEnd);
+
+  /// The full in-process sweep: every cell, workload-major canonical
+  /// order, with capture overlapped via pipelineSweep. \p Threads == 0
+  /// uses defaultSweepThreads().
+  SweepRunStats runAll(const SweepSpec &Spec, unsigned Threads,
+                       std::vector<PerfCounters> &Cells);
+
+  ForthLab &forth();
+  JavaLab &java();
+
+private:
+  std::vector<PerfCounters> runForthSlice(const SweepSpec &Spec,
+                                          size_t Workload, size_t Begin,
+                                          size_t End);
+  std::vector<PerfCounters> runJavaSlice(const SweepSpec &Spec,
+                                         size_t Workload, size_t Begin,
+                                         size_t End);
+
+  ForthLab *ForthRef;
+  JavaLab *JavaRef;
+  std::unique_ptr<ForthLab> OwnedForth;
+  std::unique_ptr<JavaLab> OwnedJava;
+};
+
+} // namespace vmib
+
+#endif // VMIB_HARNESS_SWEEPEXECUTOR_H

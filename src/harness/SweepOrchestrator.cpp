@@ -1,0 +1,259 @@
+//===- harness/SweepOrchestrator.cpp --------------------------------------===//
+
+#include "harness/SweepOrchestrator.h"
+
+#include "support/Format.h"
+#include "support/Statistics.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+using namespace vmib;
+
+namespace {
+
+/// Replaces every occurrence of \p Key in \p S with \p Value.
+void substitute(std::string &S, const std::string &Key,
+                const std::string &Value) {
+  size_t Pos = 0;
+  while ((Pos = S.find(Key, Pos)) != std::string::npos) {
+    S.replace(Pos, Key.size(), Value);
+    Pos += Value.size();
+  }
+}
+
+/// Pulls "replayed_events=N" out of a worker [timing] line (0 if the
+/// token is absent) so the orchestrator can aggregate throughput.
+uint64_t replayedEventsOf(const std::string &Line) {
+  size_t Pos = Line.find("replayed_events=");
+  if (Pos == std::string::npos)
+    return 0;
+  return std::strtoull(Line.c_str() + Pos + std::strlen("replayed_events="),
+                       nullptr, 10);
+}
+
+/// Same for "capture_s=S": summed worker capture-busy seconds, so the
+/// merged timing line does not misreport sharded capture as free.
+double captureSecondsOf(const std::string &Line) {
+  size_t Pos = Line.find("capture_s=");
+  if (Pos == std::string::npos)
+    return 0;
+  return std::strtod(Line.c_str() + Pos + std::strlen("capture_s="),
+                     nullptr);
+}
+
+/// One live worker process.
+struct Worker {
+  std::FILE *Pipe = nullptr;
+  int Fd = -1;
+  size_t Job = 0;
+  std::string Line; ///< partial-line accumulator across reads
+};
+
+} // namespace
+
+std::string vmib::defaultSweepDriverPath() {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return "sweep_driver";
+  Buf[N] = '\0';
+  std::string Path(Buf);
+  size_t Slash = Path.rfind('/');
+  if (Slash == std::string::npos)
+    return "sweep_driver";
+  return Path.substr(0, Slash + 1) + "sweep_driver";
+}
+
+bool vmib::orchestrateSweep(const SweepSpec &Spec,
+                            const SweepWorkerOptions &Opt,
+                            std::vector<PerfCounters> &Cells,
+                            SweepRunStats &Stats, std::string &Error) {
+  std::vector<ShardJob> Jobs = decomposeSweep(Spec, Opt.Shards);
+  unsigned Concurrent = Opt.Shards < 1 ? 1 : Opt.Shards;
+  if (Concurrent > Jobs.size())
+    Concurrent = static_cast<unsigned>(Jobs.size());
+
+  // Make the spec reachable by workers; a temp file unless the caller
+  // already has one on (shared) disk.
+  std::string SpecPath = Opt.SpecPath;
+  bool OwnSpecFile = false;
+  if (SpecPath.empty()) {
+    SpecPath = format("/tmp/vmib-%s-%ld.spec", Spec.Name.c_str(),
+                      static_cast<long>(::getpid()));
+    if (!writeSweepSpecFile(Spec, SpecPath, Error))
+      return false;
+    OwnSpecFile = true;
+  }
+
+  std::string Template = Opt.CommandTemplate.empty()
+                             ? "{driver} --worker --spec={spec} "
+                               "--shards={shards} --job={job}"
+                             : Opt.CommandTemplate;
+  std::string Driver =
+      Opt.DriverBinary.empty() ? defaultSweepDriverPath() : Opt.DriverBinary;
+
+  std::vector<std::vector<PerfCounters>> Slices(Jobs.size());
+  // Per-member seen flags (not a count): a duplicated result line must
+  // not mask a missing member as "complete".
+  std::vector<std::vector<uint8_t>> Seen(Jobs.size());
+  bool Failed = false;
+  WallTimer Wall;
+  Stats = SweepRunStats();
+  Stats.Configs = Spec.numCells();
+
+  auto Spawn = [&](size_t Job, Worker &W) {
+    std::string Cmd = Template;
+    substitute(Cmd, "{driver}", Driver);
+    substitute(Cmd, "{spec}", SpecPath);
+    substitute(Cmd, "{shards}", std::to_string(Opt.Shards));
+    substitute(Cmd, "{job}", std::to_string(Job));
+    W.Pipe = ::popen(Cmd.c_str(), "r");
+    W.Job = Job;
+    if (!W.Pipe) {
+      Error = "failed to spawn worker: " + Cmd;
+      Failed = true;
+      return false;
+    }
+    // Non-blocking reads: the pool reaps whichever worker finishes
+    // first, so a straggler never delays spawning replacements.
+    W.Fd = ::fileno(W.Pipe);
+    ::fcntl(W.Fd, F_SETFL, ::fcntl(W.Fd, F_GETFL) | O_NONBLOCK);
+    return true;
+  };
+
+  auto HandleLine = [&](const Worker &W, const std::string &Line) {
+    const ShardJob &Job = Jobs[W.Job];
+    std::string Name;
+    size_t Workload, Member;
+    PerfCounters C;
+    if (parseSweepResultLine(Line, Name, Workload, Member, C)) {
+      if (Name != Spec.Name || Workload != Job.Workload ||
+          Member < Job.MemberBegin || Member >= Job.MemberEnd) {
+        Error = format("worker %zu: result line outside its shard: %s",
+                       W.Job, Line.c_str());
+        Failed = true;
+        return;
+      }
+      std::vector<PerfCounters> &Slice = Slices[W.Job];
+      if (Slice.empty()) {
+        Slice.resize(Job.MemberEnd - Job.MemberBegin);
+        Seen[W.Job].assign(Slice.size(), 0);
+      }
+      size_t Slot = Member - Job.MemberBegin;
+      if (Seen[W.Job][Slot]) {
+        Error = format("worker %zu: duplicate result for member %zu",
+                       W.Job, Member);
+        Failed = true;
+        return;
+      }
+      Seen[W.Job][Slot] = 1;
+      Slice[Slot] = C;
+    } else if (Line.compare(0, 8, "[timing]") == 0) {
+      Stats.ReplayedEvents += replayedEventsOf(Line);
+      Stats.CaptureSeconds += captureSecondsOf(Line);
+      if (Opt.EchoWorkerTimings)
+        std::printf("%s\n", Line.c_str());
+    }
+  };
+
+  /// Consumes whatever the worker has written; \returns true at EOF.
+  auto ReadAvailable = [&](Worker &W) {
+    char Buf[4096];
+    for (;;) {
+      ssize_t N = ::read(W.Fd, Buf, sizeof(Buf));
+      if (N > 0) {
+        for (ssize_t I = 0; I < N && !Failed; ++I) {
+          if (Buf[I] == '\n') {
+            HandleLine(W, W.Line);
+            W.Line.clear();
+          } else {
+            W.Line += Buf[I];
+          }
+        }
+        continue;
+      }
+      if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        return false;
+      return true; // EOF (or read error; pclose status will tell)
+    }
+  };
+
+  auto Reap = [&](Worker &W) {
+    if (!W.Line.empty() && !Failed)
+      HandleLine(W, W.Line);
+    int Status = ::pclose(W.Pipe);
+    W.Pipe = nullptr;
+    if (Status != 0 && !Failed) {
+      Error = format("worker for job %zu exited with status %d", W.Job,
+                     Status);
+      Failed = true;
+    }
+  };
+
+  // Keep up to Concurrent workers alive; poll() their pipes and reap
+  // in completion order, refilling the pool as workers finish.
+  std::vector<Worker> Pool;
+  size_t NextJob = 0;
+  while ((NextJob < Jobs.size() || !Pool.empty()) && !Failed) {
+    while (NextJob < Jobs.size() && Pool.size() < Concurrent && !Failed) {
+      Pool.emplace_back();
+      if (Spawn(NextJob, Pool.back()))
+        ++NextJob;
+      else
+        Pool.pop_back();
+    }
+    if (Pool.empty() || Failed)
+      break;
+    std::vector<struct pollfd> Fds;
+    for (const Worker &W : Pool)
+      Fds.push_back({W.Fd, POLLIN, 0});
+    if (::poll(Fds.data(), Fds.size(), -1) < 0 && errno != EINTR) {
+      Error = format("poll failed: %s", std::strerror(errno));
+      Failed = true;
+      break;
+    }
+    for (size_t I = 0; I < Pool.size() && !Failed;) {
+      if ((Fds[I].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        ++I;
+        continue;
+      }
+      if (ReadAvailable(Pool[I])) {
+        Reap(Pool[I]);
+        Pool.erase(Pool.begin() + I);
+        Fds.erase(Fds.begin() + I);
+      } else {
+        ++I;
+      }
+    }
+  }
+  // On failure, reap whatever is still running before returning.
+  for (Worker &W : Pool)
+    if (W.Pipe)
+      ::pclose(W.Pipe);
+  if (OwnSpecFile)
+    std::remove(SpecPath.c_str());
+  if (Failed)
+    return false;
+  Stats.ReplaySeconds = Wall.seconds();
+
+  // A worker that exits 0 without reporting every member of its shard
+  // is a protocol violation, not a zero-counter result.
+  for (size_t J = 0; J < Jobs.size(); ++J) {
+    size_t Expected = Jobs[J].MemberEnd - Jobs[J].MemberBegin;
+    size_t Got = 0;
+    for (uint8_t S : Seen[J])
+      Got += S;
+    if (Got != Expected) {
+      Error = format("worker for job %zu reported %zu of %zu members", J,
+                     Got, Expected);
+      return false;
+    }
+  }
+  return mergeShardResults(Spec, Jobs, Slices, Cells, Error);
+}

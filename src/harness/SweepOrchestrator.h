@@ -1,0 +1,73 @@
+//===- harness/SweepOrchestrator.h - Multi-process sweep fan-out *- C++ -*-===//
+///
+/// \file
+/// Distributes a `SweepSpec` over worker *processes* and merges their
+/// results. The orchestrator decomposes the spec into ShardJobs
+/// (decomposeSweep), keeps up to `Shards` workers alive at a time, and
+/// parses each worker's `[result]` lines back into the canonical cell
+/// vector — bit-identical to `SweepExecutor::runAll` because cells are
+/// pure functions of (trace, configuration) and the result lines are
+/// exact decimal round trips.
+///
+/// Workers are launched through a shell command template, so the same
+/// orchestrator fans out locally (the default template runs the
+/// sibling `sweep_driver` binary) or across machines (an SSH/queue
+/// template — the spec file and trace cache just have to be reachable
+/// from the remote side):
+///
+///   {driver} --worker --spec={spec} --shards={shards} --job={job}
+///   ssh host 'VMIB_TRACE_CACHE=/shared/cache {driver} --worker ...'
+///
+/// The worker protocol is line-oriented stdout: any number of
+/// `[timing]` lines (echoed through for the timing artifact), one
+/// `[result]` line per finished member, exit status 0. Anything else
+/// is ignored, so workers can keep printing banners.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_HARNESS_SWEEPORCHESTRATOR_H
+#define VMIB_HARNESS_SWEEPORCHESTRATOR_H
+
+#include "harness/SweepExecutor.h"
+#include "harness/SweepSpec.h"
+
+#include <string>
+#include <vector>
+
+namespace vmib {
+
+/// How to fan a sweep out over worker processes.
+struct SweepWorkerOptions {
+  /// Worker processes kept running concurrently (and the decomposition
+  /// granularity hint handed to decomposeSweep).
+  unsigned Shards = 1;
+  /// Spec file passed to workers as {spec}. Empty: the orchestrator
+  /// writes the spec to a temp file and removes it afterwards. For
+  /// remote templates this must be a path the remote side can read.
+  std::string SpecPath;
+  /// Shell command template; {driver}, {spec}, {shards}, {job} are
+  /// substituted. Empty uses the default local-worker template above.
+  std::string CommandTemplate;
+  /// Path substituted for {driver}; empty uses defaultSweepDriverPath().
+  std::string DriverBinary;
+  /// Echo worker [timing] lines to stdout (the merged timing artifact).
+  bool EchoWorkerTimings = true;
+};
+
+/// The sibling sweep_driver binary of the running executable
+/// (<dir of /proc/self/exe>/sweep_driver), or "sweep_driver" when the
+/// executable path cannot be resolved.
+std::string defaultSweepDriverPath();
+
+/// Runs \p Spec over worker processes per \p Opt; on success fills
+/// \p Cells (canonical order) and \p Stats (ReplaySeconds = fan-out
+/// wall clock; ReplayedEvents summed from worker timing lines).
+/// \returns false with \p Error set on spawn failure, worker failure,
+/// or incomplete/duplicate coverage.
+bool orchestrateSweep(const SweepSpec &Spec, const SweepWorkerOptions &Opt,
+                      std::vector<PerfCounters> &Cells, SweepRunStats &Stats,
+                      std::string &Error);
+
+} // namespace vmib
+
+#endif // VMIB_HARNESS_SWEEPORCHESTRATOR_H

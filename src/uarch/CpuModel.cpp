@@ -47,6 +47,37 @@ CpuConfig vmib::makeAthlon1200() {
   return Cpu;
 }
 
+namespace {
+
+struct ModelEntry {
+  const char *Id;
+  CpuConfig (*Make)();
+};
+
+const ModelEntry Models[] = {
+    {"celeron800", vmib::makeCeleron800},
+    {"p4northwood", vmib::makePentium4Northwood},
+    {"athlon1200", vmib::makeAthlon1200},
+};
+
+} // namespace
+
+std::vector<std::string> vmib::cpuModelIds() {
+  std::vector<std::string> Ids;
+  for (const ModelEntry &M : Models)
+    Ids.push_back(M.Id);
+  return Ids;
+}
+
+bool vmib::cpuConfigById(const std::string &Id, CpuConfig &Out) {
+  for (const ModelEntry &M : Models)
+    if (Id == M.Id) {
+      Out = M.Make();
+      return true;
+    }
+  return false;
+}
+
 void vmib::finalizeCycles(const CpuConfig &Cpu, PerfCounters &C) {
   C.MissCycles = C.ICacheMisses * Cpu.ICacheMissPenalty;
   double Base = static_cast<double>(C.Instructions) * Cpu.BaseCPI;

@@ -22,6 +22,7 @@
 #include "uarch/PerfCounters.h"
 
 #include <string>
+#include <vector>
 
 namespace vmib {
 
@@ -51,6 +52,13 @@ CpuConfig makePentium4Northwood();
 
 /// Athlon-1200 (§7.6 native-code comparison).
 CpuConfig makeAthlon1200();
+
+/// Stable model ids for the sweep-spec text format: "celeron800",
+/// "p4northwood", "athlon1200".
+std::vector<std::string> cpuModelIds();
+
+/// Builds the named model. \returns false if \p Id names no model.
+bool cpuConfigById(const std::string &Id, CpuConfig &Out);
 
 /// Derives Cycles and MissCycles for \p Counters under \p Cpu:
 ///   cycles = instructions * BaseCPI

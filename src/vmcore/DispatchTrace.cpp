@@ -20,8 +20,13 @@
 
 #include "vmcore/DispatchTrace.h"
 
+#include "support/Format.h"
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
 #include <unistd.h>
 
 using namespace vmib;
@@ -143,22 +148,43 @@ bool DispatchTrace::save(const std::string &Path,
 }
 
 bool DispatchTrace::load(const std::string &Path,
-                         uint64_t ExpectedWorkloadHash) {
+                         uint64_t ExpectedWorkloadHash, std::string *Diag) {
   clear();
+  // Every failure path funnels through here: the trace is cleared again
+  // so a partially filled buffer can never leak out, and the caller
+  // gets one line naming exactly what was rejected.
+  auto Fail = [&](std::string Why) {
+    clear();
+    if (Diag)
+      *Diag = Path + ": " + std::move(Why);
+    return false;
+  };
   File In(Path.c_str(), "rb");
   if (!In.F)
-    return false;
+    return Fail(format("cannot open: %s", std::strerror(errno)));
   if (std::fseek(In.F, 0, SEEK_END) != 0)
-    return false;
+    return Fail("seek failed");
   long FileBytes = std::ftell(In.F);
   if (FileBytes < 0 || std::fseek(In.F, 0, SEEK_SET) != 0)
-    return false;
+    return Fail("seek failed");
   uint64_t Header[HeaderWords];
   if (std::fread(Header, sizeof(uint64_t), HeaderWords, In.F) != HeaderWords)
-    return false;
-  if (Header[0] != FileMagic || Header[1] != CurrentVersion ||
-      Header[4] != ExpectedWorkloadHash)
-    return false;
+    return Fail(format("truncated: %ld bytes is shorter than the %zu-byte "
+                       "header",
+                       FileBytes, HeaderWords * sizeof(uint64_t)));
+  if (Header[0] != FileMagic)
+    return Fail("bad magic (not a trace file)");
+  if (Header[1] != CurrentVersion)
+    return Fail(format("format version %llu, expected %llu (stale cache "
+                       "entry)",
+                       (unsigned long long)Header[1],
+                       (unsigned long long)CurrentVersion));
+  if (Header[4] != ExpectedWorkloadHash)
+    return Fail(format("workload hash %016llx does not match expected "
+                       "%016llx (trace was captured from a different "
+                       "workload)",
+                       (unsigned long long)Header[4],
+                       (unsigned long long)ExpectedWorkloadHash));
   uint64_t NumEvents = Header[2], NumQuickens = Header[3];
   // Validate the counts against the actual file size before sizing any
   // buffer: a corrupted header must fail the load, not throw out of a
@@ -167,33 +193,68 @@ bool DispatchTrace::load(const std::string &Path,
   if (NumEvents > FileWords || NumQuickens > FileWords ||
       HeaderWords + NumEvents + WordsPerQuicken * NumQuickens != FileWords ||
       static_cast<uint64_t>(FileBytes) % sizeof(uint64_t) != 0)
-    return false;
+    return Fail(format("size mismatch: header claims %llu events + %llu "
+                       "quicken records but the file holds %ld bytes "
+                       "(truncated or trailing garbage)",
+                       (unsigned long long)NumEvents,
+                       (unsigned long long)NumQuickens, FileBytes));
   Events.resize(NumEvents);
   if (NumEvents != 0 &&
-      std::fread(Events.data(), sizeof(Event), NumEvents, In.F) != NumEvents) {
-    clear();
-    return false;
-  }
+      std::fread(Events.data(), sizeof(Event), NumEvents, In.F) != NumEvents)
+    return Fail("short read on event array");
   Quickens.reserve(NumQuickens);
   for (size_t I = 0; I < NumQuickens; ++I) {
     uint64_t Words[WordsPerQuicken];
     if (std::fread(Words, sizeof(uint64_t), WordsPerQuicken, In.F) !=
-        WordsPerQuicken) {
-      clear();
-      return false;
-    }
+        WordsPerQuicken)
+      return Fail("short read on quicken records");
     Quickens.push_back(unpackQuicken(Words));
   }
-  if (contentHash() != Header[5]) {
-    clear();
-    return false;
-  }
+  if (contentHash() != Header[5])
+    return Fail("content hash mismatch (bit corruption)");
   return true;
 }
 
+namespace {
+
+/// mkdir -p: creates \p Dir and any missing parents. \returns false if
+/// any component could not be created.
+bool ensureDirExists(const std::string &Dir) {
+  struct stat St;
+  if (::stat(Dir.c_str(), &St) == 0)
+    return S_ISDIR(St.st_mode);
+  for (size_t Pos = 1; Pos <= Dir.size(); ++Pos) {
+    if (Pos != Dir.size() && Dir[Pos] != '/')
+      continue;
+    std::string Prefix = Dir.substr(0, Pos);
+    if (::mkdir(Prefix.c_str(), 0777) != 0 && errno != EEXIST)
+      return false;
+  }
+  return ::stat(Dir.c_str(), &St) == 0 && S_ISDIR(St.st_mode);
+}
+
+} // namespace
+
 std::string DispatchTrace::cacheDir() {
   const char *Env = std::getenv("VMIB_TRACE_CACHE");
-  return Env == nullptr ? std::string() : std::string(Env);
+  if (Env == nullptr || Env[0] == '\0')
+    return std::string();
+  std::string Dir(Env);
+  // Auto-create the configured directory: a missing cache dir used to
+  // make every save() fail silently, which read as "caching works but
+  // nothing persists". Creation failure disables the cache loudly.
+  if (!ensureDirExists(Dir)) {
+    static bool Warned = false;
+    if (!Warned) {
+      Warned = true;
+      std::fprintf(stderr,
+                   "warning: VMIB_TRACE_CACHE=%s cannot be created (%s); "
+                   "trace caching disabled\n",
+                   Dir.c_str(), std::strerror(errno));
+    }
+    return std::string();
+  }
+  return Dir;
 }
 
 std::string DispatchTrace::cachePathFor(const std::string &Key) {

@@ -154,11 +154,19 @@ public:
   bool save(const std::string &Path, uint64_t WorkloadHash) const;
 
   /// Replaces *this with the trace stored at \p Path. \returns false
-  /// (leaving *this cleared) if the file is missing, has a wrong
-  /// magic/version, fails either hash check, or is truncated.
-  bool load(const std::string &Path, uint64_t ExpectedWorkloadHash);
+  /// (leaving *this cleared — a failed load never exposes partial
+  /// state) if the file is missing, has a wrong magic/version, fails
+  /// either hash check, or is truncated / carries trailing garbage.
+  /// When \p Diag is non-null, a failure stores a one-line description
+  /// of exactly what was rejected (callers surface it instead of
+  /// silently re-capturing on a corrupt cache).
+  bool load(const std::string &Path, uint64_t ExpectedWorkloadHash,
+            std::string *Diag = nullptr);
 
   /// The trace-cache directory (VMIB_TRACE_CACHE), or "" when unset.
+  /// A configured directory that does not exist yet is created
+  /// (including parents); "" is returned if creation fails, so cache
+  /// misconfiguration degrades to "no cache", never to lost traces.
   static std::string cacheDir();
 
   /// Canonical cache file path for workload \p Key, or "" when the

@@ -32,6 +32,51 @@ const char *vmib::strategyName(DispatchStrategy Kind) {
   return "unknown";
 }
 
+const char *vmib::strategyId(DispatchStrategy Kind) {
+  switch (Kind) {
+  case DispatchStrategy::Switch:
+    return "switch";
+  case DispatchStrategy::Threaded:
+    return "threaded";
+  case DispatchStrategy::StaticRepl:
+    return "static-repl";
+  case DispatchStrategy::StaticSuper:
+    return "static-super";
+  case DispatchStrategy::StaticBoth:
+    return "static-both";
+  case DispatchStrategy::DynamicRepl:
+    return "dynamic-repl";
+  case DispatchStrategy::DynamicSuper:
+    return "dynamic-super";
+  case DispatchStrategy::DynamicBoth:
+    return "dynamic-both";
+  case DispatchStrategy::AcrossBB:
+    return "across-bb";
+  case DispatchStrategy::WithStaticSuper:
+    return "with-static-super";
+  case DispatchStrategy::WithStaticSuperAcross:
+    return "with-static-super-across";
+  }
+  return "unknown";
+}
+
+bool vmib::strategyFromId(const std::string &Id, DispatchStrategy &Kind) {
+  static const DispatchStrategy All[] = {
+      DispatchStrategy::Switch,        DispatchStrategy::Threaded,
+      DispatchStrategy::StaticRepl,    DispatchStrategy::StaticSuper,
+      DispatchStrategy::StaticBoth,    DispatchStrategy::DynamicRepl,
+      DispatchStrategy::DynamicSuper,  DispatchStrategy::DynamicBoth,
+      DispatchStrategy::AcrossBB,      DispatchStrategy::WithStaticSuper,
+      DispatchStrategy::WithStaticSuperAcross,
+  };
+  for (DispatchStrategy K : All)
+    if (Id == strategyId(K)) {
+      Kind = K;
+      return true;
+    }
+  return false;
+}
+
 bool vmib::isDynamicStrategy(DispatchStrategy Kind) {
   switch (Kind) {
   case DispatchStrategy::DynamicRepl:

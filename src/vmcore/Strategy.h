@@ -55,6 +55,14 @@ struct StrategyConfig {
 /// "static repl", ...).
 const char *strategyName(DispatchStrategy Kind);
 
+/// Stable, space-free identifier for a strategy ("threaded",
+/// "static-repl", ...) — the token the sweep-spec text format uses, so
+/// it must never change for an existing strategy.
+const char *strategyId(DispatchStrategy Kind);
+
+/// Inverse of strategyId(). \returns false if \p Id names no strategy.
+bool strategyFromId(const std::string &Id, DispatchStrategy &Kind);
+
 /// \returns whether the strategy generates code at run time.
 bool isDynamicStrategy(DispatchStrategy Kind);
 

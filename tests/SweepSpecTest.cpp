@@ -1,0 +1,440 @@
+//===- tests/SweepSpecTest.cpp - Sweep spec / sharding / trace cache ------===//
+///
+/// Pins the contracts the distributed-sweep layer rests on:
+///  - spec text round-trip is exact (parse(print(S)) == S),
+///  - shard decomposition covers every cell exactly once and the merged
+///    shard results are bit-identical to a single in-process gang sweep
+///    (both suites),
+///  - [result] lines round-trip PerfCounters exactly,
+///  - corrupt trace-cache files fail to load with a diagnostic and no
+///    partial state, and the cache directory is auto-created.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/SweepExecutor.h"
+#include "harness/SweepSpec.h"
+#include "vmcore/DispatchTrace.h"
+#include "workloads/ForthSuite.h"
+#include "workloads/JavaSuite.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace vmib;
+
+namespace {
+
+PredictorGeometry btbGeometry(uint32_t Entries, bool TwoBit = false) {
+  PredictorGeometry G;
+  G.PredKind = PredictorGeometry::Kind::Btb;
+  G.Btb.Entries = Entries;
+  G.Btb.Ways = 4;
+  G.Btb.TwoBitCounters = TwoBit;
+  return G;
+}
+
+/// A spec exercising every serializable dimension (quoted variant
+/// names, every predictor kind, several CPUs).
+SweepSpec fullSpec() {
+  SweepSpec S;
+  S.Name = "sweeptest_full";
+  S.Suite = "forth";
+  S.Benchmarks = {forthSuite()[0].Name, forthSuite()[1].Name};
+  S.Cpus = {"p4northwood", "celeron800", "athlon1200"};
+  S.Variants = {makeVariant(DispatchStrategy::Threaded),
+                makeVariant(DispatchStrategy::StaticBoth),
+                makeVariant(DispatchStrategy::WithStaticSuper)};
+  S.Variants[1].Config.Policy = ReplicaPolicy::Random;
+  S.Variants[2].Config.Parse = ParsePolicy::Optimal;
+  S.Variants[2].Config.Seed = 12345;
+  PredictorGeometry TwoLevel;
+  TwoLevel.PredKind = PredictorGeometry::Kind::TwoLevel;
+  TwoLevel.TwoLevel.TableEntries = 1024;
+  TwoLevel.TwoLevel.HistoryLength = 8;
+  PredictorGeometry CaseBlock;
+  CaseBlock.PredKind = PredictorGeometry::Kind::CaseBlock;
+  CaseBlock.CaseBlockEntries = 2048;
+  S.Predictors = {PredictorGeometry(), btbGeometry(256, true), TwoLevel,
+                  CaseBlock};
+  S.ChunkEvents = 1 << 14;
+  return S;
+}
+
+/// The small sweep the shard-equivalence tests execute for real.
+SweepSpec forthRunSpec() {
+  SweepSpec S;
+  S.Name = "sweeptest_forth";
+  S.Suite = "forth";
+  S.Benchmarks = {forthSuite()[0].Name, forthSuite()[1].Name};
+  S.Cpus = {"p4northwood"};
+  S.Variants = {makeVariant(DispatchStrategy::Threaded),
+                makeVariant(DispatchStrategy::StaticRepl),
+                makeVariant(DispatchStrategy::AcrossBB)};
+  S.Predictors = {PredictorGeometry(), btbGeometry(128)};
+  return S;
+}
+
+SweepSpec javaRunSpec() {
+  SweepSpec S;
+  S.Name = "sweeptest_java";
+  S.Suite = "java";
+  S.Benchmarks = {javaSuite()[0].Name, javaSuite()[1].Name};
+  S.Cpus = {"p4northwood"};
+  S.Variants = {makeVariant(DispatchStrategy::Threaded),
+                makeVariant(DispatchStrategy::DynamicSuper)};
+  return S;
+}
+
+void expectCellsEqual(const std::vector<PerfCounters> &A,
+                      const std::vector<PerfCounters> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(0, std::memcmp(&A[I], &B[I], sizeof(PerfCounters)))
+        << "cell " << I << " diverges";
+}
+
+/// Runs the spec shard-by-shard through the executor and merges.
+std::vector<PerfCounters> runSharded(SweepExecutor &Executor,
+                                     const SweepSpec &Spec, unsigned Shards) {
+  std::vector<ShardJob> Jobs = decomposeSweep(Spec, Shards);
+  std::vector<std::vector<PerfCounters>> Slices;
+  for (const ShardJob &J : Jobs)
+    Slices.push_back(
+        Executor.runSlice(Spec, J.Workload, J.MemberBegin, J.MemberEnd));
+  std::vector<PerfCounters> Cells;
+  std::string Error;
+  EXPECT_TRUE(mergeShardResults(Spec, Jobs, Slices, Cells, Error)) << Error;
+  return Cells;
+}
+
+} // namespace
+
+//===--- text format ------------------------------------------------------===//
+
+TEST(SweepSpec, PrintParseRoundTrip) {
+  SweepSpec S = fullSpec();
+  std::string Text = printSweepSpec(S);
+  SweepSpec P;
+  std::string Error;
+  ASSERT_TRUE(parseSweepSpec(Text, P, Error)) << Error;
+  // print -> parse -> print is the identity (field-exact round trip).
+  EXPECT_EQ(Text, printSweepSpec(P));
+  ASSERT_EQ(S.Variants.size(), P.Variants.size());
+  for (size_t I = 0; I < S.Variants.size(); ++I) {
+    EXPECT_EQ(S.Variants[I].Name, P.Variants[I].Name);
+    EXPECT_EQ(S.Variants[I].Config.Kind, P.Variants[I].Config.Kind);
+    EXPECT_EQ(S.Variants[I].Config.Seed, P.Variants[I].Config.Seed);
+    EXPECT_EQ(S.Variants[I].SuperCount, P.Variants[I].SuperCount);
+    EXPECT_EQ(S.Variants[I].ReplicaCount, P.Variants[I].ReplicaCount);
+    EXPECT_EQ(S.Variants[I].ReplicateSupers, P.Variants[I].ReplicateSupers);
+  }
+  ASSERT_EQ(S.Predictors.size(), P.Predictors.size());
+  EXPECT_EQ(P.Predictors[1].Btb.Entries, 256u);
+  EXPECT_TRUE(P.Predictors[1].Btb.TwoBitCounters);
+  EXPECT_EQ(P.Predictors[2].TwoLevel.TableEntries, 1024u);
+  EXPECT_EQ(P.Predictors[3].CaseBlockEntries, 2048u);
+  EXPECT_EQ(P.ChunkEvents, size_t{1} << 14);
+  EXPECT_EQ(P.Cpus, S.Cpus);
+  EXPECT_EQ(P.Benchmarks, S.Benchmarks);
+}
+
+TEST(SweepSpec, ParseRejectsMalformedSpecs) {
+  SweepSpec P;
+  std::string Error;
+  EXPECT_FALSE(parseSweepSpec("", P, Error));
+  EXPECT_FALSE(parseSweepSpec("not-a-spec\n", P, Error));
+
+  std::string Good = printSweepSpec(forthRunSpec());
+  // Truncation (no 'end') is a parse error, not a shorter sweep.
+  std::string Truncated = Good.substr(0, Good.size() - 4);
+  EXPECT_FALSE(parseSweepSpec(Truncated, P, Error));
+  EXPECT_NE(Error.find("end"), std::string::npos);
+
+  std::string BadKind = Good;
+  size_t Pos = BadKind.find("kind=threaded");
+  BadKind.replace(Pos, std::strlen("kind=threaded"), "kind=bogus");
+  EXPECT_FALSE(parseSweepSpec(BadKind, P, Error));
+  EXPECT_NE(Error.find("bogus"), std::string::npos);
+
+  std::string BadCpu = Good;
+  Pos = BadCpu.find("cpu p4northwood");
+  BadCpu.replace(Pos, std::strlen("cpu p4northwood"), "cpu pdp11");
+  EXPECT_FALSE(parseSweepSpec(BadCpu, P, Error));
+  EXPECT_NE(Error.find("pdp11"), std::string::npos);
+
+  // Java sweeps reject non-default predictor geometries, and more than
+  // one predictor entry (the java executor assumes one per variant).
+  SweepSpec Java = javaRunSpec();
+  Java.Predictors = {btbGeometry(256)};
+  EXPECT_FALSE(validateSweepSpec(Java, Error));
+  Java.Predictors = {PredictorGeometry(), PredictorGeometry()};
+  EXPECT_FALSE(validateSweepSpec(Java, Error));
+}
+
+TEST(SweepSpec, ResultLineRoundTrip) {
+  PerfCounters C;
+  C.Cycles = 0xDEADBEEF12345ULL;
+  C.Instructions = 987654321;
+  C.VMInstructions = 123456789;
+  C.IndirectBranches = 42;
+  C.Mispredictions = 7;
+  C.ICacheMisses = 99;
+  C.MissCycles = 2673;
+  C.CodeBytes = 4096;
+  C.DispatchCount = 41;
+  std::string Line = sweepResultLine("mysweep", 3, 17, C);
+  std::string Name;
+  size_t W = 0, M = 0;
+  PerfCounters Parsed;
+  ASSERT_TRUE(parseSweepResultLine(Line, Name, W, M, Parsed));
+  EXPECT_EQ(Name, "mysweep");
+  EXPECT_EQ(W, 3u);
+  EXPECT_EQ(M, 17u);
+  EXPECT_EQ(0, std::memcmp(&C, &Parsed, sizeof(PerfCounters)));
+
+  EXPECT_FALSE(parseSweepResultLine("[timing] bench=x", Name, W, M, Parsed));
+  EXPECT_FALSE(parseSweepResultLine("[result] sweep=x workload=0", Name, W,
+                                    M, Parsed));
+}
+
+//===--- decomposition ----------------------------------------------------===//
+
+TEST(SweepSpec, DecompositionCoversEveryCellExactlyOnce) {
+  SweepSpec S = fullSpec(); // 2 workloads x 36 members
+  size_t M = S.membersPerWorkload();
+  for (unsigned Shards : {1u, 2u, 3u, 4u, 7u, 16u, 1000u}) {
+    std::vector<ShardJob> Jobs = decomposeSweep(S, Shards);
+    ASSERT_GE(Jobs.size(), std::min<size_t>(Shards, S.Benchmarks.size()));
+    std::vector<int> Covered(S.numCells(), 0);
+    for (const ShardJob &J : Jobs) {
+      ASSERT_LT(J.Workload, S.Benchmarks.size());
+      ASSERT_LE(J.MemberEnd, M);
+      ASSERT_LT(J.MemberBegin, J.MemberEnd); // no empty jobs
+      for (size_t I = J.MemberBegin; I < J.MemberEnd; ++I)
+        ++Covered[S.cellIndex(J.Workload, I)];
+    }
+    for (size_t Cell = 0; Cell < Covered.size(); ++Cell)
+      EXPECT_EQ(1, Covered[Cell]) << "shards=" << Shards;
+  }
+  // Trace-affine: with fewer shards than workloads, one job per
+  // workload.
+  EXPECT_EQ(decomposeSweep(S, 1).size(), S.Benchmarks.size());
+}
+
+TEST(SweepSpec, MergeRejectsBadCoverage) {
+  SweepSpec S = forthRunSpec();
+  std::vector<ShardJob> Jobs = decomposeSweep(S, 4);
+  std::vector<std::vector<PerfCounters>> Slices;
+  for (const ShardJob &J : Jobs)
+    Slices.emplace_back(J.MemberEnd - J.MemberBegin);
+  std::vector<PerfCounters> Cells;
+  std::string Error;
+  ASSERT_TRUE(mergeShardResults(S, Jobs, Slices, Cells, Error)) << Error;
+
+  // Wrong slice size.
+  Slices[0].pop_back();
+  EXPECT_FALSE(mergeShardResults(S, Jobs, Slices, Cells, Error));
+  Slices[0].emplace_back();
+
+  // A missing job leaves cells uncovered.
+  std::vector<ShardJob> Short(Jobs.begin(), Jobs.end() - 1);
+  std::vector<std::vector<PerfCounters>> ShortSlices(Slices.begin(),
+                                                     Slices.end() - 1);
+  EXPECT_FALSE(mergeShardResults(S, Short, ShortSlices, Cells, Error));
+
+  // Overlapping jobs cover a cell twice.
+  std::vector<ShardJob> Dup = Jobs;
+  Dup.push_back(Jobs[0]);
+  std::vector<std::vector<PerfCounters>> DupSlices = Slices;
+  DupSlices.push_back(Slices[0]);
+  EXPECT_FALSE(mergeShardResults(S, Dup, DupSlices, Cells, Error));
+}
+
+//===--- shard/merge bit-identity -----------------------------------------===//
+
+TEST(SweepSpec, ShardedForthSweepIsBitIdenticalToInProcess) {
+  SweepSpec S = forthRunSpec();
+  SweepExecutor Executor;
+  std::vector<PerfCounters> Full;
+  Executor.runAll(S, 1, Full);
+  ASSERT_EQ(Full.size(), S.numCells());
+  for (unsigned Shards : {3u, 5u})
+    expectCellsEqual(Full, runSharded(Executor, S, Shards));
+}
+
+TEST(SweepSpec, ShardedJavaSweepIsBitIdenticalToInProcess) {
+  SweepSpec S = javaRunSpec();
+  SweepExecutor Executor;
+  std::vector<PerfCounters> Full;
+  Executor.runAll(S, 1, Full);
+  ASSERT_EQ(Full.size(), S.numCells());
+  for (unsigned Shards : {3u, 4u})
+    expectCellsEqual(Full, runSharded(Executor, S, Shards));
+}
+
+//===--- trace-cache hardening --------------------------------------------===//
+
+namespace {
+
+/// A deterministic little trace (with quicken records) for file tests.
+DispatchTrace makeTrace() {
+  DispatchTrace T;
+  for (uint32_t I = 0; I < 1000; ++I)
+    T.append(I % 7, (I + 1) % 7);
+  VMInstr Q;
+  Q.Op = 3;
+  Q.A = -1;
+  Q.B = 99;
+  T.appendQuicken(5, Q);
+  return T;
+}
+
+class TraceFileTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    std::snprintf(Dir, sizeof(Dir), "/tmp/vmib-trace-test-XXXXXX");
+    ASSERT_NE(nullptr, ::mkdtemp(Dir));
+    Path = std::string(Dir) + "/t.vmibtrace";
+    Trace = makeTrace();
+    ASSERT_TRUE(Trace.save(Path, /*WorkloadHash=*/0x1234));
+  }
+  void TearDown() override {
+    std::remove(Path.c_str());
+    ::rmdir(Dir);
+  }
+
+  /// Overwrites Bytes at Offset (negative: from the end).
+  void corrupt(long Offset, const void *Bytes, size_t N) {
+    std::FILE *F = std::fopen(Path.c_str(), "r+b");
+    ASSERT_NE(nullptr, F);
+    std::fseek(F, Offset, Offset < 0 ? SEEK_END : SEEK_SET);
+    std::fwrite(Bytes, 1, N, F);
+    std::fclose(F);
+  }
+
+  void truncateTo(long Bytes) {
+    ASSERT_EQ(0, ::truncate(Path.c_str(), Bytes));
+  }
+
+  /// Loads and expects failure; checks the diagnostic mentions
+  /// \p Needle and that no partial state leaks.
+  void expectLoadFailure(const char *Needle) {
+    DispatchTrace T;
+    // Pre-fill so a failed load that "forgot" to clear is caught.
+    T.append(1, 2);
+    std::string Diag;
+    EXPECT_FALSE(T.load(Path, 0x1234, &Diag));
+    EXPECT_NE(Diag.find(Needle), std::string::npos) << "diag: " << Diag;
+    EXPECT_EQ(T.numEvents(), 0u) << "partial state after failed load";
+    EXPECT_EQ(T.numQuickens(), 0u);
+  }
+
+  char Dir[64];
+  std::string Path;
+  DispatchTrace Trace;
+};
+
+} // namespace
+
+TEST_F(TraceFileTest, RoundTripLoads) {
+  DispatchTrace T;
+  std::string Diag;
+  ASSERT_TRUE(T.load(Path, 0x1234, &Diag)) << Diag;
+  EXPECT_EQ(T.numEvents(), Trace.numEvents());
+  EXPECT_EQ(T.numQuickens(), Trace.numQuickens());
+  EXPECT_EQ(T.contentHash(), Trace.contentHash());
+}
+
+TEST_F(TraceFileTest, MissingFileFailsCleanly) {
+  DispatchTrace T;
+  std::string Diag;
+  EXPECT_FALSE(T.load(Path + ".nope", 0x1234, &Diag));
+  EXPECT_NE(Diag.find("cannot open"), std::string::npos);
+}
+
+TEST_F(TraceFileTest, BadMagicRejected) {
+  uint64_t Garbage = 0x4241441142414411ULL;
+  corrupt(0, &Garbage, sizeof(Garbage));
+  expectLoadFailure("bad magic");
+}
+
+TEST_F(TraceFileTest, WrongVersionRejected) {
+  uint64_t V = 999;
+  corrupt(8, &V, sizeof(V));
+  expectLoadFailure("version");
+}
+
+TEST_F(TraceFileTest, WorkloadHashMismatchRejected) {
+  DispatchTrace T;
+  std::string Diag;
+  EXPECT_FALSE(T.load(Path, /*ExpectedWorkloadHash=*/0x9999, &Diag));
+  EXPECT_NE(Diag.find("workload hash"), std::string::npos);
+  EXPECT_EQ(T.numEvents(), 0u);
+}
+
+TEST_F(TraceFileTest, TruncationRejected) {
+  truncateTo(40); // shorter than the 48-byte header
+  expectLoadFailure("truncated");
+}
+
+TEST_F(TraceFileTest, SizeMismatchRejected) {
+  truncateTo(48 + 8 * 100); // header + fewer events than it claims
+  expectLoadFailure("size mismatch");
+}
+
+TEST_F(TraceFileTest, TrailingGarbageRejected) {
+  std::FILE *F = std::fopen(Path.c_str(), "ab");
+  ASSERT_NE(nullptr, F);
+  uint64_t Extra = 7;
+  std::fwrite(&Extra, sizeof(Extra), 1, F);
+  std::fclose(F);
+  expectLoadFailure("size mismatch");
+}
+
+TEST_F(TraceFileTest, BitCorruptionRejected) {
+  unsigned char Flip = 0xFF;
+  corrupt(-5, &Flip, 1); // inside the last quicken record
+  expectLoadFailure("content hash");
+}
+
+TEST(TraceCacheDir, AutoCreatedWhenMissing) {
+  char Base[64];
+  std::snprintf(Base, sizeof(Base), "/tmp/vmib-cache-test-XXXXXX");
+  ASSERT_NE(nullptr, ::mkdtemp(Base));
+  std::string Nested = std::string(Base) + "/deep/cache";
+  ASSERT_EQ(0, ::setenv("VMIB_TRACE_CACHE", Nested.c_str(), 1));
+  std::string Path = DispatchTrace::cachePathFor("forth-x");
+  ::unsetenv("VMIB_TRACE_CACHE");
+  EXPECT_EQ(Path, Nested + "/forth-x.vmibtrace");
+  struct stat St;
+  EXPECT_EQ(0, ::stat(Nested.c_str(), &St));
+  EXPECT_TRUE(S_ISDIR(St.st_mode));
+  ::rmdir(Nested.c_str());
+  ::rmdir((std::string(Base) + "/deep").c_str());
+  ::rmdir(Base);
+}
+
+TEST(TraceCacheDir, SaveLoadThroughAutoCreatedCache) {
+  char Base[64];
+  std::snprintf(Base, sizeof(Base), "/tmp/vmib-cache-test-XXXXXX");
+  ASSERT_NE(nullptr, ::mkdtemp(Base));
+  std::string Nested = std::string(Base) + "/sub";
+  ASSERT_EQ(0, ::setenv("VMIB_TRACE_CACHE", Nested.c_str(), 1));
+  DispatchTrace T = makeTrace();
+  std::string Path = DispatchTrace::cachePathFor("java-y");
+  ASSERT_FALSE(Path.empty());
+  EXPECT_TRUE(T.save(Path, 77));
+  DispatchTrace Back;
+  std::string Diag;
+  EXPECT_TRUE(Back.load(Path, 77, &Diag)) << Diag;
+  EXPECT_EQ(Back.contentHash(), T.contentHash());
+  ::unsetenv("VMIB_TRACE_CACHE");
+  std::remove(Path.c_str());
+  ::rmdir(Nested.c_str());
+  ::rmdir(Base);
+}

@@ -1,0 +1,222 @@
+//===- tools/sweep_driver.cpp - Sharded sweep driver ----------------------===//
+///
+/// Runs a declarative SweepSpec (see docs/simulation-pipeline.md,
+/// "Distributed sweeps") either in-process or sharded over worker
+/// processes, and verifies that both produce bit-identical cells.
+///
+///   sweep_driver --spec=F                      orchestrate (default:
+///                [--shards=N] [--worker-cmd=T]  1 worker process)
+///   sweep_driver --spec=F --in-process          single-process gang sweep
+///   sweep_driver --spec=F --worker              one shard job: replay its
+///                --shards=N --job=I             gang slice, emit [result]
+///                                               lines on stdout
+///   sweep_driver --spec=F --verify --shards=N   run in-process, 1-worker
+///                                               and N-worker sharded;
+///                                               bit-compare all three and
+///                                               report wall-clock scaling
+///   sweep_driver --spec=F --emit-spec           parse + reprint the spec
+///
+/// Orchestrator mode spawns workers through a shell command template
+/// (--worker-cmd; default runs this binary as its own worker), so SSH
+/// or queue fan-out is one template away — see the docs for an
+/// example. Workers consult VMIB_TRACE_CACHE before re-interpreting a
+/// workload; set it to a shared directory so each trace is captured
+/// once per cluster, not once per worker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace vmib;
+
+namespace {
+
+/// Prints the per-(CPU, predictor) speedup tables — the same rendering
+/// the fig benches print for their plane of the cross product.
+void printTables(const SweepSpec &Spec,
+                 const std::vector<PerfCounters> &Cells) {
+  size_t P = Spec.Predictors.empty() ? 1 : Spec.Predictors.size();
+  for (size_t C = 0; C < Spec.Cpus.size(); ++C)
+    for (size_t G = 0; G < P; ++G) {
+      SpeedupMatrix M = bench::matrixFromCells(Spec, Cells, C, G);
+      std::string Title = Spec.Name + " [cpu=" + Spec.Cpus[C];
+      if (P > 1)
+        Title += format(" predictor=%zu", G);
+      Title += "]";
+      std::printf("%s\n", M.renderSpeedups(Title).c_str());
+    }
+}
+
+/// Runs one shard job and speaks the worker protocol on stdout.
+int runWorker(const SweepSpec &Spec, unsigned Shards, size_t JobIdx) {
+  std::vector<ShardJob> Jobs = decomposeSweep(Spec, Shards);
+  if (JobIdx >= Jobs.size()) {
+    std::fprintf(stderr, "error: job %zu out of range (%zu jobs)\n", JobIdx,
+                 Jobs.size());
+    return 1;
+  }
+  const ShardJob &Job = Jobs[JobIdx];
+  const std::string &Benchmark = Spec.Benchmarks[Job.Workload];
+  SweepExecutor Executor;
+
+  WallTimer CaptureTimer;
+  for (const std::string &CpuId : Spec.Cpus) {
+    CpuConfig Cpu;
+    if (!cpuConfigById(CpuId, Cpu))
+      continue;
+    if (Spec.Suite == "java")
+      Executor.java().warmup(Benchmark, Cpu);
+    else
+      Executor.forth().warmup(Benchmark, Cpu);
+  }
+  double CaptureSeconds = CaptureTimer.seconds();
+  uint64_t Events = Spec.Suite == "java"
+                        ? Executor.java().trace(Benchmark).numEvents()
+                        : Executor.forth().trace(Benchmark).numEvents();
+
+  WallTimer ReplayTimer;
+  std::vector<PerfCounters> Slice =
+      Executor.runSlice(Spec, Job.Workload, Job.MemberBegin, Job.MemberEnd);
+  bench::emitTiming(Spec.Name + format(":job%zu", JobIdx), CaptureSeconds,
+                    ReplayTimer.seconds(), Events * Slice.size(),
+                    Slice.size());
+  for (size_t I = 0; I < Slice.size(); ++I)
+    bench::emitResult(Spec.Name, Job.Workload, Job.MemberBegin + I,
+                      Slice[I]);
+  return 0;
+}
+
+bool runSharded(const SweepSpec &Spec, unsigned Shards,
+                const std::string &WorkerCmd, const std::string &SpecPath,
+                std::vector<PerfCounters> &Cells, SweepRunStats &Stats) {
+  SweepWorkerOptions Opt;
+  Opt.Shards = Shards;
+  Opt.SpecPath = SpecPath;
+  Opt.CommandTemplate = WorkerCmd;
+  std::string Error;
+  if (!orchestrateSweep(Spec, Opt, Cells, Stats, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return false;
+  }
+  bench::emitTiming(Spec.Name + format(":shards%u", Shards), Stats);
+  return true;
+}
+
+int runVerify(const SweepSpec &Spec, unsigned Shards,
+              const std::string &WorkerCmd, const std::string &SpecPath) {
+  // In-process reference sweep first: with VMIB_TRACE_CACHE set this
+  // also populates the cache the workers will hit, so the sharded runs
+  // below time replay fan-out rather than N redundant captures.
+  SweepExecutor Executor;
+  std::vector<PerfCounters> InProc;
+  SweepRunStats InProcStats = Executor.runAll(Spec, 0, InProc);
+  bench::emitTiming(Spec.Name + ":inproc", InProcStats);
+
+  auto Compare = [&](const std::vector<PerfCounters> &Got,
+                     const char *Mode) {
+    for (size_t I = 0; I < InProc.size(); ++I)
+      if (std::memcmp(&InProc[I], &Got[I], sizeof(PerfCounters)) != 0) {
+        std::printf("FAIL: %s cell %zu diverges from the in-process "
+                    "sweep\n",
+                    Mode, I);
+        return false;
+      }
+    return true;
+  };
+
+  std::vector<PerfCounters> OneWorker;
+  SweepRunStats OneStats;
+  if (!runSharded(Spec, 1, WorkerCmd, SpecPath, OneWorker, OneStats))
+    return 1;
+  if (!Compare(OneWorker, "1-worker"))
+    return 1;
+  if (Shards <= 1) {
+    // Nothing to scale against — the N-worker pass would just repeat
+    // the 1-worker sweep.
+    std::printf("verify: %zu cells bit-identical across in-process and "
+                "1-worker execution (pass --shards=N>1 for scaling)\n",
+                InProc.size());
+    printTables(Spec, InProc);
+    return 0;
+  }
+
+  std::vector<PerfCounters> NWorker;
+  SweepRunStats NStats;
+  if (!runSharded(Spec, Shards, WorkerCmd, SpecPath, NWorker, NStats))
+    return 1;
+  if (!Compare(NWorker, "N-worker"))
+    return 1;
+
+  // The scaling line lands in the [timing] artifact: sharded wall
+  // clock with N workers vs 1 worker over the identical job list.
+  std::printf("[timing] bench=%s:scaling shards=%u wall_1worker_s=%.3f "
+              "wall_%uworkers_s=%.3f scaling=%.2f\n",
+              Spec.Name.c_str(), Shards, OneStats.ReplaySeconds, Shards,
+              NStats.ReplaySeconds,
+              NStats.ReplaySeconds > 0
+                  ? OneStats.ReplaySeconds / NStats.ReplaySeconds
+                  : 0.0);
+  std::printf("verify: %zu cells bit-identical across in-process, "
+              "1-worker and %u-worker sharded execution\n",
+              InProc.size(), Shards);
+  printTables(Spec, InProc);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  OptionParser Opts(argc, argv);
+  std::string SpecPath = Opts.get("spec");
+  if (SpecPath.empty()) {
+    std::fprintf(stderr,
+                 "usage: sweep_driver --spec=FILE [--shards=N] [--worker "
+                 "--job=I | --in-process | --verify | --emit-spec] "
+                 "[--worker-cmd=TEMPLATE] [--threads=N]\n");
+    return 2;
+  }
+  SweepSpec Spec;
+  std::string Error;
+  if (!loadSweepSpecFile(SpecPath, Spec, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (Opts.has("emit-spec")) {
+    std::fputs(printSweepSpec(Spec).c_str(), stdout);
+    return 0;
+  }
+
+  unsigned Shards =
+      static_cast<unsigned>(Opts.getInt("shards", 1) < 1
+                                ? 1
+                                : Opts.getInt("shards", 1));
+  if (Opts.has("worker"))
+    return runWorker(Spec, Shards,
+                     static_cast<size_t>(Opts.getInt("job", 0)));
+
+  if (Opts.has("verify"))
+    return runVerify(Spec, Shards, Opts.get("worker-cmd"), SpecPath);
+
+  if (Opts.has("in-process")) {
+    SweepExecutor Executor;
+    std::vector<PerfCounters> Cells;
+    SweepRunStats Stats = Executor.runAll(
+        Spec, static_cast<unsigned>(Opts.getInt("threads", 0)), Cells);
+    bench::emitTiming(Spec.Name + ":inproc", Stats);
+    printTables(Spec, Cells);
+    return 0;
+  }
+
+  // Orchestrator mode: the same tables and timing the in-process path
+  // prints, produced from merged worker shards.
+  std::vector<PerfCounters> Cells;
+  SweepRunStats Stats;
+  if (!runSharded(Spec, Shards, Opts.get("worker-cmd"), SpecPath, Cells,
+                  Stats))
+    return 1;
+  printTables(Spec, Cells);
+  return 0;
+}
