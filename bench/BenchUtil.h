@@ -109,8 +109,10 @@ inline SpeedupMatrix matrixFromCells(const SweepSpec &Spec,
 ///   --spec=FILE       replace the declared spec with FILE
 ///   --shards=N        fan out over N sweep_driver worker processes
 ///   --worker-cmd=TPL  worker command template ({driver}, {spec},
-///                     {shards}, {job}; e.g. an ssh wrapper)
-///   --threads=N       in-process worker threads (default: all cores)
+///                     {shards}, {job}, {threads}; e.g. an ssh wrapper)
+///   --threads=N       intra-gang worker threads per gang replay
+///                     (spec `threads` override; default 1 = serial;
+///                     composes with --shards into shards × threads)
 ///
 /// \returns true with \p Cells filled (canonical order) and the
 /// standard [timing] line emitted; false when the bench should exit
@@ -151,6 +153,13 @@ inline bool runDeclaredSweep(const OptionParser &Opts, SweepSpec &Spec,
     }
     Spec = std::move(Loaded);
   }
+  // --threads overrides the spec's intra-gang thread knob (validated
+  // below like any other spec field), so any spec-driven bench can run
+  // its gangs on the shared-tile worker pool without editing the spec.
+  if (Opts.has("threads")) {
+    long T = Opts.getInt("threads", 1);
+    Spec.Threads = T < 0 ? 0 : static_cast<unsigned>(T);
+  }
   if (!validateSweepSpec(Spec, Error)) {
     std::fprintf(stderr, "error: invalid sweep spec: %s\n", Error.c_str());
     ExitCode = 1;
@@ -167,6 +176,7 @@ inline bool runDeclaredSweep(const OptionParser &Opts, SweepSpec &Spec,
   if (Shards > 1 || Opts.has("worker-cmd")) {
     SweepWorkerOptions W;
     W.Shards = static_cast<unsigned>(Shards < 1 ? 1 : Shards);
+    W.Threads = Spec.Threads; // two-level: shards × intra-gang threads
     W.CommandTemplate = Opts.get("worker-cmd");
     W.SpecPath = Opts.get("spec"); // reuse the file workers can read
     if (!orchestrateSweep(Spec, W, Cells, Stats, Error)) {
@@ -178,8 +188,7 @@ inline bool runDeclaredSweep(const OptionParser &Opts, SweepSpec &Spec,
     emitTiming(Spec.Name + format(":shards%u", W.Shards), Stats);
   } else {
     SweepExecutor Executor(FLab, JLab);
-    Stats = Executor.runAll(
-        Spec, static_cast<unsigned>(Opts.getInt("threads", 0)), Cells);
+    Stats = Executor.runAll(Spec, 0, Cells);
     emitTiming(Spec.Name + ":gang", Stats);
   }
   if (StatsOut)

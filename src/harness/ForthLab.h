@@ -29,6 +29,7 @@
 #include "vmcore/TraceReplayer.h"
 #include "workloads/ForthSuite.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -77,12 +78,27 @@ public:
   const DispatchTrace &trace(const std::string &Benchmark);
 
   /// Reference output hash of \p Benchmark (what every variant run and
-  /// the trace cache verify against). Thread-safe.
+  /// the trace cache verify against). Thread-safe. May come from a
+  /// persisted meta sidecar in VMIB_TRACE_CACHE (see WorkloadCache.h),
+  /// in which case it is provisional: the first actual interpretation
+  /// confirms it, and a stale sidecar falls back to a real reference
+  /// run instead of aborting.
   uint64_t referenceHash(const std::string &Benchmark);
 
   /// Steps of the reference run (== events of the captured trace).
   /// Thread-safe.
   uint64_t referenceSteps(const std::string &Benchmark);
+
+  /// Whole-workload reference interpretations this lab actually ran
+  /// (cold-start accounting; sidecar hits keep this at zero).
+  uint64_t referenceRunsPerformed() const {
+    return ReferenceRuns.load(std::memory_order_relaxed);
+  }
+  /// Training-benchmark interpretations actually run (a persisted
+  /// training profile keeps this at zero).
+  uint64_t trainingRunsPerformed() const {
+    return TrainingRuns.load(std::memory_order_relaxed);
+  }
 
   /// Populates the caches a parallel sweep will hit — the benchmark's
   /// trace and the training profile behind every static-resource
@@ -112,10 +128,13 @@ public:
   /// from memory once for the whole batch instead of once per variant.
   /// Results are in variant order, bit-identical to replay() per cell.
   /// Thread-safe; intended as the per-workload job of a trace-affine
-  /// sweep (one gang per SweepRunner worker).
+  /// sweep (one gang per SweepRunner worker). \p Threads > 1 replays
+  /// the gang on the shared-tile worker pool (bit-identical for any
+  /// thread count).
   std::vector<PerfCounters>
   replayGang(const std::string &Benchmark,
-             const std::vector<VariantSpec> &Variants, const CpuConfig &Cpu);
+             const std::vector<VariantSpec> &Variants, const CpuConfig &Cpu,
+             unsigned Threads = 1);
 
   /// Replay with a concrete predictor type: predict()/update() inline
   /// into the replay loop (devirtualized predictor sweeps).
@@ -172,16 +191,28 @@ public:
 private:
   /// Compiles + reference-runs \p Benchmark if not cached yet (fatal
   /// on an unknown name or a failing reference run, like the old eager
-  /// constructor).
+  /// constructor). A valid meta sidecar stands in for the reference
+  /// run (the hash is then provisional until confirmed).
   const ForthUnit &unitLocked(const std::string &Benchmark);
   const SequenceProfile &trainingProfileLocked();
   const StaticResources &resourcesLocked(uint32_t SuperCount,
                                          uint32_t ReplicaCount,
                                          bool ReplicateSupers);
 
+  /// The authoritative reference hash: if the cached value is
+  /// provisional (sidecar-sourced), runs the real reference
+  /// interpretation, refreshes the sidecar, and returns the confirmed
+  /// value. Called on the verification-failure path so a stale sidecar
+  /// degrades to one extra run, never to a false divergence abort.
+  uint64_t confirmedReferenceHash(const std::string &Benchmark);
+
   std::map<std::string, ForthUnit> Units;
   std::map<std::string, uint64_t> ReferenceHash;
   std::map<std::string, uint64_t> ReferenceSteps;
+  std::map<std::string, uint64_t> BindingHash; ///< compiled-program id
+  std::map<std::string, bool> HashFromSidecar;
+  std::atomic<uint64_t> ReferenceRuns{0};
+  std::atomic<uint64_t> TrainingRuns{0};
   std::unique_ptr<SequenceProfile> Training;
   std::map<std::string, StaticResources> ResourceCache;
   std::map<std::string, DispatchTrace> Traces;

@@ -73,7 +73,7 @@ SweepExecutor::runForthSlice(const SweepSpec &Spec, size_t Workload,
       break;
     }
   }
-  return Gang.run();
+  return Gang.run(Spec.Threads);
 }
 
 std::vector<PerfCounters>
@@ -103,7 +103,8 @@ SweepExecutor::runJavaSlice(const SweepSpec &Spec, size_t Workload,
     (void)Known;
     std::vector<VariantSpec> Subset(Spec.Variants.begin() + (Lo - RunBegin),
                                     Spec.Variants.begin() + (Hi - RunBegin));
-    std::vector<PerfCounters> Row = Lab.replayGang(Benchmark, Subset, Cpu);
+    std::vector<PerfCounters> Row =
+        Lab.replayGang(Benchmark, Subset, Cpu, Spec.Threads);
     Out.insert(Out.end(), Row.begin(), Row.end());
   }
   return Out;
@@ -125,6 +126,12 @@ SweepRunStats SweepExecutor::runAll(const SweepSpec &Spec, unsigned Threads,
                                     std::vector<PerfCounters> &Cells) {
   if (Threads == 0)
     Threads = defaultSweepThreads();
+  // Two-level thread budget: every gang spawns Spec.Threads replay
+  // workers of its own, so shrink the pipeline pool to keep the total
+  // thread count roughly constant — otherwise --threads=4 on a 4-core
+  // host would run ~cores × 5 busy threads and get slower, not faster.
+  if (Spec.Threads > 1)
+    Threads = Threads / Spec.Threads > 1 ? Threads / Spec.Threads : 1;
   size_t W = Spec.Benchmarks.size();
   size_t M = Spec.membersPerWorkload();
 

@@ -12,6 +12,12 @@
 ///    member range as a single gang (what a `sweep_driver --worker`
 ///    process executes for its ShardJob).
 ///
+/// Both paths honor the spec's `Threads` knob: each gang replays on
+/// GangReplayer's shared-tile worker pool when Threads > 1, so a
+/// worker process can use several cores of its host without
+/// re-decoding the trace per core (two-level shards × threads
+/// fan-out). Cells are bit-identical for any (shards, threads) pair.
+///
 /// Every member is a *full* replay, so a member's counters do not
 /// depend on which other members share the gang — `runAll` and any
 /// shard decomposition produce bit-identical cells (pinned by

@@ -93,8 +93,13 @@ bool vmib::orchestrateSweep(const SweepSpec &Spec,
 
   std::string Template = Opt.CommandTemplate.empty()
                              ? "{driver} --worker --spec={spec} "
-                               "--shards={shards} --job={job}"
+                               "--shards={shards} --job={job} "
+                               "--threads={threads}"
                              : Opt.CommandTemplate;
+  // {threads} = the explicit two-level knob, or the spec's own field
+  // so a threaded spec file stays threaded through the default
+  // template.
+  unsigned WorkerThreads = Opt.Threads != 0 ? Opt.Threads : Spec.Threads;
   std::string Driver =
       Opt.DriverBinary.empty() ? defaultSweepDriverPath() : Opt.DriverBinary;
 
@@ -113,6 +118,7 @@ bool vmib::orchestrateSweep(const SweepSpec &Spec,
     substitute(Cmd, "{spec}", SpecPath);
     substitute(Cmd, "{shards}", std::to_string(Opt.Shards));
     substitute(Cmd, "{job}", std::to_string(Job));
+    substitute(Cmd, "{threads}", std::to_string(WorkerThreads));
     W.Pipe = ::popen(Cmd.c_str(), "r");
     W.Job = Job;
     if (!W.Pipe) {

@@ -16,7 +16,14 @@
 /// from the remote side):
 ///
 ///   {driver} --worker --spec={spec} --shards={shards} --job={job}
+///     --threads={threads}
 ///   ssh host 'VMIB_TRACE_CACHE=/shared/cache {driver} --worker ...'
+///
+/// Fan-out is two-level: `Shards` worker processes × `Threads`
+/// intra-gang worker threads per process (GangReplayer shared decoded
+/// tiles), so a multi-core worker host uses its cores off ONE decode
+/// of its trace instead of running N whole processes that each
+/// re-decode it.
 ///
 /// The worker protocol is line-oriented stdout: any number of
 /// `[timing]` lines (echoed through for the timing artifact), one
@@ -41,12 +48,17 @@ struct SweepWorkerOptions {
   /// Worker processes kept running concurrently (and the decomposition
   /// granularity hint handed to decomposeSweep).
   unsigned Shards = 1;
+  /// Intra-gang worker threads per worker process ({threads} in the
+  /// command template): the second level of a shards × threads
+  /// fan-out. 0 defers to the spec's own `threads` field.
+  unsigned Threads = 0;
   /// Spec file passed to workers as {spec}. Empty: the orchestrator
   /// writes the spec to a temp file and removes it afterwards. For
   /// remote templates this must be a path the remote side can read.
   std::string SpecPath;
-  /// Shell command template; {driver}, {spec}, {shards}, {job} are
-  /// substituted. Empty uses the default local-worker template above.
+  /// Shell command template; {driver}, {spec}, {shards}, {job} and
+  /// {threads} are substituted. Empty uses the default local-worker
+  /// template above.
   std::string CommandTemplate;
   /// Path substituted for {driver}; empty uses defaultSweepDriverPath().
   std::string DriverBinary;

@@ -6,6 +6,7 @@
 ///   name fig08_gforth_p4
 ///   suite forth
 ///   chunk 0
+///   threads 1            # optional: absent (PR-3-era files) means 1
 ///   cpu p4northwood
 ///   benchmark fib
 ///   variant name="static repl" kind=static-repl supers=0 replicas=400
@@ -328,6 +329,7 @@ std::string vmib::printSweepSpec(const SweepSpec &Spec) {
   Out += format("name %s\n", Spec.Name.c_str());
   Out += format("suite %s\n", Spec.Suite.c_str());
   Out += format("chunk %zu\n", Spec.ChunkEvents);
+  Out += format("threads %u\n", Spec.Threads);
   for (const std::string &C : Spec.Cpus)
     Out += format("cpu %s\n", C.c_str());
   for (const std::string &B : Spec.Benchmarks)
@@ -383,6 +385,16 @@ bool vmib::parseSweepSpec(const std::string &Text, SweepSpec &Out,
       if (!parseU64(Tokens[1], N))
         return Fail("bad number in chunk");
       Out.ChunkEvents = static_cast<size_t>(N);
+    } else if (Key == "threads" && Tokens.size() == 2) {
+      // Optional declaration: a PR-3-era spec without it parses as the
+      // serial default (Out is reset to Threads = 1 above).
+      uint64_t N;
+      if (!parseU64(Tokens[1], N))
+        return Fail("bad number in threads");
+      if (N < 1 || N > 1024)
+        return Fail(format("threads %llu out of range [1, 1024]",
+                           (unsigned long long)N));
+      Out.Threads = static_cast<unsigned>(N);
     } else if (Key == "cpu" && Tokens.size() == 2) {
       Out.Cpus.push_back(Tokens[1]);
     } else if (Key == "benchmark" && Tokens.size() == 2) {
@@ -419,6 +431,13 @@ bool vmib::validateSweepSpec(const SweepSpec &Spec, std::string &Error) {
   }
   if (Spec.Suite != "forth" && Spec.Suite != "java") {
     Error = "suite must be 'forth' or 'java', got '" + Spec.Suite + "'";
+    return false;
+  }
+  if (Spec.Threads < 1 || Spec.Threads > 1024) {
+    // Programmatically built specs get the same bound the parser
+    // enforces: 0 would silently mean "no replay at all" and huge
+    // values are a typo, not a fan-out plan.
+    Error = format("threads %u out of range [1, 1024]", Spec.Threads);
     return false;
   }
   if (Spec.Benchmarks.empty()) {

@@ -70,6 +70,12 @@ struct SweepSpec {
   std::vector<PredictorGeometry> Predictors;
   /// Gang tile size; 0 uses DispatchTrace::defaultChunkEvents().
   size_t ChunkEvents = 0;
+  /// Intra-gang worker threads per gang replay (GangReplayer shared
+  /// decoded tiles). 1 — the default, and what a spec without the
+  /// field parses as — is the strictly serial PR-3 behavior; any value
+  /// produces bit-identical cells. Composes with process sharding into
+  /// a two-level shards × threads fan-out.
+  unsigned Threads = 1;
 
   /// Gang members per workload: |Cpus| × |Variants| × max(1, |Predictors|),
   /// ordered CPU-major, then variant, then predictor.

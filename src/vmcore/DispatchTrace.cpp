@@ -202,15 +202,23 @@ bool DispatchTrace::load(const std::string &Path,
   if (NumEvents != 0 &&
       std::fread(Events.data(), sizeof(Event), NumEvents, In.F) != NumEvents)
     return Fail("short read on event array");
+  // Hash the RAW file words as read, not the re-packed parsed records:
+  // unpack→pack canonicalizes (e.g. the unused high bits of a quicken
+  // opcode word), so hashing parsed data would let a corrupted
+  // non-canonical byte load silently (caught by tests/TraceFuzzTest).
+  // For a canonical file this equals contentHash() of the result.
+  uint64_t Hash = Fnv1aOffset;
+  Hash = fnv1a(Hash, Events.data(), Events.size() * sizeof(Event));
   Quickens.reserve(NumQuickens);
   for (size_t I = 0; I < NumQuickens; ++I) {
     uint64_t Words[WordsPerQuicken];
     if (std::fread(Words, sizeof(uint64_t), WordsPerQuicken, In.F) !=
         WordsPerQuicken)
       return Fail("short read on quicken records");
+    Hash = fnv1a(Hash, Words, sizeof(Words));
     Quickens.push_back(unpackQuicken(Words));
   }
-  if (contentHash() != Header[5])
+  if (Hash != Header[5])
     return Fail("content hash mismatch (bit corruption)");
   return true;
 }

@@ -2,19 +2,79 @@
 
 #include "vmcore/GangReplayer.h"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
 #include <map>
+#include <mutex>
+#include <thread>
 
 using namespace vmib;
 
-std::vector<PerfCounters> GangReplayer::run() {
-  // Group members by shared layout: a group of two or more amortizes
-  // one SoA decode per tile across all of its members. Singletons keep
-  // the fused kernel (decode-then-consume would cost them an extra
-  // pass over the tile for nothing).
-  struct Group {
-    std::unique_ptr<gang::GroupDecoder> Decoder;
-    std::vector<size_t> MemberIdx;
+uint64_t gang::decodeFingerprint(const DispatchProgram &Layout) {
+  // FNV-1a over every field decodeSpan() reads, mixed field by field
+  // (hashing raw structs would fold in padding bytes). Any layout
+  // property the decoder starts consuming must be added here, or two
+  // decode-distinct layouts could share a stream.
+  uint64_t H = 0xcbf29ce484222325ULL;
+  auto Mix = [&H](uint64_t V) {
+    for (unsigned I = 0; I < 8; ++I) {
+      H ^= (V >> (8 * I)) & 0xFF;
+      H *= 0x100000001b3ULL;
+    }
   };
+  auto MixPiece = [&](const Piece &P) {
+    Mix(P.EntryAddr);
+    Mix(P.BranchSite);
+    Mix(P.CodeBytes);
+    Mix(P.WorkInstrs);
+    Mix(P.DispatchInstrs);
+    Mix(static_cast<uint64_t>(P.Kind));
+    Mix(P.ExtraFetchAddr);
+    Mix(P.ExtraFetchBytes);
+    Mix(P.ColdStubBranch ? 1 : 0);
+    Mix(P.FallbackEnd);
+  };
+  uint32_t N = Layout.numPieces();
+  bool Fallbacks = Layout.hasFallbacks();
+  Mix(N);
+  Mix(Fallbacks ? 1 : 0);
+  for (uint32_t I = 0; I < N; ++I) {
+    MixPiece(Layout.piece(I));
+    Mix(Layout.hintFor(I));
+    if (Fallbacks)
+      MixPiece(Layout.fallback(I));
+  }
+  return H;
+}
+
+namespace {
+
+/// Members sharing one decoded stream: two or more members whose
+/// layouts carry the same decode fingerprint amortize one SoA decode
+/// per tile across the group.
+struct Group {
+  std::unique_ptr<gang::GroupDecoder> Decoder;
+  std::vector<size_t> MemberIdx;
+};
+
+/// One slot of the parallel tile ring. The decoder publishes a tile by
+/// storing its index into Seq (release) after filling Begin/End and
+/// the per-group chunks; each worker crosses the tile and then
+/// decrements Pending (release), and the decoder refills the slot once
+/// Pending drains to zero (acquire) — so chunk memory is never written
+/// while a worker reads it, and member state is never read while its
+/// worker writes it.
+struct TileSlot {
+  size_t Begin = 0, End = 0;
+  std::vector<gang::DecodedChunk> Chunks; ///< one per group
+  std::atomic<int64_t> Seq{-1};           ///< tile index this slot holds
+  std::atomic<unsigned> Pending{0};       ///< workers still crossing it
+};
+
+} // namespace
+
+std::vector<PerfCounters> GangReplayer::run(unsigned Threads) {
   // Scratch sizing: a tile never exceeds the trace, so clamp before
   // the decoders allocate (a huge VMIB_GANG_CHUNK must degrade to one
   // whole-trace tile, not a multi-GB zeroed buffer).
@@ -22,8 +82,18 @@ std::vector<PerfCounters> GangReplayer::run() {
       ChunkEvents == 0 ? DispatchTrace::defaultChunkEvents() : ChunkEvents;
   if (ChunkCapacity > Trace.numEvents())
     ChunkCapacity = Trace.numEvents();
+
+  // Group members by decode fingerprint: a group of two or more
+  // amortizes one SoA decode per tile across all of its members.
+  // Pointer identity first (exact and cheap — the executor shares
+  // layouts per variant already), then fingerprint merging, so members
+  // that differ only in CPU geometry share a decoded stream even when
+  // their layout objects were built independently. Singletons keep the
+  // fused kernel (decode-then-consume would cost them an extra pass
+  // over the tile for nothing).
   std::vector<Group> Groups;
   std::vector<size_t> Fused;
+  std::vector<int> GroupOf(Members.size(), -1);
   {
     std::map<const DispatchProgram *, std::vector<size_t>> ByLayout;
     for (size_t I = 0; I < Members.size(); ++I) {
@@ -33,42 +103,174 @@ std::vector<PerfCounters> GangReplayer::run() {
       else
         Fused.push_back(I);
     }
+    std::map<uint64_t, std::pair<const DispatchProgram *,
+                                 std::vector<size_t>>> ByPrint;
     for (auto &[Layout, Idx] : ByLayout) {
+      auto &Merged = ByPrint[gang::decodeFingerprint(*Layout)];
+      if (Merged.first == nullptr)
+        Merged.first = Layout; // representative: decode-identical
+      Merged.second.insert(Merged.second.end(), Idx.begin(), Idx.end());
+    }
+    for (auto &[Print, Merged] : ByPrint) {
+      (void)Print;
+      std::vector<size_t> &Idx = Merged.second;
       if (Idx.size() < 2) {
         Fused.insert(Fused.end(), Idx.begin(), Idx.end());
         continue;
       }
-      Groups.push_back({std::make_unique<gang::GroupDecoder>(*Layout,
+      std::sort(Idx.begin(), Idx.end()); // deterministic consume order
+      for (size_t I : Idx)
+        GroupOf[I] = static_cast<int>(Groups.size());
+      Groups.push_back({std::make_unique<gang::GroupDecoder>(*Merged.first,
                                                              ChunkCapacity),
                         std::move(Idx)});
     }
   }
 
-  // Chunk-major sweep: every active member crosses the tile before the
-  // cursor advances — group layouts decode once, then their members
-  // consume the SoA streams; fused members replay the raw events. A
-  // member that overflows its optimistic models drops out here and
-  // re-runs through the exact tier in finish().
-  DispatchTrace::ChunkCursor Cursor(Trace, ChunkEvents);
-  while (Cursor.next()) {
-    for (size_t I : Fused) {
-      Slot &M = Members[I];
-      if (M.Active)
-        M.Active = M.Member->runChunk(Trace, Cursor.begin(), Cursor.end());
-    }
-    for (Group &G : Groups) {
-      bool AnyActive = false;
-      for (size_t I : G.MemberIdx)
-        AnyActive |= Members[I].Active;
-      if (!AnyActive)
-        continue; // drops are permanent; stop decoding for this group
-      G.Decoder->decode(Trace, Cursor.begin(), Cursor.end());
-      for (size_t I : G.MemberIdx) {
+  if (Threads > Members.size())
+    Threads = static_cast<unsigned>(Members.size());
+
+  if (Threads <= 1 || Trace.numEvents() == 0) {
+    // Serial chunk-major sweep: every active member crosses the tile
+    // before the cursor advances — group layouts decode once, then
+    // their members consume the SoA streams; fused members replay the
+    // raw events. A member that overflows its optimistic models drops
+    // out here and re-runs through the exact tier in finish().
+    DispatchTrace::ChunkCursor Cursor(Trace, ChunkEvents);
+    while (Cursor.next()) {
+      for (size_t I : Fused) {
         Slot &M = Members[I];
         if (M.Active)
-          M.Active = M.Member->runChunkDecoded(G.Decoder->chunk());
+          M.Active = M.Member->runChunk(Trace, Cursor.begin(), Cursor.end());
+      }
+      for (Group &G : Groups) {
+        bool AnyActive = false;
+        for (size_t I : G.MemberIdx)
+          AnyActive |= Members[I].Active;
+        if (!AnyActive)
+          continue; // drops are permanent; stop decoding for this group
+        G.Decoder->decode(Trace, Cursor.begin(), Cursor.end());
+        for (size_t I : G.MemberIdx) {
+          Slot &M = Members[I];
+          if (M.Active)
+            M.Active = M.Member->runChunkDecoded(G.Decoder->chunk());
+        }
       }
     }
+  } else {
+    // Shared-tile worker pool: the calling thread decodes tiles into a
+    // small ring; Threads workers each own a fixed contiguous member
+    // slice and cross every tile in stream order. One owner per member
+    // + in-order tiles means every member sees exactly the serial
+    // event sequence, so counters are bit-identical for any thread
+    // count; the ring only bounds how far decode runs ahead.
+    size_t NumTiles = (Trace.numEvents() + ChunkCapacity - 1) / ChunkCapacity;
+    size_t Slots = std::min<size_t>(4, NumTiles);
+    std::vector<TileSlot> Ring(Slots);
+    for (TileSlot &S : Ring) {
+      S.Chunks.reserve(Groups.size());
+      for (Group &G : Groups)
+        S.Chunks.push_back(G.Decoder->makeChunk());
+    }
+    // Live-member count per group: once a group's last member drops,
+    // the decoder stops decoding for it. A worker decrements only
+    // after its member stopped consuming, so the count can never read
+    // zero while a consumer of a future tile is still active.
+    std::vector<std::atomic<unsigned>> GroupAlive(Groups.size());
+    for (size_t G = 0; G < Groups.size(); ++G)
+      GroupAlive[G].store(static_cast<unsigned>(Groups[G].MemberIdx.size()),
+                          std::memory_order_relaxed);
+
+    std::atomic<bool> Abort{false};
+    std::exception_ptr FirstError;
+    std::mutex ErrorMutex;
+    auto Record = [&] {
+      {
+        std::lock_guard<std::mutex> Lock(ErrorMutex);
+        if (!FirstError)
+          FirstError = std::current_exception();
+      }
+      Abort.store(true, std::memory_order_relaxed);
+    };
+
+    unsigned NumWorkers = Threads;
+    size_t M = Members.size();
+    auto Worker = [&](unsigned W) {
+      // Near-equal contiguous member slice; the first (M % workers)
+      // slices carry one extra member.
+      size_t Base = M / NumWorkers, Rem = M % NumWorkers;
+      size_t MBegin = W * Base + std::min<size_t>(W, Rem);
+      size_t MEnd = MBegin + Base + (W < Rem ? 1 : 0);
+      try {
+        for (size_t T = 0; T < NumTiles; ++T) {
+          TileSlot &S = Ring[T % Slots];
+          while (S.Seq.load(std::memory_order_acquire) <
+                 static_cast<int64_t>(T)) {
+            if (Abort.load(std::memory_order_relaxed))
+              return;
+            std::this_thread::yield();
+          }
+          for (size_t I = MBegin; I < MEnd; ++I) {
+            Slot &Mem = Members[I];
+            if (!Mem.Active)
+              continue;
+            bool Ok = GroupOf[I] < 0
+                          ? Mem.Member->runChunk(Trace, S.Begin, S.End)
+                          : Mem.Member->runChunkDecoded(S.Chunks[GroupOf[I]]);
+            if (!Ok) {
+              Mem.Active = false;
+              if (GroupOf[I] >= 0)
+                GroupAlive[GroupOf[I]].fetch_sub(1,
+                                                 std::memory_order_relaxed);
+            }
+          }
+          S.Pending.fetch_sub(1, std::memory_order_release);
+        }
+      } catch (...) {
+        Record();
+      }
+    };
+
+    std::vector<std::thread> Pool;
+    Pool.reserve(NumWorkers);
+    for (unsigned W = 0; W < NumWorkers; ++W)
+      Pool.emplace_back(Worker, W);
+
+    // Decoder loop (this thread): refill each ring slot once every
+    // worker drained it, decode the live groups, publish.
+    try {
+      DispatchTrace::ChunkCursor Cursor(Trace, ChunkCapacity);
+      for (size_t T = 0; T < NumTiles; ++T) {
+        TileSlot &S = Ring[T % Slots];
+        bool Bail = false;
+        while (S.Pending.load(std::memory_order_acquire) != 0) {
+          if (Abort.load(std::memory_order_relaxed)) {
+            Bail = true;
+            break;
+          }
+          std::this_thread::yield();
+        }
+        if (Bail)
+          break;
+        bool More = Cursor.next();
+        assert(More && "cursor must yield exactly NumTiles tiles");
+        (void)More;
+        S.Begin = Cursor.begin();
+        S.End = Cursor.end();
+        for (size_t G = 0; G < Groups.size(); ++G)
+          if (GroupAlive[G].load(std::memory_order_relaxed) != 0)
+            Groups[G].Decoder->decodeInto(Trace, S.Begin, S.End,
+                                          S.Chunks[G]);
+        S.Pending.store(NumWorkers, std::memory_order_relaxed);
+        S.Seq.store(static_cast<int64_t>(T), std::memory_order_release);
+      }
+    } catch (...) {
+      Record();
+    }
+    for (std::thread &Th : Pool)
+      Th.join();
+    if (FirstError)
+      std::rethrow_exception(FirstError);
   }
 
   // Completion in add order so predictor-only members can take their

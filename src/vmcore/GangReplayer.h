@@ -41,6 +41,13 @@
 /// (stateBytes()) this is what lets a 20+-member gang pack into cache
 /// next to the tile.
 ///
+/// run(Threads) with Threads > 1 replays the gang on a shared-tile
+/// worker pool: the calling thread decodes tiles into a small ring and
+/// Threads workers replay disjoint member slices off the same decoded
+/// tile. Members stay strictly serial (one worker owns a member for
+/// the whole pass, tiles in order), so counters are bit-identical for
+/// any thread count (tests/GangReplayTest.cpp pins the invariance).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VMIB_VMCORE_GANGREPLAYER_H
@@ -137,6 +144,16 @@ struct DecodedChunk {
     uint64_t Bytes;
   };
 
+  /// Sizes the SoA arrays for \p ChunkCapacity events over a layout of
+  /// \p NumPieces pieces. The parallel tile ring owns one chunk per
+  /// (slot, group); GroupDecoder's internal scratch uses the same
+  /// sizing.
+  void reserve(size_t ChunkCapacity, uint32_t NumPieces) {
+    Branches.resize(ChunkCapacity); // one dispatch per event, max
+    // First-touch fetches: at most two per piece over the whole run.
+    Fetches.resize(2 * (size_t{NumPieces} + 1));
+  }
+
   /// Dispatch branch records in exact event order; [0, NumBranches).
   /// The vector is sized to tile capacity once and never resized — the
   /// decoder writes through raw pointers (a push_back per event costs
@@ -161,10 +178,8 @@ struct DecodedChunk {
 class GroupDecoder {
 public:
   GroupDecoder(const DispatchProgram &Layout, size_t ChunkCapacity)
-      : Layout(Layout), Slim(TraceReplayer::isSlimLayout(Layout)) {
-    D.Branches.resize(ChunkCapacity); // one dispatch per event, max
-    // First-touch fetches: at most two per piece over the whole run.
-    D.Fetches.resize(2 * (size_t{Layout.numPieces()} + 1));
+      : Layout(Layout), Capacity(ChunkCapacity),
+        Slim(TraceReplayer::isSlimLayout(Layout)) {
     SeenPiece.assign(Layout.numPieces(), 0);
     if (Layout.hasFallbacks())
       SeenFallback.assign(Layout.numPieces(), 0);
@@ -172,11 +187,37 @@ public:
 
   const DecodedChunk &chunk() const { return D; }
 
-  void decode(const DispatchTrace &Trace, size_t Begin, size_t End) {
+  /// A DecodedChunk sized for this decoder's layout and tile capacity
+  /// (external decodeInto storage — the parallel tile ring allocates
+  /// one per slot).
+  DecodedChunk makeChunk() const {
+    DecodedChunk C;
+    C.reserve(Capacity, Layout.numPieces());
+    return C;
+  }
+
+  /// Decodes events [Begin, End) into \p Out. The fallback state
+  /// machine and the first-touch bitmaps live in the decoder, so calls
+  /// MUST cover the event stream in strict tile order regardless of
+  /// where the output lands (the single decoder thread of a parallel
+  /// run preserves this).
+  void decodeInto(const DispatchTrace &Trace, size_t Begin, size_t End,
+                  DecodedChunk &Out) {
     if (Slim)
-      decodeSpan<false>(Trace, Begin, End);
+      decodeSpan<false>(Trace, Begin, End, Out);
     else
-      decodeSpan<true>(Trace, Begin, End);
+      decodeSpan<true>(Trace, Begin, End, Out);
+  }
+
+  void decode(const DispatchTrace &Trace, size_t Begin, size_t End) {
+    // The internal scratch exists only for the serial path; parallel
+    // runs decode into ring slots, so allocate it lazily rather than
+    // carrying dead tile-capacity buffers per group.
+    if (!ScratchReady) {
+      D.reserve(Capacity, Layout.numPieces());
+      ScratchReady = true;
+    }
+    decodeInto(Trace, Begin, End, D);
   }
 
 private:
@@ -184,10 +225,11 @@ private:
   /// simulating; any change here must stay in lockstep with the
   /// kernel (GangReplayTest pins the equivalence).
   template <bool Full>
-  void decodeSpan(const DispatchTrace &Trace, size_t Begin, size_t End) {
+  void decodeSpan(const DispatchTrace &Trace, size_t Begin, size_t End,
+                  DecodedChunk &Out) {
     const std::vector<DispatchTrace::Event> &Events = Trace.events();
-    DecodedChunk::BranchRec *Branches = D.Branches.data();
-    DecodedChunk::FetchRec *Fetches = D.Fetches.data();
+    DecodedChunk::BranchRec *Branches = Out.Branches.data();
+    DecodedChunk::FetchRec *Fetches = Out.Fetches.data();
     size_t NB = 0, NF = 0;
     uint64_t Instructions = 0, DispatchCount = 0, ColdStubs = 0;
     bool Fallback = InFallback;
@@ -253,18 +295,20 @@ private:
       }
     }
 
-    D.NumBranches = NB;
-    D.NumFetches = NF;
-    D.VMInstructions = End - Begin;
-    D.Instructions = Instructions;
-    D.DispatchCount = DispatchCount;
-    D.ColdStubBranches = ColdStubs;
+    Out.NumBranches = NB;
+    Out.NumFetches = NF;
+    Out.VMInstructions = End - Begin;
+    Out.Instructions = Instructions;
+    Out.DispatchCount = DispatchCount;
+    Out.ColdStubBranches = ColdStubs;
     InFallback = Fallback;
     FallbackUntil = Until;
   }
 
   const DispatchProgram &Layout;
+  size_t Capacity;
   bool Slim;
+  bool ScratchReady = false;
   bool InFallback = false;
   uint32_t FallbackUntil = 0;
   /// First-touch bitmaps: a piece's fetch footprint is constant for
@@ -275,6 +319,17 @@ private:
   std::vector<uint8_t> SeenFallback;
   DecodedChunk D;
 };
+
+/// Structural identity of everything the tile decoder reads from a
+/// layout: the piece and fallback tables, the dispatch hints, and the
+/// slim-layout property (all derived from those fields). Two layouts
+/// with equal fingerprints produce bit-identical decoded streams, so
+/// the gang groups members by fingerprint rather than pointer — the
+/// decoded branch/fetch stream is CPU-independent, and members that
+/// differ only in CPU I-cache geometry (the same variant built once
+/// per CPU) share one GroupDecoder even when their layout objects are
+/// distinct.
+uint64_t decodeFingerprint(const DispatchProgram &Layout);
 
 /// Runs the decoded (first-touch) fetch stream through a *no-evict*
 /// I-cache model; \returns the misses.
@@ -751,10 +806,13 @@ private:
 /// PerfCounters per member, in add order. Counters are bit-identical
 /// to the corresponding per-config TraceReplayer calls.
 ///
-/// A gang is single-threaded by design — trace-affine sweep scheduling
+/// run(1) is strictly single-threaded — trace-affine sweep scheduling
 /// hands one (trace, gang) pair to each SweepRunner worker, so workers
 /// never contend on a trace and every byte a worker streams feeds all
-/// of its configurations.
+/// of its configurations. run(Threads > 1) keeps the trace-affinity
+/// but splits the gang's *members* across worker threads that share
+/// each decoded tile (one decoder, many consumers — the NUMA-friendly
+/// shape: the tile is decoded once per host, not once per process).
 class GangReplayer {
 public:
   /// \p ChunkEvents sizes the tile; 0 uses
@@ -847,7 +905,15 @@ public:
   /// (deferred exact fallbacks, baseline patching) in add order.
   /// \returns one finalized PerfCounters per member. The gang is spent
   /// afterwards; build a new one for another pass.
-  std::vector<PerfCounters> run();
+  ///
+  /// \p Threads <= 1 is the serial pass. Threads > 1 runs the
+  /// shared-tile worker pool: the calling thread decodes each tile
+  /// once into a small ring and \p Threads workers replay disjoint
+  /// member slices off it. Every member is owned by exactly one worker
+  /// and crosses tiles in stream order, so counters are bit-identical
+  /// for any thread count (including the deferred exact-LRU fallbacks,
+  /// which always re-run serially in finish()).
+  std::vector<PerfCounters> run(unsigned Threads = 1);
 
 private:
   size_t adopt(std::unique_ptr<GangMember> Member) {

@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -54,6 +55,31 @@ void expectEqualCounters(const PerfCounters &Expected,
   EXPECT_EQ(Expected.MissCycles, Gang.MissCycles) << What;
   EXPECT_EQ(Expected.CodeBytes, Gang.CodeBytes) << What;
   EXPECT_EQ(Expected.DispatchCount, Gang.DispatchCount) << What;
+}
+
+/// The first \p MaxEvents events of \p Full — plus the quicken records
+/// landing inside them, at their exact positions — as a standalone
+/// trace. A prefix of a dispatch trace is itself a valid trace, which
+/// bounds the cost of the tiny-chunk cells of the thread-invariance
+/// matrix without leaving the real suite workloads.
+DispatchTrace prefixTrace(const DispatchTrace &Full, size_t MaxEvents) {
+  DispatchTrace T;
+  size_t N = std::min(MaxEvents, Full.numEvents());
+  T.reserve(N);
+  const std::vector<DispatchTrace::QuickenRecord> &Quickens =
+      Full.quickens();
+  size_t Q = 0;
+  while (Q < Quickens.size() && Quickens[Q].AfterEvents == 0)
+    ++Q; // cannot precede the first event
+  for (size_t I = 0; I < N; ++I) {
+    T.append(DispatchTrace::cur(Full.events()[I]),
+             DispatchTrace::next(Full.events()[I]));
+    while (Q < Quickens.size() && Quickens[Q].AfterEvents == I + 1) {
+      T.appendQuicken(Quickens[Q].Index, Quickens[Q].NewInstr);
+      ++Q;
+    }
+  }
+  return T;
 }
 
 } // namespace
@@ -399,6 +425,176 @@ TEST(PipelineSweep, PropagatesExceptionsAndSkipsUncaptured) {
                    }),
                std::runtime_error);
   EXPECT_EQ(Ran.load(), 1);
+}
+
+TEST(GangReplay, DecodeFingerprintGroupsStructurallyEqualLayouts) {
+  // Two layouts built independently for the same (benchmark, variant)
+  // must fingerprint equal (they decode identically, so members built
+  // once per CPU share one GroupDecoder); different variants must not.
+  ForthLab &Lab = forthLab();
+  VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
+  VariantSpec Switch = makeVariant(DispatchStrategy::Switch);
+  auto A = Lab.buildLayout("gray", Threaded);
+  auto B = Lab.buildLayout("gray", Threaded);
+  auto C = Lab.buildLayout("gray", Switch);
+  EXPECT_NE(A.get(), B.get());
+  EXPECT_EQ(gang::decodeFingerprint(*A), gang::decodeFingerprint(*B));
+  EXPECT_NE(gang::decodeFingerprint(*A), gang::decodeFingerprint(*C));
+}
+
+TEST(GangReplay, CrossCpuMembersShareDecodedStreamBitIdentical) {
+  // Members that differ only in CPU I-cache geometry — with layout
+  // objects built independently per CPU, as a per-CPU bench would —
+  // group by fingerprint and share one decoded stream; counters still
+  // match the per-config replayer on every CPU.
+  ForthLab &Lab = forthLab();
+  CpuConfig P4 = makePentium4Northwood();
+  CpuConfig Cel = makeCeleron800();
+  CpuConfig Athlon = makeAthlon1200();
+  VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
+
+  GangReplayer Gang(Lab.trace("gray"));
+  Gang.addDefault(Lab.buildLayout("gray", Threaded), P4);
+  Gang.addDefault(Lab.buildLayout("gray", Threaded), Cel);
+  Gang.addDefault(Lab.buildLayout("gray", Threaded), Athlon);
+  std::vector<PerfCounters> R = Gang.run();
+  ASSERT_EQ(R.size(), 3u);
+  expectEqualCounters(Lab.replay("gray", Threaded, P4), R[0], "p4");
+  expectEqualCounters(Lab.replay("gray", Threaded, Cel), R[1], "celeron");
+  expectEqualCounters(Lab.replay("gray", Threaded, Athlon), R[2], "athlon");
+}
+
+namespace {
+
+/// Builds the mixed-tier Forth gang of the thread-invariance matrix
+/// over \p Trace and runs it: full members on two CPUs (separately
+/// built layouts — fingerprint-grouped), a tiny-BTB member that
+/// overflows into the deferred exact-LRU fallback, baseline-linked
+/// predictor-only members, and a fused singleton.
+std::vector<PerfCounters> runForthMatrixGang(const DispatchTrace &Trace,
+                                             size_t Chunk,
+                                             unsigned Threads) {
+  ForthLab &Lab = forthLab();
+  CpuConfig P4 = makePentium4Northwood();
+  CpuConfig Cel = makeCeleron800();
+  VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
+  VariantSpec Switch = makeVariant(DispatchStrategy::Switch);
+
+  GangReplayer Gang(Trace, Chunk);
+  std::shared_ptr<DispatchProgram> L = Lab.buildLayout("gray", Threaded);
+  size_t Base = Gang.addBtb(L, P4, P4.Btb);
+  Gang.addDefault(Lab.buildLayout("gray", Threaded), Cel); // fingerprint
+  BTBConfig Tiny;
+  Tiny.Entries = 16;
+  Tiny.Ways = 2;
+  Gang.addBtb(L, P4, Tiny); // overflows -> deferred exact-LRU fallback
+  BTBConfig TwoBit = P4.Btb;
+  TwoBit.TwoBitCounters = true;
+  Gang.addBtbPredictorOnly(L, P4, TwoBit, Base);
+  TwoLevelConfig TL;
+  Gang.addPredictorOnly(L, P4, TwoLevelPredictor(TL), Base);
+  Gang.addPredictor(Lab.buildLayout("gray", Switch), P4,
+                    CaseBlockTable(1024)); // singleton -> fused kernel
+  return Gang.run(Threads);
+}
+
+/// The JVM quickening gang of the matrix: every member re-applies the
+/// recorded rewrites to its own program copy (fused members — the
+/// decoder ring still paces them tile by tile).
+std::vector<PerfCounters> runJavaMatrixGang(const DispatchTrace &Trace,
+                                            size_t Chunk,
+                                            unsigned Threads) {
+  JavaLab &Lab = javaLab();
+  CpuConfig P4 = makePentium4Northwood();
+  std::vector<VariantSpec> Variants = {
+      makeVariant(DispatchStrategy::Threaded),
+      makeVariant(DispatchStrategy::DynamicSuper),
+      makeVariant(DispatchStrategy::Switch)};
+
+  GangReplayer Gang(Trace, Chunk);
+  for (const VariantSpec &V : Variants) {
+    auto Copy = std::make_shared<VMProgram>(Lab.program("jess").Program);
+    auto Layout = Lab.buildLayout("jess", V, *Copy);
+    Gang.addQuickening(std::shared_ptr<DispatchProgram>(std::move(Layout)),
+                       std::move(Copy), P4);
+  }
+  return Gang.run(Threads);
+}
+
+} // namespace
+
+TEST(GangReplay, ForthThreadCountInvarianceMatrix) {
+  // The parallel-replay contract: any (threads, chunk) combination is
+  // bit-identical to the serial gang — including the overflow/exact-LRU
+  // fallback member and the fingerprint-shared cross-CPU group.
+  ForthLab &Lab = forthLab();
+  DispatchTrace Prefix = prefixTrace(Lab.trace("gray"), 60000);
+  ASSERT_GT(Prefix.numEvents(), 0u);
+  std::vector<PerfCounters> Serial =
+      runForthMatrixGang(Prefix, /*Chunk=*/4096, /*Threads=*/1);
+  for (size_t Chunk : {size_t{1}, size_t{4096}, size_t{65536}})
+    for (unsigned Threads : {1u, 2u, 3u, 8u}) {
+      std::vector<PerfCounters> R =
+          runForthMatrixGang(Prefix, Chunk, Threads);
+      ASSERT_EQ(R.size(), Serial.size());
+      for (size_t I = 0; I < R.size(); ++I)
+        expectEqualCounters(Serial[I], R[I],
+                            "member " + std::to_string(I) + " chunk " +
+                                std::to_string(Chunk) + " threads " +
+                                std::to_string(Threads));
+    }
+}
+
+TEST(GangReplay, JavaThreadCountInvarianceMatrix) {
+  // Same matrix over the quickening tier: JVM members are fused (each
+  // owns a mutating program copy) and must stay bit-identical for any
+  // thread count and tile size.
+  JavaLab &Lab = javaLab();
+  DispatchTrace Prefix = prefixTrace(Lab.trace("jess"), 60000);
+  ASSERT_GT(Prefix.numEvents(), 0u);
+  ASSERT_GT(Prefix.numQuickens(), 0u)
+      << "prefix must cover quickening rewrites to exercise the tier";
+  std::vector<PerfCounters> Serial =
+      runJavaMatrixGang(Prefix, /*Chunk=*/4096, /*Threads=*/1);
+  for (size_t Chunk : {size_t{1}, size_t{4096}, size_t{65536}})
+    for (unsigned Threads : {1u, 2u, 3u, 8u}) {
+      std::vector<PerfCounters> R = runJavaMatrixGang(Prefix, Chunk,
+                                                      Threads);
+      ASSERT_EQ(R.size(), Serial.size());
+      for (size_t I = 0; I < R.size(); ++I)
+        expectEqualCounters(Serial[I], R[I],
+                            "member " + std::to_string(I) + " chunk " +
+                                std::to_string(Chunk) + " threads " +
+                                std::to_string(Threads));
+    }
+}
+
+TEST(GangReplay, ThreadedFullTraceMatchesPerConfigReplay) {
+  // End to end on the full traces: the threaded lab gang equals the
+  // per-config TraceReplayer on both suites (not just the serial gang).
+  ForthLab &FLab = forthLab();
+  CpuConfig P4 = makePentium4Northwood();
+  std::vector<VariantSpec> FVariants = {
+      makeVariant(DispatchStrategy::Threaded),
+      makeVariant(DispatchStrategy::StaticRepl),
+      makeVariant(DispatchStrategy::DynamicBoth)};
+  std::vector<PerfCounters> FGang =
+      FLab.replayGang("gray", FVariants, P4, /*Threads=*/4);
+  ASSERT_EQ(FGang.size(), FVariants.size());
+  for (size_t I = 0; I < FVariants.size(); ++I)
+    expectEqualCounters(FLab.replay("gray", FVariants[I], P4), FGang[I],
+                        "forth threaded gang/" + FVariants[I].Name);
+
+  JavaLab &JLab = javaLab();
+  std::vector<VariantSpec> JVariants = {
+      makeVariant(DispatchStrategy::Threaded),
+      makeVariant(DispatchStrategy::DynamicSuper)};
+  std::vector<PerfCounters> JGang =
+      JLab.replayGang("jess", JVariants, P4, /*Threads=*/4);
+  ASSERT_EQ(JGang.size(), JVariants.size());
+  for (size_t I = 0; I < JVariants.size(); ++I)
+    expectEqualCounters(JLab.replay("jess", JVariants[I], P4), JGang[I],
+                        "java threaded gang/" + JVariants[I].Name);
 }
 
 TEST(GangReplay, StateBytesAuditCoversModels) {

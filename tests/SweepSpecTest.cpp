@@ -13,6 +13,7 @@
 
 #include "harness/SweepExecutor.h"
 #include "harness/SweepSpec.h"
+#include "harness/WorkloadCache.h"
 #include "vmcore/DispatchTrace.h"
 #include "workloads/ForthSuite.h"
 #include "workloads/JavaSuite.h"
@@ -62,6 +63,7 @@ SweepSpec fullSpec() {
   S.Predictors = {PredictorGeometry(), btbGeometry(256, true), TwoLevel,
                   CaseBlock};
   S.ChunkEvents = 1 << 14;
+  S.Threads = 7;
   return S;
 }
 
@@ -139,8 +141,41 @@ TEST(SweepSpec, PrintParseRoundTrip) {
   EXPECT_EQ(P.Predictors[2].TwoLevel.TableEntries, 1024u);
   EXPECT_EQ(P.Predictors[3].CaseBlockEntries, 2048u);
   EXPECT_EQ(P.ChunkEvents, size_t{1} << 14);
+  EXPECT_EQ(P.Threads, 7u);
   EXPECT_EQ(P.Cpus, S.Cpus);
   EXPECT_EQ(P.Benchmarks, S.Benchmarks);
+}
+
+TEST(SweepSpec, ThreadsFieldCompatAndValidation) {
+  // A PR-3-era spec (no `threads` declaration) must parse as the
+  // serial default, not fail.
+  std::string Modern = printSweepSpec(forthRunSpec());
+  size_t Pos = Modern.find("threads 1\n");
+  ASSERT_NE(Pos, std::string::npos);
+  std::string Legacy = Modern;
+  Legacy.erase(Pos, std::strlen("threads 1\n"));
+  SweepSpec P;
+  std::string Error;
+  ASSERT_TRUE(parseSweepSpec(Legacy, P, Error)) << Error;
+  EXPECT_EQ(P.Threads, 1u);
+
+  // Malformed values are rejected with a diagnostic, never clamped.
+  for (const char *Bad : {"threads 0\n", "threads -2\n", "threads x\n",
+                          "threads 2000\n", "threads 1 1\n"}) {
+    std::string Broken = Modern;
+    Broken.replace(Pos, std::strlen("threads 1\n"), Bad);
+    EXPECT_FALSE(parseSweepSpec(Broken, P, Error)) << Bad;
+    EXPECT_FALSE(Error.empty());
+  }
+
+  // validateSweepSpec applies the same bound to programmatic specs.
+  SweepSpec Prog = forthRunSpec();
+  Prog.Threads = 0;
+  EXPECT_FALSE(validateSweepSpec(Prog, Error));
+  Prog.Threads = 4096;
+  EXPECT_FALSE(validateSweepSpec(Prog, Error));
+  Prog.Threads = 8;
+  EXPECT_TRUE(validateSweepSpec(Prog, Error)) << Error;
 }
 
 TEST(SweepSpec, ParseRejectsMalformedSpecs) {
@@ -277,6 +312,27 @@ TEST(SweepSpec, ShardedJavaSweepIsBitIdenticalToInProcess) {
     expectCellsEqual(Full, runSharded(Executor, S, Shards));
 }
 
+TEST(SweepSpec, ThreadedExecutionIsBitIdenticalBothSuites) {
+  // The spec-level threads knob: runAll and every shard slice replay
+  // their gangs on the shared-tile worker pool, bit-identical to the
+  // serial spec — including the two-level (shards x threads) shape.
+  for (bool Java : {false, true}) {
+    SweepSpec Serial = Java ? javaRunSpec() : forthRunSpec();
+    SweepExecutor Executor;
+    std::vector<PerfCounters> Reference;
+    Executor.runAll(Serial, 1, Reference);
+    ASSERT_EQ(Reference.size(), Serial.numCells());
+
+    SweepSpec Threaded = Serial;
+    Threaded.Threads = 3;
+    std::vector<PerfCounters> Cells;
+    Executor.runAll(Threaded, 1, Cells);
+    expectCellsEqual(Reference, Cells);
+    // 2 shards x 3 threads: slices of a threaded spec stay exact.
+    expectCellsEqual(Reference, runSharded(Executor, Threaded, 2));
+  }
+}
+
 //===--- trace-cache hardening --------------------------------------------===//
 
 namespace {
@@ -400,6 +456,168 @@ TEST_F(TraceFileTest, BitCorruptionRejected) {
   unsigned char Flip = 0xFF;
   corrupt(-5, &Flip, 1); // inside the last quicken record
   expectLoadFailure("content hash");
+}
+
+//===--- workload meta / trained-profile sidecars -------------------------===//
+
+namespace {
+
+void expectSameCounters(const PerfCounters &A, const PerfCounters &B,
+                        const char *What) {
+  EXPECT_EQ(0, std::memcmp(&A, &B, sizeof(PerfCounters))) << What;
+}
+
+} // namespace
+
+TEST(WorkloadCacheSidecar, SkipsColdStartAndSurvivesTraceDeletion) {
+  char Base[64];
+  std::snprintf(Base, sizeof(Base), "/tmp/vmib-sidecar-test-XXXXXX");
+  ASSERT_NE(nullptr, ::mkdtemp(Base));
+  ASSERT_EQ(0, ::setenv("VMIB_TRACE_CACHE", Base, 1));
+  CpuConfig P4 = makePentium4Northwood();
+  VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
+
+  // Cold lab: pays the reference + training interpretations once and
+  // persists trace, meta sidecar and trained profile.
+  PerfCounters Baseline;
+  {
+    ForthLab Cold;
+    Cold.warmup("gray", P4);
+    EXPECT_GE(Cold.referenceRunsPerformed(), 2u); // gray + brainless
+    EXPECT_EQ(Cold.trainingRunsPerformed(), 1u);
+    Baseline = Cold.replay("gray", Threaded, P4);
+  }
+  struct stat St;
+  ASSERT_EQ(0, ::stat(workloadMetaPath("forth-gray").c_str(), &St));
+  ASSERT_EQ(0, ::stat(DispatchTrace::cachePathFor("forth-gray").c_str(),
+                      &St));
+
+  // Warm worker: every interpretation is skipped — trace loads from
+  // the cache, reference numbers come from the meta sidecars, the
+  // training profile is persisted. Counters stay bit-identical.
+  {
+    ForthLab Warm;
+    Warm.warmup("gray", P4);
+    EXPECT_EQ(Warm.referenceRunsPerformed(), 0u);
+    EXPECT_EQ(Warm.trainingRunsPerformed(), 0u);
+    expectSameCounters(Baseline, Warm.replay("gray", Threaded, P4),
+                       "warm replay off cached trace + sidecars");
+  }
+
+  // Delete the trace but keep the sidecar: the lab re-captures, and
+  // the sidecar hash still stands in for the reference run (the
+  // capture verifies against it), so the worker pays ONE
+  // interpretation instead of two.
+  ASSERT_EQ(0,
+            std::remove(DispatchTrace::cachePathFor("forth-gray").c_str()));
+  {
+    ForthLab Recapture;
+    (void)Recapture.trace("gray");
+    EXPECT_EQ(Recapture.referenceRunsPerformed(), 0u)
+        << "sidecar should have replaced the reference run";
+    expectSameCounters(Baseline, Recapture.replay("gray", Threaded, P4),
+                       "replay off re-captured trace");
+  }
+
+  // A *changed workload* (sidecar bound to a different compiled
+  // program) must reject the sidecar outright and run the real
+  // reference interpretation — the structural guard against a
+  // stale-but-mutually-consistent (sidecar, trace) pair.
+  uint64_t Binding;
+  {
+    ForthLab BindingProbe;
+    Binding = programBindingHash(BindingProbe.unit("gray").Program);
+  }
+  WorkloadMeta Real;
+  ASSERT_TRUE(loadWorkloadMeta("forth-gray", Binding, Real));
+  EXPECT_FALSE(loadWorkloadMeta("forth-gray", Binding + 1, Real));
+  ASSERT_TRUE(saveWorkloadMeta("forth-gray", Binding + 1, Real));
+  {
+    ForthLab ChangedWorkload;
+    (void)ChangedWorkload.referenceHash("gray");
+    EXPECT_GE(ChangedWorkload.referenceRunsPerformed(), 1u)
+        << "wrong-binding sidecar must not replace the reference run";
+    expectSameCounters(Baseline, ChangedWorkload.replay("gray", Threaded,
+                                                        P4),
+                       "replay after wrong-binding sidecar rejection");
+  }
+
+  // A *stale* (right binding, wrong hash) sidecar must degrade to a
+  // refreshed capture, never to a divergence abort: the capture run is
+  // adopted as the authoritative reference and the sidecar rewritten.
+  ASSERT_EQ(0,
+            std::remove(DispatchTrace::cachePathFor("forth-gray").c_str()));
+  WorkloadMeta Stale;
+  Stale.ReferenceHash = 0xdeadbeef;
+  Stale.ReferenceSteps = 1;
+  ASSERT_TRUE(saveWorkloadMeta("forth-gray", Binding, Stale));
+  {
+    ForthLab Refreshed;
+    expectSameCounters(Baseline, Refreshed.replay("gray", Threaded, P4),
+                       "replay after stale-sidecar refresh");
+  }
+  WorkloadMeta After;
+  ASSERT_TRUE(loadWorkloadMeta("forth-gray", Binding, After));
+  EXPECT_NE(After.ReferenceHash, 0xdeadbeefull);
+
+  ::unsetenv("VMIB_TRACE_CACHE");
+  std::string Cleanup = "rm -rf " + std::string(Base);
+  ASSERT_EQ(0, std::system(Cleanup.c_str()));
+}
+
+TEST(WorkloadCacheSidecar, CorruptSidecarsAreRejectedNotTrusted) {
+  char Base[64];
+  std::snprintf(Base, sizeof(Base), "/tmp/vmib-sidecar-test-XXXXXX");
+  ASSERT_NE(nullptr, ::mkdtemp(Base));
+  ASSERT_EQ(0, ::setenv("VMIB_TRACE_CACHE", Base, 1));
+
+  WorkloadMeta Meta;
+  Meta.ReferenceHash = 0x1111;
+  Meta.ReferenceSteps = 42;
+  ASSERT_TRUE(saveWorkloadMeta("forth-x", /*BindingHash=*/0x99, Meta));
+  WorkloadMeta Back;
+  ASSERT_TRUE(loadWorkloadMeta("forth-x", 0x99, Back));
+  EXPECT_EQ(Back.ReferenceHash, 0x1111u);
+  EXPECT_EQ(Back.ReferenceSteps, 42u);
+  // Bound to a different compiled program: rejected.
+  EXPECT_FALSE(loadWorkloadMeta("forth-x", 0x9A, Back));
+
+  // Any byte flip fails the checksum; the out-param stays untouched.
+  std::string Path = workloadMetaPath("forth-x");
+  std::FILE *F = std::fopen(Path.c_str(), "r+b");
+  ASSERT_NE(nullptr, F);
+  std::fseek(F, 25, SEEK_SET);
+  unsigned char Junk = 0xA5;
+  std::fwrite(&Junk, 1, 1, F);
+  std::fclose(F);
+  WorkloadMeta Untouched;
+  Untouched.ReferenceHash = 7;
+  EXPECT_FALSE(loadWorkloadMeta("forth-x", 0x99, Untouched));
+  EXPECT_EQ(Untouched.ReferenceHash, 7u);
+
+  // Profiles: round-trip exactly, reject a wrong bound hash and any
+  // payload corruption.
+  SequenceProfile P;
+  P.OpcodeWeight = {5, 0, 9};
+  P.SequenceWeight[{1, 2}] = 11;
+  P.SequenceWeight[{2, 2, 0}] = 3;
+  ASSERT_TRUE(saveTrainedProfile("forth-prof", 0x77, P));
+  SequenceProfile Q;
+  ASSERT_TRUE(loadTrainedProfile("forth-prof", 0x77, Q));
+  EXPECT_EQ(Q.OpcodeWeight, P.OpcodeWeight);
+  EXPECT_EQ(Q.SequenceWeight, P.SequenceWeight);
+  EXPECT_FALSE(loadTrainedProfile("forth-prof", 0x78, Q));
+  std::string ProfPath = std::string(Base) + "/forth-prof.vmibprofile";
+  F = std::fopen(ProfPath.c_str(), "r+b");
+  ASSERT_NE(nullptr, F);
+  std::fseek(F, -3, SEEK_END);
+  std::fwrite(&Junk, 1, 1, F);
+  std::fclose(F);
+  EXPECT_FALSE(loadTrainedProfile("forth-prof", 0x77, Q));
+
+  ::unsetenv("VMIB_TRACE_CACHE");
+  std::string Cleanup = "rm -rf " + std::string(Base);
+  ASSERT_EQ(0, std::system(Cleanup.c_str()));
 }
 
 TEST(TraceCacheDir, AutoCreatedWhenMissing) {

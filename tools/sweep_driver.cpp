@@ -10,11 +10,21 @@
 ///   sweep_driver --spec=F --worker              one shard job: replay its
 ///                --shards=N --job=I             gang slice, emit [result]
 ///                                               lines on stdout
-///   sweep_driver --spec=F --verify --shards=N   run in-process, 1-worker
-///                                               and N-worker sharded;
-///                                               bit-compare all three and
-///                                               report wall-clock scaling
+///   sweep_driver --spec=F --verify --shards=N   run in-process (threads=1
+///                                               and threads=N when the
+///                                               threads knob is set),
+///                                               1-worker and N-worker
+///                                               sharded; bit-compare all
+///                                               of them and report
+///                                               wall-clock scaling
 ///   sweep_driver --spec=F --emit-spec           parse + reprint the spec
+///
+/// --threads=N overrides the spec's `threads` field everywhere: each
+/// gang replays on GangReplayer's shared-tile worker pool (one decoder
+/// feeding N member-slice workers), bit-identical to the serial gang.
+/// Fan-out is two-level — `--shards=S --threads=N` runs S worker
+/// processes × N intra-gang threads each, so a multi-core worker host
+/// uses its cores off one trace decode instead of S×N processes.
 ///
 /// Orchestrator mode spawns workers through a shell command template
 /// (--worker-cmd; default runs this binary as its own worker), so SSH
@@ -94,6 +104,7 @@ bool runSharded(const SweepSpec &Spec, unsigned Shards,
                 std::vector<PerfCounters> &Cells, SweepRunStats &Stats) {
   SweepWorkerOptions Opt;
   Opt.Shards = Shards;
+  Opt.Threads = Spec.Threads; // two-level: shards × intra-gang threads
   Opt.SpecPath = SpecPath;
   Opt.CommandTemplate = WorkerCmd;
   std::string Error;
@@ -107,13 +118,33 @@ bool runSharded(const SweepSpec &Spec, unsigned Shards,
 
 int runVerify(const SweepSpec &Spec, unsigned Shards,
               const std::string &WorkerCmd, const std::string &SpecPath) {
-  // In-process reference sweep first: with VMIB_TRACE_CACHE set this
-  // also populates the cache the workers will hit, so the sharded runs
-  // below time replay fan-out rather than N redundant captures.
+  // Warm the capture caches up front (and, with VMIB_TRACE_CACHE set,
+  // the cache the workers will hit), so the timed passes below measure
+  // replay — the serial and threaded in-process runs then differ only
+  // in the intra-gang worker pool.
   SweepExecutor Executor;
+  WallTimer CaptureTimer;
+  for (const std::string &Benchmark : Spec.Benchmarks)
+    for (const std::string &CpuId : Spec.Cpus) {
+      CpuConfig Cpu;
+      if (!cpuConfigById(CpuId, Cpu))
+        continue;
+      if (Spec.Suite == "java")
+        Executor.java().warmup(Benchmark, Cpu);
+      else
+        Executor.forth().warmup(Benchmark, Cpu);
+    }
+  double CaptureSeconds = CaptureTimer.seconds();
+
+  // In-process serial reference sweep (threads=1, one pipeline worker:
+  // the scaling number must compare thread pools, not pipeline luck).
+  SweepSpec Serial = Spec;
+  Serial.Threads = 1;
   std::vector<PerfCounters> InProc;
-  SweepRunStats InProcStats = Executor.runAll(Spec, 0, InProc);
-  bench::emitTiming(Spec.Name + ":inproc", InProcStats);
+  SweepRunStats InProcStats = Executor.runAll(Serial, 1, InProc);
+  bench::emitTiming(Spec.Name + ":inproc", CaptureSeconds,
+                    InProcStats.ReplaySeconds, InProcStats.ReplayedEvents,
+                    InProcStats.Configs);
 
   auto Compare = [&](const std::vector<PerfCounters> &Got,
                      const char *Mode) {
@@ -126,6 +157,29 @@ int runVerify(const SweepSpec &Spec, unsigned Shards,
       }
     return true;
   };
+
+  // Thread-count invariance + measured intra-host scaling: the same
+  // gangs off the same cached traces, replayed on the shared-tile
+  // worker pool. Counters must be bit-identical; the wall-clock ratio
+  // lands in the [timing] artifact.
+  if (Spec.Threads > 1) {
+    std::vector<PerfCounters> Threaded;
+    SweepRunStats ThreadedStats = Executor.runAll(Spec, 1, Threaded);
+    bench::emitTiming(Spec.Name + format(":threads%u", Spec.Threads),
+                      ThreadedStats);
+    if (!Compare(Threaded, "threaded in-process"))
+      return 1;
+    std::printf("[timing] bench=%s:threadscaling threads=%u "
+                "wall_1thread_s=%.3f wall_%uthreads_s=%.3f scaling=%.2f\n",
+                Spec.Name.c_str(), Spec.Threads, InProcStats.ReplaySeconds,
+                Spec.Threads, ThreadedStats.ReplaySeconds,
+                ThreadedStats.ReplaySeconds > 0
+                    ? InProcStats.ReplaySeconds / ThreadedStats.ReplaySeconds
+                    : 0.0);
+    std::printf("verify: %zu cells bit-identical across threads=1 and "
+                "threads=%u in-process execution\n",
+                InProc.size(), Spec.Threads);
+  }
 
   std::vector<PerfCounters> OneWorker;
   SweepRunStats OneStats;
@@ -184,6 +238,17 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
+  // --threads overrides the spec's intra-gang knob in every mode
+  // (validated like the parsed field, so --threads=0 is rejected, not
+  // silently serial).
+  if (Opts.has("threads")) {
+    long T = Opts.getInt("threads", 1);
+    Spec.Threads = T < 0 ? 0 : static_cast<unsigned>(T);
+    if (!validateSweepSpec(Spec, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
   if (Opts.has("emit-spec")) {
     std::fputs(printSweepSpec(Spec).c_str(), stdout);
     return 0;
@@ -203,8 +268,7 @@ int main(int argc, char **argv) {
   if (Opts.has("in-process")) {
     SweepExecutor Executor;
     std::vector<PerfCounters> Cells;
-    SweepRunStats Stats = Executor.runAll(
-        Spec, static_cast<unsigned>(Opts.getInt("threads", 0)), Cells);
+    SweepRunStats Stats = Executor.runAll(Spec, 0, Cells);
     bench::emitTiming(Spec.Name + ":inproc", Stats);
     printTables(Spec, Cells);
     return 0;
