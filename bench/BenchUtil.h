@@ -25,8 +25,10 @@
 #include "vmcore/DispatchSim.h"
 #include "vmcore/GangReplayer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <type_traits>
@@ -71,6 +73,48 @@ inline void emitResult(const std::string &SweepName, size_t Workload,
 
 //===--- declarative sweeps -----------------------------------------------===//
 
+/// Applies the spec-override flags every spec-driven entry point
+/// shares — `--threads=N` (0 = auto-detect; negative rejected) and
+/// `--schedule=static|dynamic` — then re-validates the spec.
+/// \returns false with \p ExitCode set (and a diagnostic on stderr)
+/// when the caller should exit.
+inline bool applySpecOverrides(const OptionParser &Opts, SweepSpec &Spec,
+                               int &ExitCode) {
+  if (Opts.has("threads")) {
+    // Digits only, like the spec parser's threads field: getInt would
+    // quietly turn "--threads=foo" into 0 = auto-detect, and a typo'd
+    // thread count must diagnose, not silently fan out.
+    std::string T = Opts.get("threads");
+    if (T.empty() || T.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr,
+                   "error: bad --threads '%s' (expected a number >= 0; "
+                   "0 = auto-detect)\n",
+                   T.c_str());
+      ExitCode = 1;
+      return false;
+    }
+    Spec.Threads = static_cast<unsigned>(
+        std::min<unsigned long long>(std::strtoull(T.c_str(), nullptr, 10),
+                                     0xFFFFFFFFull));
+  }
+  if (Opts.has("schedule") &&
+      !gangScheduleFromId(Opts.get("schedule"), Spec.Schedule)) {
+    std::fprintf(stderr,
+                 "error: unknown --schedule '%s' (expected static or "
+                 "dynamic)\n",
+                 Opts.get("schedule").c_str());
+    ExitCode = 1;
+    return false;
+  }
+  std::string Error;
+  if (!validateSweepSpec(Spec, Error)) {
+    std::fprintf(stderr, "error: invalid sweep spec: %s\n", Error.c_str());
+    ExitCode = 1;
+    return false;
+  }
+  return true;
+}
+
 /// Builds the common benchmark-suite sweep spec (one CPU, default
 /// predictor): what the fig/table benches declare.
 inline SweepSpec suiteSpec(const std::string &Name, const std::string &Suite,
@@ -112,7 +156,14 @@ inline SpeedupMatrix matrixFromCells(const SweepSpec &Spec,
 ///                     {shards}, {job}, {threads}; e.g. an ssh wrapper)
 ///   --threads=N       intra-gang worker threads per gang replay
 ///                     (spec `threads` override; default 1 = serial;
+///                     0 = auto-detect, resolved to the host's
+///                     hardware_concurrency at executor level;
 ///                     composes with --shards into shards × threads)
+///   --schedule=S      gang member scheduling, `static` (contiguous
+///                     slices, the default) or `dynamic` (cost-aware
+///                     work-stealing replay + parallel
+///                     deferred-fallback finish); spec `schedule`
+///                     override, bit-identical either way
 ///
 /// \returns true with \p Cells filled (canonical order) and the
 /// standard [timing] line emitted; false when the bench should exit
@@ -153,18 +204,12 @@ inline bool runDeclaredSweep(const OptionParser &Opts, SweepSpec &Spec,
     }
     Spec = std::move(Loaded);
   }
-  // --threads overrides the spec's intra-gang thread knob (validated
-  // below like any other spec field), so any spec-driven bench can run
-  // its gangs on the shared-tile worker pool without editing the spec.
-  if (Opts.has("threads")) {
-    long T = Opts.getInt("threads", 1);
-    Spec.Threads = T < 0 ? 0 : static_cast<unsigned>(T);
-  }
-  if (!validateSweepSpec(Spec, Error)) {
-    std::fprintf(stderr, "error: invalid sweep spec: %s\n", Error.c_str());
-    ExitCode = 1;
+  // --threads / --schedule override the spec's intra-gang knobs
+  // (validated like any other spec field; threads 0 = auto-detect), so
+  // any spec-driven bench can run its gangs on the shared-tile worker
+  // pool — static or dynamic — without editing the spec.
+  if (!applySpecOverrides(Opts, Spec, ExitCode))
     return false;
-  }
   if (Opts.has("emit-spec")) {
     std::fputs(printSweepSpec(Spec).c_str(), stdout);
     ExitCode = 0;

@@ -15,7 +15,11 @@
 /// (events/sec, items_per_second): one per replay tier — full replay,
 /// predictor-only, and a five-member gang (per member-event) — so a
 /// kernel regression shows up here, not just in the [timing] lines of
-/// the sweep benches.
+/// the sweep benches. BM_GangReplayMixedThreaded additionally tracks
+/// the threaded pool on a mixed-cost gang under both schedulers and
+/// surfaces GangReplayer::Stats — per-worker events replayed, tiles
+/// waited, steals, busy time — as a `[timing]` histogram line, so
+/// worker-slice imbalance is a number in the artifact, not a guess.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -130,6 +134,84 @@ void BM_GangReplay5(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * Trace.numEvents() * GangSize);
 }
 
+/// One [timing] line per (schedule, threads) cell: the per-worker
+/// histogram of the last completed gang pass. Printed once per cell
+/// (google-benchmark re-enters the function while calibrating).
+void emitGangLoadLine(const char *ScheduleId, unsigned Threads,
+                      const GangReplayer::Stats &St) {
+  std::string Events, Waits, Busy;
+  uint64_t Steals = 0;
+  for (size_t W = 0; W < St.Workers.size(); ++W) {
+    const char *Sep = W == 0 ? "" : ",";
+    Events += Sep + std::to_string(St.Workers[W].EventsReplayed);
+    Waits += Sep + std::to_string(St.Workers[W].TilesWaited);
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%s%.4f", Sep,
+                  St.Workers[W].BusySeconds);
+    Busy += Buf;
+    Steals += St.Workers[W].MembersStolen;
+  }
+  std::printf("[timing] bench=real_dispatch:gangload schedule=%s threads=%u "
+              "steals=%llu deferred=%llu finish_s=%.4f worker_events=%s "
+              "worker_waits=%s worker_busy_s=%s\n",
+              ScheduleId, Threads, (unsigned long long)Steals,
+              (unsigned long long)St.DeferredFinishes, St.FinishSeconds,
+              Events.c_str(), Waits.c_str(), Busy.c_str());
+}
+
+void BM_GangReplayMixedThreaded(benchmark::State &State) {
+  // A deliberately mixed-cost gang — full members on two layouts (the
+  // switch one a fused singleton), a tiny-BTB member that overflows
+  // into the deferred exact-LRU fallback, and four cheap-to-moderate
+  // predictor-only members — on a 4-worker pool. Arg(0) = static
+  // slices, Arg(1) = the cost-aware dynamic scheduler; the gap between
+  // the two cells is the load-balance win on this shape.
+  bool Dynamic = State.range(0) != 0;
+  constexpr unsigned Threads = 4;
+  ForthLab &Lab = lab();
+  CpuConfig Cpu = makePentium4Northwood();
+  const DispatchTrace &Trace = Lab.trace(ReplayBench);
+  VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
+  std::shared_ptr<DispatchProgram> LThreaded =
+      Lab.buildLayout(ReplayBench, Threaded);
+  std::shared_ptr<DispatchProgram> LSwitch =
+      Lab.buildLayout(ReplayBench, makeVariant(DispatchStrategy::Switch));
+  BTBConfig Tiny;
+  Tiny.Entries = 64;
+  Tiny.Ways = 4;
+  BTBConfig TwoBit = Cpu.Btb;
+  TwoBit.TwoBitCounters = true;
+  constexpr size_t GangSize = 7;
+
+  GangReplayer::Stats St;
+  for (auto _ : State) {
+    GangReplayer Gang(Trace);
+    size_t Base = Gang.addDefault(LThreaded, Cpu);
+    Gang.addDefault(LSwitch, Cpu);
+    Gang.addBtb(LThreaded, Cpu, Tiny); // overflows -> deferred fallback
+    Gang.addBtbPredictorOnly(LThreaded, Cpu, TwoBit, Base);
+    Gang.addPredictorOnly(LThreaded, Cpu, PerfectPredictor(), Base);
+    Gang.addPredictorOnly(LThreaded, Cpu, NullPredictor(), Base);
+    Gang.addPredictorOnly(LThreaded, Cpu,
+                          TwoLevelPredictor((TwoLevelConfig())), Base);
+    std::vector<PerfCounters> R =
+        Gang.run(Threads,
+                 Dynamic ? GangSchedule::Dynamic : GangSchedule::Static,
+                 &St);
+    benchmark::DoNotOptimize(R.data());
+  }
+  State.SetItemsProcessed(State.iterations() * Trace.numEvents() * GangSize);
+  uint64_t Steals = 0;
+  for (const GangReplayer::Stats::Worker &W : St.Workers)
+    Steals += W.MembersStolen;
+  State.counters["steals"] = static_cast<double>(Steals);
+  static bool Printed[2] = {false, false};
+  if (!Printed[Dynamic]) {
+    Printed[Dynamic] = true;
+    emitGangLoadLine(Dynamic ? "dynamic" : "static", Threads, St);
+  }
+}
+
 } // namespace
 
 BENCHMARK(BM_SwitchDispatch)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
@@ -138,5 +220,9 @@ BENCHMARK(BM_SuperDispatch)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_ReplayFull)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ReplayPredictorOnly)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GangReplay5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GangReplayMixedThreaded)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -326,11 +326,12 @@ PerfCounters ForthLab::replay(const std::string &Benchmark,
 std::vector<PerfCounters>
 ForthLab::replayGang(const std::string &Benchmark,
                      const std::vector<VariantSpec> &Variants,
-                     const CpuConfig &Cpu, unsigned Threads) {
+                     const CpuConfig &Cpu, unsigned Threads,
+                     GangSchedule Schedule, GangReplayer::Stats *StatsOut) {
   GangReplayer Gang(trace(Benchmark));
   for (const VariantSpec &V : Variants)
     Gang.addDefault(buildLayout(Benchmark, V), Cpu);
-  return Gang.run(Threads);
+  return Gang.run(Threads, Schedule, StatsOut);
 }
 
 PerfCounters

@@ -129,12 +129,15 @@ public:
   /// Results are in variant order, bit-identical to replay() per cell.
   /// Thread-safe; intended as the per-workload job of a trace-affine
   /// sweep (one gang per SweepRunner worker). \p Threads > 1 replays
-  /// the gang on the shared-tile worker pool (bit-identical for any
-  /// thread count).
+  /// the gang on the shared-tile worker pool under \p Schedule
+  /// (bit-identical for any thread count and either scheduler);
+  /// \p StatsOut receives the pool accounting when non-null.
   std::vector<PerfCounters>
   replayGang(const std::string &Benchmark,
              const std::vector<VariantSpec> &Variants, const CpuConfig &Cpu,
-             unsigned Threads = 1);
+             unsigned Threads = 1,
+             GangSchedule Schedule = GangSchedule::Static,
+             GangReplayer::Stats *StatsOut = nullptr);
 
   /// Replay with a concrete predictor type: predict()/update() inline
   /// into the replay loop (devirtualized predictor sweeps).

@@ -395,9 +395,11 @@ PerfCounters JavaLab::replayNoOverhead(const std::string &Benchmark,
 std::vector<PerfCounters>
 JavaLab::replayGang(const std::string &Benchmark,
                     const std::vector<VariantSpec> &Variants,
-                    const CpuConfig &Cpu, unsigned Threads) {
+                    const CpuConfig &Cpu, unsigned Threads,
+                    GangSchedule Schedule, GangReplayer::Stats *StatsOut) {
   std::vector<PerfCounters> Results =
-      replayGangNoOverhead(Benchmark, Variants, Cpu, Threads);
+      replayGangNoOverhead(Benchmark, Variants, Cpu, Threads, Schedule,
+                           StatsOut);
   uint64_t Overhead = runtimeOverhead(Benchmark, Cpu);
   for (PerfCounters &C : Results)
     C.Cycles += Overhead;
@@ -407,7 +409,9 @@ JavaLab::replayGang(const std::string &Benchmark,
 std::vector<PerfCounters>
 JavaLab::replayGangNoOverhead(const std::string &Benchmark,
                               const std::vector<VariantSpec> &Variants,
-                              const CpuConfig &Cpu, unsigned Threads) {
+                              const CpuConfig &Cpu, unsigned Threads,
+                              GangSchedule Schedule,
+                              GangReplayer::Stats *StatsOut) {
   GangReplayer Gang(trace(Benchmark));
   for (const VariantSpec &V : Variants) {
     // Each member owns its fresh program copy; the layout is built
@@ -416,5 +420,5 @@ JavaLab::replayGangNoOverhead(const std::string &Benchmark,
     auto Layout = buildLayout(Benchmark, V, *Copy);
     Gang.addQuickening(std::move(Layout), std::move(Copy), Cpu);
   }
-  return Gang.run(Threads);
+  return Gang.run(Threads, Schedule, StatsOut);
 }

@@ -137,18 +137,24 @@ public:
   /// quickenings are re-applied at their exact event positions.
   /// Results are in variant order, bit-identical to replay() per cell
   /// (runtime overhead included). Thread-safe. \p Threads > 1 replays
-  /// the gang on the shared-tile worker pool (each quickening member
-  /// is owned by one worker, so results stay bit-identical).
+  /// the gang on the shared-tile worker pool under \p Schedule (each
+  /// quickening member has one owner per tile, so results stay
+  /// bit-identical for any thread count and either scheduler);
+  /// \p StatsOut receives the pool accounting when non-null.
   std::vector<PerfCounters>
   replayGang(const std::string &Benchmark,
              const std::vector<VariantSpec> &Variants, const CpuConfig &Cpu,
-             unsigned Threads = 1);
+             unsigned Threads = 1,
+             GangSchedule Schedule = GangSchedule::Static,
+             GangReplayer::Stats *StatsOut = nullptr);
 
   /// replayGang() without the runtime-system overhead cycles.
   std::vector<PerfCounters>
   replayGangNoOverhead(const std::string &Benchmark,
                        const std::vector<VariantSpec> &Variants,
-                       const CpuConfig &Cpu, unsigned Threads = 1);
+                       const CpuConfig &Cpu, unsigned Threads = 1,
+                       GangSchedule Schedule = GangSchedule::Static,
+                       GangReplayer::Stats *StatsOut = nullptr);
 
 private:
   /// Post-quickening static profile of one benchmark (the state static

@@ -11,8 +11,17 @@
 #include <atomic>
 #include <cassert>
 #include <map>
+#include <mutex>
+#include <thread>
 
 using namespace vmib;
+
+unsigned vmib::resolveGangThreads(unsigned SpecThreads) {
+  if (SpecThreads != 0)
+    return SpecThreads;
+  unsigned H = std::thread::hardware_concurrency();
+  return H != 0 ? H : 1;
+}
 
 ForthLab &SweepExecutor::forth() {
   if (ForthRef)
@@ -32,7 +41,8 @@ JavaLab &SweepExecutor::java() {
 
 std::vector<PerfCounters>
 SweepExecutor::runForthSlice(const SweepSpec &Spec, size_t Workload,
-                             size_t Begin, size_t End) {
+                             size_t Begin, size_t End,
+                             GangReplayer::Stats *LoadOut) {
   ForthLab &Lab = forth();
   const std::string &Benchmark = Spec.Benchmarks[Workload];
   const DispatchTrace &Trace = Lab.trace(Benchmark);
@@ -73,12 +83,23 @@ SweepExecutor::runForthSlice(const SweepSpec &Spec, size_t Workload,
       break;
     }
   }
-  return Gang.run(Spec.Threads);
+  // Only wire the stats through when the caller wants them: a non-null
+  // StatsOut makes every static (member, tile) execution pay two clock
+  // reads (see GangReplayer's Timed gate), which a --worker process
+  // with no consumer should not fund.
+  GangReplayer::Stats GangLoad;
+  std::vector<PerfCounters> Out =
+      Gang.run(resolveGangThreads(Spec.Threads), Spec.Schedule,
+               LoadOut ? &GangLoad : nullptr);
+  if (LoadOut)
+    LoadOut->merge(GangLoad);
+  return Out;
 }
 
 std::vector<PerfCounters>
 SweepExecutor::runJavaSlice(const SweepSpec &Spec, size_t Workload,
-                            size_t Begin, size_t End) {
+                            size_t Begin, size_t End,
+                            GangReplayer::Stats *LoadOut) {
   JavaLab &Lab = java();
   const std::string &Benchmark = Spec.Benchmarks[Workload];
   // Java members are quickening replays on the CPU's default BTB
@@ -103,8 +124,13 @@ SweepExecutor::runJavaSlice(const SweepSpec &Spec, size_t Workload,
     (void)Known;
     std::vector<VariantSpec> Subset(Spec.Variants.begin() + (Lo - RunBegin),
                                     Spec.Variants.begin() + (Hi - RunBegin));
+    GangReplayer::Stats GangLoad;
     std::vector<PerfCounters> Row =
-        Lab.replayGang(Benchmark, Subset, Cpu, Spec.Threads);
+        Lab.replayGang(Benchmark, Subset, Cpu,
+                       resolveGangThreads(Spec.Threads), Spec.Schedule,
+                       LoadOut ? &GangLoad : nullptr);
+    if (LoadOut)
+      LoadOut->merge(GangLoad);
     Out.insert(Out.end(), Row.begin(), Row.end());
   }
   return Out;
@@ -113,25 +139,28 @@ SweepExecutor::runJavaSlice(const SweepSpec &Spec, size_t Workload,
 std::vector<PerfCounters> SweepExecutor::runSlice(const SweepSpec &Spec,
                                                   size_t Workload,
                                                   size_t MemberBegin,
-                                                  size_t MemberEnd) {
+                                                  size_t MemberEnd,
+                                                  GangReplayer::Stats
+                                                      *LoadOut) {
   assert(Workload < Spec.Benchmarks.size() &&
          MemberEnd <= Spec.membersPerWorkload() &&
          MemberBegin <= MemberEnd && "slice out of range");
   if (Spec.Suite == "java")
-    return runJavaSlice(Spec, Workload, MemberBegin, MemberEnd);
-  return runForthSlice(Spec, Workload, MemberBegin, MemberEnd);
+    return runJavaSlice(Spec, Workload, MemberBegin, MemberEnd, LoadOut);
+  return runForthSlice(Spec, Workload, MemberBegin, MemberEnd, LoadOut);
 }
 
 SweepRunStats SweepExecutor::runAll(const SweepSpec &Spec, unsigned Threads,
                                     std::vector<PerfCounters> &Cells) {
   if (Threads == 0)
     Threads = defaultSweepThreads();
-  // Two-level thread budget: every gang spawns Spec.Threads replay
+  // Two-level thread budget: every gang spawns GangThreads replay
   // workers of its own, so shrink the pipeline pool to keep the total
   // thread count roughly constant — otherwise --threads=4 on a 4-core
   // host would run ~cores × 5 busy threads and get slower, not faster.
-  if (Spec.Threads > 1)
-    Threads = Threads / Spec.Threads > 1 ? Threads / Spec.Threads : 1;
+  unsigned GangThreads = resolveGangThreads(Spec.Threads);
+  if (GangThreads > 1)
+    Threads = Threads / GangThreads > 1 ? Threads / GangThreads : 1;
   size_t W = Spec.Benchmarks.size();
   size_t M = Spec.membersPerWorkload();
 
@@ -139,6 +168,7 @@ SweepRunStats SweepExecutor::runAll(const SweepSpec &Spec, unsigned Threads,
   Stats.Configs = Spec.numCells();
   double CaptureBusy = 0; // producer thread only; no lock needed
   std::atomic<uint64_t> Events{0};
+  std::mutex LoadMutex; // replay jobs may run on several pipeline workers
   std::vector<std::vector<PerfCounters>> Rows(W);
 
   WallTimer PipelineTimer;
@@ -167,7 +197,10 @@ SweepRunStats SweepExecutor::runAll(const SweepSpec &Spec, unsigned Threads,
                                           : forth().trace(B).numEvents();
         // Every member rides the whole trace once per pass.
         Events.fetch_add(N * M, std::memory_order_relaxed);
-        Rows[I] = runSlice(Spec, I, 0, M);
+        GangReplayer::Stats GangLoad;
+        Rows[I] = runSlice(Spec, I, 0, M, &GangLoad);
+        std::lock_guard<std::mutex> Lock(LoadMutex);
+        Stats.Load.merge(GangLoad);
       });
   Stats.ReplaySeconds = PipelineTimer.seconds();
   Stats.CaptureSeconds = CaptureBusy;

@@ -12,11 +12,14 @@
 ///    member range as a single gang (what a `sweep_driver --worker`
 ///    process executes for its ShardJob).
 ///
-/// Both paths honor the spec's `Threads` knob: each gang replays on
-/// GangReplayer's shared-tile worker pool when Threads > 1, so a
-/// worker process can use several cores of its host without
-/// re-decoding the trace per core (two-level shards × threads
-/// fan-out). Cells are bit-identical for any (shards, threads) pair.
+/// Both paths honor the spec's `Threads` and `Schedule` knobs: each
+/// gang replays on GangReplayer's shared-tile worker pool when the
+/// resolved thread count exceeds 1 (Threads == 0 auto-detects the
+/// host's core count, see resolveGangThreads), under either the
+/// static-slice or the cost-aware dynamic scheduler — so a worker
+/// process can use several cores of its host without re-decoding the
+/// trace per core (two-level shards × threads fan-out). Cells are
+/// bit-identical for any (shards, threads, schedule) triple.
 ///
 /// Every member is a *full* replay, so a member's counters do not
 /// depend on which other members share the gang — `runAll` and any
@@ -40,6 +43,12 @@
 
 namespace vmib {
 
+/// Resolves a spec's `threads` field to the worker count a gang
+/// actually runs with: 0 (the auto-detect request, `--threads=0` /
+/// `threads 0`) becomes the host's hardware_concurrency (min 1); any
+/// other value passes through.
+unsigned resolveGangThreads(unsigned SpecThreads);
+
 /// Wall-clock accounting of one sweep execution, in the units the
 /// standard [timing] line reports.
 struct SweepRunStats {
@@ -47,6 +56,10 @@ struct SweepRunStats {
   double ReplaySeconds = 0;  ///< wall clock of the replay/pipeline stage
   uint64_t ReplayedEvents = 0;
   size_t Configs = 0;
+  /// Gang worker-pool accounting summed over every gang this sweep
+  /// replayed (per-worker events/waits/steals/busy time, deferred
+  /// finish counts) — what the `:loadbalance` timing line renders.
+  GangReplayer::Stats Load;
 };
 
 class SweepExecutor {
@@ -58,8 +71,12 @@ public:
 
   /// Runs gang members [MemberBegin, MemberEnd) of workload \p Workload
   /// as one gang over the workload's trace; results in member order.
+  /// The gang replays on resolveGangThreads(Spec.Threads) workers under
+  /// Spec.Schedule; \p LoadOut, when non-null, accumulates (merges) the
+  /// gang's pool accounting.
   std::vector<PerfCounters> runSlice(const SweepSpec &Spec, size_t Workload,
-                                     size_t MemberBegin, size_t MemberEnd);
+                                     size_t MemberBegin, size_t MemberEnd,
+                                     GangReplayer::Stats *LoadOut = nullptr);
 
   /// The full in-process sweep: every cell, workload-major canonical
   /// order, with capture overlapped via pipelineSweep. \p Threads == 0
@@ -73,10 +90,12 @@ public:
 private:
   std::vector<PerfCounters> runForthSlice(const SweepSpec &Spec,
                                           size_t Workload, size_t Begin,
-                                          size_t End);
+                                          size_t End,
+                                          GangReplayer::Stats *LoadOut);
   std::vector<PerfCounters> runJavaSlice(const SweepSpec &Spec,
                                          size_t Workload, size_t Begin,
-                                         size_t End);
+                                         size_t End,
+                                         GangReplayer::Stats *LoadOut);
 
   ForthLab *ForthRef;
   JavaLab *JavaRef;

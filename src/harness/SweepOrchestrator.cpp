@@ -94,12 +94,27 @@ bool vmib::orchestrateSweep(const SweepSpec &Spec,
   std::string Template = Opt.CommandTemplate.empty()
                              ? "{driver} --worker --spec={spec} "
                                "--shards={shards} --job={job} "
-                               "--threads={threads}"
+                               "--threads={threads} --schedule={schedule}"
                              : Opt.CommandTemplate;
   // {threads} = the explicit two-level knob, or the spec's own field
   // so a threaded spec file stays threaded through the default
-  // template.
+  // template. {schedule} = the (possibly CLI-overridden) spec's
+  // scheduler: workers re-parse the spec FILE, which does not carry a
+  // --schedule override, so the template must — otherwise a dynamic
+  // orchestrator would silently fan out static workers.
   unsigned WorkerThreads = Opt.Threads != 0 ? Opt.Threads : Spec.Threads;
+  const char *WorkerSchedule = gangScheduleId(Spec.Schedule);
+  if (Spec.Schedule != GangSchedule::Static &&
+      Template.find("{schedule}") == std::string::npos)
+    // substitute() is a no-op on an absent key, so a pre-{schedule}
+    // custom template would silently fan out STATIC workers while the
+    // orchestrator logs claim dynamic — counters match either way,
+    // which is exactly why this needs a loud hint, not a failure.
+    std::fprintf(stderr,
+                 "warning: worker template has no {schedule} placeholder; "
+                 "workers will re-parse the spec file and run its schedule, "
+                 "not '%s'\n",
+                 WorkerSchedule);
   std::string Driver =
       Opt.DriverBinary.empty() ? defaultSweepDriverPath() : Opt.DriverBinary;
 
@@ -119,6 +134,7 @@ bool vmib::orchestrateSweep(const SweepSpec &Spec,
     substitute(Cmd, "{shards}", std::to_string(Opt.Shards));
     substitute(Cmd, "{job}", std::to_string(Job));
     substitute(Cmd, "{threads}", std::to_string(WorkerThreads));
+    substitute(Cmd, "{schedule}", WorkerSchedule);
     W.Pipe = ::popen(Cmd.c_str(), "r");
     W.Job = Job;
     if (!W.Pipe) {

@@ -16,8 +16,12 @@
 /// from the remote side):
 ///
 ///   {driver} --worker --spec={spec} --shards={shards} --job={job}
-///     --threads={threads}
+///     --threads={threads} --schedule={schedule}
 ///   ssh host 'VMIB_TRACE_CACHE=/shared/cache {driver} --worker ...'
+///
+/// `{schedule}` carries the orchestrator's (possibly CLI-overridden)
+/// gang scheduler to the workers — they re-parse the spec *file*,
+/// which a --schedule override never touched.
 ///
 /// Fan-out is two-level: `Shards` worker processes × `Threads`
 /// intra-gang worker threads per process (GangReplayer shared decoded
@@ -56,9 +60,9 @@ struct SweepWorkerOptions {
   /// writes the spec to a temp file and removes it afterwards. For
   /// remote templates this must be a path the remote side can read.
   std::string SpecPath;
-  /// Shell command template; {driver}, {spec}, {shards}, {job} and
-  /// {threads} are substituted. Empty uses the default local-worker
-  /// template above.
+  /// Shell command template; {driver}, {spec}, {shards}, {job},
+  /// {threads} and {schedule} are substituted. Empty uses the default
+  /// local-worker template above.
   std::string CommandTemplate;
   /// Path substituted for {driver}; empty uses defaultSweepDriverPath().
   std::string DriverBinary;

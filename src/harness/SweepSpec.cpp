@@ -6,7 +6,10 @@
 ///   name fig08_gforth_p4
 ///   suite forth
 ///   chunk 0
-///   threads 1            # optional: absent (PR-3-era files) means 1
+///   threads 1            # optional: absent (PR-3-era files) means 1;
+///                        # 0 = auto-detect (hardware_concurrency)
+///   schedule static      # optional: absent means static; `dynamic`
+///                        # enables cost-aware work-stealing replay
 ///   cpu p4northwood
 ///   benchmark fib
 ///   variant name="static repl" kind=static-repl supers=0 replicas=400
@@ -330,6 +333,7 @@ std::string vmib::printSweepSpec(const SweepSpec &Spec) {
   Out += format("suite %s\n", Spec.Suite.c_str());
   Out += format("chunk %zu\n", Spec.ChunkEvents);
   Out += format("threads %u\n", Spec.Threads);
+  Out += format("schedule %s\n", gangScheduleId(Spec.Schedule));
   for (const std::string &C : Spec.Cpus)
     Out += format("cpu %s\n", C.c_str());
   for (const std::string &B : Spec.Benchmarks)
@@ -387,14 +391,23 @@ bool vmib::parseSweepSpec(const std::string &Text, SweepSpec &Out,
       Out.ChunkEvents = static_cast<size_t>(N);
     } else if (Key == "threads" && Tokens.size() == 2) {
       // Optional declaration: a PR-3-era spec without it parses as the
-      // serial default (Out is reset to Threads = 1 above).
+      // serial default (Out is reset to Threads = 1 above). 0 is the
+      // auto-detect request, resolved to hardware_concurrency at
+      // executor level (resolveGangThreads).
       uint64_t N;
       if (!parseU64(Tokens[1], N))
         return Fail("bad number in threads");
-      if (N < 1 || N > 1024)
-        return Fail(format("threads %llu out of range [1, 1024]",
+      if (N > 1024)
+        return Fail(format("threads %llu out of range [0, 1024] "
+                           "(0 = auto-detect)",
                            (unsigned long long)N));
       Out.Threads = static_cast<unsigned>(N);
+    } else if (Key == "schedule" && Tokens.size() == 2) {
+      // Optional declaration: PR-4-era files without it parse as the
+      // static (contiguous-slice) scheduler.
+      if (!gangScheduleFromId(Tokens[1], Out.Schedule))
+        return Fail("unknown schedule '" + Tokens[1] +
+                    "' (expected static or dynamic)");
     } else if (Key == "cpu" && Tokens.size() == 2) {
       Out.Cpus.push_back(Tokens[1]);
     } else if (Key == "benchmark" && Tokens.size() == 2) {
@@ -433,11 +446,12 @@ bool vmib::validateSweepSpec(const SweepSpec &Spec, std::string &Error) {
     Error = "suite must be 'forth' or 'java', got '" + Spec.Suite + "'";
     return false;
   }
-  if (Spec.Threads < 1 || Spec.Threads > 1024) {
+  if (Spec.Threads > 1024) {
     // Programmatically built specs get the same bound the parser
-    // enforces: 0 would silently mean "no replay at all" and huge
-    // values are a typo, not a fan-out plan.
-    Error = format("threads %u out of range [1, 1024]", Spec.Threads);
+    // enforces: huge values are a typo, not a fan-out plan. 0 is the
+    // auto-detect request (resolved by the executor), so it validates.
+    Error = format("threads %u out of range [0, 1024] (0 = auto-detect)",
+                   Spec.Threads);
     return false;
   }
   if (Spec.Benchmarks.empty()) {

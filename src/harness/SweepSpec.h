@@ -35,6 +35,7 @@
 #include "uarch/BTB.h"
 #include "uarch/PerfCounters.h"
 #include "uarch/TwoLevelPredictor.h"
+#include "vmcore/GangSchedule.h"
 
 #include <cstddef>
 #include <string>
@@ -72,10 +73,19 @@ struct SweepSpec {
   size_t ChunkEvents = 0;
   /// Intra-gang worker threads per gang replay (GangReplayer shared
   /// decoded tiles). 1 — the default, and what a spec without the
-  /// field parses as — is the strictly serial PR-3 behavior; any value
-  /// produces bit-identical cells. Composes with process sharding into
-  /// a two-level shards × threads fan-out.
+  /// field parses as — is the strictly serial PR-3 behavior; 0 means
+  /// auto-detect (the executor resolves it to the host's
+  /// hardware_concurrency, see resolveGangThreads). Any value produces
+  /// bit-identical cells. Composes with process sharding into a
+  /// two-level shards × threads fan-out.
   unsigned Threads = 1;
+  /// How each gang's worker pool distributes members: static
+  /// contiguous slices (the default, and what a spec without the
+  /// field parses as) or the cost-aware dynamic scheduler with
+  /// work-stealing member replay and the parallel deferred-fallback
+  /// finish. Bit-identical either way; dynamic is the fast choice for
+  /// gangs mixing cheap and expensive members.
+  GangSchedule Schedule = GangSchedule::Static;
 
   /// Gang members per workload: |Cpus| × |Variants| × max(1, |Predictors|),
   /// ordered CPU-major, then variant, then predictor.

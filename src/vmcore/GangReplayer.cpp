@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <map>
 #include <mutex>
+#include <numeric>
 #include <thread>
 
 using namespace vmib;
@@ -50,6 +52,15 @@ uint64_t gang::decodeFingerprint(const DispatchProgram &Layout) {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+uint64_t elapsedNs(Clock::time_point Since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Since)
+          .count());
+}
+
 /// Members sharing one decoded stream: two or more members whose
 /// layouts carry the same decode fingerprint amortize one SoA decode
 /// per tile across the group.
@@ -59,22 +70,33 @@ struct Group {
 };
 
 /// One slot of the parallel tile ring. The decoder publishes a tile by
-/// storing its index into Seq (release) after filling Begin/End and
-/// the per-group chunks; each worker crosses the tile and then
-/// decrements Pending (release), and the decoder refills the slot once
-/// Pending drains to zero (acquire) — so chunk memory is never written
-/// while a worker reads it, and member state is never read while its
-/// worker writes it.
+/// storing its index into Seq (release) after filling Begin/End, the
+/// per-group chunks and (dynamic schedule) the owner plan; workers
+/// drain Pending (release) — one decrement per worker under the static
+/// schedule; one per member execution PLUS one sweep token per worker
+/// under the dynamic schedule — and the decoder refills the slot once
+/// Pending hits zero (acquire), so chunk memory is never written while
+/// a worker reads it and a claim ledger is never recycled under a
+/// worker that has not swept the tile yet.
 struct TileSlot {
   size_t Begin = 0, End = 0;
   std::vector<gang::DecodedChunk> Chunks; ///< one per group
   std::atomic<int64_t> Seq{-1};           ///< tile index this slot holds
-  std::atomic<unsigned> Pending{0};       ///< workers still crossing it
+  std::atomic<unsigned> Pending{0};       ///< drain count (see above)
+  // Dynamic schedule only: the per-tile owner table. Order is the
+  // claim scan order (members by descending measured cost), OwnerOf
+  // the cost-weighted plan, Claimed the one-owner-per-member-per-tile
+  // ledger (exchange 0->1 wins the member for this tile).
+  std::vector<uint32_t> Order;
+  std::vector<uint16_t> OwnerOf;
+  std::unique_ptr<std::atomic<uint8_t>[]> Claimed;
 };
 
 } // namespace
 
-std::vector<PerfCounters> GangReplayer::run(unsigned Threads) {
+std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
+                                            GangSchedule Schedule,
+                                            Stats *StatsOut) {
   // Scratch sizing: a tile never exceeds the trace, so clamp before
   // the decoders allocate (a huge VMIB_GANG_CHUNK must degrade to one
   // whole-trace tile, not a multi-GB zeroed buffer).
@@ -130,7 +152,14 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads) {
   if (Threads > Members.size())
     Threads = static_cast<unsigned>(Members.size());
 
-  if (Threads <= 1 || Trace.numEvents() == 0) {
+  Stats LocalStats;
+  Stats &St = StatsOut ? *StatsOut : LocalStats;
+  St = Stats();
+
+  const size_t M = Members.size();
+  bool Pooled = Threads > 1 && Trace.numEvents() != 0;
+
+  if (!Pooled) {
     // Serial chunk-major sweep: every active member crosses the tile
     // before the cursor advances — group layouts decode once, then
     // their members consume the SoA streams; fused members replay the
@@ -139,9 +168,10 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads) {
     DispatchTrace::ChunkCursor Cursor(Trace, ChunkEvents);
     while (Cursor.next()) {
       for (size_t I : Fused) {
-        Slot &M = Members[I];
-        if (M.Active)
-          M.Active = M.Member->runChunk(Trace, Cursor.begin(), Cursor.end());
+        Slot &Mem = Members[I];
+        if (Mem.Active)
+          Mem.Active =
+              Mem.Member->runChunk(Trace, Cursor.begin(), Cursor.end());
       }
       for (Group &G : Groups) {
         bool AnyActive = false;
@@ -151,26 +181,35 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads) {
           continue; // drops are permanent; stop decoding for this group
         G.Decoder->decode(Trace, Cursor.begin(), Cursor.end());
         for (size_t I : G.MemberIdx) {
-          Slot &M = Members[I];
-          if (M.Active)
-            M.Active = M.Member->runChunkDecoded(G.Decoder->chunk());
+          Slot &Mem = Members[I];
+          if (Mem.Active)
+            Mem.Active = Mem.Member->runChunkDecoded(G.Decoder->chunk());
         }
       }
     }
   } else {
     // Shared-tile worker pool: the calling thread decodes tiles into a
-    // small ring; Threads workers each own a fixed contiguous member
-    // slice and cross every tile in stream order. One owner per member
-    // + in-order tiles means every member sees exactly the serial
-    // event sequence, so counters are bit-identical for any thread
-    // count; the ring only bounds how far decode runs ahead.
+    // small ring; Threads workers replay members off the published
+    // slots. Under either schedule a member has exactly one owner per
+    // tile and crosses tiles in stream order, so every member sees
+    // exactly the serial event sequence and counters are bit-identical
+    // for any thread count and any steal schedule; the ring only
+    // bounds how far decode runs ahead.
     size_t NumTiles = (Trace.numEvents() + ChunkCapacity - 1) / ChunkCapacity;
     size_t Slots = std::min<size_t>(4, NumTiles);
+    bool Dynamic = Schedule == GangSchedule::Dynamic;
     std::vector<TileSlot> Ring(Slots);
     for (TileSlot &S : Ring) {
       S.Chunks.reserve(Groups.size());
       for (Group &G : Groups)
         S.Chunks.push_back(G.Decoder->makeChunk());
+      if (Dynamic) {
+        S.Order.resize(M);
+        S.OwnerOf.assign(M, 0);
+        S.Claimed = std::make_unique<std::atomic<uint8_t>[]>(M);
+        for (size_t I = 0; I < M; ++I)
+          S.Claimed[I].store(0, std::memory_order_relaxed);
+      }
     }
     // Live-member count per group: once a group's last member drops,
     // the decoder stops decoding for it. A worker decrements only
@@ -193,9 +232,81 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads) {
       Abort.store(true, std::memory_order_relaxed);
     };
 
-    unsigned NumWorkers = Threads;
-    size_t M = Members.size();
-    auto Worker = [&](unsigned W) {
+    const unsigned NumWorkers = Threads;
+    St.Workers.assign(NumWorkers, Stats::Worker());
+
+    auto DropMember = [&](size_t I) {
+      Members[I].Active = false;
+      if (GroupOf[I] >= 0)
+        GroupAlive[GroupOf[I]].fetch_sub(1, std::memory_order_relaxed);
+    };
+
+    // The dynamic planner always needs the per-execution cost samples;
+    // a static run only pays the two clock reads per (member, tile)
+    // when the caller asked for stats — the PR-4 hot path stays
+    // clock-free otherwise (chunk=1 runs make the reads comparable to
+    // the replay work itself).
+    const bool Timed = Dynamic || StatsOut != nullptr;
+
+    /// Replays member \p I over the published tile in \p S, with the
+    /// per-execution accounting both schedules share. \returns the
+    /// measured nanoseconds (the dynamic scheduler's cost sample; 0
+    /// when untimed).
+    auto ReplayMemberTile = [&](size_t I, TileSlot &S,
+                                Stats::Worker &WS) -> uint64_t {
+      Clock::time_point T0;
+      if (Timed)
+        T0 = Clock::now();
+      Slot &Mem = Members[I];
+      bool Ok = GroupOf[I] < 0
+                    ? Mem.Member->runChunk(Trace, S.Begin, S.End)
+                    : Mem.Member->runChunkDecoded(S.Chunks[GroupOf[I]]);
+      uint64_t Ns = 0;
+      if (Timed) {
+        Ns = elapsedNs(T0);
+        WS.BusySeconds += static_cast<double>(Ns) * 1e-9;
+      }
+      WS.EventsReplayed += S.End - S.Begin;
+      if (!Ok)
+        DropMember(I);
+      return Ns;
+    };
+
+    /// Waits for slot \p S to carry tile \p T; \returns false on abort.
+    auto AwaitTile = [&](TileSlot &S, size_t T, Stats::Worker &WS) {
+      bool Waited = false;
+      while (S.Seq.load(std::memory_order_acquire) <
+             static_cast<int64_t>(T)) {
+        if (Abort.load(std::memory_order_relaxed))
+          return false;
+        Waited = true;
+        std::this_thread::yield();
+      }
+      if (Waited)
+        ++WS.TilesWaited;
+      return true;
+    };
+
+    // Per-member serialization and cost state of the dynamic
+    // scheduler. DoneTile[I] counts the tiles member I completed: the
+    // claimant of (I, T) spins until DoneTile[I] == T (acquire) and
+    // stores T+1 (release) afterwards — the happens-before edge that
+    // carries member state between owners across tiles. CostNs[I] is a
+    // relaxed EWMA of the member's per-tile replay cost; it only
+    // steers the plan, never the results.
+    std::unique_ptr<std::atomic<uint64_t>[]> DoneTile;
+    std::unique_ptr<std::atomic<uint64_t>[]> CostNs;
+    if (Dynamic) {
+      DoneTile = std::make_unique<std::atomic<uint64_t>[]>(M);
+      CostNs = std::make_unique<std::atomic<uint64_t>[]>(M);
+      for (size_t I = 0; I < M; ++I) {
+        DoneTile[I].store(0, std::memory_order_relaxed);
+        CostNs[I].store(0, std::memory_order_relaxed);
+      }
+    }
+
+    auto StaticWorker = [&](unsigned W) {
+      Stats::Worker &WS = St.Workers[W];
       // Near-equal contiguous member slice; the first (M % workers)
       // slices carry one extra member.
       size_t Base = M / NumWorkers, Rem = M % NumWorkers;
@@ -204,26 +315,11 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads) {
       try {
         for (size_t T = 0; T < NumTiles; ++T) {
           TileSlot &S = Ring[T % Slots];
-          while (S.Seq.load(std::memory_order_acquire) <
-                 static_cast<int64_t>(T)) {
-            if (Abort.load(std::memory_order_relaxed))
-              return;
-            std::this_thread::yield();
-          }
-          for (size_t I = MBegin; I < MEnd; ++I) {
-            Slot &Mem = Members[I];
-            if (!Mem.Active)
-              continue;
-            bool Ok = GroupOf[I] < 0
-                          ? Mem.Member->runChunk(Trace, S.Begin, S.End)
-                          : Mem.Member->runChunkDecoded(S.Chunks[GroupOf[I]]);
-            if (!Ok) {
-              Mem.Active = false;
-              if (GroupOf[I] >= 0)
-                GroupAlive[GroupOf[I]].fetch_sub(1,
-                                                 std::memory_order_relaxed);
-            }
-          }
+          if (!AwaitTile(S, T, WS))
+            return;
+          for (size_t I = MBegin; I < MEnd; ++I)
+            if (Members[I].Active)
+              (void)ReplayMemberTile(I, S, WS);
           S.Pending.fetch_sub(1, std::memory_order_release);
         }
       } catch (...) {
@@ -231,13 +327,119 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads) {
       }
     };
 
+    auto DynamicWorker = [&](unsigned W) {
+      Stats::Worker &WS = St.Workers[W];
+      try {
+        for (size_t T = 0; T < NumTiles; ++T) {
+          TileSlot &S = Ring[T % Slots];
+          if (!AwaitTile(S, T, WS))
+            return;
+          // Pass 0 claims the worker's cost-weighted plan slice; pass
+          // 1 steals members other workers have not claimed yet AND
+          // whose previous tile already completed (a stealer must not
+          // park behind the hot member while ready work idles); pass 2
+          // is the unconditional coverage sweep — it claims whatever
+          // is left, waiting as needed. A single worker's pass-0 +
+          // pass-2 sweeps cover every member, so by the time anyone
+          // advances past tile T, all of tile T's members are claimed
+          // by *someone* who will execute them — the progress argument
+          // behind the DoneTile spins.
+          for (int Pass = 0; Pass < 3; ++Pass) {
+            for (size_t K = 0; K < M; ++K) {
+              uint32_t I = S.Order[K];
+              if ((S.OwnerOf[I] == W) != (Pass == 0))
+                continue;
+              if (Pass == 1 &&
+                  DoneTile[I].load(std::memory_order_acquire) !=
+                      static_cast<uint64_t>(T))
+                continue; // not ready — leave it for a readier thief
+              if (S.Claimed[I].exchange(1, std::memory_order_relaxed) != 0)
+                continue;
+              // One owner per member per tile: serialize against the
+              // member's previous tile before touching its state.
+              while (DoneTile[I].load(std::memory_order_acquire) != T) {
+                if (Abort.load(std::memory_order_relaxed))
+                  return;
+                std::this_thread::yield();
+              }
+              if (Members[I].Active) {
+                uint64_t Ns = ReplayMemberTile(I, S, WS);
+                uint64_t Prev = CostNs[I].load(std::memory_order_relaxed);
+                CostNs[I].store(Prev == 0 ? Ns : (3 * Prev + Ns) / 4,
+                                std::memory_order_relaxed);
+                if (Pass != 0)
+                  ++WS.MembersStolen;
+              }
+              DoneTile[I].store(T + 1, std::memory_order_release);
+              S.Pending.fetch_sub(1, std::memory_order_release);
+            }
+          }
+          // Sweep token: the slot also carries one Pending unit per
+          // WORKER, returned only after this worker's claim sweep of
+          // the tile. Without it a worker that claimed nothing in tile
+          // T would leave no trace, the decoder could recycle the slot
+          // past it, and its late claim sweep would grab entries of
+          // the ledger's NEXT tile while waiting for DoneTile == T —
+          // a deadlock. With the token a slot never advances until
+          // every worker has swept it, so AwaitTile always observes
+          // exactly tile T.
+          S.Pending.fetch_sub(1, std::memory_order_release);
+        }
+      } catch (...) {
+        Record();
+      }
+    };
+
+    // Cost-weighted plan for one tile: claim order is members by
+    // descending measured cost, the owner table a greedy LPT
+    // assignment onto the least-loaded worker. Tile 0 has no samples
+    // yet (all costs zero), so the stable sort keeps add order and LPT
+    // deals members round-robin; from tile 1 on the plan follows the
+    // measured costs — the "cost-weighted initial slices from the
+    // first tiles". Decoder-only state, published with the slot.
+    std::vector<uint64_t> PlanLoad(NumWorkers);
+    std::vector<uint64_t> CostSnap(Dynamic ? M : 0);
+    auto PlanTile = [&](TileSlot &S) {
+      // Snapshot the costs first: workers update the EWMAs while this
+      // runs, and a comparator whose answers shift mid-sort violates
+      // strict weak ordering.
+      for (size_t I = 0; I < M; ++I) {
+        CostSnap[I] = CostNs[I].load(std::memory_order_relaxed);
+        S.Order[I] = static_cast<uint32_t>(I);
+      }
+      std::stable_sort(S.Order.begin(), S.Order.end(),
+                       [&](uint32_t A, uint32_t B) {
+                         return CostSnap[A] > CostSnap[B];
+                       });
+      std::fill(PlanLoad.begin(), PlanLoad.end(), 0);
+      for (size_t K = 0; K < M; ++K) {
+        uint32_t I = S.Order[K];
+        unsigned Best = 0;
+        for (unsigned W = 1; W < NumWorkers; ++W)
+          if (PlanLoad[W] < PlanLoad[Best])
+            Best = W;
+        S.OwnerOf[I] = static_cast<uint16_t>(Best);
+        PlanLoad[Best] += std::max<uint64_t>(CostSnap[I], 1);
+      }
+      for (size_t I = 0; I < M; ++I)
+        S.Claimed[I].store(0, std::memory_order_relaxed);
+    };
+
     std::vector<std::thread> Pool;
     Pool.reserve(NumWorkers);
-    for (unsigned W = 0; W < NumWorkers; ++W)
-      Pool.emplace_back(Worker, W);
+    for (unsigned W = 0; W < NumWorkers; ++W) {
+      if (Dynamic)
+        Pool.emplace_back(DynamicWorker, W);
+      else
+        Pool.emplace_back(StaticWorker, W);
+    }
 
-    // Decoder loop (this thread): refill each ring slot once every
-    // worker drained it, decode the live groups, publish.
+    // Decoder loop (this thread): refill each ring slot once it
+    // drained, decode the live groups, plan (dynamic), publish. A
+    // dynamic slot drains after M member executions plus one sweep
+    // token per worker (see DynamicWorker).
+    const unsigned PendingInit =
+        Dynamic ? static_cast<unsigned>(M) + NumWorkers : NumWorkers;
     try {
       DispatchTrace::ChunkCursor Cursor(Trace, ChunkCapacity);
       for (size_t T = 0; T < NumTiles; ++T) {
@@ -261,7 +463,9 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads) {
           if (GroupAlive[G].load(std::memory_order_relaxed) != 0)
             Groups[G].Decoder->decodeInto(Trace, S.Begin, S.End,
                                           S.Chunks[G]);
-        S.Pending.store(NumWorkers, std::memory_order_relaxed);
+        if (Dynamic)
+          PlanTile(S);
+        S.Pending.store(PendingInit, std::memory_order_relaxed);
         S.Seq.store(static_cast<int64_t>(T), std::memory_order_release);
       }
     } catch (...) {
@@ -273,11 +477,95 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads) {
       std::rethrow_exception(FirstError);
   }
 
-  // Completion in add order so predictor-only members can take their
-  // fetch baseline from an earlier member's finished counters.
+  for (const Slot &Mem : Members)
+    St.DeferredFinishes += Mem.Active ? 0 : 1;
+
+  // Completion pass. Serial (and static-pooled, for PR-4 parity):
+  // add order, so predictor-only members take their fetch baseline
+  // from an earlier member's finished counters. Dynamic-pooled: the
+  // same tasks as a dependency-ordered list drained by a worker pool —
+  // deferred exact-LRU re-runs are whole-trace replays, so the serial
+  // tail they used to form dominates gangs with many overflowing
+  // members.
+  Clock::time_point FinishStart = Clock::now();
   std::vector<PerfCounters> Finished;
-  Finished.reserve(Members.size());
-  for (Slot &M : Members)
-    Finished.push_back(M.Member->finish(Trace, Finished));
+  if (!Pooled || Schedule != GangSchedule::Dynamic || M <= 1) {
+    Finished.reserve(M);
+    for (Slot &Mem : Members)
+      Finished.push_back(Mem.Member->finish(Trace, Finished));
+  } else {
+    St.ParallelFinish = true;
+    Finished.assign(M, PerfCounters());
+    // Rank = baseline-dependency depth (an edge always points at an
+    // earlier member, so one forward pass computes it). Claiming in
+    // rank order makes the dependency spins deadlock-free: a waited-on
+    // member is always earlier in the claim order, hence already
+    // claimed by a worker that is actively finishing it.
+    std::vector<uint32_t> Rank(M, 0);
+    for (size_t I = 0; I < M; ++I) {
+      size_t Dep = Members[I].Member->finishDependency();
+      if (Dep != GangMember::NoFinishDependency) {
+        assert(Dep < I && "finish dependency must be an earlier member");
+        Rank[I] = Rank[Dep] + 1;
+      }
+    }
+    std::vector<uint32_t> TaskOrder(M);
+    std::iota(TaskOrder.begin(), TaskOrder.end(), 0);
+    std::stable_sort(TaskOrder.begin(), TaskOrder.end(),
+                     [&](uint32_t A, uint32_t B) {
+                       if (Rank[A] != Rank[B])
+                         return Rank[A] < Rank[B];
+                       // Deferred members re-run the whole trace —
+                       // start the long tasks first within a rank.
+                       return !Members[A].Active && Members[B].Active;
+                     });
+
+    std::unique_ptr<std::atomic<uint8_t>[]> Done =
+        std::make_unique<std::atomic<uint8_t>[]>(M);
+    for (size_t I = 0; I < M; ++I)
+      Done[I].store(0, std::memory_order_relaxed);
+    std::atomic<size_t> Cursor{0};
+    std::atomic<bool> Abort{false};
+    std::exception_ptr FirstError;
+    std::mutex ErrorMutex;
+    auto FinishWorker = [&] {
+      try {
+        for (;;) {
+          size_t K = Cursor.fetch_add(1, std::memory_order_relaxed);
+          if (K >= M)
+            return;
+          size_t I = TaskOrder[K];
+          size_t Dep = Members[I].Member->finishDependency();
+          if (Dep != GangMember::NoFinishDependency)
+            while (Done[Dep].load(std::memory_order_acquire) == 0) {
+              if (Abort.load(std::memory_order_relaxed))
+                return;
+              std::this_thread::yield();
+            }
+          Finished[I] = Members[I].Member->finish(Trace, Finished);
+          Done[I].store(1, std::memory_order_release);
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> Lock(ErrorMutex);
+          if (!FirstError)
+            FirstError = std::current_exception();
+        }
+        Abort.store(true, std::memory_order_relaxed);
+      }
+    };
+    unsigned FinishThreads =
+        std::min<unsigned>(Threads, static_cast<unsigned>(M));
+    std::vector<std::thread> Pool;
+    Pool.reserve(FinishThreads - 1);
+    for (unsigned W = 1; W < FinishThreads; ++W)
+      Pool.emplace_back(FinishWorker);
+    FinishWorker(); // the calling thread drains tasks too
+    for (std::thread &Th : Pool)
+      Th.join();
+    if (FirstError)
+      std::rethrow_exception(FirstError);
+  }
+  St.FinishSeconds = static_cast<double>(elapsedNs(FinishStart)) * 1e-9;
   return Finished;
 }

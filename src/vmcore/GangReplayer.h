@@ -43,16 +43,21 @@
 ///
 /// run(Threads) with Threads > 1 replays the gang on a shared-tile
 /// worker pool: the calling thread decodes tiles into a small ring and
-/// Threads workers replay disjoint member slices off the same decoded
-/// tile. Members stay strictly serial (one worker owns a member for
-/// the whole pass, tiles in order), so counters are bit-identical for
-/// any thread count (tests/GangReplayTest.cpp pins the invariance).
+/// Threads workers replay member work off the same decoded tile. Under
+/// GangSchedule::Static each worker owns a fixed contiguous member
+/// slice for the whole pass; under GangSchedule::Dynamic the decoder
+/// publishes a cost-weighted owner table with every tile and idle
+/// workers steal whole members at tile boundaries. Either way a member
+/// has exactly one owner per tile and crosses tiles in stream order,
+/// so counters are bit-identical for any thread count and any steal
+/// schedule (tests/GangReplayTest.cpp pins the invariance).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef VMIB_VMCORE_GANGREPLAYER_H
 #define VMIB_VMCORE_GANGREPLAYER_H
 
+#include "vmcore/GangSchedule.h"
 #include "vmcore/TraceReplayer.h"
 
 #include <cassert>
@@ -431,9 +436,20 @@ public:
   /// Completes the member: deferred exact fallback if it dropped out,
   /// fetch-baseline patching for predictor-only members, counter
   /// finalization. \p Finished holds the results of all *earlier*
-  /// members (baseline references resolve in member order).
+  /// members (baseline references resolve in member order; a parallel
+  /// finish pass passes a full-size vector and guarantees only that
+  /// the finishDependency() entry is already populated).
   virtual PerfCounters finish(const DispatchTrace &Trace,
                               const std::vector<PerfCounters> &Finished) = 0;
+
+  /// Sentinel for finishDependency(): no earlier-member input needed.
+  static constexpr size_t NoFinishDependency = static_cast<size_t>(-1);
+
+  /// Index of the earlier gang member whose *finished* counters this
+  /// member's finish() reads (the fetch baseline of predictor-only
+  /// members), or NoFinishDependency. The parallel finish pass orders
+  /// and gates tasks on exactly this edge.
+  virtual size_t finishDependency() const { return NoFinishDependency; }
 
   /// Mutable per-member state (predictor + I-cache model + counters),
   /// excluding the (possibly shared) layout — the number the gang
@@ -596,6 +612,8 @@ public:
     return TraceReplayer::finalize(S.Counters, *Layout, Cpu);
   }
 
+  size_t finishDependency() const override { return FetchBaseline; }
+
   uint64_t stateBytes() const override {
     return sizeof(*this) + (FastPred ? modelStateBytes(*FastPred)
                                      : modelStateBytes(*IdealPred));
@@ -711,6 +729,8 @@ public:
     S.Counters.ICacheMisses = Finished[FetchBaseline].ICacheMisses;
     return TraceReplayer::finalize(S.Counters, *Layout, Cpu);
   }
+
+  size_t finishDependency() const override { return FetchBaseline; }
 
   uint64_t stateBytes() const override {
     return sizeof(*this) + modelStateBytes(Pred);
@@ -892,6 +912,52 @@ public:
 
   size_t size() const { return Members.size(); }
 
+  /// Pool accounting of one run(): who replayed how much, who waited,
+  /// who stole, and what the finish tail cost. Workers is empty for
+  /// serial runs (no pool to account). The sweep layers aggregate this
+  /// across gangs (merge) and sweep_driver --verify renders it as the
+  /// `:loadbalance` timing line.
+  struct Stats {
+    struct Worker {
+      /// Member-events this worker replayed (tile span summed per
+      /// member execution, drop-outs included up to their drop tile).
+      uint64_t EventsReplayed = 0;
+      /// Tiles where the worker stalled waiting for the decoder to
+      /// publish (decode-bound or arrived early).
+      uint64_t TilesWaited = 0;
+      /// Dynamic only: member executions taken outside the worker's
+      /// cost-weighted plan slice (the steal count).
+      uint64_t MembersStolen = 0;
+      /// Wall time spent inside replay kernels (busy fraction =
+      /// BusySeconds / replay wall clock).
+      double BusySeconds = 0;
+    };
+    std::vector<Worker> Workers;
+    /// Members that dropped out and re-ran through the exact tier.
+    uint64_t DeferredFinishes = 0;
+    /// Wall clock of the completion pass (deferred fallbacks,
+    /// baseline patching, finalization).
+    double FinishSeconds = 0;
+    /// Whether the finish pass drained on the worker pool.
+    bool ParallelFinish = false;
+
+    /// Accumulates \p O (worker rows summed index-wise) — how the
+    /// sweep executor folds per-gang stats into a sweep-level view.
+    void merge(const Stats &O) {
+      if (Workers.size() < O.Workers.size())
+        Workers.resize(O.Workers.size());
+      for (size_t I = 0; I < O.Workers.size(); ++I) {
+        Workers[I].EventsReplayed += O.Workers[I].EventsReplayed;
+        Workers[I].TilesWaited += O.Workers[I].TilesWaited;
+        Workers[I].MembersStolen += O.Workers[I].MembersStolen;
+        Workers[I].BusySeconds += O.Workers[I].BusySeconds;
+      }
+      DeferredFinishes += O.DeferredFinishes;
+      FinishSeconds += O.FinishSeconds;
+      ParallelFinish |= O.ParallelFinish;
+    }
+  };
+
   /// Mutable gang state across all members (the packing audit): how
   /// much cache the gang competes for next to one trace tile.
   uint64_t stateBytes() const {
@@ -902,18 +968,36 @@ public:
   }
 
   /// One chunk-tiled pass over the trace, then per-member completion
-  /// (deferred exact fallbacks, baseline patching) in add order.
-  /// \returns one finalized PerfCounters per member. The gang is spent
-  /// afterwards; build a new one for another pass.
+  /// (deferred exact fallbacks, baseline patching). \returns one
+  /// finalized PerfCounters per member, in add order. The gang is
+  /// spent afterwards; build a new one for another pass.
   ///
   /// \p Threads <= 1 is the serial pass. Threads > 1 runs the
   /// shared-tile worker pool: the calling thread decodes each tile
-  /// once into a small ring and \p Threads workers replay disjoint
-  /// member slices off it. Every member is owned by exactly one worker
-  /// and crosses tiles in stream order, so counters are bit-identical
-  /// for any thread count (including the deferred exact-LRU fallbacks,
-  /// which always re-run serially in finish()).
-  std::vector<PerfCounters> run(unsigned Threads = 1);
+  /// once into a small ring and \p Threads workers replay members off
+  /// it, distributed per \p Schedule:
+  ///
+  ///  - GangSchedule::Static — fixed near-equal contiguous member
+  ///    slices; finish() drains serially in add order (PR-4 parity).
+  ///  - GangSchedule::Dynamic — the decoder publishes a cost-weighted
+  ///    owner table with every tile (LPT over per-member replay cost
+  ///    measured on earlier tiles); a worker first claims its planned
+  ///    members, then *steals* any member another worker has not
+  ///    claimed yet. Claims are per (member, tile) — exactly one owner
+  ///    per member per tile, serialized against the member's previous
+  ///    tile — so any steal schedule observes the serial event order.
+  ///    The finish tail (deferred exact-LRU fallbacks, baseline
+  ///    patching) then drains on the same pool as a
+  ///    dependency-ordered task list: baseline members before the
+  ///    predictor-only members that read their counters, deferred
+  ///    (expensive) re-runs first within a rank.
+  ///
+  /// Counters are bit-identical across every (Threads, Schedule)
+  /// combination. \p StatsOut, when non-null, receives the pool
+  /// accounting of this run.
+  std::vector<PerfCounters> run(unsigned Threads = 1,
+                                GangSchedule Schedule = GangSchedule::Static,
+                                Stats *StatsOut = nullptr);
 
 private:
   size_t adopt(std::unique_ptr<GangMember> Member) {

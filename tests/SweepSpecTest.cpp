@@ -160,7 +160,7 @@ TEST(SweepSpec, ThreadsFieldCompatAndValidation) {
   EXPECT_EQ(P.Threads, 1u);
 
   // Malformed values are rejected with a diagnostic, never clamped.
-  for (const char *Bad : {"threads 0\n", "threads -2\n", "threads x\n",
+  for (const char *Bad : {"threads -2\n", "threads x\n",
                           "threads 2000\n", "threads 1 1\n"}) {
     std::string Broken = Modern;
     Broken.replace(Pos, std::strlen("threads 1\n"), Bad);
@@ -168,14 +168,64 @@ TEST(SweepSpec, ThreadsFieldCompatAndValidation) {
     EXPECT_FALSE(Error.empty());
   }
 
+  // threads 0 is the auto-detect request (resolved to the host's core
+  // count at executor level), valid in the text and round-tripped.
+  std::string Auto = Modern;
+  Auto.replace(Pos, std::strlen("threads 1\n"), "threads 0\n");
+  ASSERT_TRUE(parseSweepSpec(Auto, P, Error)) << Error;
+  EXPECT_EQ(P.Threads, 0u);
+  EXPECT_NE(printSweepSpec(P).find("threads 0\n"), std::string::npos);
+  EXPECT_GE(resolveGangThreads(0), 1u);
+  EXPECT_EQ(resolveGangThreads(7), 7u);
+
   // validateSweepSpec applies the same bound to programmatic specs.
   SweepSpec Prog = forthRunSpec();
   Prog.Threads = 0;
-  EXPECT_FALSE(validateSweepSpec(Prog, Error));
+  EXPECT_TRUE(validateSweepSpec(Prog, Error)) << Error;
   Prog.Threads = 4096;
   EXPECT_FALSE(validateSweepSpec(Prog, Error));
   Prog.Threads = 8;
   EXPECT_TRUE(validateSweepSpec(Prog, Error)) << Error;
+}
+
+TEST(SweepSpec, ScheduleFieldCompatAndRoundTrip) {
+  // A PR-4-era spec (no `schedule` declaration) must parse as the
+  // static scheduler, not fail.
+  std::string Modern = printSweepSpec(forthRunSpec());
+  size_t Pos = Modern.find("schedule static\n");
+  ASSERT_NE(Pos, std::string::npos);
+  std::string Legacy = Modern;
+  Legacy.erase(Pos, std::strlen("schedule static\n"));
+  SweepSpec P;
+  std::string Error;
+  ASSERT_TRUE(parseSweepSpec(Legacy, P, Error)) << Error;
+  EXPECT_EQ(P.Schedule, GangSchedule::Static);
+
+  // The dynamic scheduler round-trips exactly.
+  std::string Dynamic = Modern;
+  Dynamic.replace(Pos, std::strlen("schedule static\n"),
+                  "schedule dynamic\n");
+  ASSERT_TRUE(parseSweepSpec(Dynamic, P, Error)) << Error;
+  EXPECT_EQ(P.Schedule, GangSchedule::Dynamic);
+  EXPECT_NE(printSweepSpec(P).find("schedule dynamic\n"),
+            std::string::npos);
+
+  // Malformed values are rejected with a diagnostic.
+  for (const char *Bad : {"schedule bogus\n", "schedule static extra\n",
+                          "schedule\n"}) {
+    std::string Broken = Modern;
+    Broken.replace(Pos, std::strlen("schedule static\n"), Bad);
+    EXPECT_FALSE(parseSweepSpec(Broken, P, Error)) << Bad;
+    EXPECT_FALSE(Error.empty());
+  }
+
+  // The id helpers are the stable spec/CLI tokens.
+  GangSchedule S;
+  EXPECT_TRUE(gangScheduleFromId("static", S));
+  EXPECT_EQ(S, GangSchedule::Static);
+  EXPECT_TRUE(gangScheduleFromId("dynamic", S));
+  EXPECT_EQ(S, GangSchedule::Dynamic);
+  EXPECT_FALSE(gangScheduleFromId("Dynamic", S));
 }
 
 TEST(SweepSpec, ParseRejectsMalformedSpecs) {
@@ -313,9 +363,11 @@ TEST(SweepSpec, ShardedJavaSweepIsBitIdenticalToInProcess) {
 }
 
 TEST(SweepSpec, ThreadedExecutionIsBitIdenticalBothSuites) {
-  // The spec-level threads knob: runAll and every shard slice replay
-  // their gangs on the shared-tile worker pool, bit-identical to the
-  // serial spec — including the two-level (shards x threads) shape.
+  // The spec-level threads + schedule knobs: runAll and every shard
+  // slice replay their gangs on the shared-tile worker pool — static
+  // or cost-aware dynamic — bit-identical to the serial spec,
+  // including the two-level (shards x threads) shape and the
+  // auto-detected (threads 0) worker count.
   for (bool Java : {false, true}) {
     SweepSpec Serial = Java ? javaRunSpec() : forthRunSpec();
     SweepExecutor Executor;
@@ -330,6 +382,28 @@ TEST(SweepSpec, ThreadedExecutionIsBitIdenticalBothSuites) {
     expectCellsEqual(Reference, Cells);
     // 2 shards x 3 threads: slices of a threaded spec stay exact.
     expectCellsEqual(Reference, runSharded(Executor, Threaded, 2));
+
+    // The cost-aware dynamic scheduler (work-stealing member replay +
+    // parallel deferred-fallback finish) must not move a single bit,
+    // in-process or sharded; the pool accounting must cover the work.
+    SweepSpec Dynamic = Threaded;
+    Dynamic.Schedule = GangSchedule::Dynamic;
+    std::vector<PerfCounters> DynCells;
+    SweepRunStats DynStats = Executor.runAll(Dynamic, 1, DynCells);
+    expectCellsEqual(Reference, DynCells);
+    EXPECT_FALSE(DynStats.Load.Workers.empty());
+    uint64_t Events = 0;
+    for (const GangReplayer::Stats::Worker &W : DynStats.Load.Workers)
+      Events += W.EventsReplayed;
+    EXPECT_GT(Events, 0u);
+    expectCellsEqual(Reference, runSharded(Executor, Dynamic, 2));
+
+    // threads 0 auto-detects at executor level and stays bit-exact.
+    SweepSpec Auto = Dynamic;
+    Auto.Threads = 0;
+    std::vector<PerfCounters> AutoCells;
+    Executor.runAll(Auto, 1, AutoCells);
+    expectCellsEqual(Reference, AutoCells);
   }
 }
 

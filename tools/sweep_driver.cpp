@@ -10,21 +10,29 @@
 ///   sweep_driver --spec=F --worker              one shard job: replay its
 ///                --shards=N --job=I             gang slice, emit [result]
 ///                                               lines on stdout
-///   sweep_driver --spec=F --verify --shards=N   run in-process (threads=1
-///                                               and threads=N when the
-///                                               threads knob is set),
-///                                               1-worker and N-worker
-///                                               sharded; bit-compare all
-///                                               of them and report
-///                                               wall-clock scaling
+///   sweep_driver --spec=F --verify --shards=N   run in-process serial,
+///                                               static-threaded and
+///                                               dynamic-threaded (when
+///                                               the threads knob is
+///                                               set), 1-worker and
+///                                               N-worker sharded;
+///                                               bit-compare all of them
+///                                               and report wall-clock
+///                                               scaling + the
+///                                               :loadbalance line
 ///   sweep_driver --spec=F --emit-spec           parse + reprint the spec
 ///
 /// --threads=N overrides the spec's `threads` field everywhere: each
 /// gang replays on GangReplayer's shared-tile worker pool (one decoder
-/// feeding N member-slice workers), bit-identical to the serial gang.
-/// Fan-out is two-level — `--shards=S --threads=N` runs S worker
-/// processes × N intra-gang threads each, so a multi-core worker host
-/// uses its cores off one trace decode instead of S×N processes.
+/// feeding N workers), bit-identical to the serial gang. N=0
+/// auto-detects the host's core count at executor level. --schedule
+/// overrides the spec's `schedule` field: `static` keeps fixed
+/// contiguous member slices, `dynamic` turns on the cost-aware
+/// work-stealing scheduler and the parallel deferred-fallback finish —
+/// same counters, faster wall-clock on mixed-cost gangs. Fan-out is
+/// two-level — `--shards=S --threads=N` runs S worker processes × N
+/// intra-gang threads each, so a multi-core worker host uses its cores
+/// off one trace decode instead of S×N processes.
 ///
 /// Orchestrator mode spawns workers through a shell command template
 /// (--worker-cmd; default runs this binary as its own worker), so SSH
@@ -140,6 +148,7 @@ int runVerify(const SweepSpec &Spec, unsigned Shards,
   // the scaling number must compare thread pools, not pipeline luck).
   SweepSpec Serial = Spec;
   Serial.Threads = 1;
+  Serial.Schedule = GangSchedule::Static;
   std::vector<PerfCounters> InProc;
   SweepRunStats InProcStats = Executor.runAll(Serial, 1, InProc);
   bench::emitTiming(Spec.Name + ":inproc", CaptureSeconds,
@@ -158,27 +167,71 @@ int runVerify(const SweepSpec &Spec, unsigned Shards,
     return true;
   };
 
-  // Thread-count invariance + measured intra-host scaling: the same
-  // gangs off the same cached traces, replayed on the shared-tile
-  // worker pool. Counters must be bit-identical; the wall-clock ratio
-  // lands in the [timing] artifact.
-  if (Spec.Threads > 1) {
-    std::vector<PerfCounters> Threaded;
-    SweepRunStats ThreadedStats = Executor.runAll(Spec, 1, Threaded);
-    bench::emitTiming(Spec.Name + format(":threads%u", Spec.Threads),
-                      ThreadedStats);
-    if (!Compare(Threaded, "threaded in-process"))
+  // Scheduler invariance + measured intra-host scaling: the same gangs
+  // off the same cached traces, replayed on the shared-tile worker
+  // pool under BOTH schedulers. Counters must be bit-identical across
+  // {serial, static, dynamic}; the wall-clock ratios — including the
+  // static-vs-dynamic comparison and the dynamic pool's per-worker
+  // busy fractions and steal counts — land in the [timing] artifact.
+  unsigned GangThreads = resolveGangThreads(Spec.Threads);
+  if (GangThreads > 1) {
+    SweepSpec Static = Spec;
+    Static.Threads = GangThreads;
+    Static.Schedule = GangSchedule::Static;
+    std::vector<PerfCounters> StaticCells;
+    SweepRunStats StaticStats = Executor.runAll(Static, 1, StaticCells);
+    bench::emitTiming(Spec.Name + format(":threads%u", GangThreads),
+                      StaticStats);
+    if (!Compare(StaticCells, "static threaded in-process"))
       return 1;
+
+    SweepSpec Dynamic = Static;
+    Dynamic.Schedule = GangSchedule::Dynamic;
+    std::vector<PerfCounters> DynamicCells;
+    SweepRunStats DynamicStats = Executor.runAll(Dynamic, 1, DynamicCells);
+    bench::emitTiming(Spec.Name + format(":dynamic%u", GangThreads),
+                      DynamicStats);
+    if (!Compare(DynamicCells, "dynamic threaded in-process"))
+      return 1;
+
     std::printf("[timing] bench=%s:threadscaling threads=%u "
                 "wall_1thread_s=%.3f wall_%uthreads_s=%.3f scaling=%.2f\n",
-                Spec.Name.c_str(), Spec.Threads, InProcStats.ReplaySeconds,
-                Spec.Threads, ThreadedStats.ReplaySeconds,
-                ThreadedStats.ReplaySeconds > 0
-                    ? InProcStats.ReplaySeconds / ThreadedStats.ReplaySeconds
+                Spec.Name.c_str(), GangThreads, InProcStats.ReplaySeconds,
+                GangThreads, StaticStats.ReplaySeconds,
+                StaticStats.ReplaySeconds > 0
+                    ? InProcStats.ReplaySeconds / StaticStats.ReplaySeconds
                     : 0.0);
-    std::printf("verify: %zu cells bit-identical across threads=1 and "
-                "threads=%u in-process execution\n",
-                InProc.size(), Spec.Threads);
+
+    // The load-balance line: how evenly the dynamic pool kept its
+    // workers busy, how many members were stolen off slow workers, and
+    // what the static-vs-dynamic schedule is worth in wall clock.
+    const GangReplayer::Stats &Load = DynamicStats.Load;
+    uint64_t Steals = 0;
+    std::string Busy, Waits;
+    for (size_t W = 0; W < Load.Workers.size(); ++W) {
+      Steals += Load.Workers[W].MembersStolen;
+      Busy += format("%s%.2f", W == 0 ? "" : ",",
+                     DynamicStats.ReplaySeconds > 0
+                         ? Load.Workers[W].BusySeconds /
+                               DynamicStats.ReplaySeconds
+                         : 0.0);
+      Waits += format("%s%llu", W == 0 ? "" : ",",
+                      (unsigned long long)Load.Workers[W].TilesWaited);
+    }
+    std::printf("[timing] bench=%s:loadbalance threads=%u wall_static_s=%.3f "
+                "wall_dynamic_s=%.3f dynamic_speedup=%.2f steals=%llu "
+                "deferred=%llu finish_s=%.3f busy=%s waits=%s\n",
+                Spec.Name.c_str(), GangThreads, StaticStats.ReplaySeconds,
+                DynamicStats.ReplaySeconds,
+                DynamicStats.ReplaySeconds > 0
+                    ? StaticStats.ReplaySeconds / DynamicStats.ReplaySeconds
+                    : 0.0,
+                (unsigned long long)Steals,
+                (unsigned long long)Load.DeferredFinishes,
+                Load.FinishSeconds, Busy.c_str(), Waits.c_str());
+    std::printf("verify: %zu cells bit-identical across {serial, static, "
+                "dynamic} x threads {1, %u} in-process execution\n",
+                InProc.size(), GangThreads);
   }
 
   std::vector<PerfCounters> OneWorker;
@@ -229,7 +282,8 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "usage: sweep_driver --spec=FILE [--shards=N] [--worker "
                  "--job=I | --in-process | --verify | --emit-spec] "
-                 "[--worker-cmd=TEMPLATE] [--threads=N]\n");
+                 "[--worker-cmd=TEMPLATE] [--threads=N (0 = auto)] "
+                 "[--schedule=static|dynamic]\n");
     return 2;
   }
   SweepSpec Spec;
@@ -238,17 +292,15 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
-  // --threads overrides the spec's intra-gang knob in every mode
-  // (validated like the parsed field, so --threads=0 is rejected, not
-  // silently serial).
-  if (Opts.has("threads")) {
-    long T = Opts.getInt("threads", 1);
-    Spec.Threads = T < 0 ? 0 : static_cast<unsigned>(T);
-    if (!validateSweepSpec(Spec, Error)) {
-      std::fprintf(stderr, "error: %s\n", Error.c_str());
-      return 1;
-    }
-  }
+  // --threads / --schedule override the spec's intra-gang knobs in
+  // every mode (the shared bench helper validates them like parsed
+  // fields; threads 0 = auto-detect at executor level). Orchestrated
+  // workers inherit the overrides through the {threads}/{schedule}
+  // command-template substitutions — they re-parse the spec FILE,
+  // which a CLI override never touched.
+  int OverrideExit = 0;
+  if (!bench::applySpecOverrides(Opts, Spec, OverrideExit))
+    return OverrideExit;
   if (Opts.has("emit-spec")) {
     std::fputs(printSweepSpec(Spec).c_str(), stdout);
     return 0;
