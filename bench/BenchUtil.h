@@ -71,6 +71,21 @@ inline void emitResult(const std::string &SweepName, size_t Workload,
              stdout);
 }
 
+/// Emits the fault-tolerance summary of an orchestrated sweep — but
+/// only when something actually happened (a failure, retry, timeout,
+/// hedge, or coverage gap), so clean runs stay clean.
+inline void emitOrchestratorReport(const std::string &SweepName,
+                                   const OrchestratorReport &R) {
+  if (R.WorkerFailures == 0 && R.RetriesScheduled == 0 && R.Timeouts == 0 &&
+      R.HedgesLaunched == 0 && R.complete())
+    return;
+  std::printf("[orchestrator] sweep=%s attempts=%u failures=%u retries=%u "
+              "timeouts=%u hedges=%u hedge_wins=%u covered=%zu/%zu\n",
+              SweepName.c_str(), R.AttemptsLaunched, R.WorkerFailures,
+              R.RetriesScheduled, R.Timeouts, R.HedgesLaunched, R.HedgeWins,
+              R.cellsCovered(), R.CellCovered.size());
+}
+
 //===--- declarative sweeps -----------------------------------------------===//
 
 /// Applies the spec-override flags every spec-driven entry point
@@ -111,6 +126,52 @@ inline bool applySpecOverrides(const OptionParser &Opts, SweepSpec &Spec,
     std::fprintf(stderr, "error: invalid sweep spec: %s\n", Error.c_str());
     ExitCode = 1;
     return false;
+  }
+  return true;
+}
+
+/// Applies the fault-tolerance flags every orchestrating entry point
+/// shares — `--retries=N`, `--backoff-ms=N`, `--job-timeout=MS`,
+/// `--kill-grace=MS`, `--hedge=K` and (sweep_driver only)
+/// `--partial-ok` — onto \p W. \returns false with \p ExitCode set
+/// (and a diagnostic on stderr) when the caller should exit.
+inline bool applyWorkerFaultOptions(const OptionParser &Opts,
+                                    SweepWorkerOptions &W, int &ExitCode,
+                                    bool AllowPartialOk = false) {
+  auto ParseU = [&](const char *Name, unsigned &Out) {
+    if (!Opts.has(Name))
+      return true;
+    // Digits only: getInt would quietly turn a typo into a default,
+    // and a misspelled retry budget must diagnose, not fail fast.
+    std::string V = Opts.get(Name);
+    if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr, "error: bad --%s '%s' (expected a number >= 0)\n",
+                   Name, V.c_str());
+      return false;
+    }
+    Out = static_cast<unsigned>(
+        std::min<unsigned long long>(std::strtoull(V.c_str(), nullptr, 10),
+                                     0xFFFFFFFFull));
+    return true;
+  };
+  if (!ParseU("retries", W.Retries) || !ParseU("backoff-ms", W.BackoffMs) ||
+      !ParseU("job-timeout", W.JobTimeoutMs) ||
+      !ParseU("kill-grace", W.KillGraceMs) || !ParseU("hedge", W.HedgeLast)) {
+    ExitCode = 1;
+    return false;
+  }
+  if (Opts.has("partial-ok")) {
+    if (!AllowPartialOk) {
+      // Benches render full tables by cell position; a zero-filled
+      // hole would print as a nonsense speedup. Degraded sweeps
+      // belong to sweep_driver, which reports the coverage.
+      std::fprintf(stderr,
+                   "error: --partial-ok is a sweep_driver flag (benches "
+                   "need full coverage to render their tables)\n");
+      ExitCode = 1;
+      return false;
+    }
+    W.PartialOk = true;
   }
   return true;
 }
@@ -164,6 +225,12 @@ inline SpeedupMatrix matrixFromCells(const SweepSpec &Spec,
 ///                     work-stealing replay + parallel
 ///                     deferred-fallback finish); spec `schedule`
 ///                     override, bit-identical either way
+///   --retries=N       requeues per failed/timed-out/garbled worker
+///                     job (exponential backoff, --backoff-ms=MS)
+///   --job-timeout=MS  per-job wall-clock budget; over-budget workers
+///                     get SIGTERM, then SIGKILL after --kill-grace=MS
+///   --hedge=K         re-dispatch the last K outstanding jobs to
+///                     idle slots; first completion wins
 ///
 /// \returns true with \p Cells filled (canonical order) and the
 /// standard [timing] line emitted; false when the bench should exit
@@ -224,13 +291,17 @@ inline bool runDeclaredSweep(const OptionParser &Opts, SweepSpec &Spec,
     W.Threads = Spec.Threads; // two-level: shards × intra-gang threads
     W.CommandTemplate = Opts.get("worker-cmd");
     W.SpecPath = Opts.get("spec"); // reuse the file workers can read
-    if (!orchestrateSweep(Spec, W, Cells, Stats, Error)) {
+    if (!applyWorkerFaultOptions(Opts, W, ExitCode))
+      return false;
+    OrchestratorReport Report;
+    if (!orchestrateSweep(Spec, W, Cells, Stats, Error, &Report)) {
       std::fprintf(stderr, "error: sweep orchestration failed: %s\n",
                    Error.c_str());
       ExitCode = 1;
       return false;
     }
     emitTiming(Spec.Name + format(":shards%u", W.Shards), Stats);
+    emitOrchestratorReport(Spec.Name, Report);
   } else {
     SweepExecutor Executor(FLab, JLab);
     Stats = Executor.runAll(Spec, 0, Cells);

@@ -1,0 +1,112 @@
+//===- harness/FaultInjection.cpp -----------------------------------------===//
+
+#include "harness/FaultInjection.h"
+
+#include "support/Random.h"
+
+#include <cstdlib>
+
+using namespace vmib;
+
+const char *vmib::faultModeId(FaultMode Mode) {
+  switch (Mode) {
+  case FaultMode::None:
+    return "none";
+  case FaultMode::Kill:
+    return "kill";
+  case FaultMode::Hang:
+    return "hang";
+  case FaultMode::Garble:
+    return "garble";
+  case FaultMode::Truncate:
+    return "trunc";
+  case FaultMode::Duplicate:
+    return "dup";
+  }
+  return "none";
+}
+
+bool vmib::parseFaultPlan(const char *Text, FaultPlan &Plan,
+                          std::string &Error) {
+  Plan = FaultPlan();
+  if (!Text || !*Text)
+    return true;
+  std::string S(Text);
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    std::string Item = S.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Item.empty())
+      continue;
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos) {
+      Error = "fault item without '=': '" + Item + "'";
+      return false;
+    }
+    std::string Key = Item.substr(0, Eq);
+    std::string Value = Item.substr(Eq + 1);
+    const char *VC = Value.c_str();
+    char *End = nullptr;
+    if (Key == "seed") {
+      Plan.Seed = std::strtoull(VC, &End, 10);
+      if (End == VC || *End != '\0') {
+        Error = "bad fault seed '" + Value + "'";
+        return false;
+      }
+      continue;
+    }
+    double P = std::strtod(VC, &End);
+    if (End == VC || *End != '\0' || P < 0 || P > 1) {
+      Error = "bad fault probability '" + Item + "' (expected 0..1)";
+      return false;
+    }
+    if (Key == "kill")
+      Plan.Kill = P;
+    else if (Key == "hang")
+      Plan.Hang = P;
+    else if (Key == "garble")
+      Plan.Garble = P;
+    else if (Key == "trunc")
+      Plan.Trunc = P;
+    else if (Key == "dup")
+      Plan.Dup = P;
+    else {
+      Error = "unknown fault key '" + Key +
+              "' (expected kill|hang|garble|trunc|dup|seed)";
+      return false;
+    }
+  }
+  if (Plan.Kill + Plan.Hang + Plan.Garble + Plan.Trunc + Plan.Dup > 1.0) {
+    Error = "fault probabilities sum past 1";
+    return false;
+  }
+  return true;
+}
+
+FaultMode vmib::decideFault(const FaultPlan &Plan, size_t Job,
+                            unsigned Attempt) {
+  if (!Plan.any())
+    return FaultMode::None;
+  // One uniform draw per (seed, job, attempt); modes own disjoint
+  // cumulative slices of [0, 1), so per-mode rates are exactly the
+  // configured probabilities and the whole schedule is a pure
+  // function of the seed.
+  SplitMix64 G(Plan.Seed ^ (static_cast<uint64_t>(Job) * 0x9E3779B97F4A7C15ULL) ^
+               (static_cast<uint64_t>(Attempt) * 0xD1B54A32D192ED03ULL));
+  double U = static_cast<double>(G.next() >> 11) * 0x1.0p-53;
+  double Edge = Plan.Kill;
+  if (U < Edge)
+    return FaultMode::Kill;
+  if (U < (Edge += Plan.Hang))
+    return FaultMode::Hang;
+  if (U < (Edge += Plan.Garble))
+    return FaultMode::Garble;
+  if (U < (Edge += Plan.Trunc))
+    return FaultMode::Truncate;
+  if (U < (Edge += Plan.Dup))
+    return FaultMode::Duplicate;
+  return FaultMode::None;
+}

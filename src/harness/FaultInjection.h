@@ -1,0 +1,88 @@
+//===- harness/FaultInjection.h - Deterministic worker chaos ----*- C++ -*-===//
+///
+/// \file
+/// The fault-injection harness that makes every recovery path of the
+/// sweep orchestrator deterministically testable. A worker process
+/// (`sweep_driver --worker`) consults the `VMIB_FAULT` environment
+/// variable; when set, a seeded hash of (seed, job, attempt) decides
+/// whether — and how — this particular attempt misbehaves:
+///
+///   VMIB_FAULT="kill=0.25,hang=0.1,garble=0.1,trunc=0.1,dup=0.1,seed=42"
+///
+///   kill    crash mid-stream (SIGKILL itself after emitting half of
+///           its [result] rows) — exercises partial-row discard +
+///           requeue
+///   hang    emit half, ignore SIGTERM, sleep forever — exercises the
+///           job timeout and the SIGTERM→SIGKILL escalation
+///   garble  emit one [result] row pointing outside its shard —
+///           exercises protocol-violation detection
+///   trunc   exit 0 with the last row missing and a half-written line
+///           — exercises the coverage check on clean exits
+///   dup     emit one row twice — exercises duplicate detection
+///
+/// Values are probabilities in [0, 1], evaluated per *attempt*: the
+/// draw for (job, attempt) is a pure function of the seed, so a run
+/// is exactly reproducible, and a faulted attempt's retry gets a
+/// fresh draw — with fault mass p, a job survives `--retries=R` with
+/// probability 1 - p^(R+1). The orchestrator's default worker
+/// template passes `--attempt={attempt}` for exactly this purpose;
+/// custom templates without the placeholder re-draw the attempt-0
+/// fault forever (i.e. a faulted job stays faulted), which is itself
+/// a useful worst-case mode.
+///
+/// Nothing here touches the simulation: with `VMIB_FAULT` unset the
+/// plan is inert and the worker path pays one getenv.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_HARNESS_FAULTINJECTION_H
+#define VMIB_HARNESS_FAULTINJECTION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vmib {
+
+/// Per-fault probabilities plus the seed that makes draws pure.
+struct FaultPlan {
+  double Kill = 0;
+  double Hang = 0;
+  double Garble = 0;
+  double Trunc = 0;
+  double Dup = 0;
+  uint64_t Seed = 0;
+
+  bool any() const {
+    return Kill > 0 || Hang > 0 || Garble > 0 || Trunc > 0 || Dup > 0;
+  }
+};
+
+/// What one worker attempt has been assigned.
+enum class FaultMode : uint8_t {
+  None,
+  Kill,     ///< SIGKILL itself after emitting half its rows
+  Hang,     ///< ignore SIGTERM and sleep forever after half its rows
+  Garble,   ///< emit one row whose member index is outside the shard
+  Truncate, ///< exit 0 with the last row missing + a half-written line
+  Duplicate ///< emit its first row twice
+};
+
+/// Stable token for logs/tests ("none", "kill", ...).
+const char *faultModeId(FaultMode Mode);
+
+/// Parses the "k=v,k=v" VMIB_FAULT grammar above. \p Text may be null
+/// or empty (an inert plan). \returns false with \p Error set on an
+/// unknown key, an unparsable value, or a probability outside [0, 1]
+/// (probabilities summing past 1 are rejected too — the draw walks
+/// cumulative mass).
+bool parseFaultPlan(const char *Text, FaultPlan &Plan, std::string &Error);
+
+/// The deterministic draw: which fault (if any) attempt \p Attempt of
+/// job \p Job performs under \p Plan. Pure — same (plan, job,
+/// attempt) always returns the same mode.
+FaultMode decideFault(const FaultPlan &Plan, size_t Job, unsigned Attempt);
+
+} // namespace vmib
+
+#endif // VMIB_HARNESS_FAULTINJECTION_H

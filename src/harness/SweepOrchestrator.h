@@ -16,12 +16,15 @@
 /// from the remote side):
 ///
 ///   {driver} --worker --spec={spec} --shards={shards} --job={job}
-///     --threads={threads} --schedule={schedule}
+///     --threads={threads} --schedule={schedule} --attempt={attempt}
 ///   ssh host 'VMIB_TRACE_CACHE=/shared/cache {driver} --worker ...'
 ///
 /// `{schedule}` carries the orchestrator's (possibly CLI-overridden)
 /// gang scheduler to the workers — they re-parse the spec *file*,
-/// which a --schedule override never touched.
+/// which a --schedule override never touched. `{attempt}` is the
+/// job's retry/hedge attempt number (0 for the first launch): workers
+/// only use it to seed deterministic fault injection (VMIB_FAULT), so
+/// templates without the placeholder still work.
 ///
 /// Fan-out is two-level: `Shards` worker processes × `Threads`
 /// intra-gang worker threads per process (GangReplayer shared decoded
@@ -32,7 +35,28 @@
 /// The worker protocol is line-oriented stdout: any number of
 /// `[timing]` lines (echoed through for the timing artifact), one
 /// `[result]` line per finished member, exit status 0. Anything else
-/// is ignored, so workers can keep printing banners.
+/// is ignored, so workers can keep printing banners. Worker stderr is
+/// captured separately; its tail is attached to every failure
+/// diagnostic.
+///
+/// **Failure model** (docs/simulation-pipeline.md, "Failure model"):
+/// a worker attempt FAILS when it exits non-zero, dies on a signal,
+/// exceeds the per-job wall-clock timeout (SIGTERM, then SIGKILL
+/// after a grace period — both sent to the worker's process group),
+/// violates the protocol (result outside its shard, duplicate
+/// member), or exits 0 without covering its shard. A failed attempt's
+/// partial `[result]` rows are DISCARDED — every attempt accumulates
+/// into private staging buffers that are committed only on clean
+/// completion, so `mergeShardResults`' coverage guarantees are
+/// unaffected by how many attempts died mid-stream. The job then
+/// re-enters the queue with exponential backoff + deterministic
+/// jitter, up to `Retries` requeues; a job that exhausts its budget
+/// fails the sweep loudly (with the worker's stderr tail) unless
+/// `PartialOk` degrades it to a per-cell coverage report. Optional
+/// straggler hedging re-dispatches the last `HedgeLast` outstanding
+/// jobs to idle slots; the first attempt to complete a job wins and
+/// the losers are killed — safe because cells are deterministic, so
+/// any winner reports identical counters.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +66,7 @@
 #include "harness/SweepExecutor.h"
 #include "harness/SweepSpec.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -61,13 +86,75 @@ struct SweepWorkerOptions {
   /// remote templates this must be a path the remote side can read.
   std::string SpecPath;
   /// Shell command template; {driver}, {spec}, {shards}, {job},
-  /// {threads} and {schedule} are substituted. Empty uses the default
-  /// local-worker template above.
+  /// {threads}, {schedule} and {attempt} are substituted. Empty uses
+  /// the default local-worker template above.
   std::string CommandTemplate;
   /// Path substituted for {driver}; empty uses defaultSweepDriverPath().
   std::string DriverBinary;
-  /// Echo worker [timing] lines to stdout (the merged timing artifact).
+  /// Echo worker [timing] lines to stdout (the merged timing
+  /// artifact). Only lines from *committed* attempts are echoed, so
+  /// retried/hedged duplicates never double-count in the artifact.
   bool EchoWorkerTimings = true;
+
+  //===--- fault tolerance -------------------------------------------------===//
+
+  /// Requeues allowed per job after its first attempt fails (exit
+  /// non-zero, signal, timeout, protocol violation, short coverage).
+  /// 0 keeps the strict fail-fast behavior.
+  unsigned Retries = 0;
+  /// Base requeue delay; requeue i of a job waits
+  /// BackoffMs << (i-1) (capped at << 6) ± 25% deterministic jitter.
+  unsigned BackoffMs = 250;
+  /// Per-attempt wall-clock budget in milliseconds; 0 = no timeout.
+  /// An over-budget worker's process group gets SIGTERM, then SIGKILL
+  /// after KillGraceMs.
+  unsigned JobTimeoutMs = 0;
+  /// SIGTERM-to-SIGKILL escalation grace.
+  unsigned KillGraceMs = 2000;
+  /// Straggler hedging: when the job queue is drained and worker
+  /// slots sit idle, re-dispatch up to this many of the still-running
+  /// jobs (newest first, at most one hedge per job). First completed
+  /// attempt wins; losers are killed and discarded. 0 disables.
+  unsigned HedgeLast = 0;
+  /// A job that exhausts its retries stops the sweep (false) or is
+  /// recorded in the report while the rest of the sweep completes
+  /// (true). Uncovered cells are zero-filled; OrchestratorReport says
+  /// which.
+  bool PartialOk = false;
+  /// Seed for the backoff jitter (deterministic: same seed + same
+  /// failure schedule = same delays).
+  uint64_t JitterSeed = 0x76696d6962ULL;
+};
+
+/// What happened while fanning a sweep out: retry/timeout/hedge
+/// accounting plus — under PartialOk — exactly which jobs and cells
+/// are missing. All-zero counters mean every job succeeded first try.
+struct OrchestratorReport {
+  unsigned AttemptsLaunched = 0; ///< all spawns, including hedges
+  unsigned WorkerFailures = 0;   ///< failed attempts (any cause)
+  unsigned Timeouts = 0;         ///< attempts killed by the job timeout
+  unsigned RetriesScheduled = 0; ///< requeues actually performed
+  unsigned HedgesLaunched = 0;
+  unsigned HedgeWins = 0; ///< jobs whose committed attempt was a hedge
+  /// Jobs (decomposeSweep indices) that exhausted their retry budget.
+  /// Non-empty only under PartialOk (otherwise the sweep failed).
+  std::vector<size_t> FailedJobs;
+  /// Final failure diagnostic per entry of FailedJobs (parallel array).
+  std::vector<std::string> FailedJobErrors;
+  /// Per canonical cell: 1 when a committed attempt reported it.
+  std::vector<uint8_t> CellCovered;
+  /// First failure diagnostic observed (kept even when the attempt
+  /// was successfully retried — field diagnosis wants the cause, not
+  /// just the recovery).
+  std::string FirstFailure;
+
+  size_t cellsCovered() const {
+    size_t N = 0;
+    for (uint8_t C : CellCovered)
+      N += C;
+    return N;
+  }
+  bool complete() const { return FailedJobs.empty(); }
 };
 
 /// The sibling sweep_driver binary of the running executable
@@ -76,13 +163,17 @@ struct SweepWorkerOptions {
 std::string defaultSweepDriverPath();
 
 /// Runs \p Spec over worker processes per \p Opt; on success fills
-/// \p Cells (canonical order) and \p Stats (ReplaySeconds = fan-out
-/// wall clock; ReplayedEvents summed from worker timing lines).
-/// \returns false with \p Error set on spawn failure, worker failure,
-/// or incomplete/duplicate coverage.
+/// \p Cells (canonical order; zero-filled for cells lost to a
+/// PartialOk job failure) and \p Stats (ReplaySeconds = fan-out wall
+/// clock; ReplayedEvents summed from committed workers' timing
+/// lines). \p Report, when non-null, receives the fault-tolerance
+/// accounting above. \returns false with \p Error set on spawn
+/// failure, a job exhausting its retries without PartialOk, or
+/// incomplete/duplicate coverage.
 bool orchestrateSweep(const SweepSpec &Spec, const SweepWorkerOptions &Opt,
                       std::vector<PerfCounters> &Cells, SweepRunStats &Stats,
-                      std::string &Error);
+                      std::string &Error,
+                      OrchestratorReport *Report = nullptr);
 
 } // namespace vmib
 

@@ -22,6 +22,7 @@
 
 #include "support/Format.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -111,11 +112,15 @@ bool DispatchTrace::save(const std::string &Path,
                          uint64_t WorkloadHash) const {
   // Write to a writer-unique temp name and rename so a crashed writer
   // never leaves a half-written file under the canonical key, and
-  // concurrent capturing processes (two benches racing on a cold
-  // cache) don't interleave into one temp file — last rename wins with
-  // a complete trace either way.
-  std::string Tmp =
-      Path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  // concurrent capturing writers (two benches racing on a cold cache,
+  // or two threads of one process) don't interleave into one temp
+  // file — last rename wins with a complete trace either way. The
+  // process-wide counter makes the name unique across threads; the
+  // pid makes it unique across processes sharing the cache directory.
+  static std::atomic<unsigned> SaveSerial{0};
+  std::string Tmp = Path + ".tmp." +
+                    std::to_string(static_cast<long>(::getpid())) + "." +
+                    std::to_string(SaveSerial.fetch_add(1));
   {
     File Out(Tmp.c_str(), "wb");
     if (!Out.F)

@@ -1,0 +1,415 @@
+//===- tests/OrchestratorFaultTest.cpp - Fault-tolerant fan-out -----------===//
+///
+/// Pins the orchestrator's failure model (SweepOrchestrator.h):
+///  - a failed attempt's partial rows are discarded and the job is
+///    requeued with backoff; the recovered sweep is bit-identical to
+///    the in-process executor,
+///  - a job that exhausts its retries fails the sweep loudly, with the
+///    worker's stderr tail in the diagnostic,
+///  - hung workers are SIGTERMed at the job timeout and SIGKILLed
+///    after the grace period,
+///  - --partial-ok degrades exhausted jobs into a per-cell coverage
+///    report while every surviving cell stays exact,
+///  - straggler hedging re-dispatches outstanding jobs and the first
+///    completion wins,
+///  - under VMIB_FAULT chaos (worker crashes, hangs, protocol garbage)
+///    the orchestrator still converges to bit-identical results on
+///    both suites,
+///  - the VMIB_FAULT grammar parses/rejects correctly and draws are
+///    deterministic.
+///
+/// Worker templates are tiny shell programs wrapping the real
+/// `sweep_driver --worker` sibling binary, so every failure is
+/// injected deterministically — no sleeps-and-hope.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/FaultInjection.h"
+#include "harness/SweepExecutor.h"
+#include "harness/SweepOrchestrator.h"
+#include "harness/SweepSpec.h"
+#include "workloads/ForthSuite.h"
+#include "workloads/JavaSuite.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace vmib;
+
+namespace {
+
+/// The shell tail every template ends with: run the real worker.
+const char *WorkerExec =
+    "exec {driver} --worker --spec={spec} --shards={shards} --job={job} "
+    "--threads={threads} --schedule={schedule} --attempt={attempt}";
+
+SweepSpec faultForthSpec() {
+  SweepSpec S;
+  S.Name = "faulttest_forth";
+  S.Suite = "forth";
+  S.Benchmarks = {forthSuite()[0].Name, forthSuite()[1].Name};
+  S.Cpus = {"p4northwood"};
+  S.Variants = {makeVariant(DispatchStrategy::Threaded),
+                makeVariant(DispatchStrategy::StaticRepl),
+                makeVariant(DispatchStrategy::DynamicSuper)};
+  return S;
+}
+
+SweepSpec faultJavaSpec() {
+  SweepSpec S;
+  S.Name = "faulttest_java";
+  S.Suite = "java";
+  S.Benchmarks = {javaSuite()[0].Name, javaSuite()[1].Name};
+  S.Cpus = {"p4northwood"};
+  S.Variants = {makeVariant(DispatchStrategy::Threaded),
+                makeVariant(DispatchStrategy::DynamicSuper)};
+  return S;
+}
+
+void expectCellsEqual(const std::vector<PerfCounters> &A,
+                      const std::vector<PerfCounters> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(0, std::memcmp(&A[I], &B[I], sizeof(PerfCounters)))
+        << "cell " << I << " diverges";
+}
+
+class OrchestratorFaultTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    std::snprintf(Dir, sizeof(Dir), "/tmp/vmib-fault-test-XXXXXX");
+    ASSERT_NE(nullptr, ::mkdtemp(Dir));
+    // Workers share one trace cache with the in-process reference, so
+    // a worker attempt loads its trace instead of re-interpreting.
+    ASSERT_EQ(0, ::setenv("VMIB_TRACE_CACHE", Dir, 1));
+    ::unsetenv("VMIB_FAULT");
+  }
+  void TearDown() override {
+    ::unsetenv("VMIB_FAULT");
+    ::unsetenv("VMIB_TRACE_CACHE");
+    std::system(("rm -rf " + std::string(Dir)).c_str());
+  }
+
+  /// Writes \p Spec under the fixture dir and returns its path.
+  std::string writeSpec(const SweepSpec &Spec) {
+    std::string Path = std::string(Dir) + "/" + Spec.Name + ".spec";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    EXPECT_NE(nullptr, F);
+    std::string Text = printSweepSpec(Spec);
+    std::fwrite(Text.data(), 1, Text.size(), F);
+    std::fclose(F);
+    return Path;
+  }
+
+  /// In-process ground truth (also warms the shared trace cache).
+  std::vector<PerfCounters> reference(const SweepSpec &Spec) {
+    std::vector<PerfCounters> Cells;
+    Executor.runAll(Spec, 1, Cells);
+    return Cells;
+  }
+
+  /// Options wired to the fixture: quiet, fast backoff.
+  SweepWorkerOptions baseOptions(const std::string &SpecPath,
+                                 unsigned Shards) {
+    SweepWorkerOptions Opt;
+    Opt.Shards = Shards;
+    Opt.SpecPath = SpecPath;
+    Opt.EchoWorkerTimings = false;
+    Opt.BackoffMs = 10;
+    return Opt;
+  }
+
+  char Dir[64];
+  SweepExecutor Executor;
+};
+
+} // namespace
+
+//===--- retry / requeue --------------------------------------------------===//
+
+TEST_F(OrchestratorFaultTest, RetryRequeueRecoversAndMergesBitIdentical) {
+  SweepSpec Spec = faultForthSpec();
+  std::string SpecPath = writeSpec(Spec);
+  std::vector<PerfCounters> Want = reference(Spec);
+
+  // EVERY job's first attempt dies after writing its stderr marker;
+  // the retry (attempt 1) runs the real worker.
+  SweepWorkerOptions Opt = baseOptions(SpecPath, 4);
+  Opt.CommandTemplate = std::string("if [ {attempt} -lt 1 ]; then "
+                                    "echo boom-{job} >&2; exit 9; fi; ") +
+                        WorkerExec;
+  Opt.Retries = 2;
+
+  std::vector<PerfCounters> Cells;
+  SweepRunStats Stats;
+  std::string Error;
+  OrchestratorReport Report;
+  ASSERT_TRUE(orchestrateSweep(Spec, Opt, Cells, Stats, Error, &Report))
+      << Error;
+  expectCellsEqual(Want, Cells);
+
+  size_t Jobs = decomposeSweep(Spec, 4).size();
+  EXPECT_EQ(Report.WorkerFailures, Jobs);
+  EXPECT_EQ(Report.RetriesScheduled, Jobs);
+  EXPECT_EQ(Report.Timeouts, 0u);
+  EXPECT_TRUE(Report.complete());
+  EXPECT_EQ(Report.cellsCovered(), Spec.numCells());
+  // The first failure's diagnosis survives the successful recovery.
+  EXPECT_NE(Report.FirstFailure.find("boom-"), std::string::npos)
+      << Report.FirstFailure;
+  EXPECT_NE(Report.FirstFailure.find("exited with status 9"),
+            std::string::npos)
+      << Report.FirstFailure;
+}
+
+TEST_F(OrchestratorFaultTest, ExhaustedRetriesFailLoudlyWithStderrTail) {
+  SweepSpec Spec = faultForthSpec();
+  std::string SpecPath = writeSpec(Spec);
+
+  SweepWorkerOptions Opt = baseOptions(SpecPath, 2);
+  Opt.CommandTemplate = "echo catastrophic-banana >&2; exit 3";
+  Opt.Retries = 1;
+
+  std::vector<PerfCounters> Cells;
+  SweepRunStats Stats;
+  std::string Error;
+  OrchestratorReport Report;
+  ASSERT_FALSE(orchestrateSweep(Spec, Opt, Cells, Stats, Error, &Report));
+  // The sweep error names the exit status, the retry budget, and —
+  // crucially for field diagnosis — the worker's own stderr.
+  EXPECT_NE(Error.find("exited with status 3"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("catastrophic-banana"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("failed after 2 attempt(s)"), std::string::npos)
+      << Error;
+  EXPECT_GE(Report.WorkerFailures, 2u); // first attempt + its retry
+}
+
+//===--- timeouts ---------------------------------------------------------===//
+
+TEST_F(OrchestratorFaultTest, TimeoutKillsHungWorker) {
+  SweepSpec Spec = faultForthSpec();
+  std::string SpecPath = writeSpec(Spec);
+
+  // A worker that never speaks: SIGTERM at the deadline ends it.
+  SweepWorkerOptions Opt = baseOptions(SpecPath, 2);
+  Opt.CommandTemplate = "sleep 30";
+  Opt.JobTimeoutMs = 300;
+  Opt.KillGraceMs = 200;
+
+  std::vector<PerfCounters> Cells;
+  SweepRunStats Stats;
+  std::string Error;
+  OrchestratorReport Report;
+  ASSERT_FALSE(orchestrateSweep(Spec, Opt, Cells, Stats, Error, &Report));
+  EXPECT_NE(Error.find("timed out after 300 ms"), std::string::npos) << Error;
+  EXPECT_GE(Report.Timeouts, 1u);
+}
+
+TEST_F(OrchestratorFaultTest, TimeoutEscalatesToSigkillWhenTermIgnored) {
+  SweepSpec Spec = faultForthSpec();
+  std::string SpecPath = writeSpec(Spec);
+
+  // The worst hang: the worker ignores SIGTERM, so only the SIGKILL
+  // escalation after the grace period can reclaim the slot.
+  SweepWorkerOptions Opt = baseOptions(SpecPath, 2);
+  Opt.CommandTemplate = "trap '' TERM; while :; do sleep 1; done";
+  Opt.JobTimeoutMs = 300;
+  Opt.KillGraceMs = 200;
+
+  std::vector<PerfCounters> Cells;
+  SweepRunStats Stats;
+  std::string Error;
+  OrchestratorReport Report;
+  ASSERT_FALSE(orchestrateSweep(Spec, Opt, Cells, Stats, Error, &Report));
+  EXPECT_NE(Error.find("escalated to SIGKILL"), std::string::npos) << Error;
+  EXPECT_GE(Report.Timeouts, 1u);
+}
+
+//===--- partial-ok degradation -------------------------------------------===//
+
+TEST_F(OrchestratorFaultTest, PartialOkCompletesWithCoverageReport) {
+  SweepSpec Spec = faultForthSpec();
+  std::string SpecPath = writeSpec(Spec);
+  std::vector<PerfCounters> Want = reference(Spec);
+
+  // Job 0 is beyond saving; every other job runs the real worker.
+  SweepWorkerOptions Opt = baseOptions(SpecPath, 4);
+  Opt.CommandTemplate = std::string("if [ {job} -eq 0 ]; then "
+                                    "echo dead-zero >&2; exit 7; fi; ") +
+                        WorkerExec;
+  Opt.Retries = 1;
+  Opt.PartialOk = true;
+
+  std::vector<PerfCounters> Cells;
+  SweepRunStats Stats;
+  std::string Error;
+  OrchestratorReport Report;
+  ASSERT_TRUE(orchestrateSweep(Spec, Opt, Cells, Stats, Error, &Report))
+      << Error;
+  ASSERT_EQ(Report.FailedJobs.size(), 1u);
+  EXPECT_EQ(Report.FailedJobs[0], 0u);
+  ASSERT_EQ(Report.FailedJobErrors.size(), 1u);
+  EXPECT_NE(Report.FailedJobErrors[0].find("dead-zero"), std::string::npos)
+      << Report.FailedJobErrors[0];
+  EXPECT_FALSE(Report.complete());
+
+  // Lost cells are zero-filled and reported uncovered; every cell a
+  // surviving job owns is bit-identical to the in-process sweep.
+  std::vector<ShardJob> Jobs = decomposeSweep(Spec, 4);
+  ASSERT_EQ(Cells.size(), Want.size());
+  ASSERT_EQ(Report.CellCovered.size(), Want.size());
+  std::vector<uint8_t> Lost(Want.size(), 0);
+  for (size_t M = Jobs[0].MemberBegin; M < Jobs[0].MemberEnd; ++M)
+    Lost[Spec.cellIndex(Jobs[0].Workload, M)] = 1;
+  PerfCounters Zero{};
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    EXPECT_EQ(Report.CellCovered[I], Lost[I] ? 0 : 1) << "cell " << I;
+    const PerfCounters &Expect = Lost[I] ? Zero : Want[I];
+    EXPECT_EQ(0, std::memcmp(&Cells[I], &Expect, sizeof(PerfCounters)))
+        << "cell " << I;
+  }
+  EXPECT_EQ(Report.cellsCovered(),
+            Want.size() - (Jobs[0].MemberEnd - Jobs[0].MemberBegin));
+}
+
+//===--- straggler hedging ------------------------------------------------===//
+
+TEST_F(OrchestratorFaultTest, HedgingFirstCompletionWins) {
+  SweepSpec Spec = faultForthSpec();
+  Spec.Benchmarks = {forthSuite()[0].Name}; // one workload, 3 members
+  std::string SpecPath = writeSpec(Spec);
+  std::vector<PerfCounters> Want = reference(Spec);
+
+  // Attempt 0 of the last job stalls forever; the hedge (attempt 1)
+  // dispatched into the idle slot wins and the straggler is killed.
+  SweepWorkerOptions Opt = baseOptions(SpecPath, 3);
+  Opt.CommandTemplate = std::string("if [ {job} -eq 2 ] && "
+                                    "[ {attempt} -eq 0 ]; then sleep 60; "
+                                    "fi; ") +
+                        WorkerExec;
+  Opt.HedgeLast = 1;
+
+  std::vector<PerfCounters> Cells;
+  SweepRunStats Stats;
+  std::string Error;
+  OrchestratorReport Report;
+  ASSERT_TRUE(orchestrateSweep(Spec, Opt, Cells, Stats, Error, &Report))
+      << Error;
+  expectCellsEqual(Want, Cells);
+  EXPECT_GE(Report.HedgesLaunched, 1u);
+  EXPECT_GE(Report.HedgeWins, 1u);
+  EXPECT_EQ(Report.RetriesScheduled, 0u); // hedging, not retrying
+  EXPECT_TRUE(Report.complete());
+}
+
+//===--- chaos: VMIB_FAULT end to end -------------------------------------===//
+
+TEST_F(OrchestratorFaultTest, ChaosFaultInjectionRecoversBothSuites) {
+  // Workers misbehave via the deterministic in-worker fault harness —
+  // crash mid-stream, emit rows outside their shard, truncate,
+  // duplicate — on a seeded schedule that faults a healthy fraction of
+  // first attempts. With retries the sweep must still converge to the
+  // exact in-process cells on BOTH suites.
+  ASSERT_EQ(0, ::setenv("VMIB_FAULT",
+                        "kill=0.2,garble=0.15,trunc=0.1,dup=0.1,seed=11", 1));
+  for (bool Java : {false, true}) {
+    SweepSpec Spec = Java ? faultJavaSpec() : faultForthSpec();
+    std::string SpecPath = writeSpec(Spec);
+    std::vector<PerfCounters> Want = reference(Spec);
+
+    SweepWorkerOptions Opt = baseOptions(SpecPath, 4);
+    Opt.Retries = 3;
+    Opt.JobTimeoutMs = 60000; // only a backstop; no hangs in this plan
+
+    std::vector<PerfCounters> Cells;
+    SweepRunStats Stats;
+    std::string Error;
+    OrchestratorReport Report;
+    ASSERT_TRUE(orchestrateSweep(Spec, Opt, Cells, Stats, Error, &Report))
+        << (Java ? "java: " : "forth: ") << Error;
+    expectCellsEqual(Want, Cells);
+    EXPECT_TRUE(Report.complete());
+    EXPECT_EQ(Report.cellsCovered(), Spec.numCells());
+    if (!Java) {
+      // The forth seed is chosen to actually fault first attempts —
+      // a chaos test that injects nothing tests nothing.
+      EXPECT_GT(Report.WorkerFailures, 0u);
+      EXPECT_GT(Report.RetriesScheduled, 0u);
+    }
+  }
+}
+
+//===--- VMIB_FAULT grammar -----------------------------------------------===//
+
+TEST(FaultInjection, ParsesFullGrammar) {
+  FaultPlan Plan;
+  std::string Error;
+  ASSERT_TRUE(parseFaultPlan("kill=0.25,hang=0.1,garble=0.1,trunc=0.05,"
+                             "dup=0.05,seed=42",
+                             Plan, Error))
+      << Error;
+  EXPECT_DOUBLE_EQ(Plan.Kill, 0.25);
+  EXPECT_DOUBLE_EQ(Plan.Hang, 0.1);
+  EXPECT_DOUBLE_EQ(Plan.Garble, 0.1);
+  EXPECT_DOUBLE_EQ(Plan.Trunc, 0.05);
+  EXPECT_DOUBLE_EQ(Plan.Dup, 0.05);
+  EXPECT_EQ(Plan.Seed, 42u);
+  EXPECT_TRUE(Plan.any());
+}
+
+TEST(FaultInjection, NullAndEmptyAreInert) {
+  FaultPlan Plan;
+  std::string Error;
+  ASSERT_TRUE(parseFaultPlan(nullptr, Plan, Error));
+  EXPECT_FALSE(Plan.any());
+  ASSERT_TRUE(parseFaultPlan("", Plan, Error));
+  EXPECT_FALSE(Plan.any());
+  EXPECT_EQ(decideFault(Plan, 0, 0), FaultMode::None);
+}
+
+TEST(FaultInjection, RejectsMalformedPlans) {
+  FaultPlan Plan;
+  std::string Error;
+  EXPECT_FALSE(parseFaultPlan("explode=0.5", Plan, Error));
+  EXPECT_NE(Error.find("unknown fault key"), std::string::npos);
+  EXPECT_FALSE(parseFaultPlan("kill=1.5", Plan, Error));
+  EXPECT_NE(Error.find("probability"), std::string::npos);
+  EXPECT_FALSE(parseFaultPlan("kill=banana", Plan, Error));
+  EXPECT_FALSE(parseFaultPlan("kill", Plan, Error));
+  EXPECT_NE(Error.find("'='"), std::string::npos);
+  EXPECT_FALSE(parseFaultPlan("kill=0.7,hang=0.7", Plan, Error));
+  EXPECT_NE(Error.find("sum past 1"), std::string::npos);
+  EXPECT_FALSE(parseFaultPlan("seed=notanumber", Plan, Error));
+}
+
+TEST(FaultInjection, DrawsAreDeterministicAndAttemptFresh) {
+  FaultPlan Plan;
+  std::string Error;
+  ASSERT_TRUE(parseFaultPlan("kill=0.3,garble=0.3,dup=0.3,seed=7", Plan,
+                             Error));
+  // Pure function of (seed, job, attempt): same inputs, same mode.
+  for (size_t Job = 0; Job < 64; ++Job)
+    for (unsigned Attempt = 0; Attempt < 4; ++Attempt)
+      EXPECT_EQ(decideFault(Plan, Job, Attempt),
+                decideFault(Plan, Job, Attempt));
+  // Retries get FRESH draws: across many jobs, attempt 1 must not
+  // always repeat attempt 0's mode (that would make retries useless
+  // against deterministic faults).
+  bool AttemptChangesSomething = false;
+  for (size_t Job = 0; Job < 64 && !AttemptChangesSomething; ++Job)
+    AttemptChangesSomething =
+        decideFault(Plan, Job, 0) != decideFault(Plan, Job, 1);
+  EXPECT_TRUE(AttemptChangesSomething);
+  // And the configured mass actually faults some jobs.
+  unsigned Faulted = 0;
+  for (size_t Job = 0; Job < 64; ++Job)
+    Faulted += decideFault(Plan, Job, 0) != FaultMode::None;
+  EXPECT_GT(Faulted, 0u);
+  EXPECT_LT(Faulted, 64u);
+}

@@ -7,7 +7,9 @@
 ///    (both suites),
 ///  - [result] lines round-trip PerfCounters exactly,
 ///  - corrupt trace-cache files fail to load with a diagnostic and no
-///    partial state, and the cache directory is auto-created.
+///    partial state, and the cache directory is auto-created,
+///  - concurrent cache writers (threads and processes) never expose a
+///    partial file to readers and leave no temp droppings.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,10 +22,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <dirent.h>
 #include <sys/stat.h>
+#include <sys/wait.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace vmib;
@@ -530,6 +536,82 @@ TEST_F(TraceFileTest, BitCorruptionRejected) {
   unsigned char Flip = 0xFF;
   corrupt(-5, &Flip, 1); // inside the last quicken record
   expectLoadFailure("content hash");
+}
+
+// Many writers — threads of this process AND forked child processes —
+// race DispatchTrace::save on ONE canonical path while readers load it
+// continuously. The temp-name + rename discipline must make every load
+// observe a complete file (same content hash), and no writer may leave
+// a .tmp. file behind. This is the exact shape of a shared
+// VMIB_TRACE_CACHE under an orchestrated sweep: N workers warm the same
+// cold trace at once.
+TEST_F(TraceFileTest, ConcurrentWritersNeverExposePartialFiles) {
+  constexpr int WriterThreads = 4;
+  constexpr int SavesPerWriter = 20;
+  constexpr int WriterProcesses = 3;
+
+  std::atomic<bool> Stop{false};
+  std::atomic<int> WriteFailures{0};
+
+  std::vector<std::thread> Writers;
+  for (int W = 0; W < WriterThreads; ++W)
+    Writers.emplace_back([&] {
+      for (int I = 0; I < SavesPerWriter; ++I)
+        if (!Trace.save(Path, 0x1234))
+          WriteFailures.fetch_add(1);
+    });
+
+  std::vector<pid_t> Children;
+  for (int P = 0; P < WriterProcesses; ++P) {
+    pid_t Pid = ::fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      // Child: hammer saves, exit 0 only if every one succeeded.
+      // _exit, not exit — don't run gtest atexit handlers twice.
+      for (int I = 0; I < SavesPerWriter; ++I)
+        if (!Trace.save(Path, 0x1234))
+          ::_exit(1);
+      ::_exit(0);
+    }
+    Children.push_back(Pid);
+  }
+
+  // Reader: every load during the storm must round-trip a COMPLETE
+  // trace — rename atomicity means there is no moment where the
+  // canonical path holds a prefix.
+  std::thread Reader([&] {
+    while (!Stop.load()) {
+      DispatchTrace T;
+      std::string Diag;
+      ASSERT_TRUE(T.load(Path, 0x1234, &Diag)) << Diag;
+      ASSERT_EQ(T.contentHash(), Trace.contentHash());
+    }
+  });
+
+  for (std::thread &T : Writers)
+    T.join();
+  for (pid_t Pid : Children) {
+    int Status = 0;
+    ASSERT_EQ(Pid, ::waitpid(Pid, &Status, 0));
+    EXPECT_TRUE(WIFEXITED(Status) && WEXITSTATUS(Status) == 0)
+        << "writer process failed";
+  }
+  Stop.store(true);
+  Reader.join();
+  EXPECT_EQ(WriteFailures.load(), 0);
+
+  // No temp droppings: every writer renamed (or cleaned up) its file.
+  DIR *D = ::opendir(Dir);
+  ASSERT_NE(nullptr, D);
+  while (struct dirent *E = ::readdir(D))
+    EXPECT_EQ(nullptr, std::strstr(E->d_name, ".tmp."))
+        << "leftover temp file: " << E->d_name;
+  ::closedir(D);
+
+  DispatchTrace Final;
+  std::string Diag;
+  ASSERT_TRUE(Final.load(Path, 0x1234, &Diag)) << Diag;
+  EXPECT_EQ(Final.contentHash(), Trace.contentHash());
 }
 
 //===--- workload meta / trained-profile sidecars -------------------------===//

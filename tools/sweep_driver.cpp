@@ -1,15 +1,16 @@
 //===- tools/sweep_driver.cpp - Sharded sweep driver ----------------------===//
 ///
 /// Runs a declarative SweepSpec (see docs/simulation-pipeline.md,
-/// "Distributed sweeps") either in-process or sharded over worker
-/// processes, and verifies that both produce bit-identical cells.
+/// "Distributed sweeps" and "Failure model") either in-process or
+/// sharded over worker processes, and verifies that both produce
+/// bit-identical cells.
 ///
 ///   sweep_driver --spec=F                      orchestrate (default:
 ///                [--shards=N] [--worker-cmd=T]  1 worker process)
 ///   sweep_driver --spec=F --in-process          single-process gang sweep
 ///   sweep_driver --spec=F --worker              one shard job: replay its
 ///                --shards=N --job=I             gang slice, emit [result]
-///                                               lines on stdout
+///                [--attempt=A]                  lines on stdout
 ///   sweep_driver --spec=F --verify --shards=N   run in-process serial,
 ///                                               static-threaded and
 ///                                               dynamic-threaded (when
@@ -34,6 +35,21 @@
 /// intra-gang threads each, so a multi-core worker host uses its cores
 /// off one trace decode instead of S×N processes.
 ///
+/// Fault tolerance (every orchestrating mode): a worker attempt that
+/// exits non-zero, hangs past `--job-timeout=MS` (SIGTERM, then
+/// SIGKILL after `--kill-grace=MS`), garbles its protocol, or exits
+/// short is discarded wholesale and its job requeued up to
+/// `--retries=N` times with exponential backoff (`--backoff-ms=MS`,
+/// deterministic jitter). `--hedge=K` re-dispatches the last K
+/// outstanding jobs to idle slots (first completion wins — cells are
+/// deterministic, so any winner is THE answer). `--partial-ok` turns
+/// a job that exhausts its retries into a per-cell coverage report
+/// instead of a sweep failure. The `VMIB_FAULT` environment variable
+/// (see harness/FaultInjection.h) makes workers misbehave with seeded
+/// probability, so every one of those paths is deterministically
+/// testable: with faults injected, merged results must still
+/// bit-match the in-process run — `--verify` asserts exactly that.
+///
 /// Orchestrator mode spawns workers through a shell command template
 /// (--worker-cmd; default runs this binary as its own worker), so SSH
 /// or queue fan-out is one template away — see the docs for an
@@ -45,8 +61,12 @@
 
 #include "BenchUtil.h"
 
+#include "harness/FaultInjection.h"
+
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <unistd.h>
 
 using namespace vmib;
 
@@ -69,13 +89,27 @@ void printTables(const SweepSpec &Spec,
 }
 
 /// Runs one shard job and speaks the worker protocol on stdout.
-int runWorker(const SweepSpec &Spec, unsigned Shards, size_t JobIdx) {
+/// \p Attempt is the orchestrator's retry/hedge counter; it only
+/// seeds the (optional) VMIB_FAULT chaos draw.
+int runWorker(const SweepSpec &Spec, unsigned Shards, size_t JobIdx,
+              unsigned Attempt) {
   std::vector<ShardJob> Jobs = decomposeSweep(Spec, Shards);
   if (JobIdx >= Jobs.size()) {
     std::fprintf(stderr, "error: job %zu out of range (%zu jobs)\n", JobIdx,
                  Jobs.size());
     return 1;
   }
+  FaultPlan Plan;
+  std::string FaultError;
+  if (!parseFaultPlan(std::getenv("VMIB_FAULT"), Plan, FaultError)) {
+    std::fprintf(stderr, "error: VMIB_FAULT: %s\n", FaultError.c_str());
+    return 1;
+  }
+  FaultMode Fault = decideFault(Plan, JobIdx, Attempt);
+  if (Fault != FaultMode::None)
+    std::fprintf(stderr, "[chaos] job %zu attempt %u: injecting '%s'\n",
+                 JobIdx, Attempt, faultModeId(Fault));
+
   const ShardJob &Job = Jobs[JobIdx];
   const std::string &Benchmark = Spec.Benchmarks[Job.Workload];
   SweepExecutor Executor;
@@ -101,30 +135,89 @@ int runWorker(const SweepSpec &Spec, unsigned Shards, size_t JobIdx) {
   bench::emitTiming(Spec.Name + format(":job%zu", JobIdx), CaptureSeconds,
                     ReplayTimer.seconds(), Events * Slice.size(),
                     Slice.size());
-  for (size_t I = 0; I < Slice.size(); ++I)
-    bench::emitResult(Spec.Name, Job.Workload, Job.MemberBegin + I,
-                      Slice[I]);
+
+  // The emit loop doubles as the chaos stage: faults fire mid-stream
+  // (after half the rows) so the orchestrator sees exactly what a
+  // real worker death leaves behind — a partial, well-formed prefix.
+  size_t N = Slice.size();
+  size_t Mid = N / 2;
+  for (size_t I = 0; I < N; ++I) {
+    if (I == Mid && Fault == FaultMode::Kill) {
+      std::fflush(stdout);
+      ::raise(SIGKILL);
+    }
+    if (I == Mid && Fault == FaultMode::Hang) {
+      // Ignore SIGTERM so the orchestrator has to escalate to
+      // SIGKILL — the worst-real-world hang.
+      std::fflush(stdout);
+      std::signal(SIGTERM, SIG_IGN);
+      for (;;)
+        ::pause();
+    }
+    if (I + 1 == N && Fault == FaultMode::Truncate) {
+      std::string Row = sweepResultLine(Spec.Name, Job.Workload,
+                                        Job.MemberBegin + I, Slice[I]);
+      std::fwrite(Row.data(), 1, Row.size() / 2, stdout); // no newline
+      std::fflush(stdout);
+      return 0; // clean exit, short coverage
+    }
+    size_t Member = Job.MemberBegin + I;
+    if (I == Mid && Fault == FaultMode::Garble)
+      Member = Job.MemberEnd + 7; // well-formed row, outside the shard
+    bench::emitResult(Spec.Name, Job.Workload, Member, Slice[I]);
+  }
+  if (Fault == FaultMode::Duplicate && N > 0)
+    bench::emitResult(Spec.Name, Job.Workload, Job.MemberBegin, Slice[0]);
   return 0;
 }
 
+/// Prints the per-cell coverage report of a degraded (--partial-ok)
+/// sweep: which jobs died for good, what they covered, and why.
+void printCoverageReport(const SweepSpec &Spec, unsigned Shards,
+                         const OrchestratorReport &Report) {
+  std::vector<ShardJob> Jobs = decomposeSweep(Spec, Shards);
+  std::printf("[coverage] sweep=%s cells=%zu covered=%zu failed_jobs=%zu\n",
+              Spec.Name.c_str(), Report.CellCovered.size(),
+              Report.cellsCovered(), Report.FailedJobs.size());
+  for (size_t I = 0; I < Report.FailedJobs.size(); ++I) {
+    size_t J = Report.FailedJobs[I];
+    const char *Why = I < Report.FailedJobErrors.size()
+                          ? Report.FailedJobErrors[I].c_str()
+                          : "(no diagnostic)";
+    std::printf("[coverage] sweep=%s job=%zu workload=%zu members=[%zu,%zu) "
+                "lost: %s\n",
+                Spec.Name.c_str(), J, Jobs[J].Workload, Jobs[J].MemberBegin,
+                Jobs[J].MemberEnd, Why);
+  }
+}
+
 bool runSharded(const SweepSpec &Spec, unsigned Shards,
+                const SweepWorkerOptions &FaultOpts,
                 const std::string &WorkerCmd, const std::string &SpecPath,
-                std::vector<PerfCounters> &Cells, SweepRunStats &Stats) {
-  SweepWorkerOptions Opt;
+                std::vector<PerfCounters> &Cells, SweepRunStats &Stats,
+                OrchestratorReport *ReportOut = nullptr) {
+  SweepWorkerOptions Opt = FaultOpts;
   Opt.Shards = Shards;
   Opt.Threads = Spec.Threads; // two-level: shards × intra-gang threads
   Opt.SpecPath = SpecPath;
   Opt.CommandTemplate = WorkerCmd;
   std::string Error;
-  if (!orchestrateSweep(Spec, Opt, Cells, Stats, Error)) {
+  OrchestratorReport Report;
+  if (!orchestrateSweep(Spec, Opt, Cells, Stats, Error, &Report)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return false;
   }
   bench::emitTiming(Spec.Name + format(":shards%u", Shards), Stats);
+  bench::emitOrchestratorReport(Spec.Name, Report);
+  if (!Report.complete())
+    printCoverageReport(Spec, Shards, Report);
+  if (ReportOut)
+    *ReportOut = std::move(Report);
   return true;
 }
 
 int runVerify(const SweepSpec &Spec, unsigned Shards,
+              const SweepWorkerOptions &FaultOpts,
               const std::string &WorkerCmd, const std::string &SpecPath) {
   // Warm the capture caches up front (and, with VMIB_TRACE_CACHE set,
   // the cache the workers will hit), so the timed passes below measure
@@ -146,6 +239,9 @@ int runVerify(const SweepSpec &Spec, unsigned Shards,
 
   // In-process serial reference sweep (threads=1, one pipeline worker:
   // the scaling number must compare thread pools, not pipeline luck).
+  // VMIB_FAULT never touches this path — with chaos injected into the
+  // workers below, this run stays the ground truth the faulted fan-out
+  // has to reproduce bit for bit.
   SweepSpec Serial = Spec;
   Serial.Threads = 1;
   Serial.Schedule = GangSchedule::Static;
@@ -236,7 +332,8 @@ int runVerify(const SweepSpec &Spec, unsigned Shards,
 
   std::vector<PerfCounters> OneWorker;
   SweepRunStats OneStats;
-  if (!runSharded(Spec, 1, WorkerCmd, SpecPath, OneWorker, OneStats))
+  if (!runSharded(Spec, 1, FaultOpts, WorkerCmd, SpecPath, OneWorker,
+                  OneStats))
     return 1;
   if (!Compare(OneWorker, "1-worker"))
     return 1;
@@ -252,7 +349,8 @@ int runVerify(const SweepSpec &Spec, unsigned Shards,
 
   std::vector<PerfCounters> NWorker;
   SweepRunStats NStats;
-  if (!runSharded(Spec, Shards, WorkerCmd, SpecPath, NWorker, NStats))
+  if (!runSharded(Spec, Shards, FaultOpts, WorkerCmd, SpecPath, NWorker,
+                  NStats))
     return 1;
   if (!Compare(NWorker, "N-worker"))
     return 1;
@@ -281,9 +379,13 @@ int main(int argc, char **argv) {
   if (SpecPath.empty()) {
     std::fprintf(stderr,
                  "usage: sweep_driver --spec=FILE [--shards=N] [--worker "
-                 "--job=I | --in-process | --verify | --emit-spec] "
-                 "[--worker-cmd=TEMPLATE] [--threads=N (0 = auto)] "
-                 "[--schedule=static|dynamic]\n");
+                 "--job=I [--attempt=A] | --in-process | --verify | "
+                 "--emit-spec] [--worker-cmd=TEMPLATE] "
+                 "[--threads=N (0 = auto)] [--schedule=static|dynamic] "
+                 "[--retries=N] [--backoff-ms=MS] [--job-timeout=MS] "
+                 "[--kill-grace=MS] [--hedge=K] [--partial-ok]\n"
+                 "  fault injection for tests: VMIB_FAULT=\"kill=P,hang=P,"
+                 "garble=P,trunc=P,dup=P,seed=S\"\n");
     return 2;
   }
   SweepSpec Spec;
@@ -306,16 +408,25 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  // The fault-tolerance knobs apply to every orchestrating mode
+  // (plain, --verify, and through BenchUtil the spec-driven benches).
+  SweepWorkerOptions FaultOpts;
+  if (!bench::applyWorkerFaultOptions(Opts, FaultOpts, OverrideExit,
+                                      /*AllowPartialOk=*/true))
+    return OverrideExit;
+
   unsigned Shards =
       static_cast<unsigned>(Opts.getInt("shards", 1) < 1
                                 ? 1
                                 : Opts.getInt("shards", 1));
   if (Opts.has("worker"))
     return runWorker(Spec, Shards,
-                     static_cast<size_t>(Opts.getInt("job", 0)));
+                     static_cast<size_t>(Opts.getInt("job", 0)),
+                     static_cast<unsigned>(Opts.getInt("attempt", 0)));
 
   if (Opts.has("verify"))
-    return runVerify(Spec, Shards, Opts.get("worker-cmd"), SpecPath);
+    return runVerify(Spec, Shards, FaultOpts, Opts.get("worker-cmd"),
+                     SpecPath);
 
   if (Opts.has("in-process")) {
     SweepExecutor Executor;
@@ -330,9 +441,16 @@ int main(int argc, char **argv) {
   // prints, produced from merged worker shards.
   std::vector<PerfCounters> Cells;
   SweepRunStats Stats;
-  if (!runSharded(Spec, Shards, Opts.get("worker-cmd"), SpecPath, Cells,
-                  Stats))
+  OrchestratorReport Report;
+  if (!runSharded(Spec, Shards, FaultOpts, Opts.get("worker-cmd"), SpecPath,
+                  Cells, Stats, &Report))
     return 1;
-  printTables(Spec, Cells);
+  if (Report.complete())
+    printTables(Spec, Cells);
+  else
+    std::printf("(tables suppressed: %zu of %zu cells missing under "
+                "--partial-ok; see the [coverage] report above)\n",
+                Report.CellCovered.size() - Report.cellsCovered(),
+                Report.CellCovered.size());
   return 0;
 }
