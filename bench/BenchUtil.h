@@ -86,6 +86,76 @@ inline void emitOrchestratorReport(const std::string &SweepName,
               R.cellsCovered(), R.CellCovered.size());
 }
 
+/// Worker-side per-job result-store line: the orchestrator parses the
+/// space-prefixed `key=value` tokens, stages them with the attempt,
+/// and aggregates them only when the attempt commits.
+inline void emitStoreLine(const std::string &SweepName, size_t JobIdx,
+                          const ResultStoreStats &S) {
+  std::printf("[store] sweep=%s job=%zu hits=%llu misses=%llu "
+              "recovered=%llu quarantined=%llu flush_failures=%llu\n",
+              SweepName.c_str(), JobIdx, (unsigned long long)S.Hits,
+              (unsigned long long)S.Misses, (unsigned long long)S.Recovered,
+              (unsigned long long)S.Quarantined,
+              (unsigned long long)S.FlushFailures);
+}
+
+/// Final aggregate of an orchestrated sweep: pre-dispatch probe hits +
+/// every committed worker's accounting.
+inline void emitStoreReport(const std::string &SweepName,
+                            const OrchestratorReport &R) {
+  std::printf("[store] sweep=%s hits=%llu misses=%llu recovered=%llu "
+              "quarantined=%llu flush_failures=%llu jobs_from_store=%zu\n",
+              SweepName.c_str(), (unsigned long long)R.StoreHits,
+              (unsigned long long)R.StoreMisses,
+              (unsigned long long)R.StoreRecovered,
+              (unsigned long long)R.StoreQuarantined,
+              (unsigned long long)R.StoreFlushFailures,
+              R.JobsServedFromStore);
+}
+
+/// Same line for an in-process sweep, straight from the store's own
+/// stats.
+inline void emitStoreReport(const std::string &SweepName,
+                            const ResultStore &Store) {
+  const ResultStoreStats &S = Store.stats();
+  std::printf("[store] sweep=%s hits=%llu misses=%llu recovered=%llu "
+              "quarantined=%llu flush_failures=%llu records=%zu\n",
+              SweepName.c_str(), (unsigned long long)S.Hits,
+              (unsigned long long)S.Misses, (unsigned long long)S.Recovered,
+              (unsigned long long)S.Quarantined,
+              (unsigned long long)S.FlushFailures, Store.size());
+}
+
+/// Resolves and opens the durable result store per the shared flags —
+/// `--result-store` (default location), `--store-dir=D`,
+/// `--no-result-store` — and the VMIB_RESULT_STORE environment
+/// variable, then RE-EXPORTS the decision into the environment so
+/// orchestrated worker processes (which see only the env, not the
+/// flags) make the same choice. \returns true when \p Store is open;
+/// failures to open degrade to a warning and a disabled store — a
+/// cache must never fail a sweep.
+inline bool applyStoreOptions(const OptionParser &Opts, ResultStore &Store) {
+  std::string Why;
+  std::string Dir = ResultStore::resolveDir(
+      Opts.get("store-dir"), Opts.has("result-store"),
+      Opts.has("no-result-store"), &Why);
+  ::setenv("VMIB_RESULT_STORE", Dir.empty() ? "off" : Dir.c_str(), 1);
+  if (Dir.empty()) {
+    if (!Why.empty())
+      std::fprintf(stderr, "warning: %s\n", Why.c_str());
+    return false;
+  }
+  std::string Diag;
+  if (!Store.open(Dir, &Diag)) {
+    std::fprintf(stderr,
+                 "warning: %s; continuing without the result store\n",
+                 Diag.c_str());
+    ::setenv("VMIB_RESULT_STORE", "off", 1);
+    return false;
+  }
+  return true;
+}
+
 //===--- declarative sweeps -----------------------------------------------===//
 
 /// Applies the spec-override flags every spec-driven entry point
@@ -231,6 +301,13 @@ inline SpeedupMatrix matrixFromCells(const SweepSpec &Spec,
 ///                     get SIGTERM, then SIGKILL after --kill-grace=MS
 ///   --hedge=K         re-dispatch the last K outstanding jobs to
 ///                     idle slots; first completion wins
+///   --result-store    durable per-cell result cache at the default
+///                     location (<VMIB_TRACE_CACHE>/results): cells
+///                     whose content keys are already stored are
+///                     served without replaying, fresh cells persist
+///                     crash-consistently (see harness/ResultStore.h)
+///   --store-dir=D     result store at D (implies --result-store)
+///   --no-result-store force the store off (overrides the env)
 ///
 /// \returns true with \p Cells filled (canonical order) and the
 /// standard [timing] line emitted; false when the bench should exit
@@ -283,6 +360,8 @@ inline bool runDeclaredSweep(const OptionParser &Opts, SweepSpec &Spec,
     return false;
   }
   std::printf("%s", Banner.c_str());
+  ResultStore Store;
+  bool StoreOn = applyStoreOptions(Opts, Store);
   long Shards = Opts.getInt("shards", 0);
   SweepRunStats Stats;
   if (Shards > 1 || Opts.has("worker-cmd")) {
@@ -291,6 +370,7 @@ inline bool runDeclaredSweep(const OptionParser &Opts, SweepSpec &Spec,
     W.Threads = Spec.Threads; // two-level: shards × intra-gang threads
     W.CommandTemplate = Opts.get("worker-cmd");
     W.SpecPath = Opts.get("spec"); // reuse the file workers can read
+    W.Store = StoreOn ? &Store : nullptr;
     if (!applyWorkerFaultOptions(Opts, W, ExitCode))
       return false;
     OrchestratorReport Report;
@@ -302,10 +382,16 @@ inline bool runDeclaredSweep(const OptionParser &Opts, SweepSpec &Spec,
     }
     emitTiming(Spec.Name + format(":shards%u", W.Shards), Stats);
     emitOrchestratorReport(Spec.Name, Report);
+    if (StoreOn)
+      emitStoreReport(Spec.Name, Report);
   } else {
     SweepExecutor Executor(FLab, JLab);
+    if (StoreOn)
+      Executor.setResultStore(&Store);
     Stats = Executor.runAll(Spec, 0, Cells);
     emitTiming(Spec.Name + ":gang", Stats);
+    if (StoreOn)
+      emitStoreReport(Spec.Name, Store);
   }
   if (StatsOut)
     *StatsOut = Stats;

@@ -26,6 +26,20 @@ const char *vmib::faultModeId(FaultMode Mode) {
   return "none";
 }
 
+const char *vmib::fsFaultModeId(FsFaultMode Mode) {
+  switch (Mode) {
+  case FsFaultMode::None:
+    return "none";
+  case FsFaultMode::Torn:
+    return "torn";
+  case FsFaultMode::NoSpace:
+    return "nospace";
+  case FsFaultMode::RenameFail:
+    return "renamefail";
+  }
+  return "none";
+}
+
 bool vmib::parseFaultPlan(const char *Text, FaultPlan &Plan,
                           std::string &Error) {
   Plan = FaultPlan();
@@ -73,14 +87,25 @@ bool vmib::parseFaultPlan(const char *Text, FaultPlan &Plan,
       Plan.Trunc = P;
     else if (Key == "dup")
       Plan.Dup = P;
+    else if (Key == "torn")
+      Plan.Torn = P;
+    else if (Key == "nospace")
+      Plan.NoSpace = P;
+    else if (Key == "renamefail")
+      Plan.RenameFail = P;
     else {
       Error = "unknown fault key '" + Key +
-              "' (expected kill|hang|garble|trunc|dup|seed)";
+              "' (expected kill|hang|garble|trunc|dup|"
+              "torn|nospace|renamefail|seed)";
       return false;
     }
   }
   if (Plan.Kill + Plan.Hang + Plan.Garble + Plan.Trunc + Plan.Dup > 1.0) {
-    Error = "fault probabilities sum past 1";
+    Error = "worker fault probabilities sum past 1";
+    return false;
+  }
+  if (Plan.Torn + Plan.NoSpace + Plan.RenameFail > 1.0) {
+    Error = "filesystem fault probabilities sum past 1";
     return false;
   }
   return true;
@@ -109,4 +134,22 @@ FaultMode vmib::decideFault(const FaultPlan &Plan, size_t Job,
   if (U < (Edge += Plan.Dup))
     return FaultMode::Duplicate;
   return FaultMode::None;
+}
+
+FsFaultMode vmib::decideFsFault(const FaultPlan &Plan, uint64_t OpIndex) {
+  if (!Plan.anyFs())
+    return FsFaultMode::None;
+  // Same draw construction as decideFault, but over the fs-fault mass
+  // and mixed with a different odd constant so the two fault streams
+  // are independent even under the same seed.
+  SplitMix64 G(Plan.Seed ^ (OpIndex * 0xA0761D6478BD642FULL));
+  double U = static_cast<double>(G.next() >> 11) * 0x1.0p-53;
+  double Edge = Plan.Torn;
+  if (U < Edge)
+    return FsFaultMode::Torn;
+  if (U < (Edge += Plan.NoSpace))
+    return FsFaultMode::NoSpace;
+  if (U < (Edge += Plan.RenameFail))
+    return FsFaultMode::RenameFail;
+  return FsFaultMode::None;
 }

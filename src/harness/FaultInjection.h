@@ -45,17 +45,38 @@
 namespace vmib {
 
 /// Per-fault probabilities plus the seed that makes draws pure.
+///
+/// Worker faults (kill/hang/garble/trunc/dup) and filesystem faults
+/// (torn/nospace/renamefail) are two independent probability masses:
+/// worker faults draw once per (job, attempt) and fire in the worker
+/// protocol, filesystem faults draw once per durable *write operation*
+/// (ResultStore segment flushes) and fire in the write path —
+///
+///   torn        the segment commits with only a prefix of its records
+///               actually on disk — exercises torn-tail recovery
+///   nospace     the flush fails like ENOSPC before writing; records
+///               stay buffered for the next flush — exercises the
+///               retry-on-next-flush path
+///   renamefail  the temp file writes and syncs but the rename "fails"
+///               and the temp is removed — exercises the same buffered
+///               retry with a completed data write
+///
+/// Each mass must sum to at most 1 on its own.
 struct FaultPlan {
   double Kill = 0;
   double Hang = 0;
   double Garble = 0;
   double Trunc = 0;
   double Dup = 0;
+  double Torn = 0;
+  double NoSpace = 0;
+  double RenameFail = 0;
   uint64_t Seed = 0;
 
   bool any() const {
     return Kill > 0 || Hang > 0 || Garble > 0 || Trunc > 0 || Dup > 0;
   }
+  bool anyFs() const { return Torn > 0 || NoSpace > 0 || RenameFail > 0; }
 };
 
 /// What one worker attempt has been assigned.
@@ -71,6 +92,17 @@ enum class FaultMode : uint8_t {
 /// Stable token for logs/tests ("none", "kill", ...).
 const char *faultModeId(FaultMode Mode);
 
+/// What one durable write operation has been assigned.
+enum class FsFaultMode : uint8_t {
+  None,
+  Torn,      ///< commit only a prefix of the written records
+  NoSpace,   ///< fail the write up front, like ENOSPC
+  RenameFail ///< write + sync, then fail the rename and drop the temp
+};
+
+/// Stable token for logs/tests ("none", "torn", ...).
+const char *fsFaultModeId(FsFaultMode Mode);
+
 /// Parses the "k=v,k=v" VMIB_FAULT grammar above. \p Text may be null
 /// or empty (an inert plan). \returns false with \p Error set on an
 /// unknown key, an unparsable value, or a probability outside [0, 1]
@@ -82,6 +114,14 @@ bool parseFaultPlan(const char *Text, FaultPlan &Plan, std::string &Error);
 /// job \p Job performs under \p Plan. Pure — same (plan, job,
 /// attempt) always returns the same mode.
 FaultMode decideFault(const FaultPlan &Plan, size_t Job, unsigned Attempt);
+
+/// The deterministic filesystem draw: which fs fault (if any) durable
+/// write operation \p OpIndex performs under \p Plan. OpIndex is the
+/// writer's own monotonic operation counter (e.g. the Nth segment
+/// flush of a store), so a retried flush gets a fresh draw. Pure —
+/// same (plan, op) always returns the same mode, and the stream is
+/// independent of decideFault's (different mixing constants).
+FsFaultMode decideFsFault(const FaultPlan &Plan, uint64_t OpIndex);
 
 } // namespace vmib
 

@@ -396,10 +396,12 @@ std::vector<PerfCounters>
 JavaLab::replayGang(const std::string &Benchmark,
                     const std::vector<VariantSpec> &Variants,
                     const CpuConfig &Cpu, unsigned Threads,
-                    GangSchedule Schedule, GangReplayer::Stats *StatsOut) {
+                    GangSchedule Schedule, GangReplayer::Stats *StatsOut,
+                    const std::vector<uint64_t> *SeedCostNs,
+                    std::vector<uint64_t> *FinalCostNs) {
   std::vector<PerfCounters> Results =
       replayGangNoOverhead(Benchmark, Variants, Cpu, Threads, Schedule,
-                           StatsOut);
+                           StatsOut, SeedCostNs, FinalCostNs);
   uint64_t Overhead = runtimeOverhead(Benchmark, Cpu);
   for (PerfCounters &C : Results)
     C.Cycles += Overhead;
@@ -411,14 +413,23 @@ JavaLab::replayGangNoOverhead(const std::string &Benchmark,
                               const std::vector<VariantSpec> &Variants,
                               const CpuConfig &Cpu, unsigned Threads,
                               GangSchedule Schedule,
-                              GangReplayer::Stats *StatsOut) {
+                              GangReplayer::Stats *StatsOut,
+                              const std::vector<uint64_t> *SeedCostNs,
+                              std::vector<uint64_t> *FinalCostNs) {
   GangReplayer Gang(trace(Benchmark));
   for (const VariantSpec &V : Variants) {
     // Each member owns its fresh program copy; the layout is built
     // over exactly that copy so the recorded quickenings patch it.
     auto Copy = std::make_shared<VMProgram>(program(Benchmark).Program);
     auto Layout = buildLayout(Benchmark, V, *Copy);
-    Gang.addQuickening(std::move(Layout), std::move(Copy), Cpu);
+    size_t Member = Gang.addQuickening(std::move(Layout), std::move(Copy),
+                                       Cpu);
+    if (SeedCostNs && Member < SeedCostNs->size() &&
+        (*SeedCostNs)[Member] != 0)
+      Gang.seedMemberCost(Member, (*SeedCostNs)[Member]);
   }
-  return Gang.run(Threads, Schedule, StatsOut);
+  std::vector<PerfCounters> Results = Gang.run(Threads, Schedule, StatsOut);
+  if (FinalCostNs)
+    *FinalCostNs = Gang.finalCosts();
+  return Results;
 }

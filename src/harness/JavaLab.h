@@ -141,12 +141,19 @@ public:
   /// quickening member has one owner per tile, so results stay
   /// bit-identical for any thread count and either scheduler);
   /// \p StatsOut receives the pool accounting when non-null.
+  /// \p SeedCostNs, when non-null, seeds the dynamic scheduler's
+  /// per-member cost EWMAs (variant order, 0 = unknown — see
+  /// GangReplayer::seedMemberCost); \p FinalCostNs, when non-null,
+  /// receives the end-of-run EWMAs a dynamic pooled pass measured
+  /// (empty otherwise). Both steer scheduling only, never counters.
   std::vector<PerfCounters>
   replayGang(const std::string &Benchmark,
              const std::vector<VariantSpec> &Variants, const CpuConfig &Cpu,
              unsigned Threads = 1,
              GangSchedule Schedule = GangSchedule::Static,
-             GangReplayer::Stats *StatsOut = nullptr);
+             GangReplayer::Stats *StatsOut = nullptr,
+             const std::vector<uint64_t> *SeedCostNs = nullptr,
+             std::vector<uint64_t> *FinalCostNs = nullptr);
 
   /// replayGang() without the runtime-system overhead cycles.
   std::vector<PerfCounters>
@@ -154,7 +161,9 @@ public:
                        const std::vector<VariantSpec> &Variants,
                        const CpuConfig &Cpu, unsigned Threads = 1,
                        GangSchedule Schedule = GangSchedule::Static,
-                       GangReplayer::Stats *StatsOut = nullptr);
+                       GangReplayer::Stats *StatsOut = nullptr,
+                       const std::vector<uint64_t> *SeedCostNs = nullptr,
+                       std::vector<uint64_t> *FinalCostNs = nullptr);
 
 private:
   /// Post-quickening static profile of one benchmark (the state static

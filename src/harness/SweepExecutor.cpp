@@ -3,6 +3,7 @@
 #include "harness/SweepExecutor.h"
 
 #include "harness/SweepRunner.h"
+#include "harness/WorkloadCache.h"
 #include "support/Statistics.h"
 #include "uarch/CaseBlockTable.h"
 #include "uarch/CpuModel.h"
@@ -15,6 +16,51 @@
 #include <thread>
 
 using namespace vmib;
+
+namespace {
+
+/// Whether this run's gangs produce measured per-member costs worth
+/// persisting (the dynamic scheduler on a real pool).
+bool dynamicPooled(const SweepSpec &Spec) {
+  return Spec.Schedule == GangSchedule::Dynamic &&
+         resolveGangThreads(Spec.Threads) > 1;
+}
+
+/// Loads the persisted cost table of \p TraceKey into a by-key map.
+std::map<uint64_t, uint64_t> loadCostMap(const std::string &TraceKey,
+                                         uint64_t TraceHash) {
+  std::map<uint64_t, uint64_t> Map;
+  std::vector<MemberCost> Persisted;
+  if (loadMemberCosts(TraceKey, TraceHash, Persisted))
+    for (const MemberCost &C : Persisted)
+      Map[C.MemberKey] = C.CostNs;
+  return Map;
+}
+
+/// Folds \p Final (per gang-member measured EWMAs; 0 = unmeasured)
+/// back into \p Map under each member's config key and persists the
+/// merged table (best-effort, like every sidecar write).
+void saveCostMap(const SweepSpec &Spec, const std::vector<size_t> &Members,
+                 const std::vector<uint64_t> &Final,
+                 std::map<uint64_t, uint64_t> &Map,
+                 const std::string &TraceKey, uint64_t TraceHash) {
+  bool Changed = false;
+  for (size_t K = 0; K < Members.size() && K < Final.size(); ++K) {
+    if (Final[K] == 0)
+      continue;
+    Map[memberCostKey(Spec, Members[K])] = Final[K];
+    Changed = true;
+  }
+  if (!Changed)
+    return;
+  std::vector<MemberCost> ToSave;
+  ToSave.reserve(Map.size());
+  for (const auto &[Key, Ns] : Map)
+    ToSave.push_back({Key, Ns});
+  (void)saveMemberCosts(TraceKey, TraceHash, ToSave);
+}
+
+} // namespace
 
 unsigned vmib::resolveGangThreads(unsigned SpecThreads) {
   if (SpecThreads != 0)
@@ -41,7 +87,7 @@ JavaLab &SweepExecutor::java() {
 
 std::vector<PerfCounters>
 SweepExecutor::runForthSlice(const SweepSpec &Spec, size_t Workload,
-                             size_t Begin, size_t End,
+                             const std::vector<size_t> &Members,
                              GangReplayer::Stats *LoadOut) {
   ForthLab &Lab = forth();
   const std::string &Benchmark = Spec.Benchmarks[Workload];
@@ -51,7 +97,7 @@ SweepExecutor::runForthSlice(const SweepSpec &Spec, size_t Workload,
   // of the same variant then share a GroupDecoder (SoA tile decode),
   // and the layout is built once instead of once per predictor point.
   std::map<size_t, std::shared_ptr<DispatchProgram>> Layouts;
-  for (size_t M = Begin; M < End; ++M) {
+  for (size_t M : Members) {
     size_t CpuIdx, VarIdx, PredIdx;
     Spec.decodeMember(M, CpuIdx, VarIdx, PredIdx);
     CpuConfig Cpu;
@@ -83,6 +129,19 @@ SweepExecutor::runForthSlice(const SweepSpec &Spec, size_t Workload,
       break;
     }
   }
+  // Persisted dynamic-scheduler costs: seed each gang member's EWMA
+  // from the trace's cost sidecar so even tile 0 plans cost-weighted.
+  const bool PersistCosts = dynamicPooled(Spec);
+  const std::string TraceKey = "forth-" + Benchmark;
+  std::map<uint64_t, uint64_t> CostMap;
+  if (PersistCosts) {
+    CostMap = loadCostMap(TraceKey, Trace.contentHash());
+    for (size_t K = 0; K < Members.size(); ++K) {
+      auto It = CostMap.find(memberCostKey(Spec, Members[K]));
+      if (It != CostMap.end() && It->second != 0)
+        Gang.seedMemberCost(K, It->second);
+    }
+  }
   // Only wire the stats through when the caller wants them: a non-null
   // StatsOut makes every static (member, tile) execution pay two clock
   // reads (see GangReplayer's Timed gate), which a --worker process
@@ -93,45 +152,75 @@ SweepExecutor::runForthSlice(const SweepSpec &Spec, size_t Workload,
                LoadOut ? &GangLoad : nullptr);
   if (LoadOut)
     LoadOut->merge(GangLoad);
+  if (PersistCosts)
+    saveCostMap(Spec, Members, Gang.finalCosts(), CostMap, TraceKey,
+                Trace.contentHash());
   return Out;
 }
 
 std::vector<PerfCounters>
 SweepExecutor::runJavaSlice(const SweepSpec &Spec, size_t Workload,
-                            size_t Begin, size_t End,
+                            const std::vector<size_t> &Members,
                             GangReplayer::Stats *LoadOut) {
   JavaLab &Lab = java();
   const std::string &Benchmark = Spec.Benchmarks[Workload];
   // Java members are quickening replays on the CPU's default BTB
   // (validateSweepSpec enforces a single Default predictor entry), so
-  // the member order is CPU-major runs of the variant list: intersect
-  // the slice with each CPU's run and gang-replay the variant subset.
-  // A member's counters do not depend on its gang's other members, so
+  // the member order is CPU-major runs of the variant list: group the
+  // slice's members by CPU (the list is ascending, so groups come out
+  // in member order) and gang-replay each CPU's variant subset. A
+  // member's counters do not depend on its gang's other members, so
   // slicing cannot change any cell.
   assert(Spec.Predictors.size() <= 1 &&
          "validateSweepSpec caps java specs at one predictor entry");
+  const bool PersistCosts = dynamicPooled(Spec);
+  const std::string TraceKey = "java-" + Benchmark;
+  std::map<uint64_t, uint64_t> CostMap;
+  uint64_t TraceHash = 0;
+  if (PersistCosts) {
+    TraceHash = Lab.trace(Benchmark).contentHash();
+    CostMap = loadCostMap(TraceKey, TraceHash);
+  }
   std::vector<PerfCounters> Out;
   size_t V = Spec.Variants.size();
-  for (size_t CpuIdx = 0; CpuIdx < Spec.Cpus.size(); ++CpuIdx) {
-    size_t RunBegin = CpuIdx * V, RunEnd = RunBegin + V;
-    size_t Lo = Begin > RunBegin ? Begin : RunBegin;
-    size_t Hi = End < RunEnd ? End : RunEnd;
-    if (Lo >= Hi)
-      continue;
+  size_t Pos = 0;
+  while (Pos < Members.size()) {
+    size_t CpuIdx = Members[Pos] / V;
+    size_t GroupEnd = Pos;
+    while (GroupEnd < Members.size() && Members[GroupEnd] / V == CpuIdx)
+      ++GroupEnd;
     CpuConfig Cpu;
     bool Known = cpuConfigById(Spec.Cpus[CpuIdx], Cpu);
     assert(Known && "validateSweepSpec admits only known cpu ids");
     (void)Known;
-    std::vector<VariantSpec> Subset(Spec.Variants.begin() + (Lo - RunBegin),
-                                    Spec.Variants.begin() + (Hi - RunBegin));
+    std::vector<VariantSpec> Subset;
+    std::vector<uint64_t> SeedNs(GroupEnd - Pos, 0);
+    Subset.reserve(GroupEnd - Pos);
+    for (size_t K = Pos; K < GroupEnd; ++K) {
+      Subset.push_back(Spec.Variants[Members[K] % V]);
+      if (PersistCosts) {
+        auto It = CostMap.find(memberCostKey(Spec, Members[K]));
+        if (It != CostMap.end())
+          SeedNs[K - Pos] = It->second;
+      }
+    }
     GangReplayer::Stats GangLoad;
+    std::vector<uint64_t> FinalNs;
     std::vector<PerfCounters> Row =
         Lab.replayGang(Benchmark, Subset, Cpu,
                        resolveGangThreads(Spec.Threads), Spec.Schedule,
-                       LoadOut ? &GangLoad : nullptr);
+                       LoadOut ? &GangLoad : nullptr,
+                       PersistCosts ? &SeedNs : nullptr,
+                       PersistCosts ? &FinalNs : nullptr);
     if (LoadOut)
       LoadOut->merge(GangLoad);
+    if (PersistCosts && !FinalNs.empty()) {
+      std::vector<size_t> GroupMembers(Members.begin() + Pos,
+                                       Members.begin() + GroupEnd);
+      saveCostMap(Spec, GroupMembers, FinalNs, CostMap, TraceKey, TraceHash);
+    }
     Out.insert(Out.end(), Row.begin(), Row.end());
+    Pos = GroupEnd;
   }
   return Out;
 }
@@ -145,9 +234,61 @@ std::vector<PerfCounters> SweepExecutor::runSlice(const SweepSpec &Spec,
   assert(Workload < Spec.Benchmarks.size() &&
          MemberEnd <= Spec.membersPerWorkload() &&
          MemberBegin <= MemberEnd && "slice out of range");
-  if (Spec.Suite == "java")
-    return runJavaSlice(Spec, Workload, MemberBegin, MemberEnd, LoadOut);
-  return runForthSlice(Spec, Workload, MemberBegin, MemberEnd, LoadOut);
+  std::vector<PerfCounters> Out(MemberEnd - MemberBegin);
+  std::vector<size_t> Missing;
+  std::vector<size_t> MissSlot;  ///< Out index of each missing member
+  std::vector<StoreKey> MissKey; ///< store key of each missing member
+  const bool UseStore = Store && Store->isOpen();
+  if (UseStore) {
+    // The store key needs the trace *content* hash. Peek it from the
+    // cached trace file header when one exists (no load, no capture);
+    // otherwise fall back to the lab's trace — which a miss needs
+    // loaded anyway, and which a fully-hit slice only pays when its
+    // trace file has vanished (re-capture reproduces the same content
+    // hash, so the hits still apply).
+    const std::string &B = Spec.Benchmarks[Workload];
+    uint64_t TraceHash = 0;
+    if (!DispatchTrace::peekContentHash(
+            DispatchTrace::cachePathFor(Spec.Suite + "-" + B), TraceHash))
+      TraceHash = Spec.Suite == "java" ? java().trace(B).contentHash()
+                                       : forth().trace(B).contentHash();
+    for (size_t M = MemberBegin; M < MemberEnd; ++M) {
+      StoreKey Key = cellStoreKey(Spec, M, TraceHash);
+      PerfCounters C;
+      if (Store->lookup(Key, C)) {
+        Out[M - MemberBegin] = C;
+      } else {
+        Missing.push_back(M);
+        MissSlot.push_back(M - MemberBegin);
+        MissKey.push_back(Key);
+      }
+    }
+    if (Missing.empty())
+      return Out;
+  } else {
+    Missing.reserve(MemberEnd - MemberBegin);
+    for (size_t M = MemberBegin; M < MemberEnd; ++M) {
+      Missing.push_back(M);
+      MissSlot.push_back(M - MemberBegin);
+    }
+  }
+
+  std::vector<PerfCounters> Fresh =
+      Spec.Suite == "java"
+          ? runJavaSlice(Spec, Workload, Missing, LoadOut)
+          : runForthSlice(Spec, Workload, Missing, LoadOut);
+  assert(Fresh.size() == Missing.size() && "slice runner covers its members");
+  for (size_t K = 0; K < Missing.size(); ++K) {
+    Out[MissSlot[K]] = Fresh[K];
+    if (UseStore)
+      Store->record(MissKey[K], Fresh[K]);
+  }
+  // Durable before returned: the caller (a worker about to emit rows,
+  // an in-process sweep about to report cells) must never announce a
+  // result the store would lose to a crash.
+  if (UseStore)
+    (void)Store->flush();
+  return Out;
 }
 
 SweepRunStats SweepExecutor::runAll(const SweepSpec &Spec, unsigned Threads,

@@ -36,6 +36,7 @@
 
 #include "harness/ForthLab.h"
 #include "harness/JavaLab.h"
+#include "harness/ResultStore.h"
 #include "harness/SweepSpec.h"
 
 #include <memory>
@@ -69,6 +70,13 @@ public:
   explicit SweepExecutor(ForthLab *Forth = nullptr, JavaLab *Java = nullptr)
       : ForthRef(Forth), JavaRef(Java) {}
 
+  /// Attaches an open ResultStore (borrowed, may be null to detach):
+  /// runSlice then serves cells whose content keys hit the store
+  /// without replaying them, and records + flushes fresh cells before
+  /// returning — so a cell a worker computed is durable before the
+  /// orchestrator can commit the rows announcing it.
+  void setResultStore(ResultStore *S) { Store = S; }
+
   /// Runs gang members [MemberBegin, MemberEnd) of workload \p Workload
   /// as one gang over the workload's trace; results in member order.
   /// The gang replays on resolveGangThreads(Spec.Threads) workers under
@@ -88,19 +96,24 @@ public:
   JavaLab &java();
 
 private:
+  // The slice runners take an arbitrary (ascending) member list rather
+  // than a contiguous range: with a result store attached, the members
+  // still missing after the probe are whatever subset the store did
+  // not cover.
   std::vector<PerfCounters> runForthSlice(const SweepSpec &Spec,
-                                          size_t Workload, size_t Begin,
-                                          size_t End,
+                                          size_t Workload,
+                                          const std::vector<size_t> &Members,
                                           GangReplayer::Stats *LoadOut);
   std::vector<PerfCounters> runJavaSlice(const SweepSpec &Spec,
-                                         size_t Workload, size_t Begin,
-                                         size_t End,
+                                         size_t Workload,
+                                         const std::vector<size_t> &Members,
                                          GangReplayer::Stats *LoadOut);
 
   ForthLab *ForthRef;
   JavaLab *JavaRef;
   std::unique_ptr<ForthLab> OwnedForth;
   std::unique_ptr<JavaLab> OwnedJava;
+  ResultStore *Store = nullptr;
 };
 
 } // namespace vmib

@@ -16,6 +16,7 @@
 #include "support/Format.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
+#include "vmcore/DispatchTrace.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -63,6 +64,29 @@ double captureSecondsOf(const std::string &Line) {
   if (Pos == std::string::npos)
     return 0;
   return std::strtod(Line.c_str() + Pos + std::strlen("capture_s="), nullptr);
+}
+
+/// "key=N" extraction for worker [store] lines; \p Key carries its
+/// leading space so e.g. " hits=" never matches inside another token.
+uint64_t storeTokenOf(const std::string &Line, const char *Key) {
+  size_t Pos = Line.find(Key);
+  if (Pos == std::string::npos)
+    return 0;
+  return std::strtoull(Line.c_str() + Pos + std::strlen(Key), nullptr, 10);
+}
+
+/// Crash-drill hook (CI `crash-recovery`): when
+/// VMIB_ORCH_KILL_AFTER_COMMITS=K is set, the orchestrator SIGKILLs
+/// ITSELF right after its Kth job commit — after the committed
+/// worker's cells are durable in the result store, before the merged
+/// sweep is announced. A re-run must then serve exactly the committed
+/// jobs from the store and recompute only the rest, bit-identically.
+long orchKillAfterCommits() {
+  static long K = [] {
+    const char *E = std::getenv("VMIB_ORCH_KILL_AFTER_COMMITS");
+    return E && *E ? std::strtol(E, nullptr, 10) : 0L;
+  }();
+  return K;
 }
 
 /// The last stderr bytes kept per attempt (diagnostics) and the slice
@@ -113,6 +137,12 @@ struct Attempt {
   std::vector<std::string> TimingLines;
   uint64_t ReplayedEvents = 0;
   double CaptureSeconds = 0;
+  // Staged [store] accounting (committed attempts only, like timings).
+  uint64_t StoreHits = 0;
+  uint64_t StoreMisses = 0;
+  uint64_t StoreRecovered = 0;
+  uint64_t StoreQuarantined = 0;
+  uint64_t StoreFlushFailures = 0;
 };
 
 /// Per-job scheduling state.
@@ -369,6 +399,13 @@ void Orchestration::handleLine(Attempt &A, const std::string &Line) {
     A.ReplayedEvents += replayedEventsOf(Line);
     A.CaptureSeconds += captureSecondsOf(Line);
     A.TimingLines.push_back(Line);
+  } else if (Line.compare(0, 7, "[store]") == 0) {
+    // Worker result-store accounting, staged for the same reason.
+    A.StoreHits += storeTokenOf(Line, " hits=");
+    A.StoreMisses += storeTokenOf(Line, " misses=");
+    A.StoreRecovered += storeTokenOf(Line, " recovered=");
+    A.StoreQuarantined += storeTokenOf(Line, " quarantined=");
+    A.StoreFlushFailures += storeTokenOf(Line, " flush_failures=");
   }
 }
 
@@ -476,6 +513,11 @@ void Orchestration::commit(Attempt &A) {
   Slices[A.Job] = std::move(A.Slice);
   RunStats.ReplayedEvents += A.ReplayedEvents;
   RunStats.CaptureSeconds += A.CaptureSeconds;
+  Rep.StoreHits += A.StoreHits;
+  Rep.StoreMisses += A.StoreMisses;
+  Rep.StoreRecovered += A.StoreRecovered;
+  Rep.StoreQuarantined += A.StoreQuarantined;
+  Rep.StoreFlushFailures += A.StoreFlushFailures;
   if (Opt.EchoWorkerTimings)
     for (const std::string &Line : A.TimingLines)
       std::printf("%s\n", Line.c_str());
@@ -488,6 +530,19 @@ void Orchestration::commit(Attempt &A) {
       Other.Cancelled = true;
       killAttempt(Other, SIGKILL);
     }
+  // Crash drill: die mid-sweep, AFTER this worker flushed its cells.
+  if (long K = orchKillAfterCommits()) {
+    static long CommitsEver = 0;
+    if (++CommitsEver >= K) {
+      std::fprintf(stderr,
+                   "[orchestrator] VMIB_ORCH_KILL_AFTER_COMMITS=%ld reached; "
+                   "raising SIGKILL\n",
+                   K);
+      std::fflush(stdout);
+      std::fflush(stderr);
+      ::raise(SIGKILL);
+    }
+  }
 }
 
 unsigned Orchestration::backoffDelayMs(size_t JobIdx,
@@ -574,6 +629,42 @@ bool Orchestration::run(std::vector<PerfCounters> &Cells,
                         OrchestratorReport &Report) {
   WallTimer Wall;
   RunStats.Configs = Spec.numCells();
+
+  // Serve whole jobs from the result store before spawning anything: a
+  // job whose workload has a cached trace (so its content hash is
+  // knowable without capture) AND whose every member resolves by
+  // content key is committed here, worker-free. probe() keeps the
+  // workers' own hit/miss accounting undistorted. Partially-covered
+  // jobs still dispatch — their worker shares the store and serves the
+  // covered members itself.
+  if (Opt.Store && Opt.Store->isOpen()) {
+    for (size_t J = 0; J < Jobs.size(); ++J) {
+      const ShardJob &Job = Jobs[J];
+      uint64_t TraceHash = 0;
+      if (!DispatchTrace::peekContentHash(
+              DispatchTrace::cachePathFor(Spec.Suite + "-" +
+                                          Spec.Benchmarks[Job.Workload]),
+              TraceHash))
+        continue;
+      std::vector<PerfCounters> Slice;
+      Slice.reserve(Job.MemberEnd - Job.MemberBegin);
+      bool AllHit = true;
+      for (size_t M = Job.MemberBegin; AllHit && M < Job.MemberEnd; ++M) {
+        PerfCounters C;
+        if (Opt.Store->probe(cellStoreKey(Spec, M, TraceHash), C))
+          Slice.push_back(C);
+        else
+          AllHit = false;
+      }
+      if (!AllHit)
+        continue;
+      Slices[J] = std::move(Slice);
+      JobStates[J].Committed = true;
+      JobStates[J].Queued = false;
+      Rep.JobsServedFromStore++;
+      Rep.StoreHits += Job.MemberEnd - Job.MemberBegin;
+    }
+  }
 
   while (!Failed && (!allJobsSettled() || !Pool.empty())) {
     TimePoint Now = Clock::now();

@@ -124,6 +124,16 @@ struct SweepWorkerOptions {
   /// Seed for the backoff jitter (deterministic: same seed + same
   /// failure schedule = same delays).
   uint64_t JitterSeed = 0x76696d6962ULL;
+
+  //===--- incremental results ---------------------------------------------===//
+
+  /// Open ResultStore (borrowed, may be null) probed BEFORE shard
+  /// dispatch: a job whose every cell already resolves by content key
+  /// is committed from the store without spawning a worker. Workers
+  /// additionally consult the same store (via VMIB_RESULT_STORE in
+  /// their environment) for partially-covered jobs, and report their
+  /// hit/miss accounting back on `[store]` lines.
+  ResultStore *Store = nullptr;
 };
 
 /// What happened while fanning a sweep out: retry/timeout/hedge
@@ -147,6 +157,23 @@ struct OrchestratorReport {
   /// was successfully retried — field diagnosis wants the cause, not
   /// just the recovery).
   std::string FirstFailure;
+
+  //===--- result-store accounting -----------------------------------------===//
+
+  /// Jobs committed straight from the orchestrator's pre-dispatch
+  /// store probe (no worker spawned).
+  size_t JobsServedFromStore = 0;
+  /// Cell lookups served from the store: pre-dispatch probe hits plus
+  /// the hits committed workers reported on their [store] lines.
+  uint64_t StoreHits = 0;
+  /// Cell lookups that missed (committed workers only).
+  uint64_t StoreMisses = 0;
+  /// Records salvaged from torn segments (committed workers).
+  uint64_t StoreRecovered = 0;
+  /// Segments quarantined during recovery (committed workers).
+  uint64_t StoreQuarantined = 0;
+  /// Worker flushes that failed and kept records buffered.
+  uint64_t StoreFlushFailures = 0;
 
   size_t cellsCovered() const {
     size_t N = 0;

@@ -1,0 +1,44 @@
+//===- support/FileSync.cpp -----------------------------------------------===//
+
+#include "support/FileSync.h"
+
+#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace vmib;
+
+bool vmib::flushAndSync(std::FILE *F) {
+  if (!F || std::fflush(F) != 0)
+    return false;
+  int Fd = ::fileno(F);
+  if (Fd < 0)
+    return false;
+  int R;
+  do {
+    R = ::fsync(Fd);
+  } while (R != 0 && errno == EINTR);
+  return R == 0;
+}
+
+bool vmib::syncParentDir(const std::string &Path) {
+  size_t Slash = Path.rfind('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return false;
+  int R;
+  do {
+    R = ::fsync(Fd);
+  } while (R != 0 && errno == EINTR);
+  ::close(Fd);
+  return R == 0;
+}
+
+bool vmib::renameDurable(const std::string &Tmp, const std::string &Path) {
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0)
+    return false;
+  return syncParentDir(Path);
+}

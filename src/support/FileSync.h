@@ -1,0 +1,44 @@
+//===- support/FileSync.h - Durable file-write helpers ----------*- C++ -*-===//
+///
+/// \file
+/// The fsync discipline every persistent artifact in the repo commits
+/// with (docs/simulation-pipeline.md, "Durability model"):
+///
+///   write temp -> fflush -> fsync(temp) -> rename -> fsync(directory)
+///
+/// A rename alone only orders the *name* change; without the two
+/// fsyncs a crash shortly after rename can surface an empty or partial
+/// file under the canonical name (the data blocks were still in the
+/// page cache), or lose the rename itself. These helpers make the full
+/// sequence one call site per writer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_SUPPORT_FILESYNC_H
+#define VMIB_SUPPORT_FILESYNC_H
+
+#include <cstdio>
+#include <string>
+
+namespace vmib {
+
+/// Flushes \p F's stdio buffer and forces its bytes to stable storage
+/// (fflush + fsync). The caller still owns and closes \p F. \returns
+/// false on any failure.
+bool flushAndSync(std::FILE *F);
+
+/// fsyncs the directory that contains \p Path, so a directory-entry
+/// change (a rename committing \p Path) survives a crash. \returns
+/// false if the directory cannot be opened or synced.
+bool syncParentDir(const std::string &Path);
+
+/// rename(\p Tmp -> \p Path) followed by a parent-directory fsync: the
+/// commit step of the temp-write protocol. \returns false (leaving
+/// \p Tmp in place) if the rename fails; a failed directory sync after
+/// a successful rename also returns false, but the rename has already
+/// happened — callers treat that as "committed, durability unknown".
+bool renameDurable(const std::string &Tmp, const std::string &Path);
+
+} // namespace vmib
+
+#endif // VMIB_SUPPORT_FILESYNC_H

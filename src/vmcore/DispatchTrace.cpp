@@ -20,6 +20,7 @@
 
 #include "vmcore/DispatchTrace.h"
 
+#include "support/FileSync.h"
 #include "support/Format.h"
 
 #include <atomic>
@@ -142,13 +143,29 @@ bool DispatchTrace::save(const std::string &Path,
           WordsPerQuicken)
         return false;
     }
-    if (std::fflush(Out.F) != 0)
+    // fsync before rename: rename orders only the directory entry, so
+    // without this a crash after the rename could surface a complete-
+    // looking name over still-unwritten data blocks.
+    if (!flushAndSync(Out.F))
       return false;
   }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+  if (!renameDurable(Tmp, Path)) {
     std::remove(Tmp.c_str());
     return false;
   }
+  return true;
+}
+
+bool DispatchTrace::peekContentHash(const std::string &Path, uint64_t &Hash) {
+  File In(Path.c_str(), "rb");
+  if (!In.F)
+    return false;
+  uint64_t Header[HeaderWords];
+  if (std::fread(Header, sizeof(uint64_t), HeaderWords, In.F) != HeaderWords)
+    return false;
+  if (Header[0] != FileMagic || Header[1] != CurrentVersion)
+    return false;
+  Hash = Header[5];
   return true;
 }
 

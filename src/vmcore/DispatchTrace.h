@@ -163,6 +163,17 @@ public:
   bool load(const std::string &Path, uint64_t ExpectedWorkloadHash,
             std::string *Diag = nullptr);
 
+  /// Reads just the header of the trace file at \p Path and returns
+  /// the content hash it declares for its event stream (header word 5,
+  /// what contentHash() of the loaded trace evaluates to) — without
+  /// loading or verifying the event arrays. This is how a result-store
+  /// probe keys a workload's cells from a cached trace file in O(1):
+  /// the hash is only *declared* here, but anything derived from a
+  /// wrong declaration simply misses in a content-addressed lookup.
+  /// \returns false when the file is missing, shorter than a header,
+  /// or has the wrong magic/version.
+  static bool peekContentHash(const std::string &Path, uint64_t &Hash);
+
   /// The trace-cache directory (VMIB_TRACE_CACHE), or "" when unset.
   /// A configured directory that does not exist yet is created
   /// (including parents); "" is returned if creation fails, so cache

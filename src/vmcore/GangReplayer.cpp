@@ -301,7 +301,11 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
       CostNs = std::make_unique<std::atomic<uint64_t>[]>(M);
       for (size_t I = 0; I < M; ++I) {
         DoneTile[I].store(0, std::memory_order_relaxed);
-        CostNs[I].store(0, std::memory_order_relaxed);
+        // Seeded costs (persisted EWMAs of a previous run) make even
+        // tile 0's plan cost-weighted; the EWMA update then absorbs
+        // them like any other past sample.
+        CostNs[I].store(I < SeedCostNs.size() ? SeedCostNs[I] : 0,
+                        std::memory_order_relaxed);
       }
     }
 
@@ -475,6 +479,11 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
       Th.join();
     if (FirstError)
       std::rethrow_exception(FirstError);
+    if (Dynamic) {
+      FinalCostNs.resize(M);
+      for (size_t I = 0; I < M; ++I)
+        FinalCostNs[I] = CostNs[I].load(std::memory_order_relaxed);
+    }
   }
 
   for (const Slot &Mem : Members)

@@ -912,6 +912,26 @@ public:
 
   size_t size() const { return Members.size(); }
 
+  /// Seeds the dynamic scheduler's measured-cost EWMA for member
+  /// \p Member (add order) with \p Ns nanoseconds per tile — typically
+  /// a persisted cost from a previous run over the same trace
+  /// (WorkloadCache::loadMemberCosts). A seeded gang plans its FIRST
+  /// tile cost-weighted instead of round-robin. Costs steer the plan
+  /// only, never the results; a wildly stale seed costs wall clock on
+  /// early tiles until the EWMA converges. No-op for static schedules.
+  void seedMemberCost(size_t Member, uint64_t Ns) {
+    if (SeedCostNs.size() < Members.size())
+      SeedCostNs.resize(Members.size(), 0);
+    assert(Member < Members.size() && "seed for a member not added yet");
+    SeedCostNs[Member] = Ns;
+  }
+
+  /// The per-member cost EWMAs as of the end of the last dynamic
+  /// pooled run() (nanoseconds per tile, add order; 0 = never
+  /// measured). Empty unless such a run happened — the executor
+  /// persists these for the next process's seedMemberCost.
+  const std::vector<uint64_t> &finalCosts() const { return FinalCostNs; }
+
   /// Pool accounting of one run(): who replayed how much, who waited,
   /// who stole, and what the finish tail cost. Workers is empty for
   /// serial runs (no pool to account). The sweep layers aggregate this
@@ -1013,6 +1033,8 @@ private:
   const DispatchTrace &Trace;
   size_t ChunkEvents;
   std::vector<Slot> Members;
+  std::vector<uint64_t> SeedCostNs;
+  std::vector<uint64_t> FinalCostNs;
 };
 
 } // namespace vmib
