@@ -156,6 +156,40 @@ inline bool applyStoreOptions(const OptionParser &Opts, ResultStore &Store) {
   return true;
 }
 
+/// Applies the replay-path knobs every entry point shares —
+/// `--trace-compress=on|off` (v2 delta/varint vs v1 flat trace files;
+/// default on) and `--kernel=scalar|simd` (gang member kernel; default
+/// scalar, simd = batched with runtime AVX2 dispatch) — and RE-EXPORTS both
+/// decisions into the environment so orchestrated worker processes
+/// make the same choice. Both knobs are bit-identity-neutral by
+/// contract; they only move throughput. \returns false with
+/// \p ExitCode set on a malformed value.
+inline bool applyReplayPathOptions(const OptionParser &Opts, int &ExitCode) {
+  if (Opts.has("trace-compress")) {
+    std::string V = Opts.get("trace-compress");
+    if (V != "on" && V != "off") {
+      std::fprintf(stderr,
+                   "error: bad --trace-compress '%s' (expected on or off)\n",
+                   V.c_str());
+      ExitCode = 1;
+      return false;
+    }
+    ::setenv("VMIB_TRACE_COMPRESS", V.c_str(), 1);
+  }
+  if (Opts.has("kernel")) {
+    std::string V = Opts.get("kernel");
+    if (V != "scalar" && V != "simd" && V != "batched") {
+      std::fprintf(stderr,
+                   "error: bad --kernel '%s' (expected scalar or simd)\n",
+                   V.c_str());
+      ExitCode = 1;
+      return false;
+    }
+    ::setenv("VMIB_GANG_KERNEL", V.c_str(), 1);
+  }
+  return true;
+}
+
 //===--- declarative sweeps -----------------------------------------------===//
 
 /// Applies the spec-override flags every spec-driven entry point

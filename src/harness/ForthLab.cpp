@@ -5,6 +5,7 @@
 #include "harness/WorkloadCache.h"
 #include "support/Format.h"
 #include "vmcore/DispatchSim.h"
+#include "workloads/SynthSuite.h"
 
 #include <cassert>
 #include <cstdio>
@@ -18,6 +19,30 @@ const ForthUnit &ForthLab::unitLocked(const std::string &Benchmark) {
   auto It = Units.find(Benchmark);
   if (It != Units.end())
     return It->second;
+  if (isSynthBenchmarkName(Benchmark)) {
+    // Synthetic workload: the name IS the workload. No reference run
+    // exists or is needed — the identity hash is a pure function of
+    // the parameters, the step count is the requested event count, and
+    // both are exact (never sidecar-provisional).
+    SynthWorkloadParams Params;
+    std::string Err;
+    if (!parseSynthBenchmarkName(Benchmark, Params, &Err)) {
+      std::fprintf(stderr, "fatal: %s\n", Err.c_str());
+      std::abort();
+    }
+    ForthUnit Unit = buildSynthUnit(Params);
+    std::string Invalid = Unit.Program.validate(forth::opcodeSet());
+    if (!Invalid.empty()) {
+      std::fprintf(stderr, "fatal: synthetic program %s: %s\n",
+                   Benchmark.c_str(), Invalid.c_str());
+      std::abort();
+    }
+    BindingHash[Benchmark] = programBindingHash(Unit.Program);
+    ReferenceHash[Benchmark] = synthWorkloadHash(Params);
+    ReferenceSteps[Benchmark] = Params.NumEvents;
+    HashFromSidecar[Benchmark] = false;
+    return Units.emplace(Benchmark, std::move(Unit)).first->second;
+  }
   const ForthBenchmark *Bench = nullptr;
   for (const ForthBenchmark &B : forthSuite())
     if (B.Name == Benchmark)
@@ -191,6 +216,17 @@ PerfCounters ForthLab::runWithPredictor(
     const std::string &Benchmark, const VariantSpec &Variant,
     const CpuConfig &Cpu,
     std::unique_ptr<IndirectBranchPredictor> Predictor) {
+  if (isSynthBenchmarkName(Benchmark)) {
+    // The generated program is dispatch-shaped, not value-correct:
+    // interpreting it would underflow stacks immediately. Every sweep
+    // path replays; only explicit direct-simulation requests land
+    // here, and those must fail loudly.
+    std::fprintf(stderr,
+                 "fatal: %s is replay-only (synthetic workloads have no "
+                 "reference interpretation)\n",
+                 Benchmark.c_str());
+    std::abort();
+  }
   const ForthUnit &Unit = unit(Benchmark);
   auto Layout = buildLayout(Benchmark, Variant);
   DispatchSim Sim(*Layout, Cpu);
@@ -248,6 +284,27 @@ const DispatchTrace &ForthLab::trace(const std::string &Benchmark) {
     if (Diag.find("cannot open") == std::string::npos)
       std::fprintf(stderr, "warning: ignoring trace cache entry: %s\n",
                    Diag.c_str());
+  }
+
+  // Synthetic workloads are generated, never interpreted: O(events)
+  // with no VM state, so a multi-hundred-million-event trace costs
+  // about as much as reading one. Still outside the lock (generation
+  // of a mega-trace is the slow path) and still save/best-effort, so a
+  // generated trace round-trips the same file cache as captured ones.
+  if (isSynthBenchmarkName(Benchmark)) {
+    SynthWorkloadParams Params;
+    if (!parseSynthBenchmarkName(Benchmark, Params)) {
+      std::fprintf(stderr, "fatal: unparseable synthetic benchmark %s\n",
+                   Benchmark.c_str());
+      std::abort();
+    }
+    const ForthUnit &SynthUnit = unit(Benchmark);
+    DispatchTrace T;
+    generateSynthTrace(Params, SynthUnit.Program, T);
+    if (!CachePath.empty())
+      (void)T.save(CachePath, WorkloadHash); // best-effort
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    return Traces.emplace(Benchmark, std::move(T)).first->second;
   }
 
   // Capture outside the lock: this interprets the whole workload, and

@@ -31,6 +31,7 @@
 #include "uarch/CpuModel.h"
 #include "workloads/ForthSuite.h"
 #include "workloads/JavaSuite.h"
+#include "workloads/SynthSuite.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -459,6 +460,18 @@ bool vmib::validateSweepSpec(const SweepSpec &Spec, std::string &Error) {
     return false;
   }
   for (const std::string &B : Spec.Benchmarks) {
+    // Synthetic benchmarks (forth suite only) are named workloads, not
+    // suite entries: parse-validate the name so a malformed one fails
+    // at spec load, before any worker forks.
+    if (Spec.Suite == "forth" && isSynthBenchmarkName(B)) {
+      SynthWorkloadParams Params;
+      std::string SynthErr;
+      if (!parseSynthBenchmarkName(B, Params, &SynthErr)) {
+        Error = SynthErr;
+        return false;
+      }
+      continue;
+    }
     bool Known = false;
     if (Spec.Suite == "forth") {
       for (const ForthBenchmark &S : forthSuite())

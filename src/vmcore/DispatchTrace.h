@@ -20,12 +20,20 @@
 ///
 /// Traces serialize to a versioned binary file (save()/load()): a
 /// fixed header carrying event/quicken counts, an FNV-1a content hash
-/// and a caller-supplied workload identity hash, followed by the flat
-/// u64 event array and the quicken records. The VMIB_TRACE_CACHE
-/// environment variable names a directory the labs consult before
-/// re-interpreting a workload, which makes a sweep a pure function of
-/// (trace file, config list) — the prerequisite for sharding sweeps
-/// across machines.
+/// and a caller-supplied workload identity hash, followed by the event
+/// payload. Two encodings share that header: the v1 flat u64 dump and
+/// the v2 compressed form (delta + LEB128 varint event frames of ~64K
+/// events with per-frame checksums, varint-packed quicken records —
+/// see DispatchTrace.cpp for the exact layout). The *content hash is
+/// defined over the logical event stream*, not the file bytes, so the
+/// same trace carries the same hash under either encoding and
+/// everything keyed by it (ResultStore cells, WorkloadCache sidecars)
+/// survives a re-encoding. save() follows the VMIB_TRACE_COMPRESS
+/// knob (default on); load() accepts both versions. The
+/// VMIB_TRACE_CACHE environment variable names a directory the labs
+/// consult before re-interpreting a workload, which makes a sweep a
+/// pure function of (trace file, config list) — the prerequisite for
+/// sharding sweeps across machines.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +43,7 @@
 #include "vmcore/VMProgram.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -144,14 +153,28 @@ public:
   /// trace file is rejected instead of silently corrupting a sweep.
   uint64_t contentHash() const;
 
-  /// Writes the trace to \p Path (versioned header + flat arrays).
-  /// \p WorkloadHash identifies the workload the trace was captured
-  /// from (the labs pass the reference output hash); load() refuses a
-  /// file whose workload hash does not match, so a stale cache entry
-  /// for a changed workload re-captures instead of lying.
+  /// Writes the trace to \p Path in the encoding compressEnabled()
+  /// selects. \p WorkloadHash identifies the workload the trace was
+  /// captured from (the labs pass the reference output hash); load()
+  /// refuses a file whose workload hash does not match, so a stale
+  /// cache entry for a changed workload re-captures instead of lying.
   /// \returns false on any I/O failure (best-effort: callers fall back
   /// to the captured in-memory trace).
   bool save(const std::string &Path, uint64_t WorkloadHash) const;
+
+  /// save() with an explicit encoding choice: \p Compressed writes the
+  /// v2 delta/varint frames, otherwise the v1 flat dump. Both carry
+  /// the identical logical content hash. Used by re-encoding tools and
+  /// the encoding-equivalence tests; save() itself follows the
+  /// VMIB_TRACE_COMPRESS knob.
+  bool saveEncoded(const std::string &Path, uint64_t WorkloadHash,
+                   bool Compressed) const;
+
+  /// Whether save() writes the compressed encoding: VMIB_TRACE_COMPRESS
+  /// unset/"on"/"1" -> true, "off"/"0" -> false. sweep_driver's
+  /// --trace-compress flag re-exports its decision through the
+  /// environment so forked shard workers agree with the orchestrator.
+  static bool compressEnabled();
 
   /// Replaces *this with the trace stored at \p Path. \returns false
   /// (leaving *this cleared — a failed load never exposes partial
@@ -174,6 +197,29 @@ public:
   /// or has the wrong magic/version.
   static bool peekContentHash(const std::string &Path, uint64_t &Hash);
 
+  /// Header facts of a trace file without decoding it: format version,
+  /// logical stream sizes, and the on-disk footprint. LogicalBytes is
+  /// what the v1 flat encoding would occupy, so
+  /// LogicalBytes / FileBytes is the compression ratio the cache and
+  /// store reports print per trace (1.0 for v1 files by construction).
+  struct FileInfo {
+    uint64_t Version = 0;
+    uint64_t NumEvents = 0;
+    uint64_t NumQuickens = 0;
+    uint64_t FileBytes = 0;
+    uint64_t LogicalBytes = 0;
+    double ratio() const {
+      return FileBytes == 0 ? 0.0
+                            : static_cast<double>(LogicalBytes) /
+                                  static_cast<double>(FileBytes);
+    }
+  };
+
+  /// Reads just the header (and file size) of the trace at \p Path.
+  /// \returns false when the file is missing, shorter than a header,
+  /// or has the wrong magic/version.
+  static bool peekFileInfo(const std::string &Path, FileInfo &Info);
+
   /// The trace-cache directory (VMIB_TRACE_CACHE), or "" when unset.
   /// A configured directory that does not exist yet is created
   /// (including parents); "" is returned if creation fails, so cache
@@ -185,6 +231,9 @@ public:
   static std::string cachePathFor(const std::string &Key);
 
 private:
+  bool writeFlat(std::FILE *F, uint64_t WorkloadHash) const;
+  bool writeCompressed(std::FILE *F, uint64_t WorkloadHash) const;
+
   std::vector<Event> Events;
   std::vector<QuickenRecord> Quickens;
 };

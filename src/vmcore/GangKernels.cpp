@@ -1,0 +1,351 @@
+//===- vmcore/GangKernels.cpp - Batched gang replay kernels ---------------===//
+///
+/// The lane step is a transliteration of NoEvictBTB::predictAndUpdate
+/// over a KernelView — same way-scan order, same fill order, same
+/// hysteresis transition (shared via BTB::updateOnHit), same sticky
+/// overflow — so a batched lane and a scalar member walk through
+/// identical state sequences. Misses accumulate as
+/// (Predicted != Target): NoPrediction (~0) never equals a simulated
+/// target (< 2^48), so the miss-path contributes exactly 1, matching
+/// runDecodedBranches.
+///
+/// The AVX2 variant replaces the 4-way tag scan with one 256-bit
+/// compare + movemask. Within a set, real tags are unique and a free
+/// way's tag (NoPrediction) never equals a site, so "first match" and
+/// "any match" coincide and ctz of the mask reproduces the scalar
+/// scan's way choice bit for bit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vmcore/GangKernels.h"
+
+#include <cstdlib>
+#include <cstring>
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define VMIB_X86 1
+#endif
+
+using namespace vmib;
+using namespace vmib::gang;
+
+namespace {
+
+/// One (site, target) step of one lane at a precomputed set base;
+/// mirrors NoEvictBTB::predictAndUpdate exactly.
+inline Addr laneStepAt(NoEvictBTB::KernelView &V, uint32_t Base, Addr Site,
+                       Addr Target) {
+  for (uint32_t W = 0; W < V.Ways; ++W)
+    if (V.Tags[Base + W] == Site) {
+      Addr Predicted = V.Targets[Base + W];
+      if (!V.TwoBitCounters) {
+        V.Targets[Base + W] = Target;
+        return Predicted;
+      }
+      BTB::updateOnHit(V.Targets[Base + W], V.Counters[Base + W], Target,
+                       /*TwoBitCounters=*/true);
+      return Predicted;
+    }
+  for (uint32_t W = 0; W < V.Ways; ++W)
+    if (V.Tags[Base + W] == NoPrediction) {
+      V.Tags[Base + W] = Site;
+      V.Targets[Base + W] = Target;
+      if (V.TwoBitCounters)
+        V.Counters[Base + W] = 1;
+      return NoPrediction;
+    }
+  *V.Overflowed = true;
+  V.Tags[Base] = Site;
+  V.Targets[Base] = Target;
+  return NoPrediction;
+}
+
+inline Addr laneStep(NoEvictBTB::KernelView &V, Addr Site, Addr Target) {
+  return laneStepAt(V, V.SetMod.mod(Site >> V.IndexShift) * V.Ways, Site,
+                    Target);
+}
+
+/// True when every lane indexes sets identically (same divisor and
+/// shift), so one set computation per record serves the whole batch.
+/// Capacity-sweep gangs are heterogeneous; replica/dispatch sweeps at
+/// one BTB geometry — the common mega-gang shape — are homogeneous.
+inline bool sameIndexing(const NoEvictBTB::KernelView *V, size_t NumLanes) {
+  for (size_t L = 1; L < NumLanes; ++L)
+    if (V[L].SetMod.divisor() != V[0].SetMod.divisor() ||
+        V[L].IndexShift != V[0].IndexShift || V[L].Ways != V[0].Ways)
+      return false;
+  return true;
+}
+
+/// AoSoA image of a homogeneous batch (same sets/shift/ways/counter
+/// mode): lane L's row for set S lives at (S * NumLanes + L) * Ways,
+/// so one record's set row for ALL lanes is one contiguous
+/// Ways * NumLanes-entry region. That matters twice over stepping the
+/// members' own tables in place: the members' tables are separate
+/// page-aligned allocations, so the same set in every lane sits at the
+/// same page offset and the lanes' loads and stores false-alias each
+/// other in the L1 (4K aliasing — a measured ~2x throughput hit on an
+/// 8-lane batch); and a contiguous row means one prefetch covers the
+/// whole batch's next access. Pack + unpack copy the tables once per
+/// tile each way — about 1% of the lane-step work on a full 64K-event
+/// tile — and unpacking restores the members' own tables bit-exactly,
+/// so nothing outside one kernel call ever sees the packed form.
+struct PackedBatch {
+  std::vector<Addr> Tags, Targets;
+  std::vector<uint8_t> Counters;
+  NoEvictBTB::KernelView V[MaxBatchLanes]; // lane views into the image
+  bool Usable = false;
+};
+
+PackedBatch &packBatch(const NoEvictBTB::KernelView *V, size_t NumLanes) {
+  static thread_local PackedBatch B;
+  B.Usable = NumLanes > 1 && sameIndexing(V, NumLanes);
+  for (size_t L = 1; B.Usable && L < NumLanes; ++L)
+    B.Usable = V[L].TwoBitCounters == V[0].TwoBitCounters;
+  if (!B.Usable)
+    return B;
+  const size_t Sets = V[0].SetMod.divisor(), Ways = V[0].Ways;
+  const size_t Total = Sets * Ways * NumLanes;
+  B.Tags.resize(Total);
+  B.Targets.resize(Total);
+  if (V[0].TwoBitCounters)
+    B.Counters.resize(Total);
+  for (size_t L = 0; L < NumLanes; ++L) {
+    for (size_t S = 0; S < Sets; ++S) {
+      size_t Src = S * Ways, Dst = (S * NumLanes + L) * Ways;
+      std::memcpy(&B.Tags[Dst], V[L].Tags + Src, Ways * sizeof(Addr));
+      std::memcpy(&B.Targets[Dst], V[L].Targets + Src, Ways * sizeof(Addr));
+      if (V[0].TwoBitCounters)
+        std::memcpy(&B.Counters[Dst], V[L].Counters + Src, Ways);
+    }
+    B.V[L] = V[L];
+    B.V[L].Tags = B.Tags.data() + L * Ways;
+    B.V[L].Targets = B.Targets.data() + L * Ways;
+    B.V[L].Counters =
+        V[0].TwoBitCounters ? B.Counters.data() + L * Ways : nullptr;
+  }
+  return B;
+}
+
+void unpackBatch(const PackedBatch &B, const NoEvictBTB::KernelView *V,
+                 size_t NumLanes) {
+  const size_t Sets = V[0].SetMod.divisor(), Ways = V[0].Ways;
+  for (size_t L = 0; L < NumLanes; ++L)
+    for (size_t S = 0; S < Sets; ++S) {
+      size_t Src = (S * NumLanes + L) * Ways, Dst = S * Ways;
+      std::memcpy(V[L].Tags + Dst, &B.Tags[Src], Ways * sizeof(Addr));
+      std::memcpy(V[L].Targets + Dst, &B.Targets[Src], Ways * sizeof(Addr));
+      if (V[0].TwoBitCounters)
+        std::memcpy(V[L].Counters + Dst, &B.Counters[Src], Ways);
+    }
+}
+
+/// Record-outer / lane-inner: each branch record is decoded once and
+/// pushed through every lane while it sits in registers. The inner
+/// loop has no cross-lane dependencies, which is what lets the
+/// compiler vectorize it and keeps the batch semantics trivially
+/// "each lane independently".
+///
+/// The views and miss counters are stack-hoisted for the duration of
+/// the pass: their addresses never escape, so the table stores (plain
+/// uint64_t writes that COULD alias the uint64_t fields of the
+/// caller's BtbLane array) provably cannot touch them and the per-lane
+/// pointers, index parameters and miss counts stay in registers across
+/// the record loop instead of reloading after every store.
+void runBatchScalar(const DecodedChunk &D, BtbLane *Lanes, size_t NumLanes) {
+  NoEvictBTB::KernelView V[MaxBatchLanes];
+  uint64_t Misses[MaxBatchLanes] = {0};
+  for (size_t L = 0; L < NumLanes; ++L)
+    V[L] = Lanes[L].V;
+  const DecodedChunk::BranchRec *Branches = D.Branches.data();
+  size_t N = D.NumBranches;
+  PackedBatch &B = packBatch(V, NumLanes);
+  if (B.Usable) {
+    const uint32_t Stride =
+        V[0].Ways * static_cast<uint32_t>(NumLanes);
+    for (size_t I = 0; I < N; ++I) {
+      Addr Site = Branches[I].Site;
+      Addr Target = Branches[I].TargetHint & DecodedChunk::TargetMask;
+      uint32_t Base = V[0].SetMod.mod(Site >> V[0].IndexShift) * Stride;
+      for (size_t L = 0; L < NumLanes; ++L) {
+        Addr Predicted = laneStepAt(B.V[L], Base, Site, Target);
+        Misses[L] += Predicted != Target;
+      }
+    }
+    unpackBatch(B, V, NumLanes);
+  } else {
+    for (size_t I = 0; I < N; ++I) {
+      Addr Site = Branches[I].Site;
+      Addr Target = Branches[I].TargetHint & DecodedChunk::TargetMask;
+      for (size_t L = 0; L < NumLanes; ++L) {
+        Addr Predicted = laneStep(V[L], Site, Target);
+        Misses[L] += Predicted != Target;
+      }
+    }
+  }
+  for (size_t L = 0; L < NumLanes; ++L)
+    Lanes[L].Misses += Misses[L];
+}
+
+#ifdef VMIB_X86
+
+/// AVX2 lane step for 4-way sets at a precomputed set base: one
+/// compare finds the hit way, one more finds the lowest free way.
+/// State transitions on the chosen way are the scalar ones (shared
+/// helpers), so only the search is wide. \p SiteV is the broadcast of
+/// \p Site, hoisted by the caller so a batch pays it once per record,
+/// not once per lane; always_inline because a call per lane-step (the
+/// innermost operation of the whole replay path) would cost more than
+/// the wide compare saves.
+__attribute__((target("avx2"), always_inline)) inline Addr
+laneStepAvx2At(NoEvictBTB::KernelView &V, uint32_t Base, Addr Site,
+               __m256i SiteV, Addr Target) {
+  __m256i Tags = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i *>(V.Tags + Base));
+  unsigned Hit = static_cast<unsigned>(_mm256_movemask_pd(
+      _mm256_castsi256_pd(_mm256_cmpeq_epi64(Tags, SiteV))));
+  if (Hit) {
+    uint32_t W = static_cast<uint32_t>(__builtin_ctz(Hit));
+    Addr Predicted = V.Targets[Base + W];
+    if (!V.TwoBitCounters)
+      V.Targets[Base + W] = Target;
+    else
+      BTB::updateOnHit(V.Targets[Base + W], V.Counters[Base + W], Target,
+                       /*TwoBitCounters=*/true);
+    return Predicted;
+  }
+  // NoPrediction is all-ones; the lowest free way matches the scalar
+  // first-free scan.
+  unsigned Free = static_cast<unsigned>(_mm256_movemask_pd(
+      _mm256_castsi256_pd(_mm256_cmpeq_epi64(Tags, _mm256_set1_epi64x(-1)))));
+  if (Free) {
+    uint32_t W = static_cast<uint32_t>(__builtin_ctz(Free));
+    V.Tags[Base + W] = Site;
+    V.Targets[Base + W] = Target;
+    if (V.TwoBitCounters)
+      V.Counters[Base + W] = 1;
+    return NoPrediction;
+  }
+  *V.Overflowed = true;
+  V.Tags[Base] = Site;
+  V.Targets[Base] = Target;
+  return NoPrediction;
+}
+
+__attribute__((target("avx2"))) inline Addr
+laneStepAvx2(NoEvictBTB::KernelView &V, Addr Site, Addr Target) {
+  return laneStepAvx2At(V, V.SetMod.mod(Site >> V.IndexShift) * 4, Site,
+                        _mm256_set1_epi64x(static_cast<long long>(Site)),
+                        Target);
+}
+
+__attribute__((target("avx2"))) void
+runBatchAvx2(const DecodedChunk &D, BtbLane *Lanes, size_t NumLanes) {
+  // Same stack-hoisting discipline as runBatchScalar (see there).
+  // Lanes with non-4-way geometry take the scalar step inside the same
+  // pass; a batch mixes geometries freely. The homogeneous all-4-way
+  // loop — the mega-gang shape — runs over the packed AoSoA image:
+  // one set computation per record, the whole batch's set row in
+  // Ways * NumLanes contiguous entries, and one prefetch sweep per
+  // record covering it (the packed image outgrows L1, so without the
+  // prefetch each lane step stalls on an L2 round trip the other
+  // lanes cannot hide).
+  NoEvictBTB::KernelView V[MaxBatchLanes];
+  uint64_t Misses[MaxBatchLanes] = {0};
+  bool AllWide = true;
+  for (size_t L = 0; L < NumLanes; ++L) {
+    V[L] = Lanes[L].V;
+    AllWide &= V[L].Ways == 4;
+  }
+  const DecodedChunk::BranchRec *Branches = D.Branches.data();
+  size_t N = D.NumBranches;
+  PackedBatch &B = packBatch(V, AllWide ? NumLanes : 0);
+  if (AllWide && B.Usable) {
+    const uint32_t Stride = 4 * static_cast<uint32_t>(NumLanes);
+    const Addr *PackedTags = B.Tags.data();
+    constexpr size_t Ahead = 8;
+    for (size_t I = 0; I < N; ++I) {
+      if (I + Ahead < N) {
+        uint32_t PBase =
+            V[0].SetMod.mod(Branches[I + Ahead].Site >> V[0].IndexShift) *
+            Stride;
+        for (uint32_t Off = 0; Off < Stride; Off += 8)
+          _mm_prefetch(reinterpret_cast<const char *>(PackedTags + PBase +
+                                                      Off),
+                       _MM_HINT_T0);
+      }
+      Addr Site = Branches[I].Site;
+      Addr Target = Branches[I].TargetHint & DecodedChunk::TargetMask;
+      uint32_t Base = V[0].SetMod.mod(Site >> V[0].IndexShift) * Stride;
+      __m256i SiteV = _mm256_set1_epi64x(static_cast<long long>(Site));
+      for (size_t L = 0; L < NumLanes; ++L) {
+        Addr Predicted = laneStepAvx2At(B.V[L], Base, Site, SiteV, Target);
+        Misses[L] += Predicted != Target;
+      }
+    }
+    unpackBatch(B, V, NumLanes);
+  } else {
+    bool Wide[MaxBatchLanes];
+    for (size_t L = 0; L < NumLanes; ++L)
+      Wide[L] = V[L].Ways == 4;
+    for (size_t I = 0; I < N; ++I) {
+      Addr Site = Branches[I].Site;
+      Addr Target = Branches[I].TargetHint & DecodedChunk::TargetMask;
+      for (size_t L = 0; L < NumLanes; ++L) {
+        Addr Predicted = Wide[L] ? laneStepAvx2(V[L], Site, Target)
+                                 : laneStep(V[L], Site, Target);
+        Misses[L] += Predicted != Target;
+      }
+    }
+  }
+  for (size_t L = 0; L < NumLanes; ++L)
+    Lanes[L].Misses += Misses[L];
+}
+
+bool cpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#else
+
+void runBatchAvx2(const DecodedChunk &D, BtbLane *Lanes, size_t NumLanes) {
+  runBatchScalar(D, Lanes, NumLanes);
+}
+
+bool cpuHasAvx2() { return false; }
+
+#endif // VMIB_X86
+
+} // namespace
+
+KernelMode gang::kernelMode() {
+  // Re-read per call (it's one getenv per GangReplayer::run): verify
+  // mode flips the knob with setenv between in-process replays to
+  // bit-compare the kernels.
+  const char *Env = std::getenv("VMIB_GANG_KERNEL");
+  if (Env != nullptr && (std::strcmp(Env, "batched") == 0 ||
+                         std::strcmp(Env, "simd") == 0))
+    return KernelMode::Batched;
+  return KernelMode::Scalar;
+}
+
+bool gang::batchedKernelUsesAvx2() {
+  // VMIB_GANG_AVX2=off forces the portable batch loop on capable
+  // hosts, so the scalar fallback is testable (and benchmarkable)
+  // everywhere. Checked once: unlike the kernel-mode knob this never
+  // needs to flip mid-process for verify (both lane steps are already
+  // bit-compared by the kernel axis).
+  static const bool Avx2 = [] {
+    const char *Env = std::getenv("VMIB_GANG_AVX2");
+    if (Env != nullptr && std::strcmp(Env, "off") == 0)
+      return false;
+    return cpuHasAvx2();
+  }();
+  return Avx2;
+}
+
+void gang::runDecodedBranchesBatched(const DecodedChunk &D, BtbLane *Lanes,
+                                     size_t NumLanes) {
+  if (batchedKernelUsesAvx2())
+    runBatchAvx2(D, Lanes, NumLanes);
+  else
+    runBatchScalar(D, Lanes, NumLanes);
+}

@@ -1,0 +1,82 @@
+//===- vmcore/GangKernels.h - Batched gang replay kernels -------*- C++ -*-===//
+///
+/// \file
+/// AoSoA-batched replay kernels: one instruction stream advances up to
+/// MaxBatchLanes same-fingerprint gang members over a decoded tile,
+/// instead of one full tile pass per member. The batch dimension is
+/// the *member*, not the event — every lane sees the identical
+/// (site, target) sequence the group's decoder produced, and each
+/// lane's state transitions replicate NoEvictBTB::predictAndUpdate
+/// exactly, so batched counters are bit-identical to the scalar
+/// kernels (the `--verify` contract; pinned by tests/GangReplayTest).
+///
+/// Two implementations sit behind one entry point: a
+/// compiler-vectorizable scalar loop (record-outer, lane-inner) and an
+/// AVX2 path selected at runtime via __builtin_cpu_supports that
+/// searches a 4-way set's tags in one 256-bit compare. Which one runs
+/// never changes the results, only the throughput.
+///
+/// Kernel selection (scalar vs batched) is a process-wide knob:
+/// VMIB_GANG_KERNEL, re-exported by sweep_driver's --kernel flag so
+/// forked shard workers agree with the orchestrator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_VMCORE_GANGKERNELS_H
+#define VMIB_VMCORE_GANGKERNELS_H
+
+#include "uarch/BTB.h"
+#include "vmcore/GangReplayer.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vmib {
+namespace gang {
+
+/// Which per-tile kernel GangReplayer::run uses for batchable members.
+enum class KernelMode {
+  Scalar,  ///< one member per tile pass (the pre-batching kernels)
+  Batched, ///< up to MaxBatchLanes members per tile pass
+};
+
+/// The process-wide kernel selection: VMIB_GANG_KERNEL "simd" /
+/// "batched" -> Batched, unset / "scalar" -> Scalar (the default).
+/// Scalar is the measured winner on realistic heterogeneous gangs:
+/// a per-member pass keeps that member's BTB tables L1-hot for the
+/// whole trace, while a batched tile pass cycles every lane's tables
+/// through the same cache — bench/real_dispatch_bench's capacity-sweep
+/// gang runs ~300M events/s scalar vs ~260M batched. Batched stays a
+/// first-class opt-in (always bit-identical, enforced by --verify) for
+/// gangs wide enough that re-reading the decoded tile per member
+/// dominates. Re-read on every call (one getenv per gang run), so
+/// verify mode can flip it between in-process replays with setenv.
+KernelMode kernelMode();
+
+/// Whether the batched kernel dispatches to the AVX2 tag-search path
+/// on this machine (reporting only — both paths are bit-identical).
+bool batchedKernelUsesAvx2();
+
+/// Max members one batched tile pass advances. Sized so the lanes'
+/// hot set rows stay in L1/L2 alongside the tile: eight 4-way sets of
+/// tags+targets are 512 bytes per touched index.
+constexpr size_t MaxBatchLanes = 8;
+
+/// One lane of a batched tile pass: a raw-pointer view of one
+/// member's NoEvictBTB plus that member's miss count for the tile.
+struct BtbLane {
+  NoEvictBTB::KernelView V;
+  uint64_t Misses = 0;
+};
+
+/// Advances all \p NumLanes lanes over the decoded branch stream of
+/// \p D. Per lane, Misses accumulates exactly what
+/// runDecodedBranches(D, *lane's NoEvictBTB) would have returned, and
+/// the lane's tables and overflow flag end in the identical state.
+void runDecodedBranchesBatched(const DecodedChunk &D, BtbLane *Lanes,
+                               size_t NumLanes);
+
+} // namespace gang
+} // namespace vmib
+
+#endif // VMIB_VMCORE_GANGKERNELS_H

@@ -1,5 +1,6 @@
 //===- vmcore/GangReplayer.cpp --------------------------------------------===//
 
+#include "vmcore/GangKernels.h"
 #include "vmcore/GangReplayer.h"
 
 #include <algorithm>
@@ -67,6 +68,19 @@ uint64_t elapsedNs(Clock::time_point Since) {
 struct Group {
   std::unique_ptr<gang::GroupDecoder> Decoder;
   std::vector<size_t> MemberIdx;
+};
+
+/// The schedulable quantum of a gang pass over one tile. A singleton
+/// unit replays one member (fused or decoded, as before); a multi-
+/// member unit is an AoSoA batch — up to MaxBatchLanes batchable
+/// members of ONE decode group that a single GangKernels pass advances
+/// together. Units replaced members as what the workers own, claim,
+/// steal and cost-track: a batch must execute as one quantum (its
+/// lanes share an instruction stream), so the scheduling layer cannot
+/// be allowed to split it.
+struct ExecUnit {
+  std::vector<size_t> MemberIdx;
+  int Group = -1; ///< decode group, or -1 for a fused singleton
 };
 
 /// One slot of the parallel tile ring. The decoder publishes a tile by
@@ -149,8 +163,63 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
     }
   }
 
-  if (Threads > Members.size())
-    Threads = static_cast<unsigned>(Members.size());
+  // Pack the members into execution units. Within a decode group,
+  // members exposing a batchable no-evict BTB are chunked into AoSoA
+  // batches of up to MaxBatchLanes (under the batched kernel mode);
+  // everything else — fused members, idealised configs, non-BTB
+  // predictors — stays a singleton unit running the scalar kernels
+  // unchanged. Batching only happens *within* a group: all lanes of a
+  // batch consume the identical decoded stream.
+  std::vector<ExecUnit> Units;
+  {
+    const bool Batched = gang::kernelMode() == gang::KernelMode::Batched;
+    std::vector<std::vector<size_t>> Packable(Groups.size());
+    for (size_t I : Fused)
+      Units.push_back({{I}, -1});
+    for (size_t G = 0; G < Groups.size(); ++G)
+      for (size_t I : Groups[G].MemberIdx) {
+        if (Batched && Members[I].Member->batchedBtb() != nullptr)
+          Packable[G].push_back(I);
+        else
+          Units.push_back({{I}, static_cast<int>(G)});
+      }
+    // Batch counts per group: at least what the lane cap demands, but
+    // never so few that the pool goes idle — batching amortizes work
+    // per unit, it must not shrink the schedulable unit supply below
+    // the worker count (a gang of N same-geometry members on an
+    // N-thread pool must still fan out, just in narrower batches).
+    // Lanes are independent, so the split never changes results.
+    std::vector<size_t> Want(Groups.size());
+    size_t Have = Units.size();
+    for (size_t G = 0; G < Groups.size(); ++G) {
+      Want[G] = (Packable[G].size() + gang::MaxBatchLanes - 1) /
+                gang::MaxBatchLanes;
+      Have += Want[G];
+    }
+    for (bool Grew = true; Grew && Have < Threads;) {
+      Grew = false;
+      for (size_t G = 0; G < Groups.size() && Have < Threads; ++G)
+        if (Want[G] < Packable[G].size()) {
+          ++Want[G];
+          ++Have;
+          Grew = true;
+        }
+    }
+    for (size_t G = 0; G < Groups.size(); ++G) {
+      const std::vector<size_t> &P = Packable[G];
+      for (size_t B = 0, Begin = 0; B < Want[G]; ++B) {
+        size_t Len = P.size() / Want[G] + (B < P.size() % Want[G] ? 1 : 0);
+        Units.push_back({std::vector<size_t>(P.begin() + Begin,
+                                             P.begin() + Begin + Len),
+                         static_cast<int>(G)});
+        Begin += Len;
+      }
+    }
+  }
+  const size_t NU = Units.size();
+
+  if (Threads > NU)
+    Threads = static_cast<unsigned>(NU);
 
   Stats LocalStats;
   Stats &St = StatsOut ? *StatsOut : LocalStats;
@@ -159,38 +228,89 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
   const size_t M = Members.size();
   bool Pooled = Threads > 1 && Trace.numEvents() != 0;
 
+  // Live-member count per group: once a group's last member drops,
+  // decoding for it stops. In the pooled modes a worker decrements
+  // only after its member stopped consuming, so the count can never
+  // read zero while a consumer of a future tile is still active.
+  std::vector<std::atomic<unsigned>> GroupAlive(Groups.size());
+  for (size_t G = 0; G < Groups.size(); ++G)
+    GroupAlive[G].store(static_cast<unsigned>(Groups[G].MemberIdx.size()),
+                        std::memory_order_relaxed);
+
+  auto DropMember = [&](size_t I) {
+    Members[I].Active = false;
+    if (GroupOf[I] >= 0)
+      GroupAlive[GroupOf[I]].fetch_sub(1, std::memory_order_relaxed);
+  };
+
+  /// Advances one unit over events [Begin, End) (\p C is the group's
+  /// decoded tile, null for fused units). \returns how many members
+  /// actually executed. Singleton units run the scalar kernels exactly
+  /// as before; batch units gather their live lanes' state views, make
+  /// one batched kernel pass, then account each lane. A lane that
+  /// overflows drops out of the gang (and out of future lane
+  /// gatherings) just like a scalar member — finish() re-runs it
+  /// through the exact tier.
+  auto RunUnitSpan = [&](ExecUnit &U, const gang::DecodedChunk *C,
+                         size_t Begin, size_t End) -> size_t {
+    if (U.MemberIdx.size() == 1) {
+      size_t I = U.MemberIdx[0];
+      Slot &Mem = Members[I];
+      if (!Mem.Active)
+        return 0;
+      bool Ok = C == nullptr ? Mem.Member->runChunk(Trace, Begin, End)
+                             : Mem.Member->runChunkDecoded(*C);
+      if (!Ok)
+        DropMember(I);
+      return 1;
+    }
+    gang::BtbLane Lanes[gang::MaxBatchLanes];
+    size_t LaneOf[gang::MaxBatchLanes];
+    size_t NumLanes = 0;
+    for (size_t I : U.MemberIdx) {
+      if (!Members[I].Active)
+        continue;
+      Lanes[NumLanes].V = Members[I].Member->batchedBtb()->kernelView();
+      Lanes[NumLanes].Misses = 0;
+      LaneOf[NumLanes] = I;
+      ++NumLanes;
+    }
+    if (NumLanes == 0)
+      return 0;
+    gang::runDecodedBranchesBatched(*C, Lanes, NumLanes);
+    for (size_t L = 0; L < NumLanes; ++L)
+      if (!Members[LaneOf[L]].Member->applyBatchedTile(*C, Lanes[L].Misses))
+        DropMember(LaneOf[L]);
+    return NumLanes;
+  };
+
+  auto UnitActive = [&](const ExecUnit &U) {
+    for (size_t I : U.MemberIdx)
+      if (Members[I].Active)
+        return true;
+    return false;
+  };
+
   if (!Pooled) {
-    // Serial chunk-major sweep: every active member crosses the tile
+    // Serial chunk-major sweep: every active unit crosses the tile
     // before the cursor advances — group layouts decode once, then
-    // their members consume the SoA streams; fused members replay the
+    // their units consume the SoA streams; fused members replay the
     // raw events. A member that overflows its optimistic models drops
     // out here and re-runs through the exact tier in finish().
     DispatchTrace::ChunkCursor Cursor(Trace, ChunkEvents);
     while (Cursor.next()) {
-      for (size_t I : Fused) {
-        Slot &Mem = Members[I];
-        if (Mem.Active)
-          Mem.Active =
-              Mem.Member->runChunk(Trace, Cursor.begin(), Cursor.end());
-      }
-      for (Group &G : Groups) {
-        bool AnyActive = false;
-        for (size_t I : G.MemberIdx)
-          AnyActive |= Members[I].Active;
-        if (!AnyActive)
-          continue; // drops are permanent; stop decoding for this group
-        G.Decoder->decode(Trace, Cursor.begin(), Cursor.end());
-        for (size_t I : G.MemberIdx) {
-          Slot &Mem = Members[I];
-          if (Mem.Active)
-            Mem.Active = Mem.Member->runChunkDecoded(G.Decoder->chunk());
-        }
-      }
+      for (size_t G = 0; G < Groups.size(); ++G)
+        if (GroupAlive[G].load(std::memory_order_relaxed) != 0)
+          Groups[G].Decoder->decode(Trace, Cursor.begin(), Cursor.end());
+      for (ExecUnit &U : Units)
+        RunUnitSpan(U,
+                    U.Group < 0 ? nullptr : &Groups[U.Group].Decoder->chunk(),
+                    Cursor.begin(), Cursor.end());
     }
   } else {
     // Shared-tile worker pool: the calling thread decodes tiles into a
-    // small ring; Threads workers replay members off the published
-    // slots. Under either schedule a member has exactly one owner per
+    // small ring; Threads workers replay units off the published
+    // slots. Under either schedule a unit has exactly one owner per
     // tile and crosses tiles in stream order, so every member sees
     // exactly the serial event sequence and counters are bit-identical
     // for any thread count and any steal schedule; the ring only
@@ -204,21 +324,13 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
       for (Group &G : Groups)
         S.Chunks.push_back(G.Decoder->makeChunk());
       if (Dynamic) {
-        S.Order.resize(M);
-        S.OwnerOf.assign(M, 0);
-        S.Claimed = std::make_unique<std::atomic<uint8_t>[]>(M);
-        for (size_t I = 0; I < M; ++I)
+        S.Order.resize(NU);
+        S.OwnerOf.assign(NU, 0);
+        S.Claimed = std::make_unique<std::atomic<uint8_t>[]>(NU);
+        for (size_t I = 0; I < NU; ++I)
           S.Claimed[I].store(0, std::memory_order_relaxed);
       }
     }
-    // Live-member count per group: once a group's last member drops,
-    // the decoder stops decoding for it. A worker decrements only
-    // after its member stopped consuming, so the count can never read
-    // zero while a consumer of a future tile is still active.
-    std::vector<std::atomic<unsigned>> GroupAlive(Groups.size());
-    for (size_t G = 0; G < Groups.size(); ++G)
-      GroupAlive[G].store(static_cast<unsigned>(Groups[G].MemberIdx.size()),
-                          std::memory_order_relaxed);
 
     std::atomic<bool> Abort{false};
     std::exception_ptr FirstError;
@@ -235,12 +347,6 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
     const unsigned NumWorkers = Threads;
     St.Workers.assign(NumWorkers, Stats::Worker());
 
-    auto DropMember = [&](size_t I) {
-      Members[I].Active = false;
-      if (GroupOf[I] >= 0)
-        GroupAlive[GroupOf[I]].fetch_sub(1, std::memory_order_relaxed);
-    };
-
     // The dynamic planner always needs the per-execution cost samples;
     // a static run only pays the two clock reads per (member, tile)
     // when the caller asked for stats — the PR-4 hot path stays
@@ -248,27 +354,24 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
     // the replay work itself).
     const bool Timed = Dynamic || StatsOut != nullptr;
 
-    /// Replays member \p I over the published tile in \p S, with the
+    /// Replays unit \p UI over the published tile in \p S, with the
     /// per-execution accounting both schedules share. \returns the
     /// measured nanoseconds (the dynamic scheduler's cost sample; 0
     /// when untimed).
-    auto ReplayMemberTile = [&](size_t I, TileSlot &S,
-                                Stats::Worker &WS) -> uint64_t {
+    auto ReplayUnitTile = [&](size_t UI, TileSlot &S,
+                              Stats::Worker &WS) -> uint64_t {
       Clock::time_point T0;
       if (Timed)
         T0 = Clock::now();
-      Slot &Mem = Members[I];
-      bool Ok = GroupOf[I] < 0
-                    ? Mem.Member->runChunk(Trace, S.Begin, S.End)
-                    : Mem.Member->runChunkDecoded(S.Chunks[GroupOf[I]]);
+      ExecUnit &U = Units[UI];
+      size_t Ran = RunUnitSpan(
+          U, U.Group < 0 ? nullptr : &S.Chunks[U.Group], S.Begin, S.End);
       uint64_t Ns = 0;
       if (Timed) {
         Ns = elapsedNs(T0);
         WS.BusySeconds += static_cast<double>(Ns) * 1e-9;
       }
-      WS.EventsReplayed += S.End - S.Begin;
-      if (!Ok)
-        DropMember(I);
+      WS.EventsReplayed += Ran * (S.End - S.Begin);
       return Ns;
     };
 
@@ -287,43 +390,46 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
       return true;
     };
 
-    // Per-member serialization and cost state of the dynamic
-    // scheduler. DoneTile[I] counts the tiles member I completed: the
-    // claimant of (I, T) spins until DoneTile[I] == T (acquire) and
-    // stores T+1 (release) afterwards — the happens-before edge that
-    // carries member state between owners across tiles. CostNs[I] is a
-    // relaxed EWMA of the member's per-tile replay cost; it only
-    // steers the plan, never the results.
+    // Per-unit serialization and cost state of the dynamic scheduler.
+    // DoneTile[I] counts the tiles unit I completed: the claimant of
+    // (I, T) spins until DoneTile[I] == T (acquire) and stores T+1
+    // (release) afterwards — the happens-before edge that carries the
+    // unit's member state between owners across tiles. CostNs[I] is a
+    // relaxed EWMA of the unit's per-tile replay cost; it only steers
+    // the plan, never the results.
     std::unique_ptr<std::atomic<uint64_t>[]> DoneTile;
     std::unique_ptr<std::atomic<uint64_t>[]> CostNs;
     if (Dynamic) {
-      DoneTile = std::make_unique<std::atomic<uint64_t>[]>(M);
-      CostNs = std::make_unique<std::atomic<uint64_t>[]>(M);
-      for (size_t I = 0; I < M; ++I) {
-        DoneTile[I].store(0, std::memory_order_relaxed);
-        // Seeded costs (persisted EWMAs of a previous run) make even
-        // tile 0's plan cost-weighted; the EWMA update then absorbs
-        // them like any other past sample.
-        CostNs[I].store(I < SeedCostNs.size() ? SeedCostNs[I] : 0,
-                        std::memory_order_relaxed);
+      DoneTile = std::make_unique<std::atomic<uint64_t>[]>(NU);
+      CostNs = std::make_unique<std::atomic<uint64_t>[]>(NU);
+      for (size_t UI = 0; UI < NU; ++UI) {
+        DoneTile[UI].store(0, std::memory_order_relaxed);
+        // Seeded costs (persisted per-member EWMAs of a previous run)
+        // make even tile 0's plan cost-weighted; a batch unit's seed
+        // is the sum over its lanes. The EWMA update then absorbs them
+        // like any other past sample.
+        uint64_t Seed = 0;
+        for (size_t I : Units[UI].MemberIdx)
+          Seed += I < SeedCostNs.size() ? SeedCostNs[I] : 0;
+        CostNs[UI].store(Seed, std::memory_order_relaxed);
       }
     }
 
     auto StaticWorker = [&](unsigned W) {
       Stats::Worker &WS = St.Workers[W];
-      // Near-equal contiguous member slice; the first (M % workers)
-      // slices carry one extra member.
-      size_t Base = M / NumWorkers, Rem = M % NumWorkers;
-      size_t MBegin = W * Base + std::min<size_t>(W, Rem);
-      size_t MEnd = MBegin + Base + (W < Rem ? 1 : 0);
+      // Near-equal contiguous unit slice; the first (NU % workers)
+      // slices carry one extra unit.
+      size_t Base = NU / NumWorkers, Rem = NU % NumWorkers;
+      size_t UBegin = W * Base + std::min<size_t>(W, Rem);
+      size_t UEnd = UBegin + Base + (W < Rem ? 1 : 0);
       try {
         for (size_t T = 0; T < NumTiles; ++T) {
           TileSlot &S = Ring[T % Slots];
           if (!AwaitTile(S, T, WS))
             return;
-          for (size_t I = MBegin; I < MEnd; ++I)
-            if (Members[I].Active)
-              (void)ReplayMemberTile(I, S, WS);
+          for (size_t UI = UBegin; UI < UEnd; ++UI)
+            if (UnitActive(Units[UI]))
+              (void)ReplayUnitTile(UI, S, WS);
           S.Pending.fetch_sub(1, std::memory_order_release);
         }
       } catch (...) {
@@ -339,17 +445,17 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
           if (!AwaitTile(S, T, WS))
             return;
           // Pass 0 claims the worker's cost-weighted plan slice; pass
-          // 1 steals members other workers have not claimed yet AND
+          // 1 steals units other workers have not claimed yet AND
           // whose previous tile already completed (a stealer must not
-          // park behind the hot member while ready work idles); pass 2
+          // park behind the hot unit while ready work idles); pass 2
           // is the unconditional coverage sweep — it claims whatever
           // is left, waiting as needed. A single worker's pass-0 +
-          // pass-2 sweeps cover every member, so by the time anyone
-          // advances past tile T, all of tile T's members are claimed
+          // pass-2 sweeps cover every unit, so by the time anyone
+          // advances past tile T, all of tile T's units are claimed
           // by *someone* who will execute them — the progress argument
           // behind the DoneTile spins.
           for (int Pass = 0; Pass < 3; ++Pass) {
-            for (size_t K = 0; K < M; ++K) {
+            for (size_t K = 0; K < NU; ++K) {
               uint32_t I = S.Order[K];
               if ((S.OwnerOf[I] == W) != (Pass == 0))
                 continue;
@@ -359,15 +465,15 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
                 continue; // not ready — leave it for a readier thief
               if (S.Claimed[I].exchange(1, std::memory_order_relaxed) != 0)
                 continue;
-              // One owner per member per tile: serialize against the
-              // member's previous tile before touching its state.
+              // One owner per unit per tile: serialize against the
+              // unit's previous tile before touching its state.
               while (DoneTile[I].load(std::memory_order_acquire) != T) {
                 if (Abort.load(std::memory_order_relaxed))
                   return;
                 std::this_thread::yield();
               }
-              if (Members[I].Active) {
-                uint64_t Ns = ReplayMemberTile(I, S, WS);
+              if (UnitActive(Units[I])) {
+                uint64_t Ns = ReplayUnitTile(I, S, WS);
                 uint64_t Prev = CostNs[I].load(std::memory_order_relaxed);
                 CostNs[I].store(Prev == 0 ? Ns : (3 * Prev + Ns) / 4,
                                 std::memory_order_relaxed);
@@ -394,20 +500,20 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
       }
     };
 
-    // Cost-weighted plan for one tile: claim order is members by
+    // Cost-weighted plan for one tile: claim order is units by
     // descending measured cost, the owner table a greedy LPT
     // assignment onto the least-loaded worker. Tile 0 has no samples
     // yet (all costs zero), so the stable sort keeps add order and LPT
-    // deals members round-robin; from tile 1 on the plan follows the
+    // deals units round-robin; from tile 1 on the plan follows the
     // measured costs — the "cost-weighted initial slices from the
     // first tiles". Decoder-only state, published with the slot.
     std::vector<uint64_t> PlanLoad(NumWorkers);
-    std::vector<uint64_t> CostSnap(Dynamic ? M : 0);
+    std::vector<uint64_t> CostSnap(Dynamic ? NU : 0);
     auto PlanTile = [&](TileSlot &S) {
       // Snapshot the costs first: workers update the EWMAs while this
       // runs, and a comparator whose answers shift mid-sort violates
       // strict weak ordering.
-      for (size_t I = 0; I < M; ++I) {
+      for (size_t I = 0; I < NU; ++I) {
         CostSnap[I] = CostNs[I].load(std::memory_order_relaxed);
         S.Order[I] = static_cast<uint32_t>(I);
       }
@@ -416,7 +522,7 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
                          return CostSnap[A] > CostSnap[B];
                        });
       std::fill(PlanLoad.begin(), PlanLoad.end(), 0);
-      for (size_t K = 0; K < M; ++K) {
+      for (size_t K = 0; K < NU; ++K) {
         uint32_t I = S.Order[K];
         unsigned Best = 0;
         for (unsigned W = 1; W < NumWorkers; ++W)
@@ -425,7 +531,7 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
         S.OwnerOf[I] = static_cast<uint16_t>(Best);
         PlanLoad[Best] += std::max<uint64_t>(CostSnap[I], 1);
       }
-      for (size_t I = 0; I < M; ++I)
+      for (size_t I = 0; I < NU; ++I)
         S.Claimed[I].store(0, std::memory_order_relaxed);
     };
 
@@ -440,10 +546,10 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
 
     // Decoder loop (this thread): refill each ring slot once it
     // drained, decode the live groups, plan (dynamic), publish. A
-    // dynamic slot drains after M member executions plus one sweep
+    // dynamic slot drains after NU unit executions plus one sweep
     // token per worker (see DynamicWorker).
     const unsigned PendingInit =
-        Dynamic ? static_cast<unsigned>(M) + NumWorkers : NumWorkers;
+        Dynamic ? static_cast<unsigned>(NU) + NumWorkers : NumWorkers;
     try {
       DispatchTrace::ChunkCursor Cursor(Trace, ChunkCapacity);
       for (size_t T = 0; T < NumTiles; ++T) {
@@ -480,9 +586,16 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
     if (FirstError)
       std::rethrow_exception(FirstError);
     if (Dynamic) {
-      FinalCostNs.resize(M);
-      for (size_t I = 0; I < M; ++I)
-        FinalCostNs[I] = CostNs[I].load(std::memory_order_relaxed);
+      // Per-member final costs: a batch unit's EWMA is spread evenly
+      // over its lanes, so persisted .vmibcost sidecars stay keyed by
+      // member and pre-balance future runs under any lane packing.
+      FinalCostNs.assign(M, 0);
+      for (size_t UI = 0; UI < NU; ++UI) {
+        uint64_t PerMember = CostNs[UI].load(std::memory_order_relaxed) /
+                             Units[UI].MemberIdx.size();
+        for (size_t I : Units[UI].MemberIdx)
+          FinalCostNs[I] = PerMember;
+      }
     }
   }
 

@@ -1,0 +1,224 @@
+//===- workloads/SynthSuite.cpp - Synthetic Markov workloads --------------===//
+
+#include "workloads/SynthSuite.h"
+
+#include "forthvm/ForthOpcodes.h"
+#include "support/Random.h"
+#include "vmcore/DispatchSim.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace vmib;
+
+namespace {
+
+/// Bump on ANY change to the program or walk generation: the hash is
+/// what ties cached traces, sidecars and store cells to the generator
+/// semantics, so a version bump retires every stale artifact at once.
+constexpr uint64_t GeneratorVersion = 1;
+
+/// Program shape. 256 blocks of 16 instructions exercise realistic
+/// piece counts (~4K instructions — between the real suite's smallest
+/// and largest programs) while the terminator-per-block structure puts
+/// one indirect dispatch every 16 events, near the real suite's ratio.
+constexpr uint32_t NumBlocks = 256;
+constexpr uint32_t BlockLen = 16;
+/// Entropy 100 picks uniformly among this many successors per site.
+constexpr uint32_t MaxFanOut = 64;
+
+/// Independent deterministic sub-seeds for the program chain and the
+/// trace walk, so changing the walk length never perturbs the program.
+uint64_t subSeed(uint64_t Seed, uint64_t Stream) {
+  SplitMix64 S(Seed ^ (0x9e3779b97f4a7c15ULL * (Stream + 1)));
+  return S.next();
+}
+
+uint32_t fanOutFor(uint32_t EntropyPct) {
+  uint32_t MaxFan = NumBlocks < MaxFanOut ? NumBlocks : MaxFanOut;
+  return 1 + (EntropyPct * (MaxFan - 1)) / 100;
+}
+
+/// The per-terminator successor tables: Succ[B*Fan .. B*Fan+Fan) are
+/// the blocks terminator B may jump to. Rebuilt identically by program
+/// construction and walk generation (both only need P.Seed).
+std::vector<uint32_t> successorTable(const SynthWorkloadParams &P) {
+  uint32_t Fan = fanOutFor(P.EntropyPct);
+  Xoroshiro128 Rng(subSeed(P.Seed, 1));
+  std::vector<uint32_t> Succ(static_cast<size_t>(NumBlocks) * Fan);
+  for (uint32_t &S : Succ)
+    S = static_cast<uint32_t>(Rng.nextBelow(NumBlocks));
+  return Succ;
+}
+
+uint64_t mix64(uint64_t H, uint64_t V) {
+  for (unsigned I = 0; I < 8; ++I) {
+    H ^= (V >> (8 * I)) & 0xFF;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+bool parseU64(const char *&P, uint64_t &Out) {
+  if (*P < '0' || *P > '9')
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(P, &End, 10);
+  P = End;
+  return true;
+}
+
+} // namespace
+
+bool vmib::isSynthBenchmarkName(const std::string &Name) {
+  return Name.rfind("synth-", 0) == 0;
+}
+
+bool vmib::parseSynthBenchmarkName(const std::string &Name,
+                                   SynthWorkloadParams &P,
+                                   std::string *Error) {
+  auto Fail = [&](const char *Why) {
+    if (Error)
+      *Error = "synthetic benchmark '" + Name + "': " + Why +
+               " (expected synth-markov-s<seed>-n<events>[k|m|g]-e<0..100>)";
+    return false;
+  };
+  const char Prefix[] = "synth-markov-s";
+  if (Name.rfind(Prefix, 0) != 0)
+    return Fail("unknown family");
+  const char *Ptr = Name.c_str() + sizeof(Prefix) - 1;
+  if (!parseU64(Ptr, P.Seed))
+    return Fail("missing seed");
+  if (Ptr[0] != '-' || Ptr[1] != 'n')
+    return Fail("missing -n<events>");
+  Ptr += 2;
+  if (!parseU64(Ptr, P.NumEvents))
+    return Fail("missing event count");
+  if (*Ptr == 'k' || *Ptr == 'm' || *Ptr == 'g') {
+    uint64_t Scale = *Ptr == 'k' ? 1000ull
+                                 : (*Ptr == 'm' ? 1000000ull : 1000000000ull);
+    if (P.NumEvents > ~0ull / Scale)
+      return Fail("event count overflows");
+    P.NumEvents *= Scale;
+    ++Ptr;
+  }
+  if (P.NumEvents == 0)
+    return Fail("event count must be >= 1");
+  if (Ptr[0] != '-' || Ptr[1] != 'e')
+    return Fail("missing -e<entropy>");
+  Ptr += 2;
+  uint64_t Entropy = 0;
+  if (!parseU64(Ptr, Entropy) || Entropy > 100)
+    return Fail("entropy must be 0..100");
+  if (*Ptr != '\0')
+    return Fail("trailing characters");
+  P.EntropyPct = static_cast<uint32_t>(Entropy);
+  return true;
+}
+
+std::string vmib::synthBenchmarkName(const SynthWorkloadParams &P) {
+  uint64_t N = P.NumEvents;
+  const char *Suffix = "";
+  if (N != 0 && N % 1000000000ull == 0) {
+    N /= 1000000000ull;
+    Suffix = "g";
+  } else if (N != 0 && N % 1000000ull == 0) {
+    N /= 1000000ull;
+    Suffix = "m";
+  } else if (N != 0 && N % 1000ull == 0) {
+    N /= 1000ull;
+    Suffix = "k";
+  }
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "synth-markov-s%llu-n%llu%s-e%u",
+                static_cast<unsigned long long>(P.Seed),
+                static_cast<unsigned long long>(N), Suffix, P.EntropyPct);
+  return Buf;
+}
+
+uint64_t vmib::synthWorkloadHash(const SynthWorkloadParams &P) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (const char *C = "vmib-synth-markov"; *C; ++C) {
+    H ^= static_cast<unsigned char>(*C);
+    H *= 0x100000001b3ULL;
+  }
+  H = mix64(H, GeneratorVersion);
+  H = mix64(H, P.Seed);
+  H = mix64(H, P.NumEvents);
+  H = mix64(H, P.EntropyPct);
+  return H;
+}
+
+ForthUnit vmib::buildSynthUnit(const SynthWorkloadParams &P) {
+  const OpcodeSet &Ops = forth::opcodeSet();
+  // The straight-line body vocabulary: every non-control opcode.
+  std::vector<Opcode> Work;
+  for (Opcode Op = 0; Op < static_cast<Opcode>(Ops.size()); ++Op)
+    if (Ops.info(Op).Branch == BranchKind::None)
+      Work.push_back(Op);
+
+  // Seeded first-order Markov chain over the vocabulary: each opcode
+  // gets a 4-way candidate row, and the chain walks rows across the
+  // whole program. This gives the generated code the skewed opcode
+  // *pair* distribution the static superinstruction selector feeds on,
+  // instead of iid noise.
+  Xoroshiro128 Rng(subSeed(P.Seed, 0));
+  constexpr uint32_t RowWidth = 4;
+  std::vector<uint32_t> Rows(Work.size() * RowWidth);
+  for (uint32_t &R : Rows)
+    R = static_cast<uint32_t>(Rng.nextBelow(Work.size()));
+
+  ForthUnit U;
+  VMProgram &Prog = U.Program;
+  Prog.Name = synthBenchmarkName(P);
+  Prog.Code.reserve(static_cast<size_t>(NumBlocks) * BlockLen + 1);
+  uint32_t Chain = 0;
+  for (uint32_t Blk = 0; Blk < NumBlocks; ++Blk) {
+    Prog.FunctionEntries.push_back(Blk * BlockLen);
+    for (uint32_t J = 0; J + 1 < BlockLen; ++J) {
+      Chain = Rows[Chain * RowWidth + Rng.nextBelow(RowWidth)];
+      VMInstr I;
+      I.Op = Work[Chain];
+      if (I.Op == forth::LIT)
+        I.A = static_cast<int64_t>(Rng.nextBelow(1 << 16));
+      Prog.Code.push_back(I);
+    }
+    // Block terminator: the indirect dispatch whose target the walk
+    // draws from this site's successor table.
+    Prog.Code.push_back({forth::EXECUTE, 0, 0});
+  }
+  Prog.Code.push_back({forth::HALT, 0, 0});
+  Prog.Entry = 0;
+  U.Here = 0;
+  return U;
+}
+
+void vmib::generateSynthTrace(const SynthWorkloadParams &P,
+                              const VMProgram &Program,
+                              DispatchTrace &Trace) {
+  Trace.clear();
+  Trace.reserve(P.NumEvents);
+  if (P.NumEvents == 0)
+    return;
+  (void)Program;
+  const uint32_t Fan = fanOutFor(P.EntropyPct);
+  const std::vector<uint32_t> Succ = successorTable(P);
+  Xoroshiro128 Walk(subSeed(P.Seed, 2));
+  uint32_t Ip = 0;
+  for (uint64_t E = 0; E + 1 < P.NumEvents; ++E) {
+    uint32_t Next;
+    if (Ip % BlockLen == BlockLen - 1) {
+      uint32_t Site = Ip / BlockLen;
+      uint32_t Blk = Succ[static_cast<size_t>(Site) * Fan +
+                          (Fan == 1 ? 0 : Walk.nextBelow(Fan))];
+      Next = Blk * BlockLen;
+    } else {
+      Next = Ip + 1;
+    }
+    Trace.append(Ip, Next);
+    Ip = Next;
+  }
+  // Terminal halt event, as a VM reaching HALT would emit.
+  Trace.append(Ip, sim::HaltNext);
+}

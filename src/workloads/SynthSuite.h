@@ -1,0 +1,87 @@
+//===- workloads/SynthSuite.h - Synthetic Markov workloads ------*- C++ -*-===//
+///
+/// \file
+/// Parameterized synthetic Forth workloads: a seeded Markov chain over
+/// the non-control Forth opcodes generates the program, and a seeded
+/// Markov walk over its block graph generates the dispatch trace
+/// directly — no interpretation. The events are what a threaded-code
+/// interpretation of the program WOULD dispatch, so every downstream
+/// stage (layout building, gang replay, the result store) consumes a
+/// synthetic benchmark exactly like a real one.
+///
+/// Why: the real suite tops out around 10^7 events per benchmark —
+/// enough for the paper's tables, three orders of magnitude short of
+/// stressing decode/replay bandwidth. Generation is O(events) with no
+/// VM state, so multi-hundred-million-event traces are cheap, and the
+/// entropy dial sweeps the indirect-branch predictability axis
+/// continuously (Lin & Tarsa's "harder streams" critique, PAPERS.md):
+/// at entropy 0 every block terminator always jumps to the same
+/// successor (a BTB predicts perfectly after warmup); at 100 each
+/// terminator picks uniformly among up to 64 successors.
+///
+/// A synthetic benchmark is addressed by name everywhere a suite
+/// benchmark is — specs, sweep_driver, the labs — with the grammar
+///
+///   synth-markov-s<seed>-n<events>[k|m|g]-e<entropy>
+///
+/// e.g. "synth-markov-s7-n250m-e35". The name IS the workload: the
+/// reference hash is a deterministic function of the parameters (plus
+/// a generator version), so cached traces, meta sidecars and result
+/// store cells key exactly like captured ones, and any generator
+/// change retires every stale artifact at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VMIB_WORKLOADS_SYNTHSUITE_H
+#define VMIB_WORKLOADS_SYNTHSUITE_H
+
+#include "forthvm/ForthVM.h"
+#include "vmcore/DispatchTrace.h"
+
+#include <cstdint>
+#include <string>
+
+namespace vmib {
+
+/// Parameters of one synthetic Markov workload.
+struct SynthWorkloadParams {
+  uint64_t Seed = 1;        ///< PRNG seed for program and walk
+  uint64_t NumEvents = 0;   ///< exact dispatch events to generate
+  uint32_t EntropyPct = 0;  ///< 0 (one successor) .. 100 (max fan-out)
+};
+
+/// Whether \p Name uses the synthetic benchmark grammar ("synth-" prefix).
+bool isSynthBenchmarkName(const std::string &Name);
+
+/// Parses "synth-markov-s<seed>-n<events>[k|m|g]-e<entropy>" into \p P.
+/// \returns false (with \p Error set when non-null) on any malformed
+/// name — including an unknown "synth-" family, so a typo fails loudly
+/// instead of silently generating the wrong workload.
+bool parseSynthBenchmarkName(const std::string &Name, SynthWorkloadParams &P,
+                             std::string *Error = nullptr);
+
+/// Canonical name for \p P (parse round-trips it).
+std::string synthBenchmarkName(const SynthWorkloadParams &P);
+
+/// The workload identity hash: plays the role a real benchmark's
+/// reference output hash plays (trace-file workload binding, meta
+/// sidecars, profile keys). Mixes a generator version so regenerated
+/// semantics retire stale artifacts.
+uint64_t synthWorkloadHash(const SynthWorkloadParams &P);
+
+/// Builds the synthetic program for \p P: a block-structured Forth
+/// program (seeded Markov chain over non-control opcodes, one EXECUTE
+/// terminator per block, one HALT) that validates under
+/// forth::opcodeSet(). Deterministic in P.Seed.
+ForthUnit buildSynthUnit(const SynthWorkloadParams &P);
+
+/// Generates exactly P.NumEvents dispatch events of the Markov walk
+/// over \p Program (which must come from buildSynthUnit(P)) into
+/// \p Trace (cleared first). The stream ends with a halt event.
+/// Deterministic in P: same params, same trace, same content hash.
+void generateSynthTrace(const SynthWorkloadParams &P,
+                        const VMProgram &Program, DispatchTrace &Trace);
+
+} // namespace vmib
+
+#endif // VMIB_WORKLOADS_SYNTHSUITE_H

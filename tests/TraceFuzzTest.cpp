@@ -10,10 +10,16 @@
 ///       trace object must come back empty, never half-filled.
 ///
 /// Every header word is covered by an explicit check (magic, version,
-/// counts vs file size, workload hash, content hash) and every payload
-/// byte by the FNV-1a content hash, so a crash or a silent wrong load
-/// on any seeded mutation is a real bug, not fuzz noise. Seeded
-/// truncations and bit flips extend the same contract.
+/// counts vs file size, workload hash; v1 pins its content-hash word
+/// by recomputing the hash, v2 pins all of its header words — the
+/// stored hash included — with the header checksum) and every payload
+/// byte by an FNV-1a hash (v1: the logical content hash; v2: the
+/// per-frame and quicken-block checksums), so a crash or a silent
+/// wrong load on any seeded mutation is a real bug, not fuzz noise.
+/// Seeded
+/// truncations and bit flips extend the same contract. The whole suite
+/// runs once per on-disk encoding (v1 flat, v2 delta/varint frames),
+/// and a cross-encoding round trip pins old-version compatibility.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,13 +56,18 @@ DispatchTrace makeTrace() {
   return T;
 }
 
-class TraceFuzzTest : public ::testing::Test {
+/// Parameterized over the on-disk encoding: false = v1 flat dump,
+/// true = v2 delta/varint frames. The mutation contract is identical —
+/// the v2 header checksum plus per-frame checksums must catch every
+/// corruption the v1 raw-word hash caught, even though the v2 load
+/// never recomputes the logical hash.
+class TraceFuzzTest : public ::testing::TestWithParam<bool> {
 protected:
   void SetUp() override {
     Trace = makeTrace();
     Path = "/tmp/vmib-trace-fuzz-" + std::to_string(::getpid()) +
            ".vmibtrace";
-    ASSERT_TRUE(Trace.save(Path, WorkloadHash));
+    ASSERT_TRUE(Trace.saveEncoded(Path, WorkloadHash, GetParam()));
     // Keep the pristine image in memory; each case patches the file
     // and restores it from this buffer.
     std::FILE *F = std::fopen(Path.c_str(), "rb");
@@ -108,7 +119,7 @@ protected:
 
 } // namespace
 
-TEST_F(TraceFuzzTest, SeededSingleByteOverwrites) {
+TEST_P(TraceFuzzTest, SeededSingleByteOverwrites) {
   // 512 seeded single-byte overwrites at uniform offsets. When the
   // random byte equals the original, the file is untouched and must
   // load bit-identically; any actual change must be rejected.
@@ -129,7 +140,7 @@ TEST_F(TraceFuzzTest, SeededSingleByteOverwrites) {
   checkContract(true, "pristine after overwrite fuzz");
 }
 
-TEST_F(TraceFuzzTest, SeededSingleBitFlips) {
+TEST_P(TraceFuzzTest, SeededSingleBitFlips) {
   // Bit flips always change the file, so every case must be rejected —
   // including flips inside the stored hashes themselves.
   Xoroshiro128 Rng(0x626974666c697073ULL);
@@ -146,7 +157,7 @@ TEST_F(TraceFuzzTest, SeededSingleBitFlips) {
   }
 }
 
-TEST_F(TraceFuzzTest, SeededTruncationsAndExtensions) {
+TEST_P(TraceFuzzTest, SeededTruncationsAndExtensions) {
   // Random truncations (any length short of the full file) and random
   // trailing garbage must both be rejected by the exact size check.
   Xoroshiro128 Rng(0x7472756e63617465ULL);
@@ -166,3 +177,25 @@ TEST_F(TraceFuzzTest, SeededTruncationsAndExtensions) {
     checkContract(false, "extend by " + std::to_string(Extra));
   }
 }
+
+TEST_P(TraceFuzzTest, CrossEncodingRoundTrip) {
+  // The OTHER encoding of the identical trace must load back
+  // bit-identically (v1-compat when this instance fuzzes v2, and vice
+  // versa), and both files must declare the same logical content hash —
+  // the encoding-invariance the result-store keys rest on.
+  ASSERT_TRUE(Trace.saveEncoded(Path, WorkloadHash, !GetParam()));
+  checkContract(true, "cross-encoding reload");
+  uint64_t OtherHash = 0;
+  ASSERT_TRUE(DispatchTrace::peekContentHash(Path, OtherHash));
+  EXPECT_EQ(Trace.contentHash(), OtherHash);
+  writeFile(Pristine);
+  uint64_t ThisHash = 0;
+  ASSERT_TRUE(DispatchTrace::peekContentHash(Path, ThisHash));
+  EXPECT_EQ(OtherHash, ThisHash);
+}
+
+INSTANTIATE_TEST_SUITE_P(Encodings, TraceFuzzTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &I) {
+                           return I.param ? "Compressed" : "Flat";
+                         });

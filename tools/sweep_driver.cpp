@@ -23,6 +23,20 @@
 ///                                               :loadbalance line
 ///   sweep_driver --spec=F --emit-spec           parse + reprint the spec
 ///
+/// Replay-path knobs (docs/simulation-pipeline.md, "Trace encoding"):
+/// `--trace-compress=on|off` picks the trace-file encoding (v2
+/// delta/varint frames, the default, vs the v1 flat dump) and
+/// `--kernel=scalar|simd` picks the gang member kernel (one member per
+/// tile pass, the measured-faster default, vs SIMD-batched
+/// same-fingerprint members advancing together). Both are
+/// bit-identity-neutral by contract, and `--verify` proves it: the
+/// encoding x kernel axis re-encodes every trace both ways, reloads
+/// through the file path, re-runs the sweep under both kernels,
+/// bit-compares all combinations, and emits the `:decodebandwidth`
+/// [timing] line (compressed AND flat decode events/s, their speedup,
+/// and the on-disk compression ratio). Both decisions are re-exported
+/// via VMIB_TRACE_COMPRESS / VMIB_GANG_KERNEL so forked workers agree.
+///
 /// --threads=N overrides the spec's `threads` field everywhere: each
 /// gang replays on GangReplayer's shared-tile worker pool (one decoder
 /// feeding N workers), bit-identical to the serial gang. N=0
@@ -79,10 +93,12 @@
 
 #include "harness/CacheGC.h"
 #include "harness/FaultInjection.h"
+#include "vmcore/GangKernels.h"
 
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <dirent.h>
 #include <unistd.h>
 
 using namespace vmib;
@@ -245,6 +261,49 @@ bool parseByteSize(const std::string &S, uint64_t &Out) {
   return true;
 }
 
+/// Per-trace encoding report: on-disk vs logical (v1-equivalent)
+/// bytes for every trace left in the cache after the GC pass, so
+/// `--cache-gc` doubles as the "what is the compression buying"
+/// inspection tool. Silent when the cache is empty or unreadable.
+void printTraceEncodingReport(const std::string &CacheDir) {
+  if (CacheDir.empty())
+    return;
+  DIR *D = opendir(CacheDir.c_str());
+  if (!D)
+    return;
+  const std::string Ext = ".vmibtrace";
+  uint64_t DiskTotal = 0, LogicalTotal = 0;
+  size_t Count = 0;
+  while (struct dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.size() < Ext.size() ||
+        Name.compare(Name.size() - Ext.size(), Ext.size(), Ext) != 0)
+      continue;
+    std::string Path =
+        CacheDir + (CacheDir.back() == '/' ? "" : "/") + Name;
+    DispatchTrace::FileInfo Info;
+    if (!DispatchTrace::peekFileInfo(Path, Info))
+      continue;
+    std::printf("[cache-gc] trace=%s version=%llu events=%llu bytes=%llu "
+                "logical=%llu ratio=%.2f\n",
+                Name.c_str(), (unsigned long long)Info.Version,
+                (unsigned long long)Info.NumEvents,
+                (unsigned long long)Info.FileBytes,
+                (unsigned long long)Info.LogicalBytes, Info.ratio());
+    DiskTotal += Info.FileBytes;
+    LogicalTotal += Info.LogicalBytes;
+    ++Count;
+  }
+  closedir(D);
+  if (Count > 0)
+    std::printf("[cache-gc] traces=%zu bytes=%llu logical=%llu ratio=%.2f\n",
+                Count, (unsigned long long)DiskTotal,
+                (unsigned long long)LogicalTotal,
+                DiskTotal > 0
+                    ? (double)LogicalTotal / (double)DiskTotal
+                    : 0.0);
+}
+
 /// `--cache-gc=BYTES`: one LRU eviction pass over the trace cache and
 /// the result store (see harness/CacheGC.h). Runs standalone (no
 /// --spec) or after a sweep; directories in use by live sweeps are
@@ -283,6 +342,7 @@ int runCacheGCMode(const OptionParser &Opts) {
               (unsigned long long)Budget, (unsigned long long)R.TotalBytes,
               (unsigned long long)R.EvictedBytes, R.EvictedFiles,
               R.RemovedTemps, R.SkippedLockedDirs);
+  printTraceEncodingReport(CacheDir);
   return 0;
 }
 
@@ -447,6 +507,134 @@ int runVerify(const SweepSpec &Spec, unsigned Shards,
                 InProc.size(), GangThreads);
   }
 
+  // Encoding x kernel invariance + raw decode bandwidth: re-encode
+  // every cached trace both ways (v1 flat, v2 delta/varint), reload
+  // through the real file path with a FRESH executor per encoding, and
+  // re-run the sweep under both gang kernels. Every combination must
+  // bit-match the reference cells; the compressed-decode measurements
+  // land in the [timing] artifact as :decodebandwidth. Needs the trace
+  // cache — without VMIB_TRACE_CACHE there are no trace files whose
+  // encoding could differ.
+  if (!DispatchTrace::cacheDir().empty()) {
+    const char *PrevEnv = std::getenv("VMIB_GANG_KERNEL");
+    std::string PrevKernel = PrevEnv ? PrevEnv : "";
+    uint64_t DecodedEvents = 0, FlatBytes = 0, CompBytes = 0;
+    double DecodeSeconds = 0, FlatDecodeSeconds = 0;
+    bool Ok = true;
+    auto Reencode = [&](bool Compressed, bool Measure) {
+      for (const std::string &B : Spec.Benchmarks) {
+        const DispatchTrace &T = Spec.Suite == "java"
+                                     ? Executor.java().trace(B)
+                                     : Executor.forth().trace(B);
+        uint64_t WH = Spec.Suite == "java"
+                          ? Executor.java().referenceHash(B)
+                          : Executor.forth().referenceHash(B);
+        std::string Path = DispatchTrace::cachePathFor(Spec.Suite + "-" + B);
+        if (Path.empty() || !T.saveEncoded(Path, WH, Compressed)) {
+          std::printf("FAIL: could not re-encode %s as %s\n", B.c_str(),
+                      Compressed ? "compressed" : "flat");
+          return false;
+        }
+        if (!Measure)
+          continue;
+        DispatchTrace::FileInfo Info;
+        if (!DispatchTrace::peekFileInfo(Path, Info)) {
+          std::printf("FAIL: unreadable re-encoded header for %s\n",
+                      B.c_str());
+          return false;
+        }
+        (Compressed ? CompBytes : FlatBytes) += Info.FileBytes;
+        // Time BOTH reload paths so the timing artifact carries the
+        // decode speedup, not just the compressed rate: the flat path
+        // is the pre-compression baseline every later run compares
+        // against.
+        WallTimer DecodeTimer;
+        DispatchTrace Reload;
+        std::string Diag;
+        if (!Reload.load(Path, WH, &Diag)) {
+          std::printf("FAIL: %s reload of %s: %s\n",
+                      Compressed ? "compressed" : "flat", B.c_str(),
+                      Diag.c_str());
+          return false;
+        }
+        (Compressed ? DecodeSeconds : FlatDecodeSeconds) +=
+            DecodeTimer.seconds();
+        if (Compressed)
+          DecodedEvents += Reload.numEvents();
+        if (Reload.contentHash() != T.contentHash()) {
+          std::printf("FAIL: %s content hash changed across re-encoding\n",
+                      B.c_str());
+          return false;
+        }
+      }
+      return true;
+    };
+    for (int Enc = 0; Ok && Enc <= 1; ++Enc) {
+      if (!Reencode(/*Compressed=*/Enc == 1, /*Measure=*/true)) {
+        Ok = false;
+        break;
+      }
+      SweepExecutor Fresh; // loads the re-encoded files, not memory
+      for (const char *Kernel : {"scalar", "simd"}) {
+        ::setenv("VMIB_GANG_KERNEL", Kernel, 1);
+        std::string Label = format("%s+%s in-process",
+                                   Enc == 1 ? "compressed" : "flat", Kernel);
+        std::vector<PerfCounters> EncCells;
+        Fresh.runAll(Serial, 1, EncCells);
+        if (!Compare(EncCells, Label.c_str())) {
+          Ok = false;
+          break;
+        }
+        if (GangThreads > 1) {
+          SweepSpec Thr = Spec;
+          Thr.Threads = GangThreads;
+          Thr.Schedule = GangSchedule::Dynamic;
+          std::vector<PerfCounters> ThrCells;
+          Fresh.runAll(Thr, 1, ThrCells);
+          if (!Compare(ThrCells, (Label + " threaded").c_str())) {
+            Ok = false;
+            break;
+          }
+        }
+      }
+    }
+    if (PrevKernel.empty())
+      ::unsetenv("VMIB_GANG_KERNEL");
+    else
+      ::setenv("VMIB_GANG_KERNEL", PrevKernel.c_str(), 1);
+    // Leave the cache in the configured encoding for whoever runs next.
+    if (Ok)
+      Ok = Reencode(DispatchTrace::compressEnabled(), /*Measure=*/false);
+    if (!Ok)
+      return 1;
+    std::printf("[timing] bench=%s:decodebandwidth events=%llu "
+                "flat_bytes=%llu compressed_bytes=%llu ratio=%.2f "
+                "decode_s=%.3f events_per_s=%.3g bytes_per_s=%.3g "
+                "flat_decode_s=%.3f flat_events_per_s=%.3g "
+                "decode_speedup=%.2f\n",
+                Spec.Name.c_str(), (unsigned long long)DecodedEvents,
+                (unsigned long long)FlatBytes, (unsigned long long)CompBytes,
+                CompBytes > 0 ? (double)FlatBytes / (double)CompBytes : 0.0,
+                DecodeSeconds,
+                DecodeSeconds > 0 ? (double)DecodedEvents / DecodeSeconds
+                                  : 0.0,
+                DecodeSeconds > 0 ? (double)FlatBytes / DecodeSeconds : 0.0,
+                FlatDecodeSeconds,
+                FlatDecodeSeconds > 0
+                    ? (double)DecodedEvents / FlatDecodeSeconds
+                    : 0.0,
+                DecodeSeconds > 0 && FlatDecodeSeconds > 0
+                    ? FlatDecodeSeconds / DecodeSeconds
+                    : 0.0);
+    std::printf("verify: %zu cells bit-identical across {flat, compressed} "
+                "encodings x {scalar, simd%s} kernels\n",
+                InProc.size(),
+                gang::batchedKernelUsesAvx2() ? "/avx2" : "");
+  } else {
+    std::printf("note: VMIB_TRACE_CACHE unset; skipping the encoding x "
+                "kernel verify axis\n");
+  }
+
   std::vector<PerfCounters> OneWorker;
   SweepRunStats OneStats;
   if (!runSharded(Spec, 1, FaultOpts, WorkerCmd, SpecPath, OneWorker,
@@ -504,6 +692,7 @@ int main(int argc, char **argv) {
                  "[--threads=N (0 = auto)] [--schedule=static|dynamic] "
                  "[--retries=N] [--backoff-ms=MS] [--job-timeout=MS] "
                  "[--kill-grace=MS] [--hedge=K] [--partial-ok] "
+                 "[--trace-compress=on|off] [--kernel=scalar|simd] "
                  "[--result-store | --store-dir=D | --no-result-store] "
                  "[--cache-gc=BYTES[K|M|G]]\n"
                  "       sweep_driver --cache-gc=BYTES[K|M|G] "
@@ -527,6 +716,11 @@ int main(int argc, char **argv) {
   // which a CLI override never touched.
   int OverrideExit = 0;
   if (!bench::applySpecOverrides(Opts, Spec, OverrideExit))
+    return OverrideExit;
+  // --trace-compress / --kernel re-export through the environment, so
+  // orchestrated workers (which see only the env) make the same
+  // choice this process does.
+  if (!bench::applyReplayPathOptions(Opts, OverrideExit))
     return OverrideExit;
   if (Opts.has("emit-spec")) {
     std::fputs(printSweepSpec(Spec).c_str(), stdout);
