@@ -158,12 +158,15 @@ inline bool applyStoreOptions(const OptionParser &Opts, ResultStore &Store) {
 
 /// Applies the replay-path knobs every entry point shares —
 /// `--trace-compress=on|off` (v2 delta/varint vs v1 flat trace files;
-/// default on) and `--kernel=scalar|simd` (gang member kernel; default
-/// scalar, simd = batched with runtime AVX2 dispatch) — and RE-EXPORTS both
-/// decisions into the environment so orchestrated worker processes
-/// make the same choice. Both knobs are bit-identity-neutral by
-/// contract; they only move throughput. \returns false with
-/// \p ExitCode set on a malformed value.
+/// default on), `--kernel=scalar|simd` (gang member kernel; default
+/// scalar, simd = batched with runtime AVX2 dispatch) and
+/// `--decode=materialize|stream|auto` (whole-trace in-memory decode vs
+/// O(tile) streaming from the trace cache file; auto streams past the
+/// VMIB_DECODE_BUDGET footprint) — and RE-EXPORTS each decision into
+/// the environment so orchestrated worker processes make the same
+/// choice. All three knobs are bit-identity-neutral by contract; they
+/// only move throughput and memory. \returns false with \p ExitCode
+/// set on a malformed value.
 inline bool applyReplayPathOptions(const OptionParser &Opts, int &ExitCode) {
   if (Opts.has("trace-compress")) {
     std::string V = Opts.get("trace-compress");
@@ -187,14 +190,28 @@ inline bool applyReplayPathOptions(const OptionParser &Opts, int &ExitCode) {
     }
     ::setenv("VMIB_GANG_KERNEL", V.c_str(), 1);
   }
+  if (Opts.has("decode")) {
+    std::string V = Opts.get("decode");
+    TraceDecodeMode Mode;
+    if (!traceDecodeModeFromId(V, Mode)) {
+      std::fprintf(stderr,
+                   "error: bad --decode '%s' (expected materialize, stream "
+                   "or auto)\n",
+                   V.c_str());
+      ExitCode = 1;
+      return false;
+    }
+    ::setenv("VMIB_TRACE_DECODE", traceDecodeModeId(Mode), 1);
+  }
   return true;
 }
 
 //===--- declarative sweeps -----------------------------------------------===//
 
 /// Applies the spec-override flags every spec-driven entry point
-/// shares — `--threads=N` (0 = auto-detect; negative rejected) and
-/// `--schedule=static|dynamic` — then re-validates the spec.
+/// shares — `--threads=N` (0 = auto-detect; negative rejected),
+/// `--schedule=static|dynamic` and `--decode=materialize|stream|auto`
+/// — then re-validates the spec.
 /// \returns false with \p ExitCode set (and a diagnostic on stderr)
 /// when the caller should exit.
 inline bool applySpecOverrides(const OptionParser &Opts, SweepSpec &Spec,
@@ -222,6 +239,15 @@ inline bool applySpecOverrides(const OptionParser &Opts, SweepSpec &Spec,
                  "error: unknown --schedule '%s' (expected static or "
                  "dynamic)\n",
                  Opts.get("schedule").c_str());
+    ExitCode = 1;
+    return false;
+  }
+  if (Opts.has("decode") &&
+      !traceDecodeModeFromId(Opts.get("decode"), Spec.Decode)) {
+    std::fprintf(stderr,
+                 "error: unknown --decode '%s' (expected materialize, "
+                 "stream or auto)\n",
+                 Opts.get("decode").c_str());
     ExitCode = 1;
     return false;
   }
@@ -329,6 +355,11 @@ inline SpeedupMatrix matrixFromCells(const SweepSpec &Spec,
 ///                     work-stealing replay + parallel
 ///                     deferred-fallback finish); spec `schedule`
 ///                     override, bit-identical either way
+///   --decode=M        replay input acquisition, `materialize` (whole
+///                     trace in memory), `stream` (O(tile) decode from
+///                     the trace cache file) or `auto` (stream past
+///                     the VMIB_DECODE_BUDGET footprint); spec
+///                     `decode` override, bit-identical either way
 ///   --retries=N       requeues per failed/timed-out/garbled worker
 ///                     job (exponential backoff, --backoff-ms=MS)
 ///   --job-timeout=MS  per-job wall-clock budget; over-budget workers

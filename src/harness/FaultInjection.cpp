@@ -4,6 +4,7 @@
 
 #include "support/Random.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 using namespace vmib;
@@ -65,8 +66,13 @@ bool vmib::parseFaultPlan(const char *Text, FaultPlan &Plan,
     const char *VC = Value.c_str();
     char *End = nullptr;
     if (Key == "seed") {
+      // Digits only: strtoull accepts "-1" (wrapping to 2^64-1) and
+      // silently saturates on overflow — a typo'd seed must diagnose,
+      // not seed the chaos draw with garbage.
+      errno = 0;
       Plan.Seed = std::strtoull(VC, &End, 10);
-      if (End == VC || *End != '\0') {
+      if (*VC < '0' || *VC > '9' || errno != 0 || End == VC ||
+          *End != '\0') {
         Error = "bad fault seed '" + Value + "'";
         return false;
       }

@@ -372,6 +372,54 @@ void ForthLab::dropTrace(const std::string &Benchmark) {
   Traces.erase(Benchmark);
 }
 
+TraceSource ForthLab::traceSource(const std::string &Benchmark,
+                                  TraceDecodeMode Mode) {
+  if (Mode == TraceDecodeMode::Auto)
+    Mode = traceDecodeMode(); // the VMIB_TRACE_DECODE override
+  if (Mode != TraceDecodeMode::Stream) {
+    // A trace this lab already materialized is free to borrow —
+    // re-decoding it from disk would only add I/O.
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = Traces.find(Benchmark);
+    if (It != Traces.end())
+      return TraceSource(It->second);
+  }
+  // Materialize (explicit, or Auto within the decode budget) pins the
+  // whole event arena.
+  if (Mode == TraceDecodeMode::Materialize ||
+      (Mode == TraceDecodeMode::Auto &&
+       referenceSteps(Benchmark) * sizeof(DispatchTrace::Event) <=
+           traceDecodeBudgetBytes()))
+    return TraceSource(trace(Benchmark));
+  // Stream (explicit, or Auto over budget): needs a validated trace
+  // cache file. referenceSteps above never materializes, so a
+  // billion-event workload reaches this point with O(1) memory.
+  std::string CachePath = DispatchTrace::cachePathFor("forth-" + Benchmark);
+  if (!CachePath.empty()) {
+    TraceSource S;
+    std::string Diag;
+    if (TraceSource::openStreaming(CachePath, referenceHash(Benchmark), S,
+                                   &Diag))
+      return S;
+    if (Diag.find("cannot open") == std::string::npos)
+      std::fprintf(stderr, "warning: ignoring trace cache entry: %s\n",
+                   Diag.c_str());
+  }
+  // No streamable file: materialize (capturing/generating saves the
+  // file back to the cache best-effort), then retry the stream open so
+  // explicitly streaming callers still replay O(tile) next time. This
+  // pass keeps the materialized trace — failing a replay over a
+  // missing optimization would be worse than the one-time footprint.
+  const DispatchTrace &T = trace(Benchmark);
+  if (Mode == TraceDecodeMode::Stream)
+    std::fprintf(stderr,
+                 "warning: %s: no streamable trace cache file "
+                 "(VMIB_TRACE_CACHE unset or save failed); replaying "
+                 "materialized\n",
+                 Benchmark.c_str());
+  return TraceSource(T);
+}
+
 PerfCounters ForthLab::replay(const std::string &Benchmark,
                               const VariantSpec &Variant,
                               const CpuConfig &Cpu) {
@@ -384,8 +432,9 @@ std::vector<PerfCounters>
 ForthLab::replayGang(const std::string &Benchmark,
                      const std::vector<VariantSpec> &Variants,
                      const CpuConfig &Cpu, unsigned Threads,
-                     GangSchedule Schedule, GangReplayer::Stats *StatsOut) {
-  GangReplayer Gang(trace(Benchmark));
+                     GangSchedule Schedule, GangReplayer::Stats *StatsOut,
+                     TraceDecodeMode Decode) {
+  GangReplayer Gang(traceSource(Benchmark, Decode));
   for (const VariantSpec &V : Variants)
     Gang.addDefault(buildLayout(Benchmark, V), Cpu);
   return Gang.run(Threads, Schedule, StatsOut);

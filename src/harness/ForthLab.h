@@ -77,6 +77,18 @@ public:
   /// memory for replays. Thread-safe.
   const DispatchTrace &trace(const std::string &Benchmark);
 
+  /// The replay input for \p Benchmark under \p Mode: a borrowed
+  /// in-memory trace (zero-copy tiles) or a validated streaming view
+  /// of the benchmark's trace cache file (O(tile) working memory).
+  /// Auto consults VMIB_TRACE_DECODE, then streams only when the
+  /// decoded footprint exceeds the decode budget AND a valid cache
+  /// file exists. An explicit Stream request with no streamable file
+  /// falls back to materializing with a warning — replay never fails
+  /// over a missing optimization. Counters are bit-identical either
+  /// way. Thread-safe.
+  TraceSource traceSource(const std::string &Benchmark,
+                          TraceDecodeMode Mode = TraceDecodeMode::Auto);
+
   /// Reference output hash of \p Benchmark (what every variant run and
   /// the trace cache verify against). Thread-safe. May come from a
   /// persisted meta sidecar in VMIB_TRACE_CACHE (see WorkloadCache.h),
@@ -106,9 +118,14 @@ public:
   /// never run a whole-workload interpretation under the cache lock.
   /// (Per-config resource selections stay lazy; they are cheap once
   /// the profile exists.)
-  void warmup(const std::string &Benchmark, const CpuConfig &Cpu) {
+  /// \p Decode mirrors the sweep's decode mode: a streaming sweep
+  /// only validates the trace cache file here (capturing/generating
+  /// it if absent) instead of pinning the whole event arena in
+  /// memory.
+  void warmup(const std::string &Benchmark, const CpuConfig &Cpu,
+              TraceDecodeMode Decode = TraceDecodeMode::Auto) {
     (void)Cpu;
-    (void)trace(Benchmark);
+    (void)traceSource(Benchmark, Decode);
     (void)trainingProfile();
   }
 
@@ -137,7 +154,8 @@ public:
              const std::vector<VariantSpec> &Variants, const CpuConfig &Cpu,
              unsigned Threads = 1,
              GangSchedule Schedule = GangSchedule::Static,
-             GangReplayer::Stats *StatsOut = nullptr);
+             GangReplayer::Stats *StatsOut = nullptr,
+             TraceDecodeMode Decode = TraceDecodeMode::Auto);
 
   /// Replay with a concrete predictor type: predict()/update() inline
   /// into the replay loop (devirtualized predictor sweeps).

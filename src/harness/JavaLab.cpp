@@ -373,6 +373,49 @@ void JavaLab::dropTrace(const std::string &Benchmark) {
   Traces.erase(Benchmark);
 }
 
+TraceSource JavaLab::traceSource(const std::string &Benchmark,
+                                 TraceDecodeMode Mode) {
+  if (Mode == TraceDecodeMode::Auto)
+    Mode = traceDecodeMode(); // the VMIB_TRACE_DECODE override
+  if (Mode != TraceDecodeMode::Stream) {
+    // Already materialized? Borrowing it is free, so streaming only to
+    // save memory that is already spent would be pure loss.
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = Traces.find(Benchmark);
+    if (It != Traces.end())
+      return TraceSource(It->second);
+  }
+  // Materialize (explicit, or Auto within the decode budget) pins the
+  // whole event arena.
+  if (Mode == TraceDecodeMode::Materialize ||
+      (Mode == TraceDecodeMode::Auto &&
+       referenceSteps(Benchmark) * sizeof(DispatchTrace::Event) <=
+           traceDecodeBudgetBytes()))
+    return TraceSource(trace(Benchmark));
+  // Stream from the cache file, capturing it first if absent: trace()
+  // saves to the same path, so one capture makes the file streamable
+  // for every later call.
+  std::string CachePath = DispatchTrace::cachePathFor("java-" + Benchmark);
+  if (!CachePath.empty()) {
+    TraceSource S;
+    std::string Diag;
+    if (TraceSource::openStreaming(CachePath, referenceHash(Benchmark), S,
+                                   &Diag))
+      return S;
+    if (Diag.find("cannot open") == std::string::npos)
+      std::fprintf(stderr, "warning: ignoring trace cache entry: %s\n",
+                   Diag.c_str());
+  }
+  const DispatchTrace &T = trace(Benchmark);
+  if (Mode == TraceDecodeMode::Stream)
+    std::fprintf(stderr,
+                 "warning: %s: no streamable trace cache file "
+                 "(VMIB_TRACE_CACHE unset or save failed); replaying "
+                 "materialized\n",
+                 Benchmark.c_str());
+  return TraceSource(T);
+}
+
 PerfCounters JavaLab::replay(const std::string &Benchmark,
                              const VariantSpec &Variant,
                              const CpuConfig &Cpu) {
@@ -398,10 +441,11 @@ JavaLab::replayGang(const std::string &Benchmark,
                     const CpuConfig &Cpu, unsigned Threads,
                     GangSchedule Schedule, GangReplayer::Stats *StatsOut,
                     const std::vector<uint64_t> *SeedCostNs,
-                    std::vector<uint64_t> *FinalCostNs) {
+                    std::vector<uint64_t> *FinalCostNs,
+                    TraceDecodeMode Decode) {
   std::vector<PerfCounters> Results =
       replayGangNoOverhead(Benchmark, Variants, Cpu, Threads, Schedule,
-                           StatsOut, SeedCostNs, FinalCostNs);
+                           StatsOut, SeedCostNs, FinalCostNs, Decode);
   uint64_t Overhead = runtimeOverhead(Benchmark, Cpu);
   for (PerfCounters &C : Results)
     C.Cycles += Overhead;
@@ -415,8 +459,9 @@ JavaLab::replayGangNoOverhead(const std::string &Benchmark,
                               GangSchedule Schedule,
                               GangReplayer::Stats *StatsOut,
                               const std::vector<uint64_t> *SeedCostNs,
-                              std::vector<uint64_t> *FinalCostNs) {
-  GangReplayer Gang(trace(Benchmark));
+                              std::vector<uint64_t> *FinalCostNs,
+                              TraceDecodeMode Decode) {
+  GangReplayer Gang(traceSource(Benchmark, Decode));
   for (const VariantSpec &V : Variants) {
     // Each member owns its fresh program copy; the layout is built
     // over exactly that copy so the recorded quickenings patch it.

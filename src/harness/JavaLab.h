@@ -20,6 +20,7 @@
 #include "vmcore/DispatchTrace.h"
 #include "vmcore/GangReplayer.h"
 #include "vmcore/TraceReplayer.h"
+#include "vmcore/TraceSource.h"
 #include "workloads/JavaSuite.h"
 
 #include <atomic>
@@ -73,6 +74,18 @@ public:
   /// then cached in memory. Thread-safe.
   const DispatchTrace &trace(const std::string &Benchmark);
 
+  /// The replay input for \p Benchmark under \p Mode: a borrowed
+  /// in-memory trace (zero-copy tiles) or a validated streaming view
+  /// of the benchmark's trace cache file (O(tile) working memory).
+  /// Auto consults VMIB_TRACE_DECODE, then streams only when the
+  /// decoded footprint exceeds the decode budget AND a valid cache
+  /// file exists. An explicit Stream request with no streamable file
+  /// falls back to materializing with a warning — replay never fails
+  /// over a missing optimization. Counters are bit-identical either
+  /// way. Thread-safe.
+  TraceSource traceSource(const std::string &Benchmark,
+                          TraceDecodeMode Mode = TraceDecodeMode::Auto);
+
   /// Reference output hash of \p Benchmark (what every variant run and
   /// the trace cache verify against). Thread-safe. May come from a
   /// persisted meta sidecar in VMIB_TRACE_CACHE (see WorkloadCache.h),
@@ -114,8 +127,12 @@ public:
   /// selection interprets them otherwise); called serially by the
   /// bench capture phase so workers never run a whole-workload
   /// interpretation under the cache lock.
-  void warmup(const std::string &Benchmark, const CpuConfig &Cpu) {
-    (void)trace(Benchmark);
+  /// \p Decode mirrors the sweep's decode mode: a streaming sweep
+  /// only validates the trace cache file here (capturing it if
+  /// absent) instead of pinning the whole event arena in memory.
+  void warmup(const std::string &Benchmark, const CpuConfig &Cpu,
+              TraceDecodeMode Decode = TraceDecodeMode::Auto) {
+    (void)traceSource(Benchmark, Decode);
     (void)plainInterpCycles(Benchmark, Cpu);
     for (const JavaBenchmark &B : javaSuite())
       (void)profileOf(B.Name);
@@ -153,7 +170,8 @@ public:
              GangSchedule Schedule = GangSchedule::Static,
              GangReplayer::Stats *StatsOut = nullptr,
              const std::vector<uint64_t> *SeedCostNs = nullptr,
-             std::vector<uint64_t> *FinalCostNs = nullptr);
+             std::vector<uint64_t> *FinalCostNs = nullptr,
+             TraceDecodeMode Decode = TraceDecodeMode::Auto);
 
   /// replayGang() without the runtime-system overhead cycles.
   std::vector<PerfCounters>
@@ -163,7 +181,8 @@ public:
                        GangSchedule Schedule = GangSchedule::Static,
                        GangReplayer::Stats *StatsOut = nullptr,
                        const std::vector<uint64_t> *SeedCostNs = nullptr,
-                       std::vector<uint64_t> *FinalCostNs = nullptr);
+                       std::vector<uint64_t> *FinalCostNs = nullptr,
+                       TraceDecodeMode Decode = TraceDecodeMode::Auto);
 
 private:
   /// Post-quickening static profile of one benchmark (the state static

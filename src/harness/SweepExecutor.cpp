@@ -91,8 +91,11 @@ SweepExecutor::runForthSlice(const SweepSpec &Spec, size_t Workload,
                              GangReplayer::Stats *LoadOut) {
   ForthLab &Lab = forth();
   const std::string &Benchmark = Spec.Benchmarks[Workload];
-  const DispatchTrace &Trace = Lab.trace(Benchmark);
-  GangReplayer Gang(Trace, Spec.ChunkEvents);
+  // The spec's decode mode picks the replay input: a materialized
+  // in-memory trace or an O(tile) streaming view of the cache file.
+  // Cells are bit-identical either way.
+  TraceSource Source = Lab.traceSource(Benchmark, Spec.Decode);
+  GangReplayer Gang(Source, Spec.ChunkEvents);
   // One layout per variant, shared across the slice's members: members
   // of the same variant then share a GroupDecoder (SoA tile decode),
   // and the layout is built once instead of once per predictor point.
@@ -135,7 +138,7 @@ SweepExecutor::runForthSlice(const SweepSpec &Spec, size_t Workload,
   const std::string TraceKey = "forth-" + Benchmark;
   std::map<uint64_t, uint64_t> CostMap;
   if (PersistCosts) {
-    CostMap = loadCostMap(TraceKey, Trace.contentHash());
+    CostMap = loadCostMap(TraceKey, Source.contentHash());
     for (size_t K = 0; K < Members.size(); ++K) {
       auto It = CostMap.find(memberCostKey(Spec, Members[K]));
       if (It != CostMap.end() && It->second != 0)
@@ -154,7 +157,7 @@ SweepExecutor::runForthSlice(const SweepSpec &Spec, size_t Workload,
     LoadOut->merge(GangLoad);
   if (PersistCosts)
     saveCostMap(Spec, Members, Gang.finalCosts(), CostMap, TraceKey,
-                Trace.contentHash());
+                Source.contentHash());
   return Out;
 }
 
@@ -178,7 +181,9 @@ SweepExecutor::runJavaSlice(const SweepSpec &Spec, size_t Workload,
   std::map<uint64_t, uint64_t> CostMap;
   uint64_t TraceHash = 0;
   if (PersistCosts) {
-    TraceHash = Lab.trace(Benchmark).contentHash();
+    // traceSource avoids materializing a streamed trace just for its
+    // hash (the streaming view carries the verified header's value).
+    TraceHash = Lab.traceSource(Benchmark, Spec.Decode).contentHash();
     CostMap = loadCostMap(TraceKey, TraceHash);
   }
   std::vector<PerfCounters> Out;
@@ -211,7 +216,7 @@ SweepExecutor::runJavaSlice(const SweepSpec &Spec, size_t Workload,
                        resolveGangThreads(Spec.Threads), Spec.Schedule,
                        LoadOut ? &GangLoad : nullptr,
                        PersistCosts ? &SeedNs : nullptr,
-                       PersistCosts ? &FinalNs : nullptr);
+                       PersistCosts ? &FinalNs : nullptr, Spec.Decode);
     if (LoadOut)
       LoadOut->merge(GangLoad);
     if (PersistCosts && !FinalNs.empty()) {
@@ -326,16 +331,18 @@ SweepRunStats SweepExecutor::runAll(const SweepSpec &Spec, unsigned Threads,
           // (benchmark, CPU) cache; the trace/profile warmups behind it
           // are idempotent.
           if (Spec.Suite == "java")
-            java().warmup(B, Cpu);
+            java().warmup(B, Cpu, Spec.Decode);
           else
-            forth().warmup(B, Cpu);
+            forth().warmup(B, Cpu, Spec.Decode);
         }
         CaptureBusy += T.seconds();
       },
       [&](size_t I) {
         const std::string &B = Spec.Benchmarks[I];
-        uint64_t N = Spec.Suite == "java" ? java().trace(B).numEvents()
-                                          : forth().trace(B).numEvents();
+        // referenceSteps == trace events, and never materializes — a
+        // streaming sweep must not pin the event arena just to count.
+        uint64_t N = Spec.Suite == "java" ? java().referenceSteps(B)
+                                          : forth().referenceSteps(B);
         // Every member rides the whole trace once per pass.
         Events.fetch_add(N * M, std::memory_order_relaxed);
         GangReplayer::Stats GangLoad;

@@ -47,14 +47,28 @@ void substitute(std::string &S, const std::string &Key,
   }
 }
 
+/// Decimal u64 at \p C; 0 on anything malformed — no leading digit
+/// (strtoull would accept "-1" as a huge wrapped value) or an
+/// out-of-range token. Worker accounting tokens are advisory, so a
+/// garbled line degrades to "absent", never to a saturated aggregate.
+uint64_t tokenU64(const char *C) {
+  if (*C < '0' || *C > '9')
+    return 0;
+  errno = 0;
+  char *End = nullptr;
+  uint64_t V = std::strtoull(C, &End, 10);
+  if (errno != 0 || End == C)
+    return 0;
+  return V;
+}
+
 /// Pulls "replayed_events=N" out of a worker [timing] line (0 if the
 /// token is absent) so the orchestrator can aggregate throughput.
 uint64_t replayedEventsOf(const std::string &Line) {
   size_t Pos = Line.find("replayed_events=");
   if (Pos == std::string::npos)
     return 0;
-  return std::strtoull(Line.c_str() + Pos + std::strlen("replayed_events="),
-                       nullptr, 10);
+  return tokenU64(Line.c_str() + Pos + std::strlen("replayed_events="));
 }
 
 /// Same for "capture_s=S": summed worker capture-busy seconds, so the
@@ -72,7 +86,7 @@ uint64_t storeTokenOf(const std::string &Line, const char *Key) {
   size_t Pos = Line.find(Key);
   if (Pos == std::string::npos)
     return 0;
-  return std::strtoull(Line.c_str() + Pos + std::strlen(Key), nullptr, 10);
+  return tokenU64(Line.c_str() + Pos + std::strlen(Key));
 }
 
 /// Crash-drill hook (CI `crash-recovery`): when

@@ -335,6 +335,7 @@ std::string vmib::printSweepSpec(const SweepSpec &Spec) {
   Out += format("chunk %zu\n", Spec.ChunkEvents);
   Out += format("threads %u\n", Spec.Threads);
   Out += format("schedule %s\n", gangScheduleId(Spec.Schedule));
+  Out += format("decode %s\n", traceDecodeModeId(Spec.Decode));
   for (const std::string &C : Spec.Cpus)
     Out += format("cpu %s\n", C.c_str());
   for (const std::string &B : Spec.Benchmarks)
@@ -409,6 +410,12 @@ bool vmib::parseSweepSpec(const std::string &Text, SweepSpec &Out,
       if (!gangScheduleFromId(Tokens[1], Out.Schedule))
         return Fail("unknown schedule '" + Tokens[1] +
                     "' (expected static or dynamic)");
+    } else if (Key == "decode" && Tokens.size() == 2) {
+      // Optional declaration: files from before the streaming decoder
+      // parse as Auto (small traces materialize, huge traces stream).
+      if (!traceDecodeModeFromId(Tokens[1], Out.Decode))
+        return Fail("unknown decode mode '" + Tokens[1] +
+                    "' (expected materialize, stream or auto)");
     } else if (Key == "cpu" && Tokens.size() == 2) {
       Out.Cpus.push_back(Tokens[1]);
     } else if (Key == "benchmark" && Tokens.size() == 2) {

@@ -36,6 +36,7 @@
 #include "uarch/PerfCounters.h"
 #include "uarch/TwoLevelPredictor.h"
 #include "vmcore/GangSchedule.h"
+#include "vmcore/TraceSource.h"
 
 #include <cstddef>
 #include <string>
@@ -86,6 +87,15 @@ struct SweepSpec {
   /// finish. Bit-identical either way; dynamic is the fast choice for
   /// gangs mixing cheap and expensive members.
   GangSchedule Schedule = GangSchedule::Static;
+  /// How replay acquires each workload's event stream: materialize
+  /// the whole trace in memory (the classic zero-copy path), stream
+  /// it tile-by-tile from the trace cache file (working memory
+  /// O(tile), independent of trace length), or Auto — the default,
+  /// and what a spec without the field parses as — which streams only
+  /// when the decoded footprint would exceed the decode budget
+  /// (VMIB_DECODE_BUDGET, default 256 MiB). Cells are bit-identical
+  /// on every path.
+  TraceDecodeMode Decode = TraceDecodeMode::Auto;
 
   /// Gang members per workload: |Cpus| × |Variants| × max(1, |Predictors|),
   /// ordered CPU-major, then variant, then predictor.

@@ -696,3 +696,317 @@ std::string DispatchTrace::cachePathFor(const std::string &Key) {
     Dir += '/';
   return Dir + Key + ".vmibtrace";
 }
+
+//===--- FrameReader: streaming decode --------------------------------------===//
+
+DispatchTrace::FrameReader::FrameReader() = default;
+
+DispatchTrace::FrameReader::~FrameReader() {
+  if (F)
+    std::fclose(F);
+}
+
+bool DispatchTrace::FrameReader::fail(std::string Why) {
+  if (F) {
+    std::fclose(F);
+    F = nullptr;
+  }
+  if (ErrorV.empty())
+    ErrorV = PathV + ": " + std::move(Why);
+  return false;
+}
+
+bool DispatchTrace::FrameReader::open(const std::string &Path,
+                                      uint64_t ExpectedWorkloadHash,
+                                      std::string *Diag) {
+  if (F) {
+    std::fclose(F);
+    F = nullptr;
+  }
+  PathV = Path;
+  ErrorV.clear();
+  VersionV = NumEventsV = WorkloadHashV = ContentHashV = 0;
+  QuickensV.clear();
+  Dir.clear();
+  Pending.clear();
+  PendingPos = 0;
+  NextFrame = 0;
+  EventsOut = 0;
+  PayloadStart = 0;
+  // Mirrors load()'s failure funnel: one line naming what was rejected,
+  // in the same grammar, and never a half-open reader.
+  auto Fail = [&](std::string Why) {
+    if (F) {
+      std::fclose(F);
+      F = nullptr;
+    }
+    ErrorV = Path + ": " + std::move(Why);
+    if (Diag)
+      *Diag = ErrorV;
+    return false;
+  };
+  F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Fail(format("cannot open: %s", std::strerror(errno)));
+  if (std::fseek(F, 0, SEEK_END) != 0)
+    return Fail("seek failed");
+  long FileBytes = std::ftell(F);
+  if (FileBytes < 0 || std::fseek(F, 0, SEEK_SET) != 0)
+    return Fail("seek failed");
+  uint64_t Header[HeaderWords];
+  if (std::fread(Header, sizeof(uint64_t), HeaderWords, F) != HeaderWords)
+    return Fail(format("truncated: %ld bytes is shorter than the %zu-byte "
+                       "header",
+                       FileBytes, HeaderWords * sizeof(uint64_t)));
+  if (Header[0] != FileMagic)
+    return Fail("bad magic (not a trace file)");
+  if (Header[1] != FlatVersion && Header[1] != CompressedVersion)
+    return Fail(format("format version %llu, expected %llu or %llu (stale "
+                       "cache entry)",
+                       (unsigned long long)Header[1],
+                       (unsigned long long)FlatVersion,
+                       (unsigned long long)CompressedVersion));
+  if (Header[4] != ExpectedWorkloadHash)
+    return Fail(format("workload hash %016llx does not match expected "
+                       "%016llx (trace was captured from a different "
+                       "workload)",
+                       (unsigned long long)Header[4],
+                       (unsigned long long)ExpectedWorkloadHash));
+  uint64_t NumEvents = Header[2], NumQuickens = Header[3];
+
+  if (Header[1] == FlatVersion) {
+    uint64_t FileWords = static_cast<uint64_t>(FileBytes) / sizeof(uint64_t);
+    if (NumEvents > FileWords || NumQuickens > FileWords ||
+        HeaderWords + NumEvents + WordsPerQuicken * NumQuickens != FileWords ||
+        static_cast<uint64_t>(FileBytes) % sizeof(uint64_t) != 0)
+      return Fail(format("size mismatch: header claims %llu events + %llu "
+                         "quicken records but the file holds %ld bytes "
+                         "(truncated or trailing garbage)",
+                         (unsigned long long)NumEvents,
+                         (unsigned long long)NumQuickens, FileBytes));
+    // Flat files have no per-frame checksums, so integrity is a whole-
+    // file content-hash pre-pass — streamed through one 64K-event
+    // buffer, never a full materialization. The quicken tail is hashed
+    // over its RAW words (see load()'s canonicalization note) and
+    // decoded in the same pass.
+    uint64_t Hash = Fnv1aOffset;
+    {
+      std::vector<Event> Buf;
+      const uint64_t ChunkE = uint64_t{1} << 16;
+      Buf.resize(static_cast<size_t>(NumEvents < ChunkE ? NumEvents
+                                                        : ChunkE));
+      uint64_t Left = NumEvents;
+      while (Left != 0) {
+        size_t N = static_cast<size_t>(Left < ChunkE ? Left : ChunkE);
+        if (std::fread(Buf.data(), sizeof(Event), N, F) != N)
+          return Fail("short read on event array");
+        Hash = fnv1a(Hash, Buf.data(), N * sizeof(Event));
+        Left -= N;
+      }
+    }
+    QuickensV.reserve(NumQuickens);
+    for (uint64_t I = 0; I < NumQuickens; ++I) {
+      uint64_t Words[WordsPerQuicken];
+      if (std::fread(Words, sizeof(uint64_t), WordsPerQuicken, F) !=
+          WordsPerQuicken)
+        return Fail("short read on quicken records");
+      Hash = fnv1a(Hash, Words, sizeof(Words));
+      QuickensV.push_back(unpackQuicken(Words));
+    }
+    if (Hash != Header[5])
+      return Fail("content hash mismatch (bit corruption)");
+    PayloadStart = static_cast<long>(HeaderWords * sizeof(uint64_t));
+    if (std::fseek(F, PayloadStart, SEEK_SET) != 0)
+      return Fail("seek failed");
+    VersionV = Header[1];
+    NumEventsV = NumEvents;
+    WorkloadHashV = Header[4];
+    ContentHashV = Header[5];
+    return true;
+  }
+
+  //===--- v2 compressed ---------------------------------------------------===//
+
+  uint64_t Ext[HeaderWordsV2 - HeaderWords];
+  if (std::fread(Ext, sizeof(uint64_t), HeaderWordsV2 - HeaderWords, F) !=
+      HeaderWordsV2 - HeaderWords)
+    return Fail("truncated: missing compressed-header extension");
+  uint64_t HdrHash = fnv1a(Fnv1aOffset, Header, sizeof(Header));
+  HdrHash = fnv1a(HdrHash, Ext, (HeaderWordsV2 - HeaderWords - 1) *
+                                    sizeof(uint64_t));
+  if (HdrHash != Ext[HeaderWordsV2 - HeaderWords - 1])
+    return Fail("header checksum mismatch (bit corruption)");
+  uint64_t EventsPerFrame = Ext[0], NumFrames = Ext[1];
+  uint64_t QuickenBytes = Ext[2], QuickenChecksum = Ext[3];
+  uint64_t FileBytesU = static_cast<uint64_t>(FileBytes);
+  if (EventsPerFrame != FrameEvents)
+    return Fail(format("corrupt header: %llu events per frame (expected "
+                       "%llu)",
+                       (unsigned long long)EventsPerFrame,
+                       (unsigned long long)FrameEvents));
+  uint64_t WantFrames =
+      NumEvents == 0 ? 0 : (NumEvents + EventsPerFrame - 1) / EventsPerFrame;
+  if (NumFrames != WantFrames ||
+      NumFrames > FileBytesU / (2 * sizeof(uint64_t)))
+    return Fail(format("corrupt header: %llu frames for %llu events at "
+                       "%llu events/frame",
+                       (unsigned long long)NumFrames,
+                       (unsigned long long)NumEvents,
+                       (unsigned long long)EventsPerFrame));
+  Dir.resize(2 * NumFrames);
+  if (!Dir.empty() &&
+      std::fread(Dir.data(), sizeof(uint64_t), Dir.size(), F) != Dir.size())
+    return Fail("short read on frame directory");
+  uint64_t PayloadBytes = 0;
+  for (uint64_t Frame = 0; Frame < NumFrames; ++Frame) {
+    uint64_t Bytes = Dir[2 * Frame];
+    PayloadBytes += Bytes;
+    if (Bytes > FileBytesU || PayloadBytes > FileBytesU)
+      return Fail(format("corrupt directory: frame %llu claims %llu bytes",
+                         (unsigned long long)Frame,
+                         (unsigned long long)Bytes));
+  }
+  uint64_t Expect = sizeof(uint64_t) * (HeaderWordsV2 + 2 * NumFrames) +
+                    PayloadBytes + QuickenBytes;
+  if (Expect != FileBytesU)
+    return Fail(format("size mismatch: header claims %llu payload + %llu "
+                       "quicken bytes but the file holds %ld bytes "
+                       "(truncated or trailing garbage)",
+                       (unsigned long long)PayloadBytes,
+                       (unsigned long long)QuickenBytes, FileBytes));
+  if (NumEvents > PayloadBytes)
+    return Fail(format("corrupt header: %llu events cannot fit in %llu "
+                       "payload bytes",
+                       (unsigned long long)NumEvents,
+                       (unsigned long long)PayloadBytes));
+  if (NumQuickens > QuickenBytes / 5)
+    return Fail(format("corrupt header: %llu quicken records cannot fit in "
+                       "%llu quicken bytes",
+                       (unsigned long long)NumQuickens,
+                       (unsigned long long)QuickenBytes));
+  // The quicken block sits after every frame payload; verify and
+  // decode it now (it is small side-band metadata, and replays need it
+  // random-access), then park the file position on the first frame.
+  PayloadStart =
+      static_cast<long>(sizeof(uint64_t) * (HeaderWordsV2 + 2 * NumFrames));
+  if (std::fseek(F, PayloadStart + static_cast<long>(PayloadBytes),
+                 SEEK_SET) != 0)
+    return Fail("seek failed");
+  Scratch.resize(QuickenBytes);
+  if (QuickenBytes != 0 &&
+      std::fread(Scratch.data(), 1, QuickenBytes, F) != QuickenBytes)
+    return Fail("short read on quicken block");
+  if (fnv1a(Fnv1aOffset, Scratch.data(), QuickenBytes) != QuickenChecksum)
+    return Fail("quicken block checksum mismatch (bit corruption)");
+  ByteReader QR(Scratch.data(), QuickenBytes);
+  QuickensV.reserve(NumQuickens);
+  uint64_t PrevAfter = 0;
+  for (uint64_t I = 0; I < NumQuickens; ++I) {
+    QuickenRecord Q;
+    Q.AfterEvents = PrevAfter + QR.varint();
+    uint64_t Index = QR.varint();
+    uint64_t Op = QR.varint();
+    int64_t A = unzigzag(QR.varint());
+    int64_t B = unzigzag(QR.varint());
+    if (QR.Fail || Index > 0xffffffffull || Op > 0xffffull)
+      return Fail("quicken block is malformed");
+    Q.Index = static_cast<uint32_t>(Index);
+    Q.NewInstr.Op = static_cast<Opcode>(Op);
+    Q.NewInstr.A = A;
+    Q.NewInstr.B = B;
+    PrevAfter = Q.AfterEvents;
+    QuickensV.push_back(Q);
+  }
+  if (!QR.exhausted())
+    return Fail("quicken block is malformed");
+  if (std::fseek(F, PayloadStart, SEEK_SET) != 0)
+    return Fail("seek failed");
+  VersionV = Header[1];
+  NumEventsV = NumEvents;
+  WorkloadHashV = Header[4];
+  ContentHashV = Header[5];
+  return true;
+}
+
+bool DispatchTrace::FrameReader::read(size_t MaxEvents,
+                                      std::vector<Event> &Out) {
+  if (!F)
+    return false; // never opened, or a previous failure closed us
+  uint64_t Want64 = NumEventsV - EventsOut;
+  if (Want64 > MaxEvents)
+    Want64 = MaxEvents;
+  size_t Want = static_cast<size_t>(Want64);
+  size_t OutStart = Out.size();
+  if (VersionV == FlatVersion) {
+    Out.resize(OutStart + Want);
+    if (Want != 0 &&
+        std::fread(Out.data() + OutStart, sizeof(Event), Want, F) != Want) {
+      Out.resize(OutStart);
+      return fail("short read on event array");
+    }
+    EventsOut += Want;
+    return true;
+  }
+  while (Want != 0) {
+    if (PendingPos < Pending.size()) {
+      size_t Take = Pending.size() - PendingPos;
+      if (Take > Want)
+        Take = Want;
+      Out.insert(Out.end(), Pending.begin() + PendingPos,
+                 Pending.begin() + PendingPos + Take);
+      PendingPos += Take;
+      EventsOut += Take;
+      Want -= Take;
+      continue;
+    }
+    // Next frame: checksum BEFORE decode, exactly like load(). A tile
+    // that consumes the whole frame decodes straight into Out; a
+    // partial need decodes into Pending and hands out a prefix.
+    uint64_t Bytes = Dir[2 * NextFrame];
+    Scratch.resize(Bytes);
+    if (Bytes != 0 && std::fread(Scratch.data(), 1, Bytes, F) != Bytes) {
+      Out.resize(OutStart);
+      return fail("short read on event frame");
+    }
+    if (fnv1a(Fnv1aOffset, Scratch.data(), Bytes) != Dir[2 * NextFrame + 1]) {
+      Out.resize(OutStart);
+      return fail(format("frame %llu checksum mismatch (bit corruption)",
+                         (unsigned long long)NextFrame));
+    }
+    uint64_t Remaining = NumEventsV - NextFrame * uint64_t{FrameEvents};
+    size_t FrameN = static_cast<size_t>(
+        Remaining < FrameEvents ? Remaining : FrameEvents);
+    ByteReader R(Scratch.data(), Bytes);
+    if (Want >= FrameN) {
+      if (!decodeEventFrame(R, FrameN, Out)) {
+        Out.resize(OutStart);
+        return fail(format("frame %llu payload is malformed",
+                           (unsigned long long)NextFrame));
+      }
+      EventsOut += FrameN;
+      Want -= FrameN;
+    } else {
+      Pending.clear();
+      PendingPos = 0;
+      if (!decodeEventFrame(R, FrameN, Pending)) {
+        Out.resize(OutStart);
+        return fail(format("frame %llu payload is malformed",
+                           (unsigned long long)NextFrame));
+      }
+    }
+    ++NextFrame;
+  }
+  return true;
+}
+
+bool DispatchTrace::FrameReader::rewind() {
+  if (!F)
+    return false;
+  if (std::fseek(F, PayloadStart, SEEK_SET) != 0)
+    return fail("seek failed");
+  NextFrame = 0;
+  Pending.clear();
+  PendingPos = 0;
+  EventsOut = 0;
+  return true;
+}

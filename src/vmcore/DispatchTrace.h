@@ -119,12 +119,19 @@ public:
   /// cursor is how GangReplayer tiles the stream: every gang member
   /// replays [begin, end) before the cursor advances, so each trace
   /// byte crosses the memory bus once per tile instead of once per
-  /// configuration.
+  /// configuration. The arithmetic lives here, parameterized on a bare
+  /// event count, so the materialized and streaming replay paths tile
+  /// through ONE implementation — a zero-event stream yields no tiles,
+  /// a chunk larger than the stream yields exactly one, and the final
+  /// partial tile ends exactly at NumEvents on both paths by
+  /// construction.
   class ChunkCursor {
   public:
-    ChunkCursor(const DispatchTrace &Trace, size_t ChunkEvents)
-        : NumEvents(Trace.numEvents()),
+    ChunkCursor(size_t NumEvents, size_t ChunkEvents)
+        : NumEvents(NumEvents),
           Chunk(ChunkEvents == 0 ? defaultChunkEvents() : ChunkEvents) {}
+    ChunkCursor(const DispatchTrace &Trace, size_t ChunkEvents)
+        : ChunkCursor(Trace.numEvents(), ChunkEvents) {}
 
     /// Advances to the next tile; \returns false when the stream is
     /// exhausted.
@@ -219,6 +226,93 @@ public:
   /// \returns false when the file is missing, shorter than a header,
   /// or has the wrong magic/version.
   static bool peekFileInfo(const std::string &Path, FileInfo &Info);
+
+  //===--- streaming decode (O(tile) replay memory) ------------------------===//
+
+  /// Incremental decoder over a serialized trace file: the streaming
+  /// counterpart of load(). open() performs every validation load()
+  /// performs EXCEPT decoding the event payload — v2: header checksum,
+  /// pinned frame geometry, directory bounds, the exact file-size
+  /// equation, and the quicken block (verified and fully decoded, it is
+  /// side-band metadata orders of magnitude smaller than the events);
+  /// v1: the exact size equation plus a whole-file content-hash
+  /// pre-pass in O(1) memory (flat files carry no per-frame checksums,
+  /// so integrity costs one extra sequential read). read() then hands
+  /// out events in stream order, verifying each v2 frame's checksum
+  /// immediately before decoding it, so working memory stays one frame
+  /// (64K events) regardless of trace length and corruption is still
+  /// loud before a single fabricated event escapes.
+  ///
+  /// The decoded stream is bit-identical to what load() materializes:
+  /// both run the same frame decoder over the same verified bytes.
+  class FrameReader {
+  public:
+    FrameReader();
+    ~FrameReader();
+    FrameReader(const FrameReader &) = delete;
+    FrameReader &operator=(const FrameReader &) = delete;
+
+    /// Opens and validates \p Path (see class comment for what is
+    /// checked when). \returns false with \p Diag set (same grammar as
+    /// load()'s) on any rejection; the reader is then closed.
+    bool open(const std::string &Path, uint64_t ExpectedWorkloadHash,
+              std::string *Diag = nullptr);
+
+    bool isOpen() const { return F != nullptr; }
+
+    // Header facts, valid after a successful open().
+    uint64_t version() const { return VersionV; }
+    uint64_t numEvents() const { return NumEventsV; }
+    uint64_t numQuickens() const { return QuickensV.size(); }
+    uint64_t workloadHash() const { return WorkloadHashV; }
+    /// The verified logical content hash (header word 5): under v2 the
+    /// layered checksums make the declaration trustworthy, under v1
+    /// open()'s pre-pass recomputed and compared it.
+    uint64_t contentHash() const { return ContentHashV; }
+    /// All quicken records, decoded and verified at open() time.
+    const std::vector<QuickenRecord> &quickens() const { return QuickensV; }
+
+    /// Appends up to \p MaxEvents next events (in stream order) to
+    /// \p Out. Fewer are appended only at end of stream; zero appended
+    /// with a true return means the stream is exhausted. \returns
+    /// false — with error() describing the failure, mirroring load()'s
+    /// diagnostics — on I/O error or a frame that fails its checksum
+    /// or decode; the reader is then closed and stays failed.
+    bool read(size_t MaxEvents, std::vector<Event> &Out);
+
+    /// Events not yet handed out by read().
+    uint64_t eventsRemaining() const { return NumEventsV - EventsOut; }
+
+    /// Rewinds to the first event for a fresh pass (the already-
+    /// verified open() state is reused; v1 does NOT re-pay its hash
+    /// pre-pass). \returns false on seek failure.
+    bool rewind();
+
+    /// The failure description of the first failed read()/rewind().
+    const std::string &error() const { return ErrorV; }
+
+  private:
+    bool fail(std::string Why);
+
+    std::FILE *F = nullptr;
+    std::string PathV;
+    std::string ErrorV;
+    uint64_t VersionV = 0;
+    uint64_t NumEventsV = 0;
+    uint64_t WorkloadHashV = 0;
+    uint64_t ContentHashV = 0;
+    std::vector<QuickenRecord> QuickensV;
+    long PayloadStart = 0;   ///< file offset of the first event payload
+    uint64_t EventsOut = 0;  ///< events handed out since open/rewind
+    // v2 state: frame directory, the current frame's raw bytes, and
+    // decoded-but-not-yet-handed-out events of a partially consumed
+    // frame (tiles need not align with frames).
+    std::vector<uint64_t> Dir;
+    uint64_t NextFrame = 0;
+    std::vector<uint8_t> Scratch;
+    std::vector<Event> Pending;
+    size_t PendingPos = 0;
+  };
 
   /// The trace-cache directory (VMIB_TRACE_CACHE), or "" when unset.
   /// A configured directory that does not exist yet is created

@@ -93,7 +93,13 @@ struct ExecUnit {
 /// a worker reads it and a claim ledger is never recycled under a
 /// worker that has not swept the tile yet.
 struct TileSlot {
-  size_t Begin = 0, End = 0;
+  /// The tile's event window. Materialized sources alias the trace
+  /// arena (Raw stays empty); streaming sources decode the tile into
+  /// Raw and Span points at it — the slot owns the only copy of those
+  /// events, so ring memory is O(tile x slots) regardless of trace
+  /// length.
+  EventSpan Span;
+  std::vector<DispatchTrace::Event> Raw;
   std::vector<gang::DecodedChunk> Chunks; ///< one per group
   std::atomic<int64_t> Seq{-1};           ///< tile index this slot holds
   std::atomic<unsigned> Pending{0};       ///< drain count (see above)
@@ -116,8 +122,8 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
   // whole-trace tile, not a multi-GB zeroed buffer).
   size_t ChunkCapacity =
       ChunkEvents == 0 ? DispatchTrace::defaultChunkEvents() : ChunkEvents;
-  if (ChunkCapacity > Trace.numEvents())
-    ChunkCapacity = Trace.numEvents();
+  if (ChunkCapacity > Source.numEvents())
+    ChunkCapacity = Source.numEvents();
 
   // Group members by decode fingerprint: a group of two or more
   // amortizes one SoA decode per tile across all of its members.
@@ -226,7 +232,12 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
   St = Stats();
 
   const size_t M = Members.size();
-  bool Pooled = Threads > 1 && Trace.numEvents() != 0;
+  bool Pooled = Threads > 1 && Source.numEvents() != 0;
+  St.StreamedDecode = Source.streaming();
+  // Source-read accounting costs two clock reads per tile: always pay
+  // it when streaming (the decode-bandwidth number is the point of the
+  // mode), otherwise only when the caller asked for stats.
+  const bool TimedSource = Source.streaming() || StatsOut != nullptr;
 
   // Live-member count per group: once a group's last member drops,
   // decoding for it stops. In the pooled modes a worker decrements
@@ -243,7 +254,7 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
       GroupAlive[GroupOf[I]].fetch_sub(1, std::memory_order_relaxed);
   };
 
-  /// Advances one unit over events [Begin, End) (\p C is the group's
+  /// Advances one unit over the tile in \p Span (\p C is the group's
   /// decoded tile, null for fused units). \returns how many members
   /// actually executed. Singleton units run the scalar kernels exactly
   /// as before; batch units gather their live lanes' state views, make
@@ -252,13 +263,13 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
   /// gatherings) just like a scalar member — finish() re-runs it
   /// through the exact tier.
   auto RunUnitSpan = [&](ExecUnit &U, const gang::DecodedChunk *C,
-                         size_t Begin, size_t End) -> size_t {
+                         const EventSpan &Span) -> size_t {
     if (U.MemberIdx.size() == 1) {
       size_t I = U.MemberIdx[0];
       Slot &Mem = Members[I];
       if (!Mem.Active)
         return 0;
-      bool Ok = C == nullptr ? Mem.Member->runChunk(Trace, Begin, End)
+      bool Ok = C == nullptr ? Mem.Member->runChunk(Span)
                              : Mem.Member->runChunkDecoded(*C);
       if (!Ok)
         DropMember(I);
@@ -296,16 +307,34 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
     // before the cursor advances — group layouts decode once, then
     // their units consume the SoA streams; fused members replay the
     // raw events. A member that overflows its optimistic models drops
-    // out here and re-runs through the exact tier in finish().
-    DispatchTrace::ChunkCursor Cursor(Trace, ChunkEvents);
-    while (Cursor.next()) {
+    // out here and re-runs through the exact tier in finish(). A
+    // streaming source decodes each tile into Raw — the only resident
+    // event buffer — before the units consume it.
+    TraceSource::Cursor Cursor = Source.cursor(ChunkCapacity);
+    std::vector<DispatchTrace::Event> Raw;
+    EventSpan Span;
+    for (;;) {
+      Clock::time_point T0;
+      if (TimedSource)
+        T0 = Clock::now();
+      bool More = Cursor.nextInto(Raw, Span);
+      if (TimedSource)
+        St.SourceReadSeconds += static_cast<double>(elapsedNs(T0)) * 1e-9;
+      if (!More)
+        break;
+      St.SourceEvents += Span.size();
+      if (Source.streaming()) {
+        uint64_t Bytes = Raw.capacity() * sizeof(DispatchTrace::Event);
+        if (Bytes > St.PeakTileRingBytes)
+          St.PeakTileRingBytes = Bytes;
+      }
       for (size_t G = 0; G < Groups.size(); ++G)
         if (GroupAlive[G].load(std::memory_order_relaxed) != 0)
-          Groups[G].Decoder->decode(Trace, Cursor.begin(), Cursor.end());
+          Groups[G].Decoder->decode(Span);
       for (ExecUnit &U : Units)
         RunUnitSpan(U,
                     U.Group < 0 ? nullptr : &Groups[U.Group].Decoder->chunk(),
-                    Cursor.begin(), Cursor.end());
+                    Span);
     }
   } else {
     // Shared-tile worker pool: the calling thread decodes tiles into a
@@ -315,7 +344,8 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
     // exactly the serial event sequence and counters are bit-identical
     // for any thread count and any steal schedule; the ring only
     // bounds how far decode runs ahead.
-    size_t NumTiles = (Trace.numEvents() + ChunkCapacity - 1) / ChunkCapacity;
+    size_t NumTiles =
+        (Source.numEvents() + ChunkCapacity - 1) / ChunkCapacity;
     size_t Slots = std::min<size_t>(4, NumTiles);
     bool Dynamic = Schedule == GangSchedule::Dynamic;
     std::vector<TileSlot> Ring(Slots);
@@ -365,13 +395,13 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
         T0 = Clock::now();
       ExecUnit &U = Units[UI];
       size_t Ran = RunUnitSpan(
-          U, U.Group < 0 ? nullptr : &S.Chunks[U.Group], S.Begin, S.End);
+          U, U.Group < 0 ? nullptr : &S.Chunks[U.Group], S.Span);
       uint64_t Ns = 0;
       if (Timed) {
         Ns = elapsedNs(T0);
         WS.BusySeconds += static_cast<double>(Ns) * 1e-9;
       }
-      WS.EventsReplayed += Ran * (S.End - S.Begin);
+      WS.EventsReplayed += Ran * S.Span.size();
       return Ns;
     };
 
@@ -551,7 +581,7 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
     const unsigned PendingInit =
         Dynamic ? static_cast<unsigned>(NU) + NumWorkers : NumWorkers;
     try {
-      DispatchTrace::ChunkCursor Cursor(Trace, ChunkCapacity);
+      TraceSource::Cursor Cursor = Source.cursor(ChunkCapacity);
       for (size_t T = 0; T < NumTiles; ++T) {
         TileSlot &S = Ring[T % Slots];
         bool Bail = false;
@@ -564,15 +594,28 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
         }
         if (Bail)
           break;
-        bool More = Cursor.next();
+        Clock::time_point T0;
+        if (TimedSource)
+          T0 = Clock::now();
+        bool More = Cursor.nextInto(S.Raw, S.Span);
+        if (TimedSource)
+          St.SourceReadSeconds += static_cast<double>(elapsedNs(T0)) * 1e-9;
         assert(More && "cursor must yield exactly NumTiles tiles");
         (void)More;
-        S.Begin = Cursor.begin();
-        S.End = Cursor.end();
+        St.SourceEvents += S.Span.size();
+        if (Source.streaming()) {
+          // The whole resident event footprint is the ring's decode
+          // buffers; only the decoder mutates them, so their
+          // capacities are safe to read here.
+          uint64_t RingBytes = 0;
+          for (const TileSlot &RS : Ring)
+            RingBytes += RS.Raw.capacity() * sizeof(DispatchTrace::Event);
+          if (RingBytes > St.PeakTileRingBytes)
+            St.PeakTileRingBytes = RingBytes;
+        }
         for (size_t G = 0; G < Groups.size(); ++G)
           if (GroupAlive[G].load(std::memory_order_relaxed) != 0)
-            Groups[G].Decoder->decodeInto(Trace, S.Begin, S.End,
-                                          S.Chunks[G]);
+            Groups[G].Decoder->decodeInto(S.Span, S.Chunks[G]);
         if (Dynamic)
           PlanTile(S);
         S.Pending.store(PendingInit, std::memory_order_relaxed);
@@ -614,7 +657,7 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
   if (!Pooled || Schedule != GangSchedule::Dynamic || M <= 1) {
     Finished.reserve(M);
     for (Slot &Mem : Members)
-      Finished.push_back(Mem.Member->finish(Trace, Finished));
+      Finished.push_back(Mem.Member->finish(Source, Finished));
   } else {
     St.ParallelFinish = true;
     Finished.assign(M, PerfCounters());
@@ -664,7 +707,7 @@ std::vector<PerfCounters> GangReplayer::run(unsigned Threads,
                 return;
               std::this_thread::yield();
             }
-          Finished[I] = Members[I].Member->finish(Trace, Finished);
+          Finished[I] = Members[I].Member->finish(Source, Finished);
           Done[I].store(1, std::memory_order_release);
         }
       } catch (...) {

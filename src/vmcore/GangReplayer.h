@@ -59,6 +59,7 @@
 
 #include "vmcore/GangSchedule.h"
 #include "vmcore/TraceReplayer.h"
+#include "vmcore/TraceSource.h"
 
 #include <cassert>
 #include <memory>
@@ -68,14 +69,16 @@ namespace vmib {
 
 namespace gang {
 
-/// Replays events [Begin, End) of \p Trace through the devirtualized
-/// kernel — the tile-sized inner loop every gang member runs.
+/// Replays one tile of events through the devirtualized kernel — the
+/// tile-sized inner loop every gang member runs. The span may alias a
+/// materialized trace arena or a streaming decode buffer; the kernel
+/// only sees a contiguous (Cur, Next) window either way.
 template <bool Full, class StateT, class PredictorT>
-inline void runSpan(const DispatchTrace &Trace, DispatchProgram &Layout,
-                    StateT &S, PredictorT &Pred, size_t Begin, size_t End) {
-  const std::vector<DispatchTrace::Event> &Events = Trace.events();
+inline void runSpan(const EventSpan &Span, DispatchProgram &Layout,
+                    StateT &S, PredictorT &Pred) {
+  const DispatchTrace::Event *Events = Span.Data;
   sim::NullObserver Obs;
-  for (size_t I = Begin; I < End; ++I)
+  for (size_t I = 0, N = Span.size(); I < N; ++I)
     sim::step<Full>(Layout, S, Pred, Obs, DispatchTrace::cur(Events[I]),
                     DispatchTrace::next(Events[I]));
 }
@@ -93,15 +96,15 @@ inline void runSpan(const DispatchTrace &Trace, DispatchProgram &Layout,
 /// swaps, paid once per ~64K events. Without this the lean
 /// predictor-only kernels run ~2.6x slower in a gang than per-config.
 template <class StateT, class PredictorT>
-inline bool runSpanChecked(const DispatchTrace &Trace,
+inline bool runSpanChecked(const EventSpan &Span,
                            DispatchProgram &Layout, bool Slim, StateT &MemberS,
-                           PredictorT &MemberPred, size_t Begin, size_t End) {
+                           PredictorT &MemberPred) {
   StateT S = std::move(MemberS);
   PredictorT Pred = std::move(MemberPred);
   if (Slim)
-    runSpan<false>(Trace, Layout, S, Pred, Begin, End);
+    runSpan<false>(Span, Layout, S, Pred);
   else
-    runSpan<true>(Trace, Layout, S, Pred, Begin, End);
+    runSpan<true>(Span, Layout, S, Pred);
   bool Ok = !TraceReplayer::overflowed(S.ICache) &&
             !TraceReplayer::overflowed(Pred);
   MemberS = std::move(S);
@@ -201,20 +204,19 @@ public:
     return C;
   }
 
-  /// Decodes events [Begin, End) into \p Out. The fallback state
+  /// Decodes one tile of events into \p Out. The fallback state
   /// machine and the first-touch bitmaps live in the decoder, so calls
   /// MUST cover the event stream in strict tile order regardless of
   /// where the output lands (the single decoder thread of a parallel
   /// run preserves this).
-  void decodeInto(const DispatchTrace &Trace, size_t Begin, size_t End,
-                  DecodedChunk &Out) {
+  void decodeInto(const EventSpan &Span, DecodedChunk &Out) {
     if (Slim)
-      decodeSpan<false>(Trace, Begin, End, Out);
+      decodeSpan<false>(Span, Out);
     else
-      decodeSpan<true>(Trace, Begin, End, Out);
+      decodeSpan<true>(Span, Out);
   }
 
-  void decode(const DispatchTrace &Trace, size_t Begin, size_t End) {
+  void decode(const EventSpan &Span) {
     // The internal scratch exists only for the serial path; parallel
     // runs decode into ring slots, so allocate it lazily rather than
     // carrying dead tile-capacity buffers per group.
@@ -222,7 +224,7 @@ public:
       D.reserve(Capacity, Layout.numPieces());
       ScratchReady = true;
     }
-    decodeInto(Trace, Begin, End, D);
+    decodeInto(Span, D);
   }
 
 private:
@@ -230,9 +232,8 @@ private:
   /// simulating; any change here must stay in lockstep with the
   /// kernel (GangReplayTest pins the equivalence).
   template <bool Full>
-  void decodeSpan(const DispatchTrace &Trace, size_t Begin, size_t End,
-                  DecodedChunk &Out) {
-    const std::vector<DispatchTrace::Event> &Events = Trace.events();
+  void decodeSpan(const EventSpan &Span, DecodedChunk &Out) {
+    const DispatchTrace::Event *Events = Span.Data;
     DecodedChunk::BranchRec *Branches = Out.Branches.data();
     DecodedChunk::FetchRec *Fetches = Out.Fetches.data();
     size_t NB = 0, NF = 0;
@@ -240,7 +241,7 @@ private:
     bool Fallback = InFallback;
     uint32_t Until = FallbackUntil;
 
-    for (size_t I = Begin; I < End; ++I) {
+    for (size_t I = 0, N = Span.size(); I < N; ++I) {
       uint32_t Cur = DispatchTrace::cur(Events[I]);
       uint32_t Next = DispatchTrace::next(Events[I]);
 
@@ -302,7 +303,7 @@ private:
 
     Out.NumBranches = NB;
     Out.NumFetches = NF;
-    Out.VMInstructions = End - Begin;
+    Out.VMInstructions = Span.size();
     Out.Instructions = Instructions;
     Out.DispatchCount = DispatchCount;
     Out.ColdStubBranches = ColdStubs;
@@ -413,11 +414,10 @@ class GangMember {
 public:
   virtual ~GangMember() = default;
 
-  /// Replays events [Begin, End). \returns false if this member's
+  /// Replays one tile of events. \returns false if this member's
   /// optimistic models overflowed — it then drops out of the gang and
   /// finish() re-runs it through the exact tier.
-  virtual bool runChunk(const DispatchTrace &Trace, size_t Begin,
-                        size_t End) = 0;
+  virtual bool runChunk(const EventSpan &Span) = 0;
 
   /// The layout this member can share a GroupDecoder over, or nullptr
   /// if it must decode fused (quickening members mutate their layout
@@ -459,8 +459,11 @@ public:
   /// finalization. \p Finished holds the results of all *earlier*
   /// members (baseline references resolve in member order; a parallel
   /// finish pass passes a full-size vector and guarantees only that
-  /// the finishDependency() entry is already populated).
-  virtual PerfCounters finish(const DispatchTrace &Trace,
+  /// the finishDependency() entry is already populated). Deferred
+  /// re-runs read the whole stream again through \p Source — under a
+  /// streaming source each fallback opens its own cursor, so deferred
+  /// finishes stay O(tile) and may run concurrently.
+  virtual PerfCounters finish(const TraceSource &Source,
                               const std::vector<PerfCounters> &Finished) = 0;
 
   /// Sentinel for finishDependency(): no earlier-member input needed.
@@ -496,13 +499,10 @@ public:
       IdealPred = std::make_unique<BTB>(Config);
   }
 
-  bool runChunk(const DispatchTrace &Trace, size_t Begin,
-                size_t End) override {
+  bool runChunk(const EventSpan &Span) override {
     bool Ok = FastPred
-                  ? runSpanChecked(Trace, *Layout, Slim, S, *FastPred,
-                                   Begin, End)
-                  : runSpanChecked(Trace, *Layout, Slim, S, *IdealPred,
-                                   Begin, End);
+                  ? runSpanChecked(Span, *Layout, Slim, S, *FastPred)
+                  : runSpanChecked(Span, *Layout, Slim, S, *IdealPred);
     if (!Ok)
       ICacheOverflowed = S.ICache.overflowed();
     return Ok;
@@ -535,7 +535,7 @@ public:
     return Ok;
   }
 
-  PerfCounters finish(const DispatchTrace &Trace,
+  PerfCounters finish(const TraceSource &Source,
                       const std::vector<PerfCounters> &) override {
     if (!Dropped())
       return TraceReplayer::finalize(S.Counters, *Layout, Cpu);
@@ -545,8 +545,8 @@ public:
     // deterministic, so go straight to the exact-LRU models.
     BTB Exact(Config);
     if (ICacheOverflowed)
-      return TraceReplayer::replayExactNoQuicken(Trace, *Layout, Cpu, Exact);
-    return TraceReplayer::replay(Trace, *Layout, /*MutableProgram=*/nullptr,
+      return TraceReplayer::replayExactNoQuicken(Source, *Layout, Cpu, Exact);
+    return TraceReplayer::replay(Source, *Layout, /*MutableProgram=*/nullptr,
                                  Cpu, Exact);
   }
 
@@ -605,15 +605,13 @@ public:
       IdealPred = std::make_unique<BTB>(Config);
   }
 
-  bool runChunk(const DispatchTrace &Trace, size_t Begin,
-                size_t End) override {
+  bool runChunk(const EventSpan &Span) override {
     if (FastPred) {
-      bool Ok = runSpanChecked(Trace, *Layout, Slim, S, *FastPred, Begin,
-                               End);
+      bool Ok = runSpanChecked(Span, *Layout, Slim, S, *FastPred);
       Overflowed |= !Ok;
       return Ok;
     }
-    return runSpanChecked(Trace, *Layout, Slim, S, *IdealPred, Begin, End);
+    return runSpanChecked(Span, *Layout, Slim, S, *IdealPred);
   }
 
   const DispatchProgram *soaLayout() const override { return Layout.get(); }
@@ -649,13 +647,13 @@ public:
     return Ok;
   }
 
-  PerfCounters finish(const DispatchTrace &Trace,
+  PerfCounters finish(const TraceSource &Source,
                       const std::vector<PerfCounters> &Finished) override {
     assert(FetchBaseline < Finished.size() &&
            "fetch baseline must be an earlier gang member");
     if (Overflowed) {
       BTB Exact(Config);
-      return TraceReplayer::replayPredictorOnly(Trace, *Layout, Cpu, Exact,
+      return TraceReplayer::replayPredictorOnly(Source, *Layout, Cpu, Exact,
                                                 Finished[FetchBaseline]);
     }
     S.Counters.ICacheMisses = Finished[FetchBaseline].ICacheMisses;
@@ -691,9 +689,8 @@ public:
       : Layout(std::move(Layout)), Cpu(Cpu), Pred(std::move(Pred)),
         Slim(TraceReplayer::isSlimLayout(*this->Layout)), S(Cpu.ICache) {}
 
-  bool runChunk(const DispatchTrace &Trace, size_t Begin,
-                size_t End) override {
-    bool Ok = runSpanChecked(Trace, *Layout, Slim, S, Pred, Begin, End);
+  bool runChunk(const EventSpan &Span) override {
+    bool Ok = runSpanChecked(Span, *Layout, Slim, S, Pred);
     Overflowed |= !Ok;
     return Ok;
   }
@@ -714,12 +711,12 @@ public:
     return Ok;
   }
 
-  PerfCounters finish(const DispatchTrace &Trace,
+  PerfCounters finish(const TraceSource &Source,
                       const std::vector<PerfCounters> &) override {
     if (!Overflowed)
       return TraceReplayer::finalize(S.Counters, *Layout, Cpu);
     Pred.reset(); // discard the overflowed attempt, as replay() does
-    return TraceReplayer::replayExactNoQuicken(Trace, *Layout, Cpu, Pred);
+    return TraceReplayer::replayExactNoQuicken(Source, *Layout, Cpu, Pred);
   }
 
   uint64_t stateBytes() const override {
@@ -748,9 +745,8 @@ public:
         FetchBaseline(FetchBaseline),
         Slim(TraceReplayer::isSlimLayout(*this->Layout)), S(Cpu.ICache) {}
 
-  bool runChunk(const DispatchTrace &Trace, size_t Begin,
-                size_t End) override {
-    bool Ok = runSpanChecked(Trace, *Layout, Slim, S, Pred, Begin, End);
+  bool runChunk(const EventSpan &Span) override {
+    bool Ok = runSpanChecked(Span, *Layout, Slim, S, Pred);
     Overflowed |= !Ok;
     return Ok;
   }
@@ -767,13 +763,13 @@ public:
     return Ok;
   }
 
-  PerfCounters finish(const DispatchTrace &Trace,
+  PerfCounters finish(const TraceSource &Source,
                       const std::vector<PerfCounters> &Finished) override {
     assert(FetchBaseline < Finished.size() &&
            "fetch baseline must be an earlier gang member");
     if (Overflowed) {
       Pred.reset();
-      return TraceReplayer::replayPredictorOnly(Trace, *Layout, Cpu, Pred,
+      return TraceReplayer::replayPredictorOnly(Source, *Layout, Cpu, Pred,
                                                 Finished[FetchBaseline]);
     }
     S.Counters.ICacheMisses = Finished[FetchBaseline].ICacheMisses;
@@ -803,20 +799,21 @@ private:
 /// never apply — same rule as TraceReplayer::replay).
 class QuickeningMember final : public GangMember {
 public:
+  /// \p Quickens is the trace's quicken record stream (borrowed; the
+  /// owning GangReplayer's TraceSource keeps it alive for the run —
+  /// streaming sources materialize the side-band records at open).
   QuickeningMember(std::shared_ptr<DispatchProgram> Layout,
                    std::shared_ptr<VMProgram> Program, const CpuConfig &Cpu,
-                   const BTBConfig &Config)
+                   const BTBConfig &Config,
+                   const std::vector<DispatchTrace::QuickenRecord> &Quickens)
       : Layout(std::move(Layout)), Program(std::move(Program)), Cpu(Cpu),
-        Pred(Config), S(Cpu.ICache) {
+        Pred(Config), S(Cpu.ICache), Quickens(Quickens) {
     assert(&this->Layout->program() == this->Program.get() &&
            "layout must be built over this member's program copy");
   }
 
-  bool runChunk(const DispatchTrace &Trace, size_t Begin,
-                size_t End) override {
-    const std::vector<DispatchTrace::Event> &Events = Trace.events();
-    const std::vector<DispatchTrace::QuickenRecord> &Quickens =
-        Trace.quickens();
+  bool runChunk(const EventSpan &Span) override {
+    const DispatchTrace::Event *Events = Span.Data;
     sim::NullObserver Obs;
     // Hoist the models into stack locals for the tile (see
     // runSpanChecked): heap member state cannot be registerized
@@ -825,7 +822,7 @@ public:
     BTB LocalPred = std::move(Pred);
     size_t LocalQIdx = QIdx;
     uint64_t LocalDone = Done;
-    for (size_t I = Begin; I < End; ++I) {
+    for (size_t I = 0, N = Span.size(); I < N; ++I) {
       sim::step(*Layout, LocalS, LocalPred, Obs,
                 DispatchTrace::cur(Events[I]),
                 DispatchTrace::next(Events[I]));
@@ -847,10 +844,10 @@ public:
     return true; // exact models never overflow
   }
 
-  PerfCounters finish(const DispatchTrace &Trace,
+  PerfCounters finish(const TraceSource &Source,
                       const std::vector<PerfCounters> &) override {
-    assert(QIdx == Trace.quickens().size() && "unconsumed quicken records");
-    (void)Trace;
+    assert(QIdx == Source.numQuickens() && "unconsumed quicken records");
+    (void)Source;
     return TraceReplayer::finalize(S.Counters, *Layout, Cpu);
   }
 
@@ -865,6 +862,7 @@ private:
   CpuConfig Cpu;
   BTB Pred;
   sim::DispatchState S;
+  const std::vector<DispatchTrace::QuickenRecord> &Quickens;
   size_t QIdx = 0;
   uint64_t Done = 0;
 };
@@ -885,10 +883,15 @@ private:
 /// shape: the tile is decoded once per host, not once per process).
 class GangReplayer {
 public:
+  /// \p Source is the replay input: a materialized DispatchTrace
+  /// (implicitly converted; must outlive the gang) or a streaming
+  /// TraceSource whose tiles are decoded on demand — the decoder
+  /// thread then fills the tile ring straight from the trace file and
+  /// working memory is O(tile x ring), independent of trace length.
   /// \p ChunkEvents sizes the tile; 0 uses
   /// DispatchTrace::defaultChunkEvents() (VMIB_GANG_CHUNK override).
-  explicit GangReplayer(const DispatchTrace &Trace, size_t ChunkEvents = 0)
-      : Trace(Trace), ChunkEvents(ChunkEvents) {}
+  explicit GangReplayer(TraceSource Source, size_t ChunkEvents = 0)
+      : Source(std::move(Source)), ChunkEvents(ChunkEvents) {}
 
   /// Full replay with \p Cpu's default BTB (the common sweep cell).
   size_t addDefault(std::shared_ptr<DispatchProgram> Layout,
@@ -900,7 +903,7 @@ public:
   /// (use addQuickening for JVM traces).
   size_t addBtb(std::shared_ptr<DispatchProgram> Layout, const CpuConfig &Cpu,
                 const BTBConfig &Config) {
-    assert(Trace.numQuickens() == 0 &&
+    assert(Source.numQuickens() == 0 &&
            "quickening trace needs addQuickening members");
     return adopt(std::make_unique<gang::BtbMember>(std::move(Layout), Cpu,
                                                    Config));
@@ -911,7 +914,7 @@ public:
   size_t addBtbPredictorOnly(std::shared_ptr<DispatchProgram> Layout,
                              const CpuConfig &Cpu, const BTBConfig &Config,
                              size_t FetchBaseline) {
-    assert(Trace.numQuickens() == 0 &&
+    assert(Source.numQuickens() == 0 &&
            "predictor-only members need a quicken-free trace");
     assert(FetchBaseline < Members.size() &&
            "fetch baseline must be an earlier gang member");
@@ -923,7 +926,7 @@ public:
   template <class PredictorT>
   size_t addPredictor(std::shared_ptr<DispatchProgram> Layout,
                       const CpuConfig &Cpu, PredictorT Pred) {
-    assert(Trace.numQuickens() == 0 &&
+    assert(Source.numQuickens() == 0 &&
            "quickening trace needs addQuickening members");
     return adopt(std::make_unique<gang::PredictorMember<PredictorT>>(
         std::move(Layout), Cpu, std::move(Pred)));
@@ -935,7 +938,7 @@ public:
   size_t addPredictorOnly(std::shared_ptr<DispatchProgram> Layout,
                           const CpuConfig &Cpu, PredictorT Pred,
                           size_t FetchBaseline) {
-    assert(Trace.numQuickens() == 0 &&
+    assert(Source.numQuickens() == 0 &&
            "predictor-only members need a quicken-free trace");
     assert(FetchBaseline < Members.size() &&
            "fetch baseline must be an earlier gang member");
@@ -957,7 +960,8 @@ public:
                        std::shared_ptr<VMProgram> Program,
                        const CpuConfig &Cpu, const BTBConfig &Config) {
     return adopt(std::make_unique<gang::QuickeningMember>(
-        std::move(Layout), std::move(Program), Cpu, Config));
+        std::move(Layout), std::move(Program), Cpu, Config,
+        Source.quickens()));
   }
 
   size_t size() const { return Members.size(); }
@@ -1010,6 +1014,19 @@ public:
     double FinishSeconds = 0;
     /// Whether the finish pass drained on the worker pool.
     bool ParallelFinish = false;
+    /// Whether this run decoded its tiles from the trace file
+    /// (streaming TraceSource) rather than a materialized arena.
+    bool StreamedDecode = false;
+    /// Wall time the decoder spent acquiring event tiles from the
+    /// source (streaming frame decode, or pointer arithmetic when
+    /// materialized — effectively 0 there).
+    double SourceReadSeconds = 0;
+    /// Events the decoder pulled from the source this run.
+    uint64_t SourceEvents = 0;
+    /// High-water mark of the streaming tile-ring event buffers
+    /// (bytes; 0 for materialized runs) — the number the O(tile)
+    /// memory claim is audited by.
+    uint64_t PeakTileRingBytes = 0;
 
     /// Accumulates \p O (worker rows summed index-wise) — how the
     /// sweep executor folds per-gang stats into a sweep-level view.
@@ -1025,6 +1042,11 @@ public:
       DeferredFinishes += O.DeferredFinishes;
       FinishSeconds += O.FinishSeconds;
       ParallelFinish |= O.ParallelFinish;
+      StreamedDecode |= O.StreamedDecode;
+      SourceReadSeconds += O.SourceReadSeconds;
+      SourceEvents += O.SourceEvents;
+      if (O.PeakTileRingBytes > PeakTileRingBytes)
+        PeakTileRingBytes = O.PeakTileRingBytes;
     }
   };
 
@@ -1080,7 +1102,7 @@ private:
     bool Active;
   };
 
-  const DispatchTrace &Trace;
+  TraceSource Source;
   size_t ChunkEvents;
   std::vector<Slot> Members;
   std::vector<uint64_t> SeedCostNs;

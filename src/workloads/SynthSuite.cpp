@@ -6,6 +6,7 @@
 #include "support/Random.h"
 #include "vmcore/DispatchSim.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -63,8 +64,11 @@ uint64_t mix64(uint64_t H, uint64_t V) {
 bool parseU64(const char *&P, uint64_t &Out) {
   if (*P < '0' || *P > '9')
     return false;
+  errno = 0;
   char *End = nullptr;
   Out = std::strtoull(P, &End, 10);
+  if (errno != 0) // out-of-range: strtoull saturates silently
+    return false;
   P = End;
   return true;
 }

@@ -375,6 +375,53 @@ TEST(TraceSerialization, LabTraceCacheRoundTrip) {
   std::remove(Path.c_str());
 }
 
+TEST(TraceSerialization, DecodeModeSelectsTheRequestedPath) {
+  // The decode ladder must honor EXPLICIT modes: Materialize may never
+  // silently stream (regression: it once fell through to the
+  // openStreaming block when the arena was not yet cached), Stream
+  // must stream when a cache file exists, and replays through both
+  // sources stay bit-identical.
+  const char *Dir = "/tmp/vmib-decode-mode-test";
+  ::mkdir(Dir, 0755);
+  setenv("VMIB_TRACE_CACHE", Dir, 1);
+
+  ForthLab &Lab = forthLab();
+  CpuConfig P4 = makePentium4Northwood();
+  VariantSpec Threaded = makeVariant(DispatchStrategy::Threaded);
+
+  Lab.dropTrace("vmgen");
+  (void)Lab.trace("vmgen"); // capture + save the streamable file
+  std::string Path = DispatchTrace::cachePathFor("forth-vmgen");
+  PerfCounters Ref = Lab.replay("vmgen", Threaded, P4);
+
+  Lab.dropTrace("vmgen"); // nothing materialized from here on
+  TraceSource Streamed =
+      Lab.traceSource("vmgen", TraceDecodeMode::Stream);
+  EXPECT_TRUE(Streamed.streaming());
+
+  Lab.dropTrace("vmgen");
+  TraceSource Materialized =
+      Lab.traceSource("vmgen", TraceDecodeMode::Materialize);
+  EXPECT_FALSE(Materialized.streaming());
+  EXPECT_EQ(Streamed.contentHash(), Materialized.contentHash());
+  EXPECT_EQ(Streamed.numEvents(), Materialized.numEvents());
+
+  // Both sources drive a gang to the same counters.
+  for (TraceSource *Src : {&Streamed, &Materialized}) {
+    GangReplayer Gang(*Src);
+    Gang.addBtb(Lab.buildLayout("vmgen", Threaded), P4, P4.Btb);
+    std::vector<PerfCounters> R = Gang.run();
+    ASSERT_EQ(R.size(), 1u);
+    expectEqualCounters(Ref, R[0],
+                        Src->streaming() ? "streamed gang"
+                                         : "materialized gang");
+  }
+
+  unsetenv("VMIB_TRACE_CACHE");
+  Lab.dropTrace("vmgen");
+  std::remove(Path.c_str());
+}
+
 TEST(PipelineSweep, OverlapsCaptureWithReplayInOrder) {
   constexpr size_t N = 17;
   std::vector<std::atomic<int>> Captured(N);

@@ -386,6 +386,14 @@ TEST(FaultInjection, RejectsMalformedPlans) {
   EXPECT_FALSE(parseFaultPlan("kill=0.7,hang=0.7", Plan, Error));
   EXPECT_NE(Error.find("sum past 1"), std::string::npos);
   EXPECT_FALSE(parseFaultPlan("seed=notanumber", Plan, Error));
+  // Regression: strtoull quietly accepts "-1" (wrapping to 2^64-1) and
+  // saturates on overflow — both must reject, not seed silently.
+  EXPECT_FALSE(parseFaultPlan("seed=-1", Plan, Error));
+  EXPECT_NE(Error.find("seed"), std::string::npos);
+  EXPECT_FALSE(parseFaultPlan("seed=99999999999999999999999", Plan, Error));
+  EXPECT_NE(Error.find("seed"), std::string::npos);
+  EXPECT_FALSE(parseFaultPlan("seed=", Plan, Error));
+  EXPECT_FALSE(parseFaultPlan("seed=42x", Plan, Error));
 }
 
 TEST(FaultInjection, DrawsAreDeterministicAndAttemptFresh) {

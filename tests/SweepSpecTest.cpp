@@ -234,6 +234,51 @@ TEST(SweepSpec, ScheduleFieldCompatAndRoundTrip) {
   EXPECT_FALSE(gangScheduleFromId("Dynamic", S));
 }
 
+TEST(SweepSpec, DecodeFieldCompatAndRoundTrip) {
+  // A pre-streaming spec (no `decode` declaration) must parse as Auto,
+  // not fail.
+  std::string Modern = printSweepSpec(forthRunSpec());
+  size_t Pos = Modern.find("decode auto\n");
+  ASSERT_NE(Pos, std::string::npos);
+  std::string Legacy = Modern;
+  Legacy.erase(Pos, std::strlen("decode auto\n"));
+  SweepSpec P;
+  std::string Error;
+  ASSERT_TRUE(parseSweepSpec(Legacy, P, Error)) << Error;
+  EXPECT_EQ(P.Decode, TraceDecodeMode::Auto);
+
+  // Both explicit modes round-trip exactly.
+  for (const char *Mode : {"materialize", "stream"}) {
+    std::string Explicit = Modern;
+    Explicit.replace(Pos, std::strlen("decode auto\n"),
+                     std::string("decode ") + Mode + "\n");
+    ASSERT_TRUE(parseSweepSpec(Explicit, P, Error)) << Error;
+    EXPECT_EQ(traceDecodeModeId(P.Decode), std::string(Mode));
+    EXPECT_NE(printSweepSpec(P).find(std::string("decode ") + Mode + "\n"),
+              std::string::npos);
+  }
+
+  // Malformed values are rejected with a diagnostic.
+  for (const char *Bad : {"decode bogus\n", "decode stream extra\n",
+                          "decode\n"}) {
+    std::string Broken = Modern;
+    Broken.replace(Pos, std::strlen("decode auto\n"), Bad);
+    EXPECT_FALSE(parseSweepSpec(Broken, P, Error)) << Bad;
+    EXPECT_FALSE(Error.empty());
+  }
+
+  // The id helpers are the stable spec/CLI tokens.
+  TraceDecodeMode M;
+  EXPECT_TRUE(traceDecodeModeFromId("materialize", M));
+  EXPECT_EQ(M, TraceDecodeMode::Materialize);
+  EXPECT_TRUE(traceDecodeModeFromId("stream", M));
+  EXPECT_EQ(M, TraceDecodeMode::Stream);
+  EXPECT_TRUE(traceDecodeModeFromId("auto", M));
+  EXPECT_EQ(M, TraceDecodeMode::Auto);
+  EXPECT_FALSE(traceDecodeModeFromId("Stream", M));
+  EXPECT_FALSE(traceDecodeModeFromId("", M));
+}
+
 TEST(SweepSpec, ParseRejectsMalformedSpecs) {
   SweepSpec P;
   std::string Error;

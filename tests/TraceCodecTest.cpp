@@ -25,6 +25,7 @@
 #include "support/Random.h"
 #include "vmcore/DispatchTrace.h"
 #include "vmcore/GangKernels.h"
+#include "vmcore/TraceSource.h"
 
 #include <gtest/gtest.h>
 
@@ -286,4 +287,206 @@ TEST(TraceCodecTest, BatchedKernelMatchesScalarLanes) {
   EXPECT_TRUE(Reference[0].overflowed())
       << "pressure geometry never overflowed; the overflow path went "
          "untested";
+}
+
+namespace {
+
+/// A multi-frame walk with quicken records clustered around the v2
+/// 64K-event frame boundaries — the shapes where a streaming decoder
+/// with per-frame state is most likely to diverge from load().
+DispatchTrace makeMultiFrameTrace(uint32_t NumEvents) {
+  DispatchTrace T;
+  Xoroshiro128 Rng(0x73747265616dULL);
+  uint32_t Ip = 0;
+  for (uint32_t I = 0; I < NumEvents; ++I) {
+    uint32_t Next = Ip % 16 == 15
+                        ? static_cast<uint32_t>(Rng.nextBelow(4096)) * 16
+                        : Ip + 1;
+    T.append(Ip, Next);
+    Ip = Next;
+    // Quickens at, just before, and just after each frame boundary,
+    // plus a sparse background population.
+    uint32_t InFrame = I % 65536;
+    if (InFrame == 65535 || InFrame == 0 || InFrame == 1 || I % 9973 == 0) {
+      VMInstr Q;
+      Q.Op = static_cast<Opcode>(I % 31);
+      Q.A = static_cast<int64_t>(I) * 3 - 1000;
+      Q.B = -static_cast<int64_t>(InFrame);
+      T.appendQuicken(I, Q);
+    }
+  }
+  return T;
+}
+
+} // namespace
+
+TEST(TraceCodecTest, StreamingDecodeBitIdenticalToMaterialized) {
+  // ~2.3 frames of events, quickens straddling both frame boundaries.
+  DispatchTrace T = makeMultiFrameTrace(150000);
+  std::string Path = tempPath("stream");
+  for (bool Compressed : {false, true}) {
+    ASSERT_TRUE(T.saveEncoded(Path, WorkloadHash, Compressed));
+
+    TraceSource Stream;
+    std::string Diag;
+    ASSERT_TRUE(TraceSource::openStreaming(Path, WorkloadHash, Stream, &Diag))
+        << Diag;
+    ASSERT_TRUE(Stream.streaming());
+    EXPECT_EQ(T.numEvents(), Stream.numEvents());
+    EXPECT_EQ(T.contentHash(), Stream.contentHash());
+    ASSERT_EQ(T.numQuickens(), Stream.numQuickens());
+    for (size_t I = 0; I < T.numQuickens(); ++I) {
+      EXPECT_EQ(T.quickens()[I].AfterEvents, Stream.quickens()[I].AfterEvents);
+      EXPECT_EQ(T.quickens()[I].Index, Stream.quickens()[I].Index);
+      EXPECT_EQ(0, std::memcmp(&T.quickens()[I].NewInstr,
+                               &Stream.quickens()[I].NewInstr,
+                               sizeof(VMInstr)));
+    }
+
+    TraceSource Mat(T);
+    // Tile sizes chosen to hit every boundary class: odd (tiles
+    // straddle frames), the default, one frame exactly, and oversize
+    // (one tile spanning the whole trace).
+    for (size_t Chunk : {size_t(999), size_t(0), size_t(65536),
+                         size_t(1) << 21}) {
+      TraceSource::Cursor SC = Stream.cursor(Chunk);
+      TraceSource::Cursor MC = Mat.cursor(Chunk);
+      std::vector<DispatchTrace::Event> SBuf, MBuf;
+      EventSpan SSpan, MSpan;
+      size_t Tiles = 0;
+      for (;;) {
+        bool SMore = SC.nextInto(SBuf, SSpan);
+        bool MMore = MC.nextInto(MBuf, MSpan);
+        ASSERT_EQ(MMore, SMore) << "tile count diverged at tile " << Tiles
+                                << " chunk " << Chunk;
+        if (!SMore)
+          break;
+        ASSERT_EQ(MSpan.Begin, SSpan.Begin) << "chunk " << Chunk;
+        ASSERT_EQ(MSpan.End, SSpan.End) << "chunk " << Chunk;
+        ASSERT_EQ(0, std::memcmp(MSpan.Data, SSpan.Data,
+                                 SSpan.size() * sizeof(DispatchTrace::Event)))
+            << "tile " << Tiles << " chunk " << Chunk
+            << (Compressed ? " (compressed)" : " (flat)");
+        ++Tiles;
+      }
+    }
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCodecTest, FrameReaderIncrementalApi) {
+  DispatchTrace T = makeMultiFrameTrace(70000); // frame + partial frame
+  std::string Path = tempPath("reader");
+  ASSERT_TRUE(T.saveEncoded(Path, WorkloadHash, /*Compressed=*/true));
+
+  DispatchTrace::FrameReader R;
+  std::string Diag;
+  ASSERT_TRUE(R.open(Path, WorkloadHash, &Diag)) << Diag;
+  EXPECT_EQ(2u, R.version());
+  EXPECT_EQ(T.numEvents(), R.numEvents());
+  EXPECT_EQ(T.numQuickens(), R.numQuickens());
+  EXPECT_EQ(WorkloadHash, R.workloadHash());
+  EXPECT_EQ(T.contentHash(), R.contentHash());
+
+  // Odd-sized bites across the frame boundary; read() appends.
+  std::vector<DispatchTrace::Event> Got;
+  while (R.eventsRemaining() > 0) {
+    size_t Before = Got.size();
+    ASSERT_TRUE(R.read(777, Got)) << R.error();
+    ASSERT_GT(Got.size(), Before) << "no progress before end of stream";
+  }
+  ASSERT_EQ(T.numEvents(), Got.size());
+  EXPECT_EQ(0, std::memcmp(T.events().data(), Got.data(),
+                           Got.size() * sizeof(DispatchTrace::Event)));
+  // Exhausted: a further read appends nothing but still succeeds.
+  size_t AtEnd = Got.size();
+  ASSERT_TRUE(R.read(100, Got));
+  EXPECT_EQ(AtEnd, Got.size());
+
+  // Rewind, second pass in one gulp: identical bytes.
+  ASSERT_TRUE(R.rewind());
+  EXPECT_EQ(T.numEvents(), R.eventsRemaining());
+  std::vector<DispatchTrace::Event> Again;
+  ASSERT_TRUE(R.read(T.numEvents(), Again)) << R.error();
+  EXPECT_EQ(0, std::memcmp(T.events().data(), Again.data(),
+                           Again.size() * sizeof(DispatchTrace::Event)));
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCodecTest, StreamingZeroEventsAndOversizeChunk) {
+  DispatchTrace Empty;
+  std::string Path = tempPath("empty");
+  for (bool Compressed : {false, true}) {
+    ASSERT_TRUE(Empty.saveEncoded(Path, WorkloadHash, Compressed));
+    TraceSource S;
+    std::string Diag;
+    ASSERT_TRUE(TraceSource::openStreaming(Path, WorkloadHash, S, &Diag))
+        << Diag;
+    EXPECT_EQ(0u, S.numEvents());
+    TraceSource::Cursor C = S.cursor(4096);
+    std::vector<DispatchTrace::Event> Buf;
+    EventSpan Span;
+    EXPECT_FALSE(C.nextInto(Buf, Span)) << "zero-event trace yielded a tile";
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCodecTest, StreamingRejectsBitCorruption) {
+  DispatchTrace T = makeMultiFrameTrace(100000);
+  std::string Path = tempPath("corrupt");
+
+  // v2: open() validates header/directory/quickens; a flipped byte in
+  // an event frame is caught by that frame's checksum at read() time,
+  // before any decoded event escapes.
+  ASSERT_TRUE(T.saveEncoded(Path, WorkloadHash, /*Compressed=*/true));
+  {
+    // Find the payload region: flip a byte well inside the event
+    // frames (half-way through the file is always event payload for
+    // this shape — quickens are a tiny tail).
+    FILE *F = std::fopen(Path.c_str(), "r+b");
+    ASSERT_NE(nullptr, F);
+    std::fseek(F, 0, SEEK_END);
+    long Size = std::ftell(F);
+    std::fseek(F, Size / 2, SEEK_SET);
+    int Byte = std::fgetc(F);
+    std::fseek(F, Size / 2, SEEK_SET);
+    std::fputc(Byte ^ 0x40, F);
+    std::fclose(F);
+
+    DispatchTrace::FrameReader R;
+    std::string Diag;
+    ASSERT_TRUE(R.open(Path, WorkloadHash, &Diag))
+        << "v2 open should defer payload verification: " << Diag;
+    std::vector<DispatchTrace::Event> Out;
+    bool Failed = false;
+    while (R.eventsRemaining() > 0)
+      if (!R.read(65536, Out)) {
+        Failed = true;
+        break;
+      }
+    ASSERT_TRUE(Failed) << "corrupt frame decoded without complaint";
+    EXPECT_NE(std::string::npos, R.error().find("checksum"))
+        << "unexpected diagnostic: " << R.error();
+  }
+
+  // v1: no per-frame checksums, so open() pays a whole-file hash
+  // pre-pass and rejects up front.
+  ASSERT_TRUE(T.saveEncoded(Path, WorkloadHash, /*Compressed=*/false));
+  {
+    FILE *F = std::fopen(Path.c_str(), "r+b");
+    ASSERT_NE(nullptr, F);
+    std::fseek(F, 0, SEEK_END);
+    long Size = std::ftell(F);
+    std::fseek(F, Size / 2, SEEK_SET);
+    int Byte = std::fgetc(F);
+    std::fseek(F, Size / 2, SEEK_SET);
+    std::fputc(Byte ^ 0x40, F);
+    std::fclose(F);
+
+    DispatchTrace::FrameReader R;
+    std::string Diag;
+    EXPECT_FALSE(R.open(Path, WorkloadHash, &Diag))
+        << "v1 open accepted a corrupt file";
+  }
+  std::remove(Path.c_str());
 }

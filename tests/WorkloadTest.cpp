@@ -11,6 +11,7 @@
 #include "harness/JavaLab.h"
 #include "workloads/ForthSuite.h"
 #include "workloads/JavaSuite.h"
+#include "workloads/SynthSuite.h"
 
 #include <gtest/gtest.h>
 
@@ -167,4 +168,37 @@ TEST(JavaSuiteCross, RuntimeOverheadDampensNotReorders) {
   PerfCounters Across =
       Lab.run("javac", makeVariant(DispatchStrategy::AcrossBB), Cpu);
   EXPECT_LT(Across.Cycles, Plain.Cycles); // still faster, just damped
+}
+
+//===----------------------------------------------------------------------===//
+// Synthetic benchmark names
+//===----------------------------------------------------------------------===//
+
+TEST(SynthSuite, BenchmarkNameParseRejections) {
+  SynthWorkloadParams P;
+  std::string Error;
+  ASSERT_TRUE(parseSynthBenchmarkName("synth-markov-s7-n100k-e50", P,
+                                      &Error))
+      << Error;
+  EXPECT_EQ(P.Seed, 7u);
+  EXPECT_EQ(P.NumEvents, 100000u);
+  EXPECT_EQ(P.EntropyPct, 50u);
+
+  // Regression: every numeric field rejects garbage, "-1" (strtoull
+  // would wrap it to 2^64-1), and out-of-range values instead of
+  // silently saturating into a workload hash.
+  for (const char *Bad : {
+           "synth-markov-sx-n100k-e50",                       // garbage seed
+           "synth-markov-s-1-n100k-e50",                      // negative seed
+           "synth-markov-s99999999999999999999999-n100k-e50", // overflow
+           "synth-markov-s7-nx-e50",                          // garbage count
+           "synth-markov-s7-n99999999999999999999999-e50",    // overflow
+           "synth-markov-s7-n100k-e-1",                       // negative
+           "synth-markov-s7-n100k-e101",                      // out of range
+           "synth-markov-s7-n100k-e50-extra",                 // trailing junk
+       }) {
+    Error.clear();
+    EXPECT_FALSE(parseSynthBenchmarkName(Bad, P, &Error)) << Bad;
+    EXPECT_FALSE(Error.empty()) << Bad;
+  }
 }

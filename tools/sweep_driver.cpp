@@ -25,17 +25,23 @@
 ///
 /// Replay-path knobs (docs/simulation-pipeline.md, "Trace encoding"):
 /// `--trace-compress=on|off` picks the trace-file encoding (v2
-/// delta/varint frames, the default, vs the v1 flat dump) and
+/// delta/varint frames, the default, vs the v1 flat dump),
 /// `--kernel=scalar|simd` picks the gang member kernel (one member per
 /// tile pass, the measured-faster default, vs SIMD-batched
-/// same-fingerprint members advancing together). Both are
-/// bit-identity-neutral by contract, and `--verify` proves it: the
-/// encoding x kernel axis re-encodes every trace both ways, reloads
-/// through the file path, re-runs the sweep under both kernels,
-/// bit-compares all combinations, and emits the `:decodebandwidth`
-/// [timing] line (compressed AND flat decode events/s, their speedup,
-/// and the on-disk compression ratio). Both decisions are re-exported
-/// via VMIB_TRACE_COMPRESS / VMIB_GANG_KERNEL so forked workers agree.
+/// same-fingerprint members advancing together) and
+/// `--decode=materialize|stream|auto` picks how replay acquires the
+/// event stream (whole trace in memory vs O(tile) streaming decode
+/// from the trace cache file; auto streams past the
+/// VMIB_DECODE_BUDGET footprint). All three are bit-identity-neutral
+/// by contract, and `--verify` proves it: the encoding x kernel x
+/// decode axis re-encodes every trace both ways, reloads through the
+/// file path, re-runs the sweep under both kernels and both decode
+/// paths, bit-compares all combinations, and emits the
+/// `:decodebandwidth` [timing] line (compressed AND flat decode
+/// events/s, their speedup, the on-disk compression ratio, plus the
+/// streaming tile-read rate and peak tile-ring bytes). The decisions
+/// are re-exported via VMIB_TRACE_COMPRESS / VMIB_GANG_KERNEL /
+/// VMIB_TRACE_DECODE so forked workers agree.
 ///
 /// --threads=N overrides the spec's `threads` field everywhere: each
 /// gang replays on GangReplayer's shared-tile worker pool (one decoder
@@ -95,7 +101,9 @@
 #include "harness/FaultInjection.h"
 #include "vmcore/GangKernels.h"
 
+#include <cerrno>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <dirent.h>
@@ -187,14 +195,16 @@ int runWorker(const SweepSpec &Spec, unsigned Shards, size_t JobIdx,
       if (!cpuConfigById(CpuId, Cpu))
         continue;
       if (Spec.Suite == "java")
-        Executor.java().warmup(Benchmark, Cpu);
+        Executor.java().warmup(Benchmark, Cpu, Spec.Decode);
       else
-        Executor.forth().warmup(Benchmark, Cpu);
+        Executor.forth().warmup(Benchmark, Cpu, Spec.Decode);
     }
     CaptureSeconds = CaptureTimer.seconds();
+    // referenceSteps == trace events without materializing the event
+    // arena — a streaming worker stays O(tile).
     Events = Spec.Suite == "java"
-                 ? Executor.java().trace(Benchmark).numEvents()
-                 : Executor.forth().trace(Benchmark).numEvents();
+                 ? Executor.java().referenceSteps(Benchmark)
+                 : Executor.forth().referenceSteps(Benchmark);
     Slice =
         Executor.runSlice(Spec, Job.Workload, Job.MemberBegin, Job.MemberEnd);
   }
@@ -239,14 +249,22 @@ int runWorker(const SweepSpec &Spec, unsigned Shards, size_t JobIdx,
   return 0;
 }
 
-/// "123", "64K", "10M", "2G" -> bytes. \returns false on anything else.
+/// "123", "64K", "10M", "2G" -> bytes. \returns false on anything else,
+/// including values that overflow uint64 (strtoull would silently
+/// saturate, and the suffix multiply could wrap a huge budget to a
+/// tiny one — an eviction pass must never run with a garbage budget).
 bool parseByteSize(const std::string &S, uint64_t &Out) {
   size_t Pos = 0;
   while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9')
     ++Pos;
   if (Pos == 0)
     return false;
-  uint64_t V = std::strtoull(S.substr(0, Pos).c_str(), nullptr, 10);
+  std::string Digits = S.substr(0, Pos);
+  errno = 0;
+  char *End = nullptr;
+  uint64_t V = std::strtoull(Digits.c_str(), &End, 10);
+  if (errno != 0 || End != Digits.c_str() + Digits.size())
+    return false;
   std::string Suffix = S.substr(Pos);
   uint64_t Mult = 1;
   if (Suffix == "K" || Suffix == "k")
@@ -256,6 +274,8 @@ bool parseByteSize(const std::string &S, uint64_t &Out) {
   else if (Suffix == "G" || Suffix == "g")
     Mult = 1024ULL * 1024 * 1024;
   else if (!Suffix.empty())
+    return false;
+  if (V != 0 && V > UINT64_MAX / Mult)
     return false;
   Out = V * Mult;
   return true;
@@ -520,6 +540,11 @@ int runVerify(const SweepSpec &Spec, unsigned Shards,
     std::string PrevKernel = PrevEnv ? PrevEnv : "";
     uint64_t DecodedEvents = 0, FlatBytes = 0, CompBytes = 0;
     double DecodeSeconds = 0, FlatDecodeSeconds = 0;
+    // Streaming-decode measurements off the compressed+scalar pass
+    // (the canonical configuration): tile read time, events streamed,
+    // and the peak tile-ring footprint that proves O(tile) memory.
+    double StreamReadSeconds = 0;
+    uint64_t StreamEvents = 0, PeakRingBytes = 0;
     bool Ok = true;
     auto Reencode = [&](bool Compressed, bool Measure) {
       for (const std::string &B : Spec.Benchmarks) {
@@ -577,25 +602,42 @@ int runVerify(const SweepSpec &Spec, unsigned Shards,
       SweepExecutor Fresh; // loads the re-encoded files, not memory
       for (const char *Kernel : {"scalar", "simd"}) {
         ::setenv("VMIB_GANG_KERNEL", Kernel, 1);
-        std::string Label = format("%s+%s in-process",
-                                   Enc == 1 ? "compressed" : "flat", Kernel);
-        std::vector<PerfCounters> EncCells;
-        Fresh.runAll(Serial, 1, EncCells);
-        if (!Compare(EncCells, Label.c_str())) {
-          Ok = false;
-          break;
-        }
-        if (GangThreads > 1) {
-          SweepSpec Thr = Spec;
-          Thr.Threads = GangThreads;
-          Thr.Schedule = GangSchedule::Dynamic;
-          std::vector<PerfCounters> ThrCells;
-          Fresh.runAll(Thr, 1, ThrCells);
-          if (!Compare(ThrCells, (Label + " threaded").c_str())) {
+        // The decode axis rides the same combinations: every
+        // (encoding, kernel) cell set replays once off the
+        // materialized arena and once streamed tile-by-tile from the
+        // re-encoded file — bit-identity across ALL of it.
+        for (int Dec = 0; Ok && Dec <= 1; ++Dec) {
+          SweepSpec Run = Serial;
+          Run.Decode = Dec == 1 ? TraceDecodeMode::Stream
+                                : TraceDecodeMode::Materialize;
+          std::string Label =
+              format("%s+%s+%s in-process", Enc == 1 ? "compressed" : "flat",
+                     Kernel, Dec == 1 ? "streaming" : "materialized");
+          std::vector<PerfCounters> EncCells;
+          SweepRunStats RunStats = Fresh.runAll(Run, 1, EncCells);
+          if (!Compare(EncCells, Label.c_str())) {
             Ok = false;
             break;
           }
+          if (Dec == 1 && Enc == 1 && std::strcmp(Kernel, "scalar") == 0) {
+            StreamReadSeconds = RunStats.Load.SourceReadSeconds;
+            StreamEvents = RunStats.Load.SourceEvents;
+            PeakRingBytes = RunStats.Load.PeakTileRingBytes;
+          }
+          if (GangThreads > 1) {
+            SweepSpec Thr = Run; // keeps the decode mode
+            Thr.Threads = GangThreads;
+            Thr.Schedule = GangSchedule::Dynamic;
+            std::vector<PerfCounters> ThrCells;
+            Fresh.runAll(Thr, 1, ThrCells);
+            if (!Compare(ThrCells, (Label + " threaded").c_str())) {
+              Ok = false;
+              break;
+            }
+          }
         }
+        if (!Ok)
+          break;
       }
     }
     if (PrevKernel.empty())
@@ -611,7 +653,8 @@ int runVerify(const SweepSpec &Spec, unsigned Shards,
                 "flat_bytes=%llu compressed_bytes=%llu ratio=%.2f "
                 "decode_s=%.3f events_per_s=%.3g bytes_per_s=%.3g "
                 "flat_decode_s=%.3f flat_events_per_s=%.3g "
-                "decode_speedup=%.2f\n",
+                "decode_speedup=%.2f stream_decode_s=%.3f "
+                "stream_events_per_s=%.3g peak_ring_bytes=%llu\n",
                 Spec.Name.c_str(), (unsigned long long)DecodedEvents,
                 (unsigned long long)FlatBytes, (unsigned long long)CompBytes,
                 CompBytes > 0 ? (double)FlatBytes / (double)CompBytes : 0.0,
@@ -625,9 +668,15 @@ int runVerify(const SweepSpec &Spec, unsigned Shards,
                     : 0.0,
                 DecodeSeconds > 0 && FlatDecodeSeconds > 0
                     ? FlatDecodeSeconds / DecodeSeconds
-                    : 0.0);
+                    : 0.0,
+                StreamReadSeconds,
+                StreamReadSeconds > 0
+                    ? (double)StreamEvents / StreamReadSeconds
+                    : 0.0,
+                (unsigned long long)PeakRingBytes);
     std::printf("verify: %zu cells bit-identical across {flat, compressed} "
-                "encodings x {scalar, simd%s} kernels\n",
+                "encodings x {scalar, simd%s} kernels x {materialized, "
+                "streaming} decode\n",
                 InProc.size(),
                 gang::batchedKernelUsesAvx2() ? "/avx2" : "");
   } else {
@@ -693,6 +742,7 @@ int main(int argc, char **argv) {
                  "[--retries=N] [--backoff-ms=MS] [--job-timeout=MS] "
                  "[--kill-grace=MS] [--hedge=K] [--partial-ok] "
                  "[--trace-compress=on|off] [--kernel=scalar|simd] "
+                 "[--decode=materialize|stream|auto] "
                  "[--result-store | --store-dir=D | --no-result-store] "
                  "[--cache-gc=BYTES[K|M|G]]\n"
                  "       sweep_driver --cache-gc=BYTES[K|M|G] "
@@ -717,9 +767,9 @@ int main(int argc, char **argv) {
   int OverrideExit = 0;
   if (!bench::applySpecOverrides(Opts, Spec, OverrideExit))
     return OverrideExit;
-  // --trace-compress / --kernel re-export through the environment, so
-  // orchestrated workers (which see only the env) make the same
-  // choice this process does.
+  // --trace-compress / --kernel / --decode re-export through the
+  // environment, so orchestrated workers (which see only the env)
+  // make the same choice this process does.
   if (!bench::applyReplayPathOptions(Opts, OverrideExit))
     return OverrideExit;
   if (Opts.has("emit-spec")) {
