@@ -156,6 +156,118 @@ inline bool applyStoreOptions(const OptionParser &Opts, ResultStore &Store) {
   return true;
 }
 
+/// Parses the redundant-execution audit knobs — `--audit=RATE` (the
+/// deterministic cell-sampling rate, 0..1) and `--audit-seed=N`
+/// (override the fixed default sample) — into \p Plan. \returns false
+/// with \p ExitCode set on a malformed value.
+inline bool applyAuditOptions(const OptionParser &Opts, AuditPlan &Plan,
+                              int &ExitCode) {
+  if (Opts.has("audit")) {
+    std::string Error;
+    if (!parseAuditRate(Opts.get("audit"), Plan, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      ExitCode = 1;
+      return false;
+    }
+  }
+  if (Opts.has("audit-seed")) {
+    std::string V = Opts.get("audit-seed");
+    if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr,
+                   "error: bad --audit-seed '%s' (expected a number >= 0)\n",
+                   V.c_str());
+      ExitCode = 1;
+      return false;
+    }
+    Plan.Seed = std::strtoull(V.c_str(), nullptr, 10);
+  }
+  return true;
+}
+
+/// Minimal JSON string escape for the report writer: quotes,
+/// backslashes, and control bytes (as \u00XX).
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      Out += format("\\u%04x", static_cast<unsigned>(C) & 0xFF);
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+/// Writes the full OrchestratorReport — attempt/retry/hedge, store,
+/// and audit accounting — as a JSON object at \p Path
+/// (`sweep_driver --report-json=PATH`). \returns false (errno set) on
+/// any write failure; the file is written atomically enough for CI
+/// (single fopen/fprintf/fclose — a torn report fails its parser, it
+/// cannot fail the sweep).
+inline bool writeOrchestratorReportJson(const std::string &Path,
+                                        const std::string &SweepName,
+                                        const OrchestratorReport &R) {
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::fprintf(F, "{\n");
+  std::fprintf(F, "  \"sweep\": \"%s\",\n", jsonEscape(SweepName).c_str());
+  std::fprintf(F, "  \"attempts\": %u,\n", R.AttemptsLaunched);
+  std::fprintf(F, "  \"worker_failures\": %u,\n", R.WorkerFailures);
+  std::fprintf(F, "  \"timeouts\": %u,\n", R.Timeouts);
+  std::fprintf(F, "  \"retries\": %u,\n", R.RetriesScheduled);
+  std::fprintf(F, "  \"hedges\": %u,\n", R.HedgesLaunched);
+  std::fprintf(F, "  \"hedge_wins\": %u,\n", R.HedgeWins);
+  std::fprintf(F, "  \"cells\": %zu,\n", R.CellCovered.size());
+  std::fprintf(F, "  \"cells_covered\": %zu,\n", R.cellsCovered());
+  std::fprintf(F, "  \"complete\": %s,\n", R.complete() ? "true" : "false");
+  std::fprintf(F, "  \"failed_jobs\": [");
+  for (size_t I = 0; I < R.FailedJobs.size(); ++I)
+    std::fprintf(F, "%s%zu", I ? ", " : "", R.FailedJobs[I]);
+  std::fprintf(F, "],\n");
+  std::fprintf(F, "  \"first_failure\": \"%s\",\n",
+               jsonEscape(R.FirstFailure).c_str());
+  std::fprintf(F, "  \"store\": {\n");
+  std::fprintf(F, "    \"jobs_from_store\": %zu,\n", R.JobsServedFromStore);
+  std::fprintf(F, "    \"hits\": %llu,\n",
+               (unsigned long long)R.StoreHits);
+  std::fprintf(F, "    \"misses\": %llu,\n",
+               (unsigned long long)R.StoreMisses);
+  std::fprintf(F, "    \"recovered\": %llu,\n",
+               (unsigned long long)R.StoreRecovered);
+  std::fprintf(F, "    \"quarantined\": %llu,\n",
+               (unsigned long long)R.StoreQuarantined);
+  std::fprintf(F, "    \"flush_failures\": %llu\n",
+               (unsigned long long)R.StoreFlushFailures);
+  std::fprintf(F, "  },\n");
+  std::fprintf(F, "  \"audit\": {\n");
+  std::fprintf(F, "    \"shards\": %u,\n", R.AuditShardsLaunched);
+  std::fprintf(F, "    \"tiebreaks\": %u,\n", R.AuditTiebreaksLaunched);
+  std::fprintf(F, "    \"cells_audited\": %llu,\n",
+               (unsigned long long)R.CellsAudited);
+  std::fprintf(F, "    \"mismatches\": %llu,\n",
+               (unsigned long long)R.AuditMismatches);
+  std::fprintf(F, "    \"store_corruption\": %llu,\n",
+               (unsigned long long)R.AuditStoreCorruptions);
+  std::fprintf(F, "    \"compute_divergence\": %llu,\n",
+               (unsigned long long)R.AuditComputeDivergences);
+  std::fprintf(F, "    \"nondeterminism\": %llu,\n",
+               (unsigned long long)R.AuditNondeterminism);
+  std::fprintf(F, "    \"quarantined\": %llu,\n",
+               (unsigned long long)R.CellsQuarantined);
+  std::fprintf(F, "    \"requeued\": %llu,\n",
+               (unsigned long long)R.CellsRequeued);
+  std::fprintf(F, "    \"wall_s\": %.3f\n", R.AuditWallSeconds);
+  std::fprintf(F, "  }\n");
+  std::fprintf(F, "}\n");
+  bool Ok = std::ferror(F) == 0;
+  return std::fclose(F) == 0 && Ok;
+}
+
 /// Applies the replay-path knobs every entry point shares —
 /// `--trace-compress=on|off` (v2 delta/varint vs v1 flat trace files;
 /// default on), `--kernel=scalar|simd` (gang member kernel; default
@@ -373,6 +485,11 @@ inline SpeedupMatrix matrixFromCells(const SweepSpec &Spec,
 ///                     crash-consistently (see harness/ResultStore.h)
 ///   --store-dir=D     result store at D (implies --result-store)
 ///   --no-result-store force the store off (overrides the env)
+///   --audit=RATE      deterministically-sampled redundant-execution
+///                     audit (harness/Auditor): sampled cells re-run
+///                     through a decorrelated shape and bit-compare;
+///                     mismatches tiebreak, classify, quarantine and
+///                     repair (--audit-seed=N for a fresh sample)
 ///
 /// \returns true with \p Cells filled (canonical order) and the
 /// standard [timing] line emitted; false when the bench should exit
@@ -427,6 +544,9 @@ inline bool runDeclaredSweep(const OptionParser &Opts, SweepSpec &Spec,
   std::printf("%s", Banner.c_str());
   ResultStore Store;
   bool StoreOn = applyStoreOptions(Opts, Store);
+  AuditPlan Audit;
+  if (!applyAuditOptions(Opts, Audit, ExitCode))
+    return false;
   long Shards = Opts.getInt("shards", 0);
   SweepRunStats Stats;
   if (Shards > 1 || Opts.has("worker-cmd")) {
@@ -436,6 +556,7 @@ inline bool runDeclaredSweep(const OptionParser &Opts, SweepSpec &Spec,
     W.CommandTemplate = Opts.get("worker-cmd");
     W.SpecPath = Opts.get("spec"); // reuse the file workers can read
     W.Store = StoreOn ? &Store : nullptr;
+    W.Audit = Audit;
     if (!applyWorkerFaultOptions(Opts, W, ExitCode))
       return false;
     OrchestratorReport Report;
@@ -453,6 +574,9 @@ inline bool runDeclaredSweep(const OptionParser &Opts, SweepSpec &Spec,
     SweepExecutor Executor(FLab, JLab);
     if (StoreOn)
       Executor.setResultStore(&Store);
+    Auditor InProcAudit(Audit, Executor, StoreOn ? &Store : nullptr);
+    if (Audit.enabled())
+      Executor.setAuditor(&InProcAudit);
     Stats = Executor.runAll(Spec, 0, Cells);
     emitTiming(Spec.Name + ":gang", Stats);
     if (StoreOn)

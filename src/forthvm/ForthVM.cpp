@@ -149,9 +149,14 @@ ForthVM::Result ForthVM::run(const ForthUnit &Unit, DispatchSim *Sim,
     --Sp;                                                                     \
     break;                                                                    \
   }
-    BINOP(ADD, A + B)
-    BINOP(SUB, A - B)
-    BINOP(MUL, A * B)
+    // Forth cell arithmetic wraps; compute in uint64_t so the two's
+    // complement wraparound is defined instead of signed-overflow UB.
+    BINOP(ADD, static_cast<int64_t>(static_cast<uint64_t>(A) +
+                                    static_cast<uint64_t>(B)))
+    BINOP(SUB, static_cast<int64_t>(static_cast<uint64_t>(A) -
+                                    static_cast<uint64_t>(B)))
+    BINOP(MUL, static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                    static_cast<uint64_t>(B)))
     BINOP(AND, A & B)
     BINOP(OR, A | B)
     BINOP(XOR, A ^ B)

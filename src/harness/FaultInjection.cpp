@@ -99,10 +99,14 @@ bool vmib::parseFaultPlan(const char *Text, FaultPlan &Plan,
       Plan.NoSpace = P;
     else if (Key == "renamefail")
       Plan.RenameFail = P;
+    else if (Key == "flipcounter")
+      Plan.FlipCounter = P;
+    else if (Key == "flipstore")
+      Plan.FlipStore = P;
     else {
       Error = "unknown fault key '" + Key +
               "' (expected kill|hang|garble|trunc|dup|"
-              "torn|nospace|renamefail|seed)";
+              "torn|nospace|renamefail|flipcounter|flipstore|seed)";
       return false;
     }
   }
@@ -158,4 +162,46 @@ FsFaultMode vmib::decideFsFault(const FaultPlan &Plan, uint64_t OpIndex) {
   if (U < (Edge += Plan.RenameFail))
     return FsFaultMode::RenameFail;
   return FsFaultMode::None;
+}
+
+namespace {
+/// Shared tail of the two flip draws: fire with probability \p Mass,
+/// then spend two more generator steps picking (word, bit). The fire
+/// draw comes first so the bit-position stream never perturbs the
+/// fire/no-fire decision.
+bool drawFlip(SplitMix64 &G, double Mass, unsigned &WordOut,
+              unsigned &BitOut) {
+  double U = static_cast<double>(G.next() >> 11) * 0x1.0p-53;
+  if (U >= Mass)
+    return false;
+  WordOut = static_cast<unsigned>(G.next() % 9);
+  BitOut = static_cast<unsigned>(G.next() % 64);
+  return true;
+}
+} // namespace
+
+bool vmib::decideCounterFlip(const FaultPlan &Plan, size_t Workload,
+                             size_t Member, unsigned &WordOut,
+                             unsigned &BitOut) {
+  if (Plan.FlipCounter <= 0)
+    return false;
+  // Keyed on the *cell*, not the attempt: the same cell corrupts the
+  // same way every time it is recomputed under this plan, which is
+  // exactly why audit re-executions run with injection disabled.
+  // Distinct odd mixing constants keep this stream independent of
+  // decideFault/decideFsFault under a shared seed.
+  SplitMix64 G(Plan.Seed ^
+               (static_cast<uint64_t>(Workload) * 0xE7037ED1A0B428DBULL) ^
+               (static_cast<uint64_t>(Member) * 0x8EBC6AF09C88C6E3ULL));
+  return drawFlip(G, Plan.FlipCounter, WordOut, BitOut);
+}
+
+bool vmib::decideStoreFlip(const FaultPlan &Plan, uint64_t KeyHi,
+                           uint64_t KeyLo, unsigned &WordOut,
+                           unsigned &BitOut) {
+  if (Plan.FlipStore <= 0)
+    return false;
+  SplitMix64 G(Plan.Seed ^ (KeyHi * 0x589965CC75374CC3ULL) ^
+               (KeyLo * 0x1D8E4E27C47D124FULL));
+  return drawFlip(G, Plan.FlipStore, WordOut, BitOut);
 }

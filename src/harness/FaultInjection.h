@@ -61,7 +61,23 @@ namespace vmib {
 ///               and the temp is removed — exercises the same buffered
 ///               retry with a completed data write
 ///
-/// Each mass must sum to at most 1 on its own.
+/// Silent-corruption faults (flipcounter/flipstore) are a third
+/// independent mass pair, built for the audit layer (harness/Auditor):
+///
+///   flipcounter  flip one seeded bit of a freshly *computed* cell's
+///                PerfCounters before it is announced or committed to
+///                the result store — models a bad DIMM / bus glitch in
+///                the compute path. Drawn per (seed, workload, member),
+///                so the same cell is corrupted identically on every
+///                attempt: a plain retry cannot wash it out, only a
+///                fault-free audit re-execution can catch it.
+///   flipstore    flip one seeded bit of a *served* store record as it
+///                leaves probe()/lookup() — models latent media
+///                corruption below the segment checksums. Drawn per
+///                store key; the on-disk bytes stay clean.
+///
+/// Each mass must sum to at most 1 on its own (flipcounter and
+/// flipstore are evaluated independently).
 struct FaultPlan {
   double Kill = 0;
   double Hang = 0;
@@ -71,12 +87,15 @@ struct FaultPlan {
   double Torn = 0;
   double NoSpace = 0;
   double RenameFail = 0;
+  double FlipCounter = 0;
+  double FlipStore = 0;
   uint64_t Seed = 0;
 
   bool any() const {
     return Kill > 0 || Hang > 0 || Garble > 0 || Trunc > 0 || Dup > 0;
   }
   bool anyFs() const { return Torn > 0 || NoSpace > 0 || RenameFail > 0; }
+  bool anyFlip() const { return FlipCounter > 0 || FlipStore > 0; }
 };
 
 /// What one worker attempt has been assigned.
@@ -122,6 +141,24 @@ FaultMode decideFault(const FaultPlan &Plan, size_t Job, unsigned Attempt);
 /// same (plan, op) always returns the same mode, and the stream is
 /// independent of decideFault's (different mixing constants).
 FsFaultMode decideFsFault(const FaultPlan &Plan, uint64_t OpIndex);
+
+/// The deterministic compute-corruption draw: whether the freshly
+/// computed cell (\p Workload, \p Member) gets one bit flipped, and
+/// which (\p WordOut in [0, PerfCounters::NumWords), \p BitOut in
+/// [0, 64)). Keyed on the cell — NOT the attempt — so retries
+/// reproduce the same corruption and only a decorrelated audit
+/// re-execution (which runs fault-free) can expose it. Pure, and
+/// independent of the other fault streams.
+bool decideCounterFlip(const FaultPlan &Plan, size_t Workload, size_t Member,
+                       unsigned &WordOut, unsigned &BitOut);
+
+/// The deterministic serve-corruption draw: whether a store record
+/// served for key (\p KeyHi, \p KeyLo) gets one bit flipped on the way
+/// out, and which. Keyed on the store key, so every serve of the cell
+/// is corrupted identically (a re-probe cannot self-heal) while the
+/// on-disk record stays intact. Pure, independent stream.
+bool decideStoreFlip(const FaultPlan &Plan, uint64_t KeyHi, uint64_t KeyLo,
+                     unsigned &WordOut, unsigned &BitOut);
 
 } // namespace vmib
 

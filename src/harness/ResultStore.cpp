@@ -47,6 +47,12 @@ using namespace vmib;
 namespace {
 
 constexpr uint64_t SegMagic = 0x0153455242494d56ULL; // "VMIBRES\1"
+/// Cell-quarantine tombstone files (`tomb-*.vmibtomb`):
+///   header:  [TombMagic, StoreVersion, RecordCount, headerChecksum]
+///   record:  [KeyHi, KeyLo, ValueFingerprint, recordChecksum] — 4 words
+/// A tombstone retires one (key, value-fingerprint) pair at load time.
+constexpr uint64_t TombMagic = 0x01424d5442494d56ULL; // "VMIBTMB\1"
+constexpr size_t TombRecordWords = 4;
 /// Bump on any change to the segment layout, the key derivation, OR the
 /// meaning of any counter a cell stores: the version participates in
 /// every key, so a bump retires the entire store content at once
@@ -355,17 +361,74 @@ void ResultStore::recoverAll() {
   if (!D)
     return;
   std::vector<std::string> Segments;
+  std::vector<std::string> TombFiles;
+  auto HasSuffix = [](const std::string &Name, const std::string &Suffix) {
+    return Name.size() > Suffix.size() &&
+           Name.compare(Name.size() - Suffix.size(), Suffix.size(),
+                        Suffix) == 0;
+  };
   while (struct dirent *E = ::readdir(D)) {
     std::string Name = E->d_name;
-    const std::string Suffix = ".vmibstore";
-    if (Name.size() > Suffix.size() &&
-        Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) == 0)
+    if (HasSuffix(Name, ".vmibstore"))
       Segments.push_back(Name);
+    else if (HasSuffix(Name, ".vmibtomb"))
+      TombFiles.push_back(Name);
   }
   ::closedir(D);
   // Directory order is filesystem-dependent; sorted load order makes
   // recovery (and its last-wins merge) deterministic.
   std::sort(Segments.begin(), Segments.end());
+  std::sort(TombFiles.begin(), TombFiles.end());
+
+  // Tombstones load BEFORE segments so retired (key, fingerprint)
+  // pairs are filtered per record as segments merge: a clean record
+  // for a quarantined key survives no matter where its segment sorts.
+  for (const std::string &Name : TombFiles) {
+    std::string Path = joinPath(StoreDir, Name);
+    std::vector<uint64_t> Words;
+    bool Aligned = true;
+    bool HeaderOk = readWordsAndSize(Path, Words, Aligned) &&
+                    Words.size() >= SegHeaderWords && Words[0] == TombMagic &&
+                    Words[1] == StoreVersion &&
+                    Words[3] == fnv1aWords(Words.data(), 3);
+    std::vector<std::pair<StoreKey, uint64_t>> Valid;
+    size_t Declared = 0;
+    bool Damaged = !HeaderOk;
+    if (HeaderOk) {
+      Declared = Words[2];
+      for (size_t I = 0; I < Declared; ++I) {
+        size_t Off = SegHeaderWords + I * TombRecordWords;
+        if (Off + TombRecordWords > Words.size() ||
+            Words[Off + TombRecordWords - 1] !=
+                fnv1aWords(Words.data() + Off, TombRecordWords - 1)) {
+          Damaged = true;
+          break;
+        }
+        Valid.emplace_back(StoreKey{Words[Off], Words[Off + 1]},
+                           Words[Off + 2]);
+      }
+      if (!Aligned || (!Damaged && Words.size() !=
+                                       SegHeaderWords +
+                                           Declared * TombRecordWords))
+        Damaged = true;
+    }
+    for (const auto &[K, Fp] : Valid)
+      Tombstones[K].push_back(Fp);
+    if (!Damaged)
+      continue;
+    // Same salvage-then-quarantine discipline as segments — losing a
+    // tombstone would re-serve proven corruption, so the valid prefix
+    // is durably rewritten before the damaged file moves aside.
+    if (!Valid.empty())
+      writeTombstones(Valid);
+    std::string QDir = joinPath(StoreDir, "quarantine");
+    ensureDir(QDir);
+    std::string QPath = joinPath(
+        QDir, Name + "." + std::to_string(static_cast<long>(::getpid())) +
+                  "." + std::to_string(SegmentSerial.fetch_add(1)));
+    if (::rename(Path.c_str(), QPath.c_str()) == 0)
+      ++Stats.Quarantined;
+  }
 
   for (const std::string &Name : Segments) {
     std::string Path = joinPath(StoreDir, Name);
@@ -399,6 +462,10 @@ void ResultStore::recoverAll() {
         Damaged = true;
     }
     for (const auto &[K, C] : Valid) {
+      if (tombstoned(K, C.fingerprint())) {
+        ++Stats.TombstonedRecords;
+        continue;
+      }
       Records[K] = C;
       ++Stats.RecordsLoaded;
     }
@@ -422,12 +489,31 @@ void ResultStore::recoverAll() {
   }
 }
 
+bool ResultStore::tombstoned(const StoreKey &K, uint64_t Fingerprint) const {
+  auto It = Tombstones.find(K);
+  if (It == Tombstones.end())
+    return false;
+  return std::find(It->second.begin(), It->second.end(), Fingerprint) !=
+         It->second.end();
+}
+
+void ResultStore::applyServeFlip(const StoreKey &K, PerfCounters &C) const {
+  // flipstore corrupts the *served copy* only — the in-memory map and
+  // the disk bytes stay clean, modelling latent media corruption below
+  // the segment checksums. Keyed on the store key, so re-serving the
+  // cell reproduces the same corruption instead of washing it out.
+  unsigned Word = 0, Bit = 0;
+  if (decideStoreFlip(FsPlan, K.Hi, K.Lo, Word, Bit))
+    C.flipBit(Word, Bit);
+}
+
 bool ResultStore::probe(const StoreKey &K, PerfCounters &C) const {
   std::lock_guard<std::mutex> G(Mu);
   auto It = Records.find(K);
   if (It == Records.end())
     return false;
   C = It->second;
+  applyServeFlip(K, C);
   return true;
 }
 
@@ -436,6 +522,7 @@ bool ResultStore::lookup(const StoreKey &K, PerfCounters &C) {
   auto It = Records.find(K);
   if (It != Records.end()) {
     C = It->second;
+    applyServeFlip(K, C);
     ++Stats.Hits;
     return true;
   }
@@ -515,6 +602,124 @@ bool ResultStore::writeSegment(
   return true;
 }
 
+bool ResultStore::writeTombstones(
+    const std::vector<std::pair<StoreKey, uint64_t>> &Tombs) {
+  // Deliberately exempt from fs fault injection: tombstones are the
+  // audit layer's repair path, and chaos that silently dropped one
+  // would re-serve proven corruption — the one failure this store must
+  // never manufacture itself.
+  uint64_t Serial = SegmentSerial.fetch_add(1);
+  std::string Name = "tomb-" +
+                     std::to_string(static_cast<long>(::getpid())) + "-" +
+                     std::to_string(Serial) + ".vmibtomb";
+  std::string Path = joinPath(StoreDir, Name);
+  std::string Tmp = Path + ".tmp";
+
+  std::vector<uint64_t> Words(SegHeaderWords);
+  Words[0] = TombMagic;
+  Words[1] = StoreVersion;
+  Words[2] = Tombs.size();
+  Words[3] = fnv1aWords(Words.data(), 3);
+  for (const auto &[K, Fp] : Tombs) {
+    uint64_t RW[TombRecordWords];
+    RW[0] = K.Hi;
+    RW[1] = K.Lo;
+    RW[2] = Fp;
+    RW[TombRecordWords - 1] = fnv1aWords(RW, TombRecordWords - 1);
+    Words.insert(Words.end(), RW, RW + TombRecordWords);
+  }
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Words.data(), sizeof(uint64_t), Words.size(), F) ==
+            Words.size();
+  Ok = Ok && flushAndSync(F);
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok || !renameDurable(Tmp, Path)) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ResultStore::quarantineCell(const StoreKey &K,
+                                 const PerfCounters &Observed,
+                                 const PerfCounters &Authoritative) {
+  std::lock_guard<std::mutex> G(Mu);
+  if (!isOpen())
+    return false;
+  auto It = Records.find(K);
+  if (It == Records.end()) {
+    // An orchestrator's in-memory view predates its workers' segment
+    // commits; the triage question is about what the store resolves
+    // NOW, so refresh from disk before answering "never held it".
+    recoverAll();
+    // Re-assert this run's own unflushed records over anything older
+    // the refresh merged in.
+    for (const auto &[PK, PC] : Pending)
+      Records[PK] = PC;
+    It = Records.find(K);
+    if (It == Records.end())
+      return false;
+  }
+  PerfCounters Served = It->second;
+  applyServeFlip(K, Served);
+  if (Served == Authoritative)
+    return false; // the store agrees with the proven value: not implicated
+
+  StoreLock Lock(StoreDir);
+  uint64_t Serial = SegmentSerial.fetch_add(1);
+  std::string Base = std::to_string(static_cast<long>(::getpid())) + "-" +
+                     std::to_string(Serial);
+  // Evidence first (best-effort — it is forensics, not data): the
+  // observed-corrupt counters in ordinary segment format, so store
+  // tooling can read the quarantined value back.
+  std::string QDir = joinPath(StoreDir, "quarantine");
+  ensureDir(QDir);
+  {
+    uint64_t HW[SegHeaderWords];
+    HW[0] = SegMagic;
+    HW[1] = StoreVersion;
+    HW[2] = 1;
+    HW[3] = fnv1aWords(HW, 3);
+    uint64_t RW[RecordWords];
+    RW[0] = K.Hi;
+    RW[1] = K.Lo;
+    countersToWords(Observed, RW + 2);
+    RW[RecordWords - 1] = fnv1aWords(RW, RecordWords - 1);
+    std::string EPath = joinPath(QDir, "cell-" + Base + ".vmibstore");
+    if (std::FILE *F = std::fopen(EPath.c_str(), "wb")) {
+      std::fwrite(HW, sizeof(uint64_t), SegHeaderWords, F);
+      std::fwrite(RW, sizeof(uint64_t), RecordWords, F);
+      std::fclose(F);
+    }
+  }
+  // Retire both fingerprints durably: the raw stored value (what
+  // segments resolve to) and the observed served value (what executions
+  // actually saw — different when the corruption was injected at serve
+  // time). Either one reappearing in a future load must be suppressed.
+  std::vector<std::pair<StoreKey, uint64_t>> Tombs;
+  uint64_t RawFp = It->second.fingerprint();
+  uint64_t ObsFp = Observed.fingerprint();
+  Tombs.emplace_back(K, RawFp);
+  if (ObsFp != RawFp)
+    Tombs.emplace_back(K, ObsFp);
+  if (!writeTombstones(Tombs))
+    return false; // store unchanged; the caller's triage stays honest
+  for (const auto &[TK, Fp] : Tombs)
+    Tombstones[TK].push_back(Fp);
+  Records.erase(It);
+  // Drop any staged commit of the suspect key too — the caller records
+  // the authoritative value next, and that is the only value that
+  // should reach disk from here.
+  Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                               [&](const std::pair<StoreKey, PerfCounters>
+                                       &P) { return P.first == K; }),
+                Pending.end());
+  ++Stats.CellsQuarantined;
+  return true;
+}
+
 bool ResultStore::flush() {
   std::lock_guard<std::mutex> G(Mu);
   return flushLocked();
@@ -547,6 +752,7 @@ void ResultStore::close() {
   StoreDir.clear();
   Records.clear();
   Pending.clear();
+  Tombstones.clear();
   FlushOps = 0;
   FsPlan = FaultPlan();
   Stats = ResultStoreStats();

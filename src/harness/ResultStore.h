@@ -35,7 +35,22 @@
 /// `torn=P,nospace=P,renamefail=P` (harness/FaultInjection.h), each
 /// segment flush draws deterministically and misbehaves accordingly —
 /// the recovery paths above are replayable in tests instead of
-/// requiring a real power cut.
+/// requiring a real power cut. `flipstore=P` additionally corrupts one
+/// seeded bit of a *served* record (probe/lookup) while the disk bytes
+/// stay clean — silent corruption below the checksums, for the audit
+/// layer to catch.
+///
+/// **Cell quarantine** (harness/Auditor): when an audit proves the
+/// store resolves a key to a wrong value, `quarantineCell()` retires
+/// that exact (key, value) pair — never the whole segment, never by
+/// deletion. It writes an evidence record into `quarantine/` and a
+/// durable value-fingerprint *tombstone* (`tomb-*.vmibtomb`); at every
+/// future open, segment records matching a tombstoned fingerprint are
+/// skipped at load, so the corrupt value stops being served while any
+/// clean record for the same key (earlier or later in the
+/// lexicographic merge) still wins. Value-targeted tombstones are what
+/// make this sound: segment merge order is sorted-name, not temporal,
+/// so "append a corrected record" alone could not retire a bad one.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -94,6 +109,8 @@ struct ResultStoreStats {
   uint64_t Quarantined = 0;   ///< segments moved to quarantine/
   uint64_t FlushFailures = 0; ///< flushes that kept records buffered
   uint64_t RecordsLoaded = 0; ///< records accepted at open()
+  uint64_t CellsQuarantined = 0;   ///< cells retired by quarantineCell()
+  uint64_t TombstonedRecords = 0;  ///< records suppressed at load by tombstones
 };
 
 /// Thread-safe for concurrent probe/lookup/record/flush (an in-process
@@ -153,6 +170,22 @@ public:
   size_t size() const { return Records.size(); }
   const ResultStoreStats &stats() const { return Stats; }
 
+  /// Audit-triage hook: asks "is this store implicated in a proven-bad
+  /// primary result, and if so, retire the evidence". If the store
+  /// currently resolves \p K (refreshing from disk first when the key
+  /// is not in memory — worker-written segments postdate this process's
+  /// open) and the value it would *serve* differs from
+  /// \p Authoritative, the cell is quarantined: an evidence record of
+  /// \p Observed lands in `quarantine/`, durable tombstones retire both
+  /// the raw stored fingerprint and the observed one, the key drops
+  /// from memory (and from the unflushed buffer), and
+  /// stats().CellsQuarantined bumps. \returns true exactly when the
+  /// store was implicated; false when it never held the cell or already
+  /// agrees with \p Authoritative. The caller re-records the
+  /// authoritative value afterwards. Never deletes segment data.
+  bool quarantineCell(const StoreKey &K, const PerfCounters &Observed,
+                      const PerfCounters &Authoritative);
+
   /// Flushes (best-effort) and releases the locks.
   void close();
 
@@ -160,13 +193,20 @@ private:
   bool writeSegment(const std::vector<std::pair<StoreKey, PerfCounters>>
                         &Recs,
                     FsFaultMode Fault);
+  bool writeTombstones(
+      const std::vector<std::pair<StoreKey, uint64_t>> &Tombs);
   bool flushLocked();
   void recoverAll();
+  bool tombstoned(const StoreKey &K, uint64_t Fingerprint) const;
+  void applyServeFlip(const StoreKey &K, PerfCounters &C) const;
 
   mutable std::mutex Mu;
   std::string StoreDir;
   std::map<StoreKey, PerfCounters> Records;
   std::vector<std::pair<StoreKey, PerfCounters>> Pending;
+  /// Value fingerprints retired per key (loaded from tomb files +
+  /// appended by quarantineCell); records matching one never load.
+  std::map<StoreKey, std::vector<uint64_t>> Tombstones;
   ResultStoreStats Stats;
   int InUseFd = -1;
   FaultPlan FsPlan;

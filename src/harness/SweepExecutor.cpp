@@ -2,6 +2,7 @@
 
 #include "harness/SweepExecutor.h"
 
+#include "harness/Auditor.h"
 #include "harness/SweepRunner.h"
 #include "harness/WorkloadCache.h"
 #include "support/Statistics.h"
@@ -284,6 +285,15 @@ std::vector<PerfCounters> SweepExecutor::runSlice(const SweepSpec &Spec,
           : runForthSlice(Spec, Workload, Missing, LoadOut);
   assert(Fresh.size() == Missing.size() && "slice runner covers its members");
   for (size_t K = 0; K < Missing.size(); ++K) {
+    // Injected compute corruption lands here — after the replay, before
+    // the value is returned OR committed — so the store faithfully
+    // persists what the (faulted) compute path produced, exactly the
+    // silent-corruption scenario the audit layer exists to catch.
+    if (Faults.FlipCounter > 0) {
+      unsigned Word = 0, Bit = 0;
+      if (decideCounterFlip(Faults, Workload, Missing[K], Word, Bit))
+        Fresh[K].flipBit(Word, Bit);
+    }
     Out[MissSlot[K]] = Fresh[K];
     if (UseStore)
       Store->record(MissKey[K], Fresh[K]);
@@ -294,6 +304,18 @@ std::vector<PerfCounters> SweepExecutor::runSlice(const SweepSpec &Spec,
   if (UseStore)
     (void)Store->flush();
   return Out;
+}
+
+std::vector<PerfCounters>
+SweepExecutor::replayMembersDirect(const SweepSpec &Spec, size_t Workload,
+                                   const std::vector<size_t> &Members) {
+  // Deliberately bypasses the store (whose shape-free key would
+  // re-serve the very value under audit) and the flip injection (whose
+  // cell-keyed draw would reproduce the primary's corruption and mask
+  // it): the only inputs are the trace and the spec.
+  return Spec.Suite == "java"
+             ? runJavaSlice(Spec, Workload, Members, nullptr)
+             : runForthSlice(Spec, Workload, Members, nullptr);
 }
 
 SweepRunStats SweepExecutor::runAll(const SweepSpec &Spec, unsigned Threads,
@@ -353,6 +375,14 @@ SweepRunStats SweepExecutor::runAll(const SweepSpec &Spec, unsigned Threads,
   Stats.ReplaySeconds = PipelineTimer.seconds();
   Stats.CaptureSeconds = CaptureBusy;
   Stats.ReplayedEvents = Events.load();
+
+  // Audit after the pipeline has fully drained, serially: shape
+  // re-execution flips the process-wide kernel knob, which must never
+  // race a concurrent gang. Rows are repaired in place, so the scatter
+  // below publishes the post-audit (authoritative) cells.
+  if (Audit && Audit->plan().enabled())
+    for (size_t I = 0; I < W; ++I)
+      Audit->auditSlice(Spec, I, 0, M, Rows[I]);
 
   Cells.assign(Spec.numCells(), PerfCounters());
   for (size_t I = 0; I < W; ++I)

@@ -44,6 +44,8 @@
 
 namespace vmib {
 
+class Auditor;
+
 /// Resolves a spec's `threads` field to the worker count a gang
 /// actually runs with: 0 (the auto-detect request, `--threads=0` /
 /// `threads 0`) becomes the host's hardware_concurrency (min 1); any
@@ -76,6 +78,28 @@ public:
   /// returning — so a cell a worker computed is durable before the
   /// orchestrator can commit the rows announcing it.
   void setResultStore(ResultStore *S) { Store = S; }
+
+  /// Arms compute-fault injection (the `flipcounter` mass of
+  /// VMIB_FAULT): each freshly computed cell draws deterministically
+  /// and may get one bit flipped BEFORE it is returned or committed to
+  /// the store — modelling silent compute corruption the audit layer
+  /// must catch. Store-served cells are not re-flipped here (that is
+  /// the store's own `flipstore` mass).
+  void setFaultInjection(const FaultPlan &Plan) { Faults = Plan; }
+
+  /// Attaches an Auditor (borrowed, may be null to detach): runAll
+  /// then audits each workload's row after the pipeline completes —
+  /// serially, because shape re-execution flips the process-wide
+  /// kernel knob — repairing rows in place before cells scatter.
+  void setAuditor(Auditor *A) { Audit = A; }
+
+  /// The audit layer's re-execution entry: replays \p Members
+  /// (ascending) of \p Workload exactly as specced, with NO result
+  /// store consultation and NO fault injection — a clean, direct
+  /// recompute whose only inputs are the trace and the spec.
+  std::vector<PerfCounters>
+  replayMembersDirect(const SweepSpec &Spec, size_t Workload,
+                      const std::vector<size_t> &Members);
 
   /// Runs gang members [MemberBegin, MemberEnd) of workload \p Workload
   /// as one gang over the workload's trace; results in member order.
@@ -114,6 +138,8 @@ private:
   std::unique_ptr<ForthLab> OwnedForth;
   std::unique_ptr<JavaLab> OwnedJava;
   ResultStore *Store = nullptr;
+  Auditor *Audit = nullptr;
+  FaultPlan Faults;
 };
 
 } // namespace vmib

@@ -63,6 +63,7 @@
 #ifndef VMIB_HARNESS_SWEEPORCHESTRATOR_H
 #define VMIB_HARNESS_SWEEPORCHESTRATOR_H
 
+#include "harness/Auditor.h"
 #include "harness/SweepExecutor.h"
 #include "harness/SweepSpec.h"
 
@@ -134,6 +135,22 @@ struct SweepWorkerOptions {
   /// their environment) for partially-covered jobs, and report their
   /// hit/miss accounting back on `[store]` lines.
   ResultStore *Store = nullptr;
+
+  //===--- redundant-execution audit ---------------------------------------===//
+
+  /// Sampled audit (harness/Auditor): committed shards whose cells the
+  /// seeded draw samples are re-dispatched — like hedges, only into
+  /// idle slots once the job queue has drained, so audit steals no
+  /// critical-path latency — as `--audit-exec` workers running the
+  /// fully decorrelated shape (decode/kernel/schedule/threads all
+  /// flipped, store and fault injection off). Mismatching cells get a
+  /// third canonical-shape tiebreak dispatch; the triage ladder then
+  /// classifies (store corruption / compute divergence /
+  /// nondeterminism), quarantines implicated store cells, and repairs
+  /// the committed slice with the authoritative tiebreak value before
+  /// the final merge. Audit attempts never fail the sweep — a dead
+  /// audit worker logs and forfeits that job's audit.
+  AuditPlan Audit;
 };
 
 /// What happened while fanning a sweep out: retry/timeout/hedge
@@ -174,6 +191,27 @@ struct OrchestratorReport {
   uint64_t StoreQuarantined = 0;
   /// Worker flushes that failed and kept records buffered.
   uint64_t StoreFlushFailures = 0;
+
+  //===--- audit accounting ------------------------------------------------===//
+
+  /// Decorrelated-shape audit workers dispatched into idle slots.
+  unsigned AuditShardsLaunched = 0;
+  /// Canonical-shape tiebreak workers dispatched after a mismatch.
+  unsigned AuditTiebreaksLaunched = 0;
+  /// Cells bit-compared against a decorrelated re-execution (audit
+  /// shards compare their whole slice) plus cells worker self-audits
+  /// reported on committed `[audit]` lines.
+  uint64_t CellsAudited = 0;
+  uint64_t AuditMismatches = 0; ///< audited cells where audit != primary
+  uint64_t AuditStoreCorruptions = 0;   ///< triage verdict breakdown
+  uint64_t AuditComputeDivergences = 0;
+  uint64_t AuditNondeterminism = 0;
+  uint64_t CellsQuarantined = 0; ///< store cells retired during triage
+  uint64_t CellsRequeued = 0;    ///< cells repaired with the tiebreak value
+  /// Wall clock from the first audit dispatch until audits settled —
+  /// the `[timing]` evidence that audit rode idle slots instead of the
+  /// critical path.
+  double AuditWallSeconds = 0;
 
   size_t cellsCovered() const {
     size_t N = 0;

@@ -236,7 +236,8 @@ JavaVM::Result JavaVM::run(JavaProgram &P, DispatchSim *Sim,
     JBIN(IADD, static_cast<int32_t>(A + B))
     JBIN(ISUB, static_cast<int32_t>(A - B))
     JBIN(IMUL, static_cast<int32_t>(A * B))
-    JBIN(ISHL, static_cast<int32_t>(A << (B & 31)))
+    // Shift in uint32 so a negative left-shift base is defined (C++17).
+    JBIN(ISHL, static_cast<int32_t>(static_cast<uint32_t>(A) << (B & 31)))
     JBIN(ISHR, static_cast<int32_t>(static_cast<int32_t>(A) >> (B & 31)))
     JBIN(IUSHR, static_cast<int32_t>(static_cast<uint32_t>(A) >> (B & 31)))
     JBIN(IAND, static_cast<int32_t>(A & B))

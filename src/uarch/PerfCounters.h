@@ -43,6 +43,69 @@ struct PerfCounters {
     return *this;
   }
 
+  bool operator==(const PerfCounters &O) const {
+    for (unsigned I = 0; I < NumWords; ++I)
+      if (word(I) != O.word(I))
+        return false;
+    return true;
+  }
+  bool operator!=(const PerfCounters &O) const { return !(*this == O); }
+
+  /// The counters as an indexable word array in canonical
+  /// (result-store record) order, for code that hashes or perturbs a
+  /// counter set generically — the audit layer and its fault injection.
+  static constexpr unsigned NumWords = 9;
+  uint64_t word(unsigned I) const {
+    switch (I) {
+    case 0: return Cycles;
+    case 1: return Instructions;
+    case 2: return VMInstructions;
+    case 3: return IndirectBranches;
+    case 4: return Mispredictions;
+    case 5: return ICacheMisses;
+    case 6: return MissCycles;
+    case 7: return CodeBytes;
+    default: return DispatchCount;
+    }
+  }
+  void setWord(unsigned I, uint64_t V) {
+    switch (I) {
+    case 0: Cycles = V; break;
+    case 1: Instructions = V; break;
+    case 2: VMInstructions = V; break;
+    case 3: IndirectBranches = V; break;
+    case 4: Mispredictions = V; break;
+    case 5: ICacheMisses = V; break;
+    case 6: MissCycles = V; break;
+    case 7: CodeBytes = V; break;
+    default: DispatchCount = V; break;
+    }
+  }
+
+  /// Flips one bit of one counter — the shape a real single-event
+  /// upset (bad DIMM, bus glitch) takes. Out-of-range indices wrap so
+  /// a seeded draw can pick (word, bit) without range bookkeeping.
+  void flipBit(unsigned Word, unsigned Bit) {
+    Word %= NumWords;
+    setWord(Word, word(Word) ^ (1ULL << (Bit & 63)));
+  }
+
+  /// Stable 64-bit FNV-1a fingerprint over all nine counters: the
+  /// audit layer's compact identity for "this exact counter set"
+  /// (`[audit]` line rendering, store-cell quarantine tombstones).
+  /// Identifies a VALUE, not a configuration — it is not a store key.
+  uint64_t fingerprint() const {
+    uint64_t H = 0xcbf29ce484222325ULL;
+    for (unsigned I = 0; I < NumWords; ++I) {
+      uint64_t V = word(I);
+      for (unsigned B = 0; B < 8; ++B) {
+        H ^= (V >> (8 * B)) & 0xFF;
+        H *= 0x100000001b3ULL;
+      }
+    }
+    return H;
+  }
+
   /// Fraction of executed indirect branches that mispredicted.
   double mispredictRate() const {
     if (IndirectBranches == 0)

@@ -37,6 +37,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <sys/wait.h>
 #include <unistd.h>
 #include <vector>
 
@@ -89,9 +90,11 @@ protected:
     // a worker attempt loads its trace instead of re-interpreting.
     ASSERT_EQ(0, ::setenv("VMIB_TRACE_CACHE", Dir, 1));
     ::unsetenv("VMIB_FAULT");
+    ::unsetenv("VMIB_RESULT_STORE");
   }
   void TearDown() override {
     ::unsetenv("VMIB_FAULT");
+    ::unsetenv("VMIB_RESULT_STORE");
     ::unsetenv("VMIB_TRACE_CACHE");
     std::system(("rm -rf " + std::string(Dir)).c_str());
   }
@@ -345,6 +348,91 @@ TEST_F(OrchestratorFaultTest, ChaosFaultInjectionRecoversBothSuites) {
   }
 }
 
+//===--- dead-orchestrator pipe: SIGPIPE handling -------------------------===//
+
+TEST_F(OrchestratorFaultTest, WorkerSurvivesSigpipeAndFailsWithDiagnostic) {
+  // A worker whose orchestrator died mid-flight writes [result] rows
+  // into a pipe nobody reads. The default SIGPIPE disposition would
+  // kill it silently (WIFSIGNALED, no diagnostic); the worker instead
+  // ignores SIGPIPE, detects the EPIPE on its stdout stream, and exits
+  // non-zero with a stderr explanation. Exercised by direct fork/exec —
+  // a shell pipeline would mask the worker's exit status.
+  SweepSpec Spec = faultForthSpec();
+  std::string SpecPath = writeSpec(Spec);
+  reference(Spec); // warm the shared trace cache; keeps the worker fast
+
+  std::string Driver = defaultSweepDriverPath();
+  std::string SpecArg = "--spec=" + SpecPath;
+  int OutPipe[2], ErrPipe[2];
+  ASSERT_EQ(0, ::pipe(OutPipe));
+  ASSERT_EQ(0, ::pipe(ErrPipe));
+  pid_t Pid = ::fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    ::dup2(OutPipe[1], 1);
+    ::dup2(ErrPipe[1], 2);
+    ::close(OutPipe[0]);
+    ::close(OutPipe[1]);
+    ::close(ErrPipe[0]);
+    ::close(ErrPipe[1]);
+    ::execl(Driver.c_str(), Driver.c_str(), "--worker", SpecArg.c_str(),
+            "--shards=2", "--job=0", "--threads=1", "--schedule=static",
+            "--attempt=0", (char *)nullptr);
+    ::_exit(127);
+  }
+  // The "orchestrator" dies: both ends of the worker's stdout close
+  // before it can deliver a single row.
+  ::close(OutPipe[1]);
+  ::close(OutPipe[0]);
+  ::close(ErrPipe[1]);
+  std::string Err;
+  char Buf[512];
+  ssize_t N;
+  while ((N = ::read(ErrPipe[0], Buf, sizeof(Buf))) > 0)
+    Err.append(Buf, static_cast<size_t>(N));
+  ::close(ErrPipe[0]);
+  int Status = 0;
+  ASSERT_EQ(Pid, ::waitpid(Pid, &Status, 0));
+  ASSERT_TRUE(WIFEXITED(Status)) << "worker died on a signal instead of "
+                                    "exiting cleanly; status " << Status;
+  EXPECT_NE(WEXITSTATUS(Status), 0);
+  EXPECT_NE(WEXITSTATUS(Status), 127) << "worker binary failed to exec";
+  EXPECT_NE(Err.find("could not write results"), std::string::npos) << Err;
+}
+
+//===--- store open failure degrades to a storeless run -------------------===//
+
+TEST_F(OrchestratorFaultTest, UnopenableStoreDegradesToStorelessRun) {
+  // VMIB_RESULT_STORE points below a regular file — a directory that
+  // can never be created, for every uid (these tests often run as
+  // root, where permission-bit read-only dirs do not block). Workers
+  // must warn, run storeless, and still converge bit-identically.
+  SweepSpec Spec = faultForthSpec();
+  std::string SpecPath = writeSpec(Spec);
+  std::vector<PerfCounters> Want = reference(Spec);
+
+  std::string Blocker = std::string(Dir) + "/blocker";
+  std::FILE *F = std::fopen(Blocker.c_str(), "w");
+  ASSERT_NE(nullptr, F);
+  std::fputs("not a directory\n", F);
+  std::fclose(F);
+  ASSERT_EQ(0, ::setenv("VMIB_RESULT_STORE",
+                        (Blocker + "/results").c_str(), 1));
+
+  SweepWorkerOptions Opt = baseOptions(SpecPath, 2);
+  std::vector<PerfCounters> Cells;
+  SweepRunStats Stats;
+  std::string Error;
+  OrchestratorReport Report;
+  ASSERT_TRUE(orchestrateSweep(Spec, Opt, Cells, Stats, Error, &Report))
+      << Error;
+  expectCellsEqual(Want, Cells);
+  EXPECT_TRUE(Report.complete());
+  EXPECT_EQ(Report.JobsServedFromStore, 0u);
+  EXPECT_EQ(Report.StoreHits, 0u);
+  EXPECT_EQ(Report.WorkerFailures, 0u);
+}
+
 //===--- VMIB_FAULT grammar -----------------------------------------------===//
 
 TEST(FaultInjection, ParsesFullGrammar) {
@@ -420,4 +508,76 @@ TEST(FaultInjection, DrawsAreDeterministicAndAttemptFresh) {
     Faulted += decideFault(Plan, Job, 0) != FaultMode::None;
   EXPECT_GT(Faulted, 0u);
   EXPECT_LT(Faulted, 64u);
+}
+
+TEST(FaultInjection, ParsesFlipGrammar) {
+  FaultPlan Plan;
+  std::string Error;
+  ASSERT_TRUE(
+      parseFaultPlan("flipcounter=0.25,flipstore=0.5,seed=9", Plan, Error))
+      << Error;
+  EXPECT_DOUBLE_EQ(Plan.FlipCounter, 0.25);
+  EXPECT_DOUBLE_EQ(Plan.FlipStore, 0.5);
+  EXPECT_EQ(Plan.Seed, 9u);
+  EXPECT_TRUE(Plan.anyFlip());
+  // The flip masses are their own independent pair — they join neither
+  // the worker-fault nor the filesystem-fault cumulative budget.
+  EXPECT_FALSE(Plan.any());
+  EXPECT_FALSE(Plan.anyFs());
+  ASSERT_TRUE(parseFaultPlan("flipcounter=1.0,flipstore=1.0", Plan, Error))
+      << Error;
+  EXPECT_FALSE(parseFaultPlan("flipcounter=1.5", Plan, Error));
+  EXPECT_NE(Error.find("probability"), std::string::npos) << Error;
+  EXPECT_FALSE(parseFaultPlan("flipstore=banana", Plan, Error));
+  // The unknown-key diagnostic advertises the flip keys.
+  EXPECT_FALSE(parseFaultPlan("flipeverything=0.5", Plan, Error));
+  EXPECT_NE(Error.find("flipcounter"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("flipstore"), std::string::npos) << Error;
+}
+
+TEST(FaultInjection, FlipDrawsAreDeterministicPerCellAndPerKey) {
+  FaultPlan Plan;
+  std::string Error;
+  ASSERT_TRUE(
+      parseFaultPlan("flipcounter=0.5,flipstore=0.5,seed=21", Plan, Error));
+  // flipcounter: pure per (seed, workload, member) — NOT per attempt,
+  // so a retry reproduces the same corruption and cannot wash it out.
+  unsigned W1, B1, W2, B2;
+  unsigned FiredCells = 0;
+  for (size_t W = 0; W < 8; ++W)
+    for (size_t M = 0; M < 8; ++M) {
+      bool F1 = decideCounterFlip(Plan, W, M, W1, B1);
+      bool F2 = decideCounterFlip(Plan, W, M, W2, B2);
+      ASSERT_EQ(F1, F2);
+      if (F1) {
+        EXPECT_EQ(W1, W2);
+        EXPECT_EQ(B1, B2);
+        EXPECT_LT(W1, PerfCounters::NumWords);
+        EXPECT_LT(B1, 64u);
+        ++FiredCells;
+      }
+    }
+  EXPECT_GT(FiredCells, 0u);
+  EXPECT_LT(FiredCells, 64u);
+  // flipstore: pure per 128-bit store key — every serve of the cell is
+  // corrupted identically while other keys draw independently.
+  unsigned FiredKeys = 0;
+  for (uint64_t K = 0; K < 64; ++K) {
+    bool F1 = decideStoreFlip(Plan, K * 7919, ~K, W1, B1);
+    bool F2 = decideStoreFlip(Plan, K * 7919, ~K, W2, B2);
+    ASSERT_EQ(F1, F2);
+    if (F1) {
+      EXPECT_EQ(W1, W2);
+      EXPECT_EQ(B1, B2);
+      EXPECT_LT(W1, PerfCounters::NumWords);
+      EXPECT_LT(B1, 64u);
+      ++FiredKeys;
+    }
+  }
+  EXPECT_GT(FiredKeys, 0u);
+  EXPECT_LT(FiredKeys, 64u);
+  // An inert plan never fires either draw.
+  FaultPlan None;
+  EXPECT_FALSE(decideCounterFlip(None, 0, 0, W1, B1));
+  EXPECT_FALSE(decideStoreFlip(None, 1, 2, W1, B1));
 }

@@ -272,6 +272,35 @@ TEST_F(ResultStoreTest, ProbeIsStatsFreeLookupCounts) {
   EXPECT_EQ(S.stats().Misses, 1u);
 }
 
+TEST_F(ResultStoreTest, UnwritableDirFailsOpenAndDegradesToStoreless) {
+  // A store directory nested under a regular file can never be
+  // created — unwritable for every uid, unlike permission bits, which
+  // root (the usual CI test uid) walks straight through. open() must
+  // fail with a diagnostic, and the unopened store must behave as a
+  // storeless run: probes and lookups miss, close() is a safe no-op —
+  // exactly what the driver's "continuing without the result store"
+  // degradation relies on.
+  ASSERT_EQ(0, ::mkdir(Dir.c_str(), 0755));
+  std::string Blocker = Dir + "/blocker";
+  ASSERT_TRUE(writeBytes(Blocker, {'n', 'o', 't', ' ', 'a', ' ', 'd', 'i',
+                                   'r', '\n'}));
+
+  ResultStore S;
+  std::string Diag;
+  EXPECT_FALSE(S.open(Blocker + "/results", &Diag));
+  EXPECT_FALSE(S.isOpen());
+  EXPECT_FALSE(Diag.empty());
+  EXPECT_NE(Diag.find("results"), std::string::npos) << Diag;
+
+  SweepSpec Spec = makeSpec();
+  PerfCounters C;
+  EXPECT_FALSE(S.probe(cellStoreKey(Spec, 0, 1), C));
+  EXPECT_FALSE(S.lookup(cellStoreKey(Spec, 0, 1), C));
+  EXPECT_EQ(S.size(), 0u);
+  S.close(); // must not crash or create anything
+  EXPECT_FALSE(S.isOpen());
+}
+
 TEST_F(ResultStoreTest, TornTailIsSalvagedAndQuarantined) {
   SweepSpec Spec = makeSpec();
   const size_t N = 6;

@@ -93,10 +93,29 @@
 /// VMIB_FAULT masses `torn=P,nospace=P,renamefail=P` fault-inject the
 /// store's filesystem commits.
 ///
+/// Audit model (docs/simulation-pipeline.md, "Audit model"):
+/// `--audit=RATE` re-executes a deterministically-sampled subset of
+/// cells through a fully decorrelated execution shape (decode, kernel,
+/// schedule and thread count all flipped) and bit-compares. In
+/// orchestrator mode the audits are dispatched like hedges — into idle
+/// worker slots, after the job queue drains — as `--audit-exec`
+/// workers (clean re-execution: VMIB_FAULT ignored, store off); in
+/// `--in-process` and `--worker` mode the Auditor runs in-process
+/// after the primary slice. A mismatch triggers a third,
+/// canonical-shape tiebreak that classifies the fault
+/// (store-served corruption / compute divergence / nondeterminism),
+/// quarantines implicated ResultStore cells (evidence preserved, never
+/// deleted) and repairs the cell with the authoritative recompute.
+/// `VMIB_FAULT="flipcounter=P,flipstore=P"` injects the seeded
+/// single-bit corruption that proves all of this end to end;
+/// `--report-json=PATH` dumps the full OrchestratorReport (including
+/// the audit counters) for CI.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
+#include "harness/Auditor.h"
 #include "harness/CacheGC.h"
 #include "harness/FaultInjection.h"
 #include "vmcore/GangKernels.h"
@@ -131,9 +150,16 @@ void printTables(const SweepSpec &Spec,
 
 /// Runs one shard job and speaks the worker protocol on stdout.
 /// \p Attempt is the orchestrator's retry/hedge counter; it only
-/// seeds the (optional) VMIB_FAULT chaos draw.
+/// seeds the (optional) VMIB_FAULT chaos draw. \p Audit turns on the
+/// worker self-audit (harness/Auditor) over the computed slice before
+/// its rows are announced; \p AuditExec marks this worker as an
+/// orchestrator-dispatched audit re-execution — VMIB_FAULT is ignored
+/// wholesale (an audit run must be clean, or cell-keyed flip draws
+/// would reproduce the primary's corruption and mask it) and the
+/// caller has already forced the store off.
 int runWorker(const SweepSpec &Spec, unsigned Shards, size_t JobIdx,
-              unsigned Attempt, ResultStore *Store) {
+              unsigned Attempt, ResultStore *Store, const AuditPlan &Audit,
+              bool AuditExec) {
   std::vector<ShardJob> Jobs = decomposeSweep(Spec, Shards);
   if (JobIdx >= Jobs.size()) {
     std::fprintf(stderr, "error: job %zu out of range (%zu jobs)\n", JobIdx,
@@ -141,20 +167,24 @@ int runWorker(const SweepSpec &Spec, unsigned Shards, size_t JobIdx,
     return 1;
   }
   FaultPlan Plan;
-  std::string FaultError;
-  if (!parseFaultPlan(std::getenv("VMIB_FAULT"), Plan, FaultError)) {
-    std::fprintf(stderr, "error: VMIB_FAULT: %s\n", FaultError.c_str());
-    return 1;
+  FaultMode Fault = FaultMode::None;
+  if (!AuditExec) {
+    std::string FaultError;
+    if (!parseFaultPlan(std::getenv("VMIB_FAULT"), Plan, FaultError)) {
+      std::fprintf(stderr, "error: VMIB_FAULT: %s\n", FaultError.c_str());
+      return 1;
+    }
+    Fault = decideFault(Plan, JobIdx, Attempt);
+    if (Fault != FaultMode::None)
+      std::fprintf(stderr, "[chaos] job %zu attempt %u: injecting '%s'\n",
+                   JobIdx, Attempt, faultModeId(Fault));
   }
-  FaultMode Fault = decideFault(Plan, JobIdx, Attempt);
-  if (Fault != FaultMode::None)
-    std::fprintf(stderr, "[chaos] job %zu attempt %u: injecting '%s'\n",
-                 JobIdx, Attempt, faultModeId(Fault));
 
   const ShardJob &Job = Jobs[JobIdx];
   const std::string &Benchmark = Spec.Benchmarks[Job.Workload];
   SweepExecutor Executor;
   Executor.setResultStore(Store);
+  Executor.setFaultInjection(Plan); // flipcounter mass; zero for audit-exec
 
   // Store fast path: when the trace is cached (content hash peekable
   // from the file header, no decode) and EVERY member of the job is
@@ -212,6 +242,26 @@ int runWorker(const SweepSpec &Spec, unsigned Shards, size_t JobIdx,
                     ReplayTimer.seconds(), Events * Slice.size(),
                     Slice.size());
 
+  if (AuditExec) {
+    // Banner for the orchestrator's logs: which shape this shard
+    // re-executed. Deliberately carries NONE of the summable [audit]
+    // count tokens, so it stages zero everywhere.
+    const char *Kernel = std::getenv("VMIB_GANG_KERNEL");
+    std::printf("[audit] sweep=%s job=%zu role=shaped-replay "
+                "shape=decode:%s,kernel:%s,schedule:%s,threads:%u\n",
+                Spec.Name.c_str(), JobIdx, traceDecodeModeId(Spec.Decode),
+                Kernel && *Kernel ? Kernel : "scalar",
+                gangScheduleId(Spec.Schedule),
+                resolveGangThreads(Spec.Threads));
+  } else if (Audit.enabled()) {
+    // Worker self-audit: repair the slice BEFORE its rows go out, so
+    // what the orchestrator commits is already the audited truth. The
+    // summary [audit] line's counters feed the orchestrator report.
+    Auditor SelfAudit(Audit, Executor, Store);
+    SelfAudit.auditSlice(Spec, Job.Workload, Job.MemberBegin, Job.MemberEnd,
+                         Slice);
+  }
+
   // The emit loop doubles as the chaos stage: faults fire mid-stream
   // (after half the rows) so the orchestrator sees exactly what a
   // real worker death leaves behind — a partial, well-formed prefix.
@@ -246,6 +296,17 @@ int runWorker(const SweepSpec &Spec, unsigned Shards, size_t JobIdx,
     bench::emitResult(Spec.Name, Job.Workload, Job.MemberBegin, Slice[0]);
   if (Store && Store->isOpen())
     bench::emitStoreLine(Spec.Name, JobIdx, Store->stats());
+  // With SIGPIPE ignored (main), a worker whose orchestrator died
+  // mid-read sees EPIPE on the buffered rows instead of dying by
+  // signal: flush now and turn a dead pipe into a clean, diagnosable
+  // nonzero exit rather than a SIGPIPE corpse.
+  if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+    std::fprintf(stderr,
+                 "error: worker for job %zu could not write results to "
+                 "stdout (%s) — orchestrator gone?\n",
+                 JobIdx, std::strerror(errno));
+    return 3;
+  }
   return 0;
 }
 
@@ -728,6 +789,12 @@ int runVerify(const SweepSpec &Spec, unsigned Shards,
 } // namespace
 
 int main(int argc, char **argv) {
+  // Workers write their rows to a pipe the orchestrator may abandon
+  // (crash, kill, timeout of the parent). Default SIGPIPE disposition
+  // would kill the worker by signal with no diagnostic; ignoring it
+  // turns the dead pipe into EPIPE, which runWorker reports and exits
+  // nonzero on. Harmless for every other mode.
+  std::signal(SIGPIPE, SIG_IGN);
   OptionParser Opts(argc, argv);
   std::string SpecPath = Opts.get("spec");
   if (SpecPath.empty()) {
@@ -744,12 +811,14 @@ int main(int argc, char **argv) {
                  "[--trace-compress=on|off] [--kernel=scalar|simd] "
                  "[--decode=materialize|stream|auto] "
                  "[--result-store | --store-dir=D | --no-result-store] "
+                 "[--audit=RATE] [--audit-seed=N] "
+                 "[--report-json=PATH] "
                  "[--cache-gc=BYTES[K|M|G]]\n"
                  "       sweep_driver --cache-gc=BYTES[K|M|G] "
                  "[--store-dir=D]   (standalone eviction pass)\n"
                  "  fault injection for tests: VMIB_FAULT=\"kill=P,hang=P,"
                  "garble=P,trunc=P,dup=P,torn=P,nospace=P,renamefail=P,"
-                 "seed=S\"\n");
+                 "flipcounter=P,flipstore=P,seed=S\"\n");
     return 2;
   }
   SweepSpec Spec;
@@ -784,6 +853,18 @@ int main(int argc, char **argv) {
                                       /*AllowPartialOk=*/true))
     return OverrideExit;
 
+  // The redundant-execution audit knobs (--audit=RATE, --audit-seed=N)
+  // apply to every mode: orchestrating modes dispatch decorrelated
+  // audit shards, --in-process and --worker self-audit through the
+  // same Auditor. --audit-exec marks THIS process as one of those
+  // dispatched audit shards: clean re-execution, no store, no faults,
+  // no recursive self-audit.
+  AuditPlan Audit;
+  if (!bench::applyAuditOptions(Opts, Audit, OverrideExit))
+    return OverrideExit;
+  bool AuditExec = Opts.has("audit-exec");
+  FaultOpts.Audit = Audit;
+
   unsigned Shards =
       static_cast<unsigned>(Opts.getInt("shards", 1) < 1
                                 ? 1
@@ -797,7 +878,9 @@ int main(int argc, char **argv) {
   // locks through ResultStore::open.
   DirUseLock CacheUse(DispatchTrace::cacheDir());
   ResultStore Store;
-  bool StoreOn = bench::applyStoreOptions(Opts, Store);
+  // An audit-exec shard must never consult the store: the store key is
+  // shape-free, so it would just re-serve the very cells under audit.
+  bool StoreOn = !AuditExec && bench::applyStoreOptions(Opts, Store);
   FaultOpts.Store = StoreOn ? &Store : nullptr;
 
   int Exit = 0;
@@ -805,7 +888,7 @@ int main(int argc, char **argv) {
     Exit = runWorker(Spec, Shards,
                      static_cast<size_t>(Opts.getInt("job", 0)),
                      static_cast<unsigned>(Opts.getInt("attempt", 0)),
-                     StoreOn ? &Store : nullptr);
+                     StoreOn ? &Store : nullptr, Audit, AuditExec);
   } else if (Opts.has("verify")) {
     Exit = runVerify(Spec, Shards, FaultOpts, Opts.get("worker-cmd"),
                      SpecPath);
@@ -813,6 +896,16 @@ int main(int argc, char **argv) {
     SweepExecutor Executor;
     if (StoreOn)
       Executor.setResultStore(&Store);
+    FaultPlan FPlan;
+    std::string FaultError;
+    if (!parseFaultPlan(std::getenv("VMIB_FAULT"), FPlan, FaultError)) {
+      std::fprintf(stderr, "error: VMIB_FAULT: %s\n", FaultError.c_str());
+      return 1;
+    }
+    Executor.setFaultInjection(FPlan);
+    Auditor InProcAudit(Audit, Executor, StoreOn ? &Store : nullptr);
+    if (Audit.enabled())
+      Executor.setAuditor(&InProcAudit);
     std::vector<PerfCounters> Cells;
     SweepRunStats Stats = Executor.runAll(Spec, 0, Cells);
     bench::emitTiming(Spec.Name + ":inproc", Stats);
@@ -828,13 +921,24 @@ int main(int argc, char **argv) {
     if (!runSharded(Spec, Shards, FaultOpts, Opts.get("worker-cmd"),
                     SpecPath, Cells, Stats, &Report)) {
       Exit = 1;
-    } else if (Report.complete()) {
-      printTables(Spec, Cells);
     } else {
-      std::printf("(tables suppressed: %zu of %zu cells missing under "
-                  "--partial-ok; see the [coverage] report above)\n",
-                  Report.CellCovered.size() - Report.cellsCovered(),
-                  Report.CellCovered.size());
+      if (Report.complete()) {
+        printTables(Spec, Cells);
+      } else {
+        std::printf("(tables suppressed: %zu of %zu cells missing under "
+                    "--partial-ok; see the [coverage] report above)\n",
+                    Report.CellCovered.size() - Report.cellsCovered(),
+                    Report.CellCovered.size());
+      }
+      // Machine-readable run record (CI and the chaos-audit job parse
+      // this instead of scraping stdout).
+      if (Opts.has("report-json") &&
+          !bench::writeOrchestratorReportJson(Opts.get("report-json"),
+                                              Spec.Name, Report)) {
+        std::fprintf(stderr, "error: could not write --report-json=%s: %s\n",
+                     Opts.get("report-json").c_str(), std::strerror(errno));
+        Exit = 1;
+      }
     }
   }
 
